@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 5 — cycle-usage breakdown of the Winograd F4 operator's
+ * critical path, normalized to the im2col operator, for the four
+ * workloads of the figure.
+ */
+
+#include <cstdio>
+
+#include "sim/operators.hh"
+
+using namespace twq;
+
+int
+main()
+{
+    std::printf("=== Fig. 5: cycle breakdown, im2col vs Winograd F4 "
+                "===\n\n");
+
+    AcceleratorConfig cfg;
+    struct Wl
+    {
+        std::size_t b, hw, ci, co;
+    };
+    const Wl wls[] = {
+        {1, 32, 128, 128},
+        {1, 32, 256, 256},
+        {8, 32, 128, 128},
+        {8, 32, 256, 256},
+    };
+
+    for (const Wl &x : wls) {
+        ConvWorkload w;
+        w.batch = x.b;
+        w.hOut = w.wOut = x.hw;
+        w.cin = x.ci;
+        w.cout = x.co;
+        const OpPerf i = simulateConv(w, OpKind::Im2col, cfg);
+        const OpPerf f = simulateConv(w, OpKind::WinogradF4, cfg);
+        const double norm = i.cycles;
+
+        std::printf("workload [B=%zu HW=%zu Cin=%zu Cout=%zu]\n", x.b,
+                    x.hw, x.ci, x.co);
+        std::printf("  im2col total: %.0f cycles (= 1.00)\n",
+                    i.cycles);
+        std::printf("  winograd total: %.2f of im2col "
+                    "(speed-up %.2fx)\n",
+                    f.cycles / norm, norm / f.cycles);
+        const StageCycles &s = f.stages;
+        const auto pct = [&](double v) { return 100.0 * v / norm; };
+        std::printf("    CUBE      %5.1f%%   IN XFORM  %5.1f%%\n",
+                    pct(s.cube), pct(s.inXform));
+        std::printf("    WT XFORM  %5.1f%%   OUT XFORM %5.1f%%\n",
+                    pct(s.wtXform), pct(s.outXform));
+        std::printf("    IN LOAD   %5.1f%%   WT LOAD   %5.1f%%\n",
+                    pct(s.inLoad), pct(s.wtLoad));
+        std::printf("    OUT STORE %5.1f%%   VECTOR    %5.1f%%\n",
+                    pct(s.outStore), pct(s.vector));
+        std::printf("    OVERHEAD  %5.1f%%\n\n", pct(s.overhead));
+    }
+
+    std::printf("paper trends to check: Winograd totals ~25%% of "
+                "im2col at B=8 / 256ch;\nbatch 8 vs 1 shrinks the "
+                "weight (load+xform) share from ~13%% to ~2%%;\nmore "
+                "input channels shrink the MTE2 (load/store) "
+                "share.\n");
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fig. 6 — average number of memory accesses (left) and energy
+ * breakdown (right) of the Winograd F4 operator, normalized to
+ * im2col, over the Winograd layers of the Table VII networks.
+ */
+
+#include <cstdio>
+
+#include "sim/network.hh"
+
+using namespace twq;
+
+int
+main()
+{
+    std::printf("=== Fig. 6: memory accesses and energy, F4 vs "
+                "im2col ===\n\n");
+
+    AcceleratorConfig cfg;
+    MemTraffic sum_i{}, sum_f{};
+    EnergyBreakdown esum_i{}, esum_f{};
+    std::size_t layer_count = 0;
+
+    for (const NetworkDesc &net : tableSevenNetworks()) {
+        for (const ConvLayerDesc &l : net.layers) {
+            if (!l.winogradEligible())
+                continue;
+            const ConvWorkload w = toWorkload(l, 1);
+            const OpPerf pi = simulateConv(w, OpKind::Im2col, cfg);
+            const OpPerf pf =
+                simulateConv(w, OpKind::WinogradF4, cfg);
+            const EnergyBreakdown ei = computeEnergy(pi, cfg);
+            const EnergyBreakdown ef = computeEnergy(pf, cfg);
+            const double rep = static_cast<double>(l.repeat);
+
+            const auto acc = [&](MemTraffic &dst, const MemTraffic &s) {
+                dst.gmRdFm += rep * s.gmRdFm;
+                dst.gmRdWt += rep * s.gmRdWt;
+                dst.gmWr += rep * s.gmWr;
+                dst.l1RdFm += rep * s.l1RdFm;
+                dst.l1WrFm += rep * s.l1WrFm;
+                dst.l1RdWt += rep * s.l1RdWt;
+                dst.l1WrWt += rep * s.l1WrWt;
+                dst.l0aRd += rep * s.l0aRd;
+                dst.l0aWr += rep * s.l0aWr;
+                dst.l0bRd += rep * s.l0bRd;
+                dst.l0bWr += rep * s.l0bWr;
+                dst.l0cWr += rep * s.l0cWr;
+                dst.l0cRdA += rep * s.l0cRdA;
+                dst.l0cRdB += rep * s.l0cRdB;
+            };
+            acc(sum_i, pi.traffic);
+            acc(sum_f, pf.traffic);
+            esum_i.cube += rep * ei.cube;
+            esum_i.im2colEngine += rep * ei.im2colEngine;
+            esum_i.l0a += rep * ei.l0a;
+            esum_i.l0b += rep * ei.l0b;
+            esum_i.l0c += rep * ei.l0c;
+            esum_i.l1 += rep * ei.l1;
+            esum_f.cube += rep * ef.cube;
+            esum_f.inXform += rep * ef.inXform;
+            esum_f.wtXform += rep * ef.wtXform;
+            esum_f.outXform += rep * ef.outXform;
+            esum_f.l0a += rep * ef.l0a;
+            esum_f.l0b += rep * ef.l0b;
+            esum_f.l0c += rep * ef.l0c;
+            esum_f.l1 += rep * ef.l1;
+            ++layer_count;
+        }
+    }
+
+    std::printf("averaged over %zu Winograd-eligible layers\n\n",
+                layer_count);
+    std::printf("normalized access counts (F4 / im2col); paper "
+                "trend in brackets:\n");
+    const auto norm = [](double f, double i) {
+        return i > 0.0 ? f / i : 0.0;
+    };
+    std::printf("  GM  FM rd   %5.2f  [slightly above 1]\n",
+                norm(sum_f.gmRdFm, sum_i.gmRdFm));
+    std::printf("  GM  Wt rd   %5.2f  [exactly 1: on-the-fly "
+                "transform]\n",
+                norm(sum_f.gmRdWt, sum_i.gmRdWt));
+    std::printf("  L1  FM wr   %5.2f  [slightly above 1]\n",
+                norm(sum_f.l1WrFm, sum_i.l1WrFm));
+    std::printf("  L1  FM rd   %5.2f  [below 1: 2.25x vs 9x "
+                "expansion]\n",
+                norm(sum_f.l1RdFm, sum_i.l1RdFm));
+    std::printf("  L1  Wt rd   %5.2f  [way up: Cube streams weights "
+                "from L1]\n",
+                norm(sum_f.l1RdWt, sum_i.l1RdWt));
+    std::printf("  L1  Wt wr   %5.2f  [4x: Winograd-domain "
+                "expansion]\n",
+                norm(sum_f.l1WrWt, sum_i.l1WrWt));
+    std::printf("  L0A wr      %5.2f  [down]\n",
+                norm(sum_f.l0aWr, sum_i.l0aWr));
+    std::printf("  L0A rd      %5.2f  [down: 1/4 Cube cycles]\n",
+                norm(sum_f.l0aRd, sum_i.l0aRd));
+    std::printf("  L0B rd      %5.2f  [down: only the weight "
+                "transform]\n",
+                norm(sum_f.l0bRd, sum_i.l0bRd));
+    std::printf("  L0C rd+wr   %5.2f  [up: oFMs in Winograd "
+                "domain]\n",
+                norm(sum_f.l0cWr + sum_f.l0cRdA + sum_f.l0cRdB,
+                     sum_i.l0cWr + sum_i.l0cRdA + sum_i.l0cRdB));
+
+    const double etot_i = esum_i.total();
+    std::printf("\nenergy breakdown normalized to the im2col total:\n");
+    std::printf("  %-12s %8s %8s\n", "", "im2col", "F4");
+    std::printf("  %-12s %7.1f%% %7.1f%%\n", "CUBE",
+                100.0 * esum_i.cube / etot_i,
+                100.0 * esum_f.cube / etot_i);
+    std::printf("  %-12s %7.1f%% %7.1f%%\n", "XFORM engines",
+                100.0 * esum_i.im2colEngine / etot_i,
+                100.0 * (esum_f.inXform + esum_f.wtXform +
+                         esum_f.outXform) / etot_i);
+    std::printf("  %-12s %7.1f%% %7.1f%%\n", "L0A",
+                100.0 * esum_i.l0a / etot_i,
+                100.0 * esum_f.l0a / etot_i);
+    std::printf("  %-12s %7.1f%% %7.1f%%\n", "L0B",
+                100.0 * esum_i.l0b / etot_i,
+                100.0 * esum_f.l0b / etot_i);
+    std::printf("  %-12s %7.1f%% %7.1f%%\n", "L0C",
+                100.0 * esum_i.l0c / etot_i,
+                100.0 * esum_f.l0c / etot_i);
+    std::printf("  %-12s %7.1f%% %7.1f%%\n", "L1",
+                100.0 * esum_i.l1 / etot_i,
+                100.0 * esum_f.l1 / etot_i);
+    std::printf("  %-12s %7.1f%% %7.1f%%\n", "total", 100.0,
+                100.0 * esum_f.total() / etot_i);
+    std::printf("\npaper: memory-subsystem energy comparable, total "
+                "energy >2x lower with F4\n(measured total ratio: "
+                "%.2fx lower)\n",
+                etot_i / esum_f.total());
+    return 0;
+}

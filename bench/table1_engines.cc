@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table I — performance and bandwidth requirements of the Winograd
+ * transformation engines, plus the DFG-derived area proxies of the
+ * design-space exploration (Section IV-B1).
+ */
+
+#include <cstdio>
+
+#include "winograd/matrices.hh"
+#include "xform/engines.hh"
+
+using namespace twq;
+
+namespace
+{
+
+void
+report(const char *xform, const Matrix<Rational> &t)
+{
+    std::printf("--- %s (hT=%zu, wT=%zu) ---\n", xform, t.rows(),
+                t.cols());
+    const TransformDfg d = buildTransformDfg(t);
+    std::printf("  DFG: %zu adders, %zu shifters, scale %ld "
+                "(shift-and-add only)\n",
+                d.dfg.numAdders(), d.dfg.numShifters(),
+                static_cast<long>(d.scale));
+
+    std::printf("  %-22s %12s %9s %9s %9s\n", "engine", "cyc/xform",
+                "parallel", "RD B/cyc", "WR B/cyc");
+    for (const auto &[kind, pc, ps, pt] :
+         std::vector<std::tuple<EngineKind, std::size_t, std::size_t,
+                                std::size_t>>{
+             {EngineKind::RowByRowSlow, 1, 1, 1},
+             {EngineKind::RowByRowFast, 1, 1, 1},
+             {EngineKind::TapByTap, 1, 1, 1},
+             {EngineKind::TapByTap, 1, 1, 6},
+             {EngineKind::RowByRowFast, 32, 2, 1}}) {
+        EngineConfig cfg;
+        cfg.kind = kind;
+        cfg.pc = pc;
+        cfg.ps = ps;
+        cfg.pt = pt;
+        const EnginePerf p = evaluateEngine(t, cfg);
+        char name[64];
+        std::snprintf(name, sizeof(name), "%s Pc%zu Ps%zu Pt%zu",
+                      engineKindName(kind), pc, ps, pt);
+        std::printf("  %-22s %12.1f %9zu %9.1f %9.1f\n", name,
+                    p.cyclesPerXform, p.parallelXforms,
+                    p.rdBytesPerCycle, p.wrBytesPerCycle);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Table I: Winograd transformation engines ===\n");
+    std::printf("(paper formulas: row-by-row slow = hT+wT cycles, "
+                "fast = hT cycles,\n tap-by-tap = T-dependent; RD BW "
+                "= Pc*Ps*hT B/cyc row-by-row, Pc*Ps tap-by-tap)\n\n");
+
+    for (auto v : {WinoVariant::F2, WinoVariant::F4}) {
+        std::printf("===== %s =====\n", winoName(v));
+        report("input transform  B^T x B",
+               winoBT(v).transposed());
+        report("weight transform G f G^T", winoG(v).transposed());
+        report("output transform A^T Y A",
+               winoAT(v).transposed());
+    }
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Table IV — throughput of the Winograd F4 operator normalized to
+ * the im2col operator across the synthetic 3x3 Conv2D benchmark
+ * suite (B in {1,8}, H,W in {16,32,64,128}, nine channel configs).
+ *
+ * The (Cin, Cout) pairing follows the header of Table IV; where the
+ * text dump is ambiguous we use the pairs the running text refers
+ * to ((128,256) -> 2.62, (256,256) -> 3.18, (256,512) in Table VI).
+ */
+
+#include <cstdio>
+
+#include "sim/operators.hh"
+
+using namespace twq;
+
+int
+main()
+{
+    std::printf("=== Table IV: Winograd F4 speed-up over im2col ===\n"
+                "(paper values for reference in brackets where "
+                "published)\n\n");
+
+    AcceleratorConfig cfg;
+    const std::size_t batches[] = {1, 8};
+    const std::size_t res[] = {16, 32, 64, 128};
+    const std::pair<std::size_t, std::size_t> chans[] = {
+        {64, 64},   {128, 128}, {128, 256},
+        {192, 192}, {256, 256}, {256, 384},
+        {512, 256}, {512, 512}, {192, 512},
+    };
+
+    for (std::size_t b : batches) {
+        std::printf("B = %zu\n  H,W   ", b);
+        for (const auto &[ci, co] : chans)
+            std::printf("%4zux%-4zu", ci, co);
+        std::printf("\n");
+        for (std::size_t hw : res) {
+            std::printf("  %4zu  ", hw);
+            for (const auto &[ci, co] : chans) {
+                ConvWorkload w;
+                w.batch = b;
+                w.hOut = w.wOut = hw;
+                w.cin = ci;
+                w.cout = co;
+                const OpPerf i =
+                    simulateConv(w, OpKind::Im2col, cfg);
+                const OpPerf f =
+                    simulateConv(w, OpKind::WinogradF4, cfg);
+                std::printf("%8.2f ", i.cycles / f.cycles);
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+
+    std::printf("spot checks vs paper:\n");
+    struct Spot
+    {
+        std::size_t b, hw, ci, co;
+        double paper;
+    };
+    const Spot spots[] = {
+        {1, 16, 64, 64, 0.99},   {1, 32, 256, 256, 1.98},
+        {8, 32, 256, 256, 3.18}, {1, 128, 256, 384, 3.02},
+        {8, 128, 256, 384, 3.11}, {8, 32, 128, 256, 2.62},
+    };
+    for (const Spot &s : spots) {
+        ConvWorkload w;
+        w.batch = s.b;
+        w.hOut = w.wOut = s.hw;
+        w.cin = s.ci;
+        w.cout = s.co;
+        const double su =
+            simulateConv(w, OpKind::Im2col, cfg).cycles /
+            simulateConv(w, OpKind::WinogradF4, cfg).cycles;
+        std::printf("  B%zu %3zux%-3zu %4zu->%-4zu  measured %.2f  "
+                    "paper %.2f\n",
+                    s.b, s.hw, s.hw, s.ci, s.co, su, s.paper);
+    }
+    return 0;
+}

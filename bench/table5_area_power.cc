@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Table V — AI-core area/power breakdown and energy-efficiency
+ * figures.
+ *
+ * Area and unit powers are the published post-layout constants (our
+ * substitution for RTL synthesis; DESIGN.md); the TOp/s/W figures
+ * and per-kernel power deltas are computed from the model, and the
+ * shift-add engine sizes come from the DFG explorer.
+ */
+
+#include <cstdio>
+
+#include "sim/energy.hh"
+#include "sim/operators.hh"
+#include "winograd/matrices.hh"
+#include "xform/engines.hh"
+
+using namespace twq;
+
+int
+main()
+{
+    std::printf("=== Table V: AI core breakdown at 0.8 V / 500 MHz "
+                "===\n\n");
+    AcceleratorConfig cfg;
+
+    const double core = cfg.coreAreaMm2();
+    std::printf("%-12s %8s %8s\n", "unit", "mm^2", "%core");
+    const auto area = [&](const char *n, double a) {
+        std::printf("%-12s %8.2f %7.1f%%\n", n, a, 100.0 * a / core);
+    };
+    area("Cube", cfg.cubeAreaMm2);
+    area("Im2col", cfg.im2colAreaMm2);
+    area("IN_XFORM", cfg.inXformAreaMm2);
+    area("WT_XFORM", cfg.wtXformAreaMm2);
+    area("OUT_XFORM", cfg.outXformAreaMm2);
+    area("L0A", cfg.l0aAreaMm2);
+    area("L0B", cfg.l0bAreaMm2);
+    area("L0C", cfg.l0cAreaMm2);
+    area("L1", cfg.l1AreaMm2);
+    const double wino_area = cfg.inXformAreaMm2 + cfg.wtXformAreaMm2 +
+                             cfg.outXformAreaMm2;
+    std::printf("\nWinograd extensions: %.2f mm^2 = %.1f%% of the "
+                "core (paper: 6.1%%)\n",
+                wino_area, 100.0 * wino_area / core);
+    std::printf("Winograd engine power vs Cube: %.0f%% "
+                "(paper: ~17%%)\n\n",
+                100.0 * (cfg.inXformPowerMw + cfg.wtXformPowerMw +
+                         cfg.outXformPowerMw) / cfg.cubePowerWinoMw);
+
+    // TOp/s/W: ops counted as 2 per MAC; the Winograd kernel is
+    // credited with its spatial-equivalent ops (4x Cube ops).
+    const double cube_ops =
+        cfg.cubeMacsPerCycle() * 2.0 * cfg.clockGhz; // GOp/s/core
+    std::printf("Cube TOp/s/W: im2col %.2f (paper 5.39), F4 "
+                "equivalent %.2f (paper 17.04)\n",
+                cube_ops / cfg.cubePowerIm2colMw,
+                cube_ops * 4.0 / cfg.cubePowerWinoMw);
+
+    // Engine efficiency from the DFG op counts.
+    const TransformDfg in_dfg =
+        buildTransformDfg(winoBT(WinoVariant::F4).transposed());
+    const double in_ops = static_cast<double>(in_dfg.dfg.numAdders());
+    const double in_tops = (64.0 / 6.0) * in_ops * cfg.clockGhz;
+    std::printf("IN_XFORM TOp/s/W: %.1f (paper 5.3; %0.0f adders per "
+                "transform after CSE)\n",
+                in_tops / cfg.inXformPowerMw, in_ops);
+
+    // Memory access costs.
+    std::printf("\n%-14s %8s %10s %10s\n", "memory", "size kB",
+                "rd pJ/B", "wr pJ/B");
+    std::printf("%-14s %8zu %10.2f %10.2f\n", "L0A",
+                cfg.l0aBytes / 1024, cfg.l0aCost.readPj,
+                cfg.l0aCost.writePj);
+    std::printf("%-14s %8zu %10.2f %10.2f\n", "L0B",
+                cfg.l0bBytes / 1024, cfg.l0bCost.readPj,
+                cfg.l0bCost.writePj);
+    std::printf("%-14s %8zu %10.2f %10.2f\n", "L0C portA",
+                cfg.l0cBytes / 1024, cfg.l0cCostPortA.readPj,
+                cfg.l0cCostPortA.writePj);
+    std::printf("%-14s %8s %10.2f (im2col) / %.2f (wino)\n",
+                "L0C portB", "-", cfg.l0cPortBReadIm2colPj,
+                cfg.l0cPortBReadWinoPj);
+    std::printf("%-14s %8zu %10.2f %10.2f\n", "L1",
+                cfg.l1Bytes / 1024, cfg.l1Cost.readPj,
+                cfg.l1Cost.writePj);
+
+    // Per-kernel power on the paper's reference layer (first 3x3
+    // layer of ResNet-34): compute-energy / active time.
+    ConvWorkload w;
+    w.batch = 1;
+    w.hOut = w.wOut = 56;
+    w.cin = w.cout = 64;
+    const OpPerf pi = simulateConv(w, OpKind::Im2col, cfg);
+    const OpPerf pw = simulateConv(w, OpKind::WinogradF4, cfg);
+    const EnergyBreakdown ei = computeEnergy(pi, cfg);
+    const EnergyBreakdown ew = computeEnergy(pw, cfg);
+    std::printf("\nReference layer (ResNet-34 first 3x3): energy "
+                "%.1f uJ (im2col) vs %.1f uJ (F4)\n",
+                ei.total() * 1e-6, ew.total() * 1e-6);
+    std::printf("compute datapath energy ratio im2col/F4: %.2fx "
+                "(paper: ~3x more efficient with Winograd)\n",
+                (ei.cube + ei.im2colEngine) /
+                    (ew.cube + ew.inXform + ew.wtXform + ew.outXform));
+    return 0;
+}

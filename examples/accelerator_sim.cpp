@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Accelerator-simulation example: run ResNet-34 and UNet through
+ * the performance model on all three system variants, with a
+ * per-layer report for the F4 system.
+ */
+
+#include <cstdio>
+
+#include "sim/network.hh"
+
+using namespace twq;
+
+int
+main()
+{
+    std::printf("Accelerator simulation example\n");
+    std::printf("------------------------------\n");
+
+    AcceleratorConfig cfg;
+    std::printf("system: %zu cores, %.1f TOp/s peak, %.1f B/cycle "
+                "DRAM, %.0f MHz\n\n",
+                cfg.cores, cfg.peakOps() / 1e12, cfg.dramBw(),
+                cfg.clockGhz * 1e3);
+
+    for (const NetworkDesc &net : {resnet34(), unet()}) {
+        std::printf("===== %s (input %zux%zu, %.2f GMACs) =====\n",
+                    net.name.c_str(), net.inputRes, net.inputRes,
+                    net.totalMacs() / 1e9);
+        const NetPerf i =
+            runNetwork(net, 1, SystemKind::Im2colOnly, cfg);
+        const NetPerf f2 = runNetwork(net, 1, SystemKind::WithF2, cfg);
+        const NetPerf f4 = runNetwork(net, 1, SystemKind::WithF4, cfg);
+        std::printf("im2col: %7.0f img/s   %6.1f inf/J\n",
+                    i.imgsPerSec(cfg), i.infPerJoule());
+        std::printf("F2:     %7.0f img/s   %6.1f inf/J   (%.2fx)\n",
+                    f2.imgsPerSec(cfg), f2.infPerJoule(),
+                    i.totalCycles / f2.totalCycles);
+        std::printf("F4:     %7.0f img/s   %6.1f inf/J   (%.2fx)\n\n",
+                    f4.imgsPerSec(cfg), f4.infPerJoule(),
+                    i.totalCycles / f4.totalCycles);
+
+        std::printf("per-layer view of the F4 system (first 12 "
+                    "layers):\n");
+        std::printf("  %-16s %10s %12s %10s\n", "layer", "algo",
+                    "cycles", "energy uJ");
+        std::size_t shown = 0;
+        for (const LayerPerf &l : f4.layers) {
+            if (shown++ >= 12)
+                break;
+            std::printf("  %-16s %10s %12.0f %10.1f\n",
+                        l.name.c_str(), opKindName(l.chosen),
+                        l.cycles, l.energyPj * 1e-6);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Winograd-aware training example: train the same compact network
+ * as an FP32 baseline, a naive single-scale F4-int8 model, and a
+ * tap-wise power-of-two F4-int8 model with knowledge distillation,
+ * then compare test accuracy (the Table II story end to end).
+ */
+
+#include <cstdio>
+
+#include "data/synthetic.hh"
+#include "models/ablation_net.hh"
+#include "nn/trainer.hh"
+
+using namespace twq;
+
+int
+main()
+{
+    std::printf("Winograd-aware training on the synthetic dataset\n");
+    std::printf("------------------------------------------------\n");
+
+    // A hard instance (10 classes, heavy noise) so the quantization
+    // configurations visibly separate.
+    SyntheticConfig dcfg;
+    dcfg.classes = 10;
+    dcfg.imageSize = 12;
+    dcfg.noise = 0.6;
+    dcfg.seed = 55;
+    const DataSplits data = makeSplits(400, 100, 200, dcfg);
+
+    TrainConfig tcfg;
+    tcfg.epochs = 5;
+    tcfg.verbose = true;
+
+    // 1. FP32 teacher.
+    AblationConfig fp;
+    fp.kind = ConvKind::WinogradF4;
+    fp.channels = 6;
+    fp.classes = 10;
+    std::printf("\n[1/3] FP32 Winograd-F4 baseline\n");
+    auto teacher = makeMiniResNet(fp);
+    Trainer fp_tr(*teacher, tcfg);
+    const double fp_acc = fp_tr.fit(data.train, data.val);
+    std::printf("FP32 val accuracy: %.1f%%\n", fp_acc * 100.0);
+
+    // 2. Naive single-scale int8 student.
+    AblationConfig naive = fp;
+    naive.wino.quantize = true;
+    naive.wino.tapWise = false;
+    std::printf("\n[2/3] naive single-scale F4 int8 "
+                "(Winograd-aware)\n");
+    auto naive_net = makeMiniResNet(naive);
+    Trainer naive_tr(*naive_net, tcfg);
+    naive_tr.fit(data.train, data.val);
+
+    // 3. Tap-wise pow2 + KD student.
+    AblationConfig tap = fp;
+    tap.wino.quantize = true;
+    tap.wino.tapWise = true;
+    tap.wino.pow2 = true;
+    tap.wino.learnScales = true;
+    std::printf("\n[3/3] tap-wise pow2 F4 int8 + log2 training + "
+                "KD\n");
+    auto tap_net = makeMiniResNet(tap);
+    TrainConfig kd_cfg = tcfg;
+    kd_cfg.kdAlpha = 0.5;
+    Trainer tap_tr(*tap_net, kd_cfg);
+    tap_tr.setTeacher(teacher.get());
+    tap_tr.fit(data.train, data.val);
+
+    std::printf("\n==== summary (test set) ====\n");
+    const double t_fp = fp_tr.evaluate(data.test);
+    const double t_naive = naive_tr.evaluate(data.test);
+    const double t_tap = tap_tr.evaluate(data.test);
+    std::printf("FP32 baseline:            %5.1f%%\n", t_fp * 100.0);
+    std::printf("single-scale F4 int8:     %5.1f%%  (%+.1f%%)\n",
+                t_naive * 100.0, (t_naive - t_fp) * 100.0);
+    std::printf("tap-wise pow2 F4 int8+KD: %5.1f%%  (%+.1f%%)\n",
+                t_tap * 100.0, (t_tap - t_fp) * 100.0);
+    std::printf("\nExpected shape (Table II): single-scale drops "
+                "hard, tap-wise recovers\nmost of the FP32 "
+                "accuracy.\n");
+    return 0;
+}

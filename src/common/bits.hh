@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the quantizer and the
+ * hardware models.
+ */
+
+#ifndef TWQ_COMMON_BITS_HH
+#define TWQ_COMMON_BITS_HH
+
+#include <cstdint>
+
+namespace twq
+{
+
+/** True when v is a positive power of two. */
+constexpr bool
+isPowerOfTwo(std::int64_t v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+/** ceil(log2(v)) for v >= 1. */
+constexpr int
+ceilLog2(std::int64_t v)
+{
+    int bits = 0;
+    std::int64_t x = 1;
+    while (x < v) {
+        x <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** floor(log2(v)) for v >= 1. */
+constexpr int
+floorLog2(std::int64_t v)
+{
+    int bits = -1;
+    while (v > 0) {
+        v >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/**
+ * Number of bits of a signed integer type able to represent values in
+ * [-(2^(n-1)), 2^(n-1)-1] that covers v.
+ */
+constexpr int
+signedBitsFor(std::int64_t v)
+{
+    const std::int64_t mag = v < 0 ? -(v + 1) : v;
+    int n = 1;
+    std::int64_t lim = 0; // 2^(n-1) - 1 with n = 1
+    while (mag > lim) {
+        ++n;
+        lim = (std::int64_t{1} << (n - 1)) - 1;
+    }
+    return n;
+}
+
+/** Arithmetic shift right with round-half-away-from-zero semantics. */
+constexpr std::int64_t
+shiftRightRound(std::int64_t v, int shift)
+{
+    if (shift <= 0)
+        return v << -shift;
+    const std::int64_t bias = std::int64_t{1} << (shift - 1);
+    if (v >= 0)
+        return (v + bias) >> shift;
+    return -((-v + bias) >> shift);
+}
+
+/** Clamp v to the signed n-bit range [-2^(n-1), 2^(n-1)-1]. */
+constexpr std::int64_t
+clampSigned(std::int64_t v, int n)
+{
+    const std::int64_t lo = -(std::int64_t{1} << (n - 1));
+    const std::int64_t hi = (std::int64_t{1} << (n - 1)) - 1;
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+} // namespace twq
+
+#endif // TWQ_COMMON_BITS_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Status-message and error helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal()  -- the situation is the caller's fault (bad configuration,
+ *             invalid arguments); exits with code 1.
+ * panic()  -- the situation should never happen (library bug); aborts.
+ * warn()   -- something works but not as well as it should.
+ * inform() -- plain status output.
+ */
+
+#ifndef TWQ_COMMON_LOGGING_HH
+#define TWQ_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace twq
+{
+
+/** Terminate with exit(1) after printing a user-error message. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Abort after printing an internal-error message. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Print an informational message to stdout. */
+void informImpl(const std::string &msg);
+
+namespace detail
+{
+
+/** Fold a list of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace twq
+
+#define twq_fatal(...) \
+    ::twq::fatalImpl(__FILE__, __LINE__, ::twq::detail::concat(__VA_ARGS__))
+
+#define twq_panic(...) \
+    ::twq::panicImpl(__FILE__, __LINE__, ::twq::detail::concat(__VA_ARGS__))
+
+#define twq_warn(...) \
+    ::twq::warnImpl(__FILE__, __LINE__, ::twq::detail::concat(__VA_ARGS__))
+
+#define twq_inform(...) \
+    ::twq::informImpl(::twq::detail::concat(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG builds; failure is a bug. */
+#define twq_assert(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::twq::panicImpl(__FILE__, __LINE__,                           \
+                ::twq::detail::concat("assertion failed: " #cond " ",     \
+                                      ##__VA_ARGS__));                     \
+        }                                                                  \
+    } while (0)
+
+#endif // TWQ_COMMON_LOGGING_HH

@@ -1,0 +1,154 @@
+#include "common/rational.hh"
+
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace twq
+{
+
+namespace
+{
+
+/** Multiply with overflow detection. */
+std::int64_t
+mulChecked(std::int64_t a, std::int64_t b)
+{
+    std::int64_t r;
+    if (__builtin_mul_overflow(a, b, &r))
+        twq_panic("Rational multiply overflow: ", a, " * ", b);
+    return r;
+}
+
+/** Add with overflow detection. */
+std::int64_t
+addChecked(std::int64_t a, std::int64_t b)
+{
+    std::int64_t r;
+    if (__builtin_add_overflow(a, b, &r))
+        twq_panic("Rational add overflow: ", a, " + ", b);
+    return r;
+}
+
+} // namespace
+
+Rational::Rational(std::int64_t n, std::int64_t d)
+{
+    if (d == 0)
+        twq_panic("Rational with zero denominator");
+    if (d < 0) {
+        n = -n;
+        d = -d;
+    }
+    const std::int64_t g = std::gcd(n < 0 ? -n : n, d);
+    num_ = g ? n / g : n;
+    den_ = g ? d / g : d;
+}
+
+bool
+Rational::isPowerOfTwo() const
+{
+    if (num_ == 0)
+        return false;
+    const std::int64_t n = num_ < 0 ? -num_ : num_;
+    // After reduction at most one of n, den_ is > 1.
+    const auto is_pow2 = [](std::int64_t v) {
+        return v > 0 && (v & (v - 1)) == 0;
+    };
+    return is_pow2(n) && is_pow2(den_);
+}
+
+double
+Rational::toDouble() const
+{
+    return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::int64_t
+Rational::toInteger() const
+{
+    if (den_ != 1)
+        twq_panic("Rational ", toString(), " is not an integer");
+    return num_;
+}
+
+std::string
+Rational::toString() const
+{
+    std::ostringstream oss;
+    oss << num_;
+    if (den_ != 1)
+        oss << '/' << den_;
+    return oss.str();
+}
+
+Rational
+Rational::operator-() const
+{
+    Rational r;
+    r.num_ = -num_;
+    r.den_ = den_;
+    return r;
+}
+
+Rational
+Rational::operator+(const Rational &o) const
+{
+    const std::int64_t g = std::gcd(den_, o.den_);
+    const std::int64_t ld = den_ / g;
+    const std::int64_t rd = o.den_ / g;
+    const std::int64_t n =
+        addChecked(mulChecked(num_, rd), mulChecked(o.num_, ld));
+    const std::int64_t d = mulChecked(mulChecked(ld, rd), g);
+    return Rational(n, d);
+}
+
+Rational
+Rational::operator-(const Rational &o) const
+{
+    return *this + (-o);
+}
+
+Rational
+Rational::operator*(const Rational &o) const
+{
+    // Cross-reduce before multiplying to keep intermediates small.
+    const std::int64_t g1 = std::gcd(num_ < 0 ? -num_ : num_, o.den_);
+    const std::int64_t g2 = std::gcd(o.num_ < 0 ? -o.num_ : o.num_, den_);
+    const std::int64_t n = mulChecked(num_ / g1, o.num_ / g2);
+    const std::int64_t d = mulChecked(den_ / g2, o.den_ / g1);
+    return Rational(n, d);
+}
+
+Rational
+Rational::operator/(const Rational &o) const
+{
+    if (o.num_ == 0)
+        twq_panic("Rational division by zero");
+    return *this * Rational(o.den_, o.num_);
+}
+
+std::strong_ordering
+Rational::operator<=>(const Rational &o) const
+{
+    // Compare n1/d1 <=> n2/d2 with positive denominators.
+    const std::int64_t lhs = mulChecked(num_, o.den_);
+    const std::int64_t rhs = mulChecked(o.num_, den_);
+    return lhs <=> rhs;
+}
+
+Rational
+Rational::abs() const
+{
+    return num_ < 0 ? -*this : *this;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Rational &r)
+{
+    return os << r.toString();
+}
+
+} // namespace twq

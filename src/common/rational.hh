@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Exact rational arithmetic used for bit-true Winograd analysis.
+ *
+ * The Winograd transformation matrices contain small rationals
+ * (e.g. -1/6, 1/24); representing them exactly lets the library prove
+ * statements such as "Winograd convolution equals direct convolution"
+ * and "the F4 weight transform needs 10 extra bits" with no rounding.
+ */
+
+#ifndef TWQ_COMMON_RATIONAL_HH
+#define TWQ_COMMON_RATIONAL_HH
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace twq
+{
+
+/**
+ * Reduced fraction of two int64 values, denominator > 0.
+ *
+ * Arithmetic panics on overflow instead of silently wrapping; the
+ * dynamic ranges involved in Winograd F2/F4 analysis fit comfortably
+ * in int64 after reduction.
+ */
+class Rational
+{
+  public:
+    /** Zero. */
+    constexpr Rational() : num_(0), den_(1) {}
+
+    /** Whole number. */
+    constexpr Rational(std::int64_t n) : num_(n), den_(1) {}
+
+    /** Fraction n/d; reduced, sign normalized to the numerator. */
+    Rational(std::int64_t n, std::int64_t d);
+
+    std::int64_t num() const { return num_; }
+    std::int64_t den() const { return den_; }
+
+    /** True when the value is an integer. */
+    bool isInteger() const { return den_ == 1; }
+
+    /** True when the value is zero. */
+    bool isZero() const { return num_ == 0; }
+
+    /**
+     * True when |value| is a power of two (including 2^-k) or zero is
+     * excluded. Useful to verify shift-and-add friendliness of matrix
+     * entries.
+     */
+    bool isPowerOfTwo() const;
+
+    /** Nearest double; exact for all matrix entries used here. */
+    double toDouble() const;
+
+    /** Integer value; panics when not an integer. */
+    std::int64_t toInteger() const;
+
+    /** "n/d" or "n" rendering. */
+    std::string toString() const;
+
+    Rational operator-() const;
+    Rational operator+(const Rational &o) const;
+    Rational operator-(const Rational &o) const;
+    Rational operator*(const Rational &o) const;
+    Rational operator/(const Rational &o) const;
+
+    Rational &operator+=(const Rational &o) { return *this = *this + o; }
+    Rational &operator-=(const Rational &o) { return *this = *this - o; }
+    Rational &operator*=(const Rational &o) { return *this = *this * o; }
+    Rational &operator/=(const Rational &o) { return *this = *this / o; }
+
+    bool operator==(const Rational &o) const = default;
+
+    /** Exact ordering via cross multiplication. */
+    std::strong_ordering operator<=>(const Rational &o) const;
+
+    /** Absolute value. */
+    Rational abs() const;
+
+  private:
+    std::int64_t num_;
+    std::int64_t den_;
+};
+
+std::ostream &operator<<(std::ostream &os, const Rational &r);
+
+} // namespace twq
+
+#endif // TWQ_COMMON_RATIONAL_HH

@@ -1,0 +1,22 @@
+#include "common/rng.hh"
+
+namespace twq
+{
+
+void
+Rng::fillNormal(std::vector<double> &buf, double mean, double stddev)
+{
+    std::normal_distribution<double> dist(mean, stddev);
+    for (auto &v : buf)
+        v = dist(gen_);
+}
+
+void
+Rng::fillNormal(std::vector<float> &buf, float mean, float stddev)
+{
+    std::normal_distribution<float> dist(mean, stddev);
+    for (auto &v : buf)
+        v = dist(gen_);
+}
+
+} // namespace twq

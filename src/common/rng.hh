@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All stochastic pieces of the library (synthetic datasets, weight
+ * initialization, DRAM latency jitter) draw from an explicitly seeded
+ * Rng so experiments are reproducible run-to-run.
+ */
+
+#ifndef TWQ_COMMON_RNG_HH
+#define TWQ_COMMON_RNG_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace twq
+{
+
+/** Seedable wrapper around a 64-bit Mersenne Twister. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed) : gen_(seed) {}
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo = 0.0, double hi = 1.0)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(gen_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+    }
+
+    /** Gaussian sample. */
+    double
+    normal(double mean = 0.0, double stddev = 1.0)
+    {
+        return std::normal_distribution<double>(mean, stddev)(gen_);
+    }
+
+    /** Bernoulli trial. */
+    bool
+    bernoulli(double p)
+    {
+        return std::bernoulli_distribution(p)(gen_);
+    }
+
+    /** Fill a buffer with Gaussian samples. */
+    void fillNormal(std::vector<double> &buf, double mean, double stddev);
+
+    /** Fill a buffer with Gaussian samples (float). */
+    void fillNormal(std::vector<float> &buf, float mean, float stddev);
+
+    /** Underlying engine, for std::shuffle and friends. */
+    std::mt19937_64 &engine() { return gen_; }
+
+  private:
+    std::mt19937_64 gen_;
+};
+
+} // namespace twq
+
+#endif // TWQ_COMMON_RNG_HH

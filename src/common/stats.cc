@@ -1,0 +1,97 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace twq
+{
+
+SampleStats
+computeStats(const std::vector<double> &values)
+{
+    SampleStats s;
+    s.count = values.size();
+    if (values.empty())
+        return s;
+    double sum = 0.0;
+    s.min = values.front();
+    s.max = values.front();
+    for (double v : values) {
+        sum += v;
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+    }
+    s.mean = sum / static_cast<double>(s.count);
+    double sq = 0.0;
+    for (double v : values) {
+        const double d = v - s.mean;
+        sq += d * d;
+    }
+    s.stddev = std::sqrt(sq / static_cast<double>(s.count));
+    return s;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    twq_assert(hi > lo && bins > 0, "degenerate histogram range");
+}
+
+void
+Histogram::add(double v)
+{
+    const double t = (v - lo_) / (hi_ - lo_);
+    auto bin = static_cast<std::ptrdiff_t>(
+        t * static_cast<double>(counts_.size()));
+    bin = std::clamp<std::ptrdiff_t>(
+        bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+}
+
+void
+Histogram::add(const std::vector<double> &vs)
+{
+    for (double v : vs)
+        add(v);
+}
+
+double
+Histogram::density(std::size_t bin) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_[bin]) /
+           static_cast<double>(total_);
+}
+
+double
+Histogram::binCenter(std::size_t bin) const
+{
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + (static_cast<double>(bin) + 0.5) * w;
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::size_t peak = 0;
+    for (auto c : counts_)
+        peak = std::max(peak, c);
+    std::ostringstream oss;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        const auto bar = peak == 0
+            ? std::size_t{0}
+            : counts_[b] * width / peak;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%8.2f | %-6.4f ",
+                      binCenter(b), density(b));
+        oss << buf << std::string(bar, '#') << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace twq

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Descriptive statistics and histogram helpers used by the
+ * quantization-error analyses (Fig. 1 and Fig. 4 of the paper).
+ */
+
+#ifndef TWQ_COMMON_STATS_HH
+#define TWQ_COMMON_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace twq
+{
+
+/** Summary statistics of a sample. */
+struct SampleStats
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/** Compute summary statistics; empty input yields all-zero stats. */
+SampleStats computeStats(const std::vector<double> &values);
+
+/**
+ * Fixed-bin histogram over [lo, hi]; out-of-range samples land in the
+ * first/last bin so mass is conserved.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one sample. */
+    void add(double v);
+
+    /** Add many samples. */
+    void add(const std::vector<double> &vs);
+
+    /** Fraction of total mass in the given bin. */
+    double density(std::size_t bin) const;
+
+    /** Raw count in the given bin. */
+    std::size_t count(std::size_t bin) const { return counts_[bin]; }
+
+    /** Center of the given bin. */
+    double binCenter(std::size_t bin) const;
+
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t total() const { return total_; }
+
+    /**
+     * Render a compact ASCII bar chart; used by the figure benches to
+     * report distributions in text form.
+     */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace twq
+
+#endif // TWQ_COMMON_STATS_HH

@@ -1,0 +1,111 @@
+#include "models/ablation_net.hh"
+
+#include "common/rng.hh"
+#include "nn/conv.hh"
+#include "nn/layers.hh"
+
+namespace twq
+{
+
+const char *
+convKindName(ConvKind k)
+{
+    switch (k) {
+      case ConvKind::Im2col:
+        return "im2col";
+      case ConvKind::WinogradF2:
+        return "F2";
+      case ConvKind::WinogradF4:
+        return "F4";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Build one 3x3 unit-stride conv of the configured kind. */
+LayerPtr
+makeConv3x3(std::size_t cin, std::size_t cout, const AblationConfig &cfg,
+            Rng &rng)
+{
+    if (cfg.kind == ConvKind::Im2col) {
+        return std::make_unique<Conv2d>(cin, cout, ConvParams{3, 1, 1},
+                                        rng, cfg.im2colQuantBits);
+    }
+    WinoConvConfig wc = cfg.wino;
+    wc.variant = cfg.kind == ConvKind::WinogradF2 ? WinoVariant::F2
+                                                  : WinoVariant::F4;
+    return std::make_unique<WinogradConv2d>(cin, cout, wc, rng);
+}
+
+} // namespace
+
+std::unique_ptr<Sequential>
+makeTinyConvNet(const AblationConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    auto net = std::make_unique<Sequential>();
+    const std::size_t c = cfg.channels;
+
+    net->append(makeConv3x3(cfg.imageChannels, c, cfg, rng));
+    net->emplace<BatchNorm2d>(c);
+    net->emplace<ReLU>();
+    net->append(makeConv3x3(c, c, cfg, rng));
+    net->emplace<BatchNorm2d>(c);
+    net->emplace<ReLU>();
+    net->emplace<MaxPool2d>(2);
+    net->append(makeConv3x3(c, 2 * c, cfg, rng));
+    net->emplace<BatchNorm2d>(2 * c);
+    net->emplace<ReLU>();
+    net->emplace<GlobalAvgPool>();
+    net->emplace<Linear>(2 * c, cfg.classes, rng);
+    return net;
+}
+
+std::unique_ptr<Sequential>
+makeMiniResNet(const AblationConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    auto net = std::make_unique<Sequential>();
+    const std::size_t c = cfg.channels;
+
+    // Stem.
+    net->append(makeConv3x3(cfg.imageChannels, c, cfg, rng));
+    net->emplace<BatchNorm2d>(c);
+    net->emplace<ReLU>();
+
+    // Stage 1: one residual block at full resolution.
+    {
+        auto body = std::make_unique<Sequential>();
+        body->append(makeConv3x3(c, c, cfg, rng));
+        body->emplace<BatchNorm2d>(c);
+        body->emplace<ReLU>();
+        body->append(makeConv3x3(c, c, cfg, rng));
+        body->emplace<BatchNorm2d>(c);
+        net->emplace<ResidualBlock>(std::move(body));
+    }
+
+    // Transition: pool + widen.
+    net->emplace<MaxPool2d>(2);
+    net->append(makeConv3x3(c, 2 * c, cfg, rng));
+    net->emplace<BatchNorm2d>(2 * c);
+    net->emplace<ReLU>();
+
+    // Stage 2: one residual block at half resolution.
+    {
+        auto body = std::make_unique<Sequential>();
+        body->append(makeConv3x3(2 * c, 2 * c, cfg, rng));
+        body->emplace<BatchNorm2d>(2 * c);
+        body->emplace<ReLU>();
+        body->append(makeConv3x3(2 * c, 2 * c, cfg, rng));
+        body->emplace<BatchNorm2d>(2 * c);
+        net->emplace<ResidualBlock>(std::move(body));
+    }
+
+    net->emplace<GlobalAvgPool>();
+    net->emplace<Linear>(2 * c, cfg.classes, rng);
+    return net;
+}
+
+} // namespace twq

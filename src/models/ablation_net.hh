@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Trainable models for the Table II / Table III ablations.
+ *
+ * The paper trains ResNet-34/50 on ImageNet and ResNet-20 /
+ * VGG-nagadomi on CIFAR-10; offline we train structurally similar
+ * (conv + BN + ReLU, optional residual blocks) but smaller networks
+ * on the synthetic dataset. All 3x3 unit-stride convolutions use the
+ * selected algorithm (im2col / Winograd F2 / Winograd F4) with the
+ * selected quantization configuration, mirroring how the paper swaps
+ * kernels inside one architecture.
+ */
+
+#ifndef TWQ_MODELS_ABLATION_NET_HH
+#define TWQ_MODELS_ABLATION_NET_HH
+
+#include <memory>
+
+#include "nn/sequential.hh"
+#include "nn/wino_conv.hh"
+
+namespace twq
+{
+
+/** Which convolution algorithm the 3x3 layers run. */
+enum class ConvKind
+{
+    Im2col,
+    WinogradF2,
+    WinogradF4,
+};
+
+const char *convKindName(ConvKind k);
+
+/** Model construction options. */
+struct AblationConfig
+{
+    ConvKind kind = ConvKind::WinogradF4;
+    /// Quantization settings of the Winograd layers (ignored for
+    /// im2col models). The variant field is overridden by `kind`.
+    WinoConvConfig wino;
+    /// Fake-quant bits for im2col models (0 = FP baseline).
+    int im2colQuantBits = 0;
+    std::size_t channels = 8;      ///< width of the first stage
+    std::size_t classes = 10;
+    std::size_t imageChannels = 3;
+    std::uint64_t seed = 5;
+};
+
+/**
+ * Compact VGG-style network: two 3x3 stages with BatchNorm/ReLU, a
+ * 2x2 max-pool between them, global average pooling, and a linear
+ * classifier. The analogue of VGG-nagadomi in the ablations.
+ */
+std::unique_ptr<Sequential> makeTinyConvNet(const AblationConfig &cfg);
+
+/**
+ * Compact residual network: stem conv plus two residual stages, the
+ * analogue of ResNet-20 in the ablations.
+ */
+std::unique_ptr<Sequential> makeMiniResNet(const AblationConfig &cfg);
+
+} // namespace twq
+
+#endif // TWQ_MODELS_ABLATION_NET_HH

@@ -1,0 +1,302 @@
+#include "models/zoo.hh"
+
+namespace twq
+{
+
+double
+ConvLayerDesc::macs() const
+{
+    return static_cast<double>(repeat) * static_cast<double>(cout) *
+           static_cast<double>(cin) * static_cast<double>(kernel) *
+           static_cast<double>(kernel) *
+           static_cast<double>(outHeight()) *
+           static_cast<double>(outWidth());
+}
+
+double
+NetworkDesc::totalMacs() const
+{
+    double sum = 0.0;
+    for (const auto &l : layers)
+        sum += l.macs();
+    return sum;
+}
+
+double
+NetworkDesc::winogradMacs() const
+{
+    double sum = 0.0;
+    for (const auto &l : layers)
+        if (l.winogradEligible())
+            sum += l.macs();
+    return sum;
+}
+
+namespace
+{
+
+ConvLayerDesc
+conv(std::string name, std::size_t cin, std::size_t cout, std::size_t k,
+     std::size_t stride, std::size_t hw, std::size_t repeat = 1)
+{
+    ConvLayerDesc d;
+    d.name = std::move(name);
+    d.cin = cin;
+    d.cout = cout;
+    d.kernel = k;
+    d.stride = stride;
+    d.height = hw;
+    d.width = hw;
+    d.repeat = repeat;
+    return d;
+}
+
+/**
+ * Basic-block ResNet stage: `blocks` blocks of two 3x3 convs, with a
+ * stride-2 entry conv and a 1x1 projection when downsampling.
+ */
+void
+basicStage(NetworkDesc &n, const std::string &tag, std::size_t cin,
+           std::size_t c, std::size_t hw_in, std::size_t blocks,
+           bool downsample)
+{
+    std::size_t hw = hw_in;
+    if (downsample) {
+        n.layers.push_back(conv(tag + ".0.conv1", cin, c, 3, 2, hw_in));
+        n.layers.push_back(
+            conv(tag + ".0.down", cin, c, 1, 2, hw_in));
+        hw = hw_in / 2;
+    } else {
+        n.layers.push_back(conv(tag + ".0.conv1", cin, c, 3, 1, hw));
+    }
+    n.layers.push_back(conv(tag + ".0.conv2", c, c, 3, 1, hw));
+    if (blocks > 1)
+        n.layers.push_back(conv(tag + ".rest", c, c, 3, 1, hw,
+                                2 * (blocks - 1)));
+}
+
+/** Bottleneck ResNet stage (1x1 -> 3x3 -> 1x1 per block). */
+void
+bottleneckStage(NetworkDesc &n, const std::string &tag, std::size_t cin,
+                std::size_t cmid, std::size_t cout, std::size_t hw_in,
+                std::size_t blocks, std::size_t stride)
+{
+    const std::size_t hw = hw_in / stride;
+    // First block projects and maybe downsamples.
+    n.layers.push_back(conv(tag + ".0.c1", cin, cmid, 1, 1, hw_in));
+    n.layers.push_back(conv(tag + ".0.c2", cmid, cmid, 3, stride, hw_in));
+    n.layers.push_back(conv(tag + ".0.c3", cmid, cout, 1, 1, hw));
+    n.layers.push_back(conv(tag + ".0.down", cin, cout, 1, stride, hw_in));
+    if (blocks > 1) {
+        n.layers.push_back(
+            conv(tag + ".rest.c1", cout, cmid, 1, 1, hw, blocks - 1));
+        n.layers.push_back(
+            conv(tag + ".rest.c2", cmid, cmid, 3, 1, hw, blocks - 1));
+        n.layers.push_back(
+            conv(tag + ".rest.c3", cmid, cout, 1, 1, hw, blocks - 1));
+    }
+}
+
+} // namespace
+
+NetworkDesc
+resnet34(std::size_t res)
+{
+    NetworkDesc n;
+    n.name = "ResNet-34";
+    n.inputRes = res;
+    const std::size_t r2 = res / 2;   // after conv1
+    const std::size_t r4 = res / 4;   // after maxpool
+    n.layers.push_back(conv("conv1", 3, 64, 7, 2, res));
+    basicStage(n, "layer1", 64, 64, r4, 3, false);
+    basicStage(n, "layer2", 64, 128, r4, 4, true);
+    basicStage(n, "layer3", 128, 256, r4 / 2, 6, true);
+    basicStage(n, "layer4", 256, 512, r4 / 4, 3, true);
+    (void)r2;
+    return n;
+}
+
+NetworkDesc
+resnet50(std::size_t res)
+{
+    NetworkDesc n;
+    n.name = "ResNet-50";
+    n.inputRes = res;
+    const std::size_t r4 = res / 4;
+    n.layers.push_back(conv("conv1", 3, 64, 7, 2, res));
+    bottleneckStage(n, "layer1", 64, 64, 256, r4, 3, 1);
+    bottleneckStage(n, "layer2", 256, 128, 512, r4, 4, 2);
+    bottleneckStage(n, "layer3", 512, 256, 1024, r4 / 2, 6, 2);
+    bottleneckStage(n, "layer4", 1024, 512, 2048, r4 / 4, 3, 2);
+    return n;
+}
+
+NetworkDesc
+resnet20()
+{
+    NetworkDesc n;
+    n.name = "ResNet-20";
+    n.inputRes = 32;
+    n.layers.push_back(conv("conv1", 3, 16, 3, 1, 32));
+    basicStage(n, "layer1", 16, 16, 32, 3, false);
+    basicStage(n, "layer2", 16, 32, 32, 3, true);
+    basicStage(n, "layer3", 32, 64, 16, 3, true);
+    return n;
+}
+
+NetworkDesc
+vggNagadomi()
+{
+    NetworkDesc n;
+    n.name = "VGG-nagadomi";
+    n.inputRes = 32;
+    n.layers.push_back(conv("conv1_1", 3, 64, 3, 1, 32));
+    n.layers.push_back(conv("conv1_2", 64, 64, 3, 1, 32));
+    n.layers.push_back(conv("conv2_1", 64, 128, 3, 1, 16));
+    n.layers.push_back(conv("conv2_2", 128, 128, 3, 1, 16));
+    n.layers.push_back(conv("conv3", 128, 256, 3, 1, 8, 4));
+    return n;
+}
+
+NetworkDesc
+ssdVgg16(std::size_t res)
+{
+    NetworkDesc n;
+    n.name = "SSD-VGG-16";
+    n.inputRes = res;
+    const std::size_t r = res;
+    n.layers.push_back(conv("vgg1", 3, 64, 3, 1, r));
+    n.layers.push_back(conv("vgg1b", 64, 64, 3, 1, r));
+    n.layers.push_back(conv("vgg2", 64, 128, 3, 1, r / 2));
+    n.layers.push_back(conv("vgg2b", 128, 128, 3, 1, r / 2));
+    n.layers.push_back(conv("vgg3a", 128, 256, 3, 1, r / 4));
+    n.layers.push_back(conv("vgg3", 256, 256, 3, 1, r / 4, 2));
+    n.layers.push_back(conv("vgg4a", 256, 512, 3, 1, r / 8));
+    n.layers.push_back(conv("vgg4", 512, 512, 3, 1, r / 8, 2));
+    n.layers.push_back(conv("vgg5", 512, 512, 3, 1, r / 16, 3));
+    // SSD extra feature layers.
+    n.layers.push_back(conv("conv6", 512, 1024, 3, 1, r / 16));
+    n.layers.push_back(conv("conv7", 1024, 1024, 1, 1, r / 16));
+    n.layers.push_back(conv("extra1a", 1024, 256, 1, 1, r / 16));
+    n.layers.push_back(conv("extra1b", 256, 512, 3, 2, r / 16));
+    n.layers.push_back(conv("extra2a", 512, 128, 1, 1, r / 32));
+    n.layers.push_back(conv("extra2b", 128, 256, 3, 2, r / 32));
+    // Detection heads (3x3 convs over the six feature maps).
+    n.layers.push_back(conv("head38", 512, 84, 3, 1, r / 8));
+    n.layers.push_back(conv("head19", 1024, 126, 3, 1, r / 16));
+    n.layers.push_back(conv("head10", 512, 126, 3, 1, r / 32));
+    return n;
+}
+
+NetworkDesc
+yolov3(std::size_t res)
+{
+    NetworkDesc n;
+    n.name = "YOLOv3";
+    n.inputRes = res;
+    const std::size_t r = res;
+    // Darknet-53 backbone.
+    n.layers.push_back(conv("d0", 3, 32, 3, 1, r));
+    n.layers.push_back(conv("d1", 32, 64, 3, 2, r));
+    n.layers.push_back(conv("b1.a", 64, 32, 1, 1, r / 2));
+    n.layers.push_back(conv("b1.b", 32, 64, 3, 1, r / 2));
+    n.layers.push_back(conv("d2", 64, 128, 3, 2, r / 2));
+    n.layers.push_back(conv("b2.a", 128, 64, 1, 1, r / 4, 2));
+    n.layers.push_back(conv("b2.b", 64, 128, 3, 1, r / 4, 2));
+    n.layers.push_back(conv("d3", 128, 256, 3, 2, r / 4));
+    n.layers.push_back(conv("b3.a", 256, 128, 1, 1, r / 8, 8));
+    n.layers.push_back(conv("b3.b", 128, 256, 3, 1, r / 8, 8));
+    n.layers.push_back(conv("d4", 256, 512, 3, 2, r / 8));
+    n.layers.push_back(conv("b4.a", 512, 256, 1, 1, r / 16, 8));
+    n.layers.push_back(conv("b4.b", 256, 512, 3, 1, r / 16, 8));
+    n.layers.push_back(conv("d5", 512, 1024, 3, 2, r / 16));
+    n.layers.push_back(conv("b5.a", 1024, 512, 1, 1, r / 32, 4));
+    n.layers.push_back(conv("b5.b", 512, 1024, 3, 1, r / 32, 4));
+    // Detection heads.
+    n.layers.push_back(conv("h1.a", 1024, 512, 1, 1, r / 32, 3));
+    n.layers.push_back(conv("h1.b", 512, 1024, 3, 1, r / 32, 3));
+    n.layers.push_back(conv("h2.a", 768, 256, 1, 1, r / 16));
+    n.layers.push_back(conv("h2.a2", 512, 256, 1, 1, r / 16, 2));
+    n.layers.push_back(conv("h2.b", 256, 512, 3, 1, r / 16, 3));
+    n.layers.push_back(conv("h3.a", 384, 128, 1, 1, r / 8));
+    n.layers.push_back(conv("h3.a2", 256, 128, 1, 1, r / 8, 2));
+    n.layers.push_back(conv("h3.b", 128, 256, 3, 1, r / 8, 3));
+    return n;
+}
+
+NetworkDesc
+unet(std::size_t res)
+{
+    NetworkDesc n;
+    n.name = "UNet";
+    n.inputRes = res;
+    const std::size_t r = res;
+    // Encoder.
+    n.layers.push_back(conv("enc1a", 3, 64, 3, 1, r));
+    n.layers.push_back(conv("enc1b", 64, 64, 3, 1, r));
+    n.layers.push_back(conv("enc2a", 64, 128, 3, 1, r / 2));
+    n.layers.push_back(conv("enc2b", 128, 128, 3, 1, r / 2));
+    n.layers.push_back(conv("enc3a", 128, 256, 3, 1, r / 4));
+    n.layers.push_back(conv("enc3b", 256, 256, 3, 1, r / 4));
+    n.layers.push_back(conv("enc4a", 256, 512, 3, 1, r / 8));
+    n.layers.push_back(conv("enc4b", 512, 512, 3, 1, r / 8));
+    n.layers.push_back(conv("enc5a", 512, 1024, 3, 1, r / 16));
+    n.layers.push_back(conv("enc5b", 1024, 1024, 3, 1, r / 16));
+    // Decoder (after up-convolutions, concatenated skip inputs).
+    n.layers.push_back(conv("dec4a", 1024, 512, 3, 1, r / 8));
+    n.layers.push_back(conv("dec4b", 512, 512, 3, 1, r / 8));
+    n.layers.push_back(conv("dec3a", 512, 256, 3, 1, r / 4));
+    n.layers.push_back(conv("dec3b", 256, 256, 3, 1, r / 4));
+    n.layers.push_back(conv("dec2a", 256, 128, 3, 1, r / 2));
+    n.layers.push_back(conv("dec2b", 128, 128, 3, 1, r / 2));
+    n.layers.push_back(conv("dec1a", 128, 64, 3, 1, r));
+    n.layers.push_back(conv("dec1b", 64, 64, 3, 1, r));
+    return n;
+}
+
+NetworkDesc
+retinanetR50(std::size_t res)
+{
+    NetworkDesc n = resnet50(res);
+    n.name = "RetinaNet-R-50";
+    n.inputRes = res;
+    const std::size_t p3 = res / 8;
+    const std::size_t p4 = res / 16;
+    const std::size_t p5 = res / 32;
+    const std::size_t p6 = p5 / 2;
+    const std::size_t p7 = p6 / 2;
+    // FPN lateral and output convs.
+    n.layers.push_back(conv("fpn.lat3", 512, 256, 1, 1, p3));
+    n.layers.push_back(conv("fpn.lat4", 1024, 256, 1, 1, p4));
+    n.layers.push_back(conv("fpn.lat5", 2048, 256, 1, 1, p5));
+    n.layers.push_back(conv("fpn.out3", 256, 256, 3, 1, p3));
+    n.layers.push_back(conv("fpn.out4", 256, 256, 3, 1, p4));
+    n.layers.push_back(conv("fpn.out5", 256, 256, 3, 1, p5));
+    n.layers.push_back(conv("fpn.p6", 2048, 256, 3, 2, p5));
+    n.layers.push_back(conv("fpn.p7", 256, 256, 3, 2, p6));
+    // Classification + box heads: 4 convs each, shared across levels
+    // (run once per level).
+    for (const auto &[tag, hw] :
+         std::vector<std::pair<std::string, std::size_t>>{
+             {"p3", p3}, {"p4", p4}, {"p5", p5}, {"p6", p6},
+             {"p7", p7}}) {
+        n.layers.push_back(
+            conv("head.cls." + tag, 256, 256, 3, 1, hw, 4));
+        n.layers.push_back(
+            conv("head.box." + tag, 256, 256, 3, 1, hw, 4));
+        n.layers.push_back(
+            conv("head.cls.out." + tag, 256, 819, 3, 1, hw));
+        n.layers.push_back(
+            conv("head.box.out." + tag, 256, 36, 3, 1, hw));
+    }
+    return n;
+}
+
+std::vector<NetworkDesc>
+tableSevenNetworks()
+{
+    return {resnet34(), resnet50(), retinanetR50(), ssdVgg16(),
+            unet(), yolov3(256), yolov3(416)};
+}
+
+} // namespace twq

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Layer-shape descriptions of the paper's benchmark networks
+ * (Section V-B1): ResNet-34/50, VGG-nagadomi, ResNet-20,
+ * SSD-VGG-16, YOLOv3, UNet, and RetinaNet-ResNet50-FPN.
+ *
+ * These are pure shape inventories (no weights) consumed by the
+ * accelerator performance model: per layer kernel/stride/channels and
+ * the input resolution at that layer. The inventories follow the
+ * Torchvision implementations the paper uses; minor head/auxiliary
+ * layers that contribute negligible compute are omitted.
+ */
+
+#ifndef TWQ_MODELS_ZOO_HH
+#define TWQ_MODELS_ZOO_HH
+
+#include <string>
+#include <vector>
+
+namespace twq
+{
+
+/** Shape of one convolution layer instance. */
+struct ConvLayerDesc
+{
+    std::string name;
+    std::size_t cin = 0;
+    std::size_t cout = 0;
+    std::size_t kernel = 3;
+    std::size_t stride = 1;
+    std::size_t height = 0;  ///< input height at this layer
+    std::size_t width = 0;   ///< input width at this layer
+    std::size_t repeat = 1;  ///< number of identical instances
+
+    /** Output spatial size ("same" padding semantics). */
+    std::size_t outHeight() const { return (height + stride - 1) / stride; }
+    std::size_t outWidth() const { return (width + stride - 1) / stride; }
+
+    /** MACs of one instance for one image. */
+    double macs() const;
+
+    /** Eligible for the Winograd path (3x3, stride 1)? */
+    bool
+    winogradEligible() const
+    {
+        return kernel == 3 && stride == 1;
+    }
+};
+
+/** A network as a list of conv layers. */
+struct NetworkDesc
+{
+    std::string name;
+    std::size_t inputRes = 224;
+    std::vector<ConvLayerDesc> layers;
+
+    double totalMacs() const;
+    double winogradMacs() const;
+};
+
+/** ImageNet classification backbones. */
+NetworkDesc resnet34(std::size_t res = 224);
+NetworkDesc resnet50(std::size_t res = 224);
+
+/** CIFAR-10 networks used in Table III. */
+NetworkDesc resnet20();
+NetworkDesc vggNagadomi();
+
+/** Detection / segmentation networks. */
+NetworkDesc ssdVgg16(std::size_t res = 300);
+NetworkDesc yolov3(std::size_t res = 416);
+NetworkDesc unet(std::size_t res = 572);
+NetworkDesc retinanetR50(std::size_t res = 800);
+
+/** The seven networks of the Table VII evaluation. */
+std::vector<NetworkDesc> tableSevenNetworks();
+
+} // namespace twq
+
+#endif // TWQ_MODELS_ZOO_HH

@@ -1,0 +1,187 @@
+#include "nn/conv.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "quant/quantizer.hh"
+
+namespace twq
+{
+
+template <typename T>
+void
+col2im(const Matrix<T> &cols, Tensor<T> &image, std::size_t n,
+       const ConvParams &p)
+{
+    const std::size_t c = image.dim(1);
+    const std::size_t h = image.dim(2);
+    const std::size_t w = image.dim(3);
+    const std::size_t ho = p.outSize(h);
+    const std::size_t wo = p.outSize(w);
+    const std::size_t k = p.kernel;
+    twq_assert(cols.rows() == c * k * k && cols.cols() == ho * wo,
+               "col2im shape mismatch");
+
+    for (std::size_t ic = 0; ic < c; ++ic) {
+        for (std::size_t ky = 0; ky < k; ++ky) {
+            for (std::size_t kx = 0; kx < k; ++kx) {
+                const std::size_t row = (ic * k + ky) * k + kx;
+                for (std::size_t oy = 0; oy < ho; ++oy) {
+                    for (std::size_t ox = 0; ox < wo; ++ox) {
+                        const std::ptrdiff_t iy =
+                            static_cast<std::ptrdiff_t>(oy * p.stride + ky)
+                            - static_cast<std::ptrdiff_t>(p.pad);
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(ox * p.stride + kx)
+                            - static_cast<std::ptrdiff_t>(p.pad);
+                        if (iy < 0 || ix < 0 ||
+                            iy >= static_cast<std::ptrdiff_t>(h) ||
+                            ix >= static_cast<std::ptrdiff_t>(w))
+                            continue;
+                        image.at(n, ic, static_cast<std::size_t>(iy),
+                                 static_cast<std::size_t>(ix)) +=
+                            cols(row, oy * wo + ox);
+                    }
+                }
+            }
+        }
+    }
+}
+
+template void col2im(const Matrix<double> &, Tensor<double> &, std::size_t,
+                     const ConvParams &);
+
+Conv2d::Conv2d(std::size_t cin, std::size_t cout, ConvParams p, Rng &rng,
+               int quant_bits)
+    : cin_(cin), cout_(cout), p_(p), quantBits_(quant_bits),
+      w_({cout, cin, p.kernel, p.kernel}, "conv.w")
+{
+    const double std = std::sqrt(
+        2.0 / static_cast<double>(cin * p.kernel * p.kernel));
+    for (std::size_t i = 0; i < w_.value.numel(); ++i)
+        w_.value[i] = rng.normal(0.0, std);
+}
+
+TensorD
+Conv2d::forward(const TensorD &x, bool train)
+{
+    twq_assert(x.dim(1) == cin_, "Conv2d channel mismatch");
+    if (quantBits_ <= 0) {
+        if (train)
+            x_ = x;
+        return conv2dIm2col(x, w_.value, p_);
+    }
+
+    // --- spatial int-n fake quantization of activations ---
+    if (train) {
+        double mx = 0.0;
+        for (std::size_t i = 0; i < x.numel(); ++i)
+            mx = std::max(mx, std::abs(x[i]));
+        if (!xcal_seeded_) {
+            xcal_ = mx;
+            xcal_seeded_ = true;
+        } else {
+            xcal_ = 0.9 * xcal_ + 0.1 * mx;
+        }
+    }
+    const double sx = scaleForMax(xcal_seeded_ ? xcal_ : 1.0,
+                                  quantBits_);
+    TensorD xq(x.shape());
+    if (train)
+        x_mask_ = TensorD(x.shape());
+    const double lo = static_cast<double>(quantMin(quantBits_));
+    const double hi = static_cast<double>(quantMax(quantBits_));
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+        const double r = std::nearbyint(x[i] / sx);
+        const bool inside = r >= lo && r <= hi;
+        xq[i] = sx * std::clamp(r, lo, hi);
+        if (train)
+            x_mask_[i] = inside ? 1.0 : 0.0;
+    }
+
+    // --- weight fake quantization (per-layer max) ---
+    double wmax = 0.0;
+    for (std::size_t i = 0; i < w_.value.numel(); ++i)
+        wmax = std::max(wmax, std::abs(w_.value[i]));
+    const double sw = scaleForMax(wmax, quantBits_);
+    w_eff_ = TensorD(w_.value.shape());
+    if (train)
+        w_mask_ = TensorD(w_.value.shape());
+    for (std::size_t i = 0; i < w_.value.numel(); ++i) {
+        const double r = std::nearbyint(w_.value[i] / sw);
+        const bool inside = r >= lo && r <= hi;
+        w_eff_[i] = sw * std::clamp(r, lo, hi);
+        if (train)
+            w_mask_[i] = inside ? 1.0 : 0.0;
+    }
+
+    if (train)
+        x_ = xq;
+    return conv2dIm2col(xq, w_eff_, p_);
+}
+
+TensorD
+Conv2d::backward(const TensorD &grad_out)
+{
+    const std::size_t n = x_.dim(0);
+    const std::size_t k = p_.kernel;
+    const std::size_t ho = grad_out.dim(2);
+    const std::size_t wo = grad_out.dim(3);
+    const bool q = quantBits_ > 0;
+    const TensorD &w_used = q ? w_eff_ : w_.value;
+
+    TensorD gin(x_.shape());
+    TensorD dw_total(w_.value.shape());
+    // Flattened weight view [Cout, Cin*K*K].
+    MatrixD wmat(cout_, cin_ * k * k);
+    for (std::size_t oc = 0; oc < cout_; ++oc)
+        for (std::size_t ic = 0; ic < cin_; ++ic)
+            for (std::size_t ky = 0; ky < k; ++ky)
+                for (std::size_t kx = 0; kx < k; ++kx)
+                    wmat(oc, (ic * k + ky) * k + kx) =
+                        w_used.at(oc, ic, ky, kx);
+
+    for (std::size_t in = 0; in < n; ++in) {
+        // dOut as a [Cout, HoWo] matrix.
+        MatrixD dy(cout_, ho * wo);
+        for (std::size_t oc = 0; oc < cout_; ++oc)
+            for (std::size_t oy = 0; oy < ho; ++oy)
+                for (std::size_t ox = 0; ox < wo; ++ox)
+                    dy(oc, oy * wo + ox) = grad_out.at(in, oc, oy, ox);
+
+        const MatrixD cols = im2col(x_, in, p_);
+        // dW += dY * cols^T.
+        const MatrixD dw = matmul(dy, cols.transposed());
+        for (std::size_t oc = 0; oc < cout_; ++oc)
+            for (std::size_t ic = 0; ic < cin_; ++ic)
+                for (std::size_t ky = 0; ky < k; ++ky)
+                    for (std::size_t kx = 0; kx < k; ++kx)
+                        dw_total.at(oc, ic, ky, kx) +=
+                            dw(oc, (ic * k + ky) * k + kx);
+
+        // dX = col2im(W^T * dY).
+        const MatrixD dcols = matmul(wmat.transposed(), dy);
+        col2im(dcols, gin, in, p_);
+    }
+
+    // Straight-through estimators for the fake quantizers.
+    if (q) {
+        for (std::size_t i = 0; i < dw_total.numel(); ++i)
+            dw_total[i] *= w_mask_[i];
+        for (std::size_t i = 0; i < gin.numel(); ++i)
+            gin[i] *= x_mask_[i];
+    }
+    for (std::size_t i = 0; i < dw_total.numel(); ++i)
+        w_.grad[i] += dw_total[i];
+    return gin;
+}
+
+std::vector<Param *>
+Conv2d::params()
+{
+    return {&w_};
+}
+
+} // namespace twq

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Trainable im2col convolution layer (the baseline algorithm).
+ */
+
+#ifndef TWQ_NN_CONV_HH
+#define TWQ_NN_CONV_HH
+
+#include "nn/layer.hh"
+#include "tensor/im2col.hh"
+
+namespace twq
+{
+
+class Rng;
+
+/**
+ * 2D convolution trained via im2col + matmul; supports arbitrary
+ * kernel/stride/pad (used for the non-Winograd layers: 1x1, strided,
+ * and the im2col baseline rows of Table II).
+ */
+class Conv2d : public Layer
+{
+  public:
+    /**
+     * @param quant_bits 0 disables quantization; otherwise weights
+     *                   and input activations are fake-quantized to
+     *                   this bitwidth in the spatial domain (the
+     *                   "im2col int8" baseline of Table II) with
+     *                   straight-through gradients.
+     */
+    Conv2d(std::size_t cin, std::size_t cout, ConvParams p, Rng &rng,
+           int quant_bits = 0);
+
+    TensorD forward(const TensorD &x, bool train) override;
+    TensorD backward(const TensorD &grad_out) override;
+    std::vector<Param *> params() override;
+    std::string name() const override { return "Conv2d"; }
+
+    Param &weight() { return w_; }
+    const ConvParams &convParams() const { return p_; }
+
+  private:
+    std::size_t cin_;
+    std::size_t cout_;
+    ConvParams p_;
+    int quantBits_;
+    Param w_; ///< [Cout, Cin, K, K]
+    TensorD x_;        ///< (possibly fake-quantized) forward input
+    TensorD x_mask_;   ///< STE mask for activation quantization
+    TensorD w_mask_;   ///< STE mask for weight quantization
+    TensorD w_eff_;    ///< weights used in the forward pass
+    double xcal_ = 0.0; ///< EMA of activation absmax
+    bool xcal_seeded_ = false;
+};
+
+/** Scatter-add a column matrix back to an image (inverse of im2col). */
+template <typename T>
+void col2im(const Matrix<T> &cols, Tensor<T> &image, std::size_t n,
+            const ConvParams &p);
+
+extern template void col2im(const Matrix<double> &, Tensor<double> &,
+                            std::size_t, const ConvParams &);
+
+} // namespace twq
+
+#endif // TWQ_NN_CONV_HH

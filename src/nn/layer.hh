@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal layer-based training framework.
+ *
+ * The library needs just enough autodiff to reproduce the paper's
+ * Winograd-aware training ablation (Table II): forward/backward per
+ * layer with explicitly managed parameters. No graph engine; layers
+ * cache what their backward pass needs.
+ */
+
+#ifndef TWQ_NN_LAYER_HH
+#define TWQ_NN_LAYER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace twq
+{
+
+/** A trainable parameter: value plus accumulated gradient. */
+struct Param
+{
+    TensorD value;
+    TensorD grad;
+    /// Parameters flagged `useAdam` are stepped by the Adam side of
+    /// the optimizer (the paper trains log2 thresholds with Adam and
+    /// everything else with SGD).
+    bool useAdam = false;
+    std::string name;
+
+    explicit Param(Shape shape, std::string n = {})
+        : value(shape), grad(std::move(shape)), name(std::move(n))
+    {}
+
+    void
+    zeroGrad()
+    {
+        grad.fill(0.0);
+    }
+};
+
+/** Base class for all layers. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /**
+     * Forward pass.
+     * @param x     input activations (NCHW or [N, F]).
+     * @param train true during training (enables batch statistics,
+     *              caching for backward, quantizer calibration).
+     */
+    virtual TensorD forward(const TensorD &x, bool train) = 0;
+
+    /**
+     * Backward pass for the most recent training forward; returns
+     * the gradient with respect to the input and accumulates
+     * parameter gradients.
+     */
+    virtual TensorD backward(const TensorD &grad_out) = 0;
+
+    /** Trainable parameters (may be empty). */
+    virtual std::vector<Param *>
+    params()
+    {
+        return {};
+    }
+
+    /** Human-readable layer name for debugging. */
+    virtual std::string name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+} // namespace twq
+
+#endif // TWQ_NN_LAYER_HH

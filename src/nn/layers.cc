@@ -1,0 +1,302 @@
+#include "nn/layers.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace twq
+{
+
+// ---------------------------------------------------------------- ReLU
+
+TensorD
+ReLU::forward(const TensorD &x, bool train)
+{
+    TensorD out(x.shape());
+    if (train)
+        mask_ = TensorD(x.shape());
+    for (std::size_t i = 0; i < x.numel(); ++i) {
+        const bool pos = x[i] > 0.0;
+        out[i] = pos ? x[i] : 0.0;
+        if (train)
+            mask_[i] = pos ? 1.0 : 0.0;
+    }
+    return out;
+}
+
+TensorD
+ReLU::backward(const TensorD &grad_out)
+{
+    twq_assert(grad_out.shape() == mask_.shape(),
+               "ReLU backward shape mismatch");
+    TensorD gin(grad_out.shape());
+    for (std::size_t i = 0; i < gin.numel(); ++i)
+        gin[i] = grad_out[i] * mask_[i];
+    return gin;
+}
+
+// ---------------------------------------------------------- BatchNorm2d
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, double momentum, double eps)
+    : channels_(channels), momentum_(momentum), eps_(eps),
+      gamma_({channels}, "bn.gamma"), beta_({channels}, "bn.beta"),
+      rmean_(channels, 0.0), rvar_(channels, 1.0)
+{
+    gamma_.value.fill(1.0);
+}
+
+TensorD
+BatchNorm2d::forward(const TensorD &x, bool train)
+{
+    twq_assert(x.rank() == 4 && x.dim(1) == channels_,
+               "BatchNorm2d expects NCHW with matching channels");
+    const std::size_t n = x.dim(0);
+    const std::size_t h = x.dim(2);
+    const std::size_t w = x.dim(3);
+    const double count = static_cast<double>(n * h * w);
+
+    TensorD out(x.shape());
+    if (train) {
+        xhat_ = TensorD(x.shape());
+        batch_std_.assign(channels_, 1.0);
+    }
+
+    for (std::size_t c = 0; c < channels_; ++c) {
+        double mean, var;
+        if (train) {
+            double sum = 0.0;
+            for (std::size_t in = 0; in < n; ++in)
+                for (std::size_t y = 0; y < h; ++y)
+                    for (std::size_t xx = 0; xx < w; ++xx)
+                        sum += x.at(in, c, y, xx);
+            mean = sum / count;
+            double sq = 0.0;
+            for (std::size_t in = 0; in < n; ++in) {
+                for (std::size_t y = 0; y < h; ++y) {
+                    for (std::size_t xx = 0; xx < w; ++xx) {
+                        const double d = x.at(in, c, y, xx) - mean;
+                        sq += d * d;
+                    }
+                }
+            }
+            var = sq / count;
+            rmean_[c] = momentum_ * rmean_[c] + (1.0 - momentum_) * mean;
+            rvar_[c] = momentum_ * rvar_[c] + (1.0 - momentum_) * var;
+        } else {
+            mean = rmean_[c];
+            var = rvar_[c];
+        }
+        const double inv_std = 1.0 / std::sqrt(var + eps_);
+        if (train)
+            batch_std_[c] = 1.0 / inv_std;
+        const double g = gamma_.value[c];
+        const double b = beta_.value[c];
+        for (std::size_t in = 0; in < n; ++in) {
+            for (std::size_t y = 0; y < h; ++y) {
+                for (std::size_t xx = 0; xx < w; ++xx) {
+                    const double xh =
+                        (x.at(in, c, y, xx) - mean) * inv_std;
+                    if (train)
+                        xhat_.at(in, c, y, xx) = xh;
+                    out.at(in, c, y, xx) = g * xh + b;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+TensorD
+BatchNorm2d::backward(const TensorD &grad_out)
+{
+    const std::size_t n = grad_out.dim(0);
+    const std::size_t h = grad_out.dim(2);
+    const std::size_t w = grad_out.dim(3);
+    const double count = static_cast<double>(n * h * w);
+
+    TensorD gin(grad_out.shape());
+    for (std::size_t c = 0; c < channels_; ++c) {
+        double sum_dy = 0.0, sum_dy_xhat = 0.0;
+        for (std::size_t in = 0; in < n; ++in) {
+            for (std::size_t y = 0; y < h; ++y) {
+                for (std::size_t xx = 0; xx < w; ++xx) {
+                    const double dy = grad_out.at(in, c, y, xx);
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * xhat_.at(in, c, y, xx);
+                }
+            }
+        }
+        gamma_.grad[c] += sum_dy_xhat;
+        beta_.grad[c] += sum_dy;
+
+        const double g = gamma_.value[c];
+        const double inv_std = 1.0 / batch_std_[c];
+        for (std::size_t in = 0; in < n; ++in) {
+            for (std::size_t y = 0; y < h; ++y) {
+                for (std::size_t xx = 0; xx < w; ++xx) {
+                    const double dy = grad_out.at(in, c, y, xx);
+                    const double xh = xhat_.at(in, c, y, xx);
+                    gin.at(in, c, y, xx) = g * inv_std *
+                        (dy - sum_dy / count - xh * sum_dy_xhat / count);
+                }
+            }
+        }
+    }
+    return gin;
+}
+
+std::vector<Param *>
+BatchNorm2d::params()
+{
+    return {&gamma_, &beta_};
+}
+
+// ------------------------------------------------------------ MaxPool2d
+
+TensorD
+MaxPool2d::forward(const TensorD &x, bool train)
+{
+    twq_assert(x.rank() == 4, "MaxPool2d expects NCHW");
+    const std::size_t n = x.dim(0);
+    const std::size_t c = x.dim(1);
+    const std::size_t h = x.dim(2);
+    const std::size_t w = x.dim(3);
+    const std::size_t ho = h / window_;
+    const std::size_t wo = w / window_;
+    in_shape_ = x.shape();
+
+    TensorD out({n, c, ho, wo});
+    if (train)
+        argmax_.assign(out.numel(), 0);
+    std::size_t oi = 0;
+    for (std::size_t in = 0; in < n; ++in) {
+        for (std::size_t ic = 0; ic < c; ++ic) {
+            for (std::size_t oy = 0; oy < ho; ++oy) {
+                for (std::size_t ox = 0; ox < wo; ++ox, ++oi) {
+                    double best = -1e300;
+                    std::size_t best_idx = 0;
+                    for (std::size_t dy = 0; dy < window_; ++dy) {
+                        for (std::size_t dx = 0; dx < window_; ++dx) {
+                            const std::size_t iy = oy * window_ + dy;
+                            const std::size_t ix = ox * window_ + dx;
+                            const double v = x.at(in, ic, iy, ix);
+                            if (v > best) {
+                                best = v;
+                                best_idx =
+                                    ((in * c + ic) * h + iy) * w + ix;
+                            }
+                        }
+                    }
+                    out[oi] = best;
+                    if (train)
+                        argmax_[oi] = best_idx;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+TensorD
+MaxPool2d::backward(const TensorD &grad_out)
+{
+    TensorD gin(in_shape_);
+    for (std::size_t i = 0; i < grad_out.numel(); ++i)
+        gin[argmax_[i]] += grad_out[i];
+    return gin;
+}
+
+// -------------------------------------------------------- GlobalAvgPool
+
+TensorD
+GlobalAvgPool::forward(const TensorD &x, bool)
+{
+    twq_assert(x.rank() == 4, "GlobalAvgPool expects NCHW");
+    in_shape_ = x.shape();
+    const std::size_t n = x.dim(0);
+    const std::size_t c = x.dim(1);
+    const std::size_t hw = x.dim(2) * x.dim(3);
+    TensorD out({n, c});
+    for (std::size_t in = 0; in < n; ++in) {
+        for (std::size_t ic = 0; ic < c; ++ic) {
+            double sum = 0.0;
+            for (std::size_t i = 0; i < hw; ++i)
+                sum += x[(in * c + ic) * hw + i];
+            out.at(in, ic) = sum / static_cast<double>(hw);
+        }
+    }
+    return out;
+}
+
+TensorD
+GlobalAvgPool::backward(const TensorD &grad_out)
+{
+    TensorD gin(in_shape_);
+    const std::size_t n = in_shape_[0];
+    const std::size_t c = in_shape_[1];
+    const std::size_t hw = in_shape_[2] * in_shape_[3];
+    for (std::size_t in = 0; in < n; ++in)
+        for (std::size_t ic = 0; ic < c; ++ic)
+            for (std::size_t i = 0; i < hw; ++i)
+                gin[(in * c + ic) * hw + i] =
+                    grad_out.at(in, ic) / static_cast<double>(hw);
+    return gin;
+}
+
+// --------------------------------------------------------------- Linear
+
+Linear::Linear(std::size_t in, std::size_t out, Rng &rng)
+    : in_(in), out_(out), w_({out, in}, "linear.w"), b_({out}, "linear.b")
+{
+    // He initialization.
+    const double std = std::sqrt(2.0 / static_cast<double>(in));
+    for (std::size_t i = 0; i < w_.value.numel(); ++i)
+        w_.value[i] = rng.normal(0.0, std);
+}
+
+TensorD
+Linear::forward(const TensorD &x, bool train)
+{
+    twq_assert(x.rank() == 2 && x.dim(1) == in_,
+               "Linear expects [N, in]");
+    const std::size_t n = x.dim(0);
+    if (train)
+        x_ = x;
+    TensorD out({n, out_});
+    for (std::size_t in = 0; in < n; ++in) {
+        for (std::size_t o = 0; o < out_; ++o) {
+            double acc = b_.value[o];
+            for (std::size_t i = 0; i < in_; ++i)
+                acc += w_.value.at(o, i) * x.at(in, i);
+            out.at(in, o) = acc;
+        }
+    }
+    return out;
+}
+
+TensorD
+Linear::backward(const TensorD &grad_out)
+{
+    const std::size_t n = grad_out.dim(0);
+    TensorD gin({n, in_});
+    for (std::size_t in = 0; in < n; ++in) {
+        for (std::size_t o = 0; o < out_; ++o) {
+            const double dy = grad_out.at(in, o);
+            b_.grad[o] += dy;
+            for (std::size_t i = 0; i < in_; ++i) {
+                w_.grad.at(o, i) += dy * x_.at(in, i);
+                gin.at(in, i) += dy * w_.value.at(o, i);
+            }
+        }
+    }
+    return gin;
+}
+
+std::vector<Param *>
+Linear::params()
+{
+    return {&w_, &b_};
+}
+
+} // namespace twq

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Standard layers: ReLU, BatchNorm2d, MaxPool2d, GlobalAvgPool,
+ * Linear, and Flatten.
+ */
+
+#ifndef TWQ_NN_LAYERS_HH
+#define TWQ_NN_LAYERS_HH
+
+#include "nn/layer.hh"
+
+namespace twq
+{
+
+class Rng;
+
+/** Elementwise rectified linear unit. */
+class ReLU : public Layer
+{
+  public:
+    TensorD forward(const TensorD &x, bool train) override;
+    TensorD backward(const TensorD &grad_out) override;
+    std::string name() const override { return "ReLU"; }
+
+  private:
+    TensorD mask_;
+};
+
+/** 2D batch normalization over NCHW activations. */
+class BatchNorm2d : public Layer
+{
+  public:
+    explicit BatchNorm2d(std::size_t channels, double momentum = 0.9,
+                         double eps = 1e-5);
+
+    TensorD forward(const TensorD &x, bool train) override;
+    TensorD backward(const TensorD &grad_out) override;
+    std::vector<Param *> params() override;
+    std::string name() const override { return "BatchNorm2d"; }
+
+    const std::vector<double> &runningMean() const { return rmean_; }
+    const std::vector<double> &runningVar() const { return rvar_; }
+
+  private:
+    std::size_t channels_;
+    double momentum_;
+    double eps_;
+    Param gamma_;
+    Param beta_;
+    std::vector<double> rmean_;
+    std::vector<double> rvar_;
+    // Cached activations for backward.
+    TensorD xhat_;
+    std::vector<double> batch_std_;
+};
+
+/** Non-overlapping 2x2 max pooling. */
+class MaxPool2d : public Layer
+{
+  public:
+    explicit MaxPool2d(std::size_t window = 2) : window_(window) {}
+
+    TensorD forward(const TensorD &x, bool train) override;
+    TensorD backward(const TensorD &grad_out) override;
+    std::string name() const override { return "MaxPool2d"; }
+
+  private:
+    std::size_t window_;
+    Shape in_shape_;
+    std::vector<std::size_t> argmax_;
+};
+
+/** Global average pooling NCHW -> [N, C]. */
+class GlobalAvgPool : public Layer
+{
+  public:
+    TensorD forward(const TensorD &x, bool train) override;
+    TensorD backward(const TensorD &grad_out) override;
+    std::string name() const override { return "GlobalAvgPool"; }
+
+  private:
+    Shape in_shape_;
+};
+
+/** Fully connected layer [N, in] -> [N, out] with bias. */
+class Linear : public Layer
+{
+  public:
+    Linear(std::size_t in, std::size_t out, Rng &rng);
+
+    TensorD forward(const TensorD &x, bool train) override;
+    TensorD backward(const TensorD &grad_out) override;
+    std::vector<Param *> params() override;
+    std::string name() const override { return "Linear"; }
+
+    Param &weight() { return w_; }
+
+  private:
+    std::size_t in_;
+    std::size_t out_;
+    Param w_; ///< [out, in]
+    Param b_; ///< [out]
+    TensorD x_;
+};
+
+} // namespace twq
+
+#endif // TWQ_NN_LAYERS_HH

@@ -1,0 +1,123 @@
+#include "nn/loss.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace twq
+{
+
+TensorD
+softmax(const TensorD &logits, double temperature)
+{
+    twq_assert(logits.rank() == 2, "softmax expects [N, C]");
+    const std::size_t n = logits.dim(0);
+    const std::size_t c = logits.dim(1);
+    TensorD out(logits.shape());
+    for (std::size_t i = 0; i < n; ++i) {
+        double mx = -1e300;
+        for (std::size_t j = 0; j < c; ++j)
+            mx = std::max(mx, logits.at(i, j) / temperature);
+        double sum = 0.0;
+        for (std::size_t j = 0; j < c; ++j) {
+            const double e =
+                std::exp(logits.at(i, j) / temperature - mx);
+            out.at(i, j) = e;
+            sum += e;
+        }
+        for (std::size_t j = 0; j < c; ++j)
+            out.at(i, j) /= sum;
+    }
+    return out;
+}
+
+LossResult
+crossEntropy(const TensorD &logits, const std::vector<int> &labels)
+{
+    const std::size_t n = logits.dim(0);
+    const std::size_t c = logits.dim(1);
+    twq_assert(labels.size() == n, "label count mismatch");
+    const TensorD probs = softmax(logits);
+    LossResult r;
+    r.gradLogits = TensorD(logits.shape());
+    for (std::size_t i = 0; i < n; ++i) {
+        const int y = labels[i];
+        twq_assert(y >= 0 && static_cast<std::size_t>(y) < c,
+                   "label out of range");
+        r.loss -= std::log(std::max(probs.at(i, y), 1e-30));
+        for (std::size_t j = 0; j < c; ++j) {
+            const double ind = static_cast<int>(j) == y ? 1.0 : 0.0;
+            r.gradLogits.at(i, j) =
+                (probs.at(i, j) - ind) / static_cast<double>(n);
+        }
+    }
+    r.loss /= static_cast<double>(n);
+    return r;
+}
+
+LossResult
+kdLoss(const TensorD &student_logits, const TensorD &teacher_logits,
+       double temperature)
+{
+    twq_assert(student_logits.shape() == teacher_logits.shape(),
+               "student/teacher shape mismatch");
+    const std::size_t n = student_logits.dim(0);
+    const std::size_t c = student_logits.dim(1);
+    const TensorD ps = softmax(student_logits, temperature);
+    const TensorD pt = softmax(teacher_logits, temperature);
+
+    LossResult r;
+    r.gradLogits = TensorD(student_logits.shape());
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < c; ++j) {
+            const double t = pt.at(i, j);
+            const double s = std::max(ps.at(i, j), 1e-30);
+            r.loss += t * (std::log(std::max(t, 1e-30)) - std::log(s));
+            // d/d z_s of T^2 KL = T (p_s - p_t); averaged over batch.
+            r.gradLogits.at(i, j) = temperature *
+                (ps.at(i, j) - t) / static_cast<double>(n);
+        }
+    }
+    r.loss *= temperature * temperature / static_cast<double>(n);
+    return r;
+}
+
+LossResult
+combinedLoss(const TensorD &student_logits, const std::vector<int> &labels,
+             const TensorD &teacher_logits, double temperature,
+             double alpha)
+{
+    LossResult ce = crossEntropy(student_logits, labels);
+    if (alpha >= 1.0)
+        return ce;
+    const LossResult kd =
+        kdLoss(student_logits, teacher_logits, temperature);
+    LossResult r;
+    r.loss = alpha * ce.loss + (1.0 - alpha) * kd.loss;
+    r.gradLogits = TensorD(student_logits.shape());
+    for (std::size_t i = 0; i < r.gradLogits.numel(); ++i)
+        r.gradLogits[i] = alpha * ce.gradLogits[i] +
+                          (1.0 - alpha) * kd.gradLogits[i];
+    return r;
+}
+
+double
+accuracy(const TensorD &logits, const std::vector<int> &labels)
+{
+    const std::size_t n = logits.dim(0);
+    const std::size_t c = logits.dim(1);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t best = 0;
+        for (std::size_t j = 1; j < c; ++j)
+            if (logits.at(i, j) > logits.at(i, best))
+                best = j;
+        if (static_cast<int>(best) == labels[i])
+            ++correct;
+    }
+    return n ? static_cast<double>(correct) / static_cast<double>(n)
+             : 0.0;
+}
+
+} // namespace twq

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Losses: softmax cross-entropy for supervised training and the
+ * knowledge-distillation loss (tempered softmax + Kullback-Leibler
+ * divergence) used to stabilize the quantized student (Section III-B).
+ */
+
+#ifndef TWQ_NN_LOSS_HH
+#define TWQ_NN_LOSS_HH
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace twq
+{
+
+/** Row-wise softmax of [N, C] logits with optional temperature. */
+TensorD softmax(const TensorD &logits, double temperature = 1.0);
+
+/** Loss value plus the gradient with respect to the logits. */
+struct LossResult
+{
+    double loss = 0.0;
+    TensorD gradLogits;
+};
+
+/** Mean softmax cross-entropy against integer class labels. */
+LossResult crossEntropy(const TensorD &logits,
+                        const std::vector<int> &labels);
+
+/**
+ * Knowledge-distillation loss:
+ * T^2 * KL(softmax(teacher/T) || softmax(student/T)), the standard
+ * Hinton formulation. Gradient is with respect to the student logits.
+ */
+LossResult kdLoss(const TensorD &student_logits,
+                  const TensorD &teacher_logits, double temperature);
+
+/**
+ * Combined training loss alpha * CE + (1 - alpha) * KD; alpha = 1
+ * disables distillation.
+ */
+LossResult combinedLoss(const TensorD &student_logits,
+                        const std::vector<int> &labels,
+                        const TensorD &teacher_logits,
+                        double temperature, double alpha);
+
+/** Top-1 accuracy of logits against labels, in [0, 1]. */
+double accuracy(const TensorD &logits, const std::vector<int> &labels);
+
+} // namespace twq
+
+#endif // TWQ_NN_LOSS_HH

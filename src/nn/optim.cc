@@ -1,0 +1,53 @@
+#include "nn/optim.hh"
+
+#include <cmath>
+
+namespace twq
+{
+
+void
+Sgd::step(Param &p)
+{
+    auto &vel = velocity_[&p];
+    if (vel.empty())
+        vel.assign(p.value.numel(), 0.0);
+    for (std::size_t i = 0; i < p.value.numel(); ++i) {
+        vel[i] = momentum_ * vel[i] + p.grad[i];
+        p.value[i] -= lr_ * vel[i];
+    }
+}
+
+void
+Adam::step(Param &p)
+{
+    auto &st = state_[&p];
+    if (st.m.empty()) {
+        st.m.assign(p.value.numel(), 0.0);
+        st.v.assign(p.value.numel(), 0.0);
+    }
+    ++st.t;
+    const double bc1 = 1.0 - std::pow(beta1_, st.t);
+    const double bc2 = 1.0 - std::pow(beta2_, st.t);
+    for (std::size_t i = 0; i < p.value.numel(); ++i) {
+        const double g = p.grad[i];
+        st.m[i] = beta1_ * st.m[i] + (1.0 - beta1_) * g;
+        st.v[i] = beta2_ * st.v[i] + (1.0 - beta2_) * g * g;
+        const double mhat = st.m[i] / bc1;
+        const double vhat = st.v[i] / bc2;
+        p.value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+}
+
+void
+HybridOptimizer::step(const std::vector<Param *> &params)
+{
+    for (Param *p : params) {
+        if (p->useAdam)
+            adam_.step(*p);
+        else
+            sgd_.step(*p);
+        p->zeroGrad();
+    }
+}
+
+} // namespace twq

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Optimizers. The paper steps network weights with SGD (+momentum)
+ * and the learned log2 quantization thresholds with Adam (β1 = 0.9,
+ * β2 = 0.99) for its built-in gradient normalization; HybridOptimizer
+ * routes each parameter accordingly via Param::useAdam.
+ */
+
+#ifndef TWQ_NN_OPTIM_HH
+#define TWQ_NN_OPTIM_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace twq
+{
+
+/** Plain SGD with momentum. */
+class Sgd
+{
+  public:
+    explicit Sgd(double lr, double momentum = 0.9)
+        : lr_(lr), momentum_(momentum)
+    {}
+
+    void step(Param &p);
+
+    void setLr(double lr) { lr_ = lr; }
+    double lr() const { return lr_; }
+
+  private:
+    double lr_;
+    double momentum_;
+    std::unordered_map<Param *, std::vector<double>> velocity_;
+};
+
+/** Adam with bias correction. */
+class Adam
+{
+  public:
+    explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.99,
+                  double eps = 1e-8)
+        : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps)
+    {}
+
+    void step(Param &p);
+
+    void setLr(double lr) { lr_ = lr; }
+    double lr() const { return lr_; }
+
+  private:
+    struct State
+    {
+        std::vector<double> m;
+        std::vector<double> v;
+        long t = 0;
+    };
+
+    double lr_;
+    double beta1_;
+    double beta2_;
+    double eps_;
+    std::unordered_map<Param *, State> state_;
+};
+
+/**
+ * SGD for regular parameters, Adam for parameters flagged useAdam
+ * (the learned quantization thresholds).
+ */
+class HybridOptimizer
+{
+  public:
+    HybridOptimizer(double sgd_lr, double adam_lr,
+                    double momentum = 0.9)
+        : sgd_(sgd_lr, momentum), adam_(adam_lr)
+    {}
+
+    /** Step every parameter and clear its gradient. */
+    void step(const std::vector<Param *> &params);
+
+    void
+    setLr(double sgd_lr)
+    {
+        sgd_.setLr(sgd_lr);
+    }
+
+  private:
+    Sgd sgd_;
+    Adam adam_;
+};
+
+} // namespace twq
+
+#endif // TWQ_NN_OPTIM_HH

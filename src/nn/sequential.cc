@@ -1,0 +1,73 @@
+#include "nn/sequential.hh"
+
+#include "common/logging.hh"
+
+namespace twq
+{
+
+TensorD
+Sequential::forward(const TensorD &x, bool train)
+{
+    TensorD cur = x;
+    for (auto &l : layers_)
+        cur = l->forward(cur, train);
+    return cur;
+}
+
+TensorD
+Sequential::backward(const TensorD &grad_out)
+{
+    TensorD cur = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        cur = (*it)->backward(cur);
+    return cur;
+}
+
+std::vector<Param *>
+Sequential::params()
+{
+    std::vector<Param *> ps;
+    for (auto &l : layers_)
+        for (Param *p : l->params())
+            ps.push_back(p);
+    return ps;
+}
+
+TensorD
+ResidualBlock::forward(const TensorD &x, bool train)
+{
+    TensorD body_out = body_->forward(x, train);
+    twq_assert(body_out.shape() == x.shape(),
+               "ResidualBlock body must preserve shape");
+    TensorD out(x.shape());
+    if (train)
+        relu_mask_ = TensorD(x.shape());
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+        const double v = body_out[i] + x[i];
+        const bool pos = v > 0.0;
+        out[i] = pos ? v : 0.0;
+        if (train)
+            relu_mask_[i] = pos ? 1.0 : 0.0;
+    }
+    return out;
+}
+
+TensorD
+ResidualBlock::backward(const TensorD &grad_out)
+{
+    TensorD g(grad_out.shape());
+    for (std::size_t i = 0; i < g.numel(); ++i)
+        g[i] = grad_out[i] * relu_mask_[i];
+    TensorD gin = body_->backward(g);
+    for (std::size_t i = 0; i < gin.numel(); ++i)
+        gin[i] += g[i]; // skip connection
+    return gin;
+}
+
+std::vector<Param *>
+ResidualBlock::params()
+{
+    return body_->params();
+}
+
+} // namespace twq

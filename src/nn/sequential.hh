@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Layer containers: Sequential and a pre-activation residual block.
+ */
+
+#ifndef TWQ_NN_SEQUENTIAL_HH
+#define TWQ_NN_SEQUENTIAL_HH
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace twq
+{
+
+/** Runs child layers in order; backward in reverse. */
+class Sequential : public Layer
+{
+  public:
+    Sequential() = default;
+
+    /** Append a layer; returns a raw observer pointer. */
+    template <typename L, typename... Args>
+    L *
+    emplace(Args &&...args)
+    {
+        auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+        L *raw = layer.get();
+        layers_.push_back(std::move(layer));
+        return raw;
+    }
+
+    /** Append an already-built layer. */
+    void
+    append(LayerPtr layer)
+    {
+        layers_.push_back(std::move(layer));
+    }
+
+    TensorD forward(const TensorD &x, bool train) override;
+    TensorD backward(const TensorD &grad_out) override;
+    std::vector<Param *> params() override;
+    std::string name() const override { return "Sequential"; }
+
+    std::size_t size() const { return layers_.size(); }
+    Layer &layer(std::size_t i) { return *layers_[i]; }
+
+  private:
+    std::vector<LayerPtr> layers_;
+};
+
+/**
+ * Residual block out = relu(body(x) + x); the body is any layer
+ * stack with matching input/output shape (used by the ResNet-20-like
+ * ablation models).
+ */
+class ResidualBlock : public Layer
+{
+  public:
+    explicit ResidualBlock(LayerPtr body) : body_(std::move(body)) {}
+
+    TensorD forward(const TensorD &x, bool train) override;
+    TensorD backward(const TensorD &grad_out) override;
+    std::vector<Param *> params() override;
+    std::string name() const override { return "ResidualBlock"; }
+
+    Layer &body() { return *body_; }
+
+  private:
+    LayerPtr body_;
+    TensorD relu_mask_;
+};
+
+} // namespace twq
+
+#endif // TWQ_NN_SEQUENTIAL_HH

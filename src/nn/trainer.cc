@@ -1,0 +1,96 @@
+#include "nn/trainer.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "nn/loss.hh"
+
+namespace twq
+{
+
+Trainer::Trainer(Layer &model, const TrainConfig &cfg)
+    : model_(model), cfg_(cfg),
+      opt_(cfg.lr, cfg.adamLr, cfg.momentum), rng_(cfg.seed)
+{}
+
+double
+Trainer::trainEpoch(const Dataset &train)
+{
+    const std::size_t n = train.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::shuffle(order.begin(), order.end(), rng_.engine());
+
+    const std::size_t c = train.images.dim(1);
+    const std::size_t h = train.images.dim(2);
+    const std::size_t w = train.images.dim(3);
+    const std::size_t stride = c * h * w;
+
+    double total_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start + cfg_.batchSize <= n;
+         start += cfg_.batchSize) {
+        const std::size_t bs = cfg_.batchSize;
+        TensorD xb({bs, c, h, w});
+        std::vector<int> yb(bs);
+        for (std::size_t i = 0; i < bs; ++i) {
+            const std::size_t src = order[start + i];
+            yb[i] = train.labels[src];
+            for (std::size_t j = 0; j < stride; ++j)
+                xb[i * stride + j] = train.images[src * stride + j];
+        }
+
+        const TensorD logits = model_.forward(xb, true);
+        LossResult lr;
+        if (teacher_ && cfg_.kdAlpha < 1.0) {
+            const TensorD tlogits = teacher_->forward(xb, false);
+            lr = combinedLoss(logits, yb, tlogits,
+                              cfg_.kdTemperature, cfg_.kdAlpha);
+        } else {
+            lr = crossEntropy(logits, yb);
+        }
+        model_.backward(lr.gradLogits);
+        opt_.step(model_.params());
+        total_loss += lr.loss;
+        ++batches;
+    }
+    return batches ? total_loss / static_cast<double>(batches) : 0.0;
+}
+
+double
+Trainer::evaluate(const Dataset &data)
+{
+    // Evaluate in chunks to bound the activation memory.
+    const std::size_t chunk = 64;
+    const std::size_t n = data.size();
+    double correct = 0.0;
+    for (std::size_t start = 0; start < n; start += chunk) {
+        const std::size_t count = std::min(chunk, n - start);
+        const Dataset part = data.slice(start, count);
+        const TensorD logits = model_.forward(part.images, false);
+        correct += accuracy(logits, part.labels) *
+                   static_cast<double>(count);
+    }
+    return n ? correct / static_cast<double>(n) : 0.0;
+}
+
+double
+Trainer::fit(const Dataset &train, const Dataset &val)
+{
+    double lr = cfg_.lr;
+    double val_acc = 0.0;
+    for (std::size_t e = 0; e < cfg_.epochs; ++e) {
+        opt_.setLr(lr);
+        const double loss = trainEpoch(train);
+        val_acc = evaluate(val);
+        if (cfg_.verbose)
+            twq_inform("epoch ", e, " loss ", loss, " val_acc ",
+                       val_acc);
+        lr *= cfg_.lrDecay;
+    }
+    return val_acc;
+}
+
+} // namespace twq

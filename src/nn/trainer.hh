@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Mini-batch training loop with optional knowledge distillation.
+ */
+
+#ifndef TWQ_NN_TRAINER_HH
+#define TWQ_NN_TRAINER_HH
+
+#include "common/rng.hh"
+#include "data/synthetic.hh"
+#include "nn/layer.hh"
+#include "nn/optim.hh"
+
+namespace twq
+{
+
+/** Training hyperparameters. */
+struct TrainConfig
+{
+    std::size_t epochs = 5;
+    std::size_t batchSize = 16;
+    double lr = 0.05;        ///< SGD learning rate
+    double lrDecay = 0.7;    ///< multiplicative per-epoch decay
+    double adamLr = 0.01;    ///< Adam lr for log2 thresholds
+    double momentum = 0.9;
+    double kdAlpha = 1.0;    ///< weight of CE vs KD (1 = no KD)
+    double kdTemperature = 4.0;
+    std::uint64_t seed = 99;
+    bool verbose = false;
+};
+
+/** Trains one model, optionally distilling from a frozen teacher. */
+class Trainer
+{
+  public:
+    Trainer(Layer &model, const TrainConfig &cfg);
+
+    /** Enable knowledge distillation from a frozen FP teacher. */
+    void setTeacher(Layer *teacher) { teacher_ = teacher; }
+
+    /** One epoch over shuffled minibatches; returns mean loss. */
+    double trainEpoch(const Dataset &train);
+
+    /** Top-1 accuracy on a dataset (eval mode). */
+    double evaluate(const Dataset &data);
+
+    /** Full schedule: epochs with lr decay; returns final val acc. */
+    double fit(const Dataset &train, const Dataset &val);
+
+  private:
+    Layer &model_;
+    TrainConfig cfg_;
+    HybridOptimizer opt_;
+    Layer *teacher_ = nullptr;
+    Rng rng_;
+};
+
+} // namespace twq
+
+#endif // TWQ_NN_TRAINER_HH

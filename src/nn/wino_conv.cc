@@ -1,0 +1,487 @@
+#include "nn/wino_conv.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "tensor/im2col.hh"
+#include "winograd/conv.hh"
+#include "winograd/transforms.hh"
+
+namespace twq
+{
+
+namespace
+{
+
+constexpr double kCalMomentum = 0.9;
+
+/** EMA update of a per-tap maxima matrix. */
+void
+emaUpdate(MatrixD &cal, const MatrixD &batch_max, bool seeded)
+{
+    for (std::size_t i = 0; i < cal.rows(); ++i) {
+        for (std::size_t j = 0; j < cal.cols(); ++j) {
+            if (!seeded)
+                cal(i, j) = batch_max(i, j);
+            else
+                cal(i, j) = kCalMomentum * cal(i, j) +
+                            (1.0 - kCalMomentum) * batch_max(i, j);
+        }
+    }
+}
+
+} // namespace
+
+WinogradConv2d::WinogradConv2d(std::size_t cin, std::size_t cout,
+                               const WinoConvConfig &cfg, Rng &rng)
+    : cfg_(cfg), cin_(cin), cout_(cout),
+      t_(winoSpec(cfg.variant).t), m_(winoSpec(cfg.variant).m),
+      w_({cout, cin, 3, 3}, "winoconv.w"),
+      logSg_({t_ * t_}, "winoconv.logSg"),
+      logSb_({t_ * t_}, "winoconv.logSb"),
+      calG_(t_, t_), calB_(t_, t_)
+{
+    const double std = std::sqrt(2.0 / static_cast<double>(cin * 9));
+    for (std::size_t i = 0; i < w_.value.numel(); ++i)
+        w_.value[i] = rng.normal(0.0, std);
+    logSg_.useAdam = true;
+    logSb_.useAdam = true;
+}
+
+double
+WinogradConv2d::tapScale(bool for_weights, std::size_t i,
+                         std::size_t j) const
+{
+    const std::size_t flat = i * t_ + j;
+    double s;
+    if (cfg_.learnScales) {
+        const double lt = for_weights ? logSg_.value[flat]
+                                      : logSb_.value[flat];
+        s = cfg_.pow2 ? std::exp2(std::ceil(lt)) : std::exp2(lt);
+    } else {
+        const MatrixD &cal = for_weights ? calG_ : calB_;
+        double m = cal(i, j);
+        if (!cfg_.tapWise) {
+            for (std::size_t a = 0; a < t_; ++a)
+                for (std::size_t b = 0; b < t_; ++b)
+                    m = std::max(m, cal(a, b));
+        }
+        s = scaleForMax(m, cfg_.winogradBits);
+        if (cfg_.pow2)
+            s = pow2Ceil(s);
+    }
+    return s;
+}
+
+double
+WinogradConv2d::quantValue(double v, double s, int bits, bool *in_range,
+                           double *log_grad) const
+{
+    const double r = v / s;
+    const double lo = static_cast<double>(quantMin(bits));
+    const double hi = static_cast<double>(quantMax(bits));
+    const double rq = std::nearbyint(r);
+    const bool inside = rq >= lo && rq <= hi;
+    const double rc = std::clamp(rq, lo, hi);
+    if (in_range)
+        *in_range = inside;
+    if (log_grad) {
+        // Eq. (3): d q / d log2(t) = s ln2 * clamp(round(r) - r | rc).
+        const double term = inside ? (rq - r) : rc;
+        *log_grad = s * std::numbers::ln2 * term;
+    }
+    return s * rc;
+}
+
+TensorD
+WinogradConv2d::forward(const TensorD &x, bool train)
+{
+    twq_assert(x.rank() == 4 && x.dim(1) == cin_,
+               "WinogradConv2d expects NCHW with matching channels");
+    const ConvParams p{3, 1, 1};
+    in_shape_ = x.shape();
+    const std::size_t n = x.dim(0);
+    ho_ = p.outSize(x.dim(2));
+    wo_ = p.outSize(x.dim(3));
+    tiles_y_ = (ho_ + m_ - 1) / m_;
+    tiles_x_ = (wo_ + m_ - 1) / m_;
+
+    // ---- spatial input quantization ----
+    TensorD xq = x;
+    if (cfg_.quantize && cfg_.quantizeSpatial) {
+        if (train) {
+            double mx = 0.0;
+            for (std::size_t i = 0; i < x.numel(); ++i)
+                mx = std::max(mx, std::abs(x[i]));
+            xcal_.observe(mx);
+        }
+        sx_ = xcal_.scale(cfg_.spatialBits);
+        if (cfg_.pow2)
+            sx_ = pow2Ceil(sx_);
+        if (train)
+            x_spatial_mask_ = TensorD(x.shape());
+        for (std::size_t i = 0; i < x.numel(); ++i) {
+            bool inside = true;
+            xq[i] = quantValue(x[i], sx_, cfg_.spatialBits, &inside,
+                               nullptr);
+            if (train)
+                x_spatial_mask_[i] = inside ? 1.0 : 0.0;
+        }
+    } else if (train) {
+        x_spatial_mask_ = TensorD(x.shape(), 1.0);
+    }
+
+    // ---- weight transform ----
+    const MatrixD g = winoGd(cfg_.variant);
+    const MatrixD gt = g.transposed();
+    wxf_raw_.assign(cout_ * cin_, MatrixD());
+    for (std::size_t oc = 0; oc < cout_; ++oc) {
+        for (std::size_t ic = 0; ic < cin_; ++ic) {
+            MatrixD f(3, 3);
+            for (std::size_t ky = 0; ky < 3; ++ky)
+                for (std::size_t kx = 0; kx < 3; ++kx)
+                    f(ky, kx) = w_.value.at(oc, ic, ky, kx);
+            wxf_raw_[oc * cin_ + ic] = matmul(matmul(g, f), gt);
+        }
+    }
+
+    // ---- transform inputs ----
+    const MatrixD bt = winoBTd(cfg_.variant);
+    const MatrixD b = bt.transposed();
+    const std::size_t n_tiles = n * tiles_y_ * tiles_x_;
+    std::vector<MatrixD> ixf_raw(n_tiles * cin_);
+    for (std::size_t in = 0; in < n; ++in) {
+        for (std::size_t ty = 0; ty < tiles_y_; ++ty) {
+            for (std::size_t tx = 0; tx < tiles_x_; ++tx) {
+                const std::size_t tile_idx =
+                    (in * tiles_y_ + ty) * tiles_x_ + tx;
+                for (std::size_t ic = 0; ic < cin_; ++ic) {
+                    const MatrixD tile = extractInputTile(
+                        xq, in, ic, ty, tx, cfg_.variant, p.pad);
+                    ixf_raw[tile_idx * cin_ + ic] =
+                        matmul(matmul(bt, tile), b);
+                }
+            }
+        }
+    }
+
+    // ---- calibration / scale initialization ----
+    if (cfg_.quantize && train && !cfg_.learnScales) {
+        MatrixD gmax(t_, t_), bmax(t_, t_);
+        for (const auto &w : wxf_raw_)
+            for (std::size_t i = 0; i < t_; ++i)
+                for (std::size_t j = 0; j < t_; ++j)
+                    gmax(i, j) = std::max(gmax(i, j),
+                                          std::abs(w(i, j)));
+        for (const auto &xt : ixf_raw)
+            for (std::size_t i = 0; i < t_; ++i)
+                for (std::size_t j = 0; j < t_; ++j)
+                    bmax(i, j) = std::max(bmax(i, j),
+                                          std::abs(xt(i, j)));
+        emaUpdate(calG_, gmax, scalesInitialized_);
+        emaUpdate(calB_, bmax, scalesInitialized_);
+        scalesInitialized_ = true;
+    }
+    if (cfg_.quantize && cfg_.learnScales && !scalesInitialized_) {
+        // Seed the learned thresholds from the first batch.
+        MatrixD gmax(t_, t_), bmax(t_, t_);
+        for (const auto &w : wxf_raw_)
+            for (std::size_t i = 0; i < t_; ++i)
+                for (std::size_t j = 0; j < t_; ++j)
+                    gmax(i, j) = std::max(gmax(i, j),
+                                          std::abs(w(i, j)));
+        for (const auto &xt : ixf_raw)
+            for (std::size_t i = 0; i < t_; ++i)
+                for (std::size_t j = 0; j < t_; ++j)
+                    bmax(i, j) = std::max(bmax(i, j),
+                                          std::abs(xt(i, j)));
+        double gall = 0.0, ball = 0.0;
+        for (std::size_t i = 0; i < t_; ++i) {
+            for (std::size_t j = 0; j < t_; ++j) {
+                gall = std::max(gall, gmax(i, j));
+                ball = std::max(ball, bmax(i, j));
+            }
+        }
+        for (std::size_t i = 0; i < t_; ++i) {
+            for (std::size_t j = 0; j < t_; ++j) {
+                const double gm = cfg_.tapWise ? gmax(i, j) : gall;
+                const double bm = cfg_.tapWise ? bmax(i, j) : ball;
+                logSg_.value[i * t_ + j] = std::log2(
+                    scaleForMax(gm > 0 ? gm : 1.0, cfg_.winogradBits));
+                logSb_.value[i * t_ + j] = std::log2(
+                    scaleForMax(bm > 0 ? bm : 1.0, cfg_.winogradBits));
+            }
+        }
+        scalesInitialized_ = true;
+    }
+
+    // ---- fake-quantize weights and inputs ----
+    const bool q = cfg_.quantize && scalesInitialized_;
+    wxf_q_ = wxf_raw_;
+    if (train) {
+        wxf_mask_.assign(cout_ * cin_, MatrixD(t_, t_));
+        wxf_lgrad_.assign(cout_ * cin_, MatrixD(t_, t_));
+    }
+    if (q) {
+        for (std::size_t k = 0; k < cout_ * cin_; ++k) {
+            for (std::size_t i = 0; i < t_; ++i) {
+                for (std::size_t j = 0; j < t_; ++j) {
+                    bool inside = true;
+                    double lgrad = 0.0;
+                    wxf_q_[k](i, j) = quantValue(
+                        wxf_raw_[k](i, j), tapScale(true, i, j),
+                        cfg_.winogradBits, &inside, &lgrad);
+                    if (train) {
+                        wxf_mask_[k](i, j) = inside ? 1.0 : 0.0;
+                        wxf_lgrad_[k](i, j) = lgrad;
+                    }
+                }
+            }
+        }
+    } else if (train) {
+        for (auto &mk : wxf_mask_)
+            for (std::size_t i = 0; i < t_; ++i)
+                for (std::size_t j = 0; j < t_; ++j)
+                    mk(i, j) = 1.0;
+    }
+
+    ixf_q_ = std::move(ixf_raw);
+    if (train) {
+        ixf_mask_.assign(n_tiles * cin_, MatrixD(t_, t_));
+        ixf_lgrad_.assign(n_tiles * cin_, MatrixD(t_, t_));
+    }
+    if (q) {
+        for (std::size_t k = 0; k < ixf_q_.size(); ++k) {
+            for (std::size_t i = 0; i < t_; ++i) {
+                for (std::size_t j = 0; j < t_; ++j) {
+                    bool inside = true;
+                    double lgrad = 0.0;
+                    const double raw = ixf_q_[k](i, j);
+                    ixf_q_[k](i, j) = quantValue(
+                        raw, tapScale(false, i, j), cfg_.winogradBits,
+                        &inside, &lgrad);
+                    if (train) {
+                        ixf_mask_[k](i, j) = inside ? 1.0 : 0.0;
+                        ixf_lgrad_[k](i, j) = lgrad;
+                    }
+                }
+            }
+        }
+    } else if (train) {
+        for (auto &mk : ixf_mask_)
+            for (std::size_t i = 0; i < t_; ++i)
+                for (std::size_t j = 0; j < t_; ++j)
+                    mk(i, j) = 1.0;
+    }
+
+    // ---- elementwise product + output transform ----
+    const MatrixD at = winoATd(cfg_.variant);
+    const MatrixD a = at.transposed();
+    TensorD out({n, cout_, ho_, wo_});
+    for (std::size_t in = 0; in < n; ++in) {
+        for (std::size_t ty = 0; ty < tiles_y_; ++ty) {
+            for (std::size_t tx = 0; tx < tiles_x_; ++tx) {
+                const std::size_t tile_idx =
+                    (in * tiles_y_ + ty) * tiles_x_ + tx;
+                for (std::size_t oc = 0; oc < cout_; ++oc) {
+                    MatrixD acc(t_, t_);
+                    for (std::size_t ic = 0; ic < cin_; ++ic) {
+                        const auto &wt = wxf_q_[oc * cin_ + ic];
+                        const auto &it = ixf_q_[tile_idx * cin_ + ic];
+                        for (std::size_t i = 0; i < t_; ++i)
+                            for (std::size_t j = 0; j < t_; ++j)
+                                acc(i, j) += wt(i, j) * it(i, j);
+                    }
+                    const MatrixD res = matmul(matmul(at, acc), a);
+                    for (std::size_t y = 0; y < m_; ++y) {
+                        for (std::size_t xx = 0; xx < m_; ++xx) {
+                            const std::size_t oy = ty * m_ + y;
+                            const std::size_t ox = tx * m_ + xx;
+                            if (oy < ho_ && ox < wo_)
+                                out.at(in, oc, oy, ox) = res(y, xx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if (!train) {
+        // Free training caches eagerly in eval mode.
+        wxf_mask_.clear();
+        wxf_lgrad_.clear();
+        ixf_mask_.clear();
+        ixf_lgrad_.clear();
+    }
+    return out;
+}
+
+TensorD
+WinogradConv2d::backward(const TensorD &grad_out)
+{
+    const std::size_t n = in_shape_[0];
+    const MatrixD at = winoATd(cfg_.variant);
+    const MatrixD a_full = at.transposed(); // t x m
+    const MatrixD bt = winoBTd(cfg_.variant);
+    const MatrixD b_full = bt.transposed(); // t x t
+    const MatrixD g = winoGd(cfg_.variant);
+
+    TensorD gin(in_shape_);
+    std::vector<MatrixD> dw_wino(cout_ * cin_, MatrixD(t_, t_));
+
+    for (std::size_t in = 0; in < n; ++in) {
+        for (std::size_t ty = 0; ty < tiles_y_; ++ty) {
+            for (std::size_t tx = 0; tx < tiles_x_; ++tx) {
+                const std::size_t tile_idx =
+                    (in * tiles_y_ + ty) * tiles_x_ + tx;
+                // Gather dOut for this tile (zero beyond the edge).
+                std::vector<MatrixD> dx_hat(cin_, MatrixD(t_, t_));
+                for (std::size_t oc = 0; oc < cout_; ++oc) {
+                    MatrixD dout(m_, m_);
+                    bool any = false;
+                    for (std::size_t y = 0; y < m_; ++y) {
+                        for (std::size_t xx = 0; xx < m_; ++xx) {
+                            const std::size_t oy = ty * m_ + y;
+                            const std::size_t ox = tx * m_ + xx;
+                            if (oy < ho_ && ox < wo_) {
+                                dout(y, xx) =
+                                    grad_out.at(in, oc, oy, ox);
+                                any |= dout(y, xx) != 0.0;
+                            }
+                        }
+                    }
+                    if (!any)
+                        continue;
+                    // dY = A dOut A^T with A = (A^T)^T (t x m).
+                    const MatrixD dy =
+                        matmul(matmul(a_full, dout), at);
+                    for (std::size_t ic = 0; ic < cin_; ++ic) {
+                        const auto &wt = wxf_q_[oc * cin_ + ic];
+                        const auto &it = ixf_q_[tile_idx * cin_ + ic];
+                        auto &dw = dw_wino[oc * cin_ + ic];
+                        auto &dx = dx_hat[ic];
+                        for (std::size_t i = 0; i < t_; ++i) {
+                            for (std::size_t j = 0; j < t_; ++j) {
+                                dw(i, j) += dy(i, j) * it(i, j);
+                                dx(i, j) += dy(i, j) * wt(i, j);
+                            }
+                        }
+                    }
+                }
+                // Input side: STE mask, learned-scale grads, then
+                // back through B^T x B and scatter into gin.
+                for (std::size_t ic = 0; ic < cin_; ++ic) {
+                    MatrixD &dx = dx_hat[ic];
+                    if (cfg_.quantize && scalesInitialized_) {
+                        const auto &mask =
+                            ixf_mask_[tile_idx * cin_ + ic];
+                        if (cfg_.learnScales) {
+                            const auto &lg =
+                                ixf_lgrad_[tile_idx * cin_ + ic];
+                            for (std::size_t i = 0; i < t_; ++i)
+                                for (std::size_t j = 0; j < t_; ++j)
+                                    logSb_.grad[i * t_ + j] +=
+                                        dx(i, j) * lg(i, j);
+                        }
+                        for (std::size_t i = 0; i < t_; ++i)
+                            for (std::size_t j = 0; j < t_; ++j)
+                                dx(i, j) *= mask(i, j);
+                    }
+                    const MatrixD dtile =
+                        matmul(matmul(b_full, dx), bt);
+                    // Scatter-add into the padded input window.
+                    const std::ptrdiff_t y0 =
+                        static_cast<std::ptrdiff_t>(ty * m_) - 1;
+                    const std::ptrdiff_t x0 =
+                        static_cast<std::ptrdiff_t>(tx * m_) - 1;
+                    for (std::size_t i = 0; i < t_; ++i) {
+                        for (std::size_t j = 0; j < t_; ++j) {
+                            const std::ptrdiff_t iy =
+                                y0 + static_cast<std::ptrdiff_t>(i);
+                            const std::ptrdiff_t ix =
+                                x0 + static_cast<std::ptrdiff_t>(j);
+                            if (iy < 0 || ix < 0 ||
+                                iy >= static_cast<std::ptrdiff_t>(
+                                          in_shape_[2]) ||
+                                ix >= static_cast<std::ptrdiff_t>(
+                                          in_shape_[3]))
+                                continue;
+                            gin.at(in, ic,
+                                   static_cast<std::size_t>(iy),
+                                   static_cast<std::size_t>(ix)) +=
+                                dtile(i, j);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Weight side: STE mask, learned-scale grads, then back through
+    // G f G^T.
+    for (std::size_t oc = 0; oc < cout_; ++oc) {
+        for (std::size_t ic = 0; ic < cin_; ++ic) {
+            MatrixD &dw = dw_wino[oc * cin_ + ic];
+            if (cfg_.quantize && scalesInitialized_) {
+                const auto &mask = wxf_mask_[oc * cin_ + ic];
+                if (cfg_.learnScales) {
+                    const auto &lg = wxf_lgrad_[oc * cin_ + ic];
+                    for (std::size_t i = 0; i < t_; ++i)
+                        for (std::size_t j = 0; j < t_; ++j)
+                            logSg_.grad[i * t_ + j] +=
+                                dw(i, j) * lg(i, j);
+                }
+                for (std::size_t i = 0; i < t_; ++i)
+                    for (std::size_t j = 0; j < t_; ++j)
+                        dw(i, j) *= mask(i, j);
+            }
+            // df = G^T dW G.
+            const MatrixD df =
+                matmul(matmul(g.transposed(), dw), g);
+            for (std::size_t ky = 0; ky < 3; ++ky)
+                for (std::size_t kx = 0; kx < 3; ++kx)
+                    w_.grad.at(oc, ic, ky, kx) += df(ky, kx);
+        }
+    }
+
+    // Spatial quantization STE.
+    if (cfg_.quantize && cfg_.quantizeSpatial)
+        for (std::size_t i = 0; i < gin.numel(); ++i)
+            gin[i] *= x_spatial_mask_[i];
+    return gin;
+}
+
+std::vector<Param *>
+WinogradConv2d::params()
+{
+    std::vector<Param *> ps{&w_};
+    if (cfg_.quantize && cfg_.learnScales) {
+        ps.push_back(&logSg_);
+        ps.push_back(&logSb_);
+    }
+    return ps;
+}
+
+MatrixD
+WinogradConv2d::weightTapScales() const
+{
+    MatrixD s(t_, t_);
+    for (std::size_t i = 0; i < t_; ++i)
+        for (std::size_t j = 0; j < t_; ++j)
+            s(i, j) = tapScale(true, i, j);
+    return s;
+}
+
+MatrixD
+WinogradConv2d::inputTapScales() const
+{
+    MatrixD s(t_, t_);
+    for (std::size_t i = 0; i < t_; ++i)
+        for (std::size_t j = 0; j < t_; ++j)
+            s(i, j) = tapScale(false, i, j);
+    return s;
+}
+
+} // namespace twq

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Winograd-aware trainable convolution with tap-wise quantization
+ * (Section III of the paper).
+ *
+ * The forward pass runs in the Winograd domain; with quantization
+ * enabled, the weights (after G f G^T) and the transformed input
+ * tiles (after B^T x B) are fake-quantized per tap before the
+ * elementwise product, exactly where the integer hardware clamps.
+ * Gradients flow through the quantizers with the straight-through
+ * estimator; tap scales can be calibrated (running max), rounded to
+ * powers of two, or learned via gradients on log2(t) (Eq. (3)),
+ * which the optimizer steps with Adam.
+ */
+
+#ifndef TWQ_NN_WINO_CONV_HH
+#define TWQ_NN_WINO_CONV_HH
+
+#include "nn/layer.hh"
+#include "quant/quantizer.hh"
+#include "tensor/matrix.hh"
+#include "winograd/matrices.hh"
+
+namespace twq
+{
+
+class Rng;
+
+/** Training-time quantization options for a Winograd layer. */
+struct WinoConvConfig
+{
+    WinoVariant variant = WinoVariant::F4;
+    bool quantize = false;     ///< enable fake quantization
+    bool tapWise = true;       ///< per-tap scales (false = single scale)
+    bool pow2 = false;         ///< restrict scales to powers of two
+    bool learnScales = false;  ///< learn log2 thresholds (Eq. (3))
+    int spatialBits = 8;       ///< input activation bits (spatial)
+    int winogradBits = 8;      ///< Winograd-domain bits (8 or 10)
+    bool quantizeSpatial = true; ///< quantize the spatial-domain input
+};
+
+/** Unit-stride 3x3 convolution trained through the Winograd domain. */
+class WinogradConv2d : public Layer
+{
+  public:
+    WinogradConv2d(std::size_t cin, std::size_t cout,
+                   const WinoConvConfig &cfg, Rng &rng);
+
+    TensorD forward(const TensorD &x, bool train) override;
+    TensorD backward(const TensorD &grad_out) override;
+    std::vector<Param *> params() override;
+    std::string name() const override { return "WinogradConv2d"; }
+
+    Param &weight() { return w_; }
+    const WinoConvConfig &config() const { return cfg_; }
+
+    /** Current per-tap weight scales (after pow2 rounding if any). */
+    MatrixD weightTapScales() const;
+
+    /** Current per-tap input scales. */
+    MatrixD inputTapScales() const;
+
+  private:
+    /** Resolve the scale of tap (i,j) for weights or inputs. */
+    double tapScale(bool for_weights, std::size_t i, std::size_t j) const;
+
+    /** Fake-quantize v with the given scale; fills STE bookkeeping. */
+    double quantValue(double v, double s, int bits, bool *in_range,
+                      double *log_grad) const;
+
+    WinoConvConfig cfg_;
+    std::size_t cin_;
+    std::size_t cout_;
+    std::size_t t_;
+    std::size_t m_;
+    Param w_; ///< spatial master weights [Cout, Cin, 3, 3]
+
+    // Learned log2 thresholds (flattened t*t), stepped by Adam.
+    Param logSg_;
+    Param logSb_;
+    bool scalesInitialized_ = false;
+
+    // Calibrated maxima (EMA) when scales are not learned.
+    MatrixD calG_;
+    MatrixD calB_;
+    MaxCalibrator xcal_; ///< spatial activation calibrator
+    double sx_ = 1.0;
+
+    // --- caches for backward ---
+    Shape in_shape_;
+    std::size_t tiles_y_ = 0, tiles_x_ = 0, ho_ = 0, wo_ = 0;
+    TensorD x_spatial_mask_;           ///< STE mask of spatial quant
+    std::vector<MatrixD> wxf_raw_;     ///< G f G^T, [cout*cin]
+    std::vector<MatrixD> wxf_q_;       ///< fake-quantized weights
+    std::vector<MatrixD> wxf_mask_;    ///< in-range masks
+    std::vector<MatrixD> wxf_lgrad_;   ///< d q / d log2 t terms
+    std::vector<MatrixD> ixf_q_;       ///< quantized input tiles
+    std::vector<MatrixD> ixf_mask_;    ///< in-range masks
+    std::vector<MatrixD> ixf_lgrad_;   ///< d q / d log2 t terms
+};
+
+} // namespace twq
+
+#endif // TWQ_NN_WINO_CONV_HH

@@ -1,0 +1,239 @@
+#include "quant/error.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "quant/pinv.hh"
+#include "quant/quantizer.hh"
+#include "winograd/transforms.hh"
+
+namespace twq
+{
+
+namespace
+{
+
+constexpr double kTinyWeight = 1e-12;
+
+double
+relErrorSum(const std::vector<double> &values, const GroupQuant &q,
+            int bits)
+{
+    double sum = 0.0;
+    for (double f : values) {
+        if (std::abs(f) < kTinyWeight)
+            continue;
+        const double fq = applyGroupQuant(q, f, bits);
+        sum += std::abs(fq - f) / std::abs(f);
+    }
+    return sum;
+}
+
+} // namespace
+
+GroupQuant
+optimizeGroupQuant(const std::vector<double> &values, int bits)
+{
+    GroupQuant q;
+    if (values.empty()) {
+        q.scale = 0.0; // neutral: applyGroupQuant passes through
+        return q;
+    }
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    q.mean = sum / static_cast<double>(values.size());
+    double sq = 0.0;
+    for (double v : values) {
+        const double d = v - q.mean;
+        sq += d * d;
+    }
+    q.sigma = std::sqrt(sq / static_cast<double>(values.size()));
+    if (q.sigma <= 0.0) {
+        q.gamma = 1.0;
+        q.scale = 1.0;
+        return q;
+    }
+
+    double best_err = std::numeric_limits<double>::infinity();
+    for (double gamma = 0.5; gamma <= 16.0; gamma += 0.25) {
+        GroupQuant cand = q;
+        cand.gamma = gamma;
+        cand.scale = gamma * q.sigma /
+            static_cast<double>(std::int64_t{1} << (bits - 1));
+        const double err = relErrorSum(values, cand, bits);
+        if (err < best_err) {
+            best_err = err;
+            q.gamma = gamma;
+            q.scale = cand.scale;
+        }
+    }
+    return q;
+}
+
+double
+applyGroupQuant(const GroupQuant &q, double x, int bits)
+{
+    if (q.scale <= 0.0)
+        return x;
+    const double centered = (x - q.mean) / q.scale;
+    const double lo = static_cast<double>(quantMin(bits));
+    const double hi = static_cast<double>(quantMax(bits));
+    const double r = std::clamp(std::nearbyint(centered), lo, hi);
+    return q.mean + q.scale * r;
+}
+
+std::vector<double>
+spatialQuantErrors(const TensorD &weights, QuantGranularity g, int bits)
+{
+    twq_assert(g == QuantGranularity::LayerWise ||
+               g == QuantGranularity::ChannelWise,
+               "spatial domain supports layer/channel granularity only");
+    const std::size_t cout = weights.dim(0);
+    const std::size_t per_ch = weights.numel() / cout;
+
+    // Collect groups.
+    std::vector<std::vector<double>> groups;
+    if (g == QuantGranularity::LayerWise) {
+        groups.emplace_back(weights.storage());
+    } else {
+        groups.resize(cout);
+        for (std::size_t oc = 0; oc < cout; ++oc) {
+            groups[oc].assign(
+                weights.storage().begin() +
+                    static_cast<std::ptrdiff_t>(oc * per_ch),
+                weights.storage().begin() +
+                    static_cast<std::ptrdiff_t>((oc + 1) * per_ch));
+        }
+    }
+
+    std::vector<double> errors;
+    errors.reserve(weights.numel());
+    for (const auto &grp : groups) {
+        const GroupQuant q = optimizeGroupQuant(grp, bits);
+        for (double f : grp) {
+            if (std::abs(f) < kTinyWeight)
+                continue;
+            const double fq = applyGroupQuant(q, f, bits);
+            errors.push_back(std::abs(fq - f) / std::abs(f));
+        }
+    }
+    return errors;
+}
+
+std::vector<double>
+winogradQuantErrors(const TensorD &weights, WinoVariant v,
+                    QuantGranularity g, int bits)
+{
+    const WinoSpec spec = winoSpec(v);
+    const std::size_t cout = weights.dim(0);
+    const std::size_t cin = weights.dim(1);
+    const std::size_t t = spec.t;
+
+    // Transform all filters to the Winograd domain.
+    std::vector<MatrixD> wxf(cout * cin);
+    std::vector<MatrixD> orig(cout * cin, MatrixD(3, 3));
+    for (std::size_t oc = 0; oc < cout; ++oc) {
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+            MatrixD f(3, 3);
+            for (std::size_t ky = 0; ky < 3; ++ky)
+                for (std::size_t kx = 0; kx < 3; ++kx)
+                    f(ky, kx) = weights.at(oc, ic, ky, kx);
+            orig[oc * cin + ic] = f;
+            wxf[oc * cin + ic] = weightTransform(f, v);
+        }
+    }
+
+    // Group Winograd-domain elements by granularity. Group key: 0
+    // (layer), oc (channel), tap index (tap), or oc*t*t + tap.
+    const auto group_of = [&](std::size_t oc, std::size_t i,
+                              std::size_t j) -> std::size_t {
+        switch (g) {
+          case QuantGranularity::LayerWise:
+            return 0;
+          case QuantGranularity::ChannelWise:
+            return oc;
+          case QuantGranularity::TapWise:
+            return i * t + j;
+          case QuantGranularity::ChannelTapWise:
+            return oc * t * t + i * t + j;
+        }
+        return 0;
+    };
+    std::size_t n_groups = 1;
+    switch (g) {
+      case QuantGranularity::LayerWise:
+        n_groups = 1;
+        break;
+      case QuantGranularity::ChannelWise:
+        n_groups = cout;
+        break;
+      case QuantGranularity::TapWise:
+        n_groups = t * t;
+        break;
+      case QuantGranularity::ChannelTapWise:
+        n_groups = cout * t * t;
+        break;
+    }
+
+    std::vector<std::vector<double>> groups(n_groups);
+    for (std::size_t oc = 0; oc < cout; ++oc)
+        for (std::size_t ic = 0; ic < cin; ++ic)
+            for (std::size_t i = 0; i < t; ++i)
+                for (std::size_t j = 0; j < t; ++j)
+                    groups[group_of(oc, i, j)].push_back(
+                        wxf[oc * cin + ic](i, j));
+
+    std::vector<GroupQuant> quants(n_groups);
+    for (std::size_t k = 0; k < n_groups; ++k)
+        quants[k] = optimizeGroupQuant(groups[k], bits);
+
+    // Quantize in-domain, back-transform with the pseudo-inverse, and
+    // measure the error against the original spatial filter.
+    const MatrixD gmat = winoGd(v);
+    const MatrixD gpinv = pinv(gmat);
+
+    std::vector<double> errors;
+    errors.reserve(cout * cin * 9);
+    for (std::size_t oc = 0; oc < cout; ++oc) {
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+            MatrixD q(t, t);
+            for (std::size_t i = 0; i < t; ++i)
+                for (std::size_t j = 0; j < t; ++j)
+                    q(i, j) = applyGroupQuant(
+                        quants[group_of(oc, i, j)],
+                        wxf[oc * cin + ic](i, j), bits);
+            const MatrixD back =
+                matmul(matmul(gpinv, q), gpinv.transposed());
+            const MatrixD &f = orig[oc * cin + ic];
+            for (std::size_t ky = 0; ky < 3; ++ky) {
+                for (std::size_t kx = 0; kx < 3; ++kx) {
+                    if (std::abs(f(ky, kx)) < kTinyWeight)
+                        continue;
+                    errors.push_back(std::abs(back(ky, kx) - f(ky, kx)) /
+                                     std::abs(f(ky, kx)));
+                }
+            }
+        }
+    }
+    return errors;
+}
+
+double
+meanLog2(const std::vector<double> &errors)
+{
+    if (errors.empty())
+        return 0.0;
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (double e : errors) {
+        if (e <= 0.0)
+            continue;
+        sum += std::log2(e);
+        ++n;
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+} // namespace twq

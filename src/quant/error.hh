@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Relative quantization-error analysis (Fig. 4 of the paper).
+ *
+ * Weights are quantized with a mean/σ-parameterized uniform quantizer
+ * Quant_{µ,s}(x) = µ + s * round((x-µ)/s), s = γσ / 2^(n-1), where γ
+ * is optimized per group (layer, channel, tap, or channel x tap) to
+ * minimize the mean relative error. Spatial-domain errors compare
+ * Quant(f) with f directly; Winograd-domain errors quantize G f G^T
+ * and compare the Moore-Penrose back-transform with the original f.
+ */
+
+#ifndef TWQ_QUANT_ERROR_HH
+#define TWQ_QUANT_ERROR_HH
+
+#include <vector>
+
+#include "quant/scales.hh"
+#include "tensor/tensor.hh"
+#include "winograd/matrices.hh"
+
+namespace twq
+{
+
+/** Group quantizer parameters found by the γ search. */
+struct GroupQuant
+{
+    double mean = 0.0;
+    double sigma = 0.0;
+    double gamma = 0.0;
+    double scale = 1.0;
+};
+
+/**
+ * Optimize γ for one group of values: γ̂ = argmin Σ|Q(f)-f|/|f|.
+ *
+ * @param values group members.
+ * @param bits   quantizer bitwidth.
+ */
+GroupQuant optimizeGroupQuant(const std::vector<double> &values, int bits);
+
+/** Apply the group quantizer to a value. */
+double applyGroupQuant(const GroupQuant &q, double x, int bits);
+
+/**
+ * Per-element relative quantization errors |Q(f)-f| / |f| for the
+ * weights of one layer, quantized in the spatial domain.
+ *
+ * Elements with |f| below a small threshold are skipped (their
+ * relative error is ill-defined). Supported granularities: LayerWise
+ * and ChannelWise (taps do not exist in the spatial domain).
+ */
+std::vector<double> spatialQuantErrors(const TensorD &weights,
+                                       QuantGranularity g, int bits);
+
+/**
+ * Per-element relative errors after quantizing in the Winograd
+ * domain and back-transforming with pinv(G):
+ * |G^+ Quant(G f G^T) (G^+)^T - f| / |f|.
+ */
+std::vector<double> winogradQuantErrors(const TensorD &weights,
+                                        WinoVariant v, QuantGranularity g,
+                                        int bits);
+
+/** Mean of log2(errors): the summary statistic quoted in Fig. 4. */
+double meanLog2(const std::vector<double> &errors);
+
+} // namespace twq
+
+#endif // TWQ_QUANT_ERROR_HH

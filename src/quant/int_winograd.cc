@@ -1,0 +1,339 @@
+#include "quant/int_winograd.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "quant/quantizer.hh"
+#include "winograd/conv.hh"
+#include "winograd/transforms.hh"
+
+namespace twq
+{
+
+namespace
+{
+
+/** Quantize an FP tensor to n-bit integers with a single scale. */
+TensorI64
+quantizeTensor(const TensorD &x, double scale, int bits)
+{
+    TensorI64 q(x.shape());
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        q[i] = quantize(x[i], scale, bits);
+    return q;
+}
+
+} // namespace
+
+IntWinogradConv::IntWinogradConv(const TensorD &weights,
+                                 const std::vector<TensorD> &calibration,
+                                 const IntWinogradConfig &cfg)
+    : cfg_(cfg), cout_(weights.dim(0)), cin_(weights.dim(1))
+{
+    twq_assert(weights.dim(2) == 3 && weights.dim(3) == 3,
+               "IntWinogradConv requires 3x3 kernels");
+    twq_assert(!calibration.empty(), "calibration data required");
+    const WinoSpec spec = winoSpec(cfg.variant);
+
+    // --- Activation scale s_x (spatial domain, layer-wise). ---
+    MaxCalibrator xcal;
+    for (const TensorD &x : calibration)
+        xcal.observeAll(x.storage());
+    sx_ = xcal.scale(cfg.spatialBits);
+    if (cfg.pow2Scales)
+        sx_ = pow2Ceil(sx_);
+
+    // --- Input tap scales S_B over the *integer* domain. ---
+    // Calibrate on fake-quantized inputs so the maxima are measured
+    // exactly where the hardware sees them: after B^T x̂ B.
+    std::vector<TensorD> calib_q;
+    calib_q.reserve(calibration.size());
+    for (const TensorD &x : calibration) {
+        TensorD xq(x.shape());
+        for (std::size_t i = 0; i < x.numel(); ++i)
+            xq[i] = static_cast<double>(
+                quantize(x[i], sx_, cfg.spatialBits));
+        calib_q.push_back(std::move(xq));
+    }
+    const MatrixD tap_max =
+        inputTapMaxima(calib_q, cfg.variant, cfg.pad);
+
+    sb_ = MatrixD(spec.t, spec.t);
+    double global_max = 0.0;
+    for (std::size_t i = 0; i < spec.t; ++i)
+        for (std::size_t j = 0; j < spec.t; ++j)
+            global_max = std::max(global_max, tap_max(i, j));
+    const bool tapwise =
+        cfg.granularity == QuantGranularity::TapWise ||
+        cfg.granularity == QuantGranularity::ChannelTapWise;
+    for (std::size_t i = 0; i < spec.t; ++i) {
+        for (std::size_t j = 0; j < spec.t; ++j) {
+            double m = tapwise ? tap_max(i, j) : global_max;
+            double s = scaleForMax(m, cfg.winogradBits);
+            // Never scale up: B^T x̂ B is exact in integers, so a
+            // divisor below 1 only wastes range.
+            s = std::max(s, 1.0);
+            if (cfg.pow2Scales)
+                s = pow2Ceil(s);
+            sb_(i, j) = s;
+        }
+    }
+
+    // --- Weight scales S_G and quantized Winograd-domain weights. ---
+    wscales_ = estimateWeightScales(weights, cfg.variant,
+                                    cfg.granularity, cfg.winogradBits,
+                                    cfg.pow2Scales);
+    wq_.resize(cout_ * cin_);
+    for (std::size_t oc = 0; oc < cout_; ++oc) {
+        for (std::size_t ic = 0; ic < cin_; ++ic) {
+            MatrixD f(3, 3);
+            for (std::size_t ky = 0; ky < 3; ++ky)
+                for (std::size_t kx = 0; kx < 3; ++kx)
+                    f(ky, kx) = weights.at(oc, ic, ky, kx);
+            const MatrixD w = weightTransform(f, cfg.variant);
+            MatrixI64 q(spec.t, spec.t);
+            for (std::size_t i = 0; i < spec.t; ++i)
+                for (std::size_t j = 0; j < spec.t; ++j)
+                    q(i, j) = quantize(w(i, j), wscales_.at(oc, i, j),
+                                       cfg.winogradBits);
+            wq_[oc * cin_ + ic] = std::move(q);
+        }
+    }
+}
+
+TensorD
+IntWinogradConv::forward(const TensorD &input) const
+{
+    const WinoSpec spec = winoSpec(cfg_.variant);
+    const std::size_t n = input.dim(0);
+    twq_assert(input.dim(1) == cin_, "channel mismatch");
+    const ConvParams p{3, 1, cfg_.pad};
+    const std::size_t ho = p.outSize(input.dim(2));
+    const std::size_t wo = p.outSize(input.dim(3));
+    const std::size_t tiles_y = (ho + spec.m - 1) / spec.m;
+    const std::size_t tiles_x = (wo + spec.m - 1) / spec.m;
+
+    // Spatial-domain input quantization.
+    const TensorI64 xq = quantizeTensor(input, sx_, cfg_.spatialBits);
+
+    TensorD out({n, cout_, ho, wo});
+    std::vector<MatrixI64> ixf(cin_);
+    for (std::size_t in = 0; in < n; ++in) {
+        for (std::size_t ty = 0; ty < tiles_y; ++ty) {
+            for (std::size_t tx = 0; tx < tiles_x; ++tx) {
+                // Integer input transform + tap-wise requantization.
+                for (std::size_t ic = 0; ic < cin_; ++ic) {
+                    const MatrixI64 tile = extractInputTile(
+                        xq, in, ic, ty, tx, cfg_.variant, cfg_.pad);
+                    MatrixI64 xf =
+                        inputTransformInt(tile, cfg_.variant);
+                    for (std::size_t i = 0; i < spec.t; ++i) {
+                        for (std::size_t j = 0; j < spec.t; ++j) {
+                            // Round half away from zero, matching
+                            // the shift-based hardware path
+                            // (shiftRightRound) exactly when the
+                            // scale is a power of two.
+                            const double s = sb_(i, j);
+                            const double r = std::round(
+                                static_cast<double>(xf(i, j)) / s);
+                            xf(i, j) = clampSigned(
+                                static_cast<std::int64_t>(r),
+                                cfg_.winogradBits);
+                        }
+                    }
+                    ixf[ic] = std::move(xf);
+                }
+                for (std::size_t oc = 0; oc < cout_; ++oc) {
+                    // Integer elementwise MAC over input channels.
+                    MatrixI64 acc(spec.t, spec.t);
+                    for (std::size_t ic = 0; ic < cin_; ++ic) {
+                        const auto &wt = wq_[oc * cin_ + ic];
+                        const auto &it = ixf[ic];
+                        for (std::size_t i = 0; i < spec.t; ++i)
+                            for (std::size_t j = 0; j < spec.t; ++j)
+                                acc(i, j) += wt(i, j) * it(i, j);
+                    }
+                    // S_BG rescale, then FP back-transform (done by
+                    // the Vector Unit / FixPipe in hardware).
+                    MatrixD y(spec.t, spec.t);
+                    for (std::size_t i = 0; i < spec.t; ++i)
+                        for (std::size_t j = 0; j < spec.t; ++j)
+                            y(i, j) = static_cast<double>(acc(i, j)) *
+                                      sb_(i, j) *
+                                      wscales_.at(oc, i, j);
+                    const MatrixD res =
+                        outputTransform(y, cfg_.variant);
+                    for (std::size_t yy = 0; yy < spec.m; ++yy) {
+                        for (std::size_t xx = 0; xx < spec.m; ++xx) {
+                            const std::size_t oy = ty * spec.m + yy;
+                            const std::size_t ox = tx * spec.m + xx;
+                            if (oy < ho && ox < wo)
+                                out.at(in, oc, oy, ox) =
+                                    res(yy, xx) * sx_;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+TensorI8
+IntWinogradConv::forwardInt8(const TensorD &input, double *out_scale,
+                             bool fuse_relu) const
+{
+    twq_assert(cfg_.pow2Scales,
+               "forwardInt8 requires power-of-two scales");
+    const WinoSpec spec = winoSpec(cfg_.variant);
+    const std::size_t n = input.dim(0);
+    const ConvParams p{3, 1, cfg_.pad};
+    const std::size_t ho = p.outSize(input.dim(2));
+    const std::size_t wo = p.outSize(input.dim(3));
+    const std::size_t tiles_y = (ho + spec.m - 1) / spec.m;
+    const std::size_t tiles_x = (wo + spec.m - 1) / spec.m;
+
+    const TensorI64 xq = [&] {
+        TensorI64 q(input.shape());
+        for (std::size_t i = 0; i < input.numel(); ++i)
+            q[i] = quantize(input[i], sx_, cfg_.spatialBits);
+        return q;
+    }();
+
+    // Per output channel: the common power-of-two scale of the taps
+    // (the minimum S_BG) and the relative left-shifts above it.
+    std::vector<int> com_log2(cout_);
+    std::vector<std::vector<int>> rel_shift(
+        cout_, std::vector<int>(spec.t * spec.t, 0));
+    for (std::size_t oc = 0; oc < cout_; ++oc) {
+        int lo = std::numeric_limits<int>::max();
+        std::vector<int> logs(spec.t * spec.t);
+        for (std::size_t i = 0; i < spec.t; ++i) {
+            for (std::size_t j = 0; j < spec.t; ++j) {
+                const double sbg =
+                    sb_(i, j) * wscales_.at(oc, i, j);
+                logs[i * spec.t + j] = log2Exact(sbg);
+                lo = std::min(lo, logs[i * spec.t + j]);
+            }
+        }
+        com_log2[oc] = lo;
+        for (std::size_t k = 0; k < logs.size(); ++k)
+            rel_shift[oc][k] = logs[k] - lo;
+    }
+
+    // Pass 1: integer pipeline into an int64 spatial output.
+    TensorI64 raw({n, cout_, ho, wo});
+    std::vector<MatrixI64> ixf(cin_);
+    for (std::size_t in = 0; in < n; ++in) {
+        for (std::size_t ty = 0; ty < tiles_y; ++ty) {
+            for (std::size_t tx = 0; tx < tiles_x; ++tx) {
+                for (std::size_t ic = 0; ic < cin_; ++ic) {
+                    const MatrixI64 tile = extractInputTile(
+                        xq, in, ic, ty, tx, cfg_.variant, cfg_.pad);
+                    MatrixI64 xf =
+                        inputTransformInt(tile, cfg_.variant);
+                    for (std::size_t i = 0; i < spec.t; ++i) {
+                        for (std::size_t j = 0; j < spec.t; ++j) {
+                            const int sh = log2Exact(sb_(i, j));
+                            xf(i, j) = clampSigned(
+                                shiftRightRound(xf(i, j), sh),
+                                cfg_.winogradBits);
+                        }
+                    }
+                    ixf[ic] = std::move(xf);
+                }
+                for (std::size_t oc = 0; oc < cout_; ++oc) {
+                    MatrixI64 acc(spec.t, spec.t);
+                    for (std::size_t ic = 0; ic < cin_; ++ic) {
+                        const auto &wt = wq_[oc * cin_ + ic];
+                        const auto &it = ixf[ic];
+                        for (std::size_t i = 0; i < spec.t; ++i)
+                            for (std::size_t j = 0; j < spec.t; ++j)
+                                acc(i, j) += wt(i, j) * it(i, j);
+                    }
+                    // S_BG rescale as pure left-shifts relative to
+                    // the channel's common scale.
+                    for (std::size_t i = 0; i < spec.t; ++i)
+                        for (std::size_t j = 0; j < spec.t; ++j)
+                            acc(i, j) <<=
+                                rel_shift[oc][i * spec.t + j];
+                    const MatrixI64 res =
+                        outputTransformInt(acc, cfg_.variant);
+                    for (std::size_t yy = 0; yy < spec.m; ++yy) {
+                        for (std::size_t xx = 0; xx < spec.m; ++xx) {
+                            const std::size_t oy = ty * spec.m + yy;
+                            const std::size_t ox = tx * spec.m + xx;
+                            if (oy < ho && ox < wo)
+                                raw.at(in, oc, oy, ox) = res(yy, xx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: pick a power-of-two output scale covering the observed
+    // range and requantize with shifts.
+    double abs_max = 0.0;
+    for (std::size_t in = 0; in < n; ++in)
+        for (std::size_t oc = 0; oc < cout_; ++oc)
+            for (std::size_t i = 0; i < ho * wo; ++i) {
+                const double real =
+                    static_cast<double>(
+                        raw[(in * cout_ + oc) * ho * wo + i]) *
+                    std::exp2(com_log2[oc]) * sx_;
+                abs_max = std::max(abs_max, std::abs(real));
+            }
+    const double sy =
+        pow2Ceil(scaleForMax(std::max(abs_max, 1e-30), 8));
+    if (out_scale)
+        *out_scale = sy;
+    const int sy_log2 = log2Exact(sy);
+    const int sx_log2 = log2Exact(sx_);
+
+    TensorI8 out({n, cout_, ho, wo});
+    for (std::size_t in = 0; in < n; ++in) {
+        for (std::size_t oc = 0; oc < cout_; ++oc) {
+            // q = raw >> (log2 sy - log2 s_com - log2 s_x).
+            const int shift = sy_log2 - com_log2[oc] - sx_log2;
+            for (std::size_t i = 0; i < ho * wo; ++i) {
+                std::int64_t v =
+                    raw[(in * cout_ + oc) * ho * wo + i];
+                if (fuse_relu && v < 0)
+                    v = 0;
+                out[(in * cout_ + oc) * ho * wo + i] =
+                    static_cast<std::int8_t>(
+                        clampSigned(shiftRightRound(v, shift), 8));
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<int>
+IntWinogradConv::inputShifts() const
+{
+    std::vector<int> shifts;
+    shifts.reserve(sb_.rows() * sb_.cols());
+    for (std::size_t i = 0; i < sb_.rows(); ++i)
+        for (std::size_t j = 0; j < sb_.cols(); ++j)
+            shifts.push_back(log2Exact(sb_(i, j)));
+    return shifts;
+}
+
+double
+relativeL2Error(const TensorD &a, const TensorD &b)
+{
+    twq_assert(a.shape() == b.shape(), "shape mismatch");
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+        const double d = a[i] - b[i];
+        num += d * d;
+        den += b[i] * b[i];
+    }
+    return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+} // namespace twq

@@ -1,0 +1,138 @@
+#include "quant/pinv.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace twq
+{
+
+namespace
+{
+
+/** One-sided Jacobi on a tall (m >= n) matrix. */
+Svd
+svdTall(MatrixD a)
+{
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    twq_assert(m >= n, "svdTall expects m >= n");
+
+    // V accumulates the right rotations, starting from identity.
+    MatrixD v(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        v(i, i) = 1.0;
+
+    const double eps = 1e-14;
+    for (int sweep = 0; sweep < 60; ++sweep) {
+        bool converged = true;
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                double alpha = 0.0, beta = 0.0, gamma = 0.0;
+                for (std::size_t i = 0; i < m; ++i) {
+                    alpha += a(i, p) * a(i, p);
+                    beta += a(i, q) * a(i, q);
+                    gamma += a(i, p) * a(i, q);
+                }
+                if (std::abs(gamma) <=
+                    eps * std::sqrt(alpha * beta) + 1e-300)
+                    continue;
+                converged = false;
+                const double zeta = (beta - alpha) / (2.0 * gamma);
+                const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                    (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+                const double c = 1.0 / std::sqrt(1.0 + t * t);
+                const double s = c * t;
+                for (std::size_t i = 0; i < m; ++i) {
+                    const double ap = a(i, p);
+                    const double aq = a(i, q);
+                    a(i, p) = c * ap - s * aq;
+                    a(i, q) = s * ap + c * aq;
+                }
+                for (std::size_t i = 0; i < n; ++i) {
+                    const double vp = v(i, p);
+                    const double vq = v(i, q);
+                    v(i, p) = c * vp - s * vq;
+                    v(i, q) = s * vp + c * vq;
+                }
+            }
+        }
+        if (converged)
+            break;
+    }
+
+    // Extract singular values and left vectors.
+    Svd out;
+    out.s.resize(n);
+    out.u = MatrixD(m, n);
+    out.v = MatrixD(n, n);
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<double> norms(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < m; ++i)
+            sum += a(i, j) * a(i, j);
+        norms[j] = std::sqrt(sum);
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t x,
+                                              std::size_t y) {
+        return norms[x] > norms[y];
+    });
+    for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t j = order[k];
+        out.s[k] = norms[j];
+        for (std::size_t i = 0; i < m; ++i)
+            out.u(i, k) = norms[j] > 0.0 ? a(i, j) / norms[j] : 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            out.v(i, k) = v(i, j);
+    }
+    return out;
+}
+
+} // namespace
+
+Svd
+svd(const MatrixD &a)
+{
+    if (a.rows() >= a.cols())
+        return svdTall(a);
+    // A = U S V^T  <=>  A^T = V S U^T.
+    Svd t = svdTall(a.transposed());
+    Svd out;
+    out.u = t.v;
+    out.v = t.u;
+    out.s = t.s;
+    return out;
+}
+
+MatrixD
+pinv(const MatrixD &a, double rel_tol)
+{
+    const Svd d = svd(a);
+    const double smax = d.s.empty() ? 0.0 : d.s.front();
+    const double tol = rel_tol * smax;
+    // pinv(A) = V diag(1/s) U^T.
+    MatrixD out(a.cols(), a.rows());
+    const std::size_t k = d.s.size();
+    for (std::size_t i = 0; i < a.cols(); ++i)
+        for (std::size_t j = 0; j < a.rows(); ++j)
+            for (std::size_t r = 0; r < k; ++r)
+                if (d.s[r] > tol)
+                    out(i, j) += d.v(i, r) * d.u(j, r) / d.s[r];
+    return out;
+}
+
+double
+frobeniusNorm(const MatrixD &a)
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            sum += a(i, j) * a(i, j);
+    return std::sqrt(sum);
+}
+
+} // namespace twq

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Singular value decomposition and Moore-Penrose pseudo-inverse.
+ *
+ * The paper back-transforms Winograd-domain quantized weights to the
+ * spatial domain via the Moore-Penrose inverse of the transformation
+ * matrices "based on SVD" (Section V-A4); this file provides exactly
+ * that, using a one-sided Jacobi SVD which is robust and plenty fast
+ * for the small (<= 6x6) matrices involved.
+ */
+
+#ifndef TWQ_QUANT_PINV_HH
+#define TWQ_QUANT_PINV_HH
+
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace twq
+{
+
+/** Thin SVD A = U diag(S) V^T for an m x n matrix with m >= n. */
+struct Svd
+{
+    MatrixD u;             ///< [m, n], orthonormal columns
+    std::vector<double> s; ///< [n], non-negative, descending
+    MatrixD v;             ///< [n, n], orthogonal
+};
+
+/**
+ * One-sided Jacobi SVD.
+ *
+ * @param a input matrix; if a.rows() < a.cols() the decomposition is
+ *          computed on the transpose and swapped back.
+ */
+Svd svd(const MatrixD &a);
+
+/**
+ * Moore-Penrose pseudo-inverse via SVD, dropping singular values
+ * below rel_tol * s_max.
+ */
+MatrixD pinv(const MatrixD &a, double rel_tol = 1e-12);
+
+/** Frobenius norm. */
+double frobeniusNorm(const MatrixD &a);
+
+} // namespace twq
+
+#endif // TWQ_QUANT_PINV_HH

@@ -1,0 +1,93 @@
+#include "quant/quantizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace twq
+{
+
+double
+scaleForMax(double xmax, int bits)
+{
+    twq_assert(bits >= 2 && bits <= 32, "unsupported bitwidth ", bits);
+    if (xmax <= 0.0)
+        return 1.0; // degenerate tensor; any scale works for all-zeros
+    return xmax / static_cast<double>(quantMax(bits));
+}
+
+std::int64_t
+quantize(double x, double scale, int bits)
+{
+    twq_assert(scale > 0.0, "non-positive quantization scale");
+    const double q = std::nearbyint(x / scale);
+    const double lo = static_cast<double>(quantMin(bits));
+    const double hi = static_cast<double>(quantMax(bits));
+    return static_cast<std::int64_t>(std::clamp(q, lo, hi));
+}
+
+double
+dequantize(std::int64_t q, double scale)
+{
+    return static_cast<double>(q) * scale;
+}
+
+double
+fakeQuantize(double x, double scale, int bits)
+{
+    return dequantize(quantize(x, scale, bits), scale);
+}
+
+double
+pow2Ceil(double s)
+{
+    twq_assert(s > 0.0, "pow2Ceil of non-positive scale");
+    return std::exp2(std::ceil(std::log2(s)));
+}
+
+double
+pow2Nearest(double s)
+{
+    twq_assert(s > 0.0, "pow2Nearest of non-positive scale");
+    return std::exp2(std::nearbyint(std::log2(s)));
+}
+
+int
+log2Exact(double pow2_scale)
+{
+    const double l = std::log2(pow2_scale);
+    const double r = std::nearbyint(l);
+    twq_assert(std::abs(l - r) < 1e-9, "scale ", pow2_scale,
+               " is not a power of two");
+    return static_cast<int>(r);
+}
+
+void
+MaxCalibrator::observe(double batch_absmax)
+{
+    batch_absmax = std::abs(batch_absmax);
+    if (!seeded_) {
+        ema_ = batch_absmax;
+        seeded_ = true;
+    } else {
+        ema_ = momentum_ * ema_ + (1.0 - momentum_) * batch_absmax;
+    }
+}
+
+void
+MaxCalibrator::observeAll(const std::vector<double> &values)
+{
+    double m = 0.0;
+    for (double v : values)
+        m = std::max(m, std::abs(v));
+    observe(m);
+}
+
+double
+MaxCalibrator::scale(int bits) const
+{
+    return scaleForMax(max(), bits);
+}
+
+} // namespace twq

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Core uniform quantization primitives (Eq. (2) of the paper).
+ *
+ * Values are approximated as x ≈ s * x_int with a shared scale s and
+ * x_int = clamp(round(x/s), -2^(n-1), 2^(n-1)-1). The scale is
+ * calibrated from a running average of observed maxima; for hardware
+ * friendliness scales can be restricted to powers of two so that
+ * (de)quantization becomes a shift.
+ */
+
+#ifndef TWQ_QUANT_QUANTIZER_HH
+#define TWQ_QUANT_QUANTIZER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace twq
+{
+
+/** Largest representable quantized magnitude for n-bit signed. */
+constexpr std::int64_t
+quantMax(int bits)
+{
+    return (std::int64_t{1} << (bits - 1)) - 1;
+}
+
+constexpr std::int64_t
+quantMin(int bits)
+{
+    return -(std::int64_t{1} << (bits - 1));
+}
+
+/** Scale for a calibrated maximum (s = xmax / (2^(n-1) - 1)). */
+double scaleForMax(double xmax, int bits);
+
+/** clamp(round(x/s)) to n-bit signed. */
+std::int64_t quantize(double x, double scale, int bits);
+
+/** s * q. */
+double dequantize(std::int64_t q, double scale);
+
+/** Quantize-dequantize ("fake quantization") in one step. */
+double fakeQuantize(double x, double scale, int bits);
+
+/** Round a positive scale up to the next power of two (2^ceil(log2 s)). */
+double pow2Ceil(double s);
+
+/** Round a positive scale to the nearest power of two in log space. */
+double pow2Nearest(double s);
+
+/** Integer log2 of an exact power-of-two scale (may be negative). */
+int log2Exact(double pow2_scale);
+
+/**
+ * Running-average maximum tracker used for calibration
+ * ("we calibrate xmax by calculating a running average of the maximum
+ * values obtained during training").
+ */
+class MaxCalibrator
+{
+  public:
+    /** @param momentum EMA momentum; first observation seeds the EMA. */
+    explicit MaxCalibrator(double momentum = 0.9)
+        : momentum_(momentum)
+    {}
+
+    /** Observe the absolute maximum of one batch. */
+    void observe(double batch_absmax);
+
+    /** Observe every element of a buffer. */
+    void observeAll(const std::vector<double> &values);
+
+    /** Calibrated maximum; 0 before any observation. */
+    double max() const { return seeded_ ? ema_ : 0.0; }
+
+    /** Calibrated scale for n-bit quantization. */
+    double scale(int bits) const;
+
+    bool seeded() const { return seeded_; }
+
+  private:
+    double momentum_;
+    double ema_ = 0.0;
+    bool seeded_ = false;
+};
+
+} // namespace twq
+
+#endif // TWQ_QUANT_QUANTIZER_HH

@@ -1,0 +1,190 @@
+#include "quant/scales.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/quantizer.hh"
+#include "winograd/conv.hh"
+#include "winograd/transforms.hh"
+
+namespace twq
+{
+
+const char *
+granularityName(QuantGranularity g)
+{
+    switch (g) {
+      case QuantGranularity::LayerWise:
+        return "layer-wise";
+      case QuantGranularity::ChannelWise:
+        return "channel-wise";
+      case QuantGranularity::TapWise:
+        return "tap-wise";
+      case QuantGranularity::ChannelTapWise:
+        return "channel+tap-wise";
+    }
+    return "?";
+}
+
+MatrixD
+weightTapMaxima(const TensorD &weights, WinoVariant v)
+{
+    const WinoSpec spec = winoSpec(v);
+    const std::size_t cout = weights.dim(0);
+    const std::size_t cin = weights.dim(1);
+    MatrixD maxima(spec.t, spec.t);
+    for (std::size_t oc = 0; oc < cout; ++oc) {
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+            MatrixD f(3, 3);
+            for (std::size_t ky = 0; ky < 3; ++ky)
+                for (std::size_t kx = 0; kx < 3; ++kx)
+                    f(ky, kx) = weights.at(oc, ic, ky, kx);
+            const MatrixD w = weightTransform(f, v);
+            for (std::size_t i = 0; i < spec.t; ++i)
+                for (std::size_t j = 0; j < spec.t; ++j)
+                    maxima(i, j) =
+                        std::max(maxima(i, j), std::abs(w(i, j)));
+        }
+    }
+    return maxima;
+}
+
+MatrixD
+inputTapMaxima(const std::vector<TensorD> &batch, WinoVariant v,
+               std::size_t pad)
+{
+    const WinoSpec spec = winoSpec(v);
+    MatrixD maxima(spec.t, spec.t);
+    for (const TensorD &x : batch) {
+        const std::size_t ho = x.dim(2) + 2 * pad - 2;
+        const std::size_t wo = x.dim(3) + 2 * pad - 2;
+        const std::size_t ty_n = (ho + spec.m - 1) / spec.m;
+        const std::size_t tx_n = (wo + spec.m - 1) / spec.m;
+        for (std::size_t n = 0; n < x.dim(0); ++n) {
+            for (std::size_t c = 0; c < x.dim(1); ++c) {
+                for (std::size_t ty = 0; ty < ty_n; ++ty) {
+                    for (std::size_t tx = 0; tx < tx_n; ++tx) {
+                        const MatrixD tile = extractInputTile(
+                            x, n, c, ty, tx, v, pad);
+                        const MatrixD xf = inputTransform(tile, v);
+                        for (std::size_t i = 0; i < spec.t; ++i)
+                            for (std::size_t j = 0; j < spec.t; ++j)
+                                maxima(i, j) = std::max(
+                                    maxima(i, j), std::abs(xf(i, j)));
+                    }
+                }
+            }
+        }
+    }
+    return maxima;
+}
+
+namespace
+{
+
+/** Reduce a tap-maxima matrix to scales at the given granularity. */
+ScaleSet
+scalesFromMaxima(const MatrixD &tap_maxima,
+                 const std::vector<double> &channel_maxima,
+                 QuantGranularity g, int bits, bool pow2)
+{
+    const std::size_t t = tap_maxima.rows();
+    ScaleSet s;
+    s.tapScale = MatrixD(t, t);
+    for (std::size_t i = 0; i < t; ++i)
+        for (std::size_t j = 0; j < t; ++j)
+            s.tapScale(i, j) = 1.0;
+    s.channelScale.assign(std::max<std::size_t>(channel_maxima.size(), 1),
+                          1.0);
+
+    double global_max = 0.0;
+    for (std::size_t i = 0; i < t; ++i)
+        for (std::size_t j = 0; j < t; ++j)
+            global_max = std::max(global_max, tap_maxima(i, j));
+
+    const auto to_scale = [&](double m) {
+        double sc = scaleForMax(m, bits);
+        if (pow2)
+            sc = pow2Ceil(sc);
+        return sc;
+    };
+
+    switch (g) {
+      case QuantGranularity::LayerWise:
+        s.layerScale = to_scale(global_max);
+        break;
+      case QuantGranularity::ChannelWise:
+        s.layerScale = 1.0;
+        for (std::size_t c = 0; c < channel_maxima.size(); ++c)
+            s.channelScale[c] = to_scale(channel_maxima[c]);
+        break;
+      case QuantGranularity::TapWise:
+        s.layerScale = 1.0;
+        for (std::size_t i = 0; i < t; ++i)
+            for (std::size_t j = 0; j < t; ++j)
+                s.tapScale(i, j) = to_scale(tap_maxima(i, j));
+        break;
+      case QuantGranularity::ChannelTapWise:
+        // Tap scales capture the shape; channel scales capture the
+        // per-channel deviation from the global maximum.
+        s.layerScale = 1.0;
+        for (std::size_t i = 0; i < t; ++i)
+            for (std::size_t j = 0; j < t; ++j)
+                s.tapScale(i, j) = to_scale(tap_maxima(i, j));
+        for (std::size_t c = 0; c < channel_maxima.size(); ++c) {
+            double f = global_max > 0.0
+                ? channel_maxima[c] / global_max
+                : 1.0;
+            if (f <= 0.0)
+                f = 1.0;
+            if (pow2)
+                f = pow2Ceil(f);
+            s.channelScale[c] = f;
+        }
+        break;
+    }
+    return s;
+}
+
+} // namespace
+
+ScaleSet
+estimateWeightScales(const TensorD &weights, WinoVariant v,
+                     QuantGranularity g, int bits, bool pow2)
+{
+    const WinoSpec spec = winoSpec(v);
+    const std::size_t cout = weights.dim(0);
+    const std::size_t cin = weights.dim(1);
+
+    const MatrixD tap_max = weightTapMaxima(weights, v);
+
+    std::vector<double> ch_max(cout, 0.0);
+    for (std::size_t oc = 0; oc < cout; ++oc) {
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+            MatrixD f(3, 3);
+            for (std::size_t ky = 0; ky < 3; ++ky)
+                for (std::size_t kx = 0; kx < 3; ++kx)
+                    f(ky, kx) = weights.at(oc, ic, ky, kx);
+            const MatrixD w = weightTransform(f, v);
+            for (std::size_t i = 0; i < spec.t; ++i)
+                for (std::size_t j = 0; j < spec.t; ++j)
+                    ch_max[oc] = std::max(ch_max[oc],
+                                          std::abs(w(i, j)));
+        }
+    }
+    return scalesFromMaxima(tap_max, ch_max, g, bits, pow2);
+}
+
+ScaleSet
+estimateInputScales(const std::vector<TensorD> &calibration, WinoVariant v,
+                    QuantGranularity g, int bits, bool pow2,
+                    std::size_t pad)
+{
+    const MatrixD tap_max = inputTapMaxima(calibration, v, pad);
+    // Input channel dimension rarely benefits from channel-wise
+    // scaling (it must be shared across the reduction); use a single
+    // neutral channel entry.
+    return scalesFromMaxima(tap_max, {0.0}, g, bits, pow2);
+}
+
+} // namespace twq

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Quantization-scale estimation at layer, channel, and tap
+ * granularity (Section III and V-A4 of the paper).
+ *
+ * Tap-wise scales are the paper's contribution: each of the t*t taps
+ * of the Winograd domain gets its own scaling factor, derived from
+ * the post-transformation dynamic range of that tap and optionally
+ * restricted to powers of two.
+ */
+
+#ifndef TWQ_QUANT_SCALES_HH
+#define TWQ_QUANT_SCALES_HH
+
+#include "tensor/matrix.hh"
+#include "tensor/tensor.hh"
+#include "winograd/matrices.hh"
+
+namespace twq
+{
+
+/** Quantization granularity strategies compared in Fig. 4. */
+enum class QuantGranularity
+{
+    LayerWise,      ///< one scale for the whole tensor
+    ChannelWise,    ///< one scale per output channel
+    TapWise,        ///< one scale per Winograd tap (the paper's method)
+    ChannelTapWise, ///< combined channel x tap
+};
+
+/** Printable name of a granularity. */
+const char *granularityName(QuantGranularity g);
+
+/**
+ * Tap-wise scale matrix S (t x t) plus optional per-channel factors.
+ *
+ * The effective scale of tap (i,j) in channel c is
+ * channelScale[c] * tapScale(i,j); absent dimensions hold the neutral
+ * value 1 so a single struct covers all four granularities.
+ */
+struct ScaleSet
+{
+    MatrixD tapScale;                 ///< [t, t], 1-filled if unused
+    std::vector<double> channelScale; ///< [Cout], 1-filled if unused
+    double layerScale = 1.0;          ///< layer-wise base scale
+
+    /** Effective scale for channel c, tap (i, j). */
+    double
+    at(std::size_t c, std::size_t i, std::size_t j) const
+    {
+        return layerScale * channelScale[c] * tapScale(i, j);
+    }
+};
+
+/**
+ * Estimate scales for weights in the Winograd domain.
+ *
+ * Transforms every [3,3] kernel of `weights` ([Cout, Cin, 3, 3]) with
+ * G f G^T and derives maxima at the requested granularity; scales map
+ * the observed maximum onto the n-bit integer range.
+ *
+ * @param pow2 round each scale up to the next power of two
+ *             (Section III-B, "straight-forward power-of-two").
+ */
+ScaleSet estimateWeightScales(const TensorD &weights, WinoVariant v,
+                              QuantGranularity g, int bits, bool pow2);
+
+/**
+ * Estimate tap-wise scales for input feature maps in the Winograd
+ * domain from calibration data.
+ *
+ * Applies B^T x B to every tile of every calibration tensor and
+ * tracks per-tap maxima with a running average across batches.
+ */
+ScaleSet estimateInputScales(const std::vector<TensorD> &calibration,
+                             WinoVariant v, QuantGranularity g, int bits,
+                             bool pow2, std::size_t pad = 1);
+
+/** Per-tap maxima of |G f G^T| over all filters of a weight tensor. */
+MatrixD weightTapMaxima(const TensorD &weights, WinoVariant v);
+
+/** Per-tap maxima of |B^T x B| over all tiles of a batch of tensors. */
+MatrixD inputTapMaxima(const std::vector<TensorD> &batch, WinoVariant v,
+                       std::size_t pad = 1);
+
+} // namespace twq
+
+#endif // TWQ_QUANT_SCALES_HH

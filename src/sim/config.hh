@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Static configuration of the modeled accelerator (Section IV-A and
+ * Table V of the paper).
+ *
+ * The system has two DaVinci-style AI cores sharing an external
+ * LPDDR4x-class memory through a broadcast unit. Each core has a
+ * Cube Unit (int8 [16x32] x [32x16] MatMul per cycle), a 256B-wide
+ * Vector Unit, MTE transfer engines with im2col and Winograd
+ * transformation hardware, and a software-managed memory hierarchy
+ * (L0A/L0B/L0C/L1/UB). Power and per-byte access energies are the
+ * post-layout figures published in Table V.
+ */
+
+#ifndef TWQ_SIM_CONFIG_HH
+#define TWQ_SIM_CONFIG_HH
+
+#include <cstddef>
+
+namespace twq
+{
+
+/** Per-byte access energy of one memory (pJ/B, Table V). */
+struct MemCost
+{
+    double readPj = 0.0;
+    double writePj = 0.0;
+};
+
+/** Accelerator configuration with Table V defaults. */
+struct AcceleratorConfig
+{
+    // --- system ---
+    std::size_t cores = 2;
+    double clockGhz = 0.5; ///< 500 MHz
+
+    // --- Cube Unit: [16, 32] x [32, 16] int8 MatMul per cycle ---
+    std::size_t cubeM = 16;  ///< output rows per step
+    std::size_t cubeK = 32;  ///< reduction depth per step
+    std::size_t cubeN = 16;  ///< output cols per step
+
+    /** MACs per cycle per core. */
+    double
+    cubeMacsPerCycle() const
+    {
+        return static_cast<double>(cubeM * cubeK * cubeN);
+    }
+
+    /** Peak system throughput in Op/s (1 MAC = 1 Op as in Table VI). */
+    double
+    peakOps() const
+    {
+        return cubeMacsPerCycle() * static_cast<double>(cores) *
+               clockGhz * 1e9;
+    }
+
+    // --- Vector Unit ---
+    double vectorBytesPerCycle = 256.0;
+
+    // --- external memory (Section V-B1) ---
+    double dramBytesPerCycle = 81.2; ///< ~0.8 * 51.2 GB/s at 500 MHz
+    double dramLatencyCycles = 150.0;
+    double dramJitterSigma = 5.0;
+    double bwScale = 1.0; ///< 1.5 models the DDR5 variant of Table VII
+
+    double
+    dramBw() const
+    {
+        return dramBytesPerCycle * bwScale;
+    }
+
+    // --- on-chip memories (sizes in bytes, costs from Table V) ---
+    std::size_t l0aBytes = 64 * 1024;
+    std::size_t l0bBytes = 64 * 1024;
+    std::size_t l0cBytes = 288 * 1024;
+    std::size_t l1Bytes = 1248 * 1024;
+
+    MemCost l0aCost{0.22, 0.24};
+    MemCost l0bCost{0.22, 0.24};
+    MemCost l0cCostPortA{0.23, 0.29};
+    /// Port B read cost: 0.31 pJ/B for im2col, 0.69 pJ/B when the
+    /// rotation logic is exercised by the Winograd kernel.
+    double l0cPortBReadIm2colPj = 0.31;
+    double l0cPortBReadWinoPj = 0.69;
+    MemCost l1Cost{0.92, 0.68};
+
+    // --- unit peak powers at 0.8 V / 500 MHz (mW, Table V) ---
+    double cubePowerIm2colMw = 1521.0;
+    double cubePowerWinoMw = 1923.0;
+    double im2colEnginePowerMw = 30.0;
+    double inXformPowerMw = 145.0;
+    double wtXformPowerMw = 228.0;
+    double outXformPowerMw = 114.0;
+
+    // --- unit areas (mm^2, Table V) ---
+    double cubeAreaMm2 = 2.04;
+    double im2colAreaMm2 = 0.03;
+    double inXformAreaMm2 = 0.23;
+    double wtXformAreaMm2 = 0.32;
+    double outXformAreaMm2 = 0.10;
+    double l0aAreaMm2 = 0.32;
+    double l0bAreaMm2 = 0.32;
+    double l0cAreaMm2 = 1.24;
+    double l1AreaMm2 = 5.97;
+
+    /** Total core area implied by the Table V breakdown (56.1% L1). */
+    double
+    coreAreaMm2() const
+    {
+        return l1AreaMm2 / 0.561;
+    }
+
+    // --- Winograd engine parallelism (Section IV-B2) ---
+    std::size_t inXformParallel = 64;  ///< Pc=32, Ps=2
+    std::size_t outXformParallel = 16; ///< along output channels
+
+    /// Fraction of L1 budgeted for (transformed) weights; the rest
+    /// holds double-buffered activations.
+    double l1WeightFraction = 0.5;
+
+    /// Broadcast Unit (Fig. 2): when enabled, iFMs are streamed from
+    /// GM once and broadcast to both cores; when disabled each core
+    /// issues its own reads, almost doubling the iFM bandwidth
+    /// demand (Section IV-B2).
+    bool broadcastUnit = true;
+
+    /// Fixed scheduling overhead charged per L1 block iteration
+    /// (instruction dispatch + token synchronization).
+    double blockOverheadCycles = 60.0;
+
+    /** Convert unit power (mW) to energy per cycle (pJ/cycle). */
+    double
+    mwToPjPerCycle(double mw) const
+    {
+        return mw / clockGhz; // mW / GHz = pJ/cycle
+    }
+};
+
+} // namespace twq
+
+#endif // TWQ_SIM_CONFIG_HH

@@ -1,0 +1,46 @@
+#include "sim/energy.hh"
+
+namespace twq
+{
+
+EnergyBreakdown
+computeEnergy(const OpPerf &perf, const AcceleratorConfig &cfg)
+{
+    EnergyBreakdown e;
+    const double cores = static_cast<double>(cfg.cores);
+    const bool wino = perf.kind != OpKind::Im2col;
+
+    // Compute units: active cycles x pJ/cycle.
+    const double cube_pj_cycle = cfg.mwToPjPerCycle(
+        wino ? cfg.cubePowerWinoMw : cfg.cubePowerIm2colMw);
+    e.cube = perf.cubeActiveCycles * cores * cube_pj_cycle;
+
+    if (wino) {
+        e.inXform = perf.stages.inXform * cores *
+                    cfg.mwToPjPerCycle(cfg.inXformPowerMw);
+        e.wtXform = perf.stages.wtXform * cores *
+                    cfg.mwToPjPerCycle(cfg.wtXformPowerMw);
+        e.outXform = perf.stages.outXform * cores *
+                     cfg.mwToPjPerCycle(cfg.outXformPowerMw);
+    } else {
+        e.im2colEngine = perf.cubeActiveCycles * cores *
+                         cfg.mwToPjPerCycle(cfg.im2colEnginePowerMw);
+    }
+
+    // Memories: bytes x pJ/B.
+    const MemTraffic &t = perf.traffic;
+    e.l0a = t.l0aRd * cfg.l0aCost.readPj +
+            t.l0aWr * cfg.l0aCost.writePj;
+    e.l0b = t.l0bRd * cfg.l0bCost.readPj +
+            t.l0bWr * cfg.l0bCost.writePj;
+    const double l0c_portb_rd = wino ? cfg.l0cPortBReadWinoPj
+                                     : cfg.l0cPortBReadIm2colPj;
+    e.l0c = t.l0cWr * cfg.l0cCostPortA.writePj +
+            t.l0cRdA * cfg.l0cCostPortA.readPj +
+            t.l0cRdB * l0c_portb_rd;
+    e.l1 = (t.l1RdFm + t.l1RdWt) * cfg.l1Cost.readPj +
+           (t.l1WrFm + t.l1WrWt) * cfg.l1Cost.writePj;
+    return e;
+}
+
+} // namespace twq

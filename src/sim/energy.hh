@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Energy model: event counts (unit-active cycles, per-level memory
+ * traffic) times the post-layout per-event costs of Table V.
+ */
+
+#ifndef TWQ_SIM_ENERGY_HH
+#define TWQ_SIM_ENERGY_HH
+
+#include "sim/operators.hh"
+
+namespace twq
+{
+
+/** Energy breakdown of one operator execution (pJ). */
+struct EnergyBreakdown
+{
+    double cube = 0.0;
+    double im2colEngine = 0.0;
+    double inXform = 0.0;
+    double wtXform = 0.0;
+    double outXform = 0.0;
+    double l0a = 0.0;
+    double l0b = 0.0;
+    double l0c = 0.0;
+    double l1 = 0.0;
+
+    double
+    total() const
+    {
+        return cube + im2colEngine + inXform + wtXform + outXform +
+               l0a + l0b + l0c + l1;
+    }
+
+    double
+    memoryTotal() const
+    {
+        return l0a + l0b + l0c + l1;
+    }
+};
+
+/** Compute the energy of one simulated operator execution. */
+EnergyBreakdown computeEnergy(const OpPerf &perf,
+                              const AcceleratorConfig &cfg);
+
+} // namespace twq
+
+#endif // TWQ_SIM_ENERGY_HH

@@ -1,0 +1,94 @@
+#include "sim/network.hh"
+
+namespace twq
+{
+
+const char *
+systemKindName(SystemKind k)
+{
+    switch (k) {
+      case SystemKind::Im2colOnly:
+        return "im2col";
+      case SystemKind::WithF2:
+        return "F2";
+      case SystemKind::WithF4:
+        return "F4";
+    }
+    return "?";
+}
+
+ConvWorkload
+toWorkload(const ConvLayerDesc &l, std::size_t batch)
+{
+    ConvWorkload w;
+    w.batch = batch;
+    w.hOut = l.outHeight();
+    w.wOut = l.outWidth();
+    w.cin = l.cin;
+    w.cout = l.cout;
+    w.kernel = l.kernel;
+    w.stride = l.stride;
+    return w;
+}
+
+double
+NetPerf::imgsPerSec(const AcceleratorConfig &cfg) const
+{
+    if (totalCycles <= 0.0)
+        return 0.0;
+    const double seconds = totalCycles / (cfg.clockGhz * 1e9);
+    return static_cast<double>(batch) / seconds;
+}
+
+double
+NetPerf::infPerJoule() const
+{
+    if (totalEnergyPj <= 0.0)
+        return 0.0;
+    return static_cast<double>(batch) / (totalEnergyPj * 1e-12);
+}
+
+NetPerf
+runNetwork(const NetworkDesc &net, std::size_t batch, SystemKind system,
+           const AcceleratorConfig &cfg)
+{
+    NetPerf out;
+    out.network = net.name;
+    out.system = system;
+    out.batch = batch;
+
+    for (const ConvLayerDesc &l : net.layers) {
+        const ConvWorkload w = toWorkload(l, batch);
+        LayerPerf lp;
+        lp.name = l.name;
+        lp.repeat = l.repeat;
+        lp.eligible = l.winogradEligible();
+
+        const OpPerf base = simulateConv(w, OpKind::Im2col, cfg);
+        lp.perf = base;
+        lp.chosen = OpKind::Im2col;
+        if (lp.eligible && system != SystemKind::Im2colOnly) {
+            const OpKind wk = system == SystemKind::WithF2
+                                  ? OpKind::WinogradF2
+                                  : OpKind::WinogradF4;
+            const OpPerf wino = simulateConv(w, wk, cfg);
+            // The compiler picks the faster kernel per layer.
+            if (wino.cycles < base.cycles) {
+                lp.perf = wino;
+                lp.chosen = wk;
+            }
+        }
+        lp.energy = computeEnergy(lp.perf, cfg);
+        lp.cycles = lp.perf.cycles * static_cast<double>(l.repeat);
+        lp.energyPj =
+            lp.energy.total() * static_cast<double>(l.repeat);
+        out.totalCycles += lp.cycles;
+        out.totalEnergyPj += lp.energyPj;
+        if (lp.eligible)
+            out.eligibleCycles += lp.cycles;
+        out.layers.push_back(std::move(lp));
+    }
+    return out;
+}
+
+} // namespace twq

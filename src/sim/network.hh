@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Network-level runner: maps every conv layer of a NetworkDesc onto
+ * the accelerator and aggregates time and energy (Table VII, Fig. 6).
+ *
+ * Layer routing follows the paper: 3x3 unit-stride layers may use
+ * the Winograd operator of the available extension; the compiler
+ * picks whichever kernel (Winograd or im2col) is faster per layer.
+ * All other layers (1x1, strided, large kernels) run im2col.
+ */
+
+#ifndef TWQ_SIM_NETWORK_HH
+#define TWQ_SIM_NETWORK_HH
+
+#include <vector>
+
+#include "models/zoo.hh"
+#include "sim/energy.hh"
+#include "sim/operators.hh"
+
+namespace twq
+{
+
+/** Which Winograd extension the system has (if any). */
+enum class SystemKind
+{
+    Im2colOnly,
+    WithF2,
+    WithF4,
+};
+
+const char *systemKindName(SystemKind k);
+
+/** Result for one layer instance (aggregated over `repeat`). */
+struct LayerPerf
+{
+    std::string name;
+    OpKind chosen = OpKind::Im2col;
+    bool eligible = false; ///< Winograd-eligible layer
+    double cycles = 0.0;
+    double energyPj = 0.0;
+    OpPerf perf;           ///< single-instance operator stats
+    EnergyBreakdown energy;
+    std::size_t repeat = 1;
+};
+
+/** Whole-network result. */
+struct NetPerf
+{
+    std::string network;
+    SystemKind system = SystemKind::Im2colOnly;
+    std::size_t batch = 1;
+    double totalCycles = 0.0;
+    double totalEnergyPj = 0.0;
+    /// Cycles spent in Winograd-eligible layers (for the
+    /// parenthesized Table VII columns).
+    double eligibleCycles = 0.0;
+    std::vector<LayerPerf> layers;
+
+    /** Throughput in images per second. */
+    double imgsPerSec(const AcceleratorConfig &cfg) const;
+
+    /** Energy efficiency in inferences per joule. */
+    double infPerJoule() const;
+};
+
+/** Simulate a full network on the given system configuration. */
+NetPerf runNetwork(const NetworkDesc &net, std::size_t batch,
+                   SystemKind system, const AcceleratorConfig &cfg);
+
+/** Convert one zoo layer to a simulator workload. */
+ConvWorkload toWorkload(const ConvLayerDesc &l, std::size_t batch);
+
+} // namespace twq
+
+#endif // TWQ_SIM_NETWORK_HH

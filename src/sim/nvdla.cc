@@ -1,0 +1,77 @@
+#include "sim/nvdla.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace twq
+{
+
+NvdlaPerf
+simulateNvdla(const ConvWorkload &w, NvdlaKernel kernel,
+              const NvdlaConfig &cfg)
+{
+    twq_assert(kernel == NvdlaKernel::Direct ||
+               (w.kernel == 3 && w.stride == 1),
+               "NVDLA Winograd supports 3x3 stride-1 only");
+
+    NvdlaPerf p;
+    const double peak_macs = cfg.macsPerCycle *
+                             static_cast<double>(cfg.engines) *
+                             cfg.computeEfficiency;
+
+    // --- compute time ---
+    double effective_macs = w.macs();
+    if (kernel == NvdlaKernel::WinogradF2) {
+        // 4x4 transformed tiles for 2x2 outputs: 2.25x fewer MACs,
+        // spatial dims padded to multiples of 2.
+        const double ho = std::ceil(w.hOut / 2.0) * 2.0;
+        const double wo = std::ceil(w.wOut / 2.0) * 2.0;
+        effective_macs = static_cast<double>(w.batch) * ho * wo *
+                         w.cin * w.cout * 16.0 / 4.0;
+    }
+    p.computeCycles = effective_macs / peak_macs;
+
+    // --- memory time (FP16: 2 bytes per element) ---
+    const std::size_t k = w.kernel;
+    const std::size_t hin = w.hOut * w.stride +
+                            (k > w.stride ? k - w.stride : 0);
+    const std::size_t win = w.wOut * w.stride +
+                            (k > w.stride ? k - w.stride : 0);
+    const double v_ifm = 2.0 * w.batch * w.cin * hin * win;
+    const double v_ofm = 2.0 * w.batch * w.cout * w.hOut * w.wOut;
+    // Offline-transformed Winograd weights: 4x4 taps per 3x3 kernel,
+    // i.e. 16/9 = 1.78x the transfer volume (Section V-B4).
+    const double wt_per_cout =
+        2.0 * w.cin * (kernel == NvdlaKernel::WinogradF2
+                           ? 16.0
+                           : static_cast<double>(k * k));
+    const double v_wt = wt_per_cout * static_cast<double>(w.cout);
+
+    // Convolution-buffer blocking: weights stream through a fixed
+    // CBUF share; each pass covers as many output channels as fit.
+    // If the per-image iFM does not fit in the remaining CBUF space,
+    // it must be re-fetched once per pass (Section V-B4: "if the
+    // input feature maps of a single layer cannot be stored entirely
+    // on-chip, they need to be transferred multiple times").
+    const double ifm_per_image = v_ifm / static_cast<double>(w.batch);
+    const double ifm_space =
+        cfg.onChipBytesPerEngine - cfg.cbufWeightBytes;
+    double passes = 1.0;
+    if (ifm_per_image > ifm_space) {
+        const double cout_per_pass =
+            std::max(1.0, std::floor(cfg.cbufWeightBytes /
+                                     wt_per_cout));
+        passes = std::ceil(static_cast<double>(w.cout) /
+                           cout_per_pass);
+    }
+    const double bytes = v_ifm * passes + v_wt + v_ofm;
+    p.memoryCycles = bytes / cfg.bytesPerCycle();
+
+    p.cycles = std::max(p.computeCycles, p.memoryCycles);
+    p.timeUs = p.cycles / (cfg.clockGhz * 1e3);
+    return p;
+}
+
+} // namespace twq

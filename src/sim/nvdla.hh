@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Analytical model of the NVDLA-based comparison system of Table VI:
+ * 8 NVDLA v1 engines (1 TOp/s each at 1 GHz), FP16 datapath, direct
+ * convolution plus Winograd F2, 512 kB of on-chip buffer per engine,
+ * and offline-transformed Winograd weights (16/9 = 1.78x volume).
+ */
+
+#ifndef TWQ_SIM_NVDLA_HH
+#define TWQ_SIM_NVDLA_HH
+
+#include "sim/operators.hh"
+
+namespace twq
+{
+
+/** NVDLA system configuration (Table VI defaults). */
+struct NvdlaConfig
+{
+    std::size_t engines = 8;
+    double clockGhz = 1.0;
+    /// MACs per cycle per engine (NVDLA "large" configuration; the
+    /// Table VI system quotes 1 TOp/s per engine at 1 GHz).
+    double macsPerCycle = 1024.0;
+    double onChipBytesPerEngine = 512.0 * 1024.0;
+    /// Share of the convolution buffer reserved for weights; the
+    /// rest holds input feature data.
+    double cbufWeightBytes = 144.0 * 1024.0;
+    /// External bandwidth in Gword/s; 1 word = 2 bytes (FP16).
+    double bwGwordPerSec = 128.0;
+    /// Compute efficiency of the convolution mapper (atomics,
+    /// partial tiles).
+    double computeEfficiency = 0.92;
+
+    double
+    bytesPerCycle() const
+    {
+        return bwGwordPerSec * 2.0 / clockGhz; // words are FP16
+    }
+};
+
+/** NVDLA kernel choice. */
+enum class NvdlaKernel
+{
+    Direct,
+    WinogradF2,
+};
+
+/** Result of one NVDLA layer execution. */
+struct NvdlaPerf
+{
+    double cycles = 0.0;
+    double timeUs = 0.0;
+    double computeCycles = 0.0;
+    double memoryCycles = 0.0;
+};
+
+/** Simulate one Conv2D on the NVDLA system. */
+NvdlaPerf simulateNvdla(const ConvWorkload &w, NvdlaKernel kernel,
+                        const NvdlaConfig &cfg);
+
+} // namespace twq
+
+#endif // TWQ_SIM_NVDLA_HH

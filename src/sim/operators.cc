@@ -1,0 +1,264 @@
+#include "sim/operators.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "winograd/matrices.hh"
+#include "xform/engines.hh"
+
+namespace twq
+{
+
+namespace
+{
+
+std::size_t
+ceilDiv(std::size_t a, std::size_t b)
+{
+    return (a + b - 1) / b;
+}
+
+std::size_t
+roundUp(std::size_t a, std::size_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+} // namespace
+
+const char *
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::Im2col:
+        return "im2col";
+      case OpKind::WinogradF2:
+        return "F2";
+      case OpKind::WinogradF4:
+        return "F4";
+    }
+    return "?";
+}
+
+double
+StageCycles::maxStage() const
+{
+    return std::max({cube, inXform, outXform, wtXform,
+                     inLoad + wtLoad + outStore, vector});
+}
+
+double
+OpPerf::timeUs(const AcceleratorConfig &cfg) const
+{
+    return cycles / (cfg.clockGhz * 1e3);
+}
+
+OpPerf
+simulateConv(const ConvWorkload &w, OpKind kind,
+             const AcceleratorConfig &cfg)
+{
+    twq_assert(kind == OpKind::Im2col ||
+               (w.kernel == 3 && w.stride == 1),
+               "Winograd operators require 3x3 stride-1 layers");
+
+    OpPerf perf;
+    perf.kind = kind;
+    StageCycles &st = perf.stages;
+    MemTraffic &tr = perf.traffic;
+
+    const double cores = static_cast<double>(cfg.cores);
+    const std::size_t cout_core = ceilDiv(w.cout, cfg.cores);
+    const std::size_t k = w.kernel;
+    const std::size_t hin = w.hOut * w.stride + (k > w.stride
+                                                 ? k - w.stride : 0);
+    const std::size_t win = w.wOut * w.stride + (k > w.stride
+                                                 ? k - w.stride : 0);
+
+    // Raw data volumes (int8 bytes).
+    const double v_ifm = static_cast<double>(w.batch) * w.cin * hin *
+                         win;
+    const double v_ofm = static_cast<double>(w.batch) * w.cout *
+                         w.hOut * w.wOut;
+    const double v_wt = static_cast<double>(w.cout) * w.cin * k * k;
+
+    const double l1_wt_budget =
+        cfg.l1WeightFraction * static_cast<double>(cfg.l1Bytes);
+
+    if (kind == OpKind::Im2col) {
+        // --- Cube: lowered [HoWo, Cin*k*k] x [Cin*k*k, Cout]. ---
+        const std::size_t spatial =
+            roundUp(w.hOut * w.wOut, cfg.cubeM) / cfg.cubeM;
+        const std::size_t red =
+            roundUp(w.cin * k * k, cfg.cubeK) / cfg.cubeK;
+        const std::size_t oc =
+            roundUp(cout_core, cfg.cubeN) / cfg.cubeN;
+        const double cube =
+            static_cast<double>(w.batch) * spatial * red * oc;
+        st.cube = cube;
+        perf.cubeActiveCycles = cube;
+
+        // --- L1 blocking of weights; iFM re-read per Cout block
+        // only when it cannot stay resident in the activation
+        // region of L1. ---
+        const double wt_core = static_cast<double>(cout_core) * w.cin *
+                               k * k;
+        const std::size_t cout_blocks = static_cast<std::size_t>(
+            std::max(1.0, std::ceil(wt_core / l1_wt_budget)));
+        const double act_budget =
+            (1.0 - cfg.l1WeightFraction) * cfg.l1Bytes;
+        const double ifm_reads =
+            v_ifm <= act_budget ? 1.0
+                                : static_cast<double>(cout_blocks);
+
+        // Without the Broadcast Unit each core fetches its own copy.
+        const double bcast = cfg.broadcastUnit ? 1.0 : cores;
+        tr.gmRdFm = v_ifm * ifm_reads * bcast;
+        tr.gmRdWt = v_wt;
+        tr.gmWr = v_ofm;
+
+        tr.l1WrFm = v_ifm * ifm_reads * cores; // each core's L1 copy
+        tr.l1WrWt = v_wt;
+        // im2col window reads: each input element contributes to k*k
+        // output positions (stride 1) -> expansion factor k^2/stride^2.
+        const double expansion =
+            static_cast<double>(k * k) /
+            static_cast<double>(w.stride * w.stride);
+        tr.l1RdFm = v_ifm * expansion * cores;
+        tr.l0aWr = tr.l1RdFm;
+        tr.l0aRd = cube * cores * (cfg.cubeM * cfg.cubeK);
+        tr.l1RdWt = v_wt; // into L0B once, reused from there
+        tr.l0bWr = v_wt;
+        tr.l0bRd = cube * cores * (cfg.cubeK * cfg.cubeN);
+        // Partial sums stay inside the Cube across one reduction
+        // chain; L0C sees one write + one accumulate-read per chain.
+        tr.l0cWr = cube * cores * (cfg.cubeM * cfg.cubeN) * 4.0 /
+                   static_cast<double>(red);
+        tr.l0cRdA = tr.l0cWr;
+        tr.l0cRdB = v_ofm * 4.0; // int32 out of L0C into FixPipe
+
+        st.inLoad = tr.gmRdFm / cfg.dramBw();
+        st.wtLoad = tr.gmRdWt / cfg.dramBw();
+        st.outStore = tr.gmWr / cfg.dramBw();
+        st.vector = 2.0 * (v_ofm / cores) / cfg.vectorBytesPerCycle;
+        st.wtXform = 0.0;
+        st.inXform = 0.0;
+        st.outXform = 0.0;
+
+        const double fills = static_cast<double>(cout_blocks) *
+            std::max(1.0, v_ifm / (0.4 * cfg.l1Bytes));
+        st.overhead =
+            fills * (cfg.dramLatencyCycles + cfg.blockOverheadCycles);
+    } else {
+        const WinoVariant v = kind == OpKind::WinogradF2
+                                  ? WinoVariant::F2
+                                  : WinoVariant::F4;
+        const WinoSpec spec = winoSpec(v);
+        const std::size_t m = spec.m;
+        const std::size_t t = spec.t;
+        const std::size_t tiles_img =
+            ceilDiv(w.hOut, m) * ceilDiv(w.wOut, m);
+        const double n_tiles =
+            static_cast<double>(w.batch) * tiles_img;
+
+        // --- Cube: t*t batched MatMuls [tiles, Cin] x [Cin, Cout]. ---
+        const std::size_t tile_rows = roundUp(
+            static_cast<std::size_t>(n_tiles), cfg.cubeM) / cfg.cubeM;
+        const std::size_t red =
+            roundUp(w.cin, cfg.cubeK) / cfg.cubeK;
+        const std::size_t oc =
+            roundUp(cout_core, cfg.cubeN) / cfg.cubeN;
+        const double cube = static_cast<double>(t * t) * tile_rows *
+                            red * oc;
+        st.cube = cube;
+        perf.cubeActiveCycles = cube;
+
+        // --- transformed weights in L1: t*t bytes per filter pair. ---
+        const double wt_core_wino =
+            static_cast<double>(cout_core) * w.cin * t * t;
+        const std::size_t cout_blocks = static_cast<std::size_t>(
+            std::max(1.0, std::ceil(wt_core_wino / l1_wt_budget)));
+
+        // Halo region: each m x m output tile reads a t x t input
+        // window; unique volume is (Ho + 2) x (Wo + 2) plus the halo
+        // re-read across L1 block boundaries (amortized ~tiles/row).
+        const double v_ifm_halo = static_cast<double>(w.batch) *
+            w.cin * (w.hOut + 2) * (w.wOut + 2);
+        const double act_budget =
+            (1.0 - cfg.l1WeightFraction) * cfg.l1Bytes;
+        const double ifm_reads =
+            v_ifm_halo <= act_budget
+                ? 1.0
+                : static_cast<double>(cout_blocks);
+
+        // Without the Broadcast Unit each core fetches its own copy.
+        const double bcast = cfg.broadcastUnit ? 1.0 : cores;
+        tr.gmRdFm = v_ifm_halo * ifm_reads * bcast;
+        tr.gmRdWt = v_wt; // spatial weights; transformed on the fly
+        tr.gmWr = v_ofm;
+
+        tr.l1WrFm = v_ifm_halo * ifm_reads * cores;
+        // Weight path: GM -> L0B -> (wt engine) -> L1 (t*t expansion).
+        tr.l0bWr = v_wt;
+        tr.l0bRd = v_wt;
+        tr.l1WrWt =
+            v_wt * static_cast<double>(t * t) / static_cast<double>(
+                k * k);
+        // Cube reads weights from L1 directly each reduction step.
+        tr.l1RdWt = cube * cores * (cfg.cubeK * cfg.cubeN);
+
+        // Input transform: volume expansion t^2 / m^2.
+        const double expansion = static_cast<double>(t * t) /
+                                 static_cast<double>(m * m);
+        tr.l1RdFm = v_ifm_halo * expansion * cores;
+        tr.l0aWr = tr.l1RdFm;
+        tr.l0aRd = cube * cores * (cfg.cubeM * cfg.cubeK);
+        tr.l0cWr = cube * cores * (cfg.cubeM * cfg.cubeN) * 4.0 /
+                   static_cast<double>(red);
+        tr.l0cRdA = tr.l0cWr;
+        // oFMs leave L0C in the Winograd domain: t*t taps per m*m.
+        tr.l0cRdB = v_ofm * expansion * 4.0;
+
+        // --- engine stages (per core) ---
+        const double cin_padded = static_cast<double>(roundUp(
+            w.cin, cfg.cubeK));
+        const double n_in_xf = n_tiles * cin_padded;
+        st.inXform = n_in_xf /
+            static_cast<double>(cfg.inXformParallel) *
+            static_cast<double>(t);
+        const double n_out_xf =
+            n_tiles * static_cast<double>(cout_core);
+        st.outXform = n_out_xf /
+            static_cast<double>(cfg.outXformParallel) *
+            static_cast<double>(t);
+        // Tap-by-tap weight engine, sized so its consumption rate (9
+        // spatial bytes per transform) matches the core's share of
+        // the baseline external bandwidth (Section IV-B2: "tuned to
+        // match the external weight transfers while occupying the
+        // minimum area"). A faster DRAM (bwScale > 1) does not speed
+        // up the hardwired engine.
+        const double n_wt_xf =
+            static_cast<double>(cout_core) * w.cin;
+        const double wt_engine_bytes_per_cycle =
+            cfg.dramBytesPerCycle / static_cast<double>(cfg.cores);
+        st.wtXform = n_wt_xf * 9.0 / wt_engine_bytes_per_cycle;
+
+        st.inLoad = tr.gmRdFm / cfg.dramBw();
+        st.wtLoad = tr.gmRdWt / cfg.dramBw();
+        st.outStore = tr.gmWr / cfg.dramBw();
+        // Vector Unit: output transform post-scaling (S_BG) on t*t
+        // int32 taps plus requantization of the spatial output.
+        st.vector = (v_ofm / cores) *
+            (expansion + 1.0) / cfg.vectorBytesPerCycle;
+
+        const double fills = static_cast<double>(cout_blocks) *
+            std::max(1.0, v_ifm_halo / (0.4 * cfg.l1Bytes));
+        st.overhead =
+            fills * (cfg.dramLatencyCycles + cfg.blockOverheadCycles);
+    }
+
+    perf.cycles = st.maxStage() + st.overhead;
+    return perf;
+}
+
+} // namespace twq

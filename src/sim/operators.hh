@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Performance model of the Conv2D operators on the accelerator:
+ * im2col (baseline), Winograd F2, and Winograd F4 with the Listing 1
+ * dataflow (weight-stationary, transformed on the fly, triple-level
+ * double buffering, iFM broadcast to both cores).
+ *
+ * The model is a steady-state tile pipeline: per layer it computes
+ * the cycle cost of every pipeline stage (DRAM transfers, MTE1
+ * transformations, Cube MatMul, Vector/FixPipe post-processing) and
+ * takes the maximum as the steady-state bound, plus fill/drain and
+ * per-block scheduling overheads. Memory traffic per level is
+ * counted explicitly (Fig. 6) and feeds the energy model.
+ */
+
+#ifndef TWQ_SIM_OPERATORS_HH
+#define TWQ_SIM_OPERATORS_HH
+
+#include <string>
+
+#include "sim/config.hh"
+
+namespace twq
+{
+
+/** One Conv2D workload (per Table IV conventions H,W = output res). */
+struct ConvWorkload
+{
+    std::size_t batch = 1;
+    std::size_t hOut = 32;
+    std::size_t wOut = 32;
+    std::size_t cin = 64;
+    std::size_t cout = 64;
+    std::size_t kernel = 3;
+    std::size_t stride = 1;
+
+    /** Total MACs of this layer. */
+    double
+    macs() const
+    {
+        return static_cast<double>(batch) * hOut * wOut * cin * cout *
+               kernel * kernel;
+    }
+};
+
+/** Convolution algorithm executed by the accelerator. */
+enum class OpKind
+{
+    Im2col,
+    WinogradF2,
+    WinogradF4,
+};
+
+const char *opKindName(OpKind k);
+
+/** Byte counts per memory level for one operator execution. */
+struct MemTraffic
+{
+    // External memory (whole system; broadcast counted once).
+    double gmRdFm = 0.0;
+    double gmRdWt = 0.0;
+    double gmWr = 0.0;
+    // L1 (per system).
+    double l1WrFm = 0.0;
+    double l1RdFm = 0.0;
+    double l1WrWt = 0.0;
+    double l1RdWt = 0.0;
+    // L0 buffers.
+    double l0aWr = 0.0;
+    double l0aRd = 0.0;
+    double l0bWr = 0.0;
+    double l0bRd = 0.0;
+    double l0cWr = 0.0;
+    double l0cRdA = 0.0; ///< accumulation port
+    double l0cRdB = 0.0; ///< FixPipe port
+};
+
+/** Per-stage cycle breakdown (the Fig. 5 categories). */
+struct StageCycles
+{
+    double cube = 0.0;
+    double inXform = 0.0;
+    double outXform = 0.0;
+    double wtXform = 0.0;
+    double inLoad = 0.0;   ///< DRAM iFM transfer
+    double wtLoad = 0.0;   ///< DRAM weight transfer
+    double outStore = 0.0; ///< DRAM oFM transfer
+    double vector = 0.0;   ///< Vector Unit / FixPipe
+    double overhead = 0.0; ///< block scheduling + fill/drain
+
+    double maxStage() const;
+};
+
+/** Result of simulating one operator execution. */
+struct OpPerf
+{
+    OpKind kind = OpKind::Im2col;
+    double cycles = 0.0;        ///< total execution cycles
+    double cubeActiveCycles = 0.0;
+    StageCycles stages;
+    MemTraffic traffic;
+    double timeUs(const AcceleratorConfig &cfg) const;
+};
+
+/**
+ * Simulate one Conv2D layer on the 2-core system.
+ *
+ * Winograd kinds require kernel == 3 and stride == 1 (the network
+ * runner routes other layers to im2col).
+ */
+OpPerf simulateConv(const ConvWorkload &w, OpKind kind,
+                    const AcceleratorConfig &cfg);
+
+} // namespace twq
+
+#endif // TWQ_SIM_OPERATORS_HH

@@ -1,0 +1,73 @@
+#include "sim/pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace twq
+{
+
+PipelineResult
+simulatePipeline(const OpPerf &perf, const AcceleratorConfig &cfg,
+                 std::uint64_t seed, std::size_t blocks)
+{
+    const StageCycles &st = perf.stages;
+    if (blocks == 0) {
+        // L0-level double buffering is fine-grained (one Cube tile
+        // per beat); size blocks to ~64 cycles of the bottleneck
+        // stage so the pipeline reaches steady state even on small
+        // layers.
+        blocks = static_cast<std::size_t>(
+            std::max(1.0, std::ceil(st.maxStage() / 64.0)));
+        blocks = std::clamp<std::size_t>(blocks, 8, 4096);
+    }
+    const double nb = static_cast<double>(blocks);
+
+    // Per-block stage costs from the analytical totals. The Load
+    // stage models the shared DRAM channel, so it carries the whole
+    // external traffic (reads and the write-back beats); the Store
+    // stage models MTE3 occupancy only.
+    const std::array<double, kPipeStages> base{
+        (st.inLoad + st.wtLoad + st.outStore) / nb, // Load (DRAM)
+        (st.inXform + st.wtXform) / nb,             // Xform
+        st.cube / nb,                               // Cube
+        (st.outXform + st.vector) / nb,             // Post
+        st.outStore / nb,                           // Store (MTE3)
+    };
+
+    Rng rng(seed);
+    PipelineResult res;
+    res.blocks = blocks;
+
+    std::array<double, kPipeStages> finish{};
+    // The first DRAM access of each block pays the (jittered) DRAM
+    // latency; later beats stream behind it.
+    for (std::size_t i = 0; i < blocks; ++i) {
+        double prev_stage_finish = 0.0;
+        for (std::size_t s = 0; s < kPipeStages; ++s) {
+            double cost = base[s];
+            if (s == static_cast<std::size_t>(PipeStage::Load) &&
+                cost > 0.0) {
+                const double jitter =
+                    rng.normal(0.0, cfg.dramJitterSigma);
+                cost += std::max(
+                    0.0, cfg.dramLatencyCycles / nb + jitter);
+            }
+            // Idle time the stage spends waiting for its producer
+            // (the first stage never waits on a producer).
+            const double ready =
+                std::max(finish[s], prev_stage_finish);
+            res.stallCycles[s] += std::max(
+                0.0, prev_stage_finish - finish[s]);
+            finish[s] = ready + cost;
+            res.busyCycles[s] += cost;
+            prev_stage_finish = finish[s];
+        }
+    }
+    res.cycles = finish[kPipeStages - 1] + st.overhead;
+    return res;
+}
+
+} // namespace twq

@@ -1,0 +1,58 @@
+#include "tensor/fractal.hh"
+
+namespace twq
+{
+
+template <typename T>
+Tensor<T>
+packFractal(const Tensor<T> &nchw, std::size_t c0)
+{
+    twq_assert(nchw.rank() == 4, "packFractal expects NCHW");
+    const std::size_t n = nchw.dim(0);
+    const std::size_t c = nchw.dim(1);
+    const std::size_t h = nchw.dim(2);
+    const std::size_t w = nchw.dim(3);
+    const std::size_t c1 = (c + c0 - 1) / c0;
+
+    Tensor<T> out({n, c1, h, w, c0});
+    for (std::size_t in = 0; in < n; ++in)
+        for (std::size_t ic = 0; ic < c; ++ic)
+            for (std::size_t ih = 0; ih < h; ++ih)
+                for (std::size_t iw = 0; iw < w; ++iw)
+                    out.at(in, ic / c0, ih, iw, ic % c0) =
+                        nchw.at(in, ic, ih, iw);
+    return out;
+}
+
+template <typename T>
+Tensor<T>
+unpackFractal(const Tensor<T> &fractal, std::size_t channels)
+{
+    twq_assert(fractal.rank() == 5, "unpackFractal expects N,C1,H,W,C0");
+    const std::size_t n = fractal.dim(0);
+    const std::size_t c1 = fractal.dim(1);
+    const std::size_t h = fractal.dim(2);
+    const std::size_t w = fractal.dim(3);
+    const std::size_t c0 = fractal.dim(4);
+    twq_assert(channels <= c1 * c0, "channel count exceeds packed size");
+
+    Tensor<T> out({n, channels, h, w});
+    for (std::size_t in = 0; in < n; ++in)
+        for (std::size_t ic = 0; ic < channels; ++ic)
+            for (std::size_t ih = 0; ih < h; ++ih)
+                for (std::size_t iw = 0; iw < w; ++iw)
+                    out.at(in, ic, ih, iw) =
+                        fractal.at(in, ic / c0, ih, iw, ic % c0);
+    return out;
+}
+
+template Tensor<float> packFractal(const Tensor<float> &, std::size_t);
+template Tensor<double> packFractal(const Tensor<double> &, std::size_t);
+template Tensor<std::int8_t> packFractal(const Tensor<std::int8_t> &,
+                                         std::size_t);
+template Tensor<float> unpackFractal(const Tensor<float> &, std::size_t);
+template Tensor<double> unpackFractal(const Tensor<double> &, std::size_t);
+template Tensor<std::int8_t> unpackFractal(const Tensor<std::int8_t> &,
+                                           std::size_t);
+
+} // namespace twq

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fractal data layout ⟨N, C1, H, W, C0⟩ used by the accelerator.
+ *
+ * The DaVinci-style Cube Unit reduces over the channel dimension in
+ * groups of C0 = 32 (see Section IV-A of the paper); tensors are
+ * stored with the channel dimension split into a sub-dimension C0 and
+ * a super-dimension C1 = ceil(C / C0), making 32 channels and the
+ * spatial W dimension contiguous in memory.
+ */
+
+#ifndef TWQ_TENSOR_FRACTAL_HH
+#define TWQ_TENSOR_FRACTAL_HH
+
+#include <cstdint>
+
+#include "tensor/tensor.hh"
+
+namespace twq
+{
+
+/** Channel sub-dimension size used by the Cube Unit. */
+constexpr std::size_t kFractalC0 = 32;
+
+/**
+ * Pack an NCHW tensor into fractal ⟨N, C1, H, W, C0⟩ layout.
+ *
+ * Channels beyond C are zero-padded up to C1*C0 so the Cube Unit can
+ * always consume full 32-channel groups.
+ */
+template <typename T>
+Tensor<T> packFractal(const Tensor<T> &nchw, std::size_t c0 = kFractalC0);
+
+/**
+ * Unpack a fractal ⟨N, C1, H, W, C0⟩ tensor back to NCHW with the
+ * given true channel count (drops the zero padding).
+ */
+template <typename T>
+Tensor<T> unpackFractal(const Tensor<T> &fractal, std::size_t channels);
+
+extern template Tensor<float> packFractal(const Tensor<float> &,
+                                          std::size_t);
+extern template Tensor<double> packFractal(const Tensor<double> &,
+                                           std::size_t);
+extern template Tensor<std::int8_t> packFractal(const Tensor<std::int8_t> &,
+                                                std::size_t);
+extern template Tensor<float> unpackFractal(const Tensor<float> &,
+                                            std::size_t);
+extern template Tensor<double> unpackFractal(const Tensor<double> &,
+                                             std::size_t);
+extern template Tensor<std::int8_t>
+unpackFractal(const Tensor<std::int8_t> &, std::size_t);
+
+} // namespace twq
+
+#endif // TWQ_TENSOR_FRACTAL_HH

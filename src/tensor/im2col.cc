@@ -1,0 +1,159 @@
+#include "tensor/im2col.hh"
+
+namespace twq
+{
+
+template <typename T>
+Matrix<T>
+im2col(const Tensor<T> &input, std::size_t n, const ConvParams &p)
+{
+    twq_assert(input.rank() == 4, "im2col expects NCHW");
+    const std::size_t c = input.dim(1);
+    const std::size_t h = input.dim(2);
+    const std::size_t w = input.dim(3);
+    const std::size_t ho = p.outSize(h);
+    const std::size_t wo = p.outSize(w);
+    const std::size_t k = p.kernel;
+
+    Matrix<T> cols(c * k * k, ho * wo);
+    for (std::size_t ic = 0; ic < c; ++ic) {
+        for (std::size_t ky = 0; ky < k; ++ky) {
+            for (std::size_t kx = 0; kx < k; ++kx) {
+                const std::size_t row = (ic * k + ky) * k + kx;
+                for (std::size_t oy = 0; oy < ho; ++oy) {
+                    for (std::size_t ox = 0; ox < wo; ++ox) {
+                        const std::ptrdiff_t iy =
+                            static_cast<std::ptrdiff_t>(oy * p.stride + ky)
+                            - static_cast<std::ptrdiff_t>(p.pad);
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(ox * p.stride + kx)
+                            - static_cast<std::ptrdiff_t>(p.pad);
+                        T v{};
+                        if (iy >= 0 && ix >= 0 &&
+                            iy < static_cast<std::ptrdiff_t>(h) &&
+                            ix < static_cast<std::ptrdiff_t>(w)) {
+                            v = input.at(n, ic,
+                                         static_cast<std::size_t>(iy),
+                                         static_cast<std::size_t>(ix));
+                        }
+                        cols(row, oy * wo + ox) = v;
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+template <typename T>
+Tensor<T>
+conv2dIm2col(const Tensor<T> &input, const Tensor<T> &weights,
+             const ConvParams &p)
+{
+    twq_assert(input.rank() == 4 && weights.rank() == 4,
+               "conv2dIm2col expects NCHW input and OIKK weights");
+    twq_assert(input.dim(1) == weights.dim(1),
+               "channel mismatch between input and weights");
+    const std::size_t n = input.dim(0);
+    const std::size_t cout = weights.dim(0);
+    const std::size_t cin = weights.dim(1);
+    const std::size_t k = weights.dim(2);
+    twq_assert(k == p.kernel && weights.dim(3) == k,
+               "weight kernel size mismatch");
+    const std::size_t ho = p.outSize(input.dim(2));
+    const std::size_t wo = p.outSize(input.dim(3));
+
+    // Flatten weights to [Cout, Cin*K*K].
+    Matrix<T> wmat(cout, cin * k * k);
+    for (std::size_t oc = 0; oc < cout; ++oc)
+        for (std::size_t ic = 0; ic < cin; ++ic)
+            for (std::size_t ky = 0; ky < k; ++ky)
+                for (std::size_t kx = 0; kx < k; ++kx)
+                    wmat(oc, (ic * k + ky) * k + kx) =
+                        weights.at(oc, ic, ky, kx);
+
+    Tensor<T> out({n, cout, ho, wo});
+    for (std::size_t in = 0; in < n; ++in) {
+        const Matrix<T> cols = im2col(input, in, p);
+        const Matrix<T> res = matmul(wmat, cols);
+        for (std::size_t oc = 0; oc < cout; ++oc)
+            for (std::size_t oy = 0; oy < ho; ++oy)
+                for (std::size_t ox = 0; ox < wo; ++ox)
+                    out.at(in, oc, oy, ox) = res(oc, oy * wo + ox);
+    }
+    return out;
+}
+
+template <typename T>
+Tensor<T>
+conv2dDirect(const Tensor<T> &input, const Tensor<T> &weights,
+             const ConvParams &p)
+{
+    twq_assert(input.rank() == 4 && weights.rank() == 4,
+               "conv2dDirect expects NCHW input and OIKK weights");
+    const std::size_t n = input.dim(0);
+    const std::size_t cin = input.dim(1);
+    const std::size_t h = input.dim(2);
+    const std::size_t w = input.dim(3);
+    const std::size_t cout = weights.dim(0);
+    const std::size_t k = p.kernel;
+    const std::size_t ho = p.outSize(h);
+    const std::size_t wo = p.outSize(w);
+
+    Tensor<T> out({n, cout, ho, wo});
+    for (std::size_t in = 0; in < n; ++in) {
+        for (std::size_t oc = 0; oc < cout; ++oc) {
+            for (std::size_t oy = 0; oy < ho; ++oy) {
+                for (std::size_t ox = 0; ox < wo; ++ox) {
+                    T acc{};
+                    for (std::size_t ic = 0; ic < cin; ++ic) {
+                        for (std::size_t ky = 0; ky < k; ++ky) {
+                            for (std::size_t kx = 0; kx < k; ++kx) {
+                                const std::ptrdiff_t iy =
+                                    static_cast<std::ptrdiff_t>(
+                                        oy * p.stride + ky)
+                                    - static_cast<std::ptrdiff_t>(p.pad);
+                                const std::ptrdiff_t ix =
+                                    static_cast<std::ptrdiff_t>(
+                                        ox * p.stride + kx)
+                                    - static_cast<std::ptrdiff_t>(p.pad);
+                                if (iy < 0 || ix < 0 ||
+                                    iy >= static_cast<std::ptrdiff_t>(h) ||
+                                    ix >= static_cast<std::ptrdiff_t>(w))
+                                    continue;
+                                acc += input.at(in, ic,
+                                           static_cast<std::size_t>(iy),
+                                           static_cast<std::size_t>(ix)) *
+                                       weights.at(oc, ic, ky, kx);
+                            }
+                        }
+                    }
+                    out.at(in, oc, oy, ox) = acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+template Matrix<float> im2col(const Tensor<float> &, std::size_t,
+                              const ConvParams &);
+template Matrix<double> im2col(const Tensor<double> &, std::size_t,
+                               const ConvParams &);
+template Tensor<float> conv2dIm2col(const Tensor<float> &,
+                                    const Tensor<float> &,
+                                    const ConvParams &);
+template Tensor<double> conv2dIm2col(const Tensor<double> &,
+                                     const Tensor<double> &,
+                                     const ConvParams &);
+template Tensor<float> conv2dDirect(const Tensor<float> &,
+                                    const Tensor<float> &,
+                                    const ConvParams &);
+template Tensor<double> conv2dDirect(const Tensor<double> &,
+                                     const Tensor<double> &,
+                                     const ConvParams &);
+template Tensor<std::int64_t> conv2dDirect(const Tensor<std::int64_t> &,
+                                           const Tensor<std::int64_t> &,
+                                           const ConvParams &);
+
+} // namespace twq

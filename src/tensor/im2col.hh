@@ -1,0 +1,89 @@
+/**
+ * @file
+ * im2col lowering of 2D convolution to matrix multiplication.
+ *
+ * This is the baseline algorithm of the paper's accelerator (the MTE1
+ * im2col engine) and the reference the Winograd kernels are verified
+ * against.
+ */
+
+#ifndef TWQ_TENSOR_IM2COL_HH
+#define TWQ_TENSOR_IM2COL_HH
+
+#include "tensor/matrix.hh"
+#include "tensor/tensor.hh"
+
+namespace twq
+{
+
+/** Static parameters of a 2D convolution. */
+struct ConvParams
+{
+    std::size_t kernel = 3;  ///< square kernel size
+    std::size_t stride = 1;  ///< stride in both dimensions
+    std::size_t pad = 1;     ///< zero padding on all four sides
+
+    /** Output spatial size for an input extent. */
+    std::size_t
+    outSize(std::size_t in) const
+    {
+        twq_assert(in + 2 * pad >= kernel, "kernel larger than input");
+        return (in + 2 * pad - kernel) / stride + 1;
+    }
+};
+
+/**
+ * Lower one batch element to a column matrix.
+ *
+ * @param input NCHW input tensor.
+ * @param n     batch index to lower.
+ * @param p     convolution parameters.
+ * @return matrix of shape [C*K*K, Ho*Wo].
+ */
+template <typename T>
+Matrix<T> im2col(const Tensor<T> &input, std::size_t n,
+                 const ConvParams &p);
+
+/**
+ * Reference convolution via im2col + matmul.
+ *
+ * @param input   NCHW input.
+ * @param weights [Cout, Cin, K, K] weights.
+ * @param p       convolution parameters.
+ * @return NCHW output of shape [N, Cout, Ho, Wo].
+ */
+template <typename T>
+Tensor<T> conv2dIm2col(const Tensor<T> &input, const Tensor<T> &weights,
+                       const ConvParams &p);
+
+/**
+ * Reference convolution via direct 7-loop nest; used to cross-check
+ * the im2col path in tests.
+ */
+template <typename T>
+Tensor<T> conv2dDirect(const Tensor<T> &input, const Tensor<T> &weights,
+                       const ConvParams &p);
+
+extern template Matrix<float> im2col(const Tensor<float> &, std::size_t,
+                                     const ConvParams &);
+extern template Matrix<double> im2col(const Tensor<double> &, std::size_t,
+                                      const ConvParams &);
+extern template Tensor<float> conv2dIm2col(const Tensor<float> &,
+                                           const Tensor<float> &,
+                                           const ConvParams &);
+extern template Tensor<double> conv2dIm2col(const Tensor<double> &,
+                                            const Tensor<double> &,
+                                            const ConvParams &);
+extern template Tensor<float> conv2dDirect(const Tensor<float> &,
+                                           const Tensor<float> &,
+                                           const ConvParams &);
+extern template Tensor<double> conv2dDirect(const Tensor<double> &,
+                                            const Tensor<double> &,
+                                            const ConvParams &);
+extern template Tensor<std::int64_t>
+conv2dDirect(const Tensor<std::int64_t> &, const Tensor<std::int64_t> &,
+             const ConvParams &);
+
+} // namespace twq
+
+#endif // TWQ_TENSOR_IM2COL_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Small dense matrix with the linear algebra the Winograd transforms
+ * need: matmul, transpose, scalar ops. Templated on the scalar type so
+ * the same code path runs in double, int64 (bit-true analysis), and
+ * Rational (exact proofs).
+ */
+
+#ifndef TWQ_TENSOR_MATRIX_HH
+#define TWQ_TENSOR_MATRIX_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace twq
+{
+
+/** Dense row-major matrix. */
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() : rows_(0), cols_(0) {}
+
+    /** Zero matrix of the given size. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, T{})
+    {}
+
+    /** Matrix from nested braces, e.g. {{1,2},{3,4}}. */
+    Matrix(std::initializer_list<std::initializer_list<T>> init)
+    {
+        rows_ = init.size();
+        cols_ = rows_ ? init.begin()->size() : 0;
+        data_.reserve(rows_ * cols_);
+        for (const auto &row : init) {
+            twq_assert(row.size() == cols_, "ragged initializer");
+            data_.insert(data_.end(), row.begin(), row.end());
+        }
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    T &
+    operator()(std::size_t r, std::size_t c)
+    {
+        twq_assert(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    const T &
+    operator()(std::size_t r, std::size_t c) const
+    {
+        twq_assert(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    const std::vector<T> &storage() const { return data_; }
+    std::vector<T> &storage() { return data_; }
+
+    /** Transposed copy. */
+    Matrix
+    transposed() const
+    {
+        Matrix t(cols_, rows_);
+        for (std::size_t r = 0; r < rows_; ++r)
+            for (std::size_t c = 0; c < cols_; ++c)
+                t(c, r) = (*this)(r, c);
+        return t;
+    }
+
+    /** Elementwise conversion to another scalar type. */
+    template <typename U, typename Fn>
+    Matrix<U>
+    map(Fn &&fn) const
+    {
+        Matrix<U> out(rows_, cols_);
+        for (std::size_t r = 0; r < rows_; ++r)
+            for (std::size_t c = 0; c < cols_; ++c)
+                out(r, c) = fn((*this)(r, c));
+        return out;
+    }
+
+    bool operator==(const Matrix &o) const = default;
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<T> data_;
+};
+
+/** C = A * B. */
+template <typename T>
+Matrix<T>
+matmul(const Matrix<T> &a, const Matrix<T> &b)
+{
+    twq_assert(a.cols() == b.rows(), "matmul shape mismatch: ",
+               a.rows(), "x", a.cols(), " * ", b.rows(), "x", b.cols());
+    Matrix<T> c(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const T aik = a(i, k);
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                c(i, j) += aik * b(k, j);
+        }
+    }
+    return c;
+}
+
+/** C = A ⊙ B (Hadamard product). */
+template <typename T>
+Matrix<T>
+hadamard(const Matrix<T> &a, const Matrix<T> &b)
+{
+    twq_assert(a.rows() == b.rows() && a.cols() == b.cols(),
+               "hadamard shape mismatch");
+    Matrix<T> c(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            c(i, j) = a(i, j) * b(i, j);
+    return c;
+}
+
+/** C = A + B. */
+template <typename T>
+Matrix<T>
+add(const Matrix<T> &a, const Matrix<T> &b)
+{
+    twq_assert(a.rows() == b.rows() && a.cols() == b.cols(),
+               "add shape mismatch");
+    Matrix<T> c(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            c(i, j) = a(i, j) + b(i, j);
+    return c;
+}
+
+using MatrixD = Matrix<double>;
+using MatrixF = Matrix<float>;
+using MatrixI64 = Matrix<std::int64_t>;
+
+} // namespace twq
+
+#endif // TWQ_TENSOR_MATRIX_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Dense row-major tensor used across the library.
+ *
+ * The library standardizes on NCHW layout for activations and
+ * [Cout, Cin, Kh, Kw] for convolution weights. The accelerator model
+ * additionally uses the fractal layout (see fractal.hh).
+ */
+
+#ifndef TWQ_TENSOR_TENSOR_HH
+#define TWQ_TENSOR_TENSOR_HH
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace twq
+{
+
+/** Shape of a tensor, outermost dimension first. */
+using Shape = std::vector<std::size_t>;
+
+/** Number of elements implied by a shape. */
+inline std::size_t
+shapeNumel(const Shape &s)
+{
+    return std::accumulate(s.begin(), s.end(), std::size_t{1},
+                           std::multiplies<>());
+}
+
+/**
+ * Dense row-major tensor of arbitrary rank.
+ *
+ * Deliberately minimal: the library's compute kernels operate on raw
+ * index arithmetic, so Tensor only has to own storage, validate
+ * shapes, and provide convenient accessors.
+ */
+template <typename T>
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Zero-initialized tensor of the given shape. */
+    explicit Tensor(Shape shape)
+        : shape_(std::move(shape)), data_(shapeNumel(shape_), T{})
+    {}
+
+    /** Tensor of the given shape filled with a constant. */
+    Tensor(Shape shape, T fill)
+        : shape_(std::move(shape)), data_(shapeNumel(shape_), fill)
+    {}
+
+    /** Tensor adopting existing data; size must match the shape. */
+    Tensor(Shape shape, std::vector<T> data)
+        : shape_(std::move(shape)), data_(std::move(data))
+    {
+        twq_assert(data_.size() == shapeNumel(shape_),
+                   "data size does not match shape");
+    }
+
+    const Shape &shape() const { return shape_; }
+    std::size_t rank() const { return shape_.size(); }
+    std::size_t numel() const { return data_.size(); }
+
+    /** Size along one dimension. */
+    std::size_t
+    dim(std::size_t i) const
+    {
+        twq_assert(i < shape_.size(), "dim index out of range");
+        return shape_[i];
+    }
+
+    T *data() { return data_.data(); }
+    const T *data() const { return data_.data(); }
+    std::vector<T> &storage() { return data_; }
+    const std::vector<T> &storage() const { return data_; }
+
+    /** Flat element access. */
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+
+    /** Multi-dimensional access; bounds-checked in all builds. */
+    template <typename... Idx>
+    T &
+    at(Idx... idx)
+    {
+        return data_[flatIndex({static_cast<std::size_t>(idx)...})];
+    }
+
+    template <typename... Idx>
+    const T &
+    at(Idx... idx) const
+    {
+        return data_[flatIndex({static_cast<std::size_t>(idx)...})];
+    }
+
+    /** Fill every element with a constant. */
+    void
+    fill(T v)
+    {
+        std::fill(data_.begin(), data_.end(), v);
+    }
+
+    /** Elementwise conversion to another scalar type. */
+    template <typename U>
+    Tensor<U>
+    cast() const
+    {
+        Tensor<U> out(shape_);
+        for (std::size_t i = 0; i < data_.size(); ++i)
+            out[i] = static_cast<U>(data_[i]);
+        return out;
+    }
+
+    bool operator==(const Tensor &o) const = default;
+
+  private:
+    std::size_t
+    flatIndex(std::initializer_list<std::size_t> idx) const
+    {
+        twq_assert(idx.size() == shape_.size(),
+                   "index rank mismatch: ", idx.size(), " vs ",
+                   shape_.size());
+        std::size_t flat = 0;
+        std::size_t d = 0;
+        for (std::size_t i : idx) {
+            twq_assert(i < shape_[d], "index ", i,
+                       " out of range for dim ", d, " (", shape_[d], ")");
+            flat = flat * shape_[d] + i;
+            ++d;
+        }
+        return flat;
+    }
+
+    Shape shape_;
+    std::vector<T> data_;
+};
+
+using TensorF = Tensor<float>;
+using TensorD = Tensor<double>;
+using TensorI8 = Tensor<std::int8_t>;
+using TensorI32 = Tensor<std::int32_t>;
+using TensorI64 = Tensor<std::int64_t>;
+
+} // namespace twq
+
+#endif // TWQ_TENSOR_TENSOR_HH

@@ -1,0 +1,94 @@
+#include "winograd/bitwidth.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace twq
+{
+
+Matrix<Rational>
+tapAmplification(const Matrix<Rational> &left, const Matrix<Rational> &right)
+{
+    Matrix<Rational> amp(left.rows(), right.cols());
+    for (std::size_t i = 0; i < left.rows(); ++i) {
+        for (std::size_t j = 0; j < right.cols(); ++j) {
+            Rational sum;
+            for (std::size_t u = 0; u < left.cols(); ++u)
+                for (std::size_t v = 0; v < right.rows(); ++v)
+                    sum += (left(i, u) * right(v, j)).abs();
+            amp(i, j) = sum;
+        }
+    }
+    return amp;
+}
+
+BitGrowth
+analyzeTransform(const Matrix<Rational> &left, const Matrix<Rational> &right,
+                 int input_bits)
+{
+    const std::int64_t scale =
+        std::lcm(denominatorLcm(left), denominatorLcm(right));
+    const MatrixI64 li = scaledInteger(left, scale);
+    // Right matrix only needs the residual scale so the product scale
+    // is exactly `scale * scale_r / ...`; keep it simple: scale both
+    // sides by the joint LCM, giving an overall factor scale^2 on taps.
+    const MatrixI64 ri = scaledInteger(right, scale);
+
+    BitGrowth g;
+    g.inputBits = input_bits;
+    g.matrixScale = scale;
+    g.bitsPerTap = Matrix<int>(left.rows(), right.cols());
+    // Signed n-bit inputs live in the asymmetric range
+    // [-2^(n-1), 2^(n-1)-1]; track positive and negative coefficient
+    // mass separately so the worst case is exact in both directions.
+    const std::int64_t neg_mag = std::int64_t{1} << (input_bits - 1);
+    const std::int64_t pos_mag = neg_mag - 1;
+    for (std::size_t i = 0; i < left.rows(); ++i) {
+        for (std::size_t j = 0; j < right.cols(); ++j) {
+            std::int64_t pos = 0, neg = 0;
+            for (std::size_t u = 0; u < li.cols(); ++u) {
+                for (std::size_t v = 0; v < ri.rows(); ++v) {
+                    const std::int64_t c = li(i, u) * ri(v, j);
+                    if (c > 0)
+                        pos += c;
+                    else
+                        neg -= c;
+                }
+            }
+            const std::int64_t worst_pos = pos * pos_mag + neg * neg_mag;
+            const std::int64_t worst_neg = pos * neg_mag + neg * pos_mag;
+            const int bits = std::max(signedBitsFor(worst_pos),
+                                      signedBitsFor(-worst_neg));
+            g.bitsPerTap(i, j) = bits;
+            g.maxBits = std::max(g.maxBits, bits);
+        }
+    }
+    g.extraBits = g.maxBits - input_bits;
+    return g;
+}
+
+BitGrowth
+inputTransformGrowth(WinoVariant v, int input_bits)
+{
+    const auto &bt = winoBT(v);
+    return analyzeTransform(bt, bt.transposed(), input_bits);
+}
+
+BitGrowth
+weightTransformGrowth(WinoVariant v, int input_bits)
+{
+    const auto &g = winoG(v);
+    return analyzeTransform(g, g.transposed(), input_bits);
+}
+
+BitGrowth
+outputTransformGrowth(WinoVariant v, int input_bits)
+{
+    const auto &at = winoAT(v);
+    return analyzeTransform(at, at.transposed(), input_bits);
+}
+
+} // namespace twq

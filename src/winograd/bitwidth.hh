@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Worst-case bit-growth analysis for the Winograd transforms
+ * (Challenge I of the paper: non-uniform dynamic range).
+ *
+ * For a transform sw = L s R with constant matrices L, R and an
+ * n-bit-integer tile s, each output tap sw[i,j] is a fixed linear
+ * combination of the tile entries. Its worst-case magnitude is
+ * max|s| * sum_{u,v} |L[i,u] R[v,j]|, which directly yields the
+ * number of integer bits needed per tap for bit-true computation.
+ * Fractional matrices (G) are first scaled to integers by the LCM of
+ * their denominators, as fixed-point hardware would.
+ */
+
+#ifndef TWQ_WINOGRAD_BITWIDTH_HH
+#define TWQ_WINOGRAD_BITWIDTH_HH
+
+#include "tensor/matrix.hh"
+#include "winograd/matrices.hh"
+
+namespace twq
+{
+
+/** Per-tap bit-growth report for one transform. */
+struct BitGrowth
+{
+    Matrix<int> bitsPerTap;    ///< signed bits needed per output tap
+    int inputBits = 0;         ///< assumed input bitwidth
+    int maxBits = 0;           ///< worst tap
+    int extraBits = 0;         ///< maxBits - inputBits
+    std::int64_t matrixScale = 1; ///< integer scale applied to L and R
+};
+
+/**
+ * Analyze sw = L s R for an n-bit signed-integer tile s.
+ *
+ * @param left  L matrix (rational, scaled internally to integer).
+ * @param right R matrix (rational, scaled internally to integer).
+ * @param input_bits n, the bitwidth of the tile entries.
+ */
+BitGrowth analyzeTransform(const Matrix<Rational> &left,
+                           const Matrix<Rational> &right, int input_bits);
+
+/** Bit growth of B^T x B for an n-bit input tile. */
+BitGrowth inputTransformGrowth(WinoVariant v, int input_bits);
+
+/** Bit growth of (cG) f (cG)^T for an n-bit kernel. */
+BitGrowth weightTransformGrowth(WinoVariant v, int input_bits);
+
+/** Bit growth of A^T Y A for an n-bit Winograd-domain tile. */
+BitGrowth outputTransformGrowth(WinoVariant v, int input_bits);
+
+/**
+ * Worst-case amplification factor per tap, i.e.
+ * sum_{u,v} |L[i,u] R[v,j]| as exact rationals (unscaled L, R). Used
+ * by Fig. 1-style analyses of per-tap dynamic range.
+ */
+Matrix<Rational> tapAmplification(const Matrix<Rational> &left,
+                                  const Matrix<Rational> &right);
+
+} // namespace twq
+
+#endif // TWQ_WINOGRAD_BITWIDTH_HH

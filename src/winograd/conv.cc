@@ -1,0 +1,210 @@
+#include "winograd/conv.hh"
+
+#include "winograd/transforms.hh"
+
+namespace twq
+{
+
+namespace
+{
+
+template <typename T>
+Matrix<T>
+ratTo(const Matrix<Rational> &m)
+{
+    return m.map<T>([](const Rational &r) {
+        return static_cast<T>(r.toDouble());
+    });
+}
+
+} // namespace
+
+template <typename T>
+Matrix<T>
+extractInputTile(const Tensor<T> &input, std::size_t n, std::size_t c,
+                 std::size_t tile_y, std::size_t tile_x, WinoVariant v,
+                 std::size_t pad)
+{
+    const WinoSpec spec = winoSpec(v);
+    const std::size_t h = input.dim(2);
+    const std::size_t w = input.dim(3);
+    Matrix<T> tile(spec.t, spec.t);
+    const std::ptrdiff_t y0 =
+        static_cast<std::ptrdiff_t>(tile_y * spec.m) -
+        static_cast<std::ptrdiff_t>(pad);
+    const std::ptrdiff_t x0 =
+        static_cast<std::ptrdiff_t>(tile_x * spec.m) -
+        static_cast<std::ptrdiff_t>(pad);
+    for (std::size_t ty = 0; ty < spec.t; ++ty) {
+        for (std::size_t tx = 0; tx < spec.t; ++tx) {
+            const std::ptrdiff_t iy = y0 + static_cast<std::ptrdiff_t>(ty);
+            const std::ptrdiff_t ix = x0 + static_cast<std::ptrdiff_t>(tx);
+            if (iy < 0 || ix < 0 ||
+                iy >= static_cast<std::ptrdiff_t>(h) ||
+                ix >= static_cast<std::ptrdiff_t>(w))
+                continue;
+            tile(ty, tx) = input.at(n, c, static_cast<std::size_t>(iy),
+                                    static_cast<std::size_t>(ix));
+        }
+    }
+    return tile;
+}
+
+template <typename T>
+Tensor<T>
+conv2dWinograd(const Tensor<T> &input, const Tensor<T> &weights,
+               WinoVariant v, std::size_t pad)
+{
+    twq_assert(input.rank() == 4 && weights.rank() == 4,
+               "conv2dWinograd expects NCHW input and OIKK weights");
+    twq_assert(weights.dim(2) == 3 && weights.dim(3) == 3,
+               "Winograd path supports 3x3 kernels only");
+    const WinoSpec spec = winoSpec(v);
+    const std::size_t n = input.dim(0);
+    const std::size_t cin = input.dim(1);
+    const std::size_t cout = weights.dim(0);
+    const ConvParams p{3, 1, pad};
+    const std::size_t ho = p.outSize(input.dim(2));
+    const std::size_t wo = p.outSize(input.dim(3));
+    const std::size_t tiles_y = (ho + spec.m - 1) / spec.m;
+    const std::size_t tiles_x = (wo + spec.m - 1) / spec.m;
+
+    const Matrix<T> bt = ratTo<T>(winoBT(v));
+    const Matrix<T> b = bt.transposed();
+    const Matrix<T> at = ratTo<T>(winoAT(v));
+    const Matrix<T> a = at.transposed();
+    const Matrix<T> g = ratTo<T>(winoG(v));
+    const Matrix<T> gt = g.transposed();
+
+    // Pre-transform all weights: [Cout][Cin] 6x6 (or 4x4) tiles.
+    std::vector<Matrix<T>> wxf(cout * cin);
+    for (std::size_t oc = 0; oc < cout; ++oc) {
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+            Matrix<T> f(3, 3);
+            for (std::size_t ky = 0; ky < 3; ++ky)
+                for (std::size_t kx = 0; kx < 3; ++kx)
+                    f(ky, kx) = weights.at(oc, ic, ky, kx);
+            wxf[oc * cin + ic] = matmul(matmul(g, f), gt);
+        }
+    }
+
+    Tensor<T> out({n, cout, ho, wo});
+    for (std::size_t in = 0; in < n; ++in) {
+        for (std::size_t ty = 0; ty < tiles_y; ++ty) {
+            for (std::size_t tx = 0; tx < tiles_x; ++tx) {
+                // Transform all input channels of this tile once.
+                std::vector<Matrix<T>> ixf(cin);
+                for (std::size_t ic = 0; ic < cin; ++ic) {
+                    const Matrix<T> tile = extractInputTile(
+                        input, in, ic, ty, tx, v, pad);
+                    ixf[ic] = matmul(matmul(bt, tile), b);
+                }
+                for (std::size_t oc = 0; oc < cout; ++oc) {
+                    Matrix<T> acc(spec.t, spec.t);
+                    for (std::size_t ic = 0; ic < cin; ++ic) {
+                        const auto &wt = wxf[oc * cin + ic];
+                        const auto &it = ixf[ic];
+                        for (std::size_t y = 0; y < spec.t; ++y)
+                            for (std::size_t x = 0; x < spec.t; ++x)
+                                acc(y, x) += wt(y, x) * it(y, x);
+                    }
+                    const Matrix<T> res = matmul(matmul(at, acc), a);
+                    for (std::size_t y = 0; y < spec.m; ++y) {
+                        for (std::size_t x = 0; x < spec.m; ++x) {
+                            const std::size_t oy = ty * spec.m + y;
+                            const std::size_t ox = tx * spec.m + x;
+                            if (oy < ho && ox < wo)
+                                out.at(in, oc, oy, ox) = res(y, x);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+TensorI64
+conv2dWinogradExact(const TensorI64 &input, const TensorI64 &weights,
+                    WinoVariant v, std::size_t pad)
+{
+    twq_assert(weights.dim(2) == 3 && weights.dim(3) == 3,
+               "Winograd path supports 3x3 kernels only");
+    const WinoSpec spec = winoSpec(v);
+    const std::size_t n = input.dim(0);
+    const std::size_t cin = input.dim(1);
+    const std::size_t cout = weights.dim(0);
+    const ConvParams p{3, 1, pad};
+    const std::size_t ho = p.outSize(input.dim(2));
+    const std::size_t wo = p.outSize(input.dim(3));
+    const std::size_t tiles_y = (ho + spec.m - 1) / spec.m;
+    const std::size_t tiles_x = (wo + spec.m - 1) / spec.m;
+
+    std::int64_t wscale = 1;
+    std::vector<MatrixI64> wxf(cout * cin);
+    for (std::size_t oc = 0; oc < cout; ++oc) {
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+            MatrixI64 f(3, 3);
+            for (std::size_t ky = 0; ky < 3; ++ky)
+                for (std::size_t kx = 0; kx < 3; ++kx)
+                    f(ky, kx) = weights.at(oc, ic, ky, kx);
+            wxf[oc * cin + ic] = weightTransformInt(f, v, &wscale);
+        }
+    }
+
+    TensorI64 out({n, cout, ho, wo});
+    for (std::size_t in = 0; in < n; ++in) {
+        for (std::size_t ty = 0; ty < tiles_y; ++ty) {
+            for (std::size_t tx = 0; tx < tiles_x; ++tx) {
+                std::vector<MatrixI64> ixf(cin);
+                for (std::size_t ic = 0; ic < cin; ++ic) {
+                    const MatrixI64 tile = extractInputTile(
+                        input, in, ic, ty, tx, v, pad);
+                    ixf[ic] = inputTransformInt(tile, v);
+                }
+                for (std::size_t oc = 0; oc < cout; ++oc) {
+                    MatrixI64 acc(spec.t, spec.t);
+                    for (std::size_t ic = 0; ic < cin; ++ic) {
+                        const auto &wt = wxf[oc * cin + ic];
+                        const auto &it = ixf[ic];
+                        for (std::size_t y = 0; y < spec.t; ++y)
+                            for (std::size_t x = 0; x < spec.t; ++x)
+                                acc(y, x) += wt(y, x) * it(y, x);
+                    }
+                    const MatrixI64 res = outputTransformInt(acc, v);
+                    for (std::size_t y = 0; y < spec.m; ++y) {
+                        for (std::size_t x = 0; x < spec.m; ++x) {
+                            const std::size_t oy = ty * spec.m + y;
+                            const std::size_t ox = tx * spec.m + x;
+                            if (oy >= ho || ox >= wo)
+                                continue;
+                            const std::int64_t val = res(y, x);
+                            twq_assert(val % wscale == 0,
+                                       "exact Winograd division failed");
+                            out.at(in, oc, oy, ox) = val / wscale;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+template Matrix<float>
+extractInputTile(const Tensor<float> &, std::size_t, std::size_t,
+                 std::size_t, std::size_t, WinoVariant, std::size_t);
+template Matrix<double>
+extractInputTile(const Tensor<double> &, std::size_t, std::size_t,
+                 std::size_t, std::size_t, WinoVariant, std::size_t);
+template Matrix<std::int64_t>
+extractInputTile(const Tensor<std::int64_t> &, std::size_t, std::size_t,
+                 std::size_t, std::size_t, WinoVariant, std::size_t);
+template Tensor<float> conv2dWinograd(const Tensor<float> &,
+                                      const Tensor<float> &, WinoVariant,
+                                      std::size_t);
+template Tensor<double> conv2dWinograd(const Tensor<double> &,
+                                       const Tensor<double> &, WinoVariant,
+                                       std::size_t);
+
+} // namespace twq

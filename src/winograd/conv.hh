@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Full Winograd convolutions over NCHW tensors.
+ *
+ * Only unit-stride 3x3 convolutions are supported, matching the paper
+ * (Section III: strided and pointwise layers stay on im2col).
+ */
+
+#ifndef TWQ_WINOGRAD_CONV_HH
+#define TWQ_WINOGRAD_CONV_HH
+
+#include "tensor/im2col.hh"
+#include "tensor/tensor.hh"
+#include "winograd/matrices.hh"
+
+namespace twq
+{
+
+/**
+ * Extract one [t, t] input tile feeding the output block at
+ * (tile_y*m, tile_x*m); out-of-range samples read as zero (padding).
+ */
+template <typename T>
+Matrix<T> extractInputTile(const Tensor<T> &input, std::size_t n,
+                           std::size_t c, std::size_t tile_y,
+                           std::size_t tile_x, WinoVariant v,
+                           std::size_t pad);
+
+/**
+ * Floating-point Winograd convolution, numerically equivalent to
+ * conv2dDirect up to rounding.
+ *
+ * @param input   NCHW input.
+ * @param weights [Cout, Cin, 3, 3] weights.
+ * @param v       Winograd variant (F2 or F4).
+ * @param pad     zero padding (default 1, i.e. "same" for 3x3).
+ */
+template <typename T>
+Tensor<T> conv2dWinograd(const Tensor<T> &input, const Tensor<T> &weights,
+                         WinoVariant v, std::size_t pad = 1);
+
+/**
+ * Bit-true integer Winograd convolution over int64 tensors.
+ *
+ * Internally computes A^T [ (c^2 G f G^T) ⊙ (B^T x B) ] A and divides
+ * by the weight scale c^2 at the end; the division is exact by
+ * construction (panics otherwise). Used to prove that the Winograd
+ * algorithm computes the same function as direct convolution in pure
+ * integer arithmetic.
+ */
+TensorI64 conv2dWinogradExact(const TensorI64 &input,
+                              const TensorI64 &weights, WinoVariant v,
+                              std::size_t pad = 1);
+
+extern template Matrix<float>
+extractInputTile(const Tensor<float> &, std::size_t, std::size_t,
+                 std::size_t, std::size_t, WinoVariant, std::size_t);
+extern template Matrix<double>
+extractInputTile(const Tensor<double> &, std::size_t, std::size_t,
+                 std::size_t, std::size_t, WinoVariant, std::size_t);
+extern template Tensor<float> conv2dWinograd(const Tensor<float> &,
+                                             const Tensor<float> &,
+                                             WinoVariant, std::size_t);
+extern template Tensor<double> conv2dWinograd(const Tensor<double> &,
+                                              const Tensor<double> &,
+                                              WinoVariant, std::size_t);
+
+} // namespace twq
+
+#endif // TWQ_WINOGRAD_CONV_HH

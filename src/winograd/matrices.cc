@@ -1,0 +1,181 @@
+#include "winograd/matrices.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace twq
+{
+
+namespace
+{
+
+/** Shorthand for rational literals in the matrix tables. */
+Rational
+rat(std::int64_t n, std::int64_t d = 1)
+{
+    return Rational(n, d);
+}
+
+Matrix<Rational>
+makeBTF2()
+{
+    return Matrix<Rational>{
+        {rat(1), rat(0), rat(-1), rat(0)},
+        {rat(0), rat(1), rat(1), rat(0)},
+        {rat(0), rat(-1), rat(1), rat(0)},
+        {rat(0), rat(1), rat(0), rat(-1)},
+    };
+}
+
+Matrix<Rational>
+makeGF2()
+{
+    return Matrix<Rational>{
+        {rat(1), rat(0), rat(0)},
+        {rat(1, 2), rat(1, 2), rat(1, 2)},
+        {rat(1, 2), rat(-1, 2), rat(1, 2)},
+        {rat(0), rat(0), rat(1)},
+    };
+}
+
+Matrix<Rational>
+makeATF2()
+{
+    return Matrix<Rational>{
+        {rat(1), rat(1), rat(1), rat(0)},
+        {rat(0), rat(1), rat(-1), rat(-1)},
+    };
+}
+
+Matrix<Rational>
+makeBTF4()
+{
+    return Matrix<Rational>{
+        {rat(4), rat(0), rat(-5), rat(0), rat(1), rat(0)},
+        {rat(0), rat(-4), rat(-4), rat(1), rat(1), rat(0)},
+        {rat(0), rat(4), rat(-4), rat(-1), rat(1), rat(0)},
+        {rat(0), rat(-2), rat(-1), rat(2), rat(1), rat(0)},
+        {rat(0), rat(2), rat(-1), rat(-2), rat(1), rat(0)},
+        {rat(0), rat(4), rat(0), rat(-5), rat(0), rat(1)},
+    };
+}
+
+Matrix<Rational>
+makeGF4()
+{
+    // The paper writes G = (1/3) * [[3/4,0,0], [-1/2,-1/2,-1/2],
+    // [-1/2,1/2,-1/2], [1/8,1/4,1/2], [1/8,-1/4,1/2], [0,0,3]].
+    return Matrix<Rational>{
+        {rat(1, 4), rat(0), rat(0)},
+        {rat(-1, 6), rat(-1, 6), rat(-1, 6)},
+        {rat(-1, 6), rat(1, 6), rat(-1, 6)},
+        {rat(1, 24), rat(1, 12), rat(1, 6)},
+        {rat(1, 24), rat(-1, 12), rat(1, 6)},
+        {rat(0), rat(0), rat(1)},
+    };
+}
+
+Matrix<Rational>
+makeATF4()
+{
+    return Matrix<Rational>{
+        {rat(1), rat(1), rat(1), rat(1), rat(1), rat(0)},
+        {rat(0), rat(1), rat(-1), rat(2), rat(-2), rat(0)},
+        {rat(0), rat(1), rat(1), rat(4), rat(4), rat(0)},
+        {rat(0), rat(1), rat(-1), rat(8), rat(-8), rat(1)},
+    };
+}
+
+} // namespace
+
+WinoSpec
+winoSpec(WinoVariant v)
+{
+    switch (v) {
+      case WinoVariant::F2:
+        return {2, 3, 4};
+      case WinoVariant::F4:
+        return {4, 3, 6};
+    }
+    twq_panic("unknown WinoVariant");
+}
+
+const char *
+winoName(WinoVariant v)
+{
+    return v == WinoVariant::F2 ? "F2" : "F4";
+}
+
+const Matrix<Rational> &
+winoBT(WinoVariant v)
+{
+    static const Matrix<Rational> f2 = makeBTF2();
+    static const Matrix<Rational> f4 = makeBTF4();
+    return v == WinoVariant::F2 ? f2 : f4;
+}
+
+const Matrix<Rational> &
+winoG(WinoVariant v)
+{
+    static const Matrix<Rational> f2 = makeGF2();
+    static const Matrix<Rational> f4 = makeGF4();
+    return v == WinoVariant::F2 ? f2 : f4;
+}
+
+const Matrix<Rational> &
+winoAT(WinoVariant v)
+{
+    static const Matrix<Rational> f2 = makeATF2();
+    static const Matrix<Rational> f4 = makeATF4();
+    return v == WinoVariant::F2 ? f2 : f4;
+}
+
+namespace
+{
+
+MatrixD
+toDouble(const Matrix<Rational> &m)
+{
+    return m.map<double>([](const Rational &r) { return r.toDouble(); });
+}
+
+} // namespace
+
+MatrixD
+winoBTd(WinoVariant v)
+{
+    return toDouble(winoBT(v));
+}
+
+MatrixD
+winoGd(WinoVariant v)
+{
+    return toDouble(winoG(v));
+}
+
+MatrixD
+winoATd(WinoVariant v)
+{
+    return toDouble(winoAT(v));
+}
+
+std::int64_t
+denominatorLcm(const Matrix<Rational> &m)
+{
+    std::int64_t l = 1;
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            l = std::lcm(l, m(r, c).den());
+    return l;
+}
+
+MatrixI64
+scaledInteger(const Matrix<Rational> &m, std::int64_t scale)
+{
+    return m.map<std::int64_t>([scale](const Rational &r) {
+        return (r * Rational(scale)).toInteger();
+    });
+}
+
+} // namespace twq

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Winograd F(2x2,3x3) and F(4x4,3x3) transformation matrices.
+ *
+ * The matrices are stored exactly as rationals (Section II of the
+ * paper). F2 derives from the polynomial roots {0, 1, -1}; F4 from
+ * {0, 1, -1, 1/2, -1/2} in the scaled form popularized by Lavin &
+ * Gray, matching the paper's listing verbatim.
+ */
+
+#ifndef TWQ_WINOGRAD_MATRICES_HH
+#define TWQ_WINOGRAD_MATRICES_HH
+
+#include "common/rational.hh"
+#include "tensor/matrix.hh"
+
+namespace twq
+{
+
+/** Supported Winograd variants for 3x3 kernels. */
+enum class WinoVariant
+{
+    F2, ///< F(2x2, 3x3): 4x4 tiles, 2.25x MAC reduction
+    F4, ///< F(4x4, 3x3): 6x6 tiles, 4x MAC reduction
+};
+
+/** Static geometry of a Winograd variant. */
+struct WinoSpec
+{
+    std::size_t m; ///< output tile size (2 or 4)
+    std::size_t r; ///< kernel size (always 3 here)
+    std::size_t t; ///< transformed tile size, m + r - 1
+
+    /** MAC-reduction factor versus direct convolution. */
+    double
+    macReduction() const
+    {
+        const double direct = static_cast<double>(m * m * r * r);
+        const double wino = static_cast<double>(t * t);
+        return direct / wino;
+    }
+};
+
+/** Geometry for a variant. */
+WinoSpec winoSpec(WinoVariant v);
+
+/** Human-readable name ("F2" / "F4"). */
+const char *winoName(WinoVariant v);
+
+/** Input transform B^T, shape [t, t]. */
+const Matrix<Rational> &winoBT(WinoVariant v);
+
+/** Weight transform G, shape [t, r]. */
+const Matrix<Rational> &winoG(WinoVariant v);
+
+/** Output transform A^T, shape [m, t]. */
+const Matrix<Rational> &winoAT(WinoVariant v);
+
+/** Double-precision copies of the above. */
+MatrixD winoBTd(WinoVariant v);
+MatrixD winoGd(WinoVariant v);
+MatrixD winoATd(WinoVariant v);
+
+/**
+ * Least common multiple of the denominators of a rational matrix;
+ * multiplying by it yields an integer matrix (used by the bit-true
+ * analysis and by the shift-and-add hardware mapping).
+ */
+std::int64_t denominatorLcm(const Matrix<Rational> &m);
+
+/** Integer-scaled copy scale*m; panics if entries do not become integer. */
+MatrixI64 scaledInteger(const Matrix<Rational> &m, std::int64_t scale);
+
+} // namespace twq
+
+#endif // TWQ_WINOGRAD_MATRICES_HH

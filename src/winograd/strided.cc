@@ -1,0 +1,46 @@
+#include "winograd/strided.hh"
+
+#include "common/logging.hh"
+
+namespace twq
+{
+
+StridedWinogradAnalysis
+analyzeStridedWinograd(std::size_t kernel, std::size_t stride,
+                       std::size_t m)
+{
+    twq_assert(kernel >= 1 && stride >= 1 && m >= 1,
+               "degenerate strided analysis");
+    StridedWinogradAnalysis a;
+    a.directMacsPerOutput = static_cast<double>(kernel * kernel);
+
+    // Polyphase decomposition: phase p in [0, stride) of the kernel
+    // has ceil((kernel - p) / stride) taps per dimension. A 1D
+    // Winograd F(m, r) computes m outputs with m + r - 1
+    // multiplications; sub-kernels of size r=1 are pure elementwise
+    // scaling (m multiplications for m outputs).
+    double wino = 0.0;
+    for (std::size_t py = 0; py < stride; ++py) {
+        const std::size_t ry = (kernel > py)
+            ? (kernel - py + stride - 1) / stride
+            : 0;
+        if (ry == 0)
+            continue;
+        for (std::size_t px = 0; px < stride; ++px) {
+            const std::size_t rx = (kernel > px)
+                ? (kernel - px + stride - 1) / stride
+                : 0;
+            if (rx == 0)
+                continue;
+            // Multiplications per m x m output tile of this phase.
+            const double mul_y = static_cast<double>(m + ry - 1);
+            const double mul_x = static_cast<double>(m + rx - 1);
+            wino += mul_y * mul_x;
+        }
+    }
+    a.winogradMacsPerOutput =
+        wino / static_cast<double>(m * m);
+    return a;
+}
+
+} // namespace twq

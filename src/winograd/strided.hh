@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Strided Winograd analysis (Section III of the paper).
+ *
+ * Strided convolution can be run with the Winograd algorithm by
+ * decomposing it into sub-convolutions on polyphase-subsampled
+ * inputs (Yang et al. / Yepez & Ko): a stride-2 3x3 convolution
+ * splits into four sub-convolutions with kernels 2x2, 2x1, 1x2 and
+ * 1x1 over the four input phases. Each sub-convolution can use a
+ * Winograd algorithm of matching size. The paper evaluates this and
+ * rejects it: the achievable MAC reduction for stride-2 F4 is only
+ * ~1.8x, so strided layers stay on im2col. This module reproduces
+ * that arithmetic so the claim is checkable.
+ */
+
+#ifndef TWQ_WINOGRAD_STRIDED_HH
+#define TWQ_WINOGRAD_STRIDED_HH
+
+#include <cstddef>
+
+namespace twq
+{
+
+/** MAC cost summary of one strided-decomposition evaluation. */
+struct StridedWinogradAnalysis
+{
+    double directMacsPerOutput = 0.0;   ///< k*k per output pixel
+    double winogradMacsPerOutput = 0.0; ///< after decomposition
+    /** Direct / Winograd MAC ratio. */
+    double
+    reduction() const
+    {
+        return winogradMacsPerOutput > 0.0
+                   ? directMacsPerOutput / winogradMacsPerOutput
+                   : 0.0;
+    }
+};
+
+/**
+ * Analyze a stride-s k x k convolution run via polyphase
+ * decomposition where each sub-convolution uses the Winograd
+ * algorithm with output tile m (per dimension).
+ *
+ * @param kernel kernel size (e.g. 3).
+ * @param stride stride (e.g. 2).
+ * @param m      output tile size of the Winograd algorithm applied
+ *               to each sub-convolution (4 for "stride-2 F4").
+ */
+StridedWinogradAnalysis analyzeStridedWinograd(std::size_t kernel,
+                                               std::size_t stride,
+                                               std::size_t m);
+
+} // namespace twq
+
+#endif // TWQ_WINOGRAD_STRIDED_HH

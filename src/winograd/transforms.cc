@@ -1,0 +1,79 @@
+#include "winograd/transforms.hh"
+
+namespace twq
+{
+
+MatrixD
+ratToDouble(const Matrix<Rational> &m)
+{
+    return m.map<double>([](const Rational &r) { return r.toDouble(); });
+}
+
+MatrixD
+inputTransform(const MatrixD &tile, WinoVariant v)
+{
+    const MatrixD bt = winoBTd(v);
+    return matmul(matmul(bt, tile), bt.transposed());
+}
+
+MatrixD
+weightTransform(const MatrixD &kernel, WinoVariant v)
+{
+    const MatrixD g = winoGd(v);
+    return matmul(matmul(g, kernel), g.transposed());
+}
+
+MatrixD
+outputTransform(const MatrixD &wtile, WinoVariant v)
+{
+    const MatrixD at = winoATd(v);
+    return matmul(matmul(at, wtile), at.transposed());
+}
+
+Matrix<Rational>
+inputTransformExact(const Matrix<Rational> &tile, WinoVariant v)
+{
+    const auto &bt = winoBT(v);
+    return matmul(matmul(bt, tile), bt.transposed());
+}
+
+Matrix<Rational>
+weightTransformExact(const Matrix<Rational> &kernel, WinoVariant v)
+{
+    const auto &g = winoG(v);
+    return matmul(matmul(g, kernel), g.transposed());
+}
+
+Matrix<Rational>
+outputTransformExact(const Matrix<Rational> &wtile, WinoVariant v)
+{
+    const auto &at = winoAT(v);
+    return matmul(matmul(at, wtile), at.transposed());
+}
+
+MatrixI64
+inputTransformInt(const MatrixI64 &tile, WinoVariant v)
+{
+    const MatrixI64 bt = scaledInteger(winoBT(v), 1);
+    return matmul(matmul(bt, tile), bt.transposed());
+}
+
+MatrixI64
+weightTransformInt(const MatrixI64 &kernel, WinoVariant v,
+                   std::int64_t *scale)
+{
+    const std::int64_t c = denominatorLcm(winoG(v));
+    const MatrixI64 g = scaledInteger(winoG(v), c);
+    if (scale)
+        *scale = c * c;
+    return matmul(matmul(g, kernel), g.transposed());
+}
+
+MatrixI64
+outputTransformInt(const MatrixI64 &wtile, WinoVariant v)
+{
+    const MatrixI64 at = scaledInteger(winoAT(v), 1);
+    return matmul(matmul(at, wtile), at.transposed());
+}
+
+} // namespace twq

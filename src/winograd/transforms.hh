@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Winograd tile transforms: B^T x B, G f G^T, A^T Y A.
+ *
+ * Three precision regimes are provided:
+ *  - double: the FP32-style reference used for accuracy studies,
+ *  - exact Rational: used to prove algorithm equivalence,
+ *  - scaled int64: bit-true integer transforms where fractional
+ *    matrices (G) are pre-scaled by the LCM of their denominators,
+ *    mirroring what fixed-point hardware does.
+ */
+
+#ifndef TWQ_WINOGRAD_TRANSFORMS_HH
+#define TWQ_WINOGRAD_TRANSFORMS_HH
+
+#include "common/rational.hh"
+#include "tensor/matrix.hh"
+#include "winograd/matrices.hh"
+
+namespace twq
+{
+
+/** Convert a rational matrix to double precision. */
+MatrixD ratToDouble(const Matrix<Rational> &m);
+
+/** B^T x B for a [t, t] input tile. */
+MatrixD inputTransform(const MatrixD &tile, WinoVariant v);
+
+/** G f G^T for a [3, 3] kernel. */
+MatrixD weightTransform(const MatrixD &kernel, WinoVariant v);
+
+/** A^T Y A for a [t, t] Winograd-domain tile, yielding [m, m]. */
+MatrixD outputTransform(const MatrixD &wtile, WinoVariant v);
+
+/** Exact-rational variants of the above. */
+Matrix<Rational> inputTransformExact(const Matrix<Rational> &tile,
+                                     WinoVariant v);
+Matrix<Rational> weightTransformExact(const Matrix<Rational> &kernel,
+                                      WinoVariant v);
+Matrix<Rational> outputTransformExact(const Matrix<Rational> &wtile,
+                                      WinoVariant v);
+
+/**
+ * Bit-true integer input transform; B^T is integer for F2/F4 so no
+ * scale factor is involved.
+ */
+MatrixI64 inputTransformInt(const MatrixI64 &tile, WinoVariant v);
+
+/**
+ * Bit-true integer weight transform, computed as
+ * (c G) f (c G)^T = c^2 (G f G^T) with c = lcm of G's denominators.
+ *
+ * @param kernel integer [3, 3] kernel.
+ * @param v      Winograd variant.
+ * @param scale  output: the applied scale c^2 (4 for F2, 576 for F4).
+ */
+MatrixI64 weightTransformInt(const MatrixI64 &kernel, WinoVariant v,
+                             std::int64_t *scale);
+
+/** Bit-true integer output transform; A^T is integer for F2/F4. */
+MatrixI64 outputTransformInt(const MatrixI64 &wtile, WinoVariant v);
+
+} // namespace twq
+
+#endif // TWQ_WINOGRAD_TRANSFORMS_HH

@@ -1,0 +1,292 @@
+#include "xform/dfg.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "winograd/matrices.hh"
+
+namespace twq
+{
+
+std::vector<int>
+csdDigits(std::int64_t c)
+{
+    // Canonical signed digit: no two adjacent nonzero digits.
+    std::vector<int> digits;
+    while (c != 0) {
+        if (c & 1) {
+            // Remainder in {-1, +1} chosen so (c - r) % 4 == 0.
+            const int r = (c & 3) == 3 ? -1 : 1;
+            digits.push_back(r);
+            c -= r;
+        } else {
+            digits.push_back(0);
+        }
+        c >>= 1;
+    }
+    return digits;
+}
+
+std::size_t
+csdTermCount(std::int64_t c)
+{
+    if (c < 0)
+        c = -c;
+    std::size_t n = 0;
+    for (int d : csdDigits(c))
+        n += d != 0;
+    return n;
+}
+
+int
+Dfg::intern(const Node &n)
+{
+    const auto key = std::make_tuple(static_cast<int>(n.op), n.a, n.b,
+                                     n.shift, n.row, n.col);
+    const auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+    nodes_.push_back(n);
+    const int id = static_cast<int>(nodes_.size()) - 1;
+    cache_.emplace(key, id);
+    return id;
+}
+
+int
+Dfg::input(std::size_t row, std::size_t col)
+{
+    Node n;
+    n.op = Op::Input;
+    n.row = row;
+    n.col = col;
+    return intern(n);
+}
+
+int
+Dfg::add(int a, int b)
+{
+    if (a == kZero)
+        return b;
+    if (b == kZero)
+        return a;
+    if (a > b)
+        std::swap(a, b); // commutative: canonical order improves CSE
+    Node n;
+    n.op = Op::Add;
+    n.a = a;
+    n.b = b;
+    return intern(n);
+}
+
+int
+Dfg::sub(int a, int b)
+{
+    if (b == kZero)
+        return a;
+    if (a == kZero)
+        return neg(b);
+    Node n;
+    n.op = Op::Sub;
+    n.a = a;
+    n.b = b;
+    return intern(n);
+}
+
+int
+Dfg::shift(int a, int k)
+{
+    if (a == kZero || k == 0)
+        return a;
+    Node n;
+    n.op = Op::Shift;
+    n.a = a;
+    n.shift = k;
+    return intern(n);
+}
+
+int
+Dfg::neg(int a)
+{
+    if (a == kZero)
+        return kZero;
+    Node n;
+    n.op = Op::Neg;
+    n.a = a;
+    return intern(n);
+}
+
+int
+Dfg::mulConst(int a, std::int64_t c)
+{
+    if (c == 0 || a == kZero)
+        return kZero;
+    const bool negative = c < 0;
+    const auto digits = csdDigits(negative ? -c : c);
+    int acc = kZero;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (digits[i] == 0)
+            continue;
+        const int term = shift(a, static_cast<int>(i));
+        acc = digits[i] > 0 ? add(acc, term) : sub(acc, term);
+    }
+    return negative ? neg(acc) : acc;
+}
+
+std::size_t
+Dfg::numAdders() const
+{
+    std::size_t n = 0;
+    for (const auto &nd : nodes_)
+        n += nd.op == Op::Add || nd.op == Op::Sub || nd.op == Op::Neg;
+    return n;
+}
+
+std::size_t
+Dfg::numShifters() const
+{
+    std::size_t n = 0;
+    for (const auto &nd : nodes_)
+        n += nd.op == Op::Shift;
+    return n;
+}
+
+std::size_t
+Dfg::numInputs() const
+{
+    std::size_t n = 0;
+    for (const auto &nd : nodes_)
+        n += nd.op == Op::Input;
+    return n;
+}
+
+std::size_t
+Dfg::depth(int node) const
+{
+    if (node == kZero)
+        return 0;
+    // Memoized DFS over the DAG (ids are topologically ordered by
+    // construction).
+    std::vector<std::size_t> d(nodes_.size(), 0);
+    for (std::size_t i = 0; i <= static_cast<std::size_t>(node); ++i) {
+        const Node &n = nodes_[i];
+        switch (n.op) {
+          case Op::Input:
+            d[i] = 0;
+            break;
+          case Op::Shift:
+            d[i] = d[n.a];
+            break;
+          case Op::Neg:
+            d[i] = d[n.a];
+            break;
+          case Op::Add:
+          case Op::Sub:
+            d[i] = 1 + std::max(d[n.a], d[n.b]);
+            break;
+        }
+    }
+    return d[node];
+}
+
+std::vector<std::int64_t>
+Dfg::evaluate(const std::vector<int> &roots, const MatrixI64 &tile) const
+{
+    std::vector<std::int64_t> val(nodes_.size(), 0);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &n = nodes_[i];
+        switch (n.op) {
+          case Op::Input:
+            val[i] = tile(n.row, n.col);
+            break;
+          case Op::Add:
+            val[i] = val[n.a] + val[n.b];
+            break;
+          case Op::Sub:
+            val[i] = val[n.a] - val[n.b];
+            break;
+          case Op::Shift:
+            val[i] = n.shift >= 0 ? val[n.a] << n.shift
+                                  : val[n.a] >> -n.shift;
+            break;
+          case Op::Neg:
+            val[i] = -val[n.a];
+            break;
+        }
+    }
+    std::vector<std::int64_t> out;
+    out.reserve(roots.size());
+    for (int r : roots)
+        out.push_back(r == kZero ? 0 : val[r]);
+    return out;
+}
+
+namespace
+{
+
+/** acc +/- x*c, folding negative constants into a subtraction. */
+int
+accMul(Dfg &dfg, int acc, int x, std::int64_t c)
+{
+    if (c >= 0)
+        return dfg.add(acc, dfg.mulConst(x, c));
+    return dfg.sub(acc, dfg.mulConst(x, -c));
+}
+
+} // namespace
+
+TransformDfg
+buildTransformDfg(const Matrix<Rational> &t)
+{
+    TransformDfg out;
+    out.inDim = t.rows();
+    out.outDim = t.cols();
+    out.scale = denominatorLcm(t);
+    const MatrixI64 ti = scaledInteger(t, out.scale);
+
+    // z = s * T: z[u, j] = sum_v s[u, v] * T[v, j].
+    std::vector<int> z(out.inDim * out.outDim, Dfg::kZero);
+    for (std::size_t u = 0; u < out.inDim; ++u) {
+        for (std::size_t j = 0; j < out.outDim; ++j) {
+            int acc = Dfg::kZero;
+            for (std::size_t v = 0; v < out.inDim; ++v) {
+                if (ti(v, j) == 0)
+                    continue;
+                acc = accMul(out.dfg, acc, out.dfg.input(u, v),
+                             ti(v, j));
+            }
+            z[u * out.outDim + j] = acc;
+        }
+    }
+
+    // y = T^T * z: y[i, j] = sum_u T[u, i] * z[u, j].
+    out.outputs.assign(out.outDim * out.outDim, Dfg::kZero);
+    for (std::size_t i = 0; i < out.outDim; ++i) {
+        for (std::size_t j = 0; j < out.outDim; ++j) {
+            int acc = Dfg::kZero;
+            for (std::size_t u = 0; u < out.inDim; ++u) {
+                if (ti(u, i) == 0)
+                    continue;
+                // z nodes are reused across (i, j): CSE in space.
+                acc = accMul(out.dfg, acc, z[u * out.outDim + j],
+                             ti(u, i));
+            }
+            out.outputs[i * out.outDim + j] = acc;
+        }
+    }
+    return out;
+}
+
+MatrixI64
+evaluateTransformDfg(const TransformDfg &t, const MatrixI64 &tile)
+{
+    twq_assert(tile.rows() == t.inDim && tile.cols() == t.inDim,
+               "tile shape mismatch");
+    const auto vals = t.dfg.evaluate(t.outputs, tile);
+    MatrixI64 out(t.outDim, t.outDim);
+    for (std::size_t i = 0; i < t.outDim; ++i)
+        for (std::size_t j = 0; j < t.outDim; ++j)
+            out(i, j) = vals[i * t.outDim + j];
+    return out;
+}
+
+} // namespace twq

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Flat dataflow-graph representation of a Winograd transformation
+ * T^T s T (Section IV-B1 of the paper).
+ *
+ * The transform is unrolled into shift/add/subtract nodes only:
+ * constant multiplications are decomposed into canonical signed-digit
+ * (CSD) shift-and-add chains (e.g. 5a = (a << 2) + a), and nodes are
+ * hash-consed so common subexpressions across output taps are shared
+ * (CSE). Node counts are the area proxy of the engine explorer; the
+ * graph can also be evaluated functionally to prove it computes the
+ * same result as the matrix formula.
+ */
+
+#ifndef TWQ_XFORM_DFG_HH
+#define TWQ_XFORM_DFG_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rational.hh"
+#include "tensor/matrix.hh"
+
+namespace twq
+{
+
+/** Signed digits of the CSD representation, LSB first. */
+std::vector<int> csdDigits(std::int64_t c);
+
+/** Number of nonzero CSD digits (adders needed to multiply by c). */
+std::size_t csdTermCount(std::int64_t c);
+
+/** Hash-consed shift/add dataflow graph. */
+class Dfg
+{
+  public:
+    enum class Op
+    {
+        Input, ///< tile element (row, col)
+        Add,   ///< a + b
+        Sub,   ///< a - b
+        Shift, ///< a << k (k may be negative for >>)
+        Neg,   ///< -a
+    };
+
+    struct Node
+    {
+        Op op;
+        int a = -1;
+        int b = -1;
+        int shift = 0;
+        std::size_t row = 0;
+        std::size_t col = 0;
+    };
+
+    static constexpr int kZero = -1; ///< sentinel node id for zero
+
+    /** Get/create the input node for tile element (row, col). */
+    int input(std::size_t row, std::size_t col);
+
+    /** a + b with zero folding and hash-consing. */
+    int add(int a, int b);
+
+    /** a - b. */
+    int sub(int a, int b);
+
+    /** a << k (arithmetic; k < 0 is a right shift). */
+    int shift(int a, int k);
+
+    /** -a. */
+    int neg(int a);
+
+    /** a * c via CSD shift-and-add decomposition. */
+    int mulConst(int a, std::int64_t c);
+
+    std::size_t numNodes() const { return nodes_.size(); }
+    std::size_t numAdders() const;   ///< Add + Sub + Neg nodes
+    std::size_t numShifters() const; ///< Shift nodes
+    std::size_t numInputs() const;
+
+    /** Longest path (in adder stages) from any input to `node`. */
+    std::size_t depth(int node) const;
+
+    const Node &node(int id) const { return nodes_[id]; }
+
+    /**
+     * Evaluate a set of roots against an integer tile; kZero roots
+     * evaluate to 0.
+     */
+    std::vector<std::int64_t> evaluate(const std::vector<int> &roots,
+                                       const MatrixI64 &tile) const;
+
+  private:
+    int intern(const Node &n);
+
+    std::vector<Node> nodes_;
+    std::map<std::tuple<int, int, int, int, std::size_t, std::size_t>,
+             int>
+        cache_;
+};
+
+/** A DFG computing all taps of T^T s T. */
+struct TransformDfg
+{
+    Dfg dfg;
+    std::vector<int> outputs; ///< [wT * wT] root ids, row-major
+    std::size_t outDim = 0;   ///< wT
+    std::size_t inDim = 0;    ///< hT
+    std::int64_t scale = 1;   ///< integer scale applied to T
+};
+
+/**
+ * Build the DFG of T^T s T for a rational matrix T ([hT, wT]); T is
+ * scaled by the LCM of its denominators, so outputs carry scale^2.
+ */
+TransformDfg buildTransformDfg(const Matrix<Rational> &t);
+
+/** Evaluate a TransformDfg on a tile; returns a [wT, wT] matrix. */
+MatrixI64 evaluateTransformDfg(const TransformDfg &t,
+                               const MatrixI64 &tile);
+
+} // namespace twq
+
+#endif // TWQ_XFORM_DFG_HH

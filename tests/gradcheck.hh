@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Finite-difference gradient checking helpers shared by the nn tests.
+ */
+
+#ifndef TWQ_TESTS_GRADCHECK_HH
+#define TWQ_TESTS_GRADCHECK_HH
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "nn/layer.hh"
+
+namespace twq
+{
+
+/**
+ * Scalar probe loss L = sum(out ⊙ R) with a fixed random R, so that
+ * dL/dout = R and all layer gradients can be validated against
+ * central finite differences.
+ */
+struct GradProbe
+{
+    TensorD r;
+
+    GradProbe(const Shape &out_shape, std::uint64_t seed)
+        : r(out_shape)
+    {
+        Rng rng(seed);
+        for (std::size_t i = 0; i < r.numel(); ++i)
+            r[i] = rng.normal();
+    }
+
+    double
+    loss(const TensorD &out) const
+    {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < out.numel(); ++i)
+            sum += out[i] * r[i];
+        return sum;
+    }
+};
+
+/**
+ * Check the input gradient of `layer` at `x` against central
+ * differences. Returns the maximum absolute deviation.
+ */
+inline double
+checkInputGrad(Layer &layer, const TensorD &x, std::uint64_t seed,
+               double eps = 1e-5)
+{
+    TensorD xc = x;
+    const TensorD out = layer.forward(xc, true);
+    const GradProbe probe(out.shape(), seed);
+    const TensorD gin = layer.backward(probe.r);
+
+    double worst = 0.0;
+    for (std::size_t i = 0; i < xc.numel(); ++i) {
+        const double orig = xc[i];
+        xc[i] = orig + eps;
+        const double lp = probe.loss(layer.forward(xc, true));
+        xc[i] = orig - eps;
+        const double lm = probe.loss(layer.forward(xc, true));
+        xc[i] = orig;
+        const double num = (lp - lm) / (2.0 * eps);
+        worst = std::max(worst, std::abs(num - gin[i]));
+    }
+    return worst;
+}
+
+/**
+ * Check the gradient of one parameter of `layer` against central
+ * differences. Returns the maximum absolute deviation.
+ */
+inline double
+checkParamGrad(Layer &layer, Param &param, const TensorD &x,
+               std::uint64_t seed, double eps = 1e-5)
+{
+    param.zeroGrad();
+    const TensorD out = layer.forward(x, true);
+    const GradProbe probe(out.shape(), seed);
+    layer.backward(probe.r);
+    const TensorD grad = param.grad;
+
+    double worst = 0.0;
+    for (std::size_t i = 0; i < param.value.numel(); ++i) {
+        const double orig = param.value[i];
+        param.value[i] = orig + eps;
+        const double lp = probe.loss(layer.forward(x, true));
+        param.value[i] = orig - eps;
+        const double lm = probe.loss(layer.forward(x, true));
+        param.value[i] = orig;
+        const double num = (lp - lm) / (2.0 * eps);
+        worst = std::max(worst, std::abs(num - grad[i]));
+    }
+    param.zeroGrad();
+    return worst;
+}
+
+/** Random NCHW tensor helper. */
+inline TensorD
+randomInput(const Shape &shape, std::uint64_t seed, double stddev = 1.0)
+{
+    Rng rng(seed);
+    TensorD t(shape);
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        t[i] = rng.normal(0.0, stddev);
+    return t;
+}
+
+} // namespace twq
+
+#endif // TWQ_TESTS_GRADCHECK_HH

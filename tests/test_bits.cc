@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for bit-manipulation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+
+namespace twq
+{
+namespace
+{
+
+TEST(Bits, IsPowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(-4));
+    EXPECT_FALSE(isPowerOfTwo(6));
+}
+
+TEST(Bits, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0);
+    EXPECT_EQ(ceilLog2(2), 1);
+    EXPECT_EQ(ceilLog2(3), 2);
+    EXPECT_EQ(ceilLog2(4), 2);
+    EXPECT_EQ(ceilLog2(100), 7);
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0);
+    EXPECT_EQ(floorLog2(2), 1);
+    EXPECT_EQ(floorLog2(3), 1);
+    EXPECT_EQ(floorLog2(1024), 10);
+}
+
+TEST(Bits, SignedBitsFor)
+{
+    EXPECT_EQ(signedBitsFor(0), 1);
+    EXPECT_EQ(signedBitsFor(1), 2);
+    EXPECT_EQ(signedBitsFor(-1), 1);   // -1 fits in 1 signed bit
+    EXPECT_EQ(signedBitsFor(127), 8);
+    EXPECT_EQ(signedBitsFor(-128), 8);
+    EXPECT_EQ(signedBitsFor(128), 9);
+    EXPECT_EQ(signedBitsFor(-129), 9);
+}
+
+TEST(Bits, ShiftRightRoundPositive)
+{
+    EXPECT_EQ(shiftRightRound(4, 1), 2);
+    EXPECT_EQ(shiftRightRound(5, 1), 3);  // rounds half away from zero
+    EXPECT_EQ(shiftRightRound(6, 2), 2);  // 1.5 -> 2
+    EXPECT_EQ(shiftRightRound(5, 2), 1);  // 1.25 -> 1
+}
+
+TEST(Bits, ShiftRightRoundNegative)
+{
+    EXPECT_EQ(shiftRightRound(-4, 1), -2);
+    EXPECT_EQ(shiftRightRound(-5, 1), -3); // symmetric rounding
+    EXPECT_EQ(shiftRightRound(-6, 2), -2);
+}
+
+TEST(Bits, ShiftRightRoundZeroShiftIsIdentity)
+{
+    EXPECT_EQ(shiftRightRound(37, 0), 37);
+    EXPECT_EQ(shiftRightRound(-37, 0), -37);
+}
+
+TEST(Bits, ShiftRightRoundNegativeShiftIsLeftShift)
+{
+    EXPECT_EQ(shiftRightRound(3, -2), 12);
+}
+
+TEST(Bits, ClampSignedInt8)
+{
+    EXPECT_EQ(clampSigned(300, 8), 127);
+    EXPECT_EQ(clampSigned(-300, 8), -128);
+    EXPECT_EQ(clampSigned(5, 8), 5);
+}
+
+TEST(Bits, ClampSignedInt10)
+{
+    EXPECT_EQ(clampSigned(1000, 10), 511);
+    EXPECT_EQ(clampSigned(-1000, 10), -512);
+}
+
+/** Round-then-clamp is how the hardware requantization stage works. */
+TEST(Bits, RequantizePattern)
+{
+    const std::int64_t acc = 12345;
+    const std::int64_t q = clampSigned(shiftRightRound(acc, 6), 8);
+    EXPECT_EQ(q, 127); // 12345 / 64 = 192.9 -> clamp to 127
+}
+
+} // namespace
+} // namespace twq

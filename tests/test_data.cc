@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the synthetic dataset generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hh"
+
+namespace twq
+{
+namespace
+{
+
+TEST(Synthetic, ShapesAndLabels)
+{
+    SyntheticConfig cfg;
+    cfg.classes = 10;
+    cfg.channels = 3;
+    cfg.imageSize = 16;
+    const Dataset ds = makeSynthetic(40, cfg);
+    EXPECT_EQ(ds.size(), 40u);
+    ASSERT_EQ(ds.images.rank(), 4u);
+    EXPECT_EQ(ds.images.dim(0), 40u);
+    EXPECT_EQ(ds.images.dim(1), 3u);
+    EXPECT_EQ(ds.images.dim(2), 16u);
+    for (int y : ds.labels) {
+        EXPECT_GE(y, 0);
+        EXPECT_LT(y, 10);
+    }
+}
+
+TEST(Synthetic, ClassesAreBalanced)
+{
+    SyntheticConfig cfg;
+    cfg.classes = 4;
+    const Dataset ds = makeSynthetic(40, cfg);
+    std::vector<int> counts(4, 0);
+    for (int y : ds.labels)
+        ++counts[y];
+    for (int c : counts)
+        EXPECT_EQ(c, 10);
+}
+
+TEST(Synthetic, DeterministicForSameSeed)
+{
+    SyntheticConfig cfg;
+    cfg.seed = 42;
+    const Dataset a = makeSynthetic(8, cfg);
+    const Dataset b = makeSynthetic(8, cfg);
+    EXPECT_EQ(a.images, b.images);
+    EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer)
+{
+    SyntheticConfig a_cfg, b_cfg;
+    a_cfg.seed = 1;
+    b_cfg.seed = 2;
+    const Dataset a = makeSynthetic(8, a_cfg);
+    const Dataset b = makeSynthetic(8, b_cfg);
+    EXPECT_FALSE(a.images == b.images);
+}
+
+TEST(Synthetic, SameClassSharesStructure)
+{
+    // Without noise, two samples of the same class differ only by
+    // phase; their pixel distributions match in amplitude envelope.
+    SyntheticConfig cfg;
+    cfg.noise = 0.0;
+    const Dataset ds = makeSynthetic(20, cfg);
+    // Samples 0 and 10 are both class 0.
+    EXPECT_EQ(ds.labels[0], ds.labels[10]);
+    double max0 = 0.0, max10 = 0.0;
+    const std::size_t stride = ds.images.numel() / ds.size();
+    for (std::size_t i = 0; i < stride; ++i) {
+        max0 = std::max(max0, std::abs(ds.images[i]));
+        max10 = std::max(max10, std::abs(ds.images[10 * stride + i]));
+    }
+    EXPECT_NEAR(max0, max10, 0.15);
+}
+
+TEST(Synthetic, SliceExtractsContiguousRange)
+{
+    SyntheticConfig cfg;
+    const Dataset ds = makeSynthetic(20, cfg);
+    const Dataset part = ds.slice(5, 10);
+    EXPECT_EQ(part.size(), 10u);
+    EXPECT_EQ(part.labels[0], ds.labels[5]);
+    const std::size_t stride = ds.images.numel() / ds.size();
+    for (std::size_t i = 0; i < stride; ++i)
+        EXPECT_EQ(part.images[i], ds.images[5 * stride + i]);
+}
+
+TEST(Synthetic, SplitsAreDisjointSeeds)
+{
+    SyntheticConfig cfg;
+    const DataSplits s = makeSplits(16, 8, 8, cfg);
+    EXPECT_EQ(s.train.size(), 16u);
+    EXPECT_EQ(s.val.size(), 8u);
+    EXPECT_EQ(s.test.size(), 8u);
+    EXPECT_FALSE(s.train.slice(0, 8).images == s.val.images);
+}
+
+} // namespace
+} // namespace twq

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the fractal ⟨N,C1,H,W,C0⟩ data layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "tensor/fractal.hh"
+
+namespace twq
+{
+namespace
+{
+
+TEST(Fractal, ShapeOfPackedTensor)
+{
+    TensorF t({2, 64, 8, 8});
+    const TensorF packed = packFractal(t);
+    ASSERT_EQ(packed.rank(), 5u);
+    EXPECT_EQ(packed.dim(0), 2u);
+    EXPECT_EQ(packed.dim(1), 2u);  // C1 = 64/32
+    EXPECT_EQ(packed.dim(2), 8u);
+    EXPECT_EQ(packed.dim(3), 8u);
+    EXPECT_EQ(packed.dim(4), 32u);
+}
+
+TEST(Fractal, PadsPartialChannelGroup)
+{
+    TensorF t({1, 40, 4, 4});
+    const TensorF packed = packFractal(t);
+    EXPECT_EQ(packed.dim(1), 2u);  // ceil(40/32)
+    // Padded channels must be zero.
+    for (std::size_t h = 0; h < 4; ++h)
+        for (std::size_t w = 0; w < 4; ++w)
+            for (std::size_t c0 = 8; c0 < 32; ++c0)
+                EXPECT_EQ(packed.at(0u, 1u, h, w, c0), 0.0f);
+}
+
+TEST(Fractal, RoundTripIdentity)
+{
+    Rng rng(3);
+    TensorF t({2, 48, 5, 7});
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.normal());
+    const TensorF back = unpackFractal(packFractal(t), 48);
+    EXPECT_EQ(back, t);
+}
+
+TEST(Fractal, RoundTripExactMultiple)
+{
+    Rng rng(4);
+    TensorF t({1, 32, 3, 3});
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.normal());
+    EXPECT_EQ(unpackFractal(packFractal(t), 32), t);
+}
+
+TEST(Fractal, CustomGroupSize)
+{
+    TensorF t({1, 6, 2, 2});
+    const TensorF packed = packFractal(t, 4);
+    EXPECT_EQ(packed.dim(1), 2u);
+    EXPECT_EQ(packed.dim(4), 4u);
+    EXPECT_EQ(unpackFractal(packed, 6), t);
+}
+
+TEST(Fractal, ChannelGroupingIsContiguous)
+{
+    // Element (n=0, c=33, h=0, w=0) lives in group c1=1, slot c0=1.
+    TensorF t({1, 64, 1, 1});
+    t.at(0u, 33u, 0u, 0u) = 9.0f;
+    const TensorF packed = packFractal(t);
+    EXPECT_EQ(packed.at(0u, 1u, 0u, 0u, 1u), 9.0f);
+}
+
+TEST(Fractal, Int8Pack)
+{
+    TensorI8 t({1, 3, 2, 2});
+    t.at(0u, 2u, 1u, 1u) = -5;
+    const TensorI8 packed = packFractal(t);
+    EXPECT_EQ(packed.at(0u, 0u, 1u, 1u, 2u), -5);
+    EXPECT_EQ(unpackFractal(packed, 3), t);
+}
+
+} // namespace
+} // namespace twq

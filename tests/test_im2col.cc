@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for im2col lowering and the reference convolutions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "tensor/im2col.hh"
+
+namespace twq
+{
+namespace
+{
+
+TensorD
+randomTensor(const Shape &shape, std::uint64_t seed)
+{
+    Rng rng(seed);
+    TensorD t(shape);
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        t[i] = rng.normal();
+    return t;
+}
+
+TEST(ConvParams, OutSize)
+{
+    ConvParams p{3, 1, 1};
+    EXPECT_EQ(p.outSize(32), 32u); // "same" conv
+    ConvParams q{3, 2, 1};
+    EXPECT_EQ(q.outSize(32), 16u);
+    ConvParams r{3, 1, 0};
+    EXPECT_EQ(r.outSize(32), 30u); // "valid" conv
+}
+
+TEST(Im2col, ShapeForSameConv)
+{
+    TensorD in({1, 3, 8, 8});
+    const MatrixD cols = im2col(in, 0, ConvParams{3, 1, 1});
+    EXPECT_EQ(cols.rows(), 27u);
+    EXPECT_EQ(cols.cols(), 64u);
+}
+
+TEST(Im2col, PaddingReadsZero)
+{
+    TensorD in({1, 1, 3, 3}, 1.0);
+    const MatrixD cols = im2col(in, 0, ConvParams{3, 1, 1});
+    // The top-left output position, kernel tap (0,0) reads the padded
+    // corner which must be zero.
+    EXPECT_DOUBLE_EQ(cols(0, 0), 0.0);
+    // Center tap (1,1) of the top-left output reads input (0,0) = 1.
+    EXPECT_DOUBLE_EQ(cols(4, 0), 1.0);
+}
+
+TEST(Im2col, IdentityKernelConv)
+{
+    // A kernel that is 1 at its center reproduces the input.
+    TensorD in = randomTensor({1, 1, 6, 6}, 1);
+    TensorD w({1, 1, 3, 3});
+    w.at(0u, 0u, 1u, 1u) = 1.0;
+    const TensorD out = conv2dIm2col(in, w, ConvParams{3, 1, 1});
+    for (std::size_t y = 0; y < 6; ++y)
+        for (std::size_t x = 0; x < 6; ++x)
+            EXPECT_DOUBLE_EQ(out.at(0u, 0u, y, x), in.at(0u, 0u, y, x));
+}
+
+TEST(Im2col, MatchesDirectStride1)
+{
+    const TensorD in = randomTensor({2, 3, 9, 9}, 2);
+    const TensorD w = randomTensor({4, 3, 3, 3}, 3);
+    const ConvParams p{3, 1, 1};
+    const TensorD a = conv2dIm2col(in, w, p);
+    const TensorD b = conv2dDirect(in, w, p);
+    ASSERT_EQ(a.shape(), b.shape());
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(Im2col, MatchesDirectStride2)
+{
+    const TensorD in = randomTensor({1, 2, 8, 8}, 4);
+    const TensorD w = randomTensor({3, 2, 3, 3}, 5);
+    const ConvParams p{3, 2, 1};
+    const TensorD a = conv2dIm2col(in, w, p);
+    const TensorD b = conv2dDirect(in, w, p);
+    ASSERT_EQ(a.shape(), b.shape());
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(Im2col, MatchesDirectNoPad)
+{
+    const TensorD in = randomTensor({1, 2, 7, 7}, 6);
+    const TensorD w = randomTensor({2, 2, 3, 3}, 7);
+    const ConvParams p{3, 1, 0};
+    const TensorD a = conv2dIm2col(in, w, p);
+    const TensorD b = conv2dDirect(in, w, p);
+    ASSERT_EQ(a.shape(), b.shape());
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(Im2col, MatchesDirect1x1Kernel)
+{
+    const TensorD in = randomTensor({1, 4, 5, 5}, 8);
+    const TensorD w = randomTensor({6, 4, 1, 1}, 9);
+    const ConvParams p{1, 1, 0};
+    const TensorD a = conv2dIm2col(in, w, p);
+    const TensorD b = conv2dDirect(in, w, p);
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(Im2col, NonSquareInput)
+{
+    const TensorD in = randomTensor({1, 2, 6, 10}, 10);
+    const TensorD w = randomTensor({2, 2, 3, 3}, 11);
+    const ConvParams p{3, 1, 1};
+    const TensorD a = conv2dIm2col(in, w, p);
+    const TensorD b = conv2dDirect(in, w, p);
+    ASSERT_EQ(a.dim(2), 6u);
+    ASSERT_EQ(a.dim(3), 10u);
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+} // namespace
+} // namespace twq

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the fully integer inference path (forwardInt8): the
+ * FixPipe-style shift requantization and the fused ReLU.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "quant/int_winograd.hh"
+#include "tensor/im2col.hh"
+
+namespace twq
+{
+namespace
+{
+
+struct Fixture
+{
+    TensorD weights;
+    TensorD input;
+    std::vector<TensorD> calib;
+
+    explicit Fixture(std::uint64_t seed)
+    {
+        Rng rng(seed);
+        weights = TensorD({6, 4, 3, 3});
+        for (std::size_t i = 0; i < weights.numel(); ++i)
+            weights[i] = rng.normal(0.0, 0.15);
+        input = TensorD({1, 4, 12, 12});
+        for (std::size_t i = 0; i < input.numel(); ++i)
+            input[i] = rng.normal();
+        TensorD c({1, 4, 12, 12});
+        for (std::size_t i = 0; i < c.numel(); ++i)
+            c[i] = rng.normal();
+        calib.push_back(std::move(c));
+    }
+};
+
+TEST(ForwardInt8, MatchesFpPathWithinOutputStep)
+{
+    Fixture fx(1);
+    IntWinogradConfig cfg;
+    cfg.pow2Scales = true;
+    IntWinogradConv conv(fx.weights, fx.calib, cfg);
+    const TensorD fp = conv.forward(fx.input);
+    double sy = 0.0;
+    const TensorI8 q = conv.forwardInt8(fx.input, &sy);
+    ASSERT_GT(sy, 0.0);
+    // Dequantized int8 output tracks the (already quantized) FP
+    // pipeline within about one output quantization step.
+    double worst = 0.0;
+    for (std::size_t i = 0; i < fp.numel(); ++i) {
+        const double deq = static_cast<double>(q[i]) * sy;
+        worst = std::max(worst, std::abs(deq - fp[i]));
+    }
+    EXPECT_LT(worst, 1.5 * sy);
+}
+
+TEST(ForwardInt8, OutputScaleIsPowerOfTwo)
+{
+    Fixture fx(2);
+    IntWinogradConfig cfg;
+    IntWinogradConv conv(fx.weights, fx.calib, cfg);
+    double sy = 0.0;
+    conv.forwardInt8(fx.input, &sy);
+    const double l = std::log2(sy);
+    EXPECT_NEAR(l, std::nearbyint(l), 1e-12);
+}
+
+TEST(ForwardInt8, CoversTheInt8Range)
+{
+    Fixture fx(3);
+    IntWinogradConfig cfg;
+    IntWinogradConv conv(fx.weights, fx.calib, cfg);
+    double sy = 0.0;
+    const TensorI8 q = conv.forwardInt8(fx.input, &sy);
+    int lo = 127, hi = -128;
+    for (std::size_t i = 0; i < q.numel(); ++i) {
+        lo = std::min<int>(lo, q[i]);
+        hi = std::max<int>(hi, q[i]);
+    }
+    // A pow2-ceil scale guarantees at least half range utilization.
+    EXPECT_LT(lo, -30);
+    EXPECT_GT(hi, 30);
+}
+
+TEST(ForwardInt8, FusedReluClampsNegatives)
+{
+    Fixture fx(4);
+    IntWinogradConfig cfg;
+    IntWinogradConv conv(fx.weights, fx.calib, cfg);
+    double sy = 0.0;
+    const TensorI8 q = conv.forwardInt8(fx.input, &sy, true);
+    for (std::size_t i = 0; i < q.numel(); ++i)
+        EXPECT_GE(q[i], 0);
+}
+
+TEST(ForwardInt8, ReluMatchesPostHocRelu)
+{
+    Fixture fx(5);
+    IntWinogradConfig cfg;
+    IntWinogradConv conv(fx.weights, fx.calib, cfg);
+    double sy1 = 0.0, sy2 = 0.0;
+    const TensorI8 plain = conv.forwardInt8(fx.input, &sy1, false);
+    const TensorI8 fused = conv.forwardInt8(fx.input, &sy2, true);
+    ASSERT_DOUBLE_EQ(sy1, sy2);
+    for (std::size_t i = 0; i < plain.numel(); ++i) {
+        const int expect = std::max<int>(0, plain[i]);
+        // Rounding of slightly negative pre-activations can differ
+        // by one step around zero.
+        EXPECT_NEAR(fused[i], expect, 1.0);
+    }
+}
+
+TEST(ForwardInt8, WorksForF2)
+{
+    Fixture fx(6);
+    IntWinogradConfig cfg;
+    cfg.variant = WinoVariant::F2;
+    IntWinogradConv conv(fx.weights, fx.calib, cfg);
+    const TensorD fp = conv.forward(fx.input);
+    double sy = 0.0;
+    const TensorI8 q = conv.forwardInt8(fx.input, &sy);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < fp.numel(); ++i) {
+        const double deq = static_cast<double>(q[i]) * sy;
+        num += (deq - fp[i]) * (deq - fp[i]);
+        den += fp[i] * fp[i];
+    }
+    EXPECT_LT(std::sqrt(num / std::max(den, 1e-30)), 0.1);
+}
+
+TEST(ForwardInt8, DeterministicAcrossCalls)
+{
+    Fixture fx(7);
+    IntWinogradConfig cfg;
+    IntWinogradConv conv(fx.weights, fx.calib, cfg);
+    double s1 = 0.0, s2 = 0.0;
+    const TensorI8 a = conv.forwardInt8(fx.input, &s1);
+    const TensorI8 b = conv.forwardInt8(fx.input, &s2);
+    EXPECT_EQ(a, b);
+    EXPECT_DOUBLE_EQ(s1, s2);
+}
+
+TEST(ForwardInt8DeathTest, RequiresPow2Scales)
+{
+    Fixture fx(8);
+    IntWinogradConfig cfg;
+    cfg.pow2Scales = false;
+    IntWinogradConv conv(fx.weights, fx.calib, cfg);
+    double sy = 0.0;
+    EXPECT_DEATH(conv.forwardInt8(fx.input, &sy),
+                 "power-of-two");
+}
+
+} // namespace
+} // namespace twq

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Integration tests for the integer tap-wise Winograd pipeline.
+ *
+ * These tests mirror the accuracy story of Table II at the
+ * layer-output level: naive single-scale F4 int8 destroys the
+ * result, tap-wise quantization recovers it, and extending the
+ * Winograd domain to 10 bits brings it close to FP.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "quant/int_winograd.hh"
+#include "tensor/im2col.hh"
+
+namespace twq
+{
+namespace
+{
+
+struct Fixture
+{
+    TensorD weights;
+    TensorD input;
+    std::vector<TensorD> calib;
+    TensorD reference;
+
+    Fixture(std::size_t cin, std::size_t cout, std::size_t hw,
+            std::uint64_t seed)
+    {
+        Rng rng(seed);
+        weights = TensorD({cout, cin, 3, 3});
+        for (std::size_t i = 0; i < weights.numel(); ++i)
+            weights[i] = rng.normal(0.0, 0.15);
+        input = TensorD({1, cin, hw, hw});
+        for (std::size_t i = 0; i < input.numel(); ++i)
+            input[i] = rng.normal(0.0, 1.0);
+        for (int b = 0; b < 2; ++b) {
+            TensorD c({1, cin, hw, hw});
+            for (std::size_t i = 0; i < c.numel(); ++i)
+                c[i] = rng.normal(0.0, 1.0);
+            calib.push_back(std::move(c));
+        }
+        reference = conv2dDirect(input, weights, ConvParams{3, 1, 1});
+    }
+
+    double
+    errorFor(const IntWinogradConfig &cfg) const
+    {
+        IntWinogradConv conv(weights, calib, cfg);
+        return relativeL2Error(conv.forward(input), reference);
+    }
+};
+
+TEST(IntWinograd, TapWiseF4Int8IsAccurate)
+{
+    // Post-training (no retraining) tap-wise F4 int8 keeps the layer
+    // output in the right ballpark; the paper closes the remaining
+    // gap with Winograd-aware training (see the nn module tests).
+    Fixture fx(8, 8, 16, 1);
+    IntWinogradConfig cfg;
+    cfg.variant = WinoVariant::F4;
+    cfg.granularity = QuantGranularity::TapWise;
+    EXPECT_LT(fx.errorFor(cfg), 0.25);
+}
+
+TEST(IntWinograd, LayerWiseF4Int8IsMuchWorse)
+{
+    // The Table II "F4 / WA / int8" row: a single scale across taps
+    // collapses the dynamic range.
+    Fixture fx(8, 8, 16, 2);
+    IntWinogradConfig tap, layer;
+    tap.granularity = QuantGranularity::TapWise;
+    layer.granularity = QuantGranularity::LayerWise;
+    const double e_tap = fx.errorFor(tap);
+    const double e_layer = fx.errorFor(layer);
+    EXPECT_GT(e_layer, 3.0 * e_tap);
+}
+
+TEST(IntWinograd, TenBitsInWinogradDomainNearlyLossless)
+{
+    Fixture fx(8, 8, 16, 3);
+    IntWinogradConfig cfg;
+    cfg.winogradBits = 10;
+    const double e10 = fx.errorFor(cfg);
+    cfg.winogradBits = 8;
+    const double e8 = fx.errorFor(cfg);
+    EXPECT_LT(e10, e8);
+    EXPECT_LT(e10, 0.06);
+}
+
+TEST(IntWinograd, F2LayerWiseAcceptableF4LayerWiseNot)
+{
+    // F2 tolerates single-scale Winograd-domain quantization; F4
+    // does not (Section II).
+    Fixture fx(8, 8, 16, 4);
+    IntWinogradConfig f2, f4;
+    f2.variant = WinoVariant::F2;
+    f2.granularity = QuantGranularity::LayerWise;
+    f4.variant = WinoVariant::F4;
+    f4.granularity = QuantGranularity::LayerWise;
+    EXPECT_LT(fx.errorFor(f2), fx.errorFor(f4));
+}
+
+TEST(IntWinograd, Pow2CostsLittleAccuracy)
+{
+    Fixture fx(8, 8, 16, 5);
+    IntWinogradConfig fp, p2;
+    fp.pow2Scales = false;
+    p2.pow2Scales = true;
+    const double e_fp = fx.errorFor(fp);
+    const double e_p2 = fx.errorFor(p2);
+    // Power-of-two rounding costs at most ~2x in error here.
+    EXPECT_LT(e_p2, 2.5 * e_fp + 0.01);
+}
+
+TEST(IntWinograd, InputShiftsAreSmallPositive)
+{
+    // The paper reports feature-map shifts of 1..5 bits for int8.
+    Fixture fx(8, 8, 16, 6);
+    IntWinogradConfig cfg;
+    IntWinogradConv conv(fx.weights, fx.calib, cfg);
+    for (int s : conv.inputShifts()) {
+        EXPECT_GE(s, 0);
+        EXPECT_LE(s, 8);
+    }
+}
+
+TEST(IntWinograd, ShiftsVaryAcrossTaps)
+{
+    Fixture fx(8, 8, 16, 7);
+    IntWinogradConfig cfg;
+    IntWinogradConv conv(fx.weights, fx.calib, cfg);
+    const auto shifts = conv.inputShifts();
+    const auto [lo, hi] =
+        std::minmax_element(shifts.begin(), shifts.end());
+    EXPECT_GT(*hi, *lo); // non-uniform dynamic range across taps
+}
+
+TEST(IntWinograd, NonSquareAndRaggedShapes)
+{
+    Rng rng(8);
+    TensorD w({3, 2, 3, 3});
+    for (std::size_t i = 0; i < w.numel(); ++i)
+        w[i] = rng.normal(0.0, 0.2);
+    TensorD x({2, 2, 7, 9});
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        x[i] = rng.normal();
+    IntWinogradConfig cfg;
+    IntWinogradConv conv(w, {x}, cfg);
+    const TensorD out = conv.forward(x);
+    const TensorD ref = conv2dDirect(x, w, ConvParams{3, 1, 1});
+    EXPECT_EQ(out.shape(), ref.shape());
+    EXPECT_LT(relativeL2Error(out, ref), 0.2);
+}
+
+TEST(IntWinograd, DeterministicAcrossCalls)
+{
+    Fixture fx(4, 4, 8, 9);
+    IntWinogradConfig cfg;
+    IntWinogradConv conv(fx.weights, fx.calib, cfg);
+    const TensorD a = conv.forward(fx.input);
+    const TensorD b = conv.forward(fx.input);
+    EXPECT_EQ(a, b);
+}
+
+TEST(RelativeL2, KnownValues)
+{
+    TensorD a({2}, std::vector<double>{3.0, 4.0});
+    TensorD b({2}, std::vector<double>{0.0, 0.0});
+    EXPECT_DOUBLE_EQ(relativeL2Error(a, b), 5.0);
+    EXPECT_DOUBLE_EQ(relativeL2Error(b, a), 1.0);
+    EXPECT_DOUBLE_EQ(relativeL2Error(a, a), 0.0);
+}
+
+} // namespace
+} // namespace twq

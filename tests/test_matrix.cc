@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the Matrix type and its linear algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rational.hh"
+#include "tensor/matrix.hh"
+
+namespace twq
+{
+namespace
+{
+
+TEST(Matrix, InitializerList)
+{
+    MatrixD m{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, Transpose)
+{
+    MatrixD m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+    const MatrixD t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, MatmulIdentity)
+{
+    MatrixD id{{1.0, 0.0}, {0.0, 1.0}};
+    MatrixD m{{2.0, 3.0}, {4.0, 5.0}};
+    EXPECT_EQ(matmul(id, m), m);
+    EXPECT_EQ(matmul(m, id), m);
+}
+
+TEST(Matrix, MatmulKnownResult)
+{
+    MatrixD a{{1.0, 2.0}, {3.0, 4.0}};
+    MatrixD b{{5.0, 6.0}, {7.0, 8.0}};
+    const MatrixD c = matmul(a, b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulRectangular)
+{
+    MatrixD a{{1.0, 2.0, 3.0}};          // 1x3
+    MatrixD b{{1.0}, {2.0}, {3.0}};      // 3x1
+    const MatrixD c = matmul(a, b);      // 1x1
+    EXPECT_EQ(c.rows(), 1u);
+    EXPECT_EQ(c.cols(), 1u);
+    EXPECT_DOUBLE_EQ(c(0, 0), 14.0);
+}
+
+TEST(Matrix, Hadamard)
+{
+    MatrixD a{{1.0, 2.0}, {3.0, 4.0}};
+    MatrixD b{{2.0, 2.0}, {2.0, 2.0}};
+    const MatrixD c = hadamard(a, b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 8.0);
+}
+
+TEST(Matrix, Add)
+{
+    MatrixD a{{1.0, 2.0}};
+    MatrixD b{{3.0, 4.0}};
+    const MatrixD c = add(a, b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 4.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 6.0);
+}
+
+TEST(Matrix, MapConvertsTypes)
+{
+    MatrixD a{{1.4, 2.6}};
+    const Matrix<int> i = a.map<int>([](double v) {
+        return static_cast<int>(v);
+    });
+    EXPECT_EQ(i(0, 0), 1);
+    EXPECT_EQ(i(0, 1), 2);
+}
+
+TEST(Matrix, RationalMatmulIsExact)
+{
+    Matrix<Rational> a{{Rational(1, 3), Rational(1, 6)},
+                       {Rational(1, 2), Rational(1, 4)}};
+    Matrix<Rational> b{{Rational(6), Rational(0)},
+                       {Rational(0), Rational(12)}};
+    const auto c = matmul(a, b);
+    EXPECT_EQ(c(0, 0), Rational(2));
+    EXPECT_EQ(c(0, 1), Rational(2));
+    EXPECT_EQ(c(1, 0), Rational(3));
+    EXPECT_EQ(c(1, 1), Rational(3));
+}
+
+TEST(MatrixDeathTest, MatmulShapeMismatch)
+{
+    MatrixD a(2, 3), b(2, 3);
+    EXPECT_DEATH(matmul(a, b), "matmul shape mismatch");
+}
+
+TEST(MatrixDeathTest, RaggedInitializer)
+{
+    auto make = [] { MatrixD m{{1.0, 2.0}, {3.0}}; (void)m; };
+    EXPECT_DEATH(make(), "ragged");
+}
+
+} // namespace
+} // namespace twq

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the trainable im2col convolution, including its
+ * quantized variant and col2im.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.hh"
+#include "nn/conv.hh"
+
+namespace twq
+{
+namespace
+{
+
+TEST(Col2Im, IsAdjointOfIm2Col)
+{
+    // <im2col(x), M> == <x, col2im(M)> for any M: the two operators
+    // must be adjoint for the conv backward pass to be correct.
+    const ConvParams p{3, 1, 1};
+    const TensorD x = randomInput({1, 2, 5, 5}, 1);
+    Rng rng(2);
+    MatrixD m(2 * 9, 25);
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.cols(); ++j)
+            m(i, j) = rng.normal();
+
+    const MatrixD cols = im2col(x, 0, p);
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.cols(); ++j)
+            lhs += cols(i, j) * m(i, j);
+
+    TensorD back({1, 2, 5, 5});
+    col2im(m, back, 0, p);
+    double rhs = 0.0;
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        rhs += x[i] * back[i];
+
+    EXPECT_NEAR(lhs, rhs, 1e-9);
+}
+
+TEST(Conv2dLayer, ForwardMatchesDirect)
+{
+    Rng rng(3);
+    Conv2d conv(2, 3, ConvParams{3, 1, 1}, rng);
+    const TensorD x = randomInput({2, 2, 6, 6}, 4);
+    const TensorD y = conv.forward(x, false);
+    const TensorD ref = conv2dDirect(x, conv.weight().value,
+                                     ConvParams{3, 1, 1});
+    ASSERT_EQ(y.shape(), ref.shape());
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        EXPECT_NEAR(y[i], ref[i], 1e-10);
+}
+
+TEST(Conv2dLayer, InputGradCheck)
+{
+    Rng rng(5);
+    Conv2d conv(2, 2, ConvParams{3, 1, 1}, rng);
+    const TensorD x = randomInput({1, 2, 5, 5}, 6);
+    EXPECT_LT(checkInputGrad(conv, x, 7), 1e-5);
+}
+
+TEST(Conv2dLayer, WeightGradCheck)
+{
+    Rng rng(8);
+    Conv2d conv(2, 2, ConvParams{3, 1, 1}, rng);
+    const TensorD x = randomInput({1, 2, 5, 5}, 9);
+    EXPECT_LT(checkParamGrad(conv, conv.weight(), x, 10), 1e-5);
+}
+
+TEST(Conv2dLayer, StridedGradCheck)
+{
+    Rng rng(11);
+    Conv2d conv(2, 3, ConvParams{3, 2, 1}, rng);
+    const TensorD x = randomInput({1, 2, 6, 6}, 12);
+    EXPECT_LT(checkInputGrad(conv, x, 13), 1e-5);
+    EXPECT_LT(checkParamGrad(conv, conv.weight(), x, 14), 1e-5);
+}
+
+TEST(Conv2dLayer, PointwiseGradCheck)
+{
+    Rng rng(15);
+    Conv2d conv(3, 2, ConvParams{1, 1, 0}, rng);
+    const TensorD x = randomInput({2, 3, 4, 4}, 16);
+    EXPECT_LT(checkInputGrad(conv, x, 17), 1e-5);
+}
+
+TEST(Conv2dLayer, QuantizedForwardIsQuantized)
+{
+    Rng rng(18);
+    Conv2d conv(2, 2, ConvParams{3, 1, 1}, rng, 8);
+    const TensorD x = randomInput({1, 2, 6, 6}, 19);
+    // First training forward calibrates; output must stay finite and
+    // close to the FP result.
+    const TensorD yq = conv.forward(x, true);
+    Conv2d fp(2, 2, ConvParams{3, 1, 1}, rng);
+    fp.weight().value = conv.weight().value;
+    const TensorD yf = fp.forward(x, false);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < yq.numel(); ++i) {
+        num += (yq[i] - yf[i]) * (yq[i] - yf[i]);
+        den += yf[i] * yf[i];
+    }
+    EXPECT_LT(std::sqrt(num / den), 0.1); // int8 im2col ~ lossless
+}
+
+TEST(Conv2dLayer, QuantizedBackwardProducesFiniteGrads)
+{
+    Rng rng(20);
+    Conv2d conv(2, 2, ConvParams{3, 1, 1}, rng, 8);
+    const TensorD x = randomInput({1, 2, 6, 6}, 21);
+    const TensorD y = conv.forward(x, true);
+    const TensorD gin = conv.backward(TensorD(y.shape(), 1.0));
+    for (std::size_t i = 0; i < gin.numel(); ++i)
+        EXPECT_TRUE(std::isfinite(gin[i]));
+    bool any = false;
+    for (std::size_t i = 0; i < conv.weight().grad.numel(); ++i)
+        any |= conv.weight().grad[i] != 0.0;
+    EXPECT_TRUE(any);
+}
+
+} // namespace
+} // namespace twq

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Gradient and behavior tests for the standard layers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.hh"
+#include "nn/layers.hh"
+
+namespace twq
+{
+namespace
+{
+
+TEST(ReLUTest, ForwardClampsNegatives)
+{
+    ReLU relu;
+    TensorD x({1, 1, 1, 4},
+              std::vector<double>{-1.0, 0.0, 2.0, -3.0});
+    const TensorD y = relu.forward(x, false);
+    EXPECT_DOUBLE_EQ(y[0], 0.0);
+    EXPECT_DOUBLE_EQ(y[1], 0.0);
+    EXPECT_DOUBLE_EQ(y[2], 2.0);
+    EXPECT_DOUBLE_EQ(y[3], 0.0);
+}
+
+TEST(ReLUTest, GradCheck)
+{
+    ReLU relu;
+    // Keep values away from the kink for finite differences.
+    TensorD x = randomInput({2, 3, 4, 4}, 1);
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        if (std::abs(x[i]) < 0.05)
+            x[i] = 0.1;
+    EXPECT_LT(checkInputGrad(relu, x, 2), 1e-6);
+}
+
+TEST(BatchNormTest, NormalizesBatch)
+{
+    BatchNorm2d bn(3);
+    const TensorD x = randomInput({4, 3, 5, 5}, 3, 2.5);
+    const TensorD y = bn.forward(x, true);
+    // Per-channel mean ~0, var ~1.
+    for (std::size_t c = 0; c < 3; ++c) {
+        double sum = 0.0, sq = 0.0;
+        std::size_t cnt = 0;
+        for (std::size_t n = 0; n < 4; ++n) {
+            for (std::size_t h = 0; h < 5; ++h) {
+                for (std::size_t w = 0; w < 5; ++w) {
+                    sum += y.at(n, c, h, w);
+                    sq += y.at(n, c, h, w) * y.at(n, c, h, w);
+                    ++cnt;
+                }
+            }
+        }
+        const double mean = sum / cnt;
+        EXPECT_NEAR(mean, 0.0, 1e-9);
+        EXPECT_NEAR(sq / cnt - mean * mean, 1.0, 1e-3);
+    }
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats)
+{
+    BatchNorm2d bn(2);
+    const TensorD x = randomInput({8, 2, 4, 4}, 4);
+    for (int i = 0; i < 20; ++i)
+        bn.forward(x, true);
+    const TensorD ytrain = bn.forward(x, true);
+    const TensorD yeval = bn.forward(x, false);
+    // After converged running stats, train and eval paths agree.
+    for (std::size_t i = 0; i < ytrain.numel(); ++i)
+        EXPECT_NEAR(ytrain[i], yeval[i], 0.05);
+}
+
+TEST(BatchNormTest, InputGradCheck)
+{
+    BatchNorm2d bn(2);
+    const TensorD x = randomInput({3, 2, 3, 3}, 5);
+    EXPECT_LT(checkInputGrad(bn, x, 6), 1e-5);
+}
+
+TEST(BatchNormTest, ParamGradCheck)
+{
+    BatchNorm2d bn(2);
+    const TensorD x = randomInput({3, 2, 3, 3}, 7);
+    auto ps = bn.params();
+    ASSERT_EQ(ps.size(), 2u);
+    EXPECT_LT(checkParamGrad(bn, *ps[0], x, 8), 1e-5); // gamma
+    EXPECT_LT(checkParamGrad(bn, *ps[1], x, 9), 1e-5); // beta
+}
+
+TEST(MaxPoolTest, SelectsMaximum)
+{
+    MaxPool2d pool(2);
+    TensorD x({1, 1, 2, 2}, std::vector<double>{1.0, 5.0, 3.0, 2.0});
+    const TensorD y = pool.forward(x, false);
+    ASSERT_EQ(y.numel(), 1u);
+    EXPECT_DOUBLE_EQ(y[0], 5.0);
+}
+
+TEST(MaxPoolTest, GradCheck)
+{
+    MaxPool2d pool(2);
+    // Distinct values avoid argmax ties under perturbation.
+    TensorD x({1, 2, 4, 4});
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        x[i] = static_cast<double>(i) * 0.37;
+    EXPECT_LT(checkInputGrad(pool, x, 10), 1e-6);
+}
+
+TEST(GlobalAvgPoolTest, Averages)
+{
+    GlobalAvgPool gap;
+    TensorD x({1, 1, 2, 2}, std::vector<double>{1.0, 2.0, 3.0, 6.0});
+    const TensorD y = gap.forward(x, false);
+    EXPECT_DOUBLE_EQ(y.at(0u, 0u), 3.0);
+}
+
+TEST(GlobalAvgPoolTest, GradCheck)
+{
+    GlobalAvgPool gap;
+    const TensorD x = randomInput({2, 3, 4, 4}, 11);
+    EXPECT_LT(checkInputGrad(gap, x, 12), 1e-7);
+}
+
+TEST(LinearTest, KnownResult)
+{
+    Rng rng(13);
+    Linear lin(2, 1, rng);
+    lin.weight().value.at(0u, 0u) = 2.0;
+    lin.weight().value.at(0u, 1u) = -1.0;
+    TensorD x({1, 2}, std::vector<double>{3.0, 4.0});
+    const TensorD y = lin.forward(x, false);
+    EXPECT_DOUBLE_EQ(y.at(0u, 0u), 2.0); // 6 - 4 + bias(0)
+}
+
+TEST(LinearTest, InputGradCheck)
+{
+    Rng rng(14);
+    Linear lin(5, 3, rng);
+    const TensorD x = randomInput({4, 5}, 15);
+    EXPECT_LT(checkInputGrad(lin, x, 16), 1e-6);
+}
+
+TEST(LinearTest, ParamGradCheck)
+{
+    Rng rng(17);
+    Linear lin(4, 2, rng);
+    const TensorD x = randomInput({3, 4}, 18);
+    for (Param *p : lin.params())
+        EXPECT_LT(checkParamGrad(lin, *p, x, 19), 1e-6) << p->name;
+}
+
+} // namespace
+} // namespace twq

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the loss functions and accuracy metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "nn/loss.hh"
+
+namespace twq
+{
+namespace
+{
+
+TEST(Softmax, RowsSumToOne)
+{
+    Rng rng(1);
+    TensorD logits({4, 10});
+    for (std::size_t i = 0; i < logits.numel(); ++i)
+        logits[i] = rng.normal(0.0, 3.0);
+    const TensorD p = softmax(logits);
+    for (std::size_t i = 0; i < 4; ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < 10; ++j) {
+            sum += p.at(i, j);
+            EXPECT_GE(p.at(i, j), 0.0);
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+}
+
+TEST(Softmax, TemperatureFlattens)
+{
+    TensorD logits({1, 3}, std::vector<double>{0.0, 1.0, 2.0});
+    const TensorD p1 = softmax(logits, 1.0);
+    const TensorD p4 = softmax(logits, 4.0);
+    // Higher temperature -> distribution closer to uniform.
+    EXPECT_LT(p4.at(0u, 2u) - p4.at(0u, 0u),
+              p1.at(0u, 2u) - p1.at(0u, 0u));
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits)
+{
+    TensorD logits({1, 2}, std::vector<double>{1000.0, 1001.0});
+    const TensorD p = softmax(logits);
+    EXPECT_TRUE(std::isfinite(p.at(0u, 0u)));
+    EXPECT_NEAR(p.at(0u, 0u) + p.at(0u, 1u), 1.0, 1e-12);
+}
+
+TEST(CrossEntropy, PerfectPredictionLowLoss)
+{
+    TensorD logits({1, 3}, std::vector<double>{10.0, -10.0, -10.0});
+    const LossResult r = crossEntropy(logits, {0});
+    EXPECT_LT(r.loss, 1e-6);
+}
+
+TEST(CrossEntropy, UniformPredictionIsLogC)
+{
+    TensorD logits({1, 4});
+    const LossResult r = crossEntropy(logits, {2});
+    EXPECT_NEAR(r.loss, std::log(4.0), 1e-12);
+}
+
+TEST(CrossEntropy, GradCheck)
+{
+    Rng rng(2);
+    TensorD logits({3, 5});
+    for (std::size_t i = 0; i < logits.numel(); ++i)
+        logits[i] = rng.normal();
+    const std::vector<int> labels{1, 4, 0};
+    const LossResult r = crossEntropy(logits, labels);
+    const double eps = 1e-6;
+    for (std::size_t i = 0; i < logits.numel(); ++i) {
+        TensorD lp = logits, lm = logits;
+        lp[i] += eps;
+        lm[i] -= eps;
+        const double num = (crossEntropy(lp, labels).loss -
+                            crossEntropy(lm, labels).loss) /
+                           (2 * eps);
+        EXPECT_NEAR(num, r.gradLogits[i], 1e-6);
+    }
+}
+
+TEST(KdLoss, ZeroWhenStudentEqualsTeacher)
+{
+    Rng rng(3);
+    TensorD logits({2, 6});
+    for (std::size_t i = 0; i < logits.numel(); ++i)
+        logits[i] = rng.normal();
+    const LossResult r = kdLoss(logits, logits, 4.0);
+    EXPECT_NEAR(r.loss, 0.0, 1e-12);
+    for (std::size_t i = 0; i < r.gradLogits.numel(); ++i)
+        EXPECT_NEAR(r.gradLogits[i], 0.0, 1e-12);
+}
+
+TEST(KdLoss, NonNegative)
+{
+    Rng rng(4);
+    TensorD s({3, 5}), t({3, 5});
+    for (std::size_t i = 0; i < s.numel(); ++i) {
+        s[i] = rng.normal();
+        t[i] = rng.normal();
+    }
+    EXPECT_GE(kdLoss(s, t, 2.0).loss, 0.0);
+}
+
+TEST(KdLoss, GradCheck)
+{
+    Rng rng(5);
+    TensorD s({2, 4}), t({2, 4});
+    for (std::size_t i = 0; i < s.numel(); ++i) {
+        s[i] = rng.normal();
+        t[i] = rng.normal();
+    }
+    const double temp = 3.0;
+    const LossResult r = kdLoss(s, t, temp);
+    const double eps = 1e-6;
+    for (std::size_t i = 0; i < s.numel(); ++i) {
+        TensorD sp = s, sm = s;
+        sp[i] += eps;
+        sm[i] -= eps;
+        const double num =
+            (kdLoss(sp, t, temp).loss - kdLoss(sm, t, temp).loss) /
+            (2 * eps);
+        EXPECT_NEAR(num, r.gradLogits[i], 1e-5);
+    }
+}
+
+TEST(CombinedLoss, AlphaOneIsPlainCrossEntropy)
+{
+    Rng rng(6);
+    TensorD s({2, 3}), t({2, 3});
+    for (std::size_t i = 0; i < s.numel(); ++i) {
+        s[i] = rng.normal();
+        t[i] = rng.normal();
+    }
+    const std::vector<int> y{0, 2};
+    const LossResult a = combinedLoss(s, y, t, 4.0, 1.0);
+    const LossResult b = crossEntropy(s, y);
+    EXPECT_DOUBLE_EQ(a.loss, b.loss);
+}
+
+TEST(CombinedLoss, InterpolatesLosses)
+{
+    Rng rng(7);
+    TensorD s({2, 3}), t({2, 3});
+    for (std::size_t i = 0; i < s.numel(); ++i) {
+        s[i] = rng.normal();
+        t[i] = rng.normal();
+    }
+    const std::vector<int> y{1, 1};
+    const double ce = crossEntropy(s, y).loss;
+    const double kd = kdLoss(s, t, 4.0).loss;
+    const double mix = combinedLoss(s, y, t, 4.0, 0.3).loss;
+    EXPECT_NEAR(mix, 0.3 * ce + 0.7 * kd, 1e-12);
+}
+
+TEST(Accuracy, CountsArgmaxMatches)
+{
+    TensorD logits({3, 3});
+    logits.at(0u, 0u) = 5.0; // predicts 0
+    logits.at(1u, 2u) = 5.0; // predicts 2
+    logits.at(2u, 1u) = 5.0; // predicts 1
+    EXPECT_DOUBLE_EQ(accuracy(logits, {0, 2, 0}), 2.0 / 3.0);
+}
+
+} // namespace
+} // namespace twq

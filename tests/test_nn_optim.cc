@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the SGD / Adam / hybrid optimizers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optim.hh"
+
+namespace twq
+{
+namespace
+{
+
+TEST(SgdTest, StepWithoutMomentum)
+{
+    Param p({2}, "p");
+    p.value[0] = 1.0;
+    p.value[1] = -1.0;
+    p.grad[0] = 0.5;
+    p.grad[1] = -0.5;
+    Sgd sgd(0.1, 0.0);
+    sgd.step(p);
+    EXPECT_DOUBLE_EQ(p.value[0], 0.95);
+    EXPECT_DOUBLE_EQ(p.value[1], -0.95);
+}
+
+TEST(SgdTest, MomentumAccumulates)
+{
+    Param p({1}, "p");
+    p.grad[0] = 1.0;
+    Sgd sgd(1.0, 0.5);
+    sgd.step(p); // v=1, x=-1
+    EXPECT_DOUBLE_EQ(p.value[0], -1.0);
+    p.grad[0] = 1.0;
+    sgd.step(p); // v=1.5, x=-2.5
+    EXPECT_DOUBLE_EQ(p.value[0], -2.5);
+}
+
+TEST(AdamTest, FirstStepIsLrSized)
+{
+    Param p({1}, "p");
+    p.grad[0] = 123.0;
+    Adam adam(0.01);
+    adam.step(p);
+    // After bias correction the first step is ~lr * sign(grad).
+    EXPECT_NEAR(p.value[0], -0.01, 1e-6);
+}
+
+TEST(AdamTest, GradientNormalizationIsScaleInvariant)
+{
+    // The paper picks Adam for log2 thresholds because of its
+    // built-in normalization: the step must not depend on the
+    // gradient magnitude.
+    Param a({1}, "a"), b({1}, "b");
+    a.grad[0] = 1e-6;
+    b.grad[0] = 1e+6;
+    Adam oa(0.01), ob(0.01);
+    oa.step(a);
+    ob.step(b);
+    // Identical up to the eps regularizer in the denominator.
+    EXPECT_NEAR(a.value[0], b.value[0], 1e-4);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic)
+{
+    // Minimize (x - 3)^2.
+    Param p({1}, "p");
+    Adam adam(0.2);
+    for (int i = 0; i < 500; ++i) {
+        p.grad[0] = 2.0 * (p.value[0] - 3.0);
+        adam.step(p);
+    }
+    EXPECT_NEAR(p.value[0], 3.0, 0.05);
+}
+
+TEST(HybridTest, RoutesByFlagAndClearsGrads)
+{
+    Param sgd_p({1}, "w");
+    Param adam_p({1}, "log2t");
+    adam_p.useAdam = true;
+    sgd_p.grad[0] = 1.0;
+    adam_p.grad[0] = 100.0;
+    HybridOptimizer opt(0.1, 0.01, 0.0);
+    opt.step({&sgd_p, &adam_p});
+    EXPECT_DOUBLE_EQ(sgd_p.value[0], -0.1);     // SGD: lr * grad
+    EXPECT_NEAR(adam_p.value[0], -0.01, 1e-6);  // Adam: ~lr
+    EXPECT_DOUBLE_EQ(sgd_p.grad[0], 0.0);
+    EXPECT_DOUBLE_EQ(adam_p.grad[0], 0.0);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic)
+{
+    Param p({1}, "p");
+    Sgd sgd(0.1, 0.9);
+    for (int i = 0; i < 200; ++i) {
+        p.grad[0] = 2.0 * (p.value[0] - 5.0);
+        sgd.step(p);
+        p.zeroGrad();
+    }
+    EXPECT_NEAR(p.value[0], 5.0, 0.01);
+}
+
+} // namespace
+} // namespace twq

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * End-to-end training smoke tests: the ablation networks must learn
+ * the synthetic task well above chance, in FP and quantized modes,
+ * and the model zoo shape inventory must be consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hh"
+#include "models/ablation_net.hh"
+#include "models/zoo.hh"
+#include "nn/trainer.hh"
+
+namespace twq
+{
+namespace
+{
+
+DataSplits
+smallData()
+{
+    SyntheticConfig cfg;
+    cfg.classes = 4;
+    cfg.channels = 3;
+    cfg.imageSize = 12;
+    cfg.noise = 0.2;
+    cfg.seed = 11;
+    return makeSplits(160, 48, 48, cfg);
+}
+
+TrainConfig
+fastTrain()
+{
+    TrainConfig t;
+    t.epochs = 4;
+    t.batchSize = 16;
+    t.lr = 0.05;
+    t.seed = 3;
+    return t;
+}
+
+TEST(Training, FpIm2colLearns)
+{
+    const DataSplits data = smallData();
+    AblationConfig cfg;
+    cfg.kind = ConvKind::Im2col;
+    cfg.channels = 8;
+    cfg.classes = 4;
+    auto net = makeTinyConvNet(cfg);
+    Trainer tr(*net, fastTrain());
+    const double acc = tr.fit(data.train, data.val);
+    EXPECT_GT(acc, 0.6); // chance is 0.25
+}
+
+TEST(Training, FpWinogradF4MatchesIm2colLearning)
+{
+    const DataSplits data = smallData();
+    AblationConfig cfg;
+    cfg.kind = ConvKind::WinogradF4;
+    cfg.channels = 8;
+    cfg.classes = 4;
+    auto net = makeTinyConvNet(cfg);
+    Trainer tr(*net, fastTrain());
+    const double acc = tr.fit(data.train, data.val);
+    EXPECT_GT(acc, 0.6);
+}
+
+TEST(Training, QuantizedTapWiseF4Learns)
+{
+    const DataSplits data = smallData();
+    AblationConfig cfg;
+    cfg.kind = ConvKind::WinogradF4;
+    cfg.channels = 8;
+    cfg.classes = 4;
+    cfg.wino.quantize = true;
+    cfg.wino.tapWise = true;
+    auto net = makeTinyConvNet(cfg);
+    Trainer tr(*net, fastTrain());
+    const double acc = tr.fit(data.train, data.val);
+    EXPECT_GT(acc, 0.55);
+}
+
+TEST(Training, KnowledgeDistillationRuns)
+{
+    const DataSplits data = smallData();
+    AblationConfig fp_cfg;
+    fp_cfg.kind = ConvKind::Im2col;
+    fp_cfg.channels = 8;
+    fp_cfg.classes = 4;
+    auto teacher = makeTinyConvNet(fp_cfg);
+    Trainer ttr(*teacher, fastTrain());
+    ttr.fit(data.train, data.val);
+
+    AblationConfig q_cfg = fp_cfg;
+    q_cfg.kind = ConvKind::WinogradF4;
+    q_cfg.wino.quantize = true;
+    auto student = makeTinyConvNet(q_cfg);
+    TrainConfig tc = fastTrain();
+    tc.kdAlpha = 0.5;
+    Trainer str(*student, tc);
+    str.setTeacher(teacher.get());
+    const double acc = str.fit(data.train, data.val);
+    EXPECT_GT(acc, 0.5);
+}
+
+TEST(Training, MiniResNetLearns)
+{
+    const DataSplits data = smallData();
+    AblationConfig cfg;
+    cfg.kind = ConvKind::WinogradF2;
+    cfg.channels = 8;
+    cfg.classes = 4;
+    auto net = makeMiniResNet(cfg);
+    Trainer tr(*net, fastTrain());
+    const double acc = tr.fit(data.train, data.val);
+    EXPECT_GT(acc, 0.55);
+}
+
+TEST(Training, DeterministicGivenSeeds)
+{
+    const DataSplits data = smallData();
+    AblationConfig cfg;
+    cfg.kind = ConvKind::Im2col;
+    cfg.channels = 4;
+    cfg.classes = 4;
+    auto n1 = makeTinyConvNet(cfg);
+    auto n2 = makeTinyConvNet(cfg);
+    TrainConfig tc = fastTrain();
+    tc.epochs = 1;
+    Trainer t1(*n1, tc), t2(*n2, tc);
+    EXPECT_DOUBLE_EQ(t1.trainEpoch(data.train),
+                     t2.trainEpoch(data.train));
+}
+
+TEST(Zoo, ConvKindNames)
+{
+    EXPECT_STREQ(convKindName(ConvKind::Im2col), "im2col");
+    EXPECT_STREQ(convKindName(ConvKind::WinogradF4), "F4");
+}
+
+TEST(Zoo, MacCountsSanity)
+{
+    // ResNet-34 at 224 is ~3.6 GMACs in the literature; the conv
+    // inventory must land in that ballpark.
+    const NetworkDesc r34 = resnet34();
+    EXPECT_GT(r34.totalMacs(), 3.0e9);
+    EXPECT_LT(r34.totalMacs(), 4.5e9);
+    // ResNet-50 ~4.1 GMACs.
+    const NetworkDesc r50 = resnet50();
+    EXPECT_GT(r50.totalMacs(), 3.3e9);
+    EXPECT_LT(r50.totalMacs(), 5.0e9);
+}
+
+TEST(Zoo, WinogradShareMatchesArchitectureStyle)
+{
+    // ResNet-34 is dominated by 3x3 convs; ResNet-50 by 1x1.
+    const NetworkDesc r34 = resnet34();
+    const NetworkDesc r50 = resnet50();
+    EXPECT_GT(r34.winogradMacs() / r34.totalMacs(), 0.8);
+    EXPECT_LT(r50.winogradMacs() / r50.totalMacs(), 0.6);
+    // UNet is almost entirely 3x3 stride-1.
+    const NetworkDesc u = unet();
+    EXPECT_GT(u.winogradMacs() / u.totalMacs(), 0.95);
+}
+
+TEST(Zoo, TableSevenListIsComplete)
+{
+    const auto nets = tableSevenNetworks();
+    EXPECT_EQ(nets.size(), 7u);
+    for (const auto &n : nets) {
+        EXPECT_FALSE(n.layers.empty()) << n.name;
+        EXPECT_GT(n.totalMacs(), 0.0) << n.name;
+    }
+}
+
+TEST(Zoo, EligibilityRules)
+{
+    ConvLayerDesc l;
+    l.kernel = 3;
+    l.stride = 1;
+    EXPECT_TRUE(l.winogradEligible());
+    l.stride = 2;
+    EXPECT_FALSE(l.winogradEligible());
+    l.kernel = 1;
+    l.stride = 1;
+    EXPECT_FALSE(l.winogradEligible());
+}
+
+} // namespace
+} // namespace twq

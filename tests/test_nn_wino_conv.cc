@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the Winograd-aware trainable convolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.hh"
+#include "nn/conv.hh"
+#include "nn/wino_conv.hh"
+#include "tensor/im2col.hh"
+
+namespace twq
+{
+namespace
+{
+
+class WinoConvLayer : public ::testing::TestWithParam<WinoVariant>
+{};
+
+TEST_P(WinoConvLayer, FpForwardMatchesDirect)
+{
+    Rng rng(1);
+    WinoConvConfig cfg;
+    cfg.variant = GetParam();
+    cfg.quantize = false;
+    WinogradConv2d conv(3, 4, cfg, rng);
+    const TensorD x = randomInput({2, 3, 8, 8}, 2);
+    const TensorD y = conv.forward(x, false);
+    const TensorD ref = conv2dDirect(x, conv.weight().value,
+                                     ConvParams{3, 1, 1});
+    ASSERT_EQ(y.shape(), ref.shape());
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        EXPECT_NEAR(y[i], ref[i], 1e-9);
+}
+
+TEST_P(WinoConvLayer, FpInputGradCheck)
+{
+    Rng rng(3);
+    WinoConvConfig cfg;
+    cfg.variant = GetParam();
+    WinogradConv2d conv(2, 2, cfg, rng);
+    const TensorD x = randomInput({1, 2, 6, 6}, 4);
+    EXPECT_LT(checkInputGrad(conv, x, 5), 1e-5);
+}
+
+TEST_P(WinoConvLayer, FpWeightGradCheck)
+{
+    Rng rng(6);
+    WinoConvConfig cfg;
+    cfg.variant = GetParam();
+    WinogradConv2d conv(2, 2, cfg, rng);
+    const TensorD x = randomInput({1, 2, 6, 6}, 7);
+    EXPECT_LT(checkParamGrad(conv, conv.weight(), x, 8), 1e-5);
+}
+
+TEST_P(WinoConvLayer, RaggedSpatialGradCheck)
+{
+    Rng rng(9);
+    WinoConvConfig cfg;
+    cfg.variant = GetParam();
+    WinogradConv2d conv(1, 1, cfg, rng);
+    // 5x7 exercises partially filled tiles in both dimensions.
+    const TensorD x = randomInput({1, 1, 5, 7}, 10);
+    EXPECT_LT(checkInputGrad(conv, x, 11), 1e-5);
+    EXPECT_LT(checkParamGrad(conv, conv.weight(), x, 12), 1e-5);
+}
+
+TEST_P(WinoConvLayer, QuantizedForwardStaysClose)
+{
+    Rng rng(13);
+    WinoConvConfig cfg;
+    cfg.variant = GetParam();
+    cfg.quantize = true;
+    cfg.tapWise = true;
+    WinogradConv2d conv(4, 4, cfg, rng);
+    const TensorD x = randomInput({1, 4, 8, 8}, 14);
+    const TensorD yq = conv.forward(x, true); // calibrates + quantizes
+    const TensorD ref = conv2dDirect(x, conv.weight().value,
+                                     ConvParams{3, 1, 1});
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < yq.numel(); ++i) {
+        num += (yq[i] - ref[i]) * (yq[i] - ref[i]);
+        den += ref[i] * ref[i];
+    }
+    EXPECT_LT(std::sqrt(num / den), 0.3);
+}
+
+TEST(WinoConvQuant, TapWiseBeatsSingleScaleF4)
+{
+    Rng rng(15);
+    const TensorD x = randomInput({1, 4, 8, 8}, 16);
+
+    WinoConvConfig tap;
+    tap.quantize = true;
+    tap.tapWise = true;
+    WinogradConv2d conv_tap(4, 4, tap, rng);
+
+    WinoConvConfig single = tap;
+    single.tapWise = false;
+    WinogradConv2d conv_single(4, 4, single, rng);
+    conv_single.weight().value = conv_tap.weight().value;
+
+    const TensorD ref = conv2dDirect(x, conv_tap.weight().value,
+                                     ConvParams{3, 1, 1});
+    const auto err = [&](const TensorD &y) {
+        double num = 0.0, den = 0.0;
+        for (std::size_t i = 0; i < y.numel(); ++i) {
+            num += (y[i] - ref[i]) * (y[i] - ref[i]);
+            den += ref[i] * ref[i];
+        }
+        return std::sqrt(num / den);
+    };
+    const double e_tap = err(conv_tap.forward(x, true));
+    const double e_single = err(conv_single.forward(x, true));
+    EXPECT_LT(e_tap, e_single);
+}
+
+TEST(WinoConvQuant, QuantizedGradsAreFiniteAndMasked)
+{
+    Rng rng(17);
+    WinoConvConfig cfg;
+    cfg.quantize = true;
+    WinogradConv2d conv(2, 2, cfg, rng);
+    const TensorD x = randomInput({1, 2, 8, 8}, 18);
+    const TensorD y = conv.forward(x, true);
+    const TensorD gin = conv.backward(TensorD(y.shape(), 1.0));
+    for (std::size_t i = 0; i < gin.numel(); ++i)
+        EXPECT_TRUE(std::isfinite(gin[i]));
+    bool any = false;
+    for (std::size_t i = 0; i < conv.weight().grad.numel(); ++i)
+        any |= conv.weight().grad[i] != 0.0;
+    EXPECT_TRUE(any);
+}
+
+TEST(WinoConvQuant, LearnedScalesSeededFromCalibration)
+{
+    Rng rng(19);
+    WinoConvConfig cfg;
+    cfg.quantize = true;
+    cfg.learnScales = true;
+    WinogradConv2d conv(2, 2, cfg, rng);
+    const TensorD x = randomInput({1, 2, 8, 8}, 20);
+    conv.forward(x, true);
+    // After seeding, learned scales track the tap maxima: positive
+    // and tap-dependent.
+    const MatrixD sg = conv.weightTapScales();
+    double lo = sg(0, 0), hi = sg(0, 0);
+    for (std::size_t i = 0; i < sg.rows(); ++i) {
+        for (std::size_t j = 0; j < sg.cols(); ++j) {
+            EXPECT_GT(sg(i, j), 0.0);
+            lo = std::min(lo, sg(i, j));
+            hi = std::max(hi, sg(i, j));
+        }
+    }
+    EXPECT_GT(hi / lo, 2.0);
+}
+
+TEST(WinoConvQuant, LearnedScaleParamsReceiveGradients)
+{
+    Rng rng(21);
+    WinoConvConfig cfg;
+    cfg.quantize = true;
+    cfg.learnScales = true;
+    WinogradConv2d conv(2, 2, cfg, rng);
+    const TensorD x = randomInput({1, 2, 8, 8}, 22);
+    const TensorD y = conv.forward(x, true);
+    conv.backward(TensorD(y.shape(), 1.0));
+    auto ps = conv.params();
+    ASSERT_EQ(ps.size(), 3u); // weights + logSg + logSb
+    bool any_g = false, any_b = false;
+    for (std::size_t i = 0; i < ps[1]->grad.numel(); ++i)
+        any_g |= ps[1]->grad[i] != 0.0;
+    for (std::size_t i = 0; i < ps[2]->grad.numel(); ++i)
+        any_b |= ps[2]->grad[i] != 0.0;
+    EXPECT_TRUE(any_g);
+    EXPECT_TRUE(any_b);
+    EXPECT_TRUE(ps[1]->useAdam);
+    EXPECT_TRUE(ps[2]->useAdam);
+}
+
+TEST(WinoConvQuant, Pow2ScalesArePow2)
+{
+    Rng rng(23);
+    WinoConvConfig cfg;
+    cfg.quantize = true;
+    cfg.pow2 = true;
+    WinogradConv2d conv(2, 2, cfg, rng);
+    const TensorD x = randomInput({1, 2, 8, 8}, 24);
+    conv.forward(x, true);
+    const MatrixD sg = conv.weightTapScales();
+    for (std::size_t i = 0; i < sg.rows(); ++i) {
+        for (std::size_t j = 0; j < sg.cols(); ++j) {
+            const double l = std::log2(sg(i, j));
+            EXPECT_NEAR(l, std::nearbyint(l), 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, WinoConvLayer,
+                         ::testing::Values(WinoVariant::F2,
+                                           WinoVariant::F4),
+                         [](const auto &info) {
+                             return winoName(info.param);
+                         });
+
+} // namespace
+} // namespace twq

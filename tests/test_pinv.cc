@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the SVD and Moore-Penrose pseudo-inverse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "quant/pinv.hh"
+#include "winograd/matrices.hh"
+#include "winograd/transforms.hh"
+
+namespace twq
+{
+namespace
+{
+
+MatrixD
+randomMatrix(std::size_t r, std::size_t c, std::uint64_t seed)
+{
+    Rng rng(seed);
+    MatrixD m(r, c);
+    for (std::size_t i = 0; i < r; ++i)
+        for (std::size_t j = 0; j < c; ++j)
+            m(i, j) = rng.normal();
+    return m;
+}
+
+void
+expectNear(const MatrixD &a, const MatrixD &b, double tol)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            EXPECT_NEAR(a(i, j), b(i, j), tol)
+                << "at (" << i << "," << j << ")";
+}
+
+TEST(SvdTest, ReconstructsTallMatrix)
+{
+    const MatrixD a = randomMatrix(6, 3, 1);
+    const Svd d = svd(a);
+    MatrixD us(6, 3);
+    for (std::size_t i = 0; i < 6; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            us(i, j) = d.u(i, j) * d.s[j];
+    expectNear(matmul(us, d.v.transposed()), a, 1e-10);
+}
+
+TEST(SvdTest, ReconstructsWideMatrix)
+{
+    const MatrixD a = randomMatrix(3, 6, 2);
+    const Svd d = svd(a);
+    MatrixD us(3, 3);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            us(i, j) = d.u(i, j) * d.s[j];
+    expectNear(matmul(us, d.v.transposed()), a, 1e-10);
+}
+
+TEST(SvdTest, SingularValuesDescendAndNonNegative)
+{
+    const MatrixD a = randomMatrix(6, 6, 3);
+    const Svd d = svd(a);
+    for (std::size_t i = 0; i + 1 < d.s.size(); ++i)
+        EXPECT_GE(d.s[i], d.s[i + 1]);
+    for (double s : d.s)
+        EXPECT_GE(s, 0.0);
+}
+
+TEST(SvdTest, OrthonormalColumnsOfU)
+{
+    const MatrixD a = randomMatrix(6, 4, 4);
+    const Svd d = svd(a);
+    const MatrixD utu = matmul(d.u.transposed(), d.u);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            EXPECT_NEAR(utu(i, j), i == j ? 1.0 : 0.0, 1e-10);
+}
+
+TEST(PinvTest, InverseOfSquareInvertible)
+{
+    MatrixD a{{2.0, 0.0}, {0.0, 4.0}};
+    const MatrixD inv = pinv(a);
+    EXPECT_NEAR(inv(0, 0), 0.5, 1e-12);
+    EXPECT_NEAR(inv(1, 1), 0.25, 1e-12);
+}
+
+TEST(PinvTest, LeftInverseOfTallFullRank)
+{
+    const MatrixD a = randomMatrix(6, 3, 5);
+    const MatrixD ai = pinv(a);
+    const MatrixD id = matmul(ai, a);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_NEAR(id(i, j), i == j ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(PinvTest, PenroseConditions)
+{
+    const MatrixD a = randomMatrix(5, 3, 6);
+    const MatrixD ap = pinv(a);
+    // A A+ A = A and A+ A A+ = A+.
+    expectNear(matmul(matmul(a, ap), a), a, 1e-9);
+    expectNear(matmul(matmul(ap, a), ap), ap, 1e-9);
+}
+
+TEST(PinvTest, RankDeficientMatrix)
+{
+    // Second column is a multiple of the first.
+    MatrixD a{{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}};
+    const MatrixD ap = pinv(a);
+    expectNear(matmul(matmul(a, ap), a), a, 1e-9);
+}
+
+TEST(PinvTest, WinogradGBackTransformRecoversKernel)
+{
+    // The use case of Fig. 4: G^+ (G f G^T) (G^+)^T == f when no
+    // quantization is applied.
+    for (auto v : {WinoVariant::F2, WinoVariant::F4}) {
+        const MatrixD g = winoGd(v);
+        const MatrixD gp = pinv(g);
+        const MatrixD f = randomMatrix(3, 3, 7);
+        const MatrixD w = weightTransform(f, v);
+        const MatrixD back = matmul(matmul(gp, w), gp.transposed());
+        expectNear(back, f, 1e-9);
+    }
+}
+
+TEST(PinvTest, FrobeniusNorm)
+{
+    MatrixD a{{3.0, 0.0}, {0.0, 4.0}};
+    EXPECT_DOUBLE_EQ(frobeniusNorm(a), 5.0);
+}
+
+} // namespace
+} // namespace twq

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Fig. 4-style quantization-error analysis tests: the relative
+ * ordering of granularities must match the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "quant/error.hh"
+
+namespace twq
+{
+namespace
+{
+
+/**
+ * Weights with per-channel spread (channels drawn with different
+ * stddevs), mimicking trained convolution layers.
+ */
+TensorD
+layeredWeights(std::size_t cout, std::size_t cin, std::uint64_t seed)
+{
+    Rng rng(seed);
+    TensorD w({cout, cin, 3, 3});
+    for (std::size_t oc = 0; oc < cout; ++oc) {
+        const double ch_std = 0.02 + 0.2 * rng.uniform();
+        for (std::size_t ic = 0; ic < cin; ++ic)
+            for (std::size_t ky = 0; ky < 3; ++ky)
+                for (std::size_t kx = 0; kx < 3; ++kx)
+                    w.at(oc, ic, ky, kx) = rng.normal(0.0, ch_std);
+    }
+    return w;
+}
+
+TEST(GroupQuantTest, OptimizerPicksFiniteGamma)
+{
+    Rng rng(1);
+    std::vector<double> vals(1000);
+    for (auto &v : vals)
+        v = rng.normal(0.0, 0.1);
+    const GroupQuant q = optimizeGroupQuant(vals, 8);
+    EXPECT_GT(q.gamma, 0.0);
+    EXPECT_GT(q.scale, 0.0);
+    EXPECT_NEAR(q.mean, 0.0, 0.02);
+    EXPECT_NEAR(q.sigma, 0.1, 0.02);
+}
+
+TEST(GroupQuantTest, EmptyGroupIsNeutral)
+{
+    const GroupQuant q = optimizeGroupQuant({}, 8);
+    EXPECT_DOUBLE_EQ(applyGroupQuant(q, 0.7, 8), 0.7);
+}
+
+TEST(GroupQuantTest, ConstantGroupQuantizesExactly)
+{
+    const GroupQuant q = optimizeGroupQuant({2.0, 2.0, 2.0}, 8);
+    EXPECT_DOUBLE_EQ(applyGroupQuant(q, 2.0, 8), 2.0);
+}
+
+TEST(GroupQuantTest, QuantizationErrorBoundedByScale)
+{
+    Rng rng(2);
+    std::vector<double> vals(500);
+    for (auto &v : vals)
+        v = rng.normal(0.0, 1.0);
+    const GroupQuant q = optimizeGroupQuant(vals, 8);
+    for (double v : vals) {
+        const double fq = applyGroupQuant(q, v, 8);
+        // Inside the clamp range the error is at most scale/2.
+        if (std::abs(v - q.mean) < q.scale * 120) {
+            EXPECT_LE(std::abs(fq - v), q.scale / 2 + 1e-12);
+        }
+    }
+}
+
+TEST(QuantError, SpatialChannelWiseBeatsLayerWise)
+{
+    // Fig. 4a: channel-wise reduces the mean relative error.
+    const TensorD w = layeredWeights(16, 8, 3);
+    const auto layer =
+        spatialQuantErrors(w, QuantGranularity::LayerWise, 8);
+    const auto channel =
+        spatialQuantErrors(w, QuantGranularity::ChannelWise, 8);
+    EXPECT_LT(meanLog2(channel), meanLog2(layer));
+}
+
+TEST(QuantError, WinogradTapWiseBeatsLayerAndChannel)
+{
+    // Fig. 4b: in the Winograd domain, channel-wise barely helps but
+    // tap-wise helps a lot.
+    const TensorD w = layeredWeights(16, 8, 4);
+    const auto layer = winogradQuantErrors(
+        w, WinoVariant::F4, QuantGranularity::LayerWise, 8);
+    const auto channel = winogradQuantErrors(
+        w, WinoVariant::F4, QuantGranularity::ChannelWise, 8);
+    const auto tap = winogradQuantErrors(
+        w, WinoVariant::F4, QuantGranularity::TapWise, 8);
+    EXPECT_LT(meanLog2(tap), meanLog2(layer) - 0.5);
+    EXPECT_LT(meanLog2(tap), meanLog2(channel) - 0.5);
+}
+
+TEST(QuantError, ChannelTapCombinationAtLeastAsGoodAsTap)
+{
+    const TensorD w = layeredWeights(16, 8, 5);
+    const auto tap = winogradQuantErrors(
+        w, WinoVariant::F4, QuantGranularity::TapWise, 8);
+    const auto both = winogradQuantErrors(
+        w, WinoVariant::F4, QuantGranularity::ChannelTapWise, 8);
+    EXPECT_LE(meanLog2(both), meanLog2(tap) + 0.1);
+}
+
+TEST(QuantError, MoreBitsReduceError)
+{
+    const TensorD w = layeredWeights(8, 8, 6);
+    const auto b8 = winogradQuantErrors(
+        w, WinoVariant::F4, QuantGranularity::TapWise, 8);
+    const auto b10 = winogradQuantErrors(
+        w, WinoVariant::F4, QuantGranularity::TapWise, 10);
+    EXPECT_LT(meanLog2(b10), meanLog2(b8) - 1.0);
+}
+
+TEST(QuantError, F2IsLessSensitiveThanF4UnderLayerWise)
+{
+    // F2's near-uniform tap ranges mean layer-wise quantization in
+    // the Winograd domain hurts it much less than F4.
+    const TensorD w = layeredWeights(8, 8, 7);
+    const auto f2 = winogradQuantErrors(
+        w, WinoVariant::F2, QuantGranularity::LayerWise, 8);
+    const auto f4 = winogradQuantErrors(
+        w, WinoVariant::F4, QuantGranularity::LayerWise, 8);
+    EXPECT_LT(meanLog2(f2), meanLog2(f4));
+}
+
+TEST(QuantError, MeanLog2OfPowers)
+{
+    EXPECT_DOUBLE_EQ(meanLog2({0.25, 0.25}), -2.0);
+    EXPECT_DOUBLE_EQ(meanLog2({1.0, 4.0}), 1.0);
+    EXPECT_DOUBLE_EQ(meanLog2({}), 0.0);
+}
+
+} // namespace
+} // namespace twq

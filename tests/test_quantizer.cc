@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the core quantization primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/quantizer.hh"
+
+namespace twq
+{
+namespace
+{
+
+TEST(Quantizer, Ranges)
+{
+    EXPECT_EQ(quantMax(8), 127);
+    EXPECT_EQ(quantMin(8), -128);
+    EXPECT_EQ(quantMax(10), 511);
+    EXPECT_EQ(quantMin(10), -512);
+}
+
+TEST(Quantizer, ScaleForMax)
+{
+    EXPECT_DOUBLE_EQ(scaleForMax(127.0, 8), 1.0);
+    EXPECT_DOUBLE_EQ(scaleForMax(254.0, 8), 2.0);
+    EXPECT_DOUBLE_EQ(scaleForMax(0.0, 8), 1.0); // degenerate
+}
+
+TEST(Quantizer, RoundTripSmallValues)
+{
+    const double s = 0.1;
+    for (double x : {-1.0, -0.35, 0.0, 0.2, 1.1})
+        EXPECT_NEAR(fakeQuantize(x, s, 8), x, s / 2 + 1e-12);
+}
+
+TEST(Quantizer, ClampsToRange)
+{
+    EXPECT_EQ(quantize(1000.0, 1.0, 8), 127);
+    EXPECT_EQ(quantize(-1000.0, 1.0, 8), -128);
+}
+
+TEST(Quantizer, RoundHalfToEvenFollowsNearbyint)
+{
+    // std::nearbyint with default rounding mode: ties to even.
+    EXPECT_EQ(quantize(0.5, 1.0, 8), 0);
+    EXPECT_EQ(quantize(1.5, 1.0, 8), 2);
+    EXPECT_EQ(quantize(2.5, 1.0, 8), 2);
+}
+
+TEST(Quantizer, DequantizeIsLinear)
+{
+    EXPECT_DOUBLE_EQ(dequantize(10, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(dequantize(-4, 0.5), -2.0);
+}
+
+TEST(Quantizer, Pow2Ceil)
+{
+    EXPECT_DOUBLE_EQ(pow2Ceil(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(pow2Ceil(1.1), 2.0);
+    EXPECT_DOUBLE_EQ(pow2Ceil(0.3), 0.5);
+    EXPECT_DOUBLE_EQ(pow2Ceil(0.25), 0.25);
+    EXPECT_DOUBLE_EQ(pow2Ceil(5.0), 8.0);
+}
+
+TEST(Quantizer, Pow2Nearest)
+{
+    EXPECT_DOUBLE_EQ(pow2Nearest(1.4), 1.0);
+    EXPECT_DOUBLE_EQ(pow2Nearest(1.5), 2.0);
+    EXPECT_DOUBLE_EQ(pow2Nearest(0.3), 0.25);
+}
+
+TEST(Quantizer, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(8.0), 3);
+    EXPECT_EQ(log2Exact(0.125), -3);
+    EXPECT_EQ(log2Exact(1.0), 0);
+}
+
+TEST(MaxCalibratorTest, FirstObservationSeeds)
+{
+    MaxCalibrator c(0.9);
+    EXPECT_FALSE(c.seeded());
+    c.observe(10.0);
+    EXPECT_TRUE(c.seeded());
+    EXPECT_DOUBLE_EQ(c.max(), 10.0);
+}
+
+TEST(MaxCalibratorTest, RunningAverage)
+{
+    MaxCalibrator c(0.5);
+    c.observe(10.0);
+    c.observe(20.0);
+    EXPECT_DOUBLE_EQ(c.max(), 15.0);
+    c.observe(15.0);
+    EXPECT_DOUBLE_EQ(c.max(), 15.0);
+}
+
+TEST(MaxCalibratorTest, UsesAbsoluteValues)
+{
+    MaxCalibrator c;
+    c.observe(-42.0);
+    EXPECT_DOUBLE_EQ(c.max(), 42.0);
+}
+
+TEST(MaxCalibratorTest, ObserveAll)
+{
+    MaxCalibrator c;
+    c.observeAll({-3.0, 1.0, 2.5});
+    EXPECT_DOUBLE_EQ(c.max(), 3.0);
+}
+
+TEST(MaxCalibratorTest, ScaleMatchesBitwidth)
+{
+    MaxCalibrator c;
+    c.observe(127.0);
+    EXPECT_DOUBLE_EQ(c.scale(8), 1.0);
+    EXPECT_DOUBLE_EQ(c.scale(10), 127.0 / 511.0);
+}
+
+} // namespace
+} // namespace twq

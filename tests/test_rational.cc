@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for exact rational arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rational.hh"
+
+namespace twq
+{
+namespace
+{
+
+TEST(Rational, DefaultIsZero)
+{
+    Rational r;
+    EXPECT_TRUE(r.isZero());
+    EXPECT_TRUE(r.isInteger());
+    EXPECT_EQ(r.num(), 0);
+    EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, ReducesOnConstruction)
+{
+    Rational r(6, 8);
+    EXPECT_EQ(r.num(), 3);
+    EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, NormalizesSignToNumerator)
+{
+    Rational r(3, -4);
+    EXPECT_EQ(r.num(), -3);
+    EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, AddSameDenominator)
+{
+    EXPECT_EQ(Rational(1, 6) + Rational(1, 6), Rational(1, 3));
+}
+
+TEST(Rational, AddDifferentDenominator)
+{
+    EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+}
+
+TEST(Rational, SubtractToZero)
+{
+    EXPECT_TRUE((Rational(7, 9) - Rational(7, 9)).isZero());
+}
+
+TEST(Rational, MultiplyCrossReduces)
+{
+    // 2/3 * 3/4 = 1/2 without overflowing intermediates.
+    EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+}
+
+TEST(Rational, DivideIsMultiplyByInverse)
+{
+    EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+}
+
+TEST(Rational, Negation)
+{
+    EXPECT_EQ(-Rational(1, 24), Rational(-1, 24));
+}
+
+TEST(Rational, Ordering)
+{
+    EXPECT_LT(Rational(1, 3), Rational(1, 2));
+    EXPECT_GT(Rational(-1, 4), Rational(-1, 2));
+    EXPECT_EQ(Rational(2, 4) <=> Rational(1, 2),
+              std::strong_ordering::equal);
+}
+
+TEST(Rational, AbsoluteValue)
+{
+    EXPECT_EQ(Rational(-5, 6).abs(), Rational(5, 6));
+    EXPECT_EQ(Rational(5, 6).abs(), Rational(5, 6));
+}
+
+TEST(Rational, PowerOfTwoDetection)
+{
+    EXPECT_TRUE(Rational(1, 2).isPowerOfTwo());
+    EXPECT_TRUE(Rational(4).isPowerOfTwo());
+    EXPECT_TRUE(Rational(-8).isPowerOfTwo());
+    EXPECT_TRUE(Rational(1, 16).isPowerOfTwo());
+    EXPECT_FALSE(Rational(1, 3).isPowerOfTwo());
+    EXPECT_FALSE(Rational(0).isPowerOfTwo());
+    EXPECT_FALSE(Rational(6).isPowerOfTwo());
+}
+
+TEST(Rational, ToDoubleExactForDyadic)
+{
+    EXPECT_DOUBLE_EQ(Rational(1, 4).toDouble(), 0.25);
+    EXPECT_DOUBLE_EQ(Rational(-3, 8).toDouble(), -0.375);
+}
+
+TEST(Rational, ToIntegerWhenWhole)
+{
+    EXPECT_EQ(Rational(10, 5).toInteger(), 2);
+}
+
+TEST(Rational, StreamAndString)
+{
+    std::ostringstream oss;
+    oss << Rational(-1, 6);
+    EXPECT_EQ(oss.str(), "-1/6");
+    EXPECT_EQ(Rational(7).toString(), "7");
+}
+
+TEST(Rational, WinogradWeightScaleIdentity)
+{
+    // 24 * (1/24 + 1/12 + 1/6) = 7, the kind of identity the F4
+    // weight-transform scaling relies on.
+    const Rational sum = Rational(1, 24) + Rational(1, 12) +
+                         Rational(1, 6);
+    EXPECT_EQ((sum * Rational(24)).toInteger(), 7);
+}
+
+} // namespace
+} // namespace twq

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace twq
+{
+namespace
+{
+
+TEST(Rng, DeterministicWithSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 10; ++i)
+        any_diff |= a.uniform() != b.uniform();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.uniform(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusive)
+{
+    Rng r(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(11);
+    std::vector<double> vs(20000);
+    for (auto &v : vs)
+        v = r.normal(1.0, 2.0);
+    const SampleStats s = computeStats(vs);
+    EXPECT_NEAR(s.mean, 1.0, 0.1);
+    EXPECT_NEAR(s.stddev, 2.0, 0.1);
+}
+
+TEST(Rng, FillNormalMatchesDistribution)
+{
+    Rng r(13);
+    std::vector<float> buf(10000);
+    r.fillNormal(buf, 0.0f, 1.0f);
+    std::vector<double> vs(buf.begin(), buf.end());
+    const SampleStats s = computeStats(vs);
+    EXPECT_NEAR(s.mean, 0.0, 0.05);
+    EXPECT_NEAR(s.stddev, 1.0, 0.05);
+}
+
+} // namespace
+} // namespace twq

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for quantization-scale estimation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "quant/quantizer.hh"
+#include "quant/scales.hh"
+#include "winograd/transforms.hh"
+
+namespace twq
+{
+namespace
+{
+
+TensorD
+gaussianWeights(std::size_t cout, std::size_t cin, std::uint64_t seed,
+                double stddev = 0.1)
+{
+    Rng rng(seed);
+    TensorD w({cout, cin, 3, 3});
+    for (std::size_t i = 0; i < w.numel(); ++i)
+        w[i] = rng.normal(0.0, stddev);
+    return w;
+}
+
+TEST(Scales, GranularityNames)
+{
+    EXPECT_STREQ(granularityName(QuantGranularity::LayerWise),
+                 "layer-wise");
+    EXPECT_STREQ(granularityName(QuantGranularity::TapWise), "tap-wise");
+}
+
+TEST(Scales, WeightTapMaximaShape)
+{
+    const TensorD w = gaussianWeights(4, 3, 1);
+    const MatrixD m2 = weightTapMaxima(w, WinoVariant::F2);
+    EXPECT_EQ(m2.rows(), 4u);
+    const MatrixD m4 = weightTapMaxima(w, WinoVariant::F4);
+    EXPECT_EQ(m4.rows(), 6u);
+}
+
+TEST(Scales, TapMaximaAreUpperBounds)
+{
+    const TensorD w = gaussianWeights(2, 2, 2);
+    const MatrixD maxima = weightTapMaxima(w, WinoVariant::F4);
+    for (std::size_t oc = 0; oc < 2; ++oc) {
+        for (std::size_t ic = 0; ic < 2; ++ic) {
+            MatrixD f(3, 3);
+            for (std::size_t ky = 0; ky < 3; ++ky)
+                for (std::size_t kx = 0; kx < 3; ++kx)
+                    f(ky, kx) = w.at(oc, ic, ky, kx);
+            const MatrixD wf = weightTransform(f, WinoVariant::F4);
+            for (std::size_t i = 0; i < 6; ++i)
+                for (std::size_t j = 0; j < 6; ++j)
+                    EXPECT_LE(std::abs(wf(i, j)), maxima(i, j) + 1e-15);
+        }
+    }
+}
+
+TEST(Scales, F4TapMaximaAreNonUniform)
+{
+    // The Fig. 1 phenomenon: tap dynamic ranges differ strongly.
+    const TensorD w = gaussianWeights(16, 16, 3);
+    const MatrixD maxima = weightTapMaxima(w, WinoVariant::F4);
+    double lo = maxima(0, 0), hi = maxima(0, 0);
+    for (std::size_t i = 0; i < 6; ++i) {
+        for (std::size_t j = 0; j < 6; ++j) {
+            lo = std::min(lo, maxima(i, j));
+            hi = std::max(hi, maxima(i, j));
+        }
+    }
+    EXPECT_GT(hi / lo, 4.0);
+}
+
+TEST(Scales, LayerWiseUsesSingleScale)
+{
+    const TensorD w = gaussianWeights(4, 4, 4);
+    const ScaleSet s = estimateWeightScales(
+        w, WinoVariant::F4, QuantGranularity::LayerWise, 8, false);
+    for (std::size_t i = 0; i < 6; ++i)
+        for (std::size_t j = 0; j < 6; ++j)
+            EXPECT_DOUBLE_EQ(s.tapScale(i, j), 1.0);
+    for (double c : s.channelScale)
+        EXPECT_DOUBLE_EQ(c, 1.0);
+    EXPECT_GT(s.layerScale, 0.0);
+}
+
+TEST(Scales, TapWiseScalesTrackTapMaxima)
+{
+    const TensorD w = gaussianWeights(4, 4, 5);
+    const MatrixD maxima = weightTapMaxima(w, WinoVariant::F4);
+    const ScaleSet s = estimateWeightScales(
+        w, WinoVariant::F4, QuantGranularity::TapWise, 8, false);
+    for (std::size_t i = 0; i < 6; ++i)
+        for (std::size_t j = 0; j < 6; ++j)
+            EXPECT_NEAR(s.tapScale(i, j), maxima(i, j) / 127.0, 1e-12);
+}
+
+TEST(Scales, Pow2ScalesArePowersOfTwo)
+{
+    const TensorD w = gaussianWeights(4, 4, 6);
+    const ScaleSet s = estimateWeightScales(
+        w, WinoVariant::F4, QuantGranularity::TapWise, 8, true);
+    for (std::size_t i = 0; i < 6; ++i) {
+        for (std::size_t j = 0; j < 6; ++j) {
+            const double l = std::log2(s.tapScale(i, j));
+            EXPECT_NEAR(l, std::nearbyint(l), 1e-12);
+        }
+    }
+}
+
+TEST(Scales, Pow2NeverShrinksBelowCalibrated)
+{
+    // pow2Ceil guarantees no additional clamping versus the FP scale.
+    const TensorD w = gaussianWeights(4, 4, 7);
+    const ScaleSet fp = estimateWeightScales(
+        w, WinoVariant::F4, QuantGranularity::TapWise, 8, false);
+    const ScaleSet p2 = estimateWeightScales(
+        w, WinoVariant::F4, QuantGranularity::TapWise, 8, true);
+    for (std::size_t i = 0; i < 6; ++i)
+        for (std::size_t j = 0; j < 6; ++j)
+            EXPECT_GE(p2.tapScale(i, j), fp.tapScale(i, j) - 1e-15);
+}
+
+TEST(Scales, ChannelWiseVariesByChannel)
+{
+    // Make channel 0 much larger than channel 1.
+    TensorD w({2, 1, 3, 3});
+    for (std::size_t i = 0; i < 9; ++i) {
+        w.storage()[i] = 1.0;
+        w.storage()[9 + i] = 0.01;
+    }
+    const ScaleSet s = estimateWeightScales(
+        w, WinoVariant::F4, QuantGranularity::ChannelWise, 8, false);
+    EXPECT_GT(s.channelScale[0], s.channelScale[1] * 10.0);
+}
+
+TEST(Scales, InputScalesFromCalibration)
+{
+    Rng rng(8);
+    std::vector<TensorD> calib;
+    for (int b = 0; b < 2; ++b) {
+        TensorD x({1, 2, 8, 8});
+        for (std::size_t i = 0; i < x.numel(); ++i)
+            x[i] = rng.normal();
+        calib.push_back(std::move(x));
+    }
+    const ScaleSet s = estimateInputScales(
+        calib, WinoVariant::F4, QuantGranularity::TapWise, 8, true);
+    for (std::size_t i = 0; i < 6; ++i)
+        for (std::size_t j = 0; j < 6; ++j)
+            EXPECT_GT(s.tapScale(i, j), 0.0);
+}
+
+TEST(Scales, InputTapMaximaCoverAllTiles)
+{
+    // A single hot pixel in the far corner must influence the maxima.
+    TensorD x({1, 1, 8, 8});
+    x.at(0u, 0u, 7u, 7u) = 100.0;
+    const MatrixD m = inputTapMaxima({x}, WinoVariant::F4);
+    double hi = 0.0;
+    for (std::size_t i = 0; i < 6; ++i)
+        for (std::size_t j = 0; j < 6; ++j)
+            hi = std::max(hi, m(i, j));
+    EXPECT_GE(hi, 100.0); // the hot pixel reaches the maxima
+}
+
+TEST(Scales, ScaleSetEffectiveScaleComposes)
+{
+    ScaleSet s;
+    s.tapScale = MatrixD(2, 2);
+    s.tapScale(0, 0) = 0.5;
+    s.tapScale(0, 1) = 1.0;
+    s.tapScale(1, 0) = 1.0;
+    s.tapScale(1, 1) = 2.0;
+    s.channelScale = {1.0, 4.0};
+    s.layerScale = 2.0;
+    EXPECT_DOUBLE_EQ(s.at(0, 0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(s.at(1, 1, 1), 16.0);
+}
+
+} // namespace
+} // namespace twq

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the Broadcast Unit model (Section IV-B2: sharing iFMs
+ * between the two cores almost halves the required bandwidth).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/operators.hh"
+
+namespace twq
+{
+namespace
+{
+
+ConvWorkload
+wl(std::size_t b, std::size_t hw, std::size_t cin, std::size_t cout)
+{
+    ConvWorkload w;
+    w.batch = b;
+    w.hOut = hw;
+    w.wOut = hw;
+    w.cin = cin;
+    w.cout = cout;
+    return w;
+}
+
+TEST(Broadcast, DoublesIfmTrafficWhenDisabled)
+{
+    AcceleratorConfig with, without;
+    without.broadcastUnit = false;
+    const ConvWorkload w = wl(8, 32, 256, 256);
+    const OpPerf a = simulateConv(w, OpKind::WinogradF4, with);
+    const OpPerf b = simulateConv(w, OpKind::WinogradF4, without);
+    EXPECT_DOUBLE_EQ(b.traffic.gmRdFm, 2.0 * a.traffic.gmRdFm);
+}
+
+TEST(Broadcast, WeightTrafficUnaffected)
+{
+    AcceleratorConfig with, without;
+    without.broadcastUnit = false;
+    const ConvWorkload w = wl(8, 32, 256, 256);
+    const OpPerf a = simulateConv(w, OpKind::WinogradF4, with);
+    const OpPerf b = simulateConv(w, OpKind::WinogradF4, without);
+    // Each core loads its own output channels' weights either way.
+    EXPECT_DOUBLE_EQ(b.traffic.gmRdWt, a.traffic.gmRdWt);
+}
+
+TEST(Broadcast, HurtsBandwidthBoundLayers)
+{
+    AcceleratorConfig with, without;
+    without.broadcastUnit = false;
+    // A bandwidth-bound Winograd layer slows down without the BU.
+    const ConvWorkload w = wl(8, 64, 256, 256);
+    const double t_with =
+        simulateConv(w, OpKind::WinogradF4, with).cycles;
+    const double t_without =
+        simulateConv(w, OpKind::WinogradF4, without).cycles;
+    EXPECT_GT(t_without, t_with);
+}
+
+TEST(Broadcast, ComputeBoundLayersUnaffected)
+{
+    AcceleratorConfig with, without;
+    without.broadcastUnit = false;
+    // A strongly compute-bound im2col layer has bandwidth headroom;
+    // losing the BU does not change its runtime materially.
+    const ConvWorkload w = wl(8, 16, 512, 512);
+    const double t_with =
+        simulateConv(w, OpKind::Im2col, with).cycles;
+    const double t_without =
+        simulateConv(w, OpKind::Im2col, without).cycles;
+    EXPECT_LT(t_without, 1.6 * t_with);
+}
+
+TEST(Broadcast, L1CopiesExistPerCoreEitherWay)
+{
+    AcceleratorConfig with, without;
+    without.broadcastUnit = false;
+    const ConvWorkload w = wl(8, 32, 256, 256);
+    const OpPerf a = simulateConv(w, OpKind::WinogradF4, with);
+    const OpPerf b = simulateConv(w, OpKind::WinogradF4, without);
+    // Each core keeps its own L1 copy; the BU saves external
+    // bandwidth, not on-chip capacity.
+    EXPECT_DOUBLE_EQ(a.traffic.l1WrFm, b.traffic.l1WrFm);
+}
+
+} // namespace
+} // namespace twq

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the network-level runner, energy model, and NVDLA
+ * comparator, pinning Table VI / Table VII / Fig. 6 behaviors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/network.hh"
+#include "sim/nvdla.hh"
+
+namespace twq
+{
+namespace
+{
+
+TEST(SimNetwork, WholeNetworkSpeedupOrdering)
+{
+    // Table VII: F4 >= F2 >= im2col end to end.
+    AcceleratorConfig cfg;
+    const NetworkDesc net = resnet34();
+    const NetPerf i = runNetwork(net, 1, SystemKind::Im2colOnly, cfg);
+    const NetPerf f2 = runNetwork(net, 1, SystemKind::WithF2, cfg);
+    const NetPerf f4 = runNetwork(net, 1, SystemKind::WithF4, cfg);
+    EXPECT_LE(f4.totalCycles, f2.totalCycles + 1.0);
+    EXPECT_LE(f2.totalCycles, i.totalCycles + 1.0);
+}
+
+TEST(SimNetwork, CompilerNeverPicksSlowerKernel)
+{
+    AcceleratorConfig cfg;
+    const NetPerf f4 =
+        runNetwork(yolov3(256), 1, SystemKind::WithF4, cfg);
+    for (const LayerPerf &l : f4.layers) {
+        if (l.chosen != OpKind::Im2col) {
+            EXPECT_TRUE(l.eligible) << l.name;
+        }
+    }
+}
+
+TEST(SimNetwork, ThreeByThreeHeavyNetsGainMore)
+{
+    // Table VII: UNet/SSD gain much more than ResNet-50 (1x1-heavy).
+    AcceleratorConfig cfg;
+    const auto gain = [&](const NetworkDesc &n) {
+        const NetPerf i = runNetwork(n, 1, SystemKind::Im2colOnly,
+                                     cfg);
+        const NetPerf f = runNetwork(n, 1, SystemKind::WithF4, cfg);
+        return i.totalCycles / f.totalCycles;
+    };
+    EXPECT_GT(gain(unet()), gain(resnet50()) + 0.3);
+    EXPECT_GT(gain(ssdVgg16()), gain(resnet50()) + 0.3);
+}
+
+TEST(SimNetwork, BatchingImprovesWinogradGain)
+{
+    // Table VII: ResNet-34 speed-up grows from ~1.07 (B=1) to ~1.4
+    // (B=16).
+    AcceleratorConfig cfg;
+    const NetworkDesc net = resnet34();
+    const auto gain = [&](std::size_t b) {
+        const NetPerf i = runNetwork(net, b, SystemKind::Im2colOnly,
+                                     cfg);
+        const NetPerf f = runNetwork(net, b, SystemKind::WithF4, cfg);
+        return i.totalCycles / f.totalCycles;
+    };
+    EXPECT_GT(gain(16), gain(1) + 0.2);
+}
+
+TEST(SimNetwork, HigherBandwidthUnlocksF4)
+{
+    // Table VII ∗ columns: 1.5x bandwidth widens the F4-over-F2 gap
+    // on bandwidth-hungry networks.
+    AcceleratorConfig ddr4, ddr5;
+    ddr5.bwScale = 1.5;
+    const NetworkDesc net = ssdVgg16();
+    const auto ratio = [&](const AcceleratorConfig &c) {
+        const NetPerf f2 = runNetwork(net, 8, SystemKind::WithF2, c);
+        const NetPerf f4 = runNetwork(net, 8, SystemKind::WithF4, c);
+        return f2.totalCycles / f4.totalCycles;
+    };
+    EXPECT_GE(ratio(ddr5), ratio(ddr4) - 0.02);
+}
+
+TEST(SimNetwork, EnergyEfficiencyImprovesWithF4)
+{
+    // Table VII last column: F4 improves Inf/J on every network.
+    AcceleratorConfig cfg;
+    for (const NetworkDesc &net :
+         {resnet34(), ssdVgg16(), unet(), yolov3(256)}) {
+        const NetPerf i = runNetwork(net, 1, SystemKind::Im2colOnly,
+                                     cfg);
+        const NetPerf f = runNetwork(net, 1, SystemKind::WithF4, cfg);
+        EXPECT_GT(f.infPerJoule(), i.infPerJoule()) << net.name;
+    }
+}
+
+TEST(SimNetwork, CubeDominatesEnergy)
+{
+    // Fig. 6 right: the Cube Unit dominates core energy.
+    AcceleratorConfig cfg;
+    ConvWorkload w;
+    w.batch = 8;
+    w.hOut = w.wOut = 32;
+    w.cin = w.cout = 256;
+    const OpPerf p = simulateConv(w, OpKind::Im2col, cfg);
+    const EnergyBreakdown e = computeEnergy(p, cfg);
+    EXPECT_GT(e.cube, 0.5 * e.total());
+}
+
+TEST(SimNetwork, WinogradHalvesLayerEnergy)
+{
+    // Fig. 6: F4 lowers total energy by more than 2x on Winograd
+    // layers (fewer Cube-active cycles).
+    AcceleratorConfig cfg;
+    ConvWorkload w;
+    w.batch = 8;
+    w.hOut = w.wOut = 32;
+    w.cin = w.cout = 256;
+    const EnergyBreakdown ei =
+        computeEnergy(simulateConv(w, OpKind::Im2col, cfg), cfg);
+    const EnergyBreakdown ef =
+        computeEnergy(simulateConv(w, OpKind::WinogradF4, cfg), cfg);
+    EXPECT_GT(ei.total() / ef.total(), 1.8);
+}
+
+TEST(SimNetwork, MemoryEnergyComparable)
+{
+    // Fig. 6: memory-subsystem energy is comparable between F4 and
+    // im2col (within ~2x either way), while compute drops 4x.
+    AcceleratorConfig cfg;
+    ConvWorkload w;
+    w.batch = 8;
+    w.hOut = w.wOut = 32;
+    w.cin = w.cout = 256;
+    const EnergyBreakdown ei =
+        computeEnergy(simulateConv(w, OpKind::Im2col, cfg), cfg);
+    const EnergyBreakdown ef =
+        computeEnergy(simulateConv(w, OpKind::WinogradF4, cfg), cfg);
+    const double ratio = ef.memoryTotal() / ei.memoryTotal();
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 2.0);
+}
+
+TEST(SimNvdla, MatchesPublishedTableSix)
+{
+    // Table VI third row, iso-bandwidth: NVDLA F2 becomes strongly
+    // memory-bound (SU < 1 vs its own direct kernel).
+    NvdlaConfig iso;
+    iso.bwGwordPerSec = 42.7;
+    ConvWorkload w;
+    w.batch = 8;
+    w.hOut = w.wOut = 32;
+    w.cin = 256;
+    w.cout = 512;
+    const NvdlaPerf direct = simulateNvdla(w, NvdlaKernel::Direct, iso);
+    const NvdlaPerf f2 = simulateNvdla(w, NvdlaKernel::WinogradF2,
+                                       iso);
+    EXPECT_LT(direct.timeUs / f2.timeUs, 1.0);
+    EXPECT_NEAR(f2.timeUs, 1736.5, 450.0); // paper: 1736.5 us
+}
+
+TEST(SimNvdla, InfiniteBandwidthApproachesTheory)
+{
+    // Table VI: with quasi-infinite bandwidth NVDLA F2 approaches
+    // its 2.25x MAC reduction.
+    NvdlaConfig inf;
+    inf.bwGwordPerSec = 128.0;
+    ConvWorkload w;
+    w.batch = 8;
+    w.hOut = w.wOut = 32;
+    w.cin = w.cout = 128;
+    const NvdlaPerf direct = simulateNvdla(w, NvdlaKernel::Direct, inf);
+    const NvdlaPerf f2 = simulateNvdla(w, NvdlaKernel::WinogradF2,
+                                       inf);
+    const double su = direct.timeUs / f2.timeUs;
+    EXPECT_GT(su, 1.9);
+    EXPECT_LE(su, 2.3);
+}
+
+TEST(SimNvdla, OursBeatsNvdlaAtIsoBandwidth)
+{
+    // Table VI bottom line: our F4 system is 1.5-3.3x faster than
+    // iso-bandwidth NVDLA F2 at the same peak throughput.
+    AcceleratorConfig ours;
+    NvdlaConfig iso;
+    iso.bwGwordPerSec = 42.7;
+    for (std::size_t cout : {128, 256, 512}) {
+        ConvWorkload w;
+        w.batch = 8;
+        w.hOut = w.wOut = 32;
+        w.cin = cout == 512 ? 256 : 128;
+        w.cout = cout;
+        const double ours_us =
+            simulateConv(w, OpKind::WinogradF4, ours).timeUs(ours);
+        const double nvdla_us =
+            simulateNvdla(w, NvdlaKernel::WinogradF2, iso).timeUs;
+        EXPECT_LT(ours_us, nvdla_us) << cout;
+    }
+}
+
+TEST(SimNetwork, ImgsPerSecAndInfPerJoule)
+{
+    AcceleratorConfig cfg;
+    NetPerf p;
+    p.batch = 2;
+    p.totalCycles = 1e9; // 2 seconds at 500 MHz
+    p.totalEnergyPj = 4e12; // 4 J
+    EXPECT_DOUBLE_EQ(p.imgsPerSec(cfg), 1.0);
+    EXPECT_DOUBLE_EQ(p.infPerJoule(), 0.5);
+}
+
+TEST(SimNetwork, SystemKindNames)
+{
+    EXPECT_STREQ(systemKindName(SystemKind::Im2colOnly), "im2col");
+    EXPECT_STREQ(systemKindName(SystemKind::WithF4), "F4");
+}
+
+} // namespace
+} // namespace twq

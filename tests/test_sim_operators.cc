@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the accelerator operator model, pinning the qualitative
+ * Table IV behaviors and basic invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/operators.hh"
+
+namespace twq
+{
+namespace
+{
+
+ConvWorkload
+wl(std::size_t b, std::size_t hw, std::size_t cin, std::size_t cout)
+{
+    ConvWorkload w;
+    w.batch = b;
+    w.hOut = hw;
+    w.wOut = hw;
+    w.cin = cin;
+    w.cout = cout;
+    return w;
+}
+
+double
+speedup(const ConvWorkload &w, OpKind kind, const AcceleratorConfig &cfg)
+{
+    const OpPerf base = simulateConv(w, OpKind::Im2col, cfg);
+    const OpPerf wino = simulateConv(w, kind, cfg);
+    return base.cycles / wino.cycles;
+}
+
+TEST(SimOperators, CubeCyclesMatchClosedForm)
+{
+    AcceleratorConfig cfg;
+    // 32x32 output, 64 in, 64 out: im2col cube cycles =
+    // B * ceil(HoWo/16) * ceil(Cin*9/32) * ceil(Cout_core/16).
+    const OpPerf p = simulateConv(wl(1, 32, 64, 64), OpKind::Im2col,
+                                  cfg);
+    EXPECT_DOUBLE_EQ(p.stages.cube, 1.0 * 64 * 18 * 2);
+}
+
+TEST(SimOperators, WinogradCubeIsQuarterOfIm2col)
+{
+    AcceleratorConfig cfg;
+    // With aligned dimensions, F4 runs t^2/(m^2 * 9) = 36/144 = 1/4
+    // of the im2col MACs on the Cube.
+    const ConvWorkload w = wl(8, 64, 256, 256);
+    const OpPerf i = simulateConv(w, OpKind::Im2col, cfg);
+    const OpPerf f = simulateConv(w, OpKind::WinogradF4, cfg);
+    EXPECT_NEAR(f.stages.cube / i.stages.cube, 0.25, 0.01);
+}
+
+TEST(SimOperators, SmallLowReuseLayerGivesNoSpeedup)
+{
+    // Table IV top-left corner: B=1, 16x16, 64ch -> ~1.0x.
+    AcceleratorConfig cfg;
+    const double su = speedup(wl(1, 16, 64, 64), OpKind::WinogradF4,
+                              cfg);
+    EXPECT_GT(su, 0.85);
+    EXPECT_LT(su, 1.25);
+}
+
+TEST(SimOperators, LargeLayerApproaches3x)
+{
+    // Table IV interior: B=8, 64x64+, 256ch -> ~3x or more.
+    AcceleratorConfig cfg;
+    const double su = speedup(wl(8, 64, 256, 384), OpKind::WinogradF4,
+                              cfg);
+    EXPECT_GT(su, 2.7);
+    EXPECT_LT(su, 4.0);
+}
+
+TEST(SimOperators, SpeedupGrowsWithResolution)
+{
+    // Table IV row trend: larger resolution -> higher speed-up.
+    AcceleratorConfig cfg;
+    const double s16 = speedup(wl(1, 16, 256, 256),
+                               OpKind::WinogradF4, cfg);
+    const double s32 = speedup(wl(1, 32, 256, 256),
+                               OpKind::WinogradF4, cfg);
+    const double s64 = speedup(wl(1, 64, 256, 256),
+                               OpKind::WinogradF4, cfg);
+    EXPECT_LT(s16, s32);
+    EXPECT_LE(s32, s64 + 0.05);
+}
+
+TEST(SimOperators, SpeedupGrowsWithBatch)
+{
+    AcceleratorConfig cfg;
+    const double b1 = speedup(wl(1, 32, 256, 256),
+                              OpKind::WinogradF4, cfg);
+    const double b8 = speedup(wl(8, 32, 256, 256),
+                              OpKind::WinogradF4, cfg);
+    EXPECT_LT(b1, b8);
+}
+
+TEST(SimOperators, SpeedupGrowsWithInputChannels)
+{
+    AcceleratorConfig cfg;
+    const double c128 = speedup(wl(8, 32, 128, 256),
+                                OpKind::WinogradF4, cfg);
+    const double c256 = speedup(wl(8, 32, 256, 256),
+                                OpKind::WinogradF4, cfg);
+    // Near-monotone: the weight-blocking granularity introduces a
+    // sawtooth on top of the Table IV trend (the paper's strictly
+    // increasing column comes from bandwidth freed by output reuse,
+    // which our model captures only at bandwidth-bound shapes).
+    EXPECT_LE(c128, c256 + 0.25);
+}
+
+TEST(SimOperators, F4NeverSlowerThanF2OnComputeBoundLayers)
+{
+    AcceleratorConfig cfg;
+    const ConvWorkload w = wl(8, 64, 256, 256);
+    const double f2 = speedup(w, OpKind::WinogradF2, cfg);
+    const double f4 = speedup(w, OpKind::WinogradF4, cfg);
+    EXPECT_GE(f4, f2);
+}
+
+TEST(SimOperators, F2PlateausNearItsMacReduction)
+{
+    AcceleratorConfig cfg;
+    const double su = speedup(wl(8, 128, 256, 384),
+                              OpKind::WinogradF2, cfg);
+    EXPECT_GT(su, 1.6);
+    EXPECT_LE(su, 2.3); // 2.25x theoretical
+}
+
+TEST(SimOperators, HigherBandwidthHelpsF4MoreThanF2)
+{
+    // The Table VII ∗ columns: with 1.5x bandwidth F4 keeps scaling
+    // while F2 has already hit its compute ceiling.
+    AcceleratorConfig ddr4, ddr5;
+    ddr5.bwScale = 1.5;
+    const ConvWorkload w = wl(8, 64, 256, 256);
+    const double f4_gain =
+        simulateConv(w, OpKind::WinogradF4, ddr4).cycles /
+        simulateConv(w, OpKind::WinogradF4, ddr5).cycles;
+    const double f2_gain =
+        simulateConv(w, OpKind::WinogradF2, ddr4).cycles /
+        simulateConv(w, OpKind::WinogradF2, ddr5).cycles;
+    EXPECT_GE(f4_gain, f2_gain - 0.02);
+}
+
+TEST(SimOperators, WeightTrafficEqualForWinogradAndIm2col)
+{
+    // On-the-fly transformation: GM weight reads identical (Fig. 6).
+    AcceleratorConfig cfg;
+    const ConvWorkload w = wl(8, 32, 256, 256);
+    const OpPerf i = simulateConv(w, OpKind::Im2col, cfg);
+    const OpPerf f = simulateConv(w, OpKind::WinogradF4, cfg);
+    EXPECT_DOUBLE_EQ(i.traffic.gmRdWt, f.traffic.gmRdWt);
+}
+
+TEST(SimOperators, L0ATrafficDropsWithWinograd)
+{
+    // Fig. 6: Winograd expands the iFM by 2.25x instead of 9x.
+    AcceleratorConfig cfg;
+    const ConvWorkload w = wl(8, 32, 256, 256);
+    const OpPerf i = simulateConv(w, OpKind::Im2col, cfg);
+    const OpPerf f = simulateConv(w, OpKind::WinogradF4, cfg);
+    EXPECT_LT(f.traffic.l0aWr, 0.5 * i.traffic.l0aWr);
+}
+
+TEST(SimOperators, L0CTrafficGrowsWithWinograd)
+{
+    // oFMs leave L0C in the Winograd domain (36 taps per 16 pixels).
+    AcceleratorConfig cfg;
+    const ConvWorkload w = wl(8, 32, 256, 256);
+    const OpPerf i = simulateConv(w, OpKind::Im2col, cfg);
+    const OpPerf f = simulateConv(w, OpKind::WinogradF4, cfg);
+    EXPECT_GT(f.traffic.l0cRdB, i.traffic.l0cRdB);
+}
+
+TEST(SimOperators, StridedLayersRunIm2col)
+{
+    AcceleratorConfig cfg;
+    ConvWorkload w = wl(1, 16, 64, 64);
+    w.stride = 2;
+    EXPECT_DEATH(simulateConv(w, OpKind::WinogradF4, cfg),
+                 "3x3 stride-1");
+    const OpPerf p = simulateConv(w, OpKind::Im2col, cfg);
+    EXPECT_GT(p.cycles, 0.0);
+}
+
+TEST(SimOperators, TimeUsConversion)
+{
+    AcceleratorConfig cfg; // 500 MHz
+    OpPerf p;
+    p.cycles = 500.0;
+    EXPECT_DOUBLE_EQ(p.timeUs(cfg), 1.0);
+}
+
+TEST(SimOperators, PeakThroughputIs8TOps)
+{
+    AcceleratorConfig cfg;
+    EXPECT_NEAR(cfg.peakOps(), 8.192e12, 1e9);
+}
+
+} // namespace
+} // namespace twq

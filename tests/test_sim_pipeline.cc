@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the event-driven pipeline simulation, including the
+ * cross-validation against the analytical operator model (the paper
+ * holds its event simulator to <= 5% vs RTL; we hold the dynamic
+ * model to a similar band vs the analytical bound).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/pipeline.hh"
+
+namespace twq
+{
+namespace
+{
+
+ConvWorkload
+wl(std::size_t b, std::size_t hw, std::size_t cin, std::size_t cout)
+{
+    ConvWorkload w;
+    w.batch = b;
+    w.hOut = hw;
+    w.wOut = hw;
+    w.cin = cin;
+    w.cout = cout;
+    return w;
+}
+
+struct SweepCase
+{
+    std::size_t b, hw, cin, cout;
+    OpKind kind;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<SweepCase>
+{};
+
+TEST_P(PipelineSweep, DynamicMatchesAnalyticalWithinBand)
+{
+    const SweepCase c = GetParam();
+    AcceleratorConfig cfg;
+    const OpPerf perf =
+        simulateConv(wl(c.b, c.hw, c.cin, c.cout), c.kind, cfg);
+    const PipelineResult dyn = simulatePipeline(perf, cfg, 7);
+    // The dynamic model adds fill/drain and jitter, so it is never
+    // faster than ~the analytical steady-state bound and at most a
+    // modest factor above it.
+    EXPECT_GE(dyn.cycles, 0.90 * perf.cycles);
+    EXPECT_LE(dyn.cycles, 1.30 * perf.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, PipelineSweep,
+    ::testing::Values(SweepCase{1, 16, 64, 64, OpKind::Im2col},
+                      SweepCase{1, 16, 64, 64, OpKind::WinogradF4},
+                      SweepCase{8, 32, 256, 256, OpKind::Im2col},
+                      SweepCase{8, 32, 256, 256, OpKind::WinogradF4},
+                      SweepCase{8, 32, 256, 256, OpKind::WinogradF2},
+                      SweepCase{1, 64, 128, 128, OpKind::WinogradF4},
+                      SweepCase{8, 128, 256, 384,
+                                OpKind::WinogradF4}),
+    [](const auto &info) {
+        const SweepCase &c = info.param;
+        return std::string(opKindName(c.kind)) + "_b" +
+               std::to_string(c.b) + "hw" + std::to_string(c.hw) +
+               "c" + std::to_string(c.cin) + "o" +
+               std::to_string(c.cout);
+    });
+
+TEST(Pipeline, DeterministicForSameSeed)
+{
+    AcceleratorConfig cfg;
+    const OpPerf perf =
+        simulateConv(wl(8, 32, 128, 128), OpKind::WinogradF4, cfg);
+    const PipelineResult a = simulatePipeline(perf, cfg, 42);
+    const PipelineResult b = simulatePipeline(perf, cfg, 42);
+    EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+}
+
+TEST(Pipeline, JitterChangesButBarelyMovesTotal)
+{
+    AcceleratorConfig cfg;
+    const OpPerf perf =
+        simulateConv(wl(8, 32, 128, 128), OpKind::WinogradF4, cfg);
+    const PipelineResult a = simulatePipeline(perf, cfg, 1);
+    const PipelineResult b = simulatePipeline(perf, cfg, 2);
+    EXPECT_NE(a.cycles, b.cycles);
+    EXPECT_NEAR(a.cycles, b.cycles, 0.05 * a.cycles);
+}
+
+TEST(Pipeline, BottleneckStageHasHighestUtilization)
+{
+    AcceleratorConfig cfg;
+    // Compute-bound workload: the Cube must be the busiest stage.
+    const OpPerf perf =
+        simulateConv(wl(8, 64, 256, 256), OpKind::Im2col, cfg);
+    const PipelineResult dyn = simulatePipeline(perf, cfg, 3);
+    const double cube_util = dyn.utilization(PipeStage::Cube);
+    EXPECT_GT(cube_util, 0.8);
+    EXPECT_GE(cube_util, dyn.utilization(PipeStage::Xform));
+    EXPECT_GE(cube_util, dyn.utilization(PipeStage::Post));
+}
+
+TEST(Pipeline, MemoryBoundWorkloadSaturatesDram)
+{
+    AcceleratorConfig cfg;
+    // Weight-transfer-bound workload: Load stage dominates.
+    const OpPerf perf =
+        simulateConv(wl(1, 16, 512, 512), OpKind::WinogradF4, cfg);
+    const PipelineResult dyn = simulatePipeline(perf, cfg, 4);
+    EXPECT_GT(dyn.utilization(PipeStage::Load),
+              dyn.utilization(PipeStage::Cube));
+}
+
+TEST(Pipeline, StallsAppearOnNonBottleneckStages)
+{
+    AcceleratorConfig cfg;
+    const OpPerf perf =
+        simulateConv(wl(8, 32, 256, 256), OpKind::WinogradF4, cfg);
+    const PipelineResult dyn = simulatePipeline(perf, cfg, 5);
+    double total_stall = 0.0;
+    for (double s : dyn.stallCycles)
+        total_stall += s;
+    EXPECT_GT(total_stall, 0.0);
+}
+
+TEST(Pipeline, MoreBlocksConvergeToSteadyState)
+{
+    AcceleratorConfig cfg;
+    const OpPerf perf =
+        simulateConv(wl(8, 64, 256, 256), OpKind::WinogradF4, cfg);
+    const PipelineResult coarse = simulatePipeline(perf, cfg, 6, 4);
+    const PipelineResult fine = simulatePipeline(perf, cfg, 6, 256);
+    // Finer pipelining overlaps more and never ends up slower.
+    EXPECT_LE(fine.cycles, coarse.cycles * 1.001);
+}
+
+TEST(Pipeline, BlockCountDefaultsFromCubeOccupancy)
+{
+    AcceleratorConfig cfg;
+    const OpPerf perf =
+        simulateConv(wl(8, 32, 256, 256), OpKind::WinogradF4, cfg);
+    const PipelineResult dyn = simulatePipeline(perf, cfg, 7);
+    EXPECT_GT(dyn.blocks, 1u);
+}
+
+} // namespace
+} // namespace twq

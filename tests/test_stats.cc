@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for statistics and histogram helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+
+namespace twq
+{
+namespace
+{
+
+TEST(Stats, EmptySample)
+{
+    const SampleStats s = computeStats({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SingleValue)
+{
+    const SampleStats s = computeStats({3.5});
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.mean, 3.5);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(s.min, 3.5);
+    EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+TEST(Stats, KnownMoments)
+{
+    const SampleStats s = computeStats({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Histogram, BinsAndTotals)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    EXPECT_EQ(h.total(), 10u);
+    for (std::size_t b = 0; b < 10; ++b)
+        EXPECT_EQ(h.count(b), 1u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-100.0);
+    h.add(100.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(3), 1u);
+    EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, DensitySumsToOne)
+{
+    Histogram h(-1.0, 1.0, 8);
+    for (int i = 0; i < 1000; ++i)
+        h.add(-1.0 + 2.0 * i / 1000.0);
+    double sum = 0.0;
+    for (std::size_t b = 0; b < h.bins(); ++b)
+        sum += h.density(b);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, BinCenters)
+{
+    Histogram h(0.0, 4.0, 4);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.binCenter(3), 3.5);
+}
+
+TEST(Histogram, RenderContainsBars)
+{
+    Histogram h(0.0, 1.0, 2);
+    for (int i = 0; i < 10; ++i)
+        h.add(0.25);
+    const std::string out = h.render(10);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+} // namespace
+} // namespace twq

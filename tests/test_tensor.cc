@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the Tensor container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hh"
+
+namespace twq
+{
+namespace
+{
+
+TEST(Tensor, ZeroInitialized)
+{
+    TensorF t({2, 3, 4, 5});
+    EXPECT_EQ(t.numel(), 120u);
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor)
+{
+    TensorD t({2, 2}, 7.0);
+    EXPECT_EQ(t.numel(), 4u);
+    EXPECT_DOUBLE_EQ(t.at(1, 1), 7.0);
+}
+
+TEST(Tensor, AdoptData)
+{
+    TensorI32 t({2, 2}, std::vector<std::int32_t>{1, 2, 3, 4});
+    EXPECT_EQ(t.at(0, 0), 1);
+    EXPECT_EQ(t.at(0, 1), 2);
+    EXPECT_EQ(t.at(1, 0), 3);
+    EXPECT_EQ(t.at(1, 1), 4);
+}
+
+TEST(Tensor, RowMajorIndexing)
+{
+    TensorF t({2, 3, 4, 5});
+    t.at(1, 2, 3, 4) = 42.0f;
+    // flat index = ((1*3 + 2)*4 + 3)*5 + 4 = 119
+    EXPECT_EQ(t[119], 42.0f);
+}
+
+TEST(Tensor, DimAccessors)
+{
+    TensorF t({4, 8, 16, 32});
+    EXPECT_EQ(t.rank(), 4u);
+    EXPECT_EQ(t.dim(0), 4u);
+    EXPECT_EQ(t.dim(3), 32u);
+}
+
+TEST(Tensor, Fill)
+{
+    TensorF t({3, 3});
+    t.fill(2.5f);
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, Cast)
+{
+    TensorD t({2, 2});
+    t.at(0, 0) = 1.9;
+    t.at(1, 1) = -2.9;
+    const TensorI32 i = t.cast<std::int32_t>();
+    EXPECT_EQ(i.at(0, 0), 1);   // truncation semantics
+    EXPECT_EQ(i.at(1, 1), -2);
+}
+
+TEST(Tensor, EqualityIncludesShape)
+{
+    TensorF a({2, 3});
+    TensorF b({3, 2});
+    EXPECT_FALSE(a == b);
+    TensorF c({2, 3});
+    EXPECT_TRUE(a == c);
+}
+
+TEST(Tensor, ShapeNumel)
+{
+    EXPECT_EQ(shapeNumel({}), 1u);
+    EXPECT_EQ(shapeNumel({5}), 5u);
+    EXPECT_EQ(shapeNumel({2, 3, 4}), 24u);
+}
+
+TEST(TensorDeathTest, OutOfRangePanics)
+{
+    TensorF t({2, 2});
+    EXPECT_DEATH(t.at(2, 0), "out of range");
+}
+
+TEST(TensorDeathTest, RankMismatchPanics)
+{
+    TensorF t({2, 2});
+    EXPECT_DEATH(t.at(0, 0, 0), "rank mismatch");
+}
+
+} // namespace
+} // namespace twq

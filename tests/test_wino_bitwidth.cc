@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Bit-growth analysis tests for the paper's Challenge-I numbers.
+ *
+ * The paper quotes: F2 needs +2 bits (inputs) / +3 bits (weights); F4
+ * needs +8 bits (input/output fmaps) and +10 bits (weights). Our
+ * analysis is exact (sign-aware worst case over the asymmetric signed
+ * integer range, fractional matrices pre-scaled by their denominator
+ * LCM as fixed-point hardware does). It reproduces +2 (F2 input),
+ * +10 (F4 weights) exactly; for the remaining entries the exact worst
+ * case differs from the paper's back-of-envelope
+ * ceil(log2(k(2^n-1)+1)) convention by one bit (F2 weights: +4 with
+ * one fractional bit per pass folded in; F4 input: +7; F4 output:
+ * +9). The tests pin the exact values and record the published ones
+ * in comments; EXPERIMENTS.md discusses the convention difference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "winograd/bitwidth.hh"
+
+namespace twq
+{
+namespace
+{
+
+TEST(BitGrowth, F2InputNeedsTwoExtraBits)
+{
+    // Paper: +2. Exact: +2 (worst tap |coeff| mass 4, sign-aware).
+    const BitGrowth g = inputTransformGrowth(WinoVariant::F2, 8);
+    EXPECT_EQ(g.matrixScale, 1);
+    EXPECT_EQ(g.extraBits, 2);
+    EXPECT_EQ(g.maxBits, 10);
+}
+
+TEST(BitGrowth, F2WeightGrowth)
+{
+    // Paper: +3 (counting the value range of G f G^T). Exact with G
+    // pre-scaled by 2 (one fractional bit per pass, two passes): the
+    // center tap sums 9 products of +-1-scaled entries -> +4 bits.
+    const BitGrowth g = weightTransformGrowth(WinoVariant::F2, 8);
+    EXPECT_EQ(g.matrixScale, 2);
+    EXPECT_EQ(g.extraBits, 4);
+    EXPECT_EQ(g.maxBits, 12);
+}
+
+TEST(BitGrowth, F4InputGrowth)
+{
+    // Paper: +8. Exact: worst tap amplification of B^T x B is
+    // 10 * 10 = 100 -> ceil over the asymmetric range gives +7.
+    const BitGrowth g = inputTransformGrowth(WinoVariant::F4, 8);
+    EXPECT_EQ(g.matrixScale, 1);
+    EXPECT_EQ(g.extraBits, 7);
+    EXPECT_EQ(g.maxBits, 15);
+}
+
+TEST(BitGrowth, F4WeightGrowthMatchesPaperTenBits)
+{
+    // Paper: +10. Exact: G scaled by 24, worst tap 24*24 = 576 -> +10.
+    const BitGrowth g = weightTransformGrowth(WinoVariant::F4, 8);
+    EXPECT_EQ(g.matrixScale, 24);
+    EXPECT_EQ(g.extraBits, 10);
+    EXPECT_EQ(g.maxBits, 18);
+}
+
+TEST(BitGrowth, F4OutputGrowth)
+{
+    // Paper: +8. Exact: worst A^T row abs-sum is 19 -> 361x -> +9.
+    const BitGrowth g = outputTransformGrowth(WinoVariant::F4, 8);
+    EXPECT_EQ(g.extraBits, 9);
+}
+
+TEST(BitGrowth, F4NeedsStrictlyMoreBitsThanF2)
+{
+    for (int nbits : {4, 8, 10}) {
+        EXPECT_GT(inputTransformGrowth(WinoVariant::F4, nbits).maxBits,
+                  inputTransformGrowth(WinoVariant::F2, nbits).maxBits);
+        EXPECT_GT(weightTransformGrowth(WinoVariant::F4, nbits).maxBits,
+                  weightTransformGrowth(WinoVariant::F2, nbits).maxBits);
+    }
+}
+
+TEST(BitGrowth, PerTapBitsVaryAcrossTaps)
+{
+    // The core motivation for tap-wise quantization: taps differ in
+    // dynamic range.
+    const BitGrowth g = inputTransformGrowth(WinoVariant::F4, 8);
+    int lo = 1000, hi = 0;
+    for (std::size_t r = 0; r < g.bitsPerTap.rows(); ++r) {
+        for (std::size_t c = 0; c < g.bitsPerTap.cols(); ++c) {
+            lo = std::min(lo, g.bitsPerTap(r, c));
+            hi = std::max(hi, g.bitsPerTap(r, c));
+        }
+    }
+    EXPECT_GE(hi - lo, 1);
+
+    const BitGrowth gw = weightTransformGrowth(WinoVariant::F4, 8);
+    lo = 1000;
+    hi = 0;
+    for (std::size_t r = 0; r < gw.bitsPerTap.rows(); ++r) {
+        for (std::size_t c = 0; c < gw.bitsPerTap.cols(); ++c) {
+            lo = std::min(lo, gw.bitsPerTap(r, c));
+            hi = std::max(hi, gw.bitsPerTap(r, c));
+        }
+    }
+    // Weight taps span several bits of dynamic range (Fig. 1).
+    EXPECT_GE(hi - lo, 3);
+}
+
+TEST(BitGrowth, GrowthIsMonotoneInInputBits)
+{
+    const BitGrowth g8 = inputTransformGrowth(WinoVariant::F4, 8);
+    const BitGrowth g10 = inputTransformGrowth(WinoVariant::F4, 10);
+    EXPECT_EQ(g10.maxBits, g8.maxBits + 2);
+    EXPECT_EQ(g10.extraBits, g8.extraBits);
+}
+
+TEST(TapAmplification, F4CornerVersusCenter)
+{
+    const auto &bt = winoBT(WinoVariant::F4);
+    const auto amp = tapAmplification(bt, bt.transposed());
+    // Corner tap (0,0) has the largest amplification (10*10 = 100);
+    // interior taps (3,3) are smaller (6*6 = 36).
+    EXPECT_EQ(amp(0, 0), Rational(100));
+    EXPECT_EQ(amp(3, 3), Rational(36));
+    EXPECT_GT(amp(0, 0), amp(3, 3));
+}
+
+TEST(TapAmplification, F4WeightSpreadMatchesFig1)
+{
+    // Fig. 1 of the paper shows orders-of-magnitude spread in the
+    // per-tap dynamic range of G f G^T. Row abs-sums of G are
+    // {1/4, 1/2, 1/2, 7/24, 7/24, 1}; tap (5,5) amplifies by 1 while
+    // tap (0,0) amplifies by 1/16: a 16x worst-case spread.
+    const auto &g = winoG(WinoVariant::F4);
+    const auto amp = tapAmplification(g, g.transposed());
+    Rational lo = amp(0, 0), hi = amp(0, 0);
+    for (std::size_t r = 0; r < amp.rows(); ++r) {
+        for (std::size_t c = 0; c < amp.cols(); ++c) {
+            lo = std::min(lo, amp(r, c));
+            hi = std::max(hi, amp(r, c));
+        }
+    }
+    EXPECT_EQ(hi, Rational(1));
+    EXPECT_EQ(lo, Rational(1, 16));
+    EXPECT_GE(hi / lo, Rational(16));
+}
+
+TEST(TapAmplification, F2IsUniformByComparison)
+{
+    // F2's B^T has identical row abs-sums (2), so all taps amplify
+    // equally -- which is why single-scale quantization suffices for
+    // F2 but not for F4.
+    const auto &bt = winoBT(WinoVariant::F2);
+    const auto amp = tapAmplification(bt, bt.transposed());
+    for (std::size_t r = 0; r < amp.rows(); ++r)
+        for (std::size_t c = 0; c < amp.cols(); ++c)
+            EXPECT_EQ(amp(r, c), Rational(4));
+}
+
+} // namespace
+} // namespace twq

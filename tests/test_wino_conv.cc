@@ -1,0 +1,150 @@
+/**
+ * @file
+ * End-to-end equivalence tests: Winograd convolution == direct
+ * convolution, in floating point and in exact integer arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "tensor/im2col.hh"
+#include "winograd/conv.hh"
+
+namespace twq
+{
+namespace
+{
+
+TensorD
+randomTensorD(const Shape &shape, std::uint64_t seed)
+{
+    Rng rng(seed);
+    TensorD t(shape);
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        t[i] = rng.normal();
+    return t;
+}
+
+TensorI64
+randomTensorI(const Shape &shape, std::uint64_t seed, std::int64_t lo,
+              std::int64_t hi)
+{
+    Rng rng(seed);
+    TensorI64 t(shape);
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        t[i] = rng.uniformInt(lo, hi);
+    return t;
+}
+
+struct ConvCase
+{
+    std::size_t n, cin, h, w, cout;
+};
+
+class WinoConv
+    : public ::testing::TestWithParam<std::tuple<WinoVariant, ConvCase>>
+{};
+
+TEST_P(WinoConv, MatchesDirectDouble)
+{
+    const auto [v, cc] = GetParam();
+    const TensorD in = randomTensorD({cc.n, cc.cin, cc.h, cc.w}, 1);
+    const TensorD w = randomTensorD({cc.cout, cc.cin, 3, 3}, 2);
+    const ConvParams p{3, 1, 1};
+    const TensorD want = conv2dDirect(in, w, p);
+    const TensorD got = conv2dWinograd(in, w, v);
+    ASSERT_EQ(got.shape(), want.shape());
+    for (std::size_t i = 0; i < got.numel(); ++i)
+        EXPECT_NEAR(got[i], want[i], 1e-9) << "flat index " << i;
+}
+
+TEST_P(WinoConv, MatchesDirectExactInteger)
+{
+    const auto [v, cc] = GetParam();
+    const TensorI64 in =
+        randomTensorI({cc.n, cc.cin, cc.h, cc.w}, 3, -128, 127);
+    const TensorI64 w = randomTensorI({cc.cout, cc.cin, 3, 3}, 4, -128,
+                                      127);
+    const ConvParams p{3, 1, 1};
+    const TensorI64 want = conv2dDirect(in, w, p);
+    const TensorI64 got = conv2dWinogradExact(in, w, v);
+    ASSERT_EQ(got.shape(), want.shape());
+    for (std::size_t i = 0; i < got.numel(); ++i)
+        EXPECT_EQ(got[i], want[i]) << "flat index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WinoConv,
+    ::testing::Combine(
+        ::testing::Values(WinoVariant::F2, WinoVariant::F4),
+        ::testing::Values(ConvCase{1, 1, 4, 4, 1},
+                          ConvCase{1, 1, 8, 8, 1},
+                          ConvCase{1, 3, 8, 8, 2},
+                          ConvCase{2, 2, 6, 6, 2},
+                          ConvCase{1, 2, 7, 9, 3},   // non-multiple of m
+                          ConvCase{1, 1, 5, 5, 1})), // ragged tiles
+    [](const auto &info) {
+        const WinoVariant v = std::get<0>(info.param);
+        const ConvCase cc = std::get<1>(info.param);
+        return std::string(winoName(v)) + "_n" + std::to_string(cc.n) +
+               "c" + std::to_string(cc.cin) + "h" + std::to_string(cc.h) +
+               "w" + std::to_string(cc.w) + "o" + std::to_string(cc.cout);
+    });
+
+TEST(WinoConvEdge, IdentityKernel)
+{
+    TensorD in = randomTensorD({1, 1, 8, 8}, 9);
+    TensorD w({1, 1, 3, 3});
+    w.at(0u, 0u, 1u, 1u) = 1.0;
+    const TensorD out = conv2dWinograd(in, w, WinoVariant::F4);
+    for (std::size_t y = 0; y < 8; ++y)
+        for (std::size_t x = 0; x < 8; ++x)
+            EXPECT_NEAR(out.at(0u, 0u, y, x), in.at(0u, 0u, y, x), 1e-9);
+}
+
+TEST(WinoConvEdge, ExtractInputTilePadding)
+{
+    TensorD in({1, 1, 8, 8}, 1.0);
+    const MatrixD tile =
+        extractInputTile(in, 0, 0, 0, 0, WinoVariant::F4, 1);
+    // First row and column come from the zero padding.
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_DOUBLE_EQ(tile(0, i), 0.0);
+        EXPECT_DOUBLE_EQ(tile(i, 0), 0.0);
+    }
+    EXPECT_DOUBLE_EQ(tile(1, 1), 1.0);
+}
+
+TEST(WinoConvEdge, ExtractInputTileInterior)
+{
+    TensorD in({1, 1, 16, 16});
+    for (std::size_t y = 0; y < 16; ++y)
+        for (std::size_t x = 0; x < 16; ++x)
+            in.at(0u, 0u, y, x) = static_cast<double>(y * 16 + x);
+    const MatrixD tile =
+        extractInputTile(in, 0, 0, 1, 1, WinoVariant::F4, 1);
+    // Tile (1,1) starts at input coordinate (3,3).
+    EXPECT_DOUBLE_EQ(tile(0, 0), 3.0 * 16 + 3);
+    EXPECT_DOUBLE_EQ(tile(5, 5), 8.0 * 16 + 8);
+}
+
+TEST(WinoConvEdge, ExactIntLargeMagnitudes)
+{
+    // int8 extremes across all taps must still be bit-true.
+    TensorI64 in({1, 1, 4, 4});
+    for (std::size_t i = 0; i < in.numel(); ++i)
+        in[i] = (i % 2) ? 127 : -128;
+    TensorI64 w({1, 1, 3, 3});
+    for (std::size_t i = 0; i < w.numel(); ++i)
+        w[i] = (i % 2) ? -128 : 127;
+    const ConvParams p{3, 1, 1};
+    const TensorI64 want = conv2dDirect(in, w, p);
+    for (auto v : {WinoVariant::F2, WinoVariant::F4}) {
+        const TensorI64 got = conv2dWinogradExact(in, w, v);
+        for (std::size_t i = 0; i < got.numel(); ++i)
+            EXPECT_EQ(got[i], want[i]);
+    }
+}
+
+} // namespace
+} // namespace twq

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the Winograd transformation matrices, including the
+ * algebraic identities that make F(m,3) a valid convolution algorithm.
+ */
+
+#include <gtest/gtest.h>
+
+#include "winograd/matrices.hh"
+#include "winograd/transforms.hh"
+
+namespace twq
+{
+namespace
+{
+
+class WinoMatrices : public ::testing::TestWithParam<WinoVariant>
+{};
+
+TEST_P(WinoMatrices, Shapes)
+{
+    const WinoVariant v = GetParam();
+    const WinoSpec s = winoSpec(v);
+    EXPECT_EQ(winoBT(v).rows(), s.t);
+    EXPECT_EQ(winoBT(v).cols(), s.t);
+    EXPECT_EQ(winoG(v).rows(), s.t);
+    EXPECT_EQ(winoG(v).cols(), s.r);
+    EXPECT_EQ(winoAT(v).rows(), s.m);
+    EXPECT_EQ(winoAT(v).cols(), s.t);
+}
+
+/**
+ * The defining property of the Winograd algorithm in 1D:
+ * A^T [ (G g) ⊙ (B^T d) ] = conv1d_valid(d, g) for every signal d and
+ * kernel g. Verified exactly over a basis: it suffices to check all
+ * (unit signal, unit kernel) pairs by bilinearity.
+ */
+TEST_P(WinoMatrices, OneDimensionalCorrectnessOverBasis)
+{
+    const WinoVariant v = GetParam();
+    const WinoSpec s = winoSpec(v);
+    const auto &bt = winoBT(v);
+    const auto &g = winoG(v);
+    const auto &at = winoAT(v);
+
+    for (std::size_t di = 0; di < s.t; ++di) {
+        for (std::size_t gi = 0; gi < s.r; ++gi) {
+            // d = e_di (length t), ker = e_gi (length r).
+            Matrix<Rational> d(s.t, 1), ker(s.r, 1);
+            d(di, 0) = Rational(1);
+            ker(gi, 0) = Rational(1);
+
+            const auto btd = matmul(bt, d);      // t x 1
+            const auto gg = matmul(g, ker);      // t x 1
+            Matrix<Rational> had(s.t, 1);
+            for (std::size_t i = 0; i < s.t; ++i)
+                had(i, 0) = btd(i, 0) * gg(i, 0);
+            const auto y = matmul(at, had);      // m x 1
+
+            // Reference: valid correlation y[k] = sum_j d[k+j] ker[j].
+            for (std::size_t k = 0; k < s.m; ++k) {
+                Rational ref;
+                for (std::size_t j = 0; j < s.r; ++j)
+                    if (k + j == di && j == gi)
+                        ref += Rational(1);
+                EXPECT_EQ(y(k, 0), ref)
+                    << winoName(v) << " tap k=" << k << " di=" << di
+                    << " gi=" << gi;
+            }
+        }
+    }
+}
+
+TEST(WinoMatricesF2, MatchPaperListing)
+{
+    const auto &bt = winoBT(WinoVariant::F2);
+    EXPECT_EQ(bt(0, 0), Rational(1));
+    EXPECT_EQ(bt(0, 2), Rational(-1));
+    EXPECT_EQ(bt(3, 3), Rational(-1));
+    const auto &g = winoG(WinoVariant::F2);
+    EXPECT_EQ(g(1, 1), Rational(1, 2));
+    EXPECT_EQ(g(2, 1), Rational(-1, 2));
+    const auto &at = winoAT(WinoVariant::F2);
+    EXPECT_EQ(at(1, 3), Rational(-1));
+}
+
+TEST(WinoMatricesF4, MatchPaperListing)
+{
+    const auto &bt = winoBT(WinoVariant::F4);
+    EXPECT_EQ(bt(0, 0), Rational(4));
+    EXPECT_EQ(bt(0, 2), Rational(-5));
+    EXPECT_EQ(bt(3, 1), Rational(-2));
+    EXPECT_EQ(bt(5, 3), Rational(-5));
+    const auto &g = winoG(WinoVariant::F4);
+    EXPECT_EQ(g(0, 0), Rational(1, 4));
+    EXPECT_EQ(g(1, 0), Rational(-1, 6));
+    EXPECT_EQ(g(3, 0), Rational(1, 24));
+    EXPECT_EQ(g(5, 2), Rational(1));
+    const auto &at = winoAT(WinoVariant::F4);
+    EXPECT_EQ(at(3, 3), Rational(8));
+    EXPECT_EQ(at(3, 4), Rational(-8));
+    EXPECT_EQ(at(3, 5), Rational(1));
+}
+
+TEST(WinoMatrices, SpecGeometry)
+{
+    const WinoSpec f2 = winoSpec(WinoVariant::F2);
+    EXPECT_EQ(f2.m, 2u);
+    EXPECT_EQ(f2.t, 4u);
+    EXPECT_DOUBLE_EQ(f2.macReduction(), 36.0 / 16.0); // 2.25x
+
+    const WinoSpec f4 = winoSpec(WinoVariant::F4);
+    EXPECT_EQ(f4.m, 4u);
+    EXPECT_EQ(f4.t, 6u);
+    EXPECT_DOUBLE_EQ(f4.macReduction(), 144.0 / 36.0); // 4x
+}
+
+TEST(WinoMatrices, DenominatorLcm)
+{
+    EXPECT_EQ(denominatorLcm(winoBT(WinoVariant::F2)), 1);
+    EXPECT_EQ(denominatorLcm(winoBT(WinoVariant::F4)), 1);
+    EXPECT_EQ(denominatorLcm(winoAT(WinoVariant::F4)), 1);
+    EXPECT_EQ(denominatorLcm(winoG(WinoVariant::F2)), 2);
+    EXPECT_EQ(denominatorLcm(winoG(WinoVariant::F4)), 24);
+}
+
+TEST(WinoMatrices, ScaledIntegerG)
+{
+    const MatrixI64 g24 = scaledInteger(winoG(WinoVariant::F4), 24);
+    EXPECT_EQ(g24(0, 0), 6);   // 24 * 1/4
+    EXPECT_EQ(g24(1, 0), -4);  // 24 * -1/6
+    EXPECT_EQ(g24(3, 0), 1);   // 24 * 1/24
+    EXPECT_EQ(g24(5, 2), 24);
+}
+
+TEST(WinoMatrices, Names)
+{
+    EXPECT_STREQ(winoName(WinoVariant::F2), "F2");
+    EXPECT_STREQ(winoName(WinoVariant::F4), "F4");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, WinoMatrices,
+                         ::testing::Values(WinoVariant::F2,
+                                           WinoVariant::F4),
+                         [](const auto &info) {
+                             return winoName(info.param);
+                         });
+
+} // namespace
+} // namespace twq

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the tile-level Winograd transforms in all three
+ * precision regimes (double, exact rational, scaled integer).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "winograd/transforms.hh"
+
+namespace twq
+{
+namespace
+{
+
+class WinoTransforms : public ::testing::TestWithParam<WinoVariant>
+{};
+
+MatrixD
+randomTile(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    MatrixD m(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            m(r, c) = rng.normal();
+    return m;
+}
+
+TEST_P(WinoTransforms, ShapesAreCorrect)
+{
+    const WinoVariant v = GetParam();
+    const WinoSpec s = winoSpec(v);
+    const MatrixD in = inputTransform(randomTile(s.t, 1), v);
+    EXPECT_EQ(in.rows(), s.t);
+    EXPECT_EQ(in.cols(), s.t);
+    const MatrixD wt = weightTransform(randomTile(3, 2), v);
+    EXPECT_EQ(wt.rows(), s.t);
+    EXPECT_EQ(wt.cols(), s.t);
+    const MatrixD out = outputTransform(in, v);
+    EXPECT_EQ(out.rows(), s.m);
+    EXPECT_EQ(out.cols(), s.m);
+}
+
+TEST_P(WinoTransforms, DoubleMatchesExactRational)
+{
+    const WinoVariant v = GetParam();
+    const WinoSpec s = winoSpec(v);
+    Rng rng(3);
+    Matrix<Rational> tile_q(s.t, s.t);
+    MatrixD tile_d(s.t, s.t);
+    for (std::size_t r = 0; r < s.t; ++r) {
+        for (std::size_t c = 0; c < s.t; ++c) {
+            const auto val = rng.uniformInt(-64, 63);
+            tile_q(r, c) = Rational(val);
+            tile_d(r, c) = static_cast<double>(val);
+        }
+    }
+    const auto exact = inputTransformExact(tile_q, v);
+    const auto approx = inputTransform(tile_d, v);
+    for (std::size_t r = 0; r < s.t; ++r)
+        for (std::size_t c = 0; c < s.t; ++c)
+            EXPECT_NEAR(approx(r, c), exact(r, c).toDouble(), 1e-9);
+}
+
+TEST_P(WinoTransforms, IntegerInputTransformIsExact)
+{
+    const WinoVariant v = GetParam();
+    const WinoSpec s = winoSpec(v);
+    Rng rng(4);
+    MatrixI64 tile(s.t, s.t);
+    Matrix<Rational> tile_q(s.t, s.t);
+    for (std::size_t r = 0; r < s.t; ++r) {
+        for (std::size_t c = 0; c < s.t; ++c) {
+            const auto val = rng.uniformInt(-128, 127);
+            tile(r, c) = val;
+            tile_q(r, c) = Rational(val);
+        }
+    }
+    const MatrixI64 got = inputTransformInt(tile, v);
+    const auto want = inputTransformExact(tile_q, v);
+    for (std::size_t r = 0; r < s.t; ++r)
+        for (std::size_t c = 0; c < s.t; ++c)
+            EXPECT_EQ(got(r, c), want(r, c).toInteger());
+}
+
+TEST_P(WinoTransforms, IntegerWeightTransformScaleFactor)
+{
+    const WinoVariant v = GetParam();
+    std::int64_t scale = 0;
+    MatrixI64 kernel(3, 3);
+    kernel(1, 1) = 1;
+    weightTransformInt(kernel, v, &scale);
+    EXPECT_EQ(scale, v == WinoVariant::F2 ? 4 : 576);
+}
+
+TEST_P(WinoTransforms, IntegerWeightTransformMatchesScaledExact)
+{
+    const WinoVariant v = GetParam();
+    const WinoSpec s = winoSpec(v);
+    Rng rng(5);
+    MatrixI64 kernel(3, 3);
+    Matrix<Rational> kernel_q(3, 3);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+            const auto val = rng.uniformInt(-128, 127);
+            kernel(r, c) = val;
+            kernel_q(r, c) = Rational(val);
+        }
+    }
+    std::int64_t scale = 0;
+    const MatrixI64 got = weightTransformInt(kernel, v, &scale);
+    const auto want = weightTransformExact(kernel_q, v);
+    for (std::size_t r = 0; r < s.t; ++r)
+        for (std::size_t c = 0; c < s.t; ++c)
+            EXPECT_EQ(Rational(got(r, c), scale), want(r, c));
+}
+
+TEST_P(WinoTransforms, OutputTransformIntMatchesExact)
+{
+    const WinoVariant v = GetParam();
+    const WinoSpec s = winoSpec(v);
+    Rng rng(6);
+    MatrixI64 wtile(s.t, s.t);
+    Matrix<Rational> wtile_q(s.t, s.t);
+    for (std::size_t r = 0; r < s.t; ++r) {
+        for (std::size_t c = 0; c < s.t; ++c) {
+            const auto val = rng.uniformInt(-100000, 100000);
+            wtile(r, c) = val;
+            wtile_q(r, c) = Rational(val);
+        }
+    }
+    const MatrixI64 got = outputTransformInt(wtile, v);
+    const auto want = outputTransformExact(wtile_q, v);
+    for (std::size_t r = 0; r < s.m; ++r)
+        for (std::size_t c = 0; c < s.m; ++c)
+            EXPECT_EQ(got(r, c), want(r, c).toInteger());
+}
+
+TEST_P(WinoTransforms, LinearityOfInputTransform)
+{
+    // B^T (x + y) B == B^T x B + B^T y B.
+    const WinoVariant v = GetParam();
+    const WinoSpec s = winoSpec(v);
+    const MatrixD x = randomTile(s.t, 7);
+    const MatrixD y = randomTile(s.t, 8);
+    const MatrixD lhs = inputTransform(add(x, y), v);
+    const MatrixD rhs = add(inputTransform(x, v), inputTransform(y, v));
+    for (std::size_t r = 0; r < s.t; ++r)
+        for (std::size_t c = 0; c < s.t; ++c)
+            EXPECT_NEAR(lhs(r, c), rhs(r, c), 1e-9);
+}
+
+TEST_P(WinoTransforms, ZeroTileMapsToZero)
+{
+    const WinoVariant v = GetParam();
+    const WinoSpec s = winoSpec(v);
+    const MatrixD z(s.t, s.t);
+    const MatrixD zi = inputTransform(z, v);
+    for (std::size_t r = 0; r < s.t; ++r)
+        for (std::size_t c = 0; c < s.t; ++c)
+            EXPECT_DOUBLE_EQ(zi(r, c), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, WinoTransforms,
+                         ::testing::Values(WinoVariant::F2,
+                                           WinoVariant::F4),
+                         [](const auto &info) {
+                             return winoName(info.param);
+                         });
+
+} // namespace
+} // namespace twq

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the shift-add DFG: CSD decomposition, hash-consing CSE,
+ * and functional equivalence with the matrix transforms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "winograd/transforms.hh"
+#include "xform/dfg.hh"
+
+namespace twq
+{
+namespace
+{
+
+std::int64_t
+csdValue(const std::vector<int> &digits)
+{
+    std::int64_t v = 0;
+    for (std::size_t i = 0; i < digits.size(); ++i)
+        v += static_cast<std::int64_t>(digits[i]) << i;
+    return v;
+}
+
+TEST(Csd, ReconstructsValues)
+{
+    for (std::int64_t c : {1, 2, 3, 5, 7, 15, 24, 100, 255, 576})
+        EXPECT_EQ(csdValue(csdDigits(c)), c) << c;
+}
+
+TEST(Csd, NoAdjacentNonzeroDigits)
+{
+    for (std::int64_t c = 1; c <= 1000; ++c) {
+        const auto d = csdDigits(c);
+        for (std::size_t i = 0; i + 1 < d.size(); ++i)
+            EXPECT_FALSE(d[i] != 0 && d[i + 1] != 0)
+                << "adjacent digits for " << c;
+    }
+}
+
+TEST(Csd, TermCounts)
+{
+    EXPECT_EQ(csdTermCount(1), 1u);
+    EXPECT_EQ(csdTermCount(4), 1u);  // single shift
+    EXPECT_EQ(csdTermCount(5), 2u);  // (a<<2) + a
+    EXPECT_EQ(csdTermCount(7), 2u);  // (a<<3) - a
+    EXPECT_EQ(csdTermCount(-5), 2u);
+}
+
+TEST(DfgTest, ZeroFolding)
+{
+    Dfg d;
+    const int a = d.input(0, 0);
+    EXPECT_EQ(d.add(Dfg::kZero, a), a);
+    EXPECT_EQ(d.add(a, Dfg::kZero), a);
+    EXPECT_EQ(d.shift(Dfg::kZero, 3), Dfg::kZero);
+    EXPECT_EQ(d.mulConst(a, 0), Dfg::kZero);
+}
+
+TEST(DfgTest, HashConsingSharesNodes)
+{
+    Dfg d;
+    const int a = d.input(0, 0);
+    const int b = d.input(0, 1);
+    const int s1 = d.add(a, b);
+    const int s2 = d.add(a, b);
+    EXPECT_EQ(s1, s2);
+    // Commutative canonicalization: b + a is the same node.
+    const int s3 = d.add(b, a);
+    EXPECT_EQ(s1, s3);
+}
+
+TEST(DfgTest, MulConstEvaluates)
+{
+    Dfg d;
+    const int a = d.input(0, 0);
+    const int five_a = d.mulConst(a, 5);
+    const int m24 = d.mulConst(a, -24);
+    MatrixI64 tile(1, 1);
+    tile(0, 0) = 7;
+    const auto vals = d.evaluate({five_a, m24}, tile);
+    EXPECT_EQ(vals[0], 35);
+    EXPECT_EQ(vals[1], -168);
+}
+
+class TransformDfgTest : public ::testing::TestWithParam<WinoVariant>
+{};
+
+TEST_P(TransformDfgTest, InputTransformMatchesMatrix)
+{
+    const WinoVariant v = GetParam();
+    const WinoSpec spec = winoSpec(v);
+    const TransformDfg d =
+        buildTransformDfg(winoBT(v).transposed()); // T = B
+    EXPECT_EQ(d.scale, 1);
+    Rng rng(1);
+    MatrixI64 tile(spec.t, spec.t);
+    for (std::size_t i = 0; i < spec.t; ++i)
+        for (std::size_t j = 0; j < spec.t; ++j)
+            tile(i, j) = rng.uniformInt(-128, 127);
+    const MatrixI64 got = evaluateTransformDfg(d, tile);
+    const MatrixI64 want = inputTransformInt(tile, v);
+    EXPECT_EQ(got, want);
+}
+
+TEST_P(TransformDfgTest, WeightTransformMatchesMatrix)
+{
+    const WinoVariant v = GetParam();
+    const TransformDfg d =
+        buildTransformDfg(winoG(v).transposed()); // T = G^T
+    EXPECT_EQ(d.scale, v == WinoVariant::F2 ? 2 : 24);
+    Rng rng(2);
+    MatrixI64 f(3, 3);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            f(i, j) = rng.uniformInt(-128, 127);
+    const MatrixI64 got = evaluateTransformDfg(d, f);
+    std::int64_t scale = 0;
+    const MatrixI64 want = weightTransformInt(f, v, &scale);
+    EXPECT_EQ(scale, d.scale * d.scale);
+    EXPECT_EQ(got, want);
+}
+
+TEST_P(TransformDfgTest, OutputTransformMatchesMatrix)
+{
+    const WinoVariant v = GetParam();
+    const WinoSpec spec = winoSpec(v);
+    const TransformDfg d =
+        buildTransformDfg(winoAT(v).transposed()); // T = A
+    Rng rng(3);
+    MatrixI64 y(spec.t, spec.t);
+    for (std::size_t i = 0; i < spec.t; ++i)
+        for (std::size_t j = 0; j < spec.t; ++j)
+            y(i, j) = rng.uniformInt(-100000, 100000);
+    const MatrixI64 got = evaluateTransformDfg(d, y);
+    const MatrixI64 want = outputTransformInt(y, v);
+    EXPECT_EQ(got, want);
+}
+
+TEST_P(TransformDfgTest, CseReducesOpsBelowNaive)
+{
+    // Naive op count: every nonzero coefficient product contributes
+    // one multiply-accumulate per output tap, two 1D passes. The
+    // hash-consed DFG must need strictly fewer adders.
+    const WinoVariant v = GetParam();
+    const auto &bt = winoBT(v);
+    const TransformDfg d = buildTransformDfg(bt.transposed());
+    std::size_t naive = 0;
+    const MatrixI64 bi = scaledInteger(bt, 1);
+    const std::size_t t = bt.rows();
+    // First pass: z[u,j], second pass: y[i,j].
+    for (std::size_t j = 0; j < t; ++j) {
+        std::size_t nz = 0;
+        for (std::size_t vv = 0; vv < t; ++vv)
+            nz += bi(j, vv) != 0 ? csdTermCount(bi(j, vv)) : 0;
+        naive += nz * t;        // per row u of s
+        naive += nz * t;        // second pass per column
+    }
+    EXPECT_LT(d.dfg.numAdders(), naive);
+}
+
+TEST(TransformDfgTest, F4InputDfgIsModest)
+{
+    // The whole 6x6 F4 input transform must fit in a few hundred
+    // adders -- the premise of a cheap hardwired engine.
+    const TransformDfg d =
+        buildTransformDfg(winoBT(WinoVariant::F4).transposed());
+    EXPECT_LT(d.dfg.numAdders(), 400u);
+    EXPECT_GT(d.dfg.numAdders(), 30u);
+}
+
+TEST(TransformDfgTest, DepthIsLogarithmicish)
+{
+    const TransformDfg d =
+        buildTransformDfg(winoBT(WinoVariant::F4).transposed());
+    std::size_t depth = 0;
+    for (int r : d.outputs)
+        depth = std::max(depth, d.dfg.depth(r));
+    EXPECT_LE(depth, 16u);
+    EXPECT_GE(depth, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, TransformDfgTest,
+                         ::testing::Values(WinoVariant::F2,
+                                           WinoVariant::F4),
+                         [](const auto &info) {
+                             return winoName(info.param);
+                         });
+
+} // namespace
+} // namespace twq
