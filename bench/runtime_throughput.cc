@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Serving-runtime throughput benchmark.
+ *
+ * Two regimes are measured per conv engine and workload:
+ *
+ *   bulk-*  open-loop: all requests submitted up front, batches fill
+ *           to maxBatch, dispatch overhead amortizes — the offline /
+ *           high-offered-load regime. bulk-base (1 worker, batch 1)
+ *           is the single-thread batch-1 baseline the batched
+ *           configurations are compared against.
+ *   loop-*  closed-loop clients (submit, block on the future,
+ *           repeat) — the interactive regime; p50/p99 here are
+ *           end-to-end request latency.
+ *
+ * Reports requests/sec and p50/p99 latency per configuration, and
+ * writes the machine-readable BENCH_runtime.json so future PRs can
+ * track the perf trajectory.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "models/zoo.hh"
+#include "runtime/server.hh"
+
+namespace twq
+{
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+struct Result
+{
+    const char *engine;
+    const char *label;
+    std::size_t threads;
+    std::size_t maxBatch;
+    std::size_t clients;
+    std::size_t requests;
+    double wallSec;
+    double reqPerSec;
+    double p50Ms;
+    double p99Ms;
+    double avgBatch;
+};
+
+/**
+ * Start a server and run warmup requests through it (arenas, lazy
+ * allocations, scheduler); returns the post-warmup stats snapshot so
+ * measured batch sizes exclude the warmup.
+ */
+std::unique_ptr<InferenceServer>
+makeWarmServer(const std::shared_ptr<const Session> &session,
+               std::size_t threads, std::size_t maxBatch,
+               ServerStats *statsBefore)
+{
+    RuntimeConfig rcfg;
+    rcfg.threads = threads;
+    rcfg.batch.maxBatch = maxBatch;
+    rcfg.batch.maxWait = std::chrono::microseconds(200);
+    auto server = std::make_unique<InferenceServer>(session, rcfg);
+    std::vector<std::future<TensorD>> warm;
+    for (std::size_t i = 0; i < 8; ++i)
+        warm.push_back(
+            server->submit(TensorD(session->inputShape(), 0.5)));
+    for (auto &f : warm)
+        f.get();
+    server->drain();
+    *statsBefore = server->stats();
+    return server;
+}
+
+Result
+runConfig(const std::shared_ptr<const Session> &session,
+          ConvEngine engine, const char *label, std::size_t threads,
+          std::size_t maxBatch, std::size_t clients,
+          std::size_t requests)
+{
+    ServerStats statsBefore;
+    auto serverPtr =
+        makeWarmServer(session, threads, maxBatch, &statsBefore);
+    InferenceServer &server = *serverPtr;
+
+    // One distinct input per client, generated up front.
+    std::vector<TensorD> inputs;
+    for (std::size_t c = 0; c < clients; ++c) {
+        TensorD in(session->inputShape());
+        Rng rng(1000 + c);
+        rng.fillNormal(in.storage(), 0.0, 1.0);
+        inputs.push_back(std::move(in));
+    }
+
+    std::vector<std::vector<double>> perClient(clients);
+    const std::size_t perClientReqs = requests / clients;
+    const auto wallStart = Clock::now();
+    std::vector<std::thread> clientThreads;
+    for (std::size_t c = 0; c < clients; ++c) {
+        clientThreads.emplace_back([&, c] {
+            perClient[c].reserve(perClientReqs);
+            for (std::size_t i = 0; i < perClientReqs; ++i) {
+                const auto t0 = Clock::now();
+                server.submit(inputs[c]).get();
+                const auto t1 = Clock::now();
+                perClient[c].push_back(
+                    std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count());
+            }
+        });
+    }
+    for (auto &t : clientThreads)
+        t.join();
+    const double wallSec =
+        std::chrono::duration<double>(Clock::now() - wallStart).count();
+    server.drain();
+    const ServerStats stats = server.stats();
+    server.shutdown();
+    const double avgBatch =
+        static_cast<double>(stats.completed - statsBefore.completed) /
+        static_cast<double>(stats.batches - statsBefore.batches);
+
+    std::vector<double> latencies;
+    for (const auto &v : perClient)
+        latencies.insert(latencies.end(), v.begin(), v.end());
+
+    Result r;
+    r.engine = convEngineName(engine);
+    r.label = label;
+    r.threads = threads;
+    r.maxBatch = maxBatch;
+    r.clients = clients;
+    r.requests = latencies.size();
+    r.wallSec = wallSec;
+    r.reqPerSec = static_cast<double>(latencies.size()) / wallSec;
+    r.p50Ms = percentile(latencies, 0.50);
+    r.p99Ms = percentile(latencies, 0.99);
+    r.avgBatch = avgBatch;
+    return r;
+}
+
+/**
+ * Open-loop (bulk) throughput: all requests are submitted up front,
+ * so the queue stays deep, batches fill to maxBatch, and the
+ * per-request dispatch/wakeup chain amortizes across each batch —
+ * the offline / high-offered-load serving regime. p50/p99 here are
+ * time-in-system, dominated by queueing.
+ */
+Result
+runOpenLoop(const std::shared_ptr<const Session> &session,
+            ConvEngine engine, const char *label, std::size_t threads,
+            std::size_t maxBatch, std::size_t requests)
+{
+    ServerStats statsBefore;
+    auto serverPtr =
+        makeWarmServer(session, threads, maxBatch, &statsBefore);
+    InferenceServer &server = *serverPtr;
+
+    TensorD input(session->inputShape());
+    Rng rng(7);
+    rng.fillNormal(input.storage(), 0.0, 1.0);
+
+    std::vector<std::future<TensorD>> futures;
+    futures.reserve(requests);
+    std::vector<Clock::time_point> submitted(requests);
+    const auto wallStart = Clock::now();
+    for (std::size_t i = 0; i < requests; ++i) {
+        submitted[i] = Clock::now();
+        futures.push_back(server.submit(input));
+    }
+    std::vector<double> latencies;
+    latencies.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i) {
+        futures[i].get();
+        latencies.push_back(std::chrono::duration<double, std::milli>(
+                                Clock::now() - submitted[i])
+                                .count());
+    }
+    const double wallSec =
+        std::chrono::duration<double>(Clock::now() - wallStart).count();
+    server.drain();
+    const ServerStats stats = server.stats();
+    server.shutdown();
+
+    Result r;
+    r.engine = convEngineName(engine);
+    r.label = label;
+    r.threads = threads;
+    r.maxBatch = maxBatch;
+    r.clients = 1;
+    r.requests = requests;
+    r.wallSec = wallSec;
+    r.reqPerSec = static_cast<double>(requests) / wallSec;
+    r.p50Ms = percentile(latencies, 0.50);
+    r.p99Ms = percentile(latencies, 0.99);
+    // Warmup requests are excluded from the mean batch size.
+    r.avgBatch =
+        static_cast<double>(stats.completed - statsBefore.completed) /
+        static_cast<double>(stats.batches - statsBefore.batches);
+    return r;
+}
+
+void
+writeJson(const std::vector<Result> &results, const char *path)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::perror("BENCH_runtime.json");
+        return;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"runtime_throughput\",\n");
+    std::fprintf(f, "  \"results\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Result &r = results[i];
+        std::fprintf(
+            f,
+            "    {\"engine\": \"%s\", \"config\": \"%s\", "
+            "\"threads\": %zu, \"max_batch\": %zu, \"clients\": %zu, "
+            "\"requests\": %zu, \"wall_sec\": %.6f, "
+            "\"req_per_sec\": %.2f, \"p50_ms\": %.4f, "
+            "\"p99_ms\": %.4f, \"avg_batch\": %.2f}%s\n",
+            r.engine, r.label, r.threads, r.maxBatch, r.clients,
+            r.requests, r.wallSec, r.reqPerSec, r.p50Ms, r.p99Ms,
+            r.avgBatch, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path);
+}
+
+} // namespace
+} // namespace twq
+
+int
+main()
+{
+    using namespace twq;
+
+    const std::size_t hw = std::max<std::size_t>(
+        2, std::min<std::size_t>(std::thread::hardware_concurrency(), 8));
+
+    std::vector<Result> results;
+    struct Workload
+    {
+        const char *name;
+        std::size_t res;
+        std::size_t width;
+        std::size_t requests;
+    };
+    // micro-8 is the serving-overhead-bound regime; micro-16 is
+    // compute-bound (16x the MACs per request). Cheap requests get a
+    // larger sample to keep the measurement out of scheduler noise.
+    const Workload workloads[] = {{"micro-8", 8, 4, 1024},
+                                  {"micro-16", 16, 8, 192}};
+
+    for (const Workload &wl : workloads) {
+        const std::size_t kRequests = wl.requests;
+        std::printf("=== Serving throughput: %s net, %zu "
+                    "requests/config, %zu hw threads ===\n\n",
+                    wl.name, kRequests, hw);
+        std::printf("%-14s %-10s %8s %6s %8s %10s %9s %9s %6s\n",
+                    "engine", "config", "threads", "batch", "clients",
+                    "req/s", "p50 ms", "p99 ms", "avgB");
+
+        for (ConvEngine engine : kAllConvEngines) {
+            SessionConfig scfg;
+            scfg.defaultEngine = engine;
+            auto session = std::make_shared<const Session>(
+                microServeNet(wl.res, wl.width), scfg);
+
+            // Open-loop (bulk) regime: the acceptance comparison.
+            const Result obase = runOpenLoop(
+                session, engine, "bulk-base", 1, 1, kRequests);
+            const Result obatch1 = runOpenLoop(
+                session, engine, "bulk-b8-1w", 1, 8, kRequests);
+            const Result obatch = runOpenLoop(
+                session, engine, "bulk-b8", hw, 8, kRequests);
+
+            // Closed-loop regime: interactive latency numbers.
+            const Result cbase = runConfig(
+                session, engine, "loop-base", 1, 1, 1, kRequests);
+            const Result cthreads = runConfig(
+                session, engine, "loop-thr", hw, 1, hw, kRequests);
+            const Result cbatch = runConfig(
+                session, engine, "loop-b8", hw, 8, 2 * hw, kRequests);
+
+            const Result *best = &obatch1;
+            if (obatch.reqPerSec > best->reqPerSec)
+                best = &obatch;
+            for (const Result &r : {obase, obatch1, obatch, cbase,
+                                    cthreads, cbatch}) {
+                std::printf("%-14s %-10s %8zu %6zu %8zu %10.1f %9.3f "
+                            "%9.3f %6.2f\n",
+                            r.engine, r.label, r.threads, r.maxBatch,
+                            r.clients, r.reqPerSec, r.p50Ms, r.p99Ms,
+                            r.avgBatch);
+                results.push_back(r);
+            }
+            std::printf("  -> %s/%s: batched runtime (%s) is %.2fx "
+                        "the single-thread batch-1 baseline\n\n",
+                        wl.name, convEngineName(engine), best->label,
+                        best->reqPerSec / obase.reqPerSec);
+        }
+    }
+
+    writeJson(results, "BENCH_runtime.json");
+    return 0;
+}

@@ -34,6 +34,22 @@ computeStats(const std::vector<double> &values)
     return s;
 }
 
+double
+percentile(const std::vector<double> &values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    p = std::clamp(p, 0.0, 1.0);
+    // Nearest-rank: the smallest value with at least p of the mass
+    // at or below it.
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(sorted.size())));
+    rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+    return sorted[rank - 1];
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0)
 {

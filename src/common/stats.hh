@@ -28,6 +28,13 @@ struct SampleStats
 SampleStats computeStats(const std::vector<double> &values);
 
 /**
+ * Nearest-rank percentile of a sample (p in [0, 1]); the input is
+ * copied and sorted internally. Empty input yields 0. Used by the
+ * serving benchmarks for p50/p99 latency.
+ */
+double percentile(const std::vector<double> &values, double p);
+
+/**
  * Fixed-bin histogram over [lo, hi]; out-of-range samples land in the
  * first/last bin so mass is conserved.
  */

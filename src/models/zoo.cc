@@ -32,6 +32,22 @@ NetworkDesc::winogradMacs() const
     return sum;
 }
 
+std::vector<ConvLayerDesc>
+NetworkDesc::expandedLayers() const
+{
+    std::vector<ConvLayerDesc> out;
+    for (const auto &l : layers) {
+        ConvLayerDesc one = l;
+        one.repeat = 1;
+        for (std::size_t i = 0; i < l.repeat; ++i) {
+            if (l.repeat > 1)
+                one.name = l.name + "." + std::to_string(i);
+            out.push_back(one);
+        }
+    }
+    return out;
+}
+
 namespace
 {
 
@@ -297,6 +313,21 @@ tableSevenNetworks()
 {
     return {resnet34(), resnet50(), retinanetR50(), ssdVgg16(),
             unet(), yolov3(256), yolov3(416)};
+}
+
+NetworkDesc
+microServeNet(std::size_t res, std::size_t width)
+{
+    NetworkDesc n;
+    n.name = "MicroServe";
+    n.inputRes = res;
+    n.layers.push_back(conv("stem", 3, width, 3, 1, res));
+    n.layers.push_back(conv("body", width, width, 3, 1, res, 2));
+    n.layers.push_back(conv("down", width, 2 * width, 3, 2, res));
+    // The strided layer outputs ceil(res/2) under "same" semantics.
+    n.layers.push_back(
+        conv("head", 2 * width, 2 * width, 1, 1, (res + 1) / 2));
+    return n;
 }
 
 } // namespace twq

@@ -56,6 +56,12 @@ struct NetworkDesc
 
     double totalMacs() const;
     double winogradMacs() const;
+
+    /**
+     * Layers with `repeat` expanded into individual instances (each
+     * with repeat == 1), the form the serving runtime executes.
+     */
+    std::vector<ConvLayerDesc> expandedLayers() const;
 };
 
 /** ImageNet classification backbones. */
@@ -74,6 +80,17 @@ NetworkDesc retinanetR50(std::size_t res = 800);
 
 /** The seven networks of the Table VII evaluation. */
 std::vector<NetworkDesc> tableSevenNetworks();
+
+/**
+ * Tiny sequentially-chainable network for the serving runtime's tests
+ * and benchmarks: a winograd-eligible stem and body, a strided layer
+ * and a pointwise head that exercise the im2col fallback. Unlike the
+ * paper's inventories above (which are per-layer shape lists with
+ * residual topology elided), consecutive layers here really chain:
+ * cout and output resolution of layer i match cin and input
+ * resolution of layer i+1.
+ */
+NetworkDesc microServeNet(std::size_t res = 16, std::size_t width = 8);
 
 } // namespace twq
 

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Per-worker scratch storage for the serving runtime.
+ *
+ * Each worker thread owns one ScratchArena; tensors handed out by
+ * `tensor()` are keyed by name and reused across batches, so a steady
+ * stream of same-shaped batches performs no allocations in the
+ * serving loop. Arenas are deliberately NOT thread-safe — sharing one
+ * between workers defeats their purpose.
+ */
+
+#ifndef TWQ_RUNTIME_ARENA_HH
+#define TWQ_RUNTIME_ARENA_HH
+
+#include <string>
+#include <unordered_map>
+
+#include "tensor/tensor.hh"
+
+namespace twq
+{
+
+class ScratchArena
+{
+  public:
+    /**
+     * A reusable tensor slot. The first request for a key allocates;
+     * later requests with the same shape return the previous storage
+     * (contents are stale — callers overwrite). A shape change
+     * reallocates the slot.
+     */
+    TensorD &
+    tensor(const std::string &key, const Shape &shape)
+    {
+        TensorD &slot = slots_[key];
+        if (slot.shape() != shape)
+            slot = TensorD(shape);
+        return slot;
+    }
+
+    std::size_t slotCount() const { return slots_.size(); }
+
+  private:
+    std::unordered_map<std::string, TensorD> slots_;
+};
+
+} // namespace twq
+
+#endif // TWQ_RUNTIME_ARENA_HH

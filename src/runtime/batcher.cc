@@ -1,0 +1,97 @@
+#include "runtime/batcher.hh"
+
+#include "common/logging.hh"
+
+namespace twq
+{
+
+Batcher::Batcher(BatchPolicy policy) : policy_(policy)
+{
+    twq_assert(policy_.maxBatch > 0, "maxBatch must be positive");
+}
+
+void
+Batcher::add(InferRequest req)
+{
+    bool notify;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        twq_assert(!closed_, "add() on a closed batcher");
+        req.enqueued = std::chrono::steady_clock::now();
+        pending_.push_back(std::move(req));
+        // Waking the dispatcher for every mid-batch add costs a
+        // context switch per request; it only needs to hear about the
+        // first pending request (it may be idle-waiting) and about a
+        // batch filling up. Deadline expiry needs no notify.
+        notify = pending_.size() == 1 ||
+                 pending_.size() >= policy_.maxBatch;
+    }
+    if (notify)
+        cv_.notify_one();
+}
+
+Batch
+Batcher::cutLocked()
+{
+    const std::size_t n = std::min(pending_.size(), policy_.maxBatch);
+    Batch batch;
+    batch.requests.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        batch.requests.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+    }
+    return batch;
+}
+
+std::optional<Batch>
+Batcher::next(const std::function<bool()> &flushHint)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        if (pending_.size() >= policy_.maxBatch || closed_) {
+            if (pending_.empty())
+                return std::nullopt; // closed and drained
+            return cutLocked();
+        }
+        if (pending_.empty()) {
+            cv_.wait(lock);
+            continue;
+        }
+        if (flushHint && flushHint())
+            return cutLocked(); // idle capacity: do not stall requests
+        // Partial batch: wait out the oldest request's deadline, but
+        // wake early if the batch fills, the batcher closes, or a
+        // kick() re-arms the flush hint.
+        const auto deadline = pending_.front().enqueued + policy_.maxWait;
+        const bool expired = !cv_.wait_until(lock, deadline, [&] {
+            return closed_ || pending_.size() >= policy_.maxBatch ||
+                   (flushHint && flushHint());
+        });
+        if (expired && !pending_.empty())
+            return cutLocked();
+    }
+}
+
+void
+Batcher::kick()
+{
+    {
+        // No pending work means no dispatcher decision to revisit.
+        std::lock_guard<std::mutex> lock(mu_);
+        if (pending_.empty())
+            return;
+    }
+    cv_.notify_all();
+}
+
+void
+Batcher::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+} // namespace twq

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Request coalescing for the serving runtime.
+ *
+ * Independent single-image requests are concatenated along the batch
+ * dimension before execution. A batch is cut as soon as `maxBatch`
+ * requests are pending, or when the oldest pending request has waited
+ * `maxWait` — the classic size-or-deadline policy of serving systems.
+ */
+
+#ifndef TWQ_RUNTIME_BATCHER_HH
+#define TWQ_RUNTIME_BATCHER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace twq
+{
+
+/** One in-flight inference request. */
+struct InferRequest
+{
+    std::uint64_t id = 0;
+    TensorD input; ///< [1, C, H, W]
+    std::promise<TensorD> promise;
+    std::chrono::steady_clock::time_point enqueued;
+};
+
+/** A group of requests executed as one batched forward pass. */
+struct Batch
+{
+    std::vector<InferRequest> requests;
+
+    std::size_t size() const { return requests.size(); }
+};
+
+/** Size-or-deadline batching policy. */
+struct BatchPolicy
+{
+    std::size_t maxBatch = 8;
+    std::chrono::microseconds maxWait{2000};
+};
+
+/**
+ * Thread-safe request accumulator. Producers call add(); one or more
+ * dispatchers block in next() until a batch is ready.
+ */
+class Batcher
+{
+  public:
+    explicit Batcher(BatchPolicy policy);
+
+    /** Enqueue a request. Panics if the batcher is closed. */
+    void add(InferRequest req);
+
+    /**
+     * Block until a batch is ready under the policy and return it;
+     * nullopt once the batcher is closed and drained.
+     *
+     * `flushHint` (optional) is polled while a partial batch waits
+     * for its deadline: when it returns true — e.g. the server
+     * reports an idle worker — the partial batch is cut immediately
+     * instead of stalling out maxWait. maxWait then only bounds the
+     * wait while all workers are busy, which is exactly when waiting
+     * buys larger batches.
+     */
+    std::optional<Batch> next(const std::function<bool()> &flushHint = {});
+
+    /** Re-evaluate flushHint in a blocked next() (e.g. worker freed). */
+    void kick();
+
+    /** Stop accepting requests; pending ones still drain via next(). */
+    void close();
+
+    const BatchPolicy &policy() const { return policy_; }
+
+    std::size_t
+    pendingCount() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return pending_.size();
+    }
+
+  private:
+    /** Cut up to maxBatch requests off the front; caller holds mu_. */
+    Batch cutLocked();
+
+    BatchPolicy policy_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<InferRequest> pending_;
+    bool closed_ = false;
+};
+
+} // namespace twq
+
+#endif // TWQ_RUNTIME_BATCHER_HH

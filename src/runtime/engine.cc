@@ -1,0 +1,177 @@
+#include "runtime/engine.hh"
+
+#include "common/logging.hh"
+#include "winograd/conv.hh"
+
+namespace twq
+{
+
+namespace
+{
+
+// ------------------------------------------------------------- im2col
+
+struct Im2colPrepared : PreparedLayer
+{
+    TensorD weights; ///< [Cout, Cin, K, K]
+    ConvParams params;
+};
+
+class Im2colBackend : public ConvBackend
+{
+  public:
+    ConvEngine kind() const override { return ConvEngine::Im2col; }
+
+    bool
+    supports(const ConvLayerDesc &) const override
+    {
+        return true; // the universal fallback
+    }
+
+    std::shared_ptr<const PreparedLayer>
+    prepare(const ConvLayerDesc &, const TensorD &weights,
+            const LayerBuild &build) const override
+    {
+        auto prep = std::make_shared<Im2colPrepared>();
+        prep->weights = weights;
+        prep->params = build.params;
+        return prep;
+    }
+
+    TensorD
+    run(const PreparedLayer &prep, const TensorD &input,
+        ScratchArena &) const override
+    {
+        const auto &p = static_cast<const Im2colPrepared &>(prep);
+        return conv2dIm2col(input, p.weights, p.params);
+    }
+};
+
+// ------------------------------------------------------ FP32 Winograd
+
+struct WinogradFp32Prepared : PreparedLayer
+{
+    WinogradWeights<double> weights;
+    std::size_t pad = 1;
+};
+
+class WinogradFp32Backend : public ConvBackend
+{
+  public:
+    ConvEngine kind() const override { return ConvEngine::WinogradFp32; }
+
+    bool
+    supports(const ConvLayerDesc &desc) const override
+    {
+        return desc.winogradEligible();
+    }
+
+    std::shared_ptr<const PreparedLayer>
+    prepare(const ConvLayerDesc &desc, const TensorD &weights,
+            const LayerBuild &build) const override
+    {
+        twq_assert(supports(desc),
+                   "winograd-fp32 backend on ineligible layer ",
+                   desc.name);
+        auto prep = std::make_shared<WinogradFp32Prepared>();
+        prep->weights = winogradPrepareWeights(weights, build.variant);
+        prep->pad = build.params.pad;
+        return prep;
+    }
+
+    TensorD
+    run(const PreparedLayer &prep, const TensorD &input,
+        ScratchArena &) const override
+    {
+        const auto &p = static_cast<const WinogradFp32Prepared &>(prep);
+        return conv2dWinogradPre(input, p.weights, p.pad);
+    }
+};
+
+// -------------------------------------------- int8 tap-wise Winograd
+
+struct WinogradInt8Prepared : PreparedLayer
+{
+    /// Owns the quantized Winograd-domain weights and all scales;
+    /// forward() is const and thus shareable across workers.
+    std::unique_ptr<IntWinogradConv> conv;
+};
+
+class WinogradInt8Backend : public ConvBackend
+{
+  public:
+    ConvEngine kind() const override { return ConvEngine::WinogradInt8; }
+
+    bool
+    supports(const ConvLayerDesc &desc) const override
+    {
+        return desc.winogradEligible();
+    }
+
+    std::shared_ptr<const PreparedLayer>
+    prepare(const ConvLayerDesc &desc, const TensorD &weights,
+            const LayerBuild &build) const override
+    {
+        twq_assert(supports(desc),
+                   "winograd-int8 backend on ineligible layer ",
+                   desc.name);
+        twq_assert(build.calibration && !build.calibration->empty(),
+                   "winograd-int8 backend needs calibration samples");
+        IntWinogradConfig cfg = build.quant;
+        cfg.variant = build.variant;
+        cfg.pad = build.params.pad;
+        auto prep = std::make_shared<WinogradInt8Prepared>();
+        prep->conv = std::make_unique<IntWinogradConv>(
+            weights, *build.calibration, cfg);
+        return prep;
+    }
+
+    TensorD
+    run(const PreparedLayer &prep, const TensorD &input,
+        ScratchArena &) const override
+    {
+        const auto &p = static_cast<const WinogradInt8Prepared &>(prep);
+        return p.conv->forward(input);
+    }
+};
+
+} // namespace
+
+EngineRegistry::EngineRegistry()
+{
+    registerBackend(std::make_shared<Im2colBackend>());
+    registerBackend(std::make_shared<WinogradFp32Backend>());
+    registerBackend(std::make_shared<WinogradInt8Backend>());
+}
+
+EngineRegistry &
+EngineRegistry::instance()
+{
+    static EngineRegistry registry;
+    return registry;
+}
+
+void
+EngineRegistry::registerBackend(std::shared_ptr<ConvBackend> backend)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &b : backends_) {
+        if (b->kind() == backend->kind()) {
+            b = std::move(backend);
+            return;
+        }
+    }
+    backends_.push_back(std::move(backend));
+}
+
+std::shared_ptr<const ConvBackend>
+EngineRegistry::get(ConvEngine e) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &b : backends_)
+        if (b->kind() == e)
+            return b;
+    twq_panic("no backend registered for engine ", convEngineName(e));
+}
+
+} // namespace twq

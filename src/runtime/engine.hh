@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Pluggable conv-engine dispatch for the serving runtime.
+ *
+ * A ConvBackend wraps one of the library's convolution
+ * implementations behind a prepare/run split: prepare() does all
+ * weight-side work (Winograd weight transform, int8 quantization and
+ * calibration) once at session load; run() is the hot path and only
+ * touches immutable prepared state plus the caller's scratch arena.
+ * The EngineRegistry maps each ConvEngine (xform/engines.hh) to its
+ * backend and is open for registration of new engines.
+ */
+
+#ifndef TWQ_RUNTIME_ENGINE_HH
+#define TWQ_RUNTIME_ENGINE_HH
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "models/zoo.hh"
+#include "quant/int_winograd.hh"
+#include "runtime/arena.hh"
+#include "tensor/im2col.hh"
+#include "xform/engines.hh"
+
+namespace twq
+{
+
+/** Opaque per-layer state produced by ConvBackend::prepare(). */
+struct PreparedLayer
+{
+    virtual ~PreparedLayer() = default;
+};
+
+/** Everything a backend may need to prepare one layer. */
+struct LayerBuild
+{
+    ConvParams params;
+    WinoVariant variant = WinoVariant::F2;
+    /// Quantization settings for the int8 engine; variant and pad are
+    /// synchronized with the fields above by the session.
+    IntWinogradConfig quant;
+    /// Sample inputs of this layer (NCHW) for scale calibration; may
+    /// be null for backends that do not calibrate.
+    const std::vector<TensorD> *calibration = nullptr;
+};
+
+/** One convolution implementation usable by the runtime. */
+class ConvBackend
+{
+  public:
+    virtual ~ConvBackend() = default;
+
+    virtual ConvEngine kind() const = 0;
+
+    /** Can this backend execute the layer at all? */
+    virtual bool supports(const ConvLayerDesc &desc) const = 0;
+
+    /** One-time weight-side preparation; called off the hot path. */
+    virtual std::shared_ptr<const PreparedLayer>
+    prepare(const ConvLayerDesc &desc, const TensorD &weights,
+            const LayerBuild &build) const = 0;
+
+    /**
+     * Execute the layer on a (possibly batched) NCHW input. Must be
+     * thread-safe with respect to `prep`, which is shared between
+     * workers; per-call mutable state lives in `scratch`.
+     */
+    virtual TensorD run(const PreparedLayer &prep, const TensorD &input,
+                        ScratchArena &scratch) const = 0;
+};
+
+/**
+ * Process-wide table of conv backends, keyed by ConvEngine.
+ *
+ * Lookups hand out shared ownership: a Session built against a
+ * backend keeps it alive even if the registry entry is later
+ * replaced, and registration is safe against concurrent lookups.
+ */
+class EngineRegistry
+{
+  public:
+    /** The registry, with the three built-in backends registered. */
+    static EngineRegistry &instance();
+
+    /** Register (or replace) the backend for its engine kind. */
+    void registerBackend(std::shared_ptr<ConvBackend> backend);
+
+    /** Look up a backend; panics if none is registered. */
+    std::shared_ptr<const ConvBackend> get(ConvEngine e) const;
+
+  private:
+    EngineRegistry();
+
+    mutable std::mutex mu_;
+    std::vector<std::shared_ptr<ConvBackend>> backends_;
+};
+
+} // namespace twq
+
+#endif // TWQ_RUNTIME_ENGINE_HH

@@ -1,0 +1,139 @@
+#include "runtime/server.hh"
+
+#include "common/logging.hh"
+#include "tensor/batch.hh"
+
+namespace twq
+{
+
+InferenceServer::InferenceServer(std::shared_ptr<const Session> session,
+                                 const RuntimeConfig &cfg)
+    : session_(std::move(session)), cfg_(cfg), batcher_(cfg.batch),
+      arenas_(cfg.threads), pool_(cfg.threads)
+{
+    twq_assert(session_ != nullptr, "server needs a session");
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+}
+
+InferenceServer::~InferenceServer()
+{
+    shutdown();
+}
+
+std::future<TensorD>
+InferenceServer::submit(TensorD input)
+{
+    twq_assert(!closed_.load(), "submit() on a shut-down server");
+    if (input.rank() == 3) {
+        Shape s = input.shape();
+        s.insert(s.begin(), 1);
+        input = TensorD(s, std::move(input.storage()));
+    }
+    const Shape &want = session_->inputShape();
+    twq_assert(input.shape() == want,
+               "request shape does not match the session's network");
+
+    InferRequest req;
+    req.id = nextId_.fetch_add(1);
+    req.input = std::move(input);
+    std::future<TensorD> fut = req.promise.get_future();
+    batcher_.add(std::move(req));
+    return fut;
+}
+
+void
+InferenceServer::dispatchLoop()
+{
+    // Flush a partial batch as soon as a worker is idle; only wait
+    // out maxWait (hoping for a fuller batch) while all workers are
+    // busy anyway.
+    const auto workerIdle = [this] {
+        return inflightBatches_.load() < cfg_.threads;
+    };
+    while (std::optional<Batch> batch = batcher_.next(workerIdle)) {
+        inflightBatches_.fetch_add(1);
+        // Move the batch into the job; any worker may execute it.
+        auto shared = std::make_shared<Batch>(std::move(*batch));
+        pool_.submit([this, shared](std::size_t worker) {
+            execute(std::move(*shared), worker);
+        });
+    }
+}
+
+void
+InferenceServer::execute(Batch batch, std::size_t worker)
+{
+    std::size_t fulfilled = 0;
+    try {
+        std::vector<const TensorD *> items;
+        items.reserve(batch.size());
+        for (const InferRequest &req : batch.requests)
+            items.push_back(&req.input);
+
+        Shape shape = session_->inputShape();
+        shape[0] = batch.size();
+        ScratchArena &arena = arenas_[worker];
+        TensorD &stacked = arena.tensor("batch_input", shape);
+        stackBatch(items, stacked);
+
+        const TensorD out = session_->run(stacked, arena);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            batch.requests[i].promise.set_value(sliceBatch(out, i));
+            ++fulfilled;
+        }
+    } catch (...) {
+        // Fail only the requests whose promises are still pending; a
+        // set_exception on an already-satisfied promise would itself
+        // throw and take down the worker.
+        const std::exception_ptr err = std::current_exception();
+        for (std::size_t i = fulfilled; i < batch.size(); ++i) {
+            try {
+                batch.requests[i].promise.set_exception(err);
+            } catch (const std::future_error &) {
+            }
+        }
+    }
+
+    {
+        // Publish under the drain mutex so a drainer cannot check the
+        // counters and then sleep through this batch's notify.
+        std::lock_guard<std::mutex> lock(drainMu_);
+        batches_.fetch_add(1);
+        completed_.fetch_add(batch.size());
+    }
+    drainCv_.notify_all();
+    inflightBatches_.fetch_sub(1);
+    batcher_.kick(); // a worker just went idle: partial batches may flush
+}
+
+void
+InferenceServer::drain()
+{
+    std::unique_lock<std::mutex> lock(drainMu_);
+    drainCv_.wait(lock, [&] {
+        return completed_.load() >= nextId_.load();
+    });
+}
+
+void
+InferenceServer::shutdown()
+{
+    if (closed_.exchange(true))
+        return;
+    batcher_.close();
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+    pool_.shutdown();
+}
+
+ServerStats
+InferenceServer::stats() const
+{
+    ServerStats s;
+    s.submitted = nextId_.load();
+    s.completed = completed_.load();
+    s.batches = batches_.load();
+    return s;
+}
+
+} // namespace twq

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Batched multi-threaded inference server.
+ *
+ * submit() enqueues a single-image request and returns a future; a
+ * dispatcher thread blocks on the Batcher, hands each coalesced batch
+ * to the worker pool, and any worker stacks the requests along the
+ * batch dimension, runs the shared Session, and fulfills the
+ * per-request promises with their slice of the batched output. All
+ * kernels process batch elements independently, so responses are
+ * bit-identical to running each request alone.
+ */
+
+#ifndef TWQ_RUNTIME_SERVER_HH
+#define TWQ_RUNTIME_SERVER_HH
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "runtime/batcher.hh"
+#include "runtime/session.hh"
+#include "runtime/thread_pool.hh"
+
+namespace twq
+{
+
+/** Server sizing and batching knobs. */
+struct RuntimeConfig
+{
+    std::size_t threads = 1;
+    BatchPolicy batch;
+};
+
+/** Monotonic counters exported by the server. */
+struct ServerStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t batches = 0;
+
+    double
+    avgBatchSize() const
+    {
+        return batches == 0
+                   ? 0.0
+                   : static_cast<double>(completed) /
+                         static_cast<double>(batches);
+    }
+};
+
+class InferenceServer
+{
+  public:
+    InferenceServer(std::shared_ptr<const Session> session,
+                    const RuntimeConfig &cfg);
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer &) = delete;
+    InferenceServer &operator=(const InferenceServer &) = delete;
+
+    /**
+     * Enqueue one request. Accepts [1, C, H, W] or [C, H, W] (a batch
+     * dimension is added); shape must match the session's network.
+     * The future resolves with the [1, Cout, Ho, Wo] response.
+     */
+    std::future<TensorD> submit(TensorD input);
+
+    /** Block until every submitted request has completed. */
+    void drain();
+
+    /** Stop accepting requests, finish in-flight work, join threads. */
+    void shutdown();
+
+    const Session &session() const { return *session_; }
+    const RuntimeConfig &config() const { return cfg_; }
+    ServerStats stats() const;
+
+  private:
+    void dispatchLoop();
+    void execute(Batch batch, std::size_t worker);
+
+    std::shared_ptr<const Session> session_;
+    RuntimeConfig cfg_;
+    Batcher batcher_;
+    std::vector<ScratchArena> arenas_; ///< one per pool worker
+    ThreadPool pool_;
+    std::thread dispatcher_;
+
+    std::atomic<std::uint64_t> nextId_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::size_t> inflightBatches_{0};
+    std::atomic<bool> closed_{false};
+
+    std::mutex drainMu_;
+    std::condition_variable drainCv_;
+};
+
+} // namespace twq
+
+#endif // TWQ_RUNTIME_SERVER_HH

@@ -1,0 +1,160 @@
+#include "runtime/session.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace twq
+{
+
+namespace
+{
+
+/** "Same"-style padding for the zoo's odd kernel sizes (1/3/7). */
+ConvParams
+paramsFor(const ConvLayerDesc &desc)
+{
+    return ConvParams{desc.kernel, desc.stride, (desc.kernel - 1) / 2};
+}
+
+TensorD
+heInitWeights(const ConvLayerDesc &desc, std::uint64_t seed)
+{
+    TensorD w({desc.cout, desc.cin, desc.kernel, desc.kernel});
+    const double stddev = std::sqrt(
+        2.0 / static_cast<double>(desc.cin * desc.kernel * desc.kernel));
+    Rng rng(seed);
+    rng.fillNormal(w.storage(), 0.0, stddev);
+    return w;
+}
+
+} // namespace
+
+Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
+    : net_(net), cfg_(cfg)
+{
+    const std::vector<ConvLayerDesc> descs = net.expandedLayers();
+    twq_assert(!descs.empty(), "session on an empty network");
+
+    inputShape_ = {1, descs[0].cin, descs[0].height, descs[0].width};
+
+    // Pass 1: validate the chain, draw weights, resolve engines.
+    const EngineRegistry &registry = EngineRegistry::instance();
+    std::size_t c = descs[0].cin;
+    std::size_t h = descs[0].height;
+    std::size_t w = descs[0].width;
+    std::vector<TensorD> weights;
+    weights.reserve(descs.size());
+    layers_.reserve(descs.size());
+    for (std::size_t i = 0; i < descs.size(); ++i) {
+        const ConvLayerDesc &d = descs[i];
+        if (d.cin != c || d.height != h || d.width != w)
+            twq_fatal("network '", net.name, "' does not chain at layer ",
+                      d.name, ": expects [", d.cin, ", ", d.height, ", ",
+                      d.width, "], previous layer produces [", c, ", ", h,
+                      ", ", w, "]");
+
+        Layer layer;
+        layer.desc = d;
+        layer.params = paramsFor(d);
+
+        ConvEngine engine = d.winogradEligible() ? cfg.defaultEngine
+                                                 : ConvEngine::Im2col;
+        if (auto it = cfg.layerEngines.find(d.name);
+            it != cfg.layerEngines.end())
+            engine = it->second;
+        std::shared_ptr<const ConvBackend> backend = registry.get(engine);
+        if (!backend->supports(d)) {
+            twq_warn("engine ", convEngineName(engine),
+                     " does not support layer ", d.name,
+                     "; falling back to im2col");
+            engine = ConvEngine::Im2col;
+            backend = registry.get(engine);
+        }
+        layer.engine = engine;
+        layer.backend = std::move(backend);
+        layers_.push_back(std::move(layer));
+
+        weights.push_back(heInitWeights(d, cfg.weightSeed + i));
+
+        c = d.cout;
+        h = d.outHeight();
+        w = d.outWidth();
+    }
+    outputShape_ = {1, c, h, w};
+
+    // Pass 2: propagate calibration activations layer by layer (the
+    // int8 engine calibrates its scales on the activations this layer
+    // actually sees) and run each backend's one-time prepare(). The
+    // calibration forward pass is only paid up to the last int8
+    // layer; a session with none skips it entirely.
+    std::size_t calEnd = 0;
+    for (std::size_t i = 0; i < layers_.size(); ++i)
+        if (layers_[i].engine == ConvEngine::WinogradInt8)
+            calEnd = i + 1;
+    TensorD cal;
+    if (calEnd > 0) {
+        Rng calRng(cfg.calibrationSeed);
+        cal = TensorD({std::max<std::size_t>(cfg.calibrationSamples, 1),
+                       inputShape_[1], inputShape_[2], inputShape_[3]});
+        calRng.fillNormal(cal.storage(), 0.0, 1.0);
+    }
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        Layer &layer = layers_[i];
+        LayerBuild build;
+        build.params = layer.params;
+        build.variant = cfg.variant;
+        build.quant = cfg.quant;
+        std::vector<TensorD> calSet;
+        if (i < calEnd) {
+            calSet.push_back(cal);
+            build.calibration = &calSet;
+        }
+        layer.prepared =
+            layer.backend->prepare(layer.desc, weights[i], build);
+        twq_assert(layer.prepared, "backend returned no prepared state");
+        if (i + 1 < calEnd)
+            cal = conv2dIm2col(cal, weights[i], layer.params);
+    }
+}
+
+const ConvLayerDesc &
+Session::layerDesc(std::size_t i) const
+{
+    twq_assert(i < layers_.size(), "layer index out of range");
+    return layers_[i].desc;
+}
+
+ConvEngine
+Session::layerEngine(std::size_t i) const
+{
+    twq_assert(i < layers_.size(), "layer index out of range");
+    return layers_[i].engine;
+}
+
+TensorD
+Session::run(const TensorD &batch, ScratchArena &scratch) const
+{
+    twq_assert(batch.rank() == 4, "session input must be NCHW");
+    twq_assert(batch.dim(1) == inputShape_[1] &&
+                   batch.dim(2) == inputShape_[2] &&
+                   batch.dim(3) == inputShape_[3],
+               "request shape does not match the session's network");
+    TensorD out;
+    const TensorD *cur = &batch;
+    for (const Layer &layer : layers_) {
+        out = layer.backend->run(*layer.prepared, *cur, scratch);
+        cur = &out;
+    }
+    return out;
+}
+
+TensorD
+Session::run(const TensorD &batch) const
+{
+    ScratchArena arena;
+    return run(batch, arena);
+}
+
+} // namespace twq

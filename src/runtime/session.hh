@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A loaded, immutable model instance shared by all workers.
+ *
+ * A Session takes a chainable NetworkDesc from models/zoo, draws
+ * deterministic weights, resolves the per-layer engine policy against
+ * the EngineRegistry, and runs every backend's prepare() step once
+ * (Winograd weight transforms, int8 quantization with activation
+ * calibration). After construction the session is strictly read-only:
+ * run() may be called concurrently from any number of workers, each
+ * passing its own scratch arena.
+ */
+
+#ifndef TWQ_RUNTIME_SESSION_HH
+#define TWQ_RUNTIME_SESSION_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/engine.hh"
+
+namespace twq
+{
+
+/** How a Session materializes and executes a network. */
+struct SessionConfig
+{
+    /** Winograd variant for both FP32 and int8 Winograd layers. */
+    WinoVariant variant = WinoVariant::F2;
+
+    /**
+     * Engine for winograd-eligible layers; ineligible layers (strided
+     * or non-3x3) always run im2col, mirroring the paper's
+     * accelerator.
+     */
+    ConvEngine defaultEngine = ConvEngine::WinogradFp32;
+
+    /** Per-layer overrides by layer name (after repeat expansion). */
+    std::map<std::string, ConvEngine> layerEngines;
+
+    /** Quantization settings for int8 layers. */
+    IntWinogradConfig quant;
+
+    /** Deterministic weight initialization. */
+    std::uint64_t weightSeed = 0x5eed;
+
+    /** Inputs drawn to calibrate int8 activation scales. */
+    std::size_t calibrationSamples = 2;
+    std::uint64_t calibrationSeed = 77;
+};
+
+/** An immutable, concurrently-executable model instance. */
+class Session
+{
+  public:
+    Session(const NetworkDesc &net, const SessionConfig &cfg);
+
+    const NetworkDesc &network() const { return net_; }
+    const SessionConfig &config() const { return cfg_; }
+
+    /** Expected request shape, [1, C, H, W]. */
+    const Shape &inputShape() const { return inputShape_; }
+
+    /** Response shape for a single request, [1, C, H, W]. */
+    const Shape &outputShape() const { return outputShape_; }
+
+    std::size_t layerCount() const { return layers_.size(); }
+    const ConvLayerDesc &layerDesc(std::size_t i) const;
+    ConvEngine layerEngine(std::size_t i) const;
+
+    /**
+     * Forward a (possibly batched) NCHW tensor through every layer.
+     * Thread-safe: only reads shared prepared state; per-call scratch
+     * lives in `scratch`.
+     */
+    TensorD run(const TensorD &batch, ScratchArena &scratch) const;
+
+    /** Convenience overload with a throwaway arena. */
+    TensorD run(const TensorD &batch) const;
+
+  private:
+    struct Layer
+    {
+        ConvLayerDesc desc;
+        ConvParams params;
+        ConvEngine engine = ConvEngine::Im2col;
+        std::shared_ptr<const ConvBackend> backend;
+        std::shared_ptr<const PreparedLayer> prepared;
+    };
+
+    NetworkDesc net_;
+    SessionConfig cfg_;
+    Shape inputShape_;
+    Shape outputShape_;
+    std::vector<Layer> layers_;
+};
+
+} // namespace twq
+
+#endif // TWQ_RUNTIME_SESSION_HH

@@ -1,0 +1,40 @@
+#include "runtime/thread_pool.hh"
+
+#include "common/logging.hh"
+
+namespace twq
+{
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    twq_assert(threads > 0, "thread pool needs at least one worker");
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this, i] {
+            while (std::optional<Job> job = queue_.pop())
+                (*job)(i);
+        });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    shutdown();
+}
+
+bool
+ThreadPool::submit(Job job)
+{
+    return queue_.push(std::move(job));
+}
+
+void
+ThreadPool::shutdown()
+{
+    queue_.close();
+    for (std::thread &w : workers_)
+        if (w.joinable())
+            w.join();
+}
+
+} // namespace twq

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fixed-size worker pool over a multi-producer multi-consumer queue.
+ *
+ * The serving runtime submits one job per coalesced batch; any worker
+ * may pick it up. Jobs receive their worker index so per-worker
+ * resources (scratch arenas) need no locking.
+ */
+
+#ifndef TWQ_RUNTIME_THREAD_POOL_HH
+#define TWQ_RUNTIME_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace twq
+{
+
+/**
+ * Blocking MPMC queue. A zero capacity means unbounded; a bounded
+ * queue back-pressures producers by blocking push().
+ */
+template <typename T>
+class MpmcQueue
+{
+  public:
+    explicit MpmcQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+    /** Enqueue; blocks while a bounded queue is full. False if closed. */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        notFull_.wait(lock, [&] {
+            return closed_ || capacity_ == 0 || q_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        q_.push_back(std::move(item));
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /** Dequeue; blocks while empty. nullopt once closed and drained. */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        notEmpty_.wait(lock, [&] { return closed_ || !q_.empty(); });
+        if (q_.empty())
+            return std::nullopt;
+        T item = std::move(q_.front());
+        q_.pop_front();
+        notFull_.notify_one();
+        return item;
+    }
+
+    /** Reject further pushes; blocked poppers drain then see nullopt. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return q_.size();
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> q_;
+    std::size_t capacity_;
+    bool closed_ = false;
+};
+
+/** Fixed pool of workers consuming jobs from an MPMC queue. */
+class ThreadPool
+{
+  public:
+    /** A job; `worker` is the index of the executing thread. */
+    using Job = std::function<void(std::size_t worker)>;
+
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a job; false if the pool is shut down. */
+    bool submit(Job job);
+
+    /** Stop accepting jobs, run what is queued, join all workers. */
+    void shutdown();
+
+    std::size_t size() const { return workers_.size(); }
+
+  private:
+    MpmcQueue<Job> queue_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace twq
+
+#endif // TWQ_RUNTIME_THREAD_POOL_HH

@@ -1,0 +1,64 @@
+#include "tensor/batch.hh"
+
+#include <cstring>
+
+namespace twq
+{
+
+template <typename T>
+void
+stackBatch(const std::vector<const Tensor<T> *> &items, Tensor<T> &out)
+{
+    twq_assert(!items.empty(), "stackBatch of zero tensors");
+    const Shape &first = items[0]->shape();
+    twq_assert(first.size() == 4 && first[0] == 1,
+               "stackBatch expects [1, C, H, W] items");
+    Shape target = first;
+    target[0] = items.size();
+    for (const Tensor<T> *t : items)
+        twq_assert(t->shape() == first,
+                   "stackBatch requires identical item shapes");
+
+    // Only (re)allocate when the batch geometry changes; a steady
+    // stream of same-shaped batches reuses the caller's storage.
+    if (out.shape() != target)
+        out = Tensor<T>(target);
+
+    const std::size_t stride = items[0]->numel();
+    for (std::size_t i = 0; i < items.size(); ++i)
+        std::memcpy(out.data() + i * stride, items[i]->data(),
+                    stride * sizeof(T));
+}
+
+template <typename T>
+Tensor<T>
+stackBatch(const std::vector<const Tensor<T> *> &items)
+{
+    Tensor<T> out;
+    stackBatch(items, out);
+    return out;
+}
+
+template <typename T>
+Tensor<T>
+sliceBatch(const Tensor<T> &batch, std::size_t i)
+{
+    twq_assert(batch.rank() == 4, "sliceBatch expects an NCHW tensor");
+    twq_assert(i < batch.dim(0), "batch index out of range");
+    Shape s = batch.shape();
+    s[0] = 1;
+    Tensor<T> out(s);
+    const std::size_t stride = out.numel();
+    std::memcpy(out.data(), batch.data() + i * stride,
+                stride * sizeof(T));
+    return out;
+}
+
+template void stackBatch(const std::vector<const TensorF *> &, TensorF &);
+template void stackBatch(const std::vector<const TensorD *> &, TensorD &);
+template TensorF stackBatch(const std::vector<const TensorF *> &);
+template TensorD stackBatch(const std::vector<const TensorD *> &);
+template TensorF sliceBatch(const TensorF &, std::size_t);
+template TensorD sliceBatch(const TensorD &, std::size_t);
+
+} // namespace twq

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Batch-dimension assembly helpers for the serving runtime.
+ *
+ * The batcher coalesces independent single-image requests into one
+ * NCHW tensor; every compute kernel in the library iterates batch
+ * elements independently, so a batched run is bit-identical to the
+ * per-request runs it replaces.
+ */
+
+#ifndef TWQ_TENSOR_BATCH_HH
+#define TWQ_TENSOR_BATCH_HH
+
+#include "tensor/tensor.hh"
+
+namespace twq
+{
+
+/**
+ * Concatenate single-sample NCHW tensors (each with dim(0) == 1 and
+ * identical C/H/W) along the batch dimension into `out`, which is
+ * resized to [N, C, H, W]. Writing into a caller-owned tensor lets a
+ * worker reuse its scratch storage across batches.
+ */
+template <typename T>
+void stackBatch(const std::vector<const Tensor<T> *> &items,
+                Tensor<T> &out);
+
+/** Convenience overload returning a fresh tensor. */
+template <typename T>
+Tensor<T> stackBatch(const std::vector<const Tensor<T> *> &items);
+
+/** Extract batch element `i` of an NCHW tensor as a [1, C, H, W] tensor. */
+template <typename T>
+Tensor<T> sliceBatch(const Tensor<T> &batch, std::size_t i);
+
+extern template void stackBatch(const std::vector<const TensorF *> &,
+                                TensorF &);
+extern template void stackBatch(const std::vector<const TensorD *> &,
+                                TensorD &);
+extern template TensorF stackBatch(const std::vector<const TensorF *> &);
+extern template TensorD stackBatch(const std::vector<const TensorD *> &);
+extern template TensorF sliceBatch(const TensorF &, std::size_t);
+extern template TensorD sliceBatch(const TensorD &, std::size_t);
+
+} // namespace twq
+
+#endif // TWQ_TENSOR_BATCH_HH

@@ -51,18 +51,48 @@ extractInputTile(const Tensor<T> &input, std::size_t n, std::size_t c,
 }
 
 template <typename T>
-Tensor<T>
-conv2dWinograd(const Tensor<T> &input, const Tensor<T> &weights,
-               WinoVariant v, std::size_t pad)
+WinogradWeights<T>
+winogradPrepareWeights(const Tensor<T> &weights, WinoVariant v)
 {
-    twq_assert(input.rank() == 4 && weights.rank() == 4,
-               "conv2dWinograd expects NCHW input and OIKK weights");
+    twq_assert(weights.rank() == 4, "expected OIKK weights");
     twq_assert(weights.dim(2) == 3 && weights.dim(3) == 3,
                "Winograd path supports 3x3 kernels only");
+    const std::size_t cout = weights.dim(0);
+    const std::size_t cin = weights.dim(1);
+    const Matrix<T> g = ratTo<T>(winoG(v));
+    const Matrix<T> gt = g.transposed();
+
+    WinogradWeights<T> out;
+    out.variant = v;
+    out.cout = cout;
+    out.cin = cin;
+    out.wxf.resize(cout * cin);
+    for (std::size_t oc = 0; oc < cout; ++oc) {
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+            Matrix<T> f(3, 3);
+            for (std::size_t ky = 0; ky < 3; ++ky)
+                for (std::size_t kx = 0; kx < 3; ++kx)
+                    f(ky, kx) = weights.at(oc, ic, ky, kx);
+            out.wxf[oc * cin + ic] = matmul(matmul(g, f), gt);
+        }
+    }
+    return out;
+}
+
+template <typename T>
+Tensor<T>
+conv2dWinogradPre(const Tensor<T> &input, const WinogradWeights<T> &weights,
+                  std::size_t pad)
+{
+    twq_assert(input.rank() == 4,
+               "conv2dWinogradPre expects an NCHW input");
+    twq_assert(input.dim(1) == weights.cin,
+               "input channels do not match prepared weights");
+    const WinoVariant v = weights.variant;
     const WinoSpec spec = winoSpec(v);
     const std::size_t n = input.dim(0);
-    const std::size_t cin = input.dim(1);
-    const std::size_t cout = weights.dim(0);
+    const std::size_t cin = weights.cin;
+    const std::size_t cout = weights.cout;
     const ConvParams p{3, 1, pad};
     const std::size_t ho = p.outSize(input.dim(2));
     const std::size_t wo = p.outSize(input.dim(3));
@@ -73,20 +103,7 @@ conv2dWinograd(const Tensor<T> &input, const Tensor<T> &weights,
     const Matrix<T> b = bt.transposed();
     const Matrix<T> at = ratTo<T>(winoAT(v));
     const Matrix<T> a = at.transposed();
-    const Matrix<T> g = ratTo<T>(winoG(v));
-    const Matrix<T> gt = g.transposed();
-
-    // Pre-transform all weights: [Cout][Cin] 6x6 (or 4x4) tiles.
-    std::vector<Matrix<T>> wxf(cout * cin);
-    for (std::size_t oc = 0; oc < cout; ++oc) {
-        for (std::size_t ic = 0; ic < cin; ++ic) {
-            Matrix<T> f(3, 3);
-            for (std::size_t ky = 0; ky < 3; ++ky)
-                for (std::size_t kx = 0; kx < 3; ++kx)
-                    f(ky, kx) = weights.at(oc, ic, ky, kx);
-            wxf[oc * cin + ic] = matmul(matmul(g, f), gt);
-        }
-    }
+    const std::vector<Matrix<T>> &wxf = weights.wxf;
 
     Tensor<T> out({n, cout, ho, wo});
     for (std::size_t in = 0; in < n; ++in) {
@@ -122,6 +139,17 @@ conv2dWinograd(const Tensor<T> &input, const Tensor<T> &weights,
         }
     }
     return out;
+}
+
+template <typename T>
+Tensor<T>
+conv2dWinograd(const Tensor<T> &input, const Tensor<T> &weights,
+               WinoVariant v, std::size_t pad)
+{
+    twq_assert(input.rank() == 4 && weights.rank() == 4,
+               "conv2dWinograd expects NCHW input and OIKK weights");
+    return conv2dWinogradPre(input, winogradPrepareWeights(weights, v),
+                             pad);
 }
 
 TensorI64
@@ -206,5 +234,15 @@ template Tensor<float> conv2dWinograd(const Tensor<float> &,
 template Tensor<double> conv2dWinograd(const Tensor<double> &,
                                        const Tensor<double> &, WinoVariant,
                                        std::size_t);
+template WinogradWeights<float>
+winogradPrepareWeights(const Tensor<float> &, WinoVariant);
+template WinogradWeights<double>
+winogradPrepareWeights(const Tensor<double> &, WinoVariant);
+template Tensor<float>
+conv2dWinogradPre(const Tensor<float> &, const WinogradWeights<float> &,
+                  std::size_t);
+template Tensor<double>
+conv2dWinogradPre(const Tensor<double> &, const WinogradWeights<double> &,
+                  std::size_t);
 
 } // namespace twq

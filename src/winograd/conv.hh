@@ -27,6 +27,44 @@ Matrix<T> extractInputTile(const Tensor<T> &input, std::size_t n,
                            std::size_t pad);
 
 /**
+ * Weights pre-transformed into the Winograd domain (G f G^T per
+ * (oc, ic) pair). Immutable after construction, so one instance can
+ * be shared by any number of concurrently executing workers — the
+ * serving runtime prepares weights once per layer at session load and
+ * never on the hot path.
+ */
+template <typename T>
+struct WinogradWeights
+{
+    WinoVariant variant = WinoVariant::F2;
+    std::size_t cout = 0;
+    std::size_t cin = 0;
+    /// [cout*cin] tiles of shape [t, t], row-major by (oc, ic).
+    std::vector<Matrix<T>> wxf;
+
+    const Matrix<T> &
+    tile(std::size_t oc, std::size_t ic) const
+    {
+        return wxf[oc * cin + ic];
+    }
+};
+
+/** Transform [Cout, Cin, 3, 3] weights into the Winograd domain. */
+template <typename T>
+WinogradWeights<T> winogradPrepareWeights(const Tensor<T> &weights,
+                                          WinoVariant v);
+
+/**
+ * Winograd convolution with pre-transformed weights; bit-identical to
+ * conv2dWinograd on the same inputs (the per-element arithmetic is
+ * unchanged, only the weight transform is hoisted).
+ */
+template <typename T>
+Tensor<T> conv2dWinogradPre(const Tensor<T> &input,
+                            const WinogradWeights<T> &weights,
+                            std::size_t pad = 1);
+
+/**
  * Floating-point Winograd convolution, numerically equivalent to
  * conv2dDirect up to rounding.
  *
@@ -64,6 +102,16 @@ extern template Tensor<float> conv2dWinograd(const Tensor<float> &,
 extern template Tensor<double> conv2dWinograd(const Tensor<double> &,
                                               const Tensor<double> &,
                                               WinoVariant, std::size_t);
+extern template WinogradWeights<float>
+winogradPrepareWeights(const Tensor<float> &, WinoVariant);
+extern template WinogradWeights<double>
+winogradPrepareWeights(const Tensor<double> &, WinoVariant);
+extern template Tensor<float>
+conv2dWinogradPre(const Tensor<float> &, const WinogradWeights<float> &,
+                  std::size_t);
+extern template Tensor<double>
+conv2dWinogradPre(const Tensor<double> &, const WinogradWeights<double> &,
+                  std::size_t);
 
 } // namespace twq
 

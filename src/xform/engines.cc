@@ -20,6 +20,32 @@ engineKindName(EngineKind k)
     return "?";
 }
 
+const char *
+convEngineName(ConvEngine e)
+{
+    switch (e) {
+      case ConvEngine::Im2col:
+        return "im2col";
+      case ConvEngine::WinogradFp32:
+        return "winograd-fp32";
+      case ConvEngine::WinogradInt8:
+        return "winograd-int8";
+    }
+    return "?";
+}
+
+bool
+convEngineFromName(const std::string &name, ConvEngine *out)
+{
+    for (ConvEngine e : kAllConvEngines) {
+        if (name == convEngineName(e)) {
+            *out = e;
+            return true;
+        }
+    }
+    return false;
+}
+
 std::size_t
 tapByTapOps(const Matrix<Rational> &t)
 {

@@ -19,6 +19,8 @@
 #ifndef TWQ_XFORM_ENGINES_HH
 #define TWQ_XFORM_ENGINES_HH
 
+#include <string>
+
 #include "xform/dfg.hh"
 
 namespace twq
@@ -33,6 +35,34 @@ enum class EngineKind
 };
 
 const char *engineKindName(EngineKind k);
+
+/**
+ * Which convolution implementation executes a layer at serving time.
+ *
+ * This is the software-side counterpart of EngineKind: the inference
+ * runtime (src/runtime/) assigns one ConvEngine per layer and
+ * dispatches through the EngineRegistry. Strided and non-3x3 layers
+ * always fall back to Im2col, mirroring the paper's accelerator.
+ */
+enum class ConvEngine
+{
+    Im2col,       ///< im2col + matmul baseline (any kernel/stride)
+    WinogradFp32, ///< FP32 Winograd, 3x3 stride-1 only
+    WinogradInt8, ///< int8 tap-wise quantized Winograd (Section III)
+};
+
+/** Human-readable name ("im2col" / "winograd-fp32" / "winograd-int8"). */
+const char *convEngineName(ConvEngine e);
+
+/** Parse a ConvEngine from its convEngineName; false if unknown. */
+bool convEngineFromName(const std::string &name, ConvEngine *out);
+
+/** All serving engines, in declaration order. */
+inline constexpr ConvEngine kAllConvEngines[] = {
+    ConvEngine::Im2col,
+    ConvEngine::WinogradFp32,
+    ConvEngine::WinogradInt8,
+};
 
 /** Static engine configuration. */
 struct EngineConfig
