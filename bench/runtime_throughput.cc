@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -206,6 +207,78 @@ runOpenLoop(const std::shared_ptr<const Session> &session,
     return r;
 }
 
+/**
+ * CI smoke check: on every winograd-eligible layer of the benchmark
+ * net, the tiled winograd-fp32 backend must beat im2col on a batched
+ * input — the structural claim of the scatter–GEMM–gather refactor.
+ * Also runs a tiny whole-net bulk comparison for context. Returns
+ * the number of eligible layers where winograd lost.
+ */
+int
+runSmoke()
+{
+    const NetworkDesc net = microServeNet(16, 8);
+    const EngineRegistry &registry = EngineRegistry::instance();
+    const auto im2col = registry.get(ConvEngine::Im2col);
+    const auto wino = registry.get(ConvEngine::WinogradFp32);
+
+    std::printf("=== Smoke: per-layer winograd-fp32 vs im2col "
+                "(batch 8, best of 5) ===\n");
+    std::printf("%-12s %12s %12s %8s\n", "layer", "im2col us",
+                "winograd us", "speedup");
+    int failures = 0;
+    std::uint64_t seed = 0x5eed;
+    for (const ConvLayerDesc &d : net.expandedLayers()) {
+        if (!d.winogradEligible())
+            continue;
+        LayerBuild build;
+        build.params = ConvParams{d.kernel, d.stride,
+                                  (d.kernel - 1) / 2};
+        build.variant = WinoVariant::F2;
+        TensorD weights({d.cout, d.cin, d.kernel, d.kernel});
+        Rng wrng(seed++);
+        wrng.fillNormal(weights.storage(), 0.0, 0.1);
+        const auto prepIm = im2col->prepare(d, weights, build);
+        const auto prepWino = wino->prepare(d, weights, build);
+
+        TensorD probe({8, d.cin, d.height, d.width});
+        Rng prng(seed++);
+        prng.fillNormal(probe.storage(), 0.0, 1.0);
+        ScratchArena arena;
+        const double tIm =
+            timeBackendRun(*im2col, *prepIm, probe, arena, 7);
+        const double tWino =
+            timeBackendRun(*wino, *prepWino, probe, arena, 7);
+        // 10% slack so a scheduling blip on a shared CI runner cannot
+        // flip the structural claim into a flake.
+        const bool ok = tWino < 1.10 * tIm;
+        failures += !ok;
+        std::printf("%-12s %12.1f %12.1f %7.2fx%s\n", d.name.c_str(),
+                    tIm * 1e6, tWino * 1e6, tIm / tWino,
+                    ok ? "" : "  << FAIL: winograd slower");
+    }
+
+    // Whole-net bulk context (includes the im2col-only layers).
+    for (ConvEngine engine :
+         {ConvEngine::Im2col, ConvEngine::WinogradFp32}) {
+        SessionConfig scfg;
+        scfg.defaultEngine = engine;
+        auto session =
+            std::make_shared<const Session>(net, scfg);
+        const Result r =
+            runOpenLoop(session, engine, "bulk-b8-1w", 1, 8, 96);
+        std::printf("whole-net %-14s bulk-b8-1w: %10.1f req/s\n",
+                    convEngineName(engine), r.reqPerSec);
+    }
+    std::printf(failures == 0
+                    ? "\nSMOKE PASS: winograd-fp32 beats im2col on "
+                      "every eligible layer\n"
+                    : "\nSMOKE FAIL: winograd-fp32 lost on %d "
+                      "eligible layer(s)\n",
+                failures);
+    return failures;
+}
+
 void
 writeJson(const std::vector<Result> &results, const char *path)
 {
@@ -238,9 +311,16 @@ writeJson(const std::vector<Result> &results, const char *path)
 } // namespace twq
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace twq;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            return runSmoke() == 0 ? 0 : 1;
+        std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+        return 2;
+    }
 
     const std::size_t hw = std::max<std::size_t>(
         2, std::min<std::size_t>(std::thread::hardware_concurrency(), 8));

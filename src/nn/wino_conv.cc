@@ -33,6 +33,51 @@ emaUpdate(MatrixD &cal, const MatrixD &batch_max, bool seeded)
     }
 }
 
+/**
+ * Tile an NCHW tensor on the output grid: G[k = j1*m + j2][c][p] is
+ * sample (ty*m + j1, tx*m + j2) of image n, channel c, zero beyond
+ * the spatial extent. The inverse of winogradUntile, used to tile the
+ * output gradient.
+ */
+void
+gatherOutputTiles(const TensorD &x, std::size_t m, std::size_t tilesY,
+                  std::size_t tilesX, TensorD &G)
+{
+    const std::size_t n = x.dim(0);
+    const std::size_t c = x.dim(1);
+    const std::size_t h = x.dim(2);
+    const std::size_t w = x.dim(3);
+    const std::size_t tiles = n * tilesY * tilesX;
+    const Shape want{m * m, c, tiles};
+    if (G.shape() != want)
+        G = TensorD(want);
+    for (std::size_t k = 0; k < m * m; ++k) {
+        const std::size_t j1 = k / m;
+        const std::size_t j2 = k % m;
+        for (std::size_t in = 0; in < n; ++in) {
+            for (std::size_t ic = 0; ic < c; ++ic) {
+                const double *plane = x.data() + (in * c + ic) * h * w;
+                double *dstc = G.data() + (k * c + ic) * tiles +
+                               in * tilesY * tilesX;
+                for (std::size_t ty = 0; ty < tilesY; ++ty) {
+                    double *dst = dstc + ty * tilesX;
+                    const std::size_t oy = ty * m + j1;
+                    if (oy >= h) {
+                        for (std::size_t tx = 0; tx < tilesX; ++tx)
+                            dst[tx] = 0.0;
+                        continue;
+                    }
+                    const double *src = plane + oy * w;
+                    for (std::size_t tx = 0; tx < tilesX; ++tx) {
+                        const std::size_t ox = tx * m + j2;
+                        dst[tx] = ox < w ? src[ox] : 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
 } // namespace
 
 WinogradConv2d::WinogradConv2d(std::size_t cin, std::size_t cout,
@@ -108,6 +153,8 @@ WinogradConv2d::forward(const TensorD &x, bool train)
     wo_ = p.outSize(x.dim(3));
     tiles_y_ = (ho_ + m_ - 1) / m_;
     tiles_x_ = (wo_ + m_ - 1) / m_;
+    const std::size_t tt = t_ * t_;
+    const std::size_t wslab = cout_ * cin_;
 
     // ---- spatial input quantization ----
     TensorD xq = x;
@@ -134,186 +181,117 @@ WinogradConv2d::forward(const TensorD &x, bool train)
         x_spatial_mask_ = TensorD(x.shape(), 1.0);
     }
 
-    // ---- weight transform ----
-    const MatrixD g = winoGd(cfg_.variant);
-    const MatrixD gt = g.transposed();
-    wxf_raw_.assign(cout_ * cin_, MatrixD());
-    for (std::size_t oc = 0; oc < cout_; ++oc) {
-        for (std::size_t ic = 0; ic < cin_; ++ic) {
-            MatrixD f(3, 3);
-            for (std::size_t ky = 0; ky < 3; ++ky)
-                for (std::size_t kx = 0; kx < 3; ++kx)
-                    f(ky, kx) = w_.value.at(oc, ic, ky, kx);
-            wxf_raw_[oc * cin_ + ic] = matmul(matmul(g, f), gt);
-        }
-    }
+    // ---- weight transform, straight into tap-major form ----
+    wq_ = winogradPrepareTapWeights(w_.value, cfg_.variant);
 
-    // ---- transform inputs ----
-    const MatrixD bt = winoBTd(cfg_.variant);
-    const MatrixD b = bt.transposed();
-    const std::size_t n_tiles = n * tiles_y_ * tiles_x_;
-    std::vector<MatrixD> ixf_raw(n_tiles * cin_);
-    for (std::size_t in = 0; in < n; ++in) {
-        for (std::size_t ty = 0; ty < tiles_y_; ++ty) {
-            for (std::size_t tx = 0; tx < tiles_x_; ++tx) {
-                const std::size_t tile_idx =
-                    (in * tiles_y_ + ty) * tiles_x_ + tx;
-                for (std::size_t ic = 0; ic < cin_; ++ic) {
-                    const MatrixD tile = extractInputTile(
-                        xq, in, ic, ty, tx, cfg_.variant, p.pad);
-                    ixf_raw[tile_idx * cin_ + ic] =
-                        matmul(matmul(bt, tile), b);
-                }
-            }
-        }
-    }
+    // ---- scatter: all input tiles into the flat [t*t, Cin, P]
+    // ---- B-domain buffer (raw values before fake quantization) ----
+    winogradScatter(xq, cfg_.variant, p.pad, xv_, xu_);
+    const std::size_t rowLen = xu_.dim(1) * xu_.dim(2);
 
     // ---- calibration / scale initialization ----
-    if (cfg_.quantize && train && !cfg_.learnScales) {
+    // The max scans only matter when they can update state: EMA
+    // calibration during training, or the one-shot seeding of learned
+    // thresholds. Plain eval forwards skip them.
+    if (cfg_.quantize &&
+        ((train && !cfg_.learnScales) ||
+         (cfg_.learnScales && !scalesInitialized_))) {
         MatrixD gmax(t_, t_), bmax(t_, t_);
-        for (const auto &w : wxf_raw_)
-            for (std::size_t i = 0; i < t_; ++i)
-                for (std::size_t j = 0; j < t_; ++j)
-                    gmax(i, j) = std::max(gmax(i, j),
-                                          std::abs(w(i, j)));
-        for (const auto &xt : ixf_raw)
-            for (std::size_t i = 0; i < t_; ++i)
-                for (std::size_t j = 0; j < t_; ++j)
-                    bmax(i, j) = std::max(bmax(i, j),
-                                          std::abs(xt(i, j)));
-        emaUpdate(calG_, gmax, scalesInitialized_);
-        emaUpdate(calB_, bmax, scalesInitialized_);
-        scalesInitialized_ = true;
-    }
-    if (cfg_.quantize && cfg_.learnScales && !scalesInitialized_) {
-        // Seed the learned thresholds from the first batch.
-        MatrixD gmax(t_, t_), bmax(t_, t_);
-        for (const auto &w : wxf_raw_)
-            for (std::size_t i = 0; i < t_; ++i)
-                for (std::size_t j = 0; j < t_; ++j)
-                    gmax(i, j) = std::max(gmax(i, j),
-                                          std::abs(w(i, j)));
-        for (const auto &xt : ixf_raw)
-            for (std::size_t i = 0; i < t_; ++i)
-                for (std::size_t j = 0; j < t_; ++j)
-                    bmax(i, j) = std::max(bmax(i, j),
-                                          std::abs(xt(i, j)));
-        double gall = 0.0, ball = 0.0;
-        for (std::size_t i = 0; i < t_; ++i) {
-            for (std::size_t j = 0; j < t_; ++j) {
-                gall = std::max(gall, gmax(i, j));
-                ball = std::max(ball, bmax(i, j));
-            }
+        for (std::size_t k = 0; k < tt; ++k) {
+            const double *ws = wq_.tap(k);
+            double gm = 0.0;
+            for (std::size_t i = 0; i < wslab; ++i)
+                gm = std::max(gm, std::abs(ws[i]));
+            const double *xs = xu_.data() + k * rowLen;
+            double bm = 0.0;
+            for (std::size_t l = 0; l < rowLen; ++l)
+                bm = std::max(bm, std::abs(xs[l]));
+            gmax(k / t_, k % t_) = gm;
+            bmax(k / t_, k % t_) = bm;
         }
-        for (std::size_t i = 0; i < t_; ++i) {
-            for (std::size_t j = 0; j < t_; ++j) {
-                const double gm = cfg_.tapWise ? gmax(i, j) : gall;
-                const double bm = cfg_.tapWise ? bmax(i, j) : ball;
-                logSg_.value[i * t_ + j] = std::log2(
-                    scaleForMax(gm > 0 ? gm : 1.0, cfg_.winogradBits));
-                logSb_.value[i * t_ + j] = std::log2(
-                    scaleForMax(bm > 0 ? bm : 1.0, cfg_.winogradBits));
+        if (!cfg_.learnScales) {
+            if (train) {
+                emaUpdate(calG_, gmax, scalesInitialized_);
+                emaUpdate(calB_, bmax, scalesInitialized_);
+                scalesInitialized_ = true;
             }
+        } else {
+            // Seed the learned thresholds from the first batch.
+            double gall = 0.0, ball = 0.0;
+            for (std::size_t i = 0; i < t_; ++i) {
+                for (std::size_t j = 0; j < t_; ++j) {
+                    gall = std::max(gall, gmax(i, j));
+                    ball = std::max(ball, bmax(i, j));
+                }
+            }
+            for (std::size_t i = 0; i < t_; ++i) {
+                for (std::size_t j = 0; j < t_; ++j) {
+                    const double gm =
+                        cfg_.tapWise ? gmax(i, j) : gall;
+                    const double bm =
+                        cfg_.tapWise ? bmax(i, j) : ball;
+                    logSg_.value[i * t_ + j] = std::log2(scaleForMax(
+                        gm > 0 ? gm : 1.0, cfg_.winogradBits));
+                    logSb_.value[i * t_ + j] = std::log2(scaleForMax(
+                        bm > 0 ? bm : 1.0, cfg_.winogradBits));
+                }
+            }
+            scalesInitialized_ = true;
         }
-        scalesInitialized_ = true;
     }
 
-    // ---- fake-quantize weights and inputs ----
+    // ---- fake-quantize weights and inputs, tap slab by tap slab ----
     const bool q = cfg_.quantize && scalesInitialized_;
-    wxf_q_ = wxf_raw_;
     if (train) {
-        wxf_mask_.assign(cout_ * cin_, MatrixD(t_, t_));
-        wxf_lgrad_.assign(cout_ * cin_, MatrixD(t_, t_));
+        w_mask_.assign(tt * wslab, 1.0);
+        w_lgrad_.assign(tt * wslab, 0.0);
+        if (x_mask_.shape() != xu_.shape())
+            x_mask_ = TensorD(xu_.shape());
+        x_mask_.fill(1.0);
+        if (x_lgrad_.shape() != xu_.shape())
+            x_lgrad_ = TensorD(xu_.shape());
+        x_lgrad_.fill(0.0);
     }
     if (q) {
-        for (std::size_t k = 0; k < cout_ * cin_; ++k) {
-            for (std::size_t i = 0; i < t_; ++i) {
-                for (std::size_t j = 0; j < t_; ++j) {
-                    bool inside = true;
-                    double lgrad = 0.0;
-                    wxf_q_[k](i, j) = quantValue(
-                        wxf_raw_[k](i, j), tapScale(true, i, j),
-                        cfg_.winogradBits, &inside, &lgrad);
-                    if (train) {
-                        wxf_mask_[k](i, j) = inside ? 1.0 : 0.0;
-                        wxf_lgrad_[k](i, j) = lgrad;
-                    }
+        for (std::size_t k = 0; k < tt; ++k) {
+            const double sg = tapScale(true, k / t_, k % t_);
+            double *ws = wq_.taps.data() + k * wslab;
+            for (std::size_t i = 0; i < wslab; ++i) {
+                bool inside = true;
+                double lgrad = 0.0;
+                ws[i] = quantValue(ws[i], sg, cfg_.winogradBits,
+                                   &inside, &lgrad);
+                if (train) {
+                    w_mask_[k * wslab + i] = inside ? 1.0 : 0.0;
+                    w_lgrad_[k * wslab + i] = lgrad;
+                }
+            }
+            const double sb = tapScale(false, k / t_, k % t_);
+            double *xs = xu_.data() + k * rowLen;
+            for (std::size_t l = 0; l < rowLen; ++l) {
+                bool inside = true;
+                double lgrad = 0.0;
+                xs[l] = quantValue(xs[l], sb, cfg_.winogradBits,
+                                   &inside, &lgrad);
+                if (train) {
+                    x_mask_[k * rowLen + l] = inside ? 1.0 : 0.0;
+                    x_lgrad_[k * rowLen + l] = lgrad;
                 }
             }
         }
-    } else if (train) {
-        for (auto &mk : wxf_mask_)
-            for (std::size_t i = 0; i < t_; ++i)
-                for (std::size_t j = 0; j < t_; ++j)
-                    mk(i, j) = 1.0;
     }
 
-    ixf_q_ = std::move(ixf_raw);
-    if (train) {
-        ixf_mask_.assign(n_tiles * cin_, MatrixD(t_, t_));
-        ixf_lgrad_.assign(n_tiles * cin_, MatrixD(t_, t_));
-    }
-    if (q) {
-        for (std::size_t k = 0; k < ixf_q_.size(); ++k) {
-            for (std::size_t i = 0; i < t_; ++i) {
-                for (std::size_t j = 0; j < t_; ++j) {
-                    bool inside = true;
-                    double lgrad = 0.0;
-                    const double raw = ixf_q_[k](i, j);
-                    ixf_q_[k](i, j) = quantValue(
-                        raw, tapScale(false, i, j), cfg_.winogradBits,
-                        &inside, &lgrad);
-                    if (train) {
-                        ixf_mask_[k](i, j) = inside ? 1.0 : 0.0;
-                        ixf_lgrad_[k](i, j) = lgrad;
-                    }
-                }
-            }
-        }
-    } else if (train) {
-        for (auto &mk : ixf_mask_)
-            for (std::size_t i = 0; i < t_; ++i)
-                for (std::size_t j = 0; j < t_; ++j)
-                    mk(i, j) = 1.0;
-    }
-
-    // ---- elementwise product + output transform ----
-    const MatrixD at = winoATd(cfg_.variant);
-    const MatrixD a = at.transposed();
+    // ---- per-tap GEMM + fused A-transform gather ----
+    winogradTapGemm(wq_, xu_, gemm_);
     TensorD out({n, cout_, ho_, wo_});
-    for (std::size_t in = 0; in < n; ++in) {
-        for (std::size_t ty = 0; ty < tiles_y_; ++ty) {
-            for (std::size_t tx = 0; tx < tiles_x_; ++tx) {
-                const std::size_t tile_idx =
-                    (in * tiles_y_ + ty) * tiles_x_ + tx;
-                for (std::size_t oc = 0; oc < cout_; ++oc) {
-                    MatrixD acc(t_, t_);
-                    for (std::size_t ic = 0; ic < cin_; ++ic) {
-                        const auto &wt = wxf_q_[oc * cin_ + ic];
-                        const auto &it = ixf_q_[tile_idx * cin_ + ic];
-                        for (std::size_t i = 0; i < t_; ++i)
-                            for (std::size_t j = 0; j < t_; ++j)
-                                acc(i, j) += wt(i, j) * it(i, j);
-                    }
-                    const MatrixD res = matmul(matmul(at, acc), a);
-                    for (std::size_t y = 0; y < m_; ++y) {
-                        for (std::size_t xx = 0; xx < m_; ++xx) {
-                            const std::size_t oy = ty * m_ + y;
-                            const std::size_t ox = tx * m_ + xx;
-                            if (oy < ho_ && ox < wo_)
-                                out.at(in, oc, oy, ox) = res(y, xx);
-                        }
-                    }
-                }
-            }
-        }
-    }
+    winogradGather(gemm_, cfg_.variant, back_, out);
+
     if (!train) {
         // Free training caches eagerly in eval mode.
-        wxf_mask_.clear();
-        wxf_lgrad_.clear();
-        ixf_mask_.clear();
-        ixf_lgrad_.clear();
+        w_mask_.clear();
+        w_lgrad_.clear();
+        x_mask_ = TensorD();
+        x_lgrad_ = TensorD();
     }
     return out;
 }
@@ -322,127 +300,112 @@ TensorD
 WinogradConv2d::backward(const TensorD &grad_out)
 {
     const std::size_t n = in_shape_[0];
-    const MatrixD at = winoATd(cfg_.variant);
-    const MatrixD a_full = at.transposed(); // t x m
-    const MatrixD bt = winoBTd(cfg_.variant);
-    const MatrixD b_full = bt.transposed(); // t x t
-    const MatrixD g = winoGd(cfg_.variant);
+    const std::size_t tt = t_ * t_;
+    const std::size_t tiles = n * tiles_y_ * tiles_x_;
+    const std::size_t rowLen = cin_ * tiles;
+    const std::size_t orow = cout_ * tiles;
+    const std::size_t wslab = cout_ * cin_;
 
-    TensorD gin(in_shape_);
-    std::vector<MatrixD> dw_wino(cout_ * cin_, MatrixD(t_, t_));
+    // Tile the output gradient, then lift it into the Winograd
+    // domain: dY = (A ⊗ A) vec(dOut tiles).
+    TensorD gtiles;
+    gatherOutputTiles(grad_out, m_, tiles_y_, tiles_x_, gtiles);
+    TensorD dy({tt, cout_, tiles});
+    applyKron(winoOutputKronT<double>(cfg_.variant), gtiles.data(),
+              orow, dy.data());
 
-    for (std::size_t in = 0; in < n; ++in) {
-        for (std::size_t ty = 0; ty < tiles_y_; ++ty) {
-            for (std::size_t tx = 0; tx < tiles_x_; ++tx) {
-                const std::size_t tile_idx =
-                    (in * tiles_y_ + ty) * tiles_x_ + tx;
-                // Gather dOut for this tile (zero beyond the edge).
-                std::vector<MatrixD> dx_hat(cin_, MatrixD(t_, t_));
-                for (std::size_t oc = 0; oc < cout_; ++oc) {
-                    MatrixD dout(m_, m_);
-                    bool any = false;
-                    for (std::size_t y = 0; y < m_; ++y) {
-                        for (std::size_t xx = 0; xx < m_; ++xx) {
-                            const std::size_t oy = ty * m_ + y;
-                            const std::size_t ox = tx * m_ + xx;
-                            if (oy < ho_ && ox < wo_) {
-                                dout(y, xx) =
-                                    grad_out.at(in, oc, oy, ox);
-                                any |= dout(y, xx) != 0.0;
-                            }
-                        }
-                    }
-                    if (!any)
-                        continue;
-                    // dY = A dOut A^T with A = (A^T)^T (t x m).
-                    const MatrixD dy =
-                        matmul(matmul(a_full, dout), at);
-                    for (std::size_t ic = 0; ic < cin_; ++ic) {
-                        const auto &wt = wxf_q_[oc * cin_ + ic];
-                        const auto &it = ixf_q_[tile_idx * cin_ + ic];
-                        auto &dw = dw_wino[oc * cin_ + ic];
-                        auto &dx = dx_hat[ic];
-                        for (std::size_t i = 0; i < t_; ++i) {
-                            for (std::size_t j = 0; j < t_; ++j) {
-                                dw(i, j) += dy(i, j) * it(i, j);
-                                dx(i, j) += dy(i, j) * wt(i, j);
-                            }
-                        }
-                    }
-                }
-                // Input side: STE mask, learned-scale grads, then
-                // back through B^T x B and scatter into gin.
-                for (std::size_t ic = 0; ic < cin_; ++ic) {
-                    MatrixD &dx = dx_hat[ic];
-                    if (cfg_.quantize && scalesInitialized_) {
-                        const auto &mask =
-                            ixf_mask_[tile_idx * cin_ + ic];
-                        if (cfg_.learnScales) {
-                            const auto &lg =
-                                ixf_lgrad_[tile_idx * cin_ + ic];
-                            for (std::size_t i = 0; i < t_; ++i)
-                                for (std::size_t j = 0; j < t_; ++j)
-                                    logSb_.grad[i * t_ + j] +=
-                                        dx(i, j) * lg(i, j);
-                        }
-                        for (std::size_t i = 0; i < t_; ++i)
-                            for (std::size_t j = 0; j < t_; ++j)
-                                dx(i, j) *= mask(i, j);
-                    }
-                    const MatrixD dtile =
-                        matmul(matmul(b_full, dx), bt);
-                    // Scatter-add into the padded input window.
-                    const std::ptrdiff_t y0 =
-                        static_cast<std::ptrdiff_t>(ty * m_) - 1;
-                    const std::ptrdiff_t x0 =
-                        static_cast<std::ptrdiff_t>(tx * m_) - 1;
-                    for (std::size_t i = 0; i < t_; ++i) {
-                        for (std::size_t j = 0; j < t_; ++j) {
-                            const std::ptrdiff_t iy =
-                                y0 + static_cast<std::ptrdiff_t>(i);
-                            const std::ptrdiff_t ix =
-                                x0 + static_cast<std::ptrdiff_t>(j);
-                            if (iy < 0 || ix < 0 ||
-                                iy >= static_cast<std::ptrdiff_t>(
-                                          in_shape_[2]) ||
-                                ix >= static_cast<std::ptrdiff_t>(
-                                          in_shape_[3]))
-                                continue;
-                            gin.at(in, ic,
-                                   static_cast<std::size_t>(iy),
-                                   static_cast<std::size_t>(ix)) +=
-                                dtile(i, j);
-                        }
-                    }
-                }
+    // Weight gradient per tap: dW[k] = dY[k] * Uq[k]^T — a row-dot
+    // GEMM over the P dimension.
+    std::vector<double> dwtaps(tt * wslab, 0.0);
+    for (std::size_t k = 0; k < tt; ++k) {
+        const double *dyk = dy.data() + k * orow;
+        const double *uk = xu_.data() + k * rowLen;
+        double *dwk = dwtaps.data() + k * wslab;
+        for (std::size_t oc = 0; oc < cout_; ++oc) {
+            const double *dyr = dyk + oc * tiles;
+            for (std::size_t ic = 0; ic < cin_; ++ic) {
+                const double *ur = uk + ic * tiles;
+                double s = 0.0;
+                for (std::size_t p = 0; p < tiles; ++p)
+                    s += dyr[p] * ur[p];
+                dwk[oc * cin_ + ic] += s;
             }
         }
     }
 
-    // Weight side: STE mask, learned-scale grads, then back through
+    // Input gradient per tap: dU[k] = Wq[k]^T * dY[k].
+    TensorD du({tt, cin_, tiles});
+    for (std::size_t k = 0; k < tt; ++k) {
+        const double *wk = wq_.tap(k);
+        const double *dyk = dy.data() + k * orow;
+        double *duk = du.data() + k * rowLen;
+        for (std::size_t oc = 0; oc < cout_; ++oc) {
+            const double *dyr = dyk + oc * tiles;
+            for (std::size_t ic = 0; ic < cin_; ++ic) {
+                const double c = wk[oc * cin_ + ic];
+                if (c == 0.0)
+                    continue;
+                double *dur = duk + ic * tiles;
+                for (std::size_t p = 0; p < tiles; ++p)
+                    dur[p] += c * dyr[p];
+            }
+        }
+    }
+
+    // Input side: learned-scale grads on the pre-mask gradient, STE
+    // mask, then back through B^T x B and scatter-add into gin.
+    if (cfg_.quantize && scalesInitialized_) {
+        for (std::size_t k = 0; k < tt; ++k) {
+            double *dur = du.data() + k * rowLen;
+            if (cfg_.learnScales) {
+                const double *lg = x_lgrad_.data() + k * rowLen;
+                double s = 0.0;
+                for (std::size_t l = 0; l < rowLen; ++l)
+                    s += dur[l] * lg[l];
+                logSb_.grad[k] += s;
+            }
+            const double *mask = x_mask_.data() + k * rowLen;
+            for (std::size_t l = 0; l < rowLen; ++l)
+                dur[l] *= mask[l];
+        }
+    }
+    TensorD dv({tt, cin_, tiles});
+    applyKron(winoInputKronT<double>(cfg_.variant), du.data(), rowLen,
+              dv.data());
+    TensorD gin(in_shape_);
+    winogradScatterAddTiles(dv, cfg_.variant, 1, gin);
+
+    // Weight side: learned-scale grads, STE mask, then back through
     // G f G^T.
+    if (cfg_.quantize && scalesInitialized_) {
+        for (std::size_t k = 0; k < tt; ++k) {
+            double *dwk = dwtaps.data() + k * wslab;
+            if (cfg_.learnScales) {
+                const double *lg = w_lgrad_.data() + k * wslab;
+                double s = 0.0;
+                for (std::size_t i = 0; i < wslab; ++i)
+                    s += dwk[i] * lg[i];
+                logSg_.grad[k] += s;
+            }
+            const double *mask = w_mask_.data() + k * wslab;
+            for (std::size_t i = 0; i < wslab; ++i)
+                dwk[i] *= mask[i];
+        }
+    }
+    const MatrixD gt = winoGd(cfg_.variant).transposed(); // [3, t]
+    double dwTile[6 * 6];
+    double tmp[3 * 6];
+    double df[9];
     for (std::size_t oc = 0; oc < cout_; ++oc) {
         for (std::size_t ic = 0; ic < cin_; ++ic) {
-            MatrixD &dw = dw_wino[oc * cin_ + ic];
-            if (cfg_.quantize && scalesInitialized_) {
-                const auto &mask = wxf_mask_[oc * cin_ + ic];
-                if (cfg_.learnScales) {
-                    const auto &lg = wxf_lgrad_[oc * cin_ + ic];
-                    for (std::size_t i = 0; i < t_; ++i)
-                        for (std::size_t j = 0; j < t_; ++j)
-                            logSg_.grad[i * t_ + j] +=
-                                dw(i, j) * lg(i, j);
-                }
-                for (std::size_t i = 0; i < t_; ++i)
-                    for (std::size_t j = 0; j < t_; ++j)
-                        dw(i, j) *= mask(i, j);
-            }
+            for (std::size_t k = 0; k < tt; ++k)
+                dwTile[k] = dwtaps[k * wslab + oc * cin_ + ic];
             // df = G^T dW G.
-            const MatrixD df =
-                matmul(matmul(g.transposed(), dw), g);
+            outputTransformFlat(gt.storage().data(), dwTile, 3, t_,
+                                tmp, df);
             for (std::size_t ky = 0; ky < 3; ++ky)
                 for (std::size_t kx = 0; kx < 3; ++kx)
-                    w_.grad.at(oc, ic, ky, kx) += df(ky, kx);
+                    w_.grad.at(oc, ic, ky, kx) += df[ky * 3 + kx];
         }
     }
 

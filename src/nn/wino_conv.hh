@@ -20,6 +20,7 @@
 #include "quant/quantizer.hh"
 #include "tensor/matrix.hh"
 #include "winograd/matrices.hh"
+#include "winograd/tiled.hh"
 
 namespace twq
 {
@@ -86,17 +87,20 @@ class WinogradConv2d : public Layer
     MaxCalibrator xcal_; ///< spatial activation calibrator
     double sx_ = 1.0;
 
-    // --- caches for backward ---
+    // --- caches for backward, all in the flat tap-major layout of
+    // --- the tiled scatter–GEMM–gather pipeline (winograd/tiled.hh).
     Shape in_shape_;
     std::size_t tiles_y_ = 0, tiles_x_ = 0, ho_ = 0, wo_ = 0;
     TensorD x_spatial_mask_;           ///< STE mask of spatial quant
-    std::vector<MatrixD> wxf_raw_;     ///< G f G^T, [cout*cin]
-    std::vector<MatrixD> wxf_q_;       ///< fake-quantized weights
-    std::vector<MatrixD> wxf_mask_;    ///< in-range masks
-    std::vector<MatrixD> wxf_lgrad_;   ///< d q / d log2 t terms
-    std::vector<MatrixD> ixf_q_;       ///< quantized input tiles
-    std::vector<MatrixD> ixf_mask_;    ///< in-range masks
-    std::vector<MatrixD> ixf_lgrad_;   ///< d q / d log2 t terms
+    WinogradTapWeights<double> wq_;    ///< fake-quantized weights
+    std::vector<double> w_mask_;       ///< [t*t][cout][cin] masks
+    std::vector<double> w_lgrad_;      ///< d q / d log2 t terms
+    TensorD xv_;                       ///< raw tile buffer [t*t,cin,P]
+    TensorD xu_;                       ///< quantized B-domain tiles
+    TensorD x_mask_;                   ///< in-range masks, like xu_
+    TensorD x_lgrad_;                  ///< d q / d log2 t terms
+    TensorD gemm_;                     ///< per-tap GEMM output
+    TensorD back_;                     ///< A-transformed tiles
 };
 
 } // namespace twq

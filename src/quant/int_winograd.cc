@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "quant/quantizer.hh"
 #include "winograd/conv.hh"
+#include "winograd/tiled.hh"
 #include "winograd/transforms.hh"
 
 namespace twq
@@ -14,6 +16,9 @@ namespace twq
 
 namespace
 {
+
+/// Largest transformed tile across variants (F4: t = 6).
+constexpr std::size_t kMaxT = 6;
 
 /** Quantize an FP tensor to n-bit integers with a single scale. */
 TensorI64
@@ -86,6 +91,7 @@ IntWinogradConv::IntWinogradConv(const TensorD &weights,
                                     cfg.granularity, cfg.winogradBits,
                                     cfg.pow2Scales);
     wq_.resize(cout_ * cin_);
+    wqTaps_.resize(spec.t * spec.t * cout_ * cin_);
     for (std::size_t oc = 0; oc < cout_; ++oc) {
         for (std::size_t ic = 0; ic < cin_; ++ic) {
             MatrixD f(3, 3);
@@ -98,13 +104,148 @@ IntWinogradConv::IntWinogradConv(const TensorD &weights,
                 for (std::size_t j = 0; j < spec.t; ++j)
                     q(i, j) = quantize(w(i, j), wscales_.at(oc, i, j),
                                        cfg.winogradBits);
+            // Tap-major copy for the per-tap GEMM.
+            for (std::size_t i = 0; i < spec.t; ++i)
+                for (std::size_t j = 0; j < spec.t; ++j)
+                    wqTaps_[((i * spec.t + j) * cout_ + oc) * cin_ +
+                            ic] = q(i, j);
             wq_[oc * cin_ + ic] = std::move(q);
+        }
+    }
+
+    // --- Flat transform-matrix cache for the tiled hot path. ---
+    const MatrixD atd = winoATd(cfg.variant);
+    atD_.assign(atd.storage().begin(), atd.storage().end());
+}
+
+void
+IntWinogradConv::scatterGemm(const TensorD &input, bool useShifts,
+                             TensorI64 &xq, TensorI64 &V, TensorI64 &U,
+                             TensorI64 &M) const
+{
+    const WinoDims d = winoDims(input.shape(), cfg_.variant, cfg_.pad);
+    const std::size_t t = d.t;
+    const std::size_t tt = t * t;
+
+    // Spatial-domain input quantization.
+    if (xq.shape() != input.shape())
+        xq = TensorI64(input.shape());
+    for (std::size_t i = 0; i < input.numel(); ++i)
+        xq[i] = quantize(input[i], sx_, cfg_.spatialBits);
+
+    // Scatter: raw tiles, then the exact integer B-transform as
+    // Kronecker row passes (order-independent, so bit-identical to
+    // the per-tile reference), then the tap-wise requantization
+    // applied per row of the flat [t*t, Cin, P] buffer.
+    winogradGatherTiles(xq, cfg_.variant, cfg_.pad, V);
+    const Shape ushape{tt, d.cin, d.tiles};
+    if (U.shape() != ushape)
+        U = TensorI64(ushape);
+    const std::size_t rowLen = d.cin * d.tiles;
+    applyKron(winoInputKron<std::int64_t>(cfg_.variant), V.data(),
+              rowLen, U.data());
+    for (std::size_t k = 0; k < tt; ++k) {
+        std::int64_t *row = U.data() + k * rowLen;
+        const double s = sb_(k / t, k % t);
+        if (useShifts) {
+            // Shift-based hardware rescale.
+            const int sh = log2Exact(s);
+            for (std::size_t l = 0; l < rowLen; ++l)
+                row[l] = clampSigned(shiftRightRound(row[l], sh),
+                                     cfg_.winogradBits);
+        } else {
+            // Round half away from zero, matching the shift-based
+            // path exactly when the scale is a power of two.
+            for (std::size_t l = 0; l < rowLen; ++l) {
+                const double r =
+                    std::round(static_cast<double>(row[l]) / s);
+                row[l] = clampSigned(static_cast<std::int64_t>(r),
+                                     cfg_.winogradBits);
+            }
+        }
+    }
+
+    // Per-tap GEMM: M[k] = Wq[k] ([Cout, Cin]) * U[k] ([Cin, P]).
+    const Shape mshape{tt, cout_, d.tiles};
+    if (M.shape() != mshape)
+        M = TensorI64(mshape);
+    for (std::size_t k = 0; k < tt; ++k)
+        gemmFlat(wqTaps_.data() + k * cout_ * cin_,
+                 U.data() + k * cin_ * d.tiles,
+                 M.data() + k * cout_ * d.tiles, cout_, cin_, d.tiles);
+}
+
+TensorD
+IntWinogradConv::forward(const TensorD &input) const
+{
+    const WinoDims d = winoDims(input.shape(), cfg_.variant, cfg_.pad);
+    TensorI64 xq, V, U, M;
+    TensorD out({d.n, cout_, d.ho, d.wo});
+    forwardInto(input, xq, V, U, M, out);
+    return out;
+}
+
+void
+IntWinogradConv::forwardInto(const TensorD &input, TensorI64 &xq,
+                             TensorI64 &V, TensorI64 &U, TensorI64 &M,
+                             TensorD &out) const
+{
+    twq_assert(input.rank() == 4 && input.dim(1) == cin_,
+               "channel mismatch");
+    const WinoDims d = winoDims(input.shape(), cfg_.variant, cfg_.pad);
+    twq_assert(out.rank() == 4 && out.dim(0) == d.n &&
+                   out.dim(1) == cout_ && out.dim(2) == d.ho &&
+                   out.dim(3) == d.wo,
+               "output tensor not pre-shaped for the tiled launch");
+    const std::size_t t = d.t;
+    const std::size_t tt = t * t;
+
+    scatterGemm(input, /*useShifts=*/false, xq, V, U, M);
+
+    // Gather: the tap-wise S_BG rescale applied per GEMM slice, then
+    // the FP back-transform (Vector Unit / FixPipe in hardware),
+    // written straight into the NCHW output.
+    std::int64_t acc[kMaxT * kMaxT];
+    double y[kMaxT * kMaxT];
+    double tmpd[kMaxT * kMaxT];
+    double res[kMaxT * kMaxT];
+    const std::int64_t *mm = M.data();
+    const std::size_t planeStride = cout_ * d.tiles;
+    for (std::size_t in = 0; in < d.n; ++in) {
+        for (std::size_t oc = 0; oc < cout_; ++oc) {
+            double *plane =
+                out.data() + (in * cout_ + oc) * d.ho * d.wo;
+            for (std::size_t ty = 0; ty < d.tilesY; ++ty) {
+                for (std::size_t tx = 0; tx < d.tilesX; ++tx) {
+                    const std::size_t p =
+                        (in * d.tilesY + ty) * d.tilesX + tx;
+                    const std::int64_t *src = mm + oc * d.tiles + p;
+                    for (std::size_t k = 0; k < tt; ++k)
+                        acc[k] = src[k * planeStride];
+                    for (std::size_t k = 0; k < tt; ++k)
+                        y[k] = static_cast<double>(acc[k]) *
+                               sb_(k / t, k % t) *
+                               wscales_.at(oc, k / t, k % t);
+                    outputTransformFlat(atD_.data(), y, d.m, t, tmpd,
+                                        res);
+                    const std::size_t ylim =
+                        std::min(d.m, d.ho - ty * d.m);
+                    const std::size_t xlim =
+                        std::min(d.m, d.wo - tx * d.m);
+                    for (std::size_t yy = 0; yy < ylim; ++yy) {
+                        double *dst =
+                            plane + (ty * d.m + yy) * d.wo + tx * d.m;
+                        for (std::size_t xx = 0; xx < xlim; ++xx)
+                            dst[xx] = res[yy * d.m + xx] * sx_;
+                    }
+                }
+            }
         }
     }
 }
 
 TensorD
-IntWinogradConv::forward(const TensorD &input) const
+IntWinogradConv::forwardReference(const TensorD &input) const
 {
     const WinoSpec spec = winoSpec(cfg_.variant);
     const std::size_t n = input.dim(0);
@@ -184,6 +325,104 @@ IntWinogradConv::forward(const TensorD &input) const
 TensorI8
 IntWinogradConv::forwardInt8(const TensorD &input, double *out_scale,
                              bool fuse_relu) const
+{
+    twq_assert(cfg_.pow2Scales,
+               "forwardInt8 requires power-of-two scales");
+    const WinoDims d = winoDims(input.shape(), cfg_.variant, cfg_.pad);
+    const std::size_t t = d.t;
+    const std::size_t tt = t * t;
+    const std::size_t n = d.n;
+    const std::size_t ho = d.ho;
+    const std::size_t wo = d.wo;
+
+    // Per output channel: the common power-of-two scale of the taps
+    // (the minimum S_BG) and the relative left-shifts above it.
+    std::vector<int> com_log2(cout_);
+    std::vector<std::vector<int>> rel_shift(
+        cout_, std::vector<int>(tt, 0));
+    for (std::size_t oc = 0; oc < cout_; ++oc) {
+        int lo = std::numeric_limits<int>::max();
+        std::vector<int> logs(tt);
+        for (std::size_t i = 0; i < t; ++i) {
+            for (std::size_t j = 0; j < t; ++j) {
+                const double sbg =
+                    sb_(i, j) * wscales_.at(oc, i, j);
+                logs[i * t + j] = log2Exact(sbg);
+                lo = std::min(lo, logs[i * t + j]);
+            }
+        }
+        com_log2[oc] = lo;
+        for (std::size_t k = 0; k < logs.size(); ++k)
+            rel_shift[oc][k] = logs[k] - lo;
+    }
+
+    // Pass 1: tiled integer pipeline into an int64 spatial output.
+    TensorI64 xq, V, U, M;
+    scatterGemm(input, /*useShifts=*/true, xq, V, U, M);
+
+    // S_BG rescale as pure left-shifts relative to the channel's
+    // common scale, applied in place per (tap, oc) GEMM segment.
+    for (std::size_t k = 0; k < tt; ++k) {
+        for (std::size_t oc = 0; oc < cout_; ++oc) {
+            const int sh = rel_shift[oc][k];
+            if (sh == 0)
+                continue;
+            std::int64_t *seg = M.data() + (k * cout_ + oc) * d.tiles;
+            for (std::size_t p = 0; p < d.tiles; ++p)
+                seg[p] <<= sh;
+        }
+    }
+
+    // Integer A-transform as Kronecker row passes (exact), untiled
+    // into the spatial int64 output.
+    TensorI64 Y({d.m * d.m, cout_, d.tiles});
+    applyKron(winoOutputKron<std::int64_t>(cfg_.variant), M.data(),
+              cout_ * d.tiles, Y.data());
+    TensorI64 raw({n, cout_, ho, wo});
+    winogradUntile(Y, cfg_.variant, raw);
+
+    // Pass 2: pick a power-of-two output scale covering the observed
+    // range and requantize with shifts.
+    double abs_max = 0.0;
+    for (std::size_t in = 0; in < n; ++in)
+        for (std::size_t oc = 0; oc < cout_; ++oc)
+            for (std::size_t i = 0; i < ho * wo; ++i) {
+                const double real =
+                    static_cast<double>(
+                        raw[(in * cout_ + oc) * ho * wo + i]) *
+                    std::exp2(com_log2[oc]) * sx_;
+                abs_max = std::max(abs_max, std::abs(real));
+            }
+    const double sy =
+        pow2Ceil(scaleForMax(std::max(abs_max, 1e-30), 8));
+    if (out_scale)
+        *out_scale = sy;
+    const int sy_log2 = log2Exact(sy);
+    const int sx_log2 = log2Exact(sx_);
+
+    TensorI8 out({n, cout_, ho, wo});
+    for (std::size_t in = 0; in < n; ++in) {
+        for (std::size_t oc = 0; oc < cout_; ++oc) {
+            // q = raw >> (log2 sy - log2 s_com - log2 s_x).
+            const int shift = sy_log2 - com_log2[oc] - sx_log2;
+            for (std::size_t i = 0; i < ho * wo; ++i) {
+                std::int64_t v =
+                    raw[(in * cout_ + oc) * ho * wo + i];
+                if (fuse_relu && v < 0)
+                    v = 0;
+                out[(in * cout_ + oc) * ho * wo + i] =
+                    static_cast<std::int8_t>(
+                        clampSigned(shiftRightRound(v, shift), 8));
+            }
+        }
+    }
+    return out;
+}
+
+TensorI8
+IntWinogradConv::forwardInt8Reference(const TensorD &input,
+                                      double *out_scale,
+                                      bool fuse_relu) const
 {
     twq_assert(cfg_.pow2Scales,
                "forwardInt8 requires power-of-two scales");

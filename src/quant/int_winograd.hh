@@ -12,6 +12,15 @@
  * Layer-wise (single-scalar) granularity reproduces the "traditional"
  * quantization that breaks F4 accuracy; tap-wise granularity is the
  * paper's contribution.
+ *
+ * Execution uses the flat tap-major scatter–GEMM–gather layout
+ * (winograd/tiled.hh): quantized input tiles are scattered into one
+ * [t*t, Cin, P] int64 buffer, the channel reduction runs as t*t
+ * independent [Cout, Cin] x [Cin, P] integer GEMMs, and the tap-wise
+ * S_BG rescale is applied per GEMM slice in the gather. Integer
+ * summation is order-independent, so the tiled path is bit-identical
+ * to the tile-at-a-time reference (forwardReference /
+ * forwardInt8Reference), which is kept as the oracle.
  */
 
 #ifndef TWQ_QUANT_INT_WINOGRAD_HH
@@ -56,14 +65,36 @@ class IntWinogradConv
                     const std::vector<TensorD> &calibration,
                     const IntWinogradConfig &cfg);
 
-    /** Run quantized inference; returns the dequantized FP output. */
+    /**
+     * Run quantized inference through the tiled scatter–GEMM–gather
+     * pipeline; returns the dequantized FP output. Bit-identical to
+     * forwardReference().
+     */
     TensorD forward(const TensorD &input) const;
+
+    /**
+     * Tiled forward writing into caller-provided buffers: `xq` holds
+     * the quantized input, `V` the raw tiles, `U`/`M` the
+     * scatter/GEMM planes (reshaped as needed), `out` the pre-shaped
+     * [N, Cout, Ho, Wo] result. With reused buffers (e.g.
+     * ScratchArena slots) the steady state performs no allocations.
+     */
+    void forwardInto(const TensorD &input, TensorI64 &xq, TensorI64 &V,
+                     TensorI64 &U, TensorI64 &M, TensorD &out) const;
+
+    /**
+     * Tile-at-a-time reference implementation (the original
+     * formulation, one [t, t] Matrix per step). Kept as the oracle
+     * the tiled path is verified against.
+     */
+    TensorD forwardReference(const TensorD &input) const;
 
     /**
      * Fully integer inference path (requires pow2Scales): the S_BG
      * rescale, the output transform, and the final requantization to
      * int8 are carried out with integer adds and shifts only, the
-     * way the FixPipe/Vector Unit does it on the accelerator.
+     * way the FixPipe/Vector Unit does it on the accelerator. Runs
+     * tiled; bit-identical to forwardInt8Reference().
      *
      * @param input     FP input (quantized internally with s_x).
      * @param out_scale output: the power-of-two scale of the
@@ -73,6 +104,14 @@ class IntWinogradConv
      */
     TensorI8 forwardInt8(const TensorD &input, double *out_scale,
                          bool fuse_relu = false) const;
+
+    /** Tile-at-a-time reference of forwardInt8 (the oracle). */
+    TensorI8 forwardInt8Reference(const TensorD &input,
+                                  double *out_scale,
+                                  bool fuse_relu = false) const;
+
+    std::size_t cout() const { return cout_; }
+    std::size_t cin() const { return cin_; }
 
     /** Input activation scale s_x (spatial domain). */
     double inputScale() const { return sx_; }
@@ -90,9 +129,24 @@ class IntWinogradConv
     /** Right-shift amounts log2(S_B) when scales are powers of two. */
     std::vector<int> inputShifts() const;
 
+    /** Quantized weights, flat tap-major [t*t][Cout][Cin]. */
+    const std::vector<std::int64_t> &tapWeights() const
+    {
+        return wqTaps_;
+    }
+
     const IntWinogradConfig &config() const { return cfg_; }
 
   private:
+    /// Tiled integer pipeline shared by forward and forwardInt8:
+    /// quantize + scatter (spatial->Winograd with the S_B rescale) and
+    /// the per-tap GEMM. `useShifts` selects the shift-based rescale
+    /// (forwardInt8) over round(x/s) (forward); both are identical
+    /// for power-of-two scales.
+    void scatterGemm(const TensorD &input, bool useShifts,
+                     TensorI64 &xq, TensorI64 &V, TensorI64 &U,
+                     TensorI64 &M) const;
+
     IntWinogradConfig cfg_;
     std::size_t cout_;
     std::size_t cin_;
@@ -100,8 +154,14 @@ class IntWinogradConv
     MatrixD sb_;               ///< [t,t] integer-domain input divisors
     ScaleSet wscales_;         ///< Winograd-domain weight scales
     /// Quantized Winograd-domain weights, one [t,t] tile per
-    /// (oc, ic), values in `winogradBits` range.
+    /// (oc, ic), values in `winogradBits` range (reference layout).
     std::vector<MatrixI64> wq_;
+    /// The same weights re-laid tap-major [t*t][cout][cin] for the
+    /// per-tap GEMM.
+    std::vector<std::int64_t> wqTaps_;
+    /// Cached flat A^T in double for the FP dequant gather, which
+    /// runs in the reference operation order to stay bit-identical.
+    std::vector<double> atD_;
 };
 
 /** Relative L2 error ||a - b|| / ||b||; b is the reference. */

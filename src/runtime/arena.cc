@@ -1,0 +1,47 @@
+#include "runtime/arena.hh"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace twq
+{
+
+namespace
+{
+
+struct SlotRegistry
+{
+    std::mutex mu;
+    std::unordered_map<std::string, ScratchArena::Slot> ids;
+};
+
+SlotRegistry &
+registry()
+{
+    static SlotRegistry r;
+    return r;
+}
+
+} // namespace
+
+ScratchArena::Slot
+ScratchArena::resolve(std::string_view name)
+{
+    SlotRegistry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    const auto [it, inserted] = r.ids.try_emplace(
+        std::string(name),
+        static_cast<Slot>(r.ids.size()));
+    return it->second;
+}
+
+std::size_t
+ScratchArena::registeredSlots()
+{
+    SlotRegistry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    return r.ids.size();
+}
+
+} // namespace twq

@@ -2,18 +2,24 @@
  * @file
  * Per-worker scratch storage for the serving runtime.
  *
- * Each worker thread owns one ScratchArena; tensors handed out by
- * `tensor()` are keyed by name and reused across batches, so a steady
- * stream of same-shaped batches performs no allocations in the
- * serving loop. Arenas are deliberately NOT thread-safe — sharing one
- * between workers defeats their purpose.
+ * Each worker thread owns one ScratchArena. Storage is addressed by
+ * integer slot handles: backends resolve a name to a Slot once at
+ * prepare() time (ScratchArena::resolve) and index the arena directly
+ * on the hot path — no string hashing or std::string construction per
+ * layer per batch. Slot storage grows monotonically: a shape change
+ * reuses the backing vector's capacity, so a steady stream of batches
+ * (even with varying batch sizes) performs no allocations once the
+ * high-water mark is reached. Arenas are deliberately NOT thread-safe
+ * — sharing one between workers defeats their purpose.
  */
 
 #ifndef TWQ_RUNTIME_ARENA_HH
 #define TWQ_RUNTIME_ARENA_HH
 
-#include <string>
-#include <unordered_map>
+#include <cstdint>
+#include <deque>
+#include <string_view>
+#include <vector>
 
 #include "tensor/tensor.hh"
 
@@ -23,25 +29,74 @@ namespace twq
 class ScratchArena
 {
   public:
+    /** A pre-resolved slot handle; cheap to copy and index with. */
+    using Slot = std::uint32_t;
+
     /**
-     * A reusable tensor slot. The first request for a key allocates;
+     * Resolve a name to its process-wide slot id, registering it on
+     * first use. Call at prepare()/session-build time and keep the
+     * handle; the same name always maps to the same slot, so layers
+     * prepared once share storage across every worker arena.
+     */
+    static Slot resolve(std::string_view name);
+
+    /** Number of slot names registered process-wide. */
+    static std::size_t registeredSlots();
+
+    /**
+     * A reusable double-tensor slot. The first request allocates;
      * later requests with the same shape return the previous storage
-     * (contents are stale — callers overwrite). A shape change
-     * reallocates the slot.
+     * (contents are stale — callers overwrite). A shape change reuses
+     * the backing capacity where possible.
      */
     TensorD &
-    tensor(const std::string &key, const Shape &shape)
+    tensor(Slot slot, const Shape &shape)
     {
-        TensorD &slot = slots_[key];
-        if (slot.shape() != shape)
-            slot = TensorD(shape);
-        return slot;
+        return shaped(dslots_, slot, shape);
     }
 
-    std::size_t slotCount() const { return slots_.size(); }
+    /** Same contract for int64 tensors (integer Winograd buffers). */
+    TensorI64 &
+    tensorI64(Slot slot, const Shape &shape)
+    {
+        return shaped(islots_, slot, shape);
+    }
+
+    /** Slots holding live storage in this arena (either type). */
+    std::size_t
+    slotCount() const
+    {
+        std::size_t live = 0;
+        for (const TensorD &t : dslots_)
+            live += t.numel() > 0;
+        for (const TensorI64 &t : islots_)
+            live += t.numel() > 0;
+        return live;
+    }
 
   private:
-    std::unordered_map<std::string, TensorD> slots_;
+    // Slots live in deques so growing the arena never invalidates a
+    // Tensor& handed out for another slot (a layer holds its output
+    // while the backend draws its own scratch slots).
+    template <typename T>
+    static Tensor<T> &
+    shaped(std::deque<Tensor<T>> &slots, Slot slot, const Shape &shape)
+    {
+        while (slot >= slots.size())
+            slots.emplace_back();
+        Tensor<T> &t = slots[slot];
+        if (t.shape() != shape) {
+            // Recycle the backing vector: capacity is kept when
+            // shrinking and grows monotonically otherwise.
+            std::vector<T> buf = std::move(t.storage());
+            buf.resize(shapeNumel(shape));
+            t = Tensor<T>(shape, std::move(buf));
+        }
+        return t;
+    }
+
+    std::deque<TensorD> dslots_;
+    std::deque<TensorI64> islots_;
 };
 
 } // namespace twq

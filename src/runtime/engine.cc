@@ -1,7 +1,12 @@
 #include "runtime/engine.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <string>
+
 #include "common/logging.hh"
-#include "winograd/conv.hh"
+#include "winograd/tiled.hh"
 
 namespace twq
 {
@@ -9,12 +14,20 @@ namespace twq
 namespace
 {
 
+/** Per-layer scratch slot names, resolved once at prepare() time. */
+ScratchArena::Slot
+layerSlot(const char *what, const std::string &layer)
+{
+    return ScratchArena::resolve(std::string(what) + ":" + layer);
+}
+
 // ------------------------------------------------------------- im2col
 
 struct Im2colPrepared : PreparedLayer
 {
-    TensorD weights; ///< [Cout, Cin, K, K]
+    TensorD wmat; ///< [Cout, Cin*K*K] packed GEMM operand
     ConvParams params;
+    ScratchArena::Slot cols = 0; ///< column-buffer slot
 };
 
 class Im2colBackend : public ConvBackend
@@ -29,21 +42,36 @@ class Im2colBackend : public ConvBackend
     }
 
     std::shared_ptr<const PreparedLayer>
-    prepare(const ConvLayerDesc &, const TensorD &weights,
+    prepare(const ConvLayerDesc &desc, const TensorD &weights,
             const LayerBuild &build) const override
     {
         auto prep = std::make_shared<Im2colPrepared>();
-        prep->weights = weights;
+        prep->wmat = packConvWeights(weights);
         prep->params = build.params;
+        prep->cols = layerSlot("im2col.cols", desc.name);
         return prep;
     }
 
-    TensorD
-    run(const PreparedLayer &prep, const TensorD &input,
-        ScratchArena &) const override
+    Shape
+    outputShape(const PreparedLayer &prep,
+                const Shape &input) const override
     {
         const auto &p = static_cast<const Im2colPrepared &>(prep);
-        return conv2dIm2col(input, p.weights, p.params);
+        return {input[0], p.wmat.dim(0), p.params.outSize(input[2]),
+                p.params.outSize(input[3])};
+    }
+
+    void
+    run(const PreparedLayer &prep, const TensorD &input,
+        ScratchArena &scratch, TensorD &out) const override
+    {
+        const auto &p = static_cast<const Im2colPrepared &>(prep);
+        const std::size_t k = p.params.kernel;
+        TensorD &cols = scratch.tensor(
+            p.cols, {input.dim(1) * k * k,
+                     p.params.outSize(input.dim(2)) *
+                         p.params.outSize(input.dim(3))});
+        conv2dIm2colPackedInto(input, p.wmat, p.params, cols, out);
     }
 };
 
@@ -51,8 +79,13 @@ class Im2colBackend : public ConvBackend
 
 struct WinogradFp32Prepared : PreparedLayer
 {
-    WinogradWeights<double> weights;
+    /// Tap-major [t*t][Cout][Cin] weights feeding the per-tap GEMM.
+    WinogradTapWeights<double> weights;
     std::size_t pad = 1;
+    ScratchArena::Slot tiles = 0;   ///< V raw-tile slot
+    ScratchArena::Slot scatter = 0; ///< U buffer slot
+    ScratchArena::Slot gemm = 0;    ///< M buffer slot
+    ScratchArena::Slot back = 0;    ///< Y back-transform slot
 };
 
 class WinogradFp32Backend : public ConvBackend
@@ -74,17 +107,43 @@ class WinogradFp32Backend : public ConvBackend
                    "winograd-fp32 backend on ineligible layer ",
                    desc.name);
         auto prep = std::make_shared<WinogradFp32Prepared>();
-        prep->weights = winogradPrepareWeights(weights, build.variant);
+        prep->weights =
+            winogradPrepareTapWeights(weights, build.variant);
         prep->pad = build.params.pad;
+        prep->tiles = layerSlot("wino.V", desc.name);
+        prep->scatter = layerSlot("wino.U", desc.name);
+        prep->gemm = layerSlot("wino.M", desc.name);
+        prep->back = layerSlot("wino.Y", desc.name);
         return prep;
     }
 
-    TensorD
-    run(const PreparedLayer &prep, const TensorD &input,
-        ScratchArena &) const override
+    Shape
+    outputShape(const PreparedLayer &prep,
+                const Shape &input) const override
     {
         const auto &p = static_cast<const WinogradFp32Prepared &>(prep);
-        return conv2dWinogradPre(input, p.weights, p.pad);
+        const ConvParams cp{3, 1, p.pad};
+        return {input[0], p.weights.cout, cp.outSize(input[2]),
+                cp.outSize(input[3])};
+    }
+
+    void
+    run(const PreparedLayer &prep, const TensorD &input,
+        ScratchArena &scratch, TensorD &out) const override
+    {
+        const auto &p = static_cast<const WinogradFp32Prepared &>(prep);
+        const WinoDims d =
+            winoDims(input.shape(), p.weights.variant, p.pad);
+        TensorD &V = scratch.tensor(
+            p.tiles, {d.t * d.t, p.weights.cin, d.tiles});
+        TensorD &U = scratch.tensor(
+            p.scatter, {d.t * d.t, p.weights.cin, d.tiles});
+        TensorD &M = scratch.tensor(
+            p.gemm, {d.t * d.t, p.weights.cout, d.tiles});
+        TensorD &Y = scratch.tensor(
+            p.back, {d.m * d.m, p.weights.cout, d.tiles});
+        conv2dWinogradTiledInto(input, p.weights, p.pad, V, U, M, Y,
+                                out);
     }
 };
 
@@ -92,9 +151,13 @@ class WinogradFp32Backend : public ConvBackend
 
 struct WinogradInt8Prepared : PreparedLayer
 {
-    /// Owns the quantized Winograd-domain weights and all scales;
-    /// forward() is const and thus shareable across workers.
+    /// Owns the quantized tap-major weights and all scales;
+    /// forwardInto() is const and thus shareable across workers.
     std::unique_ptr<IntWinogradConv> conv;
+    ScratchArena::Slot quantized = 0; ///< int64 quantized-input slot
+    ScratchArena::Slot tiles = 0;     ///< int64 raw-tile slot
+    ScratchArena::Slot scatter = 0;   ///< int64 U buffer slot
+    ScratchArena::Slot gemm = 0;      ///< int64 M buffer slot
 };
 
 class WinogradInt8Backend : public ConvBackend
@@ -123,19 +186,61 @@ class WinogradInt8Backend : public ConvBackend
         auto prep = std::make_shared<WinogradInt8Prepared>();
         prep->conv = std::make_unique<IntWinogradConv>(
             weights, *build.calibration, cfg);
+        prep->quantized = layerSlot("wino8.xq", desc.name);
+        prep->tiles = layerSlot("wino8.V", desc.name);
+        prep->scatter = layerSlot("wino8.U", desc.name);
+        prep->gemm = layerSlot("wino8.M", desc.name);
         return prep;
     }
 
-    TensorD
-    run(const PreparedLayer &prep, const TensorD &input,
-        ScratchArena &) const override
+    Shape
+    outputShape(const PreparedLayer &prep,
+                const Shape &input) const override
     {
         const auto &p = static_cast<const WinogradInt8Prepared &>(prep);
-        return p.conv->forward(input);
+        const ConvParams cp{3, 1, p.conv->config().pad};
+        return {input[0], p.conv->cout(), cp.outSize(input[2]),
+                cp.outSize(input[3])};
+    }
+
+    void
+    run(const PreparedLayer &prep, const TensorD &input,
+        ScratchArena &scratch, TensorD &out) const override
+    {
+        const auto &p = static_cast<const WinogradInt8Prepared &>(prep);
+        const WinoDims d = winoDims(input.shape(),
+                                    p.conv->config().variant,
+                                    p.conv->config().pad);
+        TensorI64 &xq = scratch.tensorI64(p.quantized, input.shape());
+        TensorI64 &V = scratch.tensorI64(
+            p.tiles, {d.t * d.t, p.conv->cin(), d.tiles});
+        TensorI64 &U = scratch.tensorI64(
+            p.scatter, {d.t * d.t, p.conv->cin(), d.tiles});
+        TensorI64 &M = scratch.tensorI64(
+            p.gemm, {d.t * d.t, p.conv->cout(), d.tiles});
+        p.conv->forwardInto(input, xq, V, U, M, out);
     }
 };
 
 } // namespace
+
+double
+timeBackendRun(const ConvBackend &backend, const PreparedLayer &prep,
+               const TensorD &input, ScratchArena &scratch, int iters)
+{
+    using Clock = std::chrono::steady_clock;
+    TensorD out(backend.outputShape(prep, input.shape()));
+    backend.run(prep, input, scratch, out); // warmup (fills arena)
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < iters; ++i) {
+        const auto t0 = Clock::now();
+        backend.run(prep, input, scratch, out);
+        const double sec =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        best = std::min(best, sec);
+    }
+    return best;
+}
 
 EngineRegistry::EngineRegistry()
 {

@@ -62,14 +62,30 @@ class ConvBackend
     prepare(const ConvLayerDesc &desc, const TensorD &weights,
             const LayerBuild &build) const = 0;
 
+    /** Output shape for a given (batched) input shape. */
+    virtual Shape outputShape(const PreparedLayer &prep,
+                              const Shape &input) const = 0;
+
     /**
-     * Execute the layer on a (possibly batched) NCHW input. Must be
-     * thread-safe with respect to `prep`, which is shared between
-     * workers; per-call mutable state lives in `scratch`.
+     * Execute the layer on a (possibly batched) NCHW input, writing
+     * into `out` (pre-shaped to outputShape() by the caller — the
+     * session hands out reusable arena activations so the serving
+     * loop allocates nothing). Must be thread-safe with respect to
+     * `prep`, which is shared between workers; per-call mutable state
+     * lives in `scratch`.
      */
-    virtual TensorD run(const PreparedLayer &prep, const TensorD &input,
-                        ScratchArena &scratch) const = 0;
+    virtual void run(const PreparedLayer &prep, const TensorD &input,
+                     ScratchArena &scratch, TensorD &out) const = 0;
 };
+
+/**
+ * Wall-clock seconds of the fastest of `iters` runs of a prepared
+ * layer (after one untimed warmup). Used by SessionConfig::autoSelect
+ * and the bench smoke check to compare engines per layer.
+ */
+double timeBackendRun(const ConvBackend &backend,
+                      const PreparedLayer &prep, const TensorD &input,
+                      ScratchArena &scratch, int iters = 3);
 
 /**
  * Process-wide table of conv backends, keyed by ConvEngine.

@@ -72,8 +72,10 @@ InferenceServer::execute(Batch batch, std::size_t worker)
 
         Shape shape = session_->inputShape();
         shape[0] = batch.size();
+        static const ScratchArena::Slot kBatchInput =
+            ScratchArena::resolve("server.batch_input");
         ScratchArena &arena = arenas_[worker];
-        TensorD &stacked = arena.tensor("batch_input", shape);
+        TensorD &stacked = arena.tensor(kBatchInput, shape);
         stackBatch(items, stacked);
 
         const TensorD out = session_->run(stacked, arena);

@@ -1,5 +1,6 @@
 #include "runtime/session.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -45,6 +46,7 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
     std::size_t h = descs[0].height;
     std::size_t w = descs[0].width;
     std::vector<TensorD> weights;
+    std::vector<bool> pinned(descs.size(), false); ///< explicit override
     weights.reserve(descs.size());
     layers_.reserve(descs.size());
     for (std::size_t i = 0; i < descs.size(); ++i) {
@@ -62,8 +64,10 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
         ConvEngine engine = d.winogradEligible() ? cfg.defaultEngine
                                                  : ConvEngine::Im2col;
         if (auto it = cfg.layerEngines.find(d.name);
-            it != cfg.layerEngines.end())
+            it != cfg.layerEngines.end()) {
             engine = it->second;
+            pinned[i] = true;
+        }
         std::shared_ptr<const ConvBackend> backend = registry.get(engine);
         if (!backend->supports(d)) {
             twq_warn("engine ", convEngineName(engine),
@@ -74,6 +78,8 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
         }
         layer.engine = engine;
         layer.backend = std::move(backend);
+        layer.activation = ScratchArena::resolve(
+            "session.act:" + net.name + ":" + d.name);
         layers_.push_back(std::move(layer));
 
         weights.push_back(heInitWeights(d, cfg.weightSeed + i));
@@ -114,6 +120,36 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
         layer.prepared =
             layer.backend->prepare(layer.desc, weights[i], build);
         twq_assert(layer.prepared, "backend returned no prepared state");
+
+        // ConvEngine-auto policy: measure this layer under its
+        // assigned engine and under im2col and keep the faster one.
+        // Ineligible layers never reach here with a non-im2col
+        // engine, so they always stay on im2col. Only FP engines are
+        // raced — demoting winograd-int8 to FP im2col would silently
+        // drop the quantization the config asked for.
+        if (cfg.autoSelect && !pinned[i] &&
+            layer.engine == ConvEngine::WinogradFp32) {
+            std::shared_ptr<const ConvBackend> im2col =
+                registry.get(ConvEngine::Im2col);
+            std::shared_ptr<const PreparedLayer> alt =
+                im2col->prepare(layer.desc, weights[i], build);
+            TensorD probe({std::max<std::size_t>(cfg.autoSelectBatch, 1),
+                           layer.desc.cin, layer.desc.height,
+                           layer.desc.width});
+            Rng probeRng(cfg.calibrationSeed ^ (0x9e3779b9ull + i));
+            probeRng.fillNormal(probe.storage(), 0.0, 1.0);
+            ScratchArena probeArena;
+            const double tEngine = timeBackendRun(
+                *layer.backend, *layer.prepared, probe, probeArena);
+            const double tIm2col =
+                timeBackendRun(*im2col, *alt, probe, probeArena);
+            if (tIm2col < tEngine) {
+                layer.engine = ConvEngine::Im2col;
+                layer.backend = std::move(im2col);
+                layer.prepared = std::move(alt);
+            }
+        }
+
         if (i + 1 < calEnd)
             cal = conv2dIm2col(cal, weights[i], layer.params);
     }
@@ -141,13 +177,26 @@ Session::run(const TensorD &batch, ScratchArena &scratch) const
                    batch.dim(2) == inputShape_[2] &&
                    batch.dim(3) == inputShape_[3],
                "request shape does not match the session's network");
-    TensorD out;
+    // Intermediate activations live in per-layer arena slots (written
+    // by one layer, read by the next), so a steady stream of batches
+    // reallocates nothing; only the returned response is fresh.
     const TensorD *cur = &batch;
-    for (const Layer &layer : layers_) {
-        out = layer.backend->run(*layer.prepared, *cur, scratch);
-        cur = &out;
+    const std::size_t last = layers_.size() - 1;
+    TensorD result;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const Layer &layer = layers_[i];
+        const Shape oshape =
+            layer.backend->outputShape(*layer.prepared, cur->shape());
+        if (i == last) {
+            result = TensorD(oshape);
+            layer.backend->run(*layer.prepared, *cur, scratch, result);
+        } else {
+            TensorD &out = scratch.tensor(layer.activation, oshape);
+            layer.backend->run(*layer.prepared, *cur, scratch, out);
+            cur = &out;
+        }
     }
-    return out;
+    return result;
 }
 
 TensorD

@@ -40,6 +40,21 @@ struct SessionConfig
     /** Per-layer overrides by layer name (after repeat expansion). */
     std::map<std::string, ConvEngine> layerEngines;
 
+    /**
+     * Pick im2col vs winograd-fp32 per layer from a measured
+     * microbenchmark instead of trusting defaultEngine blindly: at
+     * session build each eligible FP layer is prepared for both
+     * engines, timed on a sample batch, and the faster one wins.
+     * Ineligible layers still always land on im2col. Explicit
+     * layerEngines overrides are honored unmeasured, and
+     * winograd-int8 layers are never demoted — swapping them for an
+     * FP engine would silently drop the configured quantization.
+     */
+    bool autoSelect = false;
+
+    /** Batch size of the autoSelect timing probe. */
+    std::size_t autoSelectBatch = 8;
+
     /** Quantization settings for int8 layers. */
     IntWinogradConfig quant;
 
@@ -88,6 +103,10 @@ class Session
         ConvEngine engine = ConvEngine::Im2col;
         std::shared_ptr<const ConvBackend> backend;
         std::shared_ptr<const PreparedLayer> prepared;
+        /// Arena slot of this layer's output activation; intermediate
+        /// activations live in the worker's arena so the serving loop
+        /// performs no steady-state allocations.
+        ScratchArena::Slot activation = 0;
     };
 
     NetworkDesc net_;

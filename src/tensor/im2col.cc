@@ -136,6 +136,111 @@ conv2dDirect(const Tensor<T> &input, const Tensor<T> &weights,
     return out;
 }
 
+template <typename T>
+void
+im2colInto(const Tensor<T> &input, std::size_t n, const ConvParams &p,
+           Tensor<T> &cols)
+{
+    twq_assert(input.rank() == 4, "im2col expects NCHW");
+    const std::size_t c = input.dim(1);
+    const std::size_t h = input.dim(2);
+    const std::size_t w = input.dim(3);
+    const std::size_t ho = p.outSize(h);
+    const std::size_t wo = p.outSize(w);
+    const std::size_t k = p.kernel;
+
+    const Shape want{c * k * k, ho * wo};
+    if (cols.shape() != want)
+        cols = Tensor<T>(want);
+    T *dst = cols.data();
+    const T *base = input.data() + n * c * h * w;
+    for (std::size_t ic = 0; ic < c; ++ic) {
+        const T *plane = base + ic * h * w;
+        for (std::size_t ky = 0; ky < k; ++ky) {
+            for (std::size_t kx = 0; kx < k; ++kx) {
+                T *row = dst + ((ic * k + ky) * k + kx) * ho * wo;
+                for (std::size_t oy = 0; oy < ho; ++oy) {
+                    const std::ptrdiff_t iy =
+                        static_cast<std::ptrdiff_t>(oy * p.stride + ky) -
+                        static_cast<std::ptrdiff_t>(p.pad);
+                    const bool rowIn =
+                        iy >= 0 && iy < static_cast<std::ptrdiff_t>(h);
+                    const T *src =
+                        rowIn ? plane + static_cast<std::size_t>(iy) * w
+                              : nullptr;
+                    for (std::size_t ox = 0; ox < wo; ++ox) {
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(ox * p.stride +
+                                                        kx) -
+                            static_cast<std::ptrdiff_t>(p.pad);
+                        row[oy * wo + ox] =
+                            (rowIn && ix >= 0 &&
+                             ix < static_cast<std::ptrdiff_t>(w))
+                                ? src[static_cast<std::size_t>(ix)]
+                                : T{};
+                    }
+                }
+            }
+        }
+    }
+}
+
+template <typename T>
+Tensor<T>
+packConvWeights(const Tensor<T> &weights)
+{
+    twq_assert(weights.rank() == 4, "expected OIKK weights");
+    const std::size_t cout = weights.dim(0);
+    const std::size_t ckk =
+        weights.dim(1) * weights.dim(2) * weights.dim(3);
+    // OIKK is already row-major in (ic, ky, kx) per output channel.
+    Tensor<T> wmat({cout, ckk});
+    for (std::size_t i = 0; i < weights.numel(); ++i)
+        wmat[i] = weights[i];
+    return wmat;
+}
+
+template <typename T>
+void
+conv2dIm2colPackedInto(const Tensor<T> &input, const Tensor<T> &wmat,
+                       const ConvParams &p, Tensor<T> &cols,
+                       Tensor<T> &out)
+{
+    twq_assert(input.rank() == 4 && wmat.rank() == 2,
+               "conv2dIm2colPackedInto expects NCHW input and packed "
+               "weights");
+    const std::size_t n = input.dim(0);
+    const std::size_t cout = wmat.dim(0);
+    const std::size_t ckk = wmat.dim(1);
+    const std::size_t ho = p.outSize(input.dim(2));
+    const std::size_t wo = p.outSize(input.dim(3));
+    twq_assert(ckk == input.dim(1) * p.kernel * p.kernel,
+               "packed weights do not match input channels");
+    twq_assert(out.rank() == 4 && out.dim(0) == n &&
+                   out.dim(1) == cout && out.dim(2) == ho &&
+                   out.dim(3) == wo,
+               "output tensor not pre-shaped for im2col");
+
+    for (std::size_t in = 0; in < n; ++in) {
+        im2colInto(input, in, p, cols);
+        // [Cout, C*K*K] x [C*K*K, Ho*Wo] straight into this image's
+        // output planes (contiguous in NCHW).
+        T *dst = out.data() + in * cout * ho * wo;
+        for (std::size_t oc = 0; oc < cout; ++oc) {
+            T *ci = dst + oc * ho * wo;
+            for (std::size_t j = 0; j < ho * wo; ++j)
+                ci[j] = T{};
+            const T *wrow = wmat.data() + oc * ckk;
+            for (std::size_t k = 0; k < ckk; ++k) {
+                const T aik = wrow[k];
+                const T *bk = cols.data() + k * ho * wo;
+                for (std::size_t j = 0; j < ho * wo; ++j)
+                    ci[j] += aik * bk[j];
+            }
+        }
+    }
+}
+
 template Matrix<float> im2col(const Tensor<float> &, std::size_t,
                               const ConvParams &);
 template Matrix<double> im2col(const Tensor<double> &, std::size_t,
@@ -155,5 +260,19 @@ template Tensor<double> conv2dDirect(const Tensor<double> &,
 template Tensor<std::int64_t> conv2dDirect(const Tensor<std::int64_t> &,
                                            const Tensor<std::int64_t> &,
                                            const ConvParams &);
+template void im2colInto(const Tensor<float> &, std::size_t,
+                         const ConvParams &, Tensor<float> &);
+template void im2colInto(const Tensor<double> &, std::size_t,
+                         const ConvParams &, Tensor<double> &);
+template Tensor<float> packConvWeights(const Tensor<float> &);
+template Tensor<double> packConvWeights(const Tensor<double> &);
+template void conv2dIm2colPackedInto(const Tensor<float> &,
+                                     const Tensor<float> &,
+                                     const ConvParams &, Tensor<float> &,
+                                     Tensor<float> &);
+template void conv2dIm2colPackedInto(const Tensor<double> &,
+                                     const Tensor<double> &,
+                                     const ConvParams &,
+                                     Tensor<double> &, Tensor<double> &);
 
 } // namespace twq

@@ -64,6 +64,30 @@ template <typename T>
 Tensor<T> conv2dDirect(const Tensor<T> &input, const Tensor<T> &weights,
                        const ConvParams &p);
 
+/**
+ * Lower one batch element into a caller-provided column buffer
+ * (reshaped to [C*K*K, Ho*Wo] as needed) instead of allocating one.
+ */
+template <typename T>
+void im2colInto(const Tensor<T> &input, std::size_t n,
+                const ConvParams &p, Tensor<T> &cols);
+
+/** Flatten OIKK weights to the [Cout, Cin*K*K] GEMM operand. */
+template <typename T>
+Tensor<T> packConvWeights(const Tensor<T> &weights);
+
+/**
+ * im2col convolution with pre-packed weights and caller-provided
+ * buffers: `wmat` is packConvWeights(weights), `cols` the reusable
+ * column buffer (e.g. a ScratchArena slot), `out` the pre-shaped
+ * [N, Cout, Ho, Wo] output the per-image GEMM writes into directly.
+ * Arithmetic (and accumulation order) matches conv2dIm2col.
+ */
+template <typename T>
+void conv2dIm2colPackedInto(const Tensor<T> &input,
+                            const Tensor<T> &wmat, const ConvParams &p,
+                            Tensor<T> &cols, Tensor<T> &out);
+
 extern template Matrix<float> im2col(const Tensor<float> &, std::size_t,
                                      const ConvParams &);
 extern template Matrix<double> im2col(const Tensor<double> &, std::size_t,
@@ -83,6 +107,22 @@ extern template Tensor<double> conv2dDirect(const Tensor<double> &,
 extern template Tensor<std::int64_t>
 conv2dDirect(const Tensor<std::int64_t> &, const Tensor<std::int64_t> &,
              const ConvParams &);
+extern template void im2colInto(const Tensor<float> &, std::size_t,
+                                const ConvParams &, Tensor<float> &);
+extern template void im2colInto(const Tensor<double> &, std::size_t,
+                                const ConvParams &, Tensor<double> &);
+extern template Tensor<float> packConvWeights(const Tensor<float> &);
+extern template Tensor<double> packConvWeights(const Tensor<double> &);
+extern template void conv2dIm2colPackedInto(const Tensor<float> &,
+                                            const Tensor<float> &,
+                                            const ConvParams &,
+                                            Tensor<float> &,
+                                            Tensor<float> &);
+extern template void conv2dIm2colPackedInto(const Tensor<double> &,
+                                            const Tensor<double> &,
+                                            const ConvParams &,
+                                            Tensor<double> &,
+                                            Tensor<double> &);
 
 } // namespace twq
 

@@ -58,6 +58,10 @@ WinogradWeights<T> winogradPrepareWeights(const Tensor<T> &weights,
  * Winograd convolution with pre-transformed weights; bit-identical to
  * conv2dWinograd on the same inputs (the per-element arithmetic is
  * unchanged, only the weight transform is hoisted).
+ *
+ * This is the tile-at-a-time reference implementation, kept as the
+ * oracle for the flat tap-major execution in winograd/tiled.hh that
+ * the serving runtime actually uses.
  */
 template <typename T>
 Tensor<T> conv2dWinogradPre(const Tensor<T> &input,

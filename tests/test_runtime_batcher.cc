@@ -216,6 +216,60 @@ TEST(Session, PerLayerEngineOverride)
     EXPECT_EQ(session.layerEngine(2), ConvEngine::Im2col);
 }
 
+TEST(Session, AutoSelectKeepsIneligibleLayersOnIm2col)
+{
+    SessionConfig cfg;
+    cfg.defaultEngine = ConvEngine::WinogradFp32;
+    cfg.autoSelect = true;
+    cfg.autoSelectBatch = 2;
+    const Session session(microServeNet(8, 4), cfg);
+    ASSERT_EQ(session.layerCount(), 5u);
+    // Strided and pointwise layers are never measured — they are
+    // ineligible and must land on im2col regardless of the policy.
+    EXPECT_EQ(session.layerEngine(3), ConvEngine::Im2col);
+    EXPECT_EQ(session.layerEngine(4), ConvEngine::Im2col);
+    // Eligible layers end up on whichever engine measured faster —
+    // one of the two candidates, never anything else.
+    for (std::size_t i = 0; i < 3; ++i) {
+        const ConvEngine e = session.layerEngine(i);
+        EXPECT_TRUE(e == ConvEngine::WinogradFp32 ||
+                    e == ConvEngine::Im2col)
+            << "layer " << i << " landed on " << convEngineName(e);
+    }
+}
+
+TEST(Session, AutoSelectHonorsExplicitOverrides)
+{
+    SessionConfig cfg;
+    cfg.defaultEngine = ConvEngine::Im2col;
+    cfg.autoSelect = true;
+    cfg.layerEngines["body.0"] = ConvEngine::WinogradFp32;
+    const Session session(microServeNet(8, 4), cfg);
+    // Pinned layers are taken as-is, not benchmarked away.
+    EXPECT_EQ(session.layerEngine(1), ConvEngine::WinogradFp32);
+}
+
+TEST(Session, AutoSelectOutputMatchesReference)
+{
+    const NetworkDesc net = microServeNet(8, 4);
+    SessionConfig cfg;
+    cfg.defaultEngine = ConvEngine::WinogradFp32;
+    cfg.autoSelect = true;
+    cfg.autoSelectBatch = 2;
+    const Session session(net, cfg);
+    SessionConfig refCfg;
+    refCfg.defaultEngine = ConvEngine::Im2col;
+    const Session reference(net, refCfg);
+    const TensorD input = randomInput(session.inputShape(), 900);
+    const TensorD y = session.run(input);
+    const TensorD ref = reference.run(input);
+    ASSERT_EQ(y.shape(), ref.shape());
+    // Whatever per-layer mix the measurement picked, the numerics
+    // must agree with the im2col reference to FP accuracy.
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        EXPECT_NEAR(y[i], ref[i], 1e-6);
+}
+
 TEST(ConvEngineNames, RoundTrip)
 {
     for (ConvEngine e : kAllConvEngines) {

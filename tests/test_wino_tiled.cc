@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the flat tap-major scatter–GEMM–gather Winograd pipeline
+ * (winograd/tiled.hh) against the tile-at-a-time reference
+ * implementations in winograd/conv.hh and direct convolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "tensor/im2col.hh"
+#include "winograd/conv.hh"
+#include "winograd/tiled.hh"
+
+namespace twq
+{
+namespace
+{
+
+TensorD
+randomTensor(const Shape &shape, std::uint64_t seed)
+{
+    TensorD t(shape);
+    Rng rng(seed);
+    rng.fillNormal(t.storage(), 0.0, 1.0);
+    return t;
+}
+
+class TiledWinograd : public ::testing::TestWithParam<WinoVariant>
+{};
+
+TEST_P(TiledWinograd, MatchesDirectConvolution)
+{
+    const WinoVariant v = GetParam();
+    // Ragged spatial sizes exercise partially filled edge tiles.
+    const Shape shapes[] = {
+        {1, 1, 4, 4}, {2, 3, 8, 8}, {1, 2, 5, 7}, {3, 4, 9, 6}};
+    std::uint64_t seed = 100;
+    for (const Shape &shape : shapes) {
+        const TensorD x = randomTensor(shape, seed++);
+        const TensorD w = randomTensor({5, shape[1], 3, 3}, seed++);
+        const WinogradTapWeights<double> taps =
+            winogradPrepareTapWeights(w, v);
+        const TensorD y = conv2dWinogradTiled(x, taps, 1);
+        const TensorD ref = conv2dDirect(x, w, ConvParams{3, 1, 1});
+        ASSERT_EQ(y.shape(), ref.shape());
+        for (std::size_t i = 0; i < y.numel(); ++i)
+            EXPECT_NEAR(y[i], ref[i], 1e-9)
+                << winoName(v) << " shape index " << i;
+    }
+}
+
+TEST_P(TiledWinograd, MatchesTileAtATimeReference)
+{
+    const WinoVariant v = GetParam();
+    const TensorD x = randomTensor({2, 3, 10, 10}, 7);
+    const TensorD w = randomTensor({4, 3, 3, 3}, 8);
+    const TensorD tiled =
+        conv2dWinogradTiled(x, winogradPrepareTapWeights(w, v), 1);
+    const TensorD ref =
+        conv2dWinogradPre(x, winogradPrepareWeights(w, v), 1);
+    ASSERT_EQ(tiled.shape(), ref.shape());
+    // Same algorithm, different operation order: the Kronecker row
+    // passes regroup the transform sums, so agreement is to rounding,
+    // not bitwise.
+    for (std::size_t i = 0; i < tiled.numel(); ++i)
+        EXPECT_NEAR(tiled[i], ref[i], 1e-12);
+}
+
+TEST_P(TiledWinograd, ZeroPaddingVariant)
+{
+    const WinoVariant v = GetParam();
+    const TensorD x = randomTensor({1, 2, 8, 8}, 21);
+    const TensorD w = randomTensor({3, 2, 3, 3}, 22);
+    const TensorD y =
+        conv2dWinogradTiled(x, winogradPrepareTapWeights(w, v), 0);
+    const TensorD ref = conv2dDirect(x, w, ConvParams{3, 1, 0});
+    ASSERT_EQ(y.shape(), ref.shape());
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        EXPECT_NEAR(y[i], ref[i], 1e-9);
+}
+
+TEST_P(TiledWinograd, TapMajorWeightsMatchPerTileWeights)
+{
+    const WinoVariant v = GetParam();
+    const TensorD w = randomTensor({3, 2, 3, 3}, 31);
+    const WinogradTapWeights<double> direct =
+        winogradPrepareTapWeights(w, v);
+    const WinogradTapWeights<double> relaid =
+        tapMajorWeights(winogradPrepareWeights(w, v));
+    ASSERT_EQ(direct.cout, relaid.cout);
+    ASSERT_EQ(direct.cin, relaid.cin);
+    ASSERT_EQ(direct.taps.size(), relaid.taps.size());
+    for (std::size_t i = 0; i < direct.taps.size(); ++i)
+        EXPECT_DOUBLE_EQ(direct.taps[i], relaid.taps[i]);
+}
+
+TEST_P(TiledWinograd, ScatterAddTilesIsGatherTranspose)
+{
+    // <V, gather(x)> == <scatterAdd(V), x> for random operands — the
+    // adjoint identity the training backward relies on.
+    const WinoVariant v = GetParam();
+    const WinoDims d = winoDims({2, 3, 7, 9}, v, 1);
+    const TensorD x = randomTensor({2, 3, 7, 9}, 41);
+    TensorD V;
+    winogradGatherTiles(x, v, 1, V);
+    const TensorD r =
+        randomTensor({d.t * d.t, d.cin, d.tiles}, 42);
+    TensorD back({2, 3, 7, 9});
+    winogradScatterAddTiles(r, v, 1, back);
+    double lhs = 0.0, rhs = 0.0;
+    for (std::size_t i = 0; i < V.numel(); ++i)
+        lhs += V[i] * r[i];
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        rhs += back[i] * x[i];
+    EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(1.0, std::abs(lhs)));
+}
+
+TEST_P(TiledWinograd, KronPlansSkipZeroCoefficients)
+{
+    const WinoVariant v = GetParam();
+    const WinoSpec spec = winoSpec(v);
+    const auto &in = winoInputKron<double>(v);
+    const auto &out = winoOutputKron<double>(v);
+    EXPECT_EQ(in.rowsOut, spec.t * spec.t);
+    EXPECT_EQ(in.rowsIn, spec.t * spec.t);
+    EXPECT_EQ(out.rowsOut, spec.m * spec.m);
+    EXPECT_EQ(out.rowsIn, spec.t * spec.t);
+    // B^T and A^T are roughly half zeros; the schedule must be much
+    // smaller than the dense Kronecker product.
+    EXPECT_LT(in.terms.size(), in.rowsOut * in.rowsIn);
+    for (const auto &term : in.terms)
+        EXPECT_NE(term.coeff, 0.0);
+}
+
+TEST_P(TiledWinograd, FloatInstantiationStaysClose)
+{
+    const WinoVariant v = GetParam();
+    const TensorD x = randomTensor({1, 2, 6, 6}, 51);
+    const TensorD w = randomTensor({2, 2, 3, 3}, 52);
+    const TensorF xf = x.cast<float>();
+    const TensorF wf = w.cast<float>();
+    const TensorF y =
+        conv2dWinogradTiled(xf, winogradPrepareTapWeights(wf, v), 1);
+    const TensorD ref = conv2dDirect(x, w, ConvParams{3, 1, 1});
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        EXPECT_NEAR(static_cast<double>(y[i]), ref[i], 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, TiledWinograd,
+                         ::testing::Values(WinoVariant::F2,
+                                           WinoVariant::F4),
+                         [](const auto &info) {
+                             return winoName(info.param);
+                         });
+
+} // namespace
+} // namespace twq
