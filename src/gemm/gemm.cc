@@ -1,0 +1,140 @@
+#include "gemm/gemm.hh"
+
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+#include "gemm/kernels.hh"
+
+namespace twq
+{
+namespace gemm
+{
+
+namespace
+{
+
+/// Thread-local pack storage used when the caller provides none;
+/// sized once, so the steady state allocates nothing.
+template <typename T>
+T *
+tlsPack()
+{
+    static thread_local std::vector<T> buf(packSize());
+    return buf.data();
+}
+
+/// The double-precision kernel, resolved once per process.
+struct KernelTable
+{
+    GemmDFn gemmD;
+    const char *name;
+};
+
+KernelTable
+resolve()
+{
+    if (GemmDFn fn = avx2GemmD())
+        return {fn, "avx2"};
+    if (GemmDFn fn = neonGemmD())
+        return {fn, "neon"};
+    return {&blockedGemmImpl<double, double>, "scalar"};
+}
+
+const KernelTable &
+table()
+{
+    static const KernelTable t = resolve();
+    return t;
+}
+
+} // namespace
+
+const char *
+kernelName()
+{
+    return table().name;
+}
+
+template <typename T>
+void
+gemm(const T *a, const T *b, T *c, std::size_t m, std::size_t k,
+     std::size_t n, T *pack)
+{
+    T *p = pack ? pack : tlsPack<T>();
+    if constexpr (std::is_same_v<T, double>)
+        table().gemmD(a, b, c, m, k, n, /*transA=*/false, p);
+    else
+        blockedGemmImpl<T, T>(a, b, c, m, k, n, /*transA=*/false, p);
+}
+
+template <typename T>
+void
+gemmTN(const T *a, const T *b, T *c, std::size_t m, std::size_t k,
+       std::size_t n, T *pack)
+{
+    T *p = pack ? pack : tlsPack<T>();
+    if constexpr (std::is_same_v<T, double>)
+        table().gemmD(a, b, c, m, k, n, /*transA=*/true, p);
+    else
+        blockedGemmImpl<T, T>(a, b, c, m, k, n, /*transA=*/true, p);
+}
+
+template <typename T>
+void
+gemmNT(const T *a, const T *b, T *c, std::size_t m, std::size_t k,
+       std::size_t n)
+{
+    // C(i, j) = <A row i, B row j>: both operands stream unit-stride,
+    // so the only blocking needed is a j-tile that keeps kNr B rows
+    // hot while a block of A rows reduces against them.
+    for (std::size_t j0 = 0; j0 < n; j0 += kNr) {
+        const std::size_t jb = std::min(kNr, n - j0);
+        for (std::size_t i = 0; i < m; ++i) {
+            const T *ai = a + i * k;
+            for (std::size_t j = 0; j < jb; ++j) {
+                const T *bj = b + (j0 + j) * k;
+                T s{};
+                for (std::size_t kk = 0; kk < k; ++kk)
+                    s += ai[kk] * bj[kk];
+                c[i * n + j0 + j] = s;
+            }
+        }
+    }
+}
+
+void
+gemmS8S32(const std::int8_t *a, const std::int8_t *b, std::int32_t *c,
+          std::size_t m, std::size_t k, std::size_t n,
+          std::int8_t *pack)
+{
+    // |a*b| <= 127^2, so int32 accumulation is exact (no wrap, hence
+    // no observable saturation) for k <= 2^17.
+    twq_assert(k <= (std::size_t{1} << 17),
+               "gemmS8S32: K too large for exact int32 accumulation");
+    blockedGemmImpl<std::int8_t, std::int32_t>(
+        a, b, c, m, k, n, /*transA=*/false,
+        pack ? pack : tlsPack<std::int8_t>());
+}
+
+template void gemm(const float *, const float *, float *, std::size_t,
+                   std::size_t, std::size_t, float *);
+template void gemm(const double *, const double *, double *,
+                   std::size_t, std::size_t, std::size_t, double *);
+template void gemm(const std::int64_t *, const std::int64_t *,
+                   std::int64_t *, std::size_t, std::size_t,
+                   std::size_t, std::int64_t *);
+template void gemmTN(const float *, const float *, float *, std::size_t,
+                     std::size_t, std::size_t, float *);
+template void gemmTN(const double *, const double *, double *,
+                     std::size_t, std::size_t, std::size_t, double *);
+template void gemmTN(const std::int64_t *, const std::int64_t *,
+                     std::int64_t *, std::size_t, std::size_t,
+                     std::size_t, std::int64_t *);
+template void gemmNT(const float *, const float *, float *, std::size_t,
+                     std::size_t, std::size_t);
+template void gemmNT(const double *, const double *, double *,
+                     std::size_t, std::size_t, std::size_t);
+
+} // namespace gemm
+} // namespace twq

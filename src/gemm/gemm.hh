@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unified blocked micro-kernel GEMM subsystem.
+ *
+ * Every flat [rows, K] x [K, cols] product in the library — the t*t
+ * per-tap Winograd products (winograd/tiled.cc), the integer taps of
+ * the quantized pipeline (quant/int_winograd.cc), packed im2col
+ * (tensor/im2col.cc) and the training forward/backward
+ * (nn/wino_conv.cc) — routes through this one core instead of
+ * hand-rolling a naive triple loop.
+ *
+ * Layout and algorithm
+ * --------------------
+ * Operands are flat row-major with implied leading dimensions
+ * (lda = K, ldb = cols, ldc = cols). The core is a BLIS-style blocked
+ * kernel:
+ *
+ *  - K is split into panels of kKc; the A panel [kMr, kKc] of each
+ *    row block is packed k-major (pack[kk * kMr + r]) so the micro-
+ *    kernel reads A contiguously regardless of lda (and regardless of
+ *    whether A is logically transposed — gemmTN packs the transpose
+ *    for free). Row-major B is already unit-stride along the N
+ *    dimension and is consumed in place.
+ *  - The micro-kernel holds an Mr x Nr accumulator tile (kMr = 4 rows
+ *    by kNr = 8 columns) in registers and runs the K panel with one
+ *    multiply-accumulate per element per k, in ascending k order.
+ *
+ * Because each output element owns exactly one accumulator and k is
+ * consumed strictly ascending (partial sums are carried through C
+ * between K panels), the floating-point result is bit-identical to
+ * the classic i-k-j loop compiled with the same FP contraction — and
+ * independent of M/N blocking, so batched execution stays
+ * bit-identical to sequential execution no matter how the P dimension
+ * grows.
+ *
+ * Kernel table
+ * ------------
+ * The double-precision entry is dispatched at runtime: an AVX2+FMA
+ * micro-kernel (kernels_avx2.cc, compiled with -mavx2 -mfma) where
+ * the CPU supports it, a NEON micro-kernel on aarch64, and the
+ * autovectorization-friendly scalar blocked kernel everywhere else.
+ * Within one process the choice is fixed, so results stay
+ * deterministic. Integer kernels are exact under any schedule.
+ *
+ * Pack buffers
+ * ------------
+ * Every entry point takes an optional caller-provided pack buffer of
+ * packSize() elements (the serving runtime draws them from per-worker
+ * ScratchArena slots so the hot path performs no allocation); when
+ * null, a thread-local buffer of the same size is used, which is
+ * allocation-free after first use per thread.
+ */
+
+#ifndef TWQ_GEMM_GEMM_HH
+#define TWQ_GEMM_GEMM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace twq
+{
+namespace gemm
+{
+
+/// Micro-kernel register blocking: rows of A per panel.
+inline constexpr std::size_t kMr = 4;
+/// Micro-kernel register blocking: columns of B per tile.
+inline constexpr std::size_t kNr = 8;
+/// K-dimension panel length (bounds the pack buffer).
+inline constexpr std::size_t kKc = 512;
+
+/** Elements a caller-provided pack buffer must hold. */
+constexpr std::size_t
+packSize()
+{
+    return kMr * kKc;
+}
+
+/** Name of the double-precision kernel in use ("avx2", "neon", "scalar"). */
+const char *kernelName();
+
+/**
+ * C = A B, flat row-major: A [m, k], B [k, n], C [m, n]. C is
+ * overwritten. `pack` is an optional packSize() pack buffer.
+ */
+template <typename T>
+void gemm(const T *a, const T *b, T *c, std::size_t m, std::size_t k,
+          std::size_t n, T *pack = nullptr);
+
+/**
+ * C = A^T B with A [k, m] and B [k, n] flat row-major (C [m, n],
+ * overwritten). The transpose is absorbed by the A packing step, so
+ * this runs the same micro-kernel as gemm(). Used by the training
+ * backward (dU = W^T dY).
+ */
+template <typename T>
+void gemmTN(const T *a, const T *b, T *c, std::size_t m, std::size_t k,
+            std::size_t n, T *pack = nullptr);
+
+/**
+ * C = A B^T with A [m, k] and B [n, k] flat row-major (C [m, n],
+ * overwritten) — every output is a dot product of an A row with a B
+ * row, so both operands stream contiguously. Used by the training
+ * backward (dW = dY U^T).
+ */
+template <typename T>
+void gemmNT(const T *a, const T *b, T *c, std::size_t m, std::size_t k,
+            std::size_t n);
+
+/**
+ * int8 -> int32 widening-accumulate GEMM: A [m, k] and B [k, n] are
+ * signed 8-bit, C [m, n] is int32 and overwritten. Products widen to
+ * int32 before accumulating; with |a|,|b| <= 127 the accumulator
+ * cannot wrap for k <= 2^17 (asserted), so no intermediate saturation
+ * is ever observable and the result is exact. Backs the im2col-int8
+ * baseline engine.
+ */
+void gemmS8S32(const std::int8_t *a, const std::int8_t *b,
+               std::int32_t *c, std::size_t m, std::size_t k,
+               std::size_t n, std::int8_t *pack = nullptr);
+
+/**
+ * The naive i-k-j triple loop (the former gemmFlat), kept inline as
+ * the oracle for tests, the bench gate's baseline, and for tiny
+ * operands (t x t tile transforms) where blocking overhead dominates.
+ * Accumulation runs in ascending k per element, like gemm().
+ */
+template <typename T>
+inline void
+referenceGemm(const T *a, const T *b, T *c, std::size_t m,
+              std::size_t k, std::size_t n)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        T *ci = c + i * n;
+        for (std::size_t j = 0; j < n; ++j)
+            ci[j] = T{};
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const T aik = a[i * k + kk];
+            const T *bk = b + kk * n;
+            for (std::size_t j = 0; j < n; ++j)
+                ci[j] += aik * bk[j];
+        }
+    }
+}
+
+extern template void gemm(const float *, const float *, float *,
+                          std::size_t, std::size_t, std::size_t,
+                          float *);
+extern template void gemm(const double *, const double *, double *,
+                          std::size_t, std::size_t, std::size_t,
+                          double *);
+extern template void gemm(const std::int64_t *, const std::int64_t *,
+                          std::int64_t *, std::size_t, std::size_t,
+                          std::size_t, std::int64_t *);
+extern template void gemmTN(const float *, const float *, float *,
+                            std::size_t, std::size_t, std::size_t,
+                            float *);
+extern template void gemmTN(const double *, const double *, double *,
+                            std::size_t, std::size_t, std::size_t,
+                            double *);
+extern template void gemmTN(const std::int64_t *, const std::int64_t *,
+                            std::int64_t *, std::size_t, std::size_t,
+                            std::size_t, std::int64_t *);
+extern template void gemmNT(const float *, const float *, float *,
+                            std::size_t, std::size_t, std::size_t);
+extern template void gemmNT(const double *, const double *, double *,
+                            std::size_t, std::size_t, std::size_t);
+
+} // namespace gemm
+} // namespace twq
+
+#endif // TWQ_GEMM_GEMM_HH

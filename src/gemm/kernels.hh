@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Internal blocked-kernel machinery shared by the GEMM translation
+ * units. Not part of the public API.
+ *
+ * blockedGemmImpl is defined `static` so that each TU including this
+ * header (the baseline-ISA gemm.cc and the -mavx2 -mfma
+ * kernels_avx2.cc) gets its own internal-linkage copy compiled for
+ * that TU's instruction set — no ODR hazards from mixing flags.
+ */
+
+#ifndef TWQ_GEMM_KERNELS_HH
+#define TWQ_GEMM_KERNELS_HH
+
+#include <algorithm>
+#include <cstddef>
+
+#include "gemm/gemm.hh"
+
+namespace twq
+{
+namespace gemm
+{
+
+/**
+ * Pack one A panel k-major: pack[kk * kMr + r] = A(i0 + r, k0 + kk),
+ * reading A either as [m, lda] row-major (transA = false, lda = K) or
+ * as its transpose stored [K, m] row-major (transA = true). Rows
+ * beyond mr are zero-filled so the micro-kernel never branches on the
+ * M edge inside the k loop.
+ */
+template <typename TIn>
+static inline void
+packA(const TIn *a, std::size_t m, std::size_t k, bool transA,
+      std::size_t i0, std::size_t mr, std::size_t k0, std::size_t kb,
+      TIn *pack)
+{
+    for (std::size_t kk = 0; kk < kb; ++kk) {
+        TIn *dst = pack + kk * kMr;
+        for (std::size_t r = 0; r < kMr; ++r) {
+            if (r < mr)
+                dst[r] = transA ? a[(k0 + kk) * m + (i0 + r)]
+                                : a[(i0 + r) * k + (k0 + kk)];
+            else
+                dst[r] = TIn{};
+        }
+    }
+}
+
+/**
+ * The blocked core: C = A(^T) B with an Mr x Nr register accumulator
+ * tile, K split into kKc panels, and the A panel packed k-major.
+ * Accumulation is one multiply-add per element per k, strictly
+ * ascending in k (partial sums ride through C between panels), so the
+ * result is independent of the M/N/K blocking.
+ *
+ * TIn is the operand type, TAcc the accumulator/output type (they
+ * differ only for the int8 -> int32 kernel). `pack` must hold
+ * packSize() TIn elements.
+ */
+template <typename TIn, typename TAcc>
+static void
+blockedGemmImpl(const TIn *a, const TIn *b, TAcc *c, std::size_t m,
+                std::size_t k, std::size_t n, bool transA, TIn *pack)
+{
+    if (k == 0) {
+        std::fill(c, c + m * n, TAcc{});
+        return;
+    }
+    for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
+        const std::size_t kb = std::min(kKc, k - k0);
+        const bool first = k0 == 0;
+        for (std::size_t i0 = 0; i0 < m; i0 += kMr) {
+            const std::size_t mr = std::min(kMr, m - i0);
+            packA(a, m, k, transA, i0, mr, k0, kb, pack);
+
+            std::size_t j0 = 0;
+            for (; j0 + kNr <= n; j0 += kNr) {
+                TAcc acc[kMr][kNr];
+                for (std::size_t r = 0; r < kMr; ++r)
+                    for (std::size_t cx = 0; cx < kNr; ++cx)
+                        acc[r][cx] =
+                            (!first && r < mr)
+                                ? c[(i0 + r) * n + j0 + cx]
+                                : TAcc{};
+                for (std::size_t kk = 0; kk < kb; ++kk) {
+                    const TIn *bk = b + (k0 + kk) * n + j0;
+                    const TIn *ap = pack + kk * kMr;
+                    for (std::size_t r = 0; r < kMr; ++r) {
+                        const TAcc ar = static_cast<TAcc>(ap[r]);
+                        for (std::size_t cx = 0; cx < kNr; ++cx)
+                            acc[r][cx] +=
+                                ar * static_cast<TAcc>(bk[cx]);
+                    }
+                }
+                for (std::size_t r = 0; r < mr; ++r)
+                    for (std::size_t cx = 0; cx < kNr; ++cx)
+                        c[(i0 + r) * n + j0 + cx] = acc[r][cx];
+            }
+            // N edge: same per-element ascending-k accumulation.
+            for (; j0 < n; ++j0) {
+                for (std::size_t r = 0; r < mr; ++r) {
+                    TAcc s = first ? TAcc{} : c[(i0 + r) * n + j0];
+                    for (std::size_t kk = 0; kk < kb; ++kk)
+                        s += static_cast<TAcc>(pack[kk * kMr + r]) *
+                             static_cast<TAcc>(b[(k0 + kk) * n + j0]);
+                    c[(i0 + r) * n + j0] = s;
+                }
+            }
+        }
+    }
+}
+
+/// Double-precision whole-GEMM entry resolved into the kernel table.
+using GemmDFn = void (*)(const double *a, const double *b, double *c,
+                         std::size_t m, std::size_t k, std::size_t n,
+                         bool transA, double *pack);
+
+/// AVX2+FMA kernel (kernels_avx2.cc); null when not compiled in or
+/// the CPU lacks support.
+GemmDFn avx2GemmD();
+
+/// NEON kernel (kernels_neon.cc); null off aarch64.
+GemmDFn neonGemmD();
+
+} // namespace gemm
+} // namespace twq
+
+#endif // TWQ_GEMM_KERNELS_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * NEON double-precision micro-kernel for aarch64, where Advanced SIMD
+ * is part of the baseline ISA (no special compile flags needed). Same
+ * schedule as the AVX2 kernel with the 4 x 8 accumulator tile held in
+ * sixteen 2-wide float64x2 registers; the scalar N edge uses std::fma
+ * to match vfmaq's fused rounding.
+ */
+
+#include "gemm/kernels.hh"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+#include <cmath>
+
+namespace twq
+{
+namespace gemm
+{
+
+namespace
+{
+
+void
+neonGemmDImpl(const double *a, const double *b, double *c,
+              std::size_t m, std::size_t k, std::size_t n, bool transA,
+              double *pack)
+{
+    if (k == 0) {
+        std::fill(c, c + m * n, 0.0);
+        return;
+    }
+    constexpr std::size_t kVecs = kNr / 2; // float64x2 lanes per row
+    for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
+        const std::size_t kb = std::min(kKc, k - k0);
+        const bool first = k0 == 0;
+        for (std::size_t i0 = 0; i0 < m; i0 += kMr) {
+            const std::size_t mr = std::min(kMr, m - i0);
+            packA(a, m, k, transA, i0, mr, k0, kb, pack);
+
+            std::size_t j0 = 0;
+            for (; j0 + kNr <= n; j0 += kNr) {
+                float64x2_t acc[kMr][kVecs];
+                for (std::size_t r = 0; r < kMr; ++r)
+                    for (std::size_t v = 0; v < kVecs; ++v)
+                        acc[r][v] =
+                            (!first && r < mr)
+                                ? vld1q_f64(c + (i0 + r) * n + j0 +
+                                            2 * v)
+                                : vdupq_n_f64(0.0);
+                for (std::size_t kk = 0; kk < kb; ++kk) {
+                    const double *bk = b + (k0 + kk) * n + j0;
+                    float64x2_t bv[kVecs];
+                    for (std::size_t v = 0; v < kVecs; ++v)
+                        bv[v] = vld1q_f64(bk + 2 * v);
+                    const double *ap = pack + kk * kMr;
+                    for (std::size_t r = 0; r < kMr; ++r) {
+                        const float64x2_t ar = vdupq_n_f64(ap[r]);
+                        for (std::size_t v = 0; v < kVecs; ++v)
+                            acc[r][v] =
+                                vfmaq_f64(acc[r][v], ar, bv[v]);
+                    }
+                }
+                for (std::size_t r = 0; r < mr; ++r)
+                    for (std::size_t v = 0; v < kVecs; ++v)
+                        vst1q_f64(c + (i0 + r) * n + j0 + 2 * v,
+                                  acc[r][v]);
+            }
+            for (; j0 < n; ++j0) {
+                for (std::size_t r = 0; r < mr; ++r) {
+                    double s = first ? 0.0 : c[(i0 + r) * n + j0];
+                    for (std::size_t kk = 0; kk < kb; ++kk)
+                        s = std::fma(pack[kk * kMr + r],
+                                     b[(k0 + kk) * n + j0], s);
+                    c[(i0 + r) * n + j0] = s;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+GemmDFn
+neonGemmD()
+{
+    return &neonGemmDImpl;
+}
+
+} // namespace gemm
+} // namespace twq
+
+#else // !__aarch64__
+
+namespace twq
+{
+namespace gemm
+{
+
+GemmDFn
+neonGemmD()
+{
+    return nullptr;
+}
+
+} // namespace gemm
+} // namespace twq
+
+#endif

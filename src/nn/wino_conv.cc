@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "gemm/gemm.hh"
 #include "tensor/im2col.hh"
 #include "winograd/conv.hh"
 #include "winograd/transforms.hh"
@@ -314,43 +315,19 @@ WinogradConv2d::backward(const TensorD &grad_out)
     applyKron(winoOutputKronT<double>(cfg_.variant), gtiles.data(),
               orow, dy.data());
 
-    // Weight gradient per tap: dW[k] = dY[k] * Uq[k]^T — a row-dot
-    // GEMM over the P dimension.
-    std::vector<double> dwtaps(tt * wslab, 0.0);
-    for (std::size_t k = 0; k < tt; ++k) {
-        const double *dyk = dy.data() + k * orow;
-        const double *uk = xu_.data() + k * rowLen;
-        double *dwk = dwtaps.data() + k * wslab;
-        for (std::size_t oc = 0; oc < cout_; ++oc) {
-            const double *dyr = dyk + oc * tiles;
-            for (std::size_t ic = 0; ic < cin_; ++ic) {
-                const double *ur = uk + ic * tiles;
-                double s = 0.0;
-                for (std::size_t p = 0; p < tiles; ++p)
-                    s += dyr[p] * ur[p];
-                dwk[oc * cin_ + ic] += s;
-            }
-        }
-    }
+    // Weight gradient per tap: dW[k] = dY[k] * Uq[k]^T — an NT GEMM
+    // reducing over the P dimension.
+    std::vector<double> dwtaps(tt * wslab);
+    for (std::size_t k = 0; k < tt; ++k)
+        gemm::gemmNT(dy.data() + k * orow, xu_.data() + k * rowLen,
+                     dwtaps.data() + k * wslab, cout_, tiles, cin_);
 
-    // Input gradient per tap: dU[k] = Wq[k]^T * dY[k].
+    // Input gradient per tap: dU[k] = Wq[k]^T * dY[k] — a TN GEMM,
+    // the transpose absorbed by the A-panel packing.
     TensorD du({tt, cin_, tiles});
-    for (std::size_t k = 0; k < tt; ++k) {
-        const double *wk = wq_.tap(k);
-        const double *dyk = dy.data() + k * orow;
-        double *duk = du.data() + k * rowLen;
-        for (std::size_t oc = 0; oc < cout_; ++oc) {
-            const double *dyr = dyk + oc * tiles;
-            for (std::size_t ic = 0; ic < cin_; ++ic) {
-                const double c = wk[oc * cin_ + ic];
-                if (c == 0.0)
-                    continue;
-                double *dur = duk + ic * tiles;
-                for (std::size_t p = 0; p < tiles; ++p)
-                    dur[p] += c * dyr[p];
-            }
-        }
-    }
+    for (std::size_t k = 0; k < tt; ++k)
+        gemm::gemmTN(wq_.tap(k), dy.data() + k * orow,
+                     du.data() + k * rowLen, cin_, cout_, tiles);
 
     // Input side: learned-scale grads on the pre-mask gradient, STE
     // mask, then back through B^T x B and scatter-add into gin.

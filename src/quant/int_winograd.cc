@@ -6,6 +6,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "gemm/gemm.hh"
 #include "quant/quantizer.hh"
 #include "winograd/conv.hh"
 #include "winograd/tiled.hh"
@@ -121,7 +122,8 @@ IntWinogradConv::IntWinogradConv(const TensorD &weights,
 void
 IntWinogradConv::scatterGemm(const TensorD &input, bool useShifts,
                              TensorI64 &xq, TensorI64 &V, TensorI64 &U,
-                             TensorI64 &M) const
+                             TensorI64 &M, gemm::ParallelRunner *runner,
+                             gemm::PackPool *packs) const
 {
     const WinoDims d = winoDims(input.shape(), cfg_.variant, cfg_.pad);
     const std::size_t t = d.t;
@@ -165,14 +167,20 @@ IntWinogradConv::scatterGemm(const TensorD &input, bool useShifts,
         }
     }
 
-    // Per-tap GEMM: M[k] = Wq[k] ([Cout, Cin]) * U[k] ([Cin, P]).
+    // Per-tap GEMM: M[k] = Wq[k] ([Cout, Cin]) * U[k] ([Cin, P]),
+    // each on the blocked integer core; taps shard across `runner`
+    // when one is provided (exact integer sums — order-free).
     const Shape mshape{tt, cout_, d.tiles};
     if (M.shape() != mshape)
         M = TensorI64(mshape);
-    for (std::size_t k = 0; k < tt; ++k)
-        gemmFlat(wqTaps_.data() + k * cout_ * cin_,
-                 U.data() + k * cin_ * d.tiles,
-                 M.data() + k * cout_ * d.tiles, cout_, cin_, d.tiles);
+    if (!runner)
+        packs = nullptr; // lanes are only exclusive under a runner
+    gemm::runTasks(runner, tt, [&](std::size_t k, std::size_t lane) {
+        gemm::gemm(wqTaps_.data() + k * cout_ * cin_,
+                   U.data() + k * cin_ * d.tiles,
+                   M.data() + k * cout_ * d.tiles, cout_, cin_,
+                   d.tiles, gemm::lanePack<std::int64_t>(packs, lane));
+    });
 }
 
 TensorD
@@ -188,7 +196,8 @@ IntWinogradConv::forward(const TensorD &input) const
 void
 IntWinogradConv::forwardInto(const TensorD &input, TensorI64 &xq,
                              TensorI64 &V, TensorI64 &U, TensorI64 &M,
-                             TensorD &out) const
+                             TensorD &out, gemm::ParallelRunner *runner,
+                             gemm::PackPool *packs) const
 {
     twq_assert(input.rank() == 4 && input.dim(1) == cin_,
                "channel mismatch");
@@ -200,7 +209,8 @@ IntWinogradConv::forwardInto(const TensorD &input, TensorI64 &xq,
     const std::size_t t = d.t;
     const std::size_t tt = t * t;
 
-    scatterGemm(input, /*useShifts=*/false, xq, V, U, M);
+    scatterGemm(input, /*useShifts=*/false, xq, V, U, M, runner,
+                packs);
 
     // Gather: the tap-wise S_BG rescale applied per GEMM slice, then
     // the FP back-transform (Vector Unit / FixPipe in hardware),

@@ -28,6 +28,7 @@
 
 #include <vector>
 
+#include "gemm/parallel.hh"
 #include "quant/scales.hh"
 #include "tensor/tensor.hh"
 #include "winograd/matrices.hh"
@@ -78,9 +79,15 @@ class IntWinogradConv
      * scatter/GEMM planes (reshaped as needed), `out` the pre-shaped
      * [N, Cout, Ho, Wo] result. With reused buffers (e.g.
      * ScratchArena slots) the steady state performs no allocations.
+     * A non-null `runner` shards the t*t independent per-tap GEMMs
+     * (pack buffers drawn from `packs` when provided); integer
+     * accumulation is exact, so the sharded result stays
+     * bit-identical to serial execution and to forwardReference().
      */
     void forwardInto(const TensorD &input, TensorI64 &xq, TensorI64 &V,
-                     TensorI64 &U, TensorI64 &M, TensorD &out) const;
+                     TensorI64 &U, TensorI64 &M, TensorD &out,
+                     gemm::ParallelRunner *runner = nullptr,
+                     gemm::PackPool *packs = nullptr) const;
 
     /**
      * Tile-at-a-time reference implementation (the original
@@ -145,7 +152,9 @@ class IntWinogradConv
     /// for power-of-two scales.
     void scatterGemm(const TensorD &input, bool useShifts,
                      TensorI64 &xq, TensorI64 &V, TensorI64 &U,
-                     TensorI64 &M) const;
+                     TensorI64 &M,
+                     gemm::ParallelRunner *runner = nullptr,
+                     gemm::PackPool *packs = nullptr) const;
 
     IntWinogradConfig cfg_;
     std::size_t cout_;

@@ -62,7 +62,21 @@ class ScratchArena
         return shaped(islots_, slot, shape);
     }
 
-    /** Slots holding live storage in this arena (either type). */
+    /** Same contract for int8 tensors (quantized im2col operands). */
+    TensorI8 &
+    tensorI8(Slot slot, const Shape &shape)
+    {
+        return shaped(i8slots_, slot, shape);
+    }
+
+    /** Same contract for int32 tensors (widening GEMM accumulators). */
+    TensorI32 &
+    tensorI32(Slot slot, const Shape &shape)
+    {
+        return shaped(i32slots_, slot, shape);
+    }
+
+    /** Slots holding live storage in this arena (any type). */
     std::size_t
     slotCount() const
     {
@@ -70,6 +84,10 @@ class ScratchArena
         for (const TensorD &t : dslots_)
             live += t.numel() > 0;
         for (const TensorI64 &t : islots_)
+            live += t.numel() > 0;
+        for (const TensorI8 &t : i8slots_)
+            live += t.numel() > 0;
+        for (const TensorI32 &t : i32slots_)
             live += t.numel() > 0;
         return live;
     }
@@ -97,6 +115,8 @@ class ScratchArena
 
     std::deque<TensorD> dslots_;
     std::deque<TensorI64> islots_;
+    std::deque<TensorI8> i8slots_;
+    std::deque<TensorI32> i32slots_;
 };
 
 } // namespace twq

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <string>
 
 #include "common/logging.hh"
+#include "gemm/gemm.hh"
+#include "quant/quantizer.hh"
 #include "winograd/tiled.hh"
 
 namespace twq
@@ -19,6 +22,32 @@ ScratchArena::Slot
 layerSlot(const char *what, const std::string &layer)
 {
     return ScratchArena::resolve(std::string(what) + ":" + layer);
+}
+
+// GEMM pack buffers are shape-independent (gemm::packSize() elements),
+// so one process-wide slot name per element type serves every layer.
+ScratchArena::Slot
+packSlotD()
+{
+    static const ScratchArena::Slot slot =
+        ScratchArena::resolve("gemm.pack.d");
+    return slot;
+}
+
+ScratchArena::Slot
+packSlotI64()
+{
+    static const ScratchArena::Slot slot =
+        ScratchArena::resolve("gemm.pack.i64");
+    return slot;
+}
+
+ScratchArena::Slot
+packSlotI8()
+{
+    static const ScratchArena::Slot slot =
+        ScratchArena::resolve("gemm.pack.i8");
+    return slot;
 }
 
 // ------------------------------------------------------------- im2col
@@ -63,15 +92,20 @@ class Im2colBackend : public ConvBackend
 
     void
     run(const PreparedLayer &prep, const TensorD &input,
-        ScratchArena &scratch, TensorD &out) const override
+        ScratchArena &scratch, TensorD &out,
+        const RunContext &ctx) const override
     {
         const auto &p = static_cast<const Im2colPrepared &>(prep);
         const std::size_t k = p.params.kernel;
-        TensorD &cols = scratch.tensor(
-            p.cols, {input.dim(1) * k * k,
-                     p.params.outSize(input.dim(2)) *
-                         p.params.outSize(input.dim(3))});
-        conv2dIm2colPackedInto(input, p.wmat, p.params, cols, out);
+        const std::size_t spatial = p.params.outSize(input.dim(2)) *
+                                    p.params.outSize(input.dim(3));
+        const std::size_t ckk = input.dim(1) * k * k;
+        TensorD &cols = scratch.tensor(p.cols, {ckk, spatial});
+        const double macs = static_cast<double>(p.wmat.dim(0)) *
+                            static_cast<double>(ckk) *
+                            static_cast<double>(spatial);
+        conv2dIm2colPackedInto(input, p.wmat, p.params, cols, out,
+                               ctx.runnerFor(macs), ctx.packs);
     }
 };
 
@@ -129,7 +163,8 @@ class WinogradFp32Backend : public ConvBackend
 
     void
     run(const PreparedLayer &prep, const TensorD &input,
-        ScratchArena &scratch, TensorD &out) const override
+        ScratchArena &scratch, TensorD &out,
+        const RunContext &ctx) const override
     {
         const auto &p = static_cast<const WinogradFp32Prepared &>(prep);
         const WinoDims d =
@@ -142,8 +177,12 @@ class WinogradFp32Backend : public ConvBackend
             p.gemm, {d.t * d.t, p.weights.cout, d.tiles});
         TensorD &Y = scratch.tensor(
             p.back, {d.m * d.m, p.weights.cout, d.tiles});
+        const double macs = static_cast<double>(d.t * d.t) *
+                            static_cast<double>(p.weights.cout) *
+                            static_cast<double>(p.weights.cin) *
+                            static_cast<double>(d.tiles);
         conv2dWinogradTiledInto(input, p.weights, p.pad, V, U, M, Y,
-                                out);
+                                out, ctx.runnerFor(macs), ctx.packs);
     }
 };
 
@@ -205,7 +244,8 @@ class WinogradInt8Backend : public ConvBackend
 
     void
     run(const PreparedLayer &prep, const TensorD &input,
-        ScratchArena &scratch, TensorD &out) const override
+        ScratchArena &scratch, TensorD &out,
+        const RunContext &ctx) const override
     {
         const auto &p = static_cast<const WinogradInt8Prepared &>(prep);
         const WinoDims d = winoDims(input.shape(),
@@ -218,11 +258,189 @@ class WinogradInt8Backend : public ConvBackend
             p.scatter, {d.t * d.t, p.conv->cin(), d.tiles});
         TensorI64 &M = scratch.tensorI64(
             p.gemm, {d.t * d.t, p.conv->cout(), d.tiles});
-        p.conv->forwardInto(input, xq, V, U, M, out);
+        const double macs = static_cast<double>(d.t * d.t) *
+                            static_cast<double>(p.conv->cout()) *
+                            static_cast<double>(p.conv->cin()) *
+                            static_cast<double>(d.tiles);
+        p.conv->forwardInto(input, xq, V, U, M, out,
+                            ctx.runnerFor(macs), ctx.packs);
+    }
+};
+
+// ------------------------------------------------- int8 im2col GEMM
+
+struct Im2colInt8Prepared : PreparedLayer
+{
+    TensorI8 wq;             ///< [Cout, Cin*K*K] int8 GEMM operand
+    std::vector<double> sw;  ///< per-output-channel weight scales
+    double sx = 1.0;         ///< activation scale (calibrated)
+    int bits = 8;
+    ConvParams params;
+    ScratchArena::Slot quantized = 0; ///< int8 input slot
+    ScratchArena::Slot cols = 0;      ///< int8 column-buffer slot
+    ScratchArena::Slot acc = 0;       ///< int32 accumulator slot
+};
+
+/**
+ * The quantized path's universal fallback (ROADMAP item): weights are
+ * quantized to int8 per output channel, activations layer-wise from
+ * calibration, and the lowered product runs the widening int8 -> int32
+ * micro-kernel; the int32 accumulator dequantizes into the FP output
+ * so layers chain normally. Supports any kernel/stride, giving
+ * winograd-ineligible layers an apples-to-apples quantized baseline.
+ */
+class Im2colInt8Backend : public ConvBackend
+{
+  public:
+    ConvEngine kind() const override { return ConvEngine::Im2colInt8; }
+
+    bool
+    supports(const ConvLayerDesc &) const override
+    {
+        return true; // any kernel/stride, like fp im2col
+    }
+
+    std::shared_ptr<const PreparedLayer>
+    prepare(const ConvLayerDesc &desc, const TensorD &weights,
+            const LayerBuild &build) const override
+    {
+        twq_assert(build.calibration && !build.calibration->empty(),
+                   "im2col-int8 backend needs calibration samples");
+        auto prep = std::make_shared<Im2colInt8Prepared>();
+        prep->params = build.params;
+        // Operands are stored in int8 tensors, so wider configured
+        // spatial widths (the 10-bit int-Winograd configs) clamp to
+        // the 8 bits this engine can actually represent.
+        prep->bits = std::min(build.quant.spatialBits, 8);
+        prep->quantized = layerSlot("im8.xq", desc.name);
+        prep->cols = layerSlot("im8.cols", desc.name);
+        prep->acc = layerSlot("im8.acc", desc.name);
+
+        // Activation scale from the layer's calibration activations.
+        MaxCalibrator xcal;
+        for (const TensorD &x : *build.calibration)
+            xcal.observeAll(x.storage());
+        prep->sx = xcal.scale(prep->bits);
+        if (build.quant.pow2Scales)
+            prep->sx = pow2Ceil(prep->sx);
+
+        // Per-output-channel weight quantization on the packed
+        // [Cout, Cin*K*K] layout.
+        const TensorD wmat = packConvWeights(weights);
+        const std::size_t cout = wmat.dim(0);
+        const std::size_t ckk = wmat.dim(1);
+        prep->wq = TensorI8({cout, ckk});
+        prep->sw.resize(cout);
+        for (std::size_t oc = 0; oc < cout; ++oc) {
+            double mx = 0.0;
+            for (std::size_t i = 0; i < ckk; ++i)
+                mx = std::max(mx, std::abs(wmat[oc * ckk + i]));
+            double s = scaleForMax(std::max(mx, 1e-30), prep->bits);
+            if (build.quant.pow2Scales)
+                s = pow2Ceil(s);
+            prep->sw[oc] = s;
+            for (std::size_t i = 0; i < ckk; ++i)
+                prep->wq[oc * ckk + i] = static_cast<std::int8_t>(
+                    quantize(wmat[oc * ckk + i], s, prep->bits));
+        }
+        return prep;
+    }
+
+    Shape
+    outputShape(const PreparedLayer &prep,
+                const Shape &input) const override
+    {
+        const auto &p = static_cast<const Im2colInt8Prepared &>(prep);
+        return {input[0], p.wq.dim(0), p.params.outSize(input[2]),
+                p.params.outSize(input[3])};
+    }
+
+    void
+    run(const PreparedLayer &prep, const TensorD &input,
+        ScratchArena &scratch, TensorD &out,
+        const RunContext &ctx) const override
+    {
+        const auto &p = static_cast<const Im2colInt8Prepared &>(prep);
+        const std::size_t n = input.dim(0);
+        const std::size_t cout = p.wq.dim(0);
+        const std::size_t ckk = p.wq.dim(1);
+        const std::size_t ho = p.params.outSize(input.dim(2));
+        const std::size_t wo = p.params.outSize(input.dim(3));
+        const std::size_t spatial = ho * wo;
+
+        TensorI8 &xq = scratch.tensorI8(p.quantized, input.shape());
+        for (std::size_t i = 0; i < input.numel(); ++i)
+            xq[i] = static_cast<std::int8_t>(
+                quantize(input[i], p.sx, p.bits));
+
+        TensorI8 &cols = scratch.tensorI8(p.cols, {ckk, spatial});
+        TensorI32 &acc = scratch.tensorI32(p.acc, {cout, spatial});
+        const double macs = static_cast<double>(cout) *
+                            static_cast<double>(ckk) *
+                            static_cast<double>(spatial);
+        gemm::ParallelRunner *runner = ctx.runnerFor(macs);
+        gemm::PackPool *packs = runner ? ctx.packs : nullptr;
+
+        for (std::size_t in = 0; in < n; ++in) {
+            im2colInto(xq, in, p.params, cols);
+            // Output-channel row blocks, as in the FP im2col path.
+            gemm::runRowBlocks(
+                runner, cout, gemm::kMr,
+                [&](std::size_t r0, std::size_t rows,
+                    std::size_t lane) {
+                    gemm::gemmS8S32(
+                        p.wq.data() + r0 * ckk, cols.data(),
+                        acc.data() + r0 * spatial, rows, ckk, spatial,
+                        gemm::lanePack<std::int8_t>(packs, lane));
+                });
+
+            // Dequantize into the FP output plane: y = acc * sx * sw.
+            double *dst = out.data() + in * cout * spatial;
+            for (std::size_t oc = 0; oc < cout; ++oc) {
+                const double s = p.sx * p.sw[oc];
+                const std::int32_t *src = acc.data() + oc * spatial;
+                double *row = dst + oc * spatial;
+                for (std::size_t i = 0; i < spatial; ++i)
+                    row[i] = static_cast<double>(src[i]) * s;
+            }
+        }
     }
 };
 
 } // namespace
+
+double *
+ArenaPackPool::packD(std::size_t lane)
+{
+    twq_assert(lane < arenas_->size(),
+               "pack lane beyond the arena pool — runner lanes() "
+               "exceeds the arenas this pool was built over");
+    return (*arenas_)[lane]
+        .tensor(packSlotD(), {gemm::packSize()})
+        .data();
+}
+
+std::int64_t *
+ArenaPackPool::packI64(std::size_t lane)
+{
+    twq_assert(lane < arenas_->size(),
+               "pack lane beyond the arena pool — runner lanes() "
+               "exceeds the arenas this pool was built over");
+    return (*arenas_)[lane]
+        .tensorI64(packSlotI64(), {gemm::packSize()})
+        .data();
+}
+
+std::int8_t *
+ArenaPackPool::packI8(std::size_t lane)
+{
+    twq_assert(lane < arenas_->size(),
+               "pack lane beyond the arena pool — runner lanes() "
+               "exceeds the arenas this pool was built over");
+    return (*arenas_)[lane]
+        .tensorI8(packSlotI8(), {gemm::packSize()})
+        .data();
+}
 
 double
 timeBackendRun(const ConvBackend &backend, const PreparedLayer &prep,
@@ -247,6 +465,7 @@ EngineRegistry::EngineRegistry()
     registerBackend(std::make_shared<Im2colBackend>());
     registerBackend(std::make_shared<WinogradFp32Backend>());
     registerBackend(std::make_shared<WinogradInt8Backend>());
+    registerBackend(std::make_shared<Im2colInt8Backend>());
 }
 
 EngineRegistry &

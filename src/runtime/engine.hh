@@ -18,6 +18,7 @@
 #include <mutex>
 #include <vector>
 
+#include "gemm/parallel.hh"
 #include "models/zoo.hh"
 #include "quant/int_winograd.hh"
 #include "runtime/arena.hh"
@@ -31,6 +32,52 @@ namespace twq
 struct PreparedLayer
 {
     virtual ~PreparedLayer() = default;
+};
+
+/**
+ * gemm::PackPool over per-lane ScratchArenas: each lane's pack buffer
+ * is a reserved slot in that lane's arena, so sharded GEMMs stay
+ * allocation-free once every lane has touched its slot.
+ */
+class ArenaPackPool : public gemm::PackPool
+{
+  public:
+    explicit ArenaPackPool(std::vector<ScratchArena> &arenas)
+        : arenas_(&arenas)
+    {}
+
+    double *packD(std::size_t lane) override;
+    std::int64_t *packI64(std::size_t lane) override;
+    std::int8_t *packI8(std::size_t lane) override;
+
+  private:
+    std::vector<ScratchArena> *arenas_;
+};
+
+/**
+ * Intra-batch execution context handed down to ConvBackend::run.
+ *
+ * With a null runner (the default) the layer executes serially on the
+ * calling thread. With a runner, a backend shards its independent
+ * GEMM work — the t*t per-tap products, im2col's output-channel
+ * blocks — across the runner's lanes, but only when the layer's GEMM
+ * stage is at least `minParallelMacs` multiply-accumulates; below
+ * that, sharding overhead outweighs the win. Sharded execution is
+ * bit-identical to serial for every backend (each shard is the same
+ * computation it would be serially).
+ */
+struct RunContext
+{
+    gemm::ParallelRunner *runner = nullptr;
+    gemm::PackPool *packs = nullptr;
+    double minParallelMacs = 1 << 18;
+
+    /** The runner, or null when the layer is too small to shard. */
+    gemm::ParallelRunner *
+    runnerFor(double gemmMacs) const
+    {
+        return gemmMacs >= minParallelMacs ? runner : nullptr;
+    }
 };
 
 /** Everything a backend may need to prepare one layer. */
@@ -72,10 +119,20 @@ class ConvBackend
      * session hands out reusable arena activations so the serving
      * loop allocates nothing). Must be thread-safe with respect to
      * `prep`, which is shared between workers; per-call mutable state
-     * lives in `scratch`.
+     * lives in `scratch`. `ctx` optionally enables intra-batch
+     * parallelism (see RunContext); results are identical either way.
      */
     virtual void run(const PreparedLayer &prep, const TensorD &input,
-                     ScratchArena &scratch, TensorD &out) const = 0;
+                     ScratchArena &scratch, TensorD &out,
+                     const RunContext &ctx) const = 0;
+
+    /** Serial convenience overload. */
+    void
+    run(const PreparedLayer &prep, const TensorD &input,
+        ScratchArena &scratch, TensorD &out) const
+    {
+        run(prep, input, scratch, out, RunContext{});
+    }
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "runtime/server.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "tensor/batch.hh"
 
@@ -9,9 +11,22 @@ namespace twq
 InferenceServer::InferenceServer(std::shared_ptr<const Session> session,
                                  const RuntimeConfig &cfg)
     : session_(std::move(session)), cfg_(cfg), batcher_(cfg.batch),
-      arenas_(cfg.threads), pool_(cfg.threads)
+      arenas_(cfg.threads), pool_(cfg.threads), packPool_(arenas_)
 {
     twq_assert(session_ != nullptr, "server needs a session");
+    // One runner/context per worker, built once: the executing worker
+    // is the caller lane, so lanes coincide with worker indices and
+    // every lane's pack buffer lives in that worker's own arena.
+    runners_.reserve(cfg_.threads);
+    parCtx_.reserve(cfg_.threads);
+    for (std::size_t w = 0; w < cfg_.threads; ++w) {
+        runners_.emplace_back(pool_, w);
+        RunContext ctx;
+        ctx.runner = &runners_.back();
+        ctx.packs = &packPool_;
+        ctx.minParallelMacs = cfg_.minParallelMacs;
+        parCtx_.push_back(ctx);
+    }
     dispatcher_ = std::thread([this] { dispatchLoop(); });
 }
 
@@ -74,13 +89,40 @@ InferenceServer::execute(Batch batch, std::size_t worker)
         shape[0] = batch.size();
         static const ScratchArena::Slot kBatchInput =
             ScratchArena::resolve("server.batch_input");
+        static const ScratchArena::Slot kBatchOutput =
+            ScratchArena::resolve("server.batch_output");
         ScratchArena &arena = arenas_[worker];
         TensorD &stacked = arena.tensor(kBatchInput, shape);
         stackBatch(items, stacked);
 
-        const TensorD out = session_->run(stacked, arena);
+        // Shard large layers across the pool only while some workers
+        // are idle; under full request-level load every worker has a
+        // batch of its own and sharding would just contend.
+        const bool shard = cfg_.intraBatchParallel &&
+                           cfg_.threads > 1 &&
+                           inflightBatches_.load() < cfg_.threads;
+        const RunContext ctx =
+            shard ? parCtx_[worker] : RunContext{};
+
+        // The batch result lives in a pre-sized arena slot and each
+        // response recycles its own request's input storage, so the
+        // steady-state serving loop performs no per-batch or
+        // per-request allocation.
+        Shape oshape = session_->outputShape();
+        oshape[0] = batch.size();
+        TensorD &out = arena.tensor(kBatchOutput, oshape);
+        session_->runInto(stacked, arena, ctx, out);
+
+        const Shape respShape = session_->outputShape();
+        const std::size_t numel = shapeNumel(respShape);
         for (std::size_t i = 0; i < batch.size(); ++i) {
-            batch.requests[i].promise.set_value(sliceBatch(out, i));
+            std::vector<double> buf =
+                std::move(batch.requests[i].input.storage());
+            buf.resize(numel);
+            const double *src = out.data() + i * numel;
+            std::copy(src, src + numel, buf.data());
+            batch.requests[i].promise.set_value(
+                TensorD(respShape, std::move(buf)));
             ++fulfilled;
         }
     } catch (...) {

@@ -31,6 +31,20 @@ struct RuntimeConfig
 {
     std::size_t threads = 1;
     BatchPolicy batch;
+
+    /**
+     * Shard each large layer's independent GEMMs (per-tap products,
+     * im2col output-channel blocks) across idle pool workers while a
+     * batch executes. Engaged per batch only when the batcher is
+     * under-utilized (fewer in-flight batches than workers) — under
+     * full request-level load every worker already has a batch and
+     * sharding would only add contention. Results are bit-identical
+     * to serial execution.
+     */
+    bool intraBatchParallel = true;
+
+    /** Minimum GEMM multiply-accumulates before a layer is sharded. */
+    double minParallelMacs = 1 << 18;
 };
 
 /** Monotonic counters exported by the server. */
@@ -86,6 +100,9 @@ class InferenceServer
     Batcher batcher_;
     std::vector<ScratchArena> arenas_; ///< one per pool worker
     ThreadPool pool_;
+    ArenaPackPool packPool_;           ///< per-lane GEMM pack buffers
+    std::vector<PoolRunner> runners_;  ///< one per worker (caller lane)
+    std::vector<RunContext> parCtx_;   ///< per-worker parallel context
     std::thread dispatcher_;
 
     std::atomic<std::uint64_t> nextId_{0};

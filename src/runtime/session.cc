@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -61,8 +62,18 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
         layer.desc = d;
         layer.params = paramsFor(d);
 
-        ConvEngine engine = d.winogradEligible() ? cfg.defaultEngine
-                                                 : ConvEngine::Im2col;
+        // Ineligible layers fall back to im2col — the int8 flavor
+        // when the session's default path is quantized, so quantized
+        // sessions stay quantized end to end.
+        const bool quantizedDefault =
+            cfg.defaultEngine == ConvEngine::WinogradInt8 ||
+            cfg.defaultEngine == ConvEngine::Im2colInt8;
+        const ConvEngine fallback =
+            quantizedDefault && cfg.int8Fallback
+                ? ConvEngine::Im2colInt8
+                : ConvEngine::Im2col;
+        ConvEngine engine =
+            d.winogradEligible() ? cfg.defaultEngine : fallback;
         if (auto it = cfg.layerEngines.find(d.name);
             it != cfg.layerEngines.end()) {
             engine = it->second;
@@ -77,6 +88,7 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
             backend = registry.get(engine);
         }
         layer.engine = engine;
+        layer.variant = cfg.variant;
         layer.backend = std::move(backend);
         layer.activation = ScratchArena::resolve(
             "session.act:" + net.name + ":" + d.name);
@@ -97,7 +109,8 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
     // layer; a session with none skips it entirely.
     std::size_t calEnd = 0;
     for (std::size_t i = 0; i < layers_.size(); ++i)
-        if (layers_[i].engine == ConvEngine::WinogradInt8)
+        if (layers_[i].engine == ConvEngine::WinogradInt8 ||
+            layers_[i].engine == ConvEngine::Im2colInt8)
             calEnd = i + 1;
     TensorD cal;
     if (calEnd > 0) {
@@ -121,33 +134,73 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
             layer.backend->prepare(layer.desc, weights[i], build);
         twq_assert(layer.prepared, "backend returned no prepared state");
 
-        // ConvEngine-auto policy: measure this layer under its
-        // assigned engine and under im2col and keep the faster one.
+        // ConvEngine-auto policy: race this layer's assigned engine
+        // against im2col AND against winograd-fp32 under the other
+        // variant, keeping the fastest measured candidate — the
+        // policy picks engine and Winograd variant together.
         // Ineligible layers never reach here with a non-im2col
         // engine, so they always stay on im2col. Only FP engines are
-        // raced — demoting winograd-int8 to FP im2col would silently
-        // drop the quantization the config asked for.
+        // raced — demoting a quantized layer to an FP engine would
+        // silently drop the quantization the config asked for.
         if (cfg.autoSelect && !pinned[i] &&
             layer.engine == ConvEngine::WinogradFp32) {
-            std::shared_ptr<const ConvBackend> im2col =
-                registry.get(ConvEngine::Im2col);
-            std::shared_ptr<const PreparedLayer> alt =
-                im2col->prepare(layer.desc, weights[i], build);
             TensorD probe({std::max<std::size_t>(cfg.autoSelectBatch, 1),
                            layer.desc.cin, layer.desc.height,
                            layer.desc.width});
             Rng probeRng(cfg.calibrationSeed ^ (0x9e3779b9ull + i));
             probeRng.fillNormal(probe.storage(), 0.0, 1.0);
             ScratchArena probeArena;
-            const double tEngine = timeBackendRun(
-                *layer.backend, *layer.prepared, probe, probeArena);
-            const double tIm2col =
-                timeBackendRun(*im2col, *alt, probe, probeArena);
-            if (tIm2col < tEngine) {
-                layer.engine = ConvEngine::Im2col;
-                layer.backend = std::move(im2col);
-                layer.prepared = std::move(alt);
+
+            struct Candidate
+            {
+                ConvEngine engine;
+                WinoVariant variant;
+                std::shared_ptr<const ConvBackend> backend;
+                std::shared_ptr<const PreparedLayer> prepared;
+            };
+            std::vector<Candidate> cands;
+            cands.push_back({layer.engine, cfg.variant, layer.backend,
+                             layer.prepared});
+            {
+                const WinoVariant other =
+                    cfg.variant == WinoVariant::F2 ? WinoVariant::F4
+                                                   : WinoVariant::F2;
+                LayerBuild vbuild = build;
+                vbuild.variant = other;
+                Candidate c;
+                c.engine = ConvEngine::WinogradFp32;
+                c.variant = other;
+                c.backend = layer.backend;
+                c.prepared =
+                    c.backend->prepare(layer.desc, weights[i], vbuild);
+                cands.push_back(std::move(c));
             }
+            {
+                Candidate c;
+                c.engine = ConvEngine::Im2col;
+                c.variant = cfg.variant;
+                c.backend = registry.get(ConvEngine::Im2col);
+                c.prepared =
+                    c.backend->prepare(layer.desc, weights[i], build);
+                cands.push_back(std::move(c));
+            }
+
+            std::size_t best = 0;
+            double bestT = std::numeric_limits<double>::infinity();
+            for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+                const double t =
+                    timeBackendRun(*cands[ci].backend,
+                                   *cands[ci].prepared, probe,
+                                   probeArena);
+                if (t < bestT) {
+                    bestT = t;
+                    best = ci;
+                }
+            }
+            layer.engine = cands[best].engine;
+            layer.variant = cands[best].variant;
+            layer.backend = std::move(cands[best].backend);
+            layer.prepared = std::move(cands[best].prepared);
         }
 
         if (i + 1 < calEnd)
@@ -169,8 +222,16 @@ Session::layerEngine(std::size_t i) const
     return layers_[i].engine;
 }
 
-TensorD
-Session::run(const TensorD &batch, ScratchArena &scratch) const
+WinoVariant
+Session::layerVariant(std::size_t i) const
+{
+    twq_assert(i < layers_.size(), "layer index out of range");
+    return layers_[i].variant;
+}
+
+void
+Session::runInto(const TensorD &batch, ScratchArena &scratch,
+                 const RunContext &ctx, TensorD &out) const
 {
     twq_assert(batch.rank() == 4, "session input must be NCHW");
     twq_assert(batch.dim(1) == inputShape_[1] &&
@@ -178,25 +239,44 @@ Session::run(const TensorD &batch, ScratchArena &scratch) const
                    batch.dim(3) == inputShape_[3],
                "request shape does not match the session's network");
     // Intermediate activations live in per-layer arena slots (written
-    // by one layer, read by the next), so a steady stream of batches
-    // reallocates nothing; only the returned response is fresh.
+    // by one layer, read by the next); the final layer writes into
+    // the caller's buffer, so a steady stream of batches through
+    // runInto reallocates nothing at all.
     const TensorD *cur = &batch;
     const std::size_t last = layers_.size() - 1;
-    TensorD result;
     for (std::size_t i = 0; i < layers_.size(); ++i) {
         const Layer &layer = layers_[i];
         const Shape oshape =
             layer.backend->outputShape(*layer.prepared, cur->shape());
         if (i == last) {
-            result = TensorD(oshape);
-            layer.backend->run(*layer.prepared, *cur, scratch, result);
+            twq_assert(out.shape() == oshape,
+                       "output tensor not pre-shaped for the batch");
+            layer.backend->run(*layer.prepared, *cur, scratch, out,
+                               ctx);
         } else {
-            TensorD &out = scratch.tensor(layer.activation, oshape);
-            layer.backend->run(*layer.prepared, *cur, scratch, out);
-            cur = &out;
+            TensorD &act = scratch.tensor(layer.activation, oshape);
+            layer.backend->run(*layer.prepared, *cur, scratch, act,
+                               ctx);
+            cur = &act;
         }
     }
+}
+
+TensorD
+Session::run(const TensorD &batch, ScratchArena &scratch,
+             const RunContext &ctx) const
+{
+    Shape oshape = outputShape_;
+    oshape[0] = batch.dim(0);
+    TensorD result(oshape);
+    runInto(batch, scratch, ctx, result);
     return result;
+}
+
+TensorD
+Session::run(const TensorD &batch, ScratchArena &scratch) const
+{
+    return run(batch, scratch, RunContext{});
 }
 
 TensorD

@@ -41,19 +41,29 @@ struct SessionConfig
     std::map<std::string, ConvEngine> layerEngines;
 
     /**
-     * Pick im2col vs winograd-fp32 per layer from a measured
+     * Pick the execution plan per layer from a measured
      * microbenchmark instead of trusting defaultEngine blindly: at
-     * session build each eligible FP layer is prepared for both
-     * engines, timed on a sample batch, and the faster one wins.
-     * Ineligible layers still always land on im2col. Explicit
-     * layerEngines overrides are honored unmeasured, and
-     * winograd-int8 layers are never demoted — swapping them for an
-     * FP engine would silently drop the configured quantization.
+     * session build each eligible FP layer is prepared for im2col and
+     * for winograd-fp32 under BOTH variants (F2 and F4), timed on a
+     * sample batch, and the fastest candidate wins — the policy picks
+     * the engine and the Winograd variant together. Ineligible layers
+     * still always land on im2col. Explicit layerEngines overrides
+     * are honored unmeasured, and quantized layers are never demoted
+     * — swapping them for an FP engine would silently drop the
+     * configured quantization.
      */
     bool autoSelect = false;
 
     /** Batch size of the autoSelect timing probe. */
     std::size_t autoSelectBatch = 8;
+
+    /**
+     * Route winograd-ineligible layers to the int8 im2col baseline
+     * engine (instead of FP im2col) when defaultEngine is
+     * winograd-int8, so a quantized session is quantized end to end
+     * — the paper's apples-to-apples fallback.
+     */
+    bool int8Fallback = true;
 
     /** Quantization settings for int8 layers. */
     IntWinogradConfig quant;
@@ -86,14 +96,34 @@ class Session
     ConvEngine layerEngine(std::size_t i) const;
 
     /**
+     * Winograd variant a layer executes with (meaningful for the
+     * Winograd engines; autoSelect may pick it per layer).
+     */
+    WinoVariant layerVariant(std::size_t i) const;
+
+    /**
      * Forward a (possibly batched) NCHW tensor through every layer.
      * Thread-safe: only reads shared prepared state; per-call scratch
-     * lives in `scratch`.
+     * lives in `scratch`. `ctx` optionally shards each large layer's
+     * independent GEMMs across a worker pool (intra-batch
+     * parallelism); outputs are bit-identical either way.
      */
+    TensorD run(const TensorD &batch, ScratchArena &scratch,
+                const RunContext &ctx) const;
+
+    /** Serial overload. */
     TensorD run(const TensorD &batch, ScratchArena &scratch) const;
 
     /** Convenience overload with a throwaway arena. */
     TensorD run(const TensorD &batch) const;
+
+    /**
+     * Like run(), but the final layer writes into the caller-provided
+     * `out` (pre-shaped [N, Cout, Ho, Wo] — e.g. an arena slot), so a
+     * steady serving loop allocates nothing for the batch result.
+     */
+    void runInto(const TensorD &batch, ScratchArena &scratch,
+                 const RunContext &ctx, TensorD &out) const;
 
   private:
     struct Layer
@@ -101,6 +131,7 @@ class Session
         ConvLayerDesc desc;
         ConvParams params;
         ConvEngine engine = ConvEngine::Im2col;
+        WinoVariant variant = WinoVariant::F2;
         std::shared_ptr<const ConvBackend> backend;
         std::shared_ptr<const PreparedLayer> prepared;
         /// Arena slot of this layer's output activation; intermediate

@@ -1,5 +1,9 @@
 #include "runtime/thread_pool.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
 #include "common/logging.hh"
 
 namespace twq
@@ -35,6 +39,56 @@ ThreadPool::shutdown()
     for (std::thread &w : workers_)
         if (w.joinable())
             w.join();
+}
+
+void
+PoolRunner::run(std::size_t n,
+                const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (n == 1) {
+        fn(0, callerLane_);
+        return;
+    }
+
+    struct State
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::size_t n = 0;
+        // The caller outlives every claimed task (it blocks on done),
+        // so helpers may safely run through this pointer; a helper
+        // that arrives after the range is exhausted never touches it.
+        const std::function<void(std::size_t, std::size_t)> *fn =
+            nullptr;
+        std::mutex mu;
+        std::condition_variable cv;
+    };
+    auto st = std::make_shared<State>();
+    st->n = n;
+    st->fn = &fn;
+
+    const auto drain = [](const std::shared_ptr<State> &s,
+                          std::size_t lane) {
+        std::size_t i;
+        while ((i = s->next.fetch_add(1)) < s->n) {
+            (*s->fn)(i, lane);
+            if (s->done.fetch_add(1) + 1 == s->n) {
+                std::lock_guard<std::mutex> lock(s->mu);
+                s->cv.notify_all();
+            }
+        }
+    };
+
+    const std::size_t helpers = std::min(workers(), n - 1);
+    for (std::size_t h = 0; h < helpers; ++h)
+        pool_.submit(
+            [st, drain](std::size_t worker) { drain(st, worker); });
+
+    drain(st, callerLane_);
+    std::unique_lock<std::mutex> lock(st->mu);
+    st->cv.wait(lock, [&] { return st->done.load() == st->n; });
 }
 
 } // namespace twq

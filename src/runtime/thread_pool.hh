@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "gemm/parallel.hh"
+
 namespace twq
 {
 
@@ -110,6 +112,44 @@ class ThreadPool
   private:
     MpmcQueue<Job> queue_;
     std::vector<std::thread> workers_;
+};
+
+/**
+ * gemm::ParallelRunner over a ThreadPool, used to shard the t*t
+ * independent per-tap GEMMs (and im2col's output-channel blocks) of
+ * one layer across idle workers.
+ *
+ * Tasks are claimed from a shared atomic cursor. run() enqueues
+ * helper jobs that drain the cursor, then the calling thread drains
+ * it too and blocks until every claimed task has finished. Because
+ * the caller can always complete the whole range alone, a busy pool
+ * only costs parallelism, never progress — helper jobs queued behind
+ * other batches find the cursor exhausted and return immediately, so
+ * sharding from within a pool worker cannot deadlock.
+ *
+ * Lanes are pool worker indices; the calling thread reports
+ * `callerLane` (its own worker index when sharding from inside the
+ * pool, or the extra lane pool.size() from outside). One worker
+ * executes one job at a time, so a lane never runs two tasks
+ * concurrently and per-lane pack buffers need no locking.
+ */
+class PoolRunner : public gemm::ParallelRunner
+{
+  public:
+    PoolRunner(ThreadPool &pool, std::size_t callerLane)
+        : pool_(pool), callerLane_(callerLane)
+    {}
+
+    std::size_t workers() const override { return pool_.size(); }
+    std::size_t lanes() const override { return pool_.size() + 1; }
+
+    void run(std::size_t n,
+             const std::function<void(std::size_t, std::size_t)> &fn)
+        override;
+
+  private:
+    ThreadPool &pool_;
+    std::size_t callerLane_;
 };
 
 } // namespace twq

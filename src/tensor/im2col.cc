@@ -1,5 +1,9 @@
 #include "tensor/im2col.hh"
 
+#include <algorithm>
+
+#include "gemm/gemm.hh"
+
 namespace twq
 {
 
@@ -204,7 +208,8 @@ template <typename T>
 void
 conv2dIm2colPackedInto(const Tensor<T> &input, const Tensor<T> &wmat,
                        const ConvParams &p, Tensor<T> &cols,
-                       Tensor<T> &out)
+                       Tensor<T> &out, gemm::ParallelRunner *runner,
+                       gemm::PackPool *packs)
 {
     twq_assert(input.rank() == 4 && wmat.rank() == 2,
                "conv2dIm2colPackedInto expects NCHW input and packed "
@@ -221,23 +226,22 @@ conv2dIm2colPackedInto(const Tensor<T> &input, const Tensor<T> &wmat,
                    out.dim(3) == wo,
                "output tensor not pre-shaped for im2col");
 
+    if (!runner)
+        packs = nullptr; // lanes are only exclusive under a runner
     for (std::size_t in = 0; in < n; ++in) {
         im2colInto(input, in, p, cols);
         // [Cout, C*K*K] x [C*K*K, Ho*Wo] straight into this image's
-        // output planes (contiguous in NCHW).
+        // output planes (contiguous in NCHW), sharded over
+        // output-channel row blocks no finer than the micro-kernel's
+        // row panel.
         T *dst = out.data() + in * cout * ho * wo;
-        for (std::size_t oc = 0; oc < cout; ++oc) {
-            T *ci = dst + oc * ho * wo;
-            for (std::size_t j = 0; j < ho * wo; ++j)
-                ci[j] = T{};
-            const T *wrow = wmat.data() + oc * ckk;
-            for (std::size_t k = 0; k < ckk; ++k) {
-                const T aik = wrow[k];
-                const T *bk = cols.data() + k * ho * wo;
-                for (std::size_t j = 0; j < ho * wo; ++j)
-                    ci[j] += aik * bk[j];
-            }
-        }
+        gemm::runRowBlocks(
+            runner, cout, gemm::kMr,
+            [&](std::size_t r0, std::size_t rows, std::size_t lane) {
+                gemm::gemm(wmat.data() + r0 * ckk, cols.data(),
+                           dst + r0 * ho * wo, rows, ckk, ho * wo,
+                           gemm::lanePack<T>(packs, lane));
+            });
     }
 }
 
@@ -264,15 +268,21 @@ template void im2colInto(const Tensor<float> &, std::size_t,
                          const ConvParams &, Tensor<float> &);
 template void im2colInto(const Tensor<double> &, std::size_t,
                          const ConvParams &, Tensor<double> &);
+template void im2colInto(const Tensor<std::int8_t> &, std::size_t,
+                         const ConvParams &, Tensor<std::int8_t> &);
 template Tensor<float> packConvWeights(const Tensor<float> &);
 template Tensor<double> packConvWeights(const Tensor<double> &);
 template void conv2dIm2colPackedInto(const Tensor<float> &,
                                      const Tensor<float> &,
                                      const ConvParams &, Tensor<float> &,
-                                     Tensor<float> &);
+                                     Tensor<float> &,
+                                     gemm::ParallelRunner *,
+                                     gemm::PackPool *);
 template void conv2dIm2colPackedInto(const Tensor<double> &,
                                      const Tensor<double> &,
                                      const ConvParams &,
-                                     Tensor<double> &, Tensor<double> &);
+                                     Tensor<double> &, Tensor<double> &,
+                                     gemm::ParallelRunner *,
+                                     gemm::PackPool *);
 
 } // namespace twq

@@ -10,6 +10,9 @@
 #ifndef TWQ_TENSOR_IM2COL_HH
 #define TWQ_TENSOR_IM2COL_HH
 
+#include <cstdint>
+
+#include "gemm/parallel.hh"
 #include "tensor/matrix.hh"
 #include "tensor/tensor.hh"
 
@@ -80,13 +83,19 @@ Tensor<T> packConvWeights(const Tensor<T> &weights);
  * im2col convolution with pre-packed weights and caller-provided
  * buffers: `wmat` is packConvWeights(weights), `cols` the reusable
  * column buffer (e.g. a ScratchArena slot), `out` the pre-shaped
- * [N, Cout, Ho, Wo] output the per-image GEMM writes into directly.
- * Arithmetic (and accumulation order) matches conv2dIm2col.
+ * [N, Cout, Ho, Wo] output the per-image GEMM writes into directly
+ * through the blocked gemm core. When `runner` is non-null the
+ * per-image GEMM is sharded over output-channel row blocks (pack
+ * buffers from `packs`); every output row is the same computation
+ * under any block split, so sharded execution is bit-identical to
+ * serial.
  */
 template <typename T>
 void conv2dIm2colPackedInto(const Tensor<T> &input,
                             const Tensor<T> &wmat, const ConvParams &p,
-                            Tensor<T> &cols, Tensor<T> &out);
+                            Tensor<T> &cols, Tensor<T> &out,
+                            gemm::ParallelRunner *runner = nullptr,
+                            gemm::PackPool *packs = nullptr);
 
 extern template Matrix<float> im2col(const Tensor<float> &, std::size_t,
                                      const ConvParams &);
@@ -111,18 +120,25 @@ extern template void im2colInto(const Tensor<float> &, std::size_t,
                                 const ConvParams &, Tensor<float> &);
 extern template void im2colInto(const Tensor<double> &, std::size_t,
                                 const ConvParams &, Tensor<double> &);
+extern template void im2colInto(const Tensor<std::int8_t> &, std::size_t,
+                                const ConvParams &,
+                                Tensor<std::int8_t> &);
 extern template Tensor<float> packConvWeights(const Tensor<float> &);
 extern template Tensor<double> packConvWeights(const Tensor<double> &);
 extern template void conv2dIm2colPackedInto(const Tensor<float> &,
                                             const Tensor<float> &,
                                             const ConvParams &,
                                             Tensor<float> &,
-                                            Tensor<float> &);
+                                            Tensor<float> &,
+                                            gemm::ParallelRunner *,
+                                            gemm::PackPool *);
 extern template void conv2dIm2colPackedInto(const Tensor<double> &,
                                             const Tensor<double> &,
                                             const ConvParams &,
                                             Tensor<double> &,
-                                            Tensor<double> &);
+                                            Tensor<double> &,
+                                            gemm::ParallelRunner *,
+                                            gemm::PackPool *);
 
 } // namespace twq
 

@@ -73,7 +73,7 @@ winogradPrepareTapWeights(const Tensor<T> &weights, WinoVariant v)
                 for (std::size_t kx = 0; kx < 3; ++kx)
                     f[ky * 3 + kx] = weights.at(oc, ic, ky, kx);
             // wx = G f G^T with G of shape [t, 3].
-            gemmFlat(g.data(), f, tmp, t, 3, 3);
+            gemm::referenceGemm(g.data(), f, tmp, t, 3, 3);
             for (std::size_t i = 0; i < t; ++i) {
                 for (std::size_t j = 0; j < t; ++j) {
                     T s{};
@@ -337,7 +337,8 @@ winogradScatter(const Tensor<T> &input, WinoVariant v, std::size_t pad,
 template <typename T>
 void
 winogradTapGemm(const WinogradTapWeights<T> &w, const Tensor<T> &U,
-                Tensor<T> &M)
+                Tensor<T> &M, gemm::ParallelRunner *runner,
+                gemm::PackPool *packs)
 {
     twq_assert(U.rank() == 3 && U.dim(1) == w.cin,
                "scatter buffer does not match tap weights");
@@ -348,9 +349,13 @@ winogradTapGemm(const WinogradTapWeights<T> &w, const Tensor<T> &U,
     const Shape want{tt, w.cout, tiles};
     if (M.shape() != want)
         M = Tensor<T>(want);
-    for (std::size_t k = 0; k < tt; ++k)
-        gemmFlat(w.tap(k), U.data() + k * w.cin * tiles,
-                 M.data() + k * w.cout * tiles, w.cout, w.cin, tiles);
+    if (!runner)
+        packs = nullptr; // lanes are only exclusive under a runner
+    gemm::runTasks(runner, tt, [&](std::size_t k, std::size_t lane) {
+        gemm::gemm(w.tap(k), U.data() + k * w.cin * tiles,
+                   M.data() + k * w.cout * tiles, w.cout, w.cin, tiles,
+                   gemm::lanePack<T>(packs, lane));
+    });
 }
 
 template <typename T>
@@ -419,7 +424,9 @@ void
 conv2dWinogradTiledInto(const Tensor<T> &input,
                         const WinogradTapWeights<T> &w, std::size_t pad,
                         Tensor<T> &V, Tensor<T> &U, Tensor<T> &M,
-                        Tensor<T> &Y, Tensor<T> &out)
+                        Tensor<T> &Y, Tensor<T> &out,
+                        gemm::ParallelRunner *runner,
+                        gemm::PackPool *packs)
 {
     twq_assert(input.rank() == 4,
                "conv2dWinogradTiled expects an NCHW input");
@@ -431,7 +438,7 @@ conv2dWinogradTiledInto(const Tensor<T> &input,
                    out.dim(3) == d.wo,
                "output tensor not pre-shaped for the tiled launch");
     winogradScatter(input, w.variant, pad, V, U);
-    winogradTapGemm(w, U, M);
+    winogradTapGemm(w, U, M, runner, packs);
     winogradGather(M, w.variant, Y, out);
 }
 
@@ -496,9 +503,11 @@ template void winogradScatter(const Tensor<double> &, WinoVariant,
                               std::size_t, Tensor<double> &,
                               Tensor<double> &);
 template void winogradTapGemm(const WinogradTapWeights<float> &,
-                              const Tensor<float> &, Tensor<float> &);
+                              const Tensor<float> &, Tensor<float> &,
+                              gemm::ParallelRunner *, gemm::PackPool *);
 template void winogradTapGemm(const WinogradTapWeights<double> &,
-                              const Tensor<double> &, Tensor<double> &);
+                              const Tensor<double> &, Tensor<double> &,
+                              gemm::ParallelRunner *, gemm::PackPool *);
 template void winogradUntile(const Tensor<float> &, WinoVariant,
                              Tensor<float> &);
 template void winogradUntile(const Tensor<double> &, WinoVariant,
@@ -513,13 +522,16 @@ template void conv2dWinogradTiledInto(const Tensor<float> &,
                                       const WinogradTapWeights<float> &,
                                       std::size_t, Tensor<float> &,
                                       Tensor<float> &, Tensor<float> &,
-                                      Tensor<float> &, Tensor<float> &);
+                                      Tensor<float> &, Tensor<float> &,
+                                      gemm::ParallelRunner *,
+                                      gemm::PackPool *);
 template void
 conv2dWinogradTiledInto(const Tensor<double> &,
                         const WinogradTapWeights<double> &, std::size_t,
                         Tensor<double> &, Tensor<double> &,
                         Tensor<double> &, Tensor<double> &,
-                        Tensor<double> &);
+                        Tensor<double> &, gemm::ParallelRunner *,
+                        gemm::PackPool *);
 template Tensor<float>
 conv2dWinogradTiled(const Tensor<float> &,
                     const WinogradTapWeights<float> &, std::size_t);

@@ -30,6 +30,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "gemm/gemm.hh"
+#include "gemm/parallel.hh"
 #include "tensor/im2col.hh"
 #include "tensor/tensor.hh"
 #include "winograd/conv.hh"
@@ -171,11 +173,18 @@ void winogradScatter(const Tensor<T> &input, WinoVariant v,
 
 /**
  * GEMM stage: M[k] = W[k] * U[k] for every tap k, with W[k] the
- * [Cout, Cin] tap slice. M is reshaped to [t*t, Cout, P].
+ * [Cout, Cin] tap slice, each product running the blocked gemm core.
+ * M is reshaped to [t*t, Cout, P]. The t*t taps are independent: when
+ * `runner` is non-null they are sharded across it (pack buffers drawn
+ * from `packs` when provided), and since every tap's product is the
+ * same computation either way, parallel execution is bit-identical to
+ * serial.
  */
 template <typename T>
 void winogradTapGemm(const WinogradTapWeights<T> &w, const Tensor<T> &U,
-                     Tensor<T> &M);
+                     Tensor<T> &M,
+                     gemm::ParallelRunner *runner = nullptr,
+                     gemm::PackPool *packs = nullptr);
 
 /**
  * Stage 2 of the gather: write the A-transformed tile rows Y
@@ -197,13 +206,16 @@ void winogradGather(const Tensor<T> &M, WinoVariant v, Tensor<T> &Y,
  * Full tiled Winograd convolution with caller-provided buffers (e.g.
  * ScratchArena slots): V raw tiles, U transformed tiles, M GEMM
  * output, Y back-transformed tiles. `out` must be pre-shaped to
- * [n, Cout, ho, wo]; the buffers are reshaped as needed.
+ * [n, Cout, ho, wo]; the buffers are reshaped as needed. A non-null
+ * `runner` shards the per-tap GEMMs (see winogradTapGemm).
  */
 template <typename T>
 void conv2dWinogradTiledInto(const Tensor<T> &input,
                              const WinogradTapWeights<T> &w,
                              std::size_t pad, Tensor<T> &V, Tensor<T> &U,
-                             Tensor<T> &M, Tensor<T> &Y, Tensor<T> &out);
+                             Tensor<T> &M, Tensor<T> &Y, Tensor<T> &out,
+                             gemm::ParallelRunner *runner = nullptr,
+                             gemm::PackPool *packs = nullptr);
 
 /** Convenience wrapper allocating its own buffers. */
 template <typename T>
@@ -212,31 +224,9 @@ Tensor<T> conv2dWinogradTiled(const Tensor<T> &input,
                               std::size_t pad = 1);
 
 // Raw-pointer helpers shared with the integer pipeline
-// (quant/int_winograd) and the training layer (nn/wino_conv).
-
-/**
- * C = A B for flat row-major operands: A [rows, inner], B [inner,
- * cols], C [rows, cols]. C is overwritten. The i-k-j loop order keeps
- * the inner loop contiguous over both B and C; per output element the
- * additions still happen in ascending k order, matching matmul().
- */
-template <typename T>
-inline void
-gemmFlat(const T *a, const T *b, T *c, std::size_t rows,
-         std::size_t inner, std::size_t cols)
-{
-    for (std::size_t i = 0; i < rows; ++i) {
-        T *ci = c + i * cols;
-        for (std::size_t j = 0; j < cols; ++j)
-            ci[j] = T{};
-        for (std::size_t k = 0; k < inner; ++k) {
-            const T aik = a[i * inner + k];
-            const T *bk = b + k * cols;
-            for (std::size_t j = 0; j < cols; ++j)
-                ci[j] += aik * bk[j];
-        }
-    }
-}
+// (quant/int_winograd) and the training layer (nn/wino_conv). The
+// t x t products run gemm::referenceGemm — operands this small never
+// amortize the blocked core's packing.
 
 /**
  * y = l x l^T for flat row-major square tiles ([t,t]); `tmp` is a
@@ -247,7 +237,7 @@ template <typename T>
 inline void
 transformTileFlat(const T *l, const T *x, std::size_t t, T *tmp, T *y)
 {
-    gemmFlat(l, x, tmp, t, t, t);
+    gemm::referenceGemm(l, x, tmp, t, t, t);
     // y = tmp * l^T without materializing the transpose.
     for (std::size_t i = 0; i < t; ++i) {
         for (std::size_t j = 0; j < t; ++j) {
@@ -268,7 +258,7 @@ inline void
 outputTransformFlat(const T *a, const T *y, std::size_t m, std::size_t t,
                     T *tmp, T *res)
 {
-    gemmFlat(a, y, tmp, m, t, t);
+    gemm::referenceGemm(a, y, tmp, m, t, t);
     for (std::size_t i = 0; i < m; ++i) {
         for (std::size_t j = 0; j < m; ++j) {
             T s{};
@@ -372,10 +362,14 @@ extern template void winogradScatter(const Tensor<double> &, WinoVariant,
                                      Tensor<double> &);
 extern template void winogradTapGemm(const WinogradTapWeights<float> &,
                                      const Tensor<float> &,
-                                     Tensor<float> &);
+                                     Tensor<float> &,
+                                     gemm::ParallelRunner *,
+                                     gemm::PackPool *);
 extern template void winogradTapGemm(const WinogradTapWeights<double> &,
                                      const Tensor<double> &,
-                                     Tensor<double> &);
+                                     Tensor<double> &,
+                                     gemm::ParallelRunner *,
+                                     gemm::PackPool *);
 extern template void winogradUntile(const Tensor<float> &, WinoVariant,
                                     Tensor<float> &);
 extern template void winogradUntile(const Tensor<double> &, WinoVariant,
@@ -391,13 +385,15 @@ conv2dWinogradTiledInto(const Tensor<float> &,
                         const WinogradTapWeights<float> &, std::size_t,
                         Tensor<float> &, Tensor<float> &,
                         Tensor<float> &, Tensor<float> &,
-                        Tensor<float> &);
+                        Tensor<float> &, gemm::ParallelRunner *,
+                        gemm::PackPool *);
 extern template void
 conv2dWinogradTiledInto(const Tensor<double> &,
                         const WinogradTapWeights<double> &, std::size_t,
                         Tensor<double> &, Tensor<double> &,
                         Tensor<double> &, Tensor<double> &,
-                        Tensor<double> &);
+                        Tensor<double> &, gemm::ParallelRunner *,
+                        gemm::PackPool *);
 extern template Tensor<float>
 conv2dWinogradTiled(const Tensor<float> &,
                     const WinogradTapWeights<float> &, std::size_t);

@@ -30,6 +30,8 @@ convEngineName(ConvEngine e)
         return "winograd-fp32";
       case ConvEngine::WinogradInt8:
         return "winograd-int8";
+      case ConvEngine::Im2colInt8:
+        return "im2col-int8";
     }
     return "?";
 }

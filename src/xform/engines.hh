@@ -49,9 +49,12 @@ enum class ConvEngine
     Im2col,       ///< im2col + matmul baseline (any kernel/stride)
     WinogradFp32, ///< FP32 Winograd, 3x3 stride-1 only
     WinogradInt8, ///< int8 tap-wise quantized Winograd (Section III)
+    Im2colInt8,   ///< int8 im2col on the widening GEMM micro-kernel;
+                  ///< the quantized path's fallback for layers the
+                  ///< Winograd engines cannot execute
 };
 
-/** Human-readable name ("im2col" / "winograd-fp32" / "winograd-int8"). */
+/** Name ("im2col" / "winograd-fp32" / "winograd-int8" / "im2col-int8"). */
 const char *convEngineName(ConvEngine e);
 
 /** Parse a ConvEngine from its convEngineName; false if unknown. */
@@ -62,6 +65,7 @@ inline constexpr ConvEngine kAllConvEngines[] = {
     ConvEngine::Im2col,
     ConvEngine::WinogradFp32,
     ConvEngine::WinogradInt8,
+    ConvEngine::Im2colInt8,
 };
 
 /** Static engine configuration. */

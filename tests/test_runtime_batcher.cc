@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <future>
 #include <thread>
 #include <vector>
@@ -268,6 +269,95 @@ TEST(Session, AutoSelectOutputMatchesReference)
     // must agree with the im2col reference to FP accuracy.
     for (std::size_t i = 0; i < y.numel(); ++i)
         EXPECT_NEAR(y[i], ref[i], 1e-6);
+}
+
+TEST(Session, LayerVariantReflectsConfiguredVariant)
+{
+    // Plumbing: without autoSelect, every layer reports the session's
+    // configured variant — for both variants.
+    for (WinoVariant v : {WinoVariant::F2, WinoVariant::F4}) {
+        SessionConfig cfg;
+        cfg.variant = v;
+        cfg.defaultEngine = ConvEngine::WinogradFp32;
+        const Session session(microServeNet(8, 4), cfg);
+        for (std::size_t i = 0; i < session.layerCount(); ++i)
+            EXPECT_EQ(session.layerVariant(i), v) << "layer " << i;
+    }
+}
+
+TEST(Session, AutoSelectVariantOutputMatchesReference)
+{
+    // autoSelect races F2 and F4 per layer; whatever mix the probe
+    // picked, the session must still agree with the im2col reference
+    // — a wrong variant recorded against the prepared weights (or a
+    // mismatched candidate swap) breaks the numerics, not just the
+    // label. Start from an F4 default so the F2 candidate path is the
+    // cross-variant one.
+    const NetworkDesc net = microServeNet(8, 4);
+    SessionConfig cfg;
+    cfg.variant = WinoVariant::F4;
+    cfg.defaultEngine = ConvEngine::WinogradFp32;
+    cfg.autoSelect = true;
+    cfg.autoSelectBatch = 2;
+    const Session session(net, cfg);
+    SessionConfig refCfg;
+    refCfg.defaultEngine = ConvEngine::Im2col;
+    const Session reference(net, refCfg);
+    const TensorD input = randomInput(session.inputShape(), 902);
+    const TensorD y = session.run(input);
+    const TensorD ref = reference.run(input);
+    ASSERT_EQ(y.shape(), ref.shape());
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        EXPECT_NEAR(y[i], ref[i], 1e-6);
+    for (std::size_t i = 0; i < session.layerCount(); ++i) {
+        if (session.layerEngine(i) != ConvEngine::WinogradFp32)
+            continue;
+        const WinoVariant v = session.layerVariant(i);
+        EXPECT_TRUE(v == WinoVariant::F2 || v == WinoVariant::F4);
+    }
+}
+
+TEST(Session, Int8FallbackRoutesIneligibleLayers)
+{
+    // Under a quantized default, strided/pointwise layers land on the
+    // int8 im2col baseline so the session stays quantized end to end.
+    SessionConfig cfg;
+    cfg.defaultEngine = ConvEngine::WinogradInt8;
+    const Session session(microServeNet(8, 4), cfg);
+    EXPECT_EQ(session.layerEngine(0), ConvEngine::WinogradInt8);
+    EXPECT_EQ(session.layerEngine(3), ConvEngine::Im2colInt8);
+    EXPECT_EQ(session.layerEngine(4), ConvEngine::Im2colInt8);
+
+    cfg.int8Fallback = false; // opting out restores the FP fallback
+    const Session fp(microServeNet(8, 4), cfg);
+    EXPECT_EQ(fp.layerEngine(3), ConvEngine::Im2col);
+    EXPECT_EQ(fp.layerEngine(4), ConvEngine::Im2col);
+}
+
+TEST(Session, Im2colInt8TracksFpWithinQuantizationError)
+{
+    const NetworkDesc net = microServeNet(8, 4);
+    SessionConfig qcfg;
+    qcfg.defaultEngine = ConvEngine::Im2colInt8;
+    const Session quantized(net, qcfg);
+    SessionConfig fcfg;
+    fcfg.defaultEngine = ConvEngine::Im2col;
+    const Session fp(net, fcfg);
+
+    const TensorD input = randomInput(quantized.inputShape(), 901);
+    const TensorD yq = quantized.run(input);
+    const TensorD yf = fp.run(input);
+    ASSERT_EQ(yq.shape(), yf.shape());
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < yq.numel(); ++i) {
+        const double d = yq[i] - yf[i];
+        num += d * d;
+        den += yf[i] * yf[i];
+    }
+    // 8-bit per-channel weights + layer-wise activations through a
+    // 5-layer net: the quantized output must track FP closely, not
+    // bit-exactly.
+    EXPECT_LT(std::sqrt(num / den), 0.2);
 }
 
 TEST(ConvEngineNames, RoundTrip)
