@@ -29,6 +29,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "gemm/gemm.hh"
+#include "layout/wino_blocked.hh"
 #include "models/zoo.hh"
 #include "runtime/server.hh"
 #include "winograd/tiled.hh"
@@ -210,15 +211,21 @@ runOpenLoop(const std::shared_ptr<const Session> &session,
 }
 
 /**
- * CI smoke check. Two structural gates:
+ * CI smoke check. Five structural gates:
  *
  *  1. the blocked GEMM core must beat the naive i-k-j loop it
- *     replaced on a representative per-tap shape, and
+ *     replaced on a representative per-tap shape,
  *  2. winograd-fp32 must beat im2col on a wide (64-channel) eligible
- *     layer, where the Winograd arithmetic advantage materializes.
+ *     layer, where the Winograd arithmetic advantage materializes,
+ *  3. the NCHWc8 tile gather must not lose to the NCHW gather it
+ *     bypasses (the unit-stride claim of the layout subsystem),
+ *  4. end-to-end blocked-layout winograd must not lose to NCHW
+ *     winograd on the wide layer (steady-state, activations already
+ *     blocked — the regime layout propagation creates), and
+ *  5. autoSelect must actually pick the blocked engine on that layer.
  *
- * Both gates carry a 10% slack so a scheduling blip on a shared CI
- * runner cannot flip a structural claim into a flake; an actual
+ * The timed gates carry a 10% slack so a scheduling blip on a shared
+ * CI runner cannot flip a structural claim into a flake; an actual
  * regression (typically 2x+) still trips them by a wide margin.
  *
  * The per-layer table on the micro net is informational only: with
@@ -268,6 +275,8 @@ runSmoke()
     }
 
     // Gate 2: on a wide eligible layer the Winograd path must win.
+    // Gates 3-5: on the same layer, the blocked layout must hold its
+    // structural claims (gather, end-to-end, autoSelect pick).
     {
         ConvLayerDesc d;
         d.name = "wide-64";
@@ -300,6 +309,76 @@ runSmoke()
         std::printf("%-12s %12.1f %12.1f %7.2fx%s\n", d.name.c_str(),
                     tIm * 1e6, tWino * 1e6, tIm / tWino,
                     ok ? "" : "  << FAIL: winograd slower on wide");
+
+        TensorD probeBlocked(blockedShape(probe.shape()));
+        nchwToBlocked(probe, probeBlocked);
+
+        // Gate 3: the NCHWc8 gather (8-wide unit-stride block moves)
+        // against the strided NCHW gather it replaces.
+        {
+            const auto bestOf = [&](auto &&fn) {
+                fn(); // warmup (shapes the tile buffer)
+                double best = 1e30;
+                for (int i = 0; i < 7; ++i) {
+                    const auto t0 = Clock::now();
+                    fn();
+                    best = std::min(
+                        best,
+                        std::chrono::duration<double>(Clock::now() -
+                                                      t0)
+                            .count());
+                }
+                return best;
+            };
+            TensorD vNchw, vBlocked;
+            const double tGather = bestOf([&] {
+                winogradGatherTiles(probe, WinoVariant::F2, 1, vNchw);
+            });
+            const double tGatherB = bestOf([&] {
+                winogradGatherTilesBlocked(probeBlocked,
+                                           WinoVariant::F2, 1,
+                                           vBlocked);
+            });
+            const bool gok = tGatherB < 1.10 * tGather;
+            failures += !gok;
+            std::printf("gather[wide-64] nchw %.1f us, nchwc8 %.1f "
+                        "us, %.2fx%s\n",
+                        tGather * 1e6, tGatherB * 1e6,
+                        tGather / tGatherB,
+                        gok ? ""
+                            : "  << FAIL: blocked gather slower");
+        }
+
+        // Gate 4: end-to-end blocked winograd vs NCHW winograd, both
+        // consuming their native steady-state input layout.
+        const auto blocked =
+            registry.get(ConvEngine::WinogradBlocked);
+        const auto prepBlocked = blocked->prepare(d, weights, build);
+        const double tBlocked = timeBackendRun(
+            *blocked, *prepBlocked, probeBlocked, arena, 7);
+        const bool bok = tBlocked < 1.10 * tWino;
+        failures += !bok;
+        std::printf("%-12s %12.1f %12.1f %7.2fx%s\n", "wide-64-c8",
+                    tWino * 1e6, tBlocked * 1e6, tWino / tBlocked,
+                    bok ? ""
+                        : "  << FAIL: blocked wino slower than NCHW");
+
+        // Gate 5: the measured policy must land on the blocked
+        // engine for this layer.
+        NetworkDesc wideNet;
+        wideNet.name = "Wide64";
+        wideNet.inputRes = d.height;
+        wideNet.layers.push_back(d);
+        SessionConfig scfg;
+        scfg.autoSelect = true;
+        const Session sel(wideNet, scfg);
+        const bool sok =
+            sel.layerEngine(0) == ConvEngine::WinogradBlocked;
+        failures += !sok;
+        std::printf("autoSelect[wide-64] -> %s (%s)%s\n",
+                    convEngineName(sel.layerEngine(0)),
+                    winoName(sel.layerVariant(0)),
+                    sok ? "" : "  << FAIL: blocked path not selected");
     }
 
     // Blocked-GEMM gate: on a representative [Cout, Cin] x [Cin, P]
@@ -356,8 +435,10 @@ runSmoke()
                     convEngineName(engine), r.reqPerSec);
     }
     std::printf(failures == 0
-                    ? "\nSMOKE PASS: blocked GEMM beats naive and "
-                      "winograd-fp32 beats im2col on the wide layer\n"
+                    ? "\nSMOKE PASS: blocked GEMM beats naive, "
+                      "winograd-fp32 beats im2col on the wide layer, "
+                      "and the NCHWc8 layout holds its gather / "
+                      "end-to-end / autoSelect claims\n"
                     : "\nSMOKE FAIL: %d gate(s) failed\n",
                 failures);
     return failures;
@@ -427,6 +508,8 @@ runLayerLatency(const ConvLayerDesc &d, const char *tag,
     const std::string naiveL = std::string(tag) + "-naive";
     const std::string serialL = std::string(tag) + "-serial";
     const std::string parL = std::string(tag) + "-par";
+    const std::string blkL = std::string(tag) + "-blocked";
+    const std::string blkParL = std::string(tag) + "-blocked-par";
 
     const double pNaive = measure(naiveL, [&] {
         // The PR 2 execution: scatter, naive i-k-j per-tap products,
@@ -449,12 +532,40 @@ runLayerLatency(const ConvLayerDesc &d, const char *tag,
     const double pPar = measure(parL, [&] {
         conv2dWinogradTiledInto(probe, w, 1, V, U, M, Y, out, &runner);
     });
+
+    // The NCHWc8 blocked-layout pipeline on the same layer,
+    // steady-state (input already blocked, as layout propagation
+    // keeps it between blocked layers). Rows land in the JSON under
+    // engine "winograd-blocked".
+    const BlockedTapWeights bw = blockedTapWeights(w);
+    TensorD probeBlocked(blockedShape(probe.shape()));
+    nchwToBlocked(probe, probeBlocked);
+    TensorD Vb, Ub, Mb, Yb;
+    TensorD outb({batch, bw.coutb, dims.ho, dims.wo, kLayoutBlock});
+    const char *engineSave = "winograd-blocked";
+    const auto measureBlocked = [&](const std::string &label,
+                                    auto &&fn) {
+        const std::size_t at = results.size();
+        const double p50 = measure(label, fn);
+        results[at].engine = engineSave;
+        return p50;
+    };
+    const double pBlk = measureBlocked(blkL, [&] {
+        conv2dWinogradBlockedInto(probeBlocked, bw, 1, Vb, Ub, Mb, Yb,
+                                  outb);
+    });
+    const double pBlkPar = measureBlocked(blkParL, [&] {
+        conv2dWinogradBlockedInto(probeBlocked, bw, 1, Vb, Ub, Mb, Yb,
+                                  outb, &runner);
+    });
     pool.shutdown();
     std::printf("layer %-10s [%zux%zu @ %zux%zu, b%zu] p50: naive "
-                "%.3f ms, blocked %.3f ms, +parallel %.3f ms "
-                "(%.2fx vs naive)\n",
+                "%.3f ms, blocked-gemm %.3f ms, +parallel %.3f ms "
+                "(%.2fx vs naive); nchwc8 %.3f ms, +parallel %.3f ms "
+                "(%.2fx vs nchw wino)\n",
                 tag, d.cout, d.cin, d.height, d.width, batch, pNaive,
-                pSerial, pPar, pNaive / std::min(pSerial, pPar));
+                pSerial, pPar, pNaive / std::min(pSerial, pPar), pBlk,
+                pBlkPar, pSerial / std::min(pBlk, pBlkPar));
 }
 
 void
@@ -591,6 +702,52 @@ main(int argc, char **argv)
         wide.height = 16;
         wide.width = 16;
         runLayerLatency(wide, "wide64", 8, hw, results);
+
+        // What the measured per-layer policy picks for the wide layer
+        // (engine + variant + layout race, SessionConfig::autoSelect)
+        // — recorded in the JSON as the wide64-autosel row, whose
+        // engine field IS the selection.
+        NetworkDesc wideNet;
+        wideNet.name = "Wide64";
+        wideNet.inputRes = wide.height;
+        wideNet.layers.push_back(wide);
+        SessionConfig scfg;
+        scfg.autoSelect = true;
+        const auto session =
+            std::make_shared<const Session>(wideNet, scfg);
+        TensorD probe({8, wide.cin, wide.height, wide.width});
+        Rng prng(0x64);
+        prng.fillNormal(probe.storage(), 0.0, 1.0);
+        ScratchArena arena;
+        std::vector<double> ms;
+        session->run(probe, arena); // warmup
+        constexpr int kIters = 60;
+        const auto wall0 = Clock::now();
+        for (int i = 0; i < kIters; ++i) {
+            const auto t0 = Clock::now();
+            session->run(probe, arena);
+            ms.push_back(std::chrono::duration<double, std::milli>(
+                             Clock::now() - t0)
+                             .count());
+        }
+        Result r;
+        r.engine = convEngineName(session->layerEngine(0));
+        r.label = "wide64-autosel";
+        r.threads = 1;
+        r.maxBatch = 8;
+        r.clients = 1;
+        r.requests = kIters;
+        r.wallSec =
+            std::chrono::duration<double>(Clock::now() - wall0).count();
+        r.reqPerSec = kIters / r.wallSec;
+        r.p50Ms = percentile(ms, 0.50);
+        r.p99Ms = percentile(ms, 0.99);
+        r.avgBatch = 8.0;
+        results.push_back(r);
+        std::printf("autoSelect[wide-64] -> %s (%s), p50 %.3f ms "
+                    "(batch 8, includes ingress/egress conversion)\n",
+                    r.engine, winoName(session->layerVariant(0)),
+                    r.p50Ms);
     }
 
     writeJson(results, "BENCH_runtime.json");

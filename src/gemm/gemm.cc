@@ -61,11 +61,22 @@ void
 gemm(const T *a, const T *b, T *c, std::size_t m, std::size_t k,
      std::size_t n, T *pack)
 {
+    gemmCols(a, b, c, m, k, n, n, n, pack);
+}
+
+template <typename T>
+void
+gemmCols(const T *a, const T *b, T *c, std::size_t m, std::size_t k,
+         std::size_t n, std::size_t ldb, std::size_t ldc, T *pack)
+{
+    twq_assert(ldb >= n && ldc >= n,
+               "gemmCols: leading dimensions narrower than the block");
     T *p = pack ? pack : tlsPack<T>();
     if constexpr (std::is_same_v<T, double>)
-        table().gemmD(a, b, c, m, k, n, /*transA=*/false, p);
+        table().gemmD(a, b, c, m, k, n, ldb, ldc, /*transA=*/false, p);
     else
-        blockedGemmImpl<T, T>(a, b, c, m, k, n, /*transA=*/false, p);
+        blockedGemmImpl<T, T>(a, b, c, m, k, n, ldb, ldc,
+                              /*transA=*/false, p);
 }
 
 template <typename T>
@@ -75,9 +86,10 @@ gemmTN(const T *a, const T *b, T *c, std::size_t m, std::size_t k,
 {
     T *p = pack ? pack : tlsPack<T>();
     if constexpr (std::is_same_v<T, double>)
-        table().gemmD(a, b, c, m, k, n, /*transA=*/true, p);
+        table().gemmD(a, b, c, m, k, n, n, n, /*transA=*/true, p);
     else
-        blockedGemmImpl<T, T>(a, b, c, m, k, n, /*transA=*/true, p);
+        blockedGemmImpl<T, T>(a, b, c, m, k, n, n, n, /*transA=*/true,
+                              p);
 }
 
 template <typename T>
@@ -113,7 +125,7 @@ gemmS8S32(const std::int8_t *a, const std::int8_t *b, std::int32_t *c,
     twq_assert(k <= (std::size_t{1} << 17),
                "gemmS8S32: K too large for exact int32 accumulation");
     blockedGemmImpl<std::int8_t, std::int32_t>(
-        a, b, c, m, k, n, /*transA=*/false,
+        a, b, c, m, k, n, n, n, /*transA=*/false,
         pack ? pack : tlsPack<std::int8_t>());
 }
 
@@ -124,6 +136,16 @@ template void gemm(const double *, const double *, double *,
 template void gemm(const std::int64_t *, const std::int64_t *,
                    std::int64_t *, std::size_t, std::size_t,
                    std::size_t, std::int64_t *);
+template void gemmCols(const float *, const float *, float *,
+                       std::size_t, std::size_t, std::size_t,
+                       std::size_t, std::size_t, float *);
+template void gemmCols(const double *, const double *, double *,
+                       std::size_t, std::size_t, std::size_t,
+                       std::size_t, std::size_t, double *);
+template void gemmCols(const std::int64_t *, const std::int64_t *,
+                       std::int64_t *, std::size_t, std::size_t,
+                       std::size_t, std::size_t, std::size_t,
+                       std::int64_t *);
 template void gemmTN(const float *, const float *, float *, std::size_t,
                      std::size_t, std::size_t, float *);
 template void gemmTN(const double *, const double *, double *,

@@ -88,6 +88,20 @@ void gemm(const T *a, const T *b, T *c, std::size_t m, std::size_t k,
           std::size_t n, T *pack = nullptr);
 
 /**
+ * Column-block variant of gemm(): computes the n columns starting at
+ * `b`/`c`, which point into operands whose full row strides are
+ * ldb/ldc (>= n) — i.e. C[:, j0:j0+n] = A * B[:, j0:j0+n] with
+ * b = B + j0 and c = C + j0. Each output element accumulates its own
+ * ascending-k sum exactly as in gemm(), so computing a product as any
+ * set of column blocks (the P-sharded per-tap GEMMs) is bit-identical
+ * to one whole-width call.
+ */
+template <typename T>
+void gemmCols(const T *a, const T *b, T *c, std::size_t m,
+              std::size_t k, std::size_t n, std::size_t ldb,
+              std::size_t ldc, T *pack = nullptr);
+
+/**
  * C = A^T B with A [k, m] and B [k, n] flat row-major (C [m, n],
  * overwritten). The transpose is absorbed by the A packing step, so
  * this runs the same micro-kernel as gemm(). Used by the training
@@ -152,6 +166,16 @@ extern template void gemm(const double *, const double *, double *,
 extern template void gemm(const std::int64_t *, const std::int64_t *,
                           std::int64_t *, std::size_t, std::size_t,
                           std::size_t, std::int64_t *);
+extern template void gemmCols(const float *, const float *, float *,
+                              std::size_t, std::size_t, std::size_t,
+                              std::size_t, std::size_t, float *);
+extern template void gemmCols(const double *, const double *, double *,
+                              std::size_t, std::size_t, std::size_t,
+                              std::size_t, std::size_t, double *);
+extern template void gemmCols(const std::int64_t *,
+                              const std::int64_t *, std::int64_t *,
+                              std::size_t, std::size_t, std::size_t,
+                              std::size_t, std::size_t, std::int64_t *);
 extern template void gemmTN(const float *, const float *, float *,
                             std::size_t, std::size_t, std::size_t,
                             float *);

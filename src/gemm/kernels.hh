@@ -54,6 +54,12 @@ packA(const TIn *a, std::size_t m, std::size_t k, bool transA,
  * ascending in k (partial sums ride through C between panels), so the
  * result is independent of the M/N/K blocking.
  *
+ * B and C carry explicit leading dimensions (ldb/ldc >= n) so a
+ * caller can point b/c at a column block of wider operands and
+ * compute just those columns — the seam the P-sharded per-tap GEMMs
+ * split on. Each output element still accumulates its own ascending-k
+ * sum, so any column split is bit-identical to the whole product.
+ *
  * TIn is the operand type, TAcc the accumulator/output type (they
  * differ only for the int8 -> int32 kernel). `pack` must hold
  * packSize() TIn elements.
@@ -61,10 +67,12 @@ packA(const TIn *a, std::size_t m, std::size_t k, bool transA,
 template <typename TIn, typename TAcc>
 static void
 blockedGemmImpl(const TIn *a, const TIn *b, TAcc *c, std::size_t m,
-                std::size_t k, std::size_t n, bool transA, TIn *pack)
+                std::size_t k, std::size_t n, std::size_t ldb,
+                std::size_t ldc, bool transA, TIn *pack)
 {
     if (k == 0) {
-        std::fill(c, c + m * n, TAcc{});
+        for (std::size_t i = 0; i < m; ++i)
+            std::fill(c + i * ldc, c + i * ldc + n, TAcc{});
         return;
     }
     for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
@@ -81,10 +89,10 @@ blockedGemmImpl(const TIn *a, const TIn *b, TAcc *c, std::size_t m,
                     for (std::size_t cx = 0; cx < kNr; ++cx)
                         acc[r][cx] =
                             (!first && r < mr)
-                                ? c[(i0 + r) * n + j0 + cx]
+                                ? c[(i0 + r) * ldc + j0 + cx]
                                 : TAcc{};
                 for (std::size_t kk = 0; kk < kb; ++kk) {
-                    const TIn *bk = b + (k0 + kk) * n + j0;
+                    const TIn *bk = b + (k0 + kk) * ldb + j0;
                     const TIn *ap = pack + kk * kMr;
                     for (std::size_t r = 0; r < kMr; ++r) {
                         const TAcc ar = static_cast<TAcc>(ap[r]);
@@ -95,16 +103,16 @@ blockedGemmImpl(const TIn *a, const TIn *b, TAcc *c, std::size_t m,
                 }
                 for (std::size_t r = 0; r < mr; ++r)
                     for (std::size_t cx = 0; cx < kNr; ++cx)
-                        c[(i0 + r) * n + j0 + cx] = acc[r][cx];
+                        c[(i0 + r) * ldc + j0 + cx] = acc[r][cx];
             }
             // N edge: same per-element ascending-k accumulation.
             for (; j0 < n; ++j0) {
                 for (std::size_t r = 0; r < mr; ++r) {
-                    TAcc s = first ? TAcc{} : c[(i0 + r) * n + j0];
+                    TAcc s = first ? TAcc{} : c[(i0 + r) * ldc + j0];
                     for (std::size_t kk = 0; kk < kb; ++kk)
                         s += static_cast<TAcc>(pack[kk * kMr + r]) *
-                             static_cast<TAcc>(b[(k0 + kk) * n + j0]);
-                    c[(i0 + r) * n + j0] = s;
+                             static_cast<TAcc>(b[(k0 + kk) * ldb + j0]);
+                    c[(i0 + r) * ldc + j0] = s;
                 }
             }
         }
@@ -114,7 +122,8 @@ blockedGemmImpl(const TIn *a, const TIn *b, TAcc *c, std::size_t m,
 /// Double-precision whole-GEMM entry resolved into the kernel table.
 using GemmDFn = void (*)(const double *a, const double *b, double *c,
                          std::size_t m, std::size_t k, std::size_t n,
-                         bool transA, double *pack);
+                         std::size_t ldb, std::size_t ldc, bool transA,
+                         double *pack);
 
 /// AVX2+FMA kernel (kernels_avx2.cc); null when not compiled in or
 /// the CPU lacks support.

@@ -32,11 +32,13 @@ namespace
 
 void
 avx2GemmDImpl(const double *a, const double *b, double *c,
-              std::size_t m, std::size_t k, std::size_t n, bool transA,
+              std::size_t m, std::size_t k, std::size_t n,
+              std::size_t ldb, std::size_t ldc, bool transA,
               double *pack)
 {
     if (k == 0) {
-        std::fill(c, c + m * n, 0.0);
+        for (std::size_t i = 0; i < m; ++i)
+            std::fill(c + i * ldc, c + i * ldc + n, 0.0);
         return;
     }
     static_assert(kNr == 8, "micro-kernel assumes two 4-wide vectors");
@@ -52,7 +54,7 @@ avx2GemmDImpl(const double *a, const double *b, double *c,
                 __m256d acc[kMr][2];
                 for (std::size_t r = 0; r < kMr; ++r) {
                     if (!first && r < mr) {
-                        const double *cr = c + (i0 + r) * n + j0;
+                        const double *cr = c + (i0 + r) * ldc + j0;
                         acc[r][0] = _mm256_loadu_pd(cr);
                         acc[r][1] = _mm256_loadu_pd(cr + 4);
                     } else {
@@ -61,7 +63,7 @@ avx2GemmDImpl(const double *a, const double *b, double *c,
                     }
                 }
                 for (std::size_t kk = 0; kk < kb; ++kk) {
-                    const double *bk = b + (k0 + kk) * n + j0;
+                    const double *bk = b + (k0 + kk) * ldb + j0;
                     const __m256d b0 = _mm256_loadu_pd(bk);
                     const __m256d b1 = _mm256_loadu_pd(bk + 4);
                     const double *ap = pack + kk * kMr;
@@ -74,7 +76,7 @@ avx2GemmDImpl(const double *a, const double *b, double *c,
                     }
                 }
                 for (std::size_t r = 0; r < mr; ++r) {
-                    double *cr = c + (i0 + r) * n + j0;
+                    double *cr = c + (i0 + r) * ldc + j0;
                     _mm256_storeu_pd(cr, acc[r][0]);
                     _mm256_storeu_pd(cr + 4, acc[r][1]);
                 }
@@ -83,11 +85,11 @@ avx2GemmDImpl(const double *a, const double *b, double *c,
             // fused rounding exactly.
             for (; j0 < n; ++j0) {
                 for (std::size_t r = 0; r < mr; ++r) {
-                    double s = first ? 0.0 : c[(i0 + r) * n + j0];
+                    double s = first ? 0.0 : c[(i0 + r) * ldc + j0];
                     for (std::size_t kk = 0; kk < kb; ++kk)
                         s = std::fma(pack[kk * kMr + r],
-                                     b[(k0 + kk) * n + j0], s);
-                    c[(i0 + r) * n + j0] = s;
+                                     b[(k0 + kk) * ldb + j0], s);
+                    c[(i0 + r) * ldc + j0] = s;
                 }
             }
         }

@@ -24,11 +24,13 @@ namespace
 
 void
 neonGemmDImpl(const double *a, const double *b, double *c,
-              std::size_t m, std::size_t k, std::size_t n, bool transA,
+              std::size_t m, std::size_t k, std::size_t n,
+              std::size_t ldb, std::size_t ldc, bool transA,
               double *pack)
 {
     if (k == 0) {
-        std::fill(c, c + m * n, 0.0);
+        for (std::size_t i = 0; i < m; ++i)
+            std::fill(c + i * ldc, c + i * ldc + n, 0.0);
         return;
     }
     constexpr std::size_t kVecs = kNr / 2; // float64x2 lanes per row
@@ -46,11 +48,11 @@ neonGemmDImpl(const double *a, const double *b, double *c,
                     for (std::size_t v = 0; v < kVecs; ++v)
                         acc[r][v] =
                             (!first && r < mr)
-                                ? vld1q_f64(c + (i0 + r) * n + j0 +
+                                ? vld1q_f64(c + (i0 + r) * ldc + j0 +
                                             2 * v)
                                 : vdupq_n_f64(0.0);
                 for (std::size_t kk = 0; kk < kb; ++kk) {
-                    const double *bk = b + (k0 + kk) * n + j0;
+                    const double *bk = b + (k0 + kk) * ldb + j0;
                     float64x2_t bv[kVecs];
                     for (std::size_t v = 0; v < kVecs; ++v)
                         bv[v] = vld1q_f64(bk + 2 * v);
@@ -64,16 +66,16 @@ neonGemmDImpl(const double *a, const double *b, double *c,
                 }
                 for (std::size_t r = 0; r < mr; ++r)
                     for (std::size_t v = 0; v < kVecs; ++v)
-                        vst1q_f64(c + (i0 + r) * n + j0 + 2 * v,
+                        vst1q_f64(c + (i0 + r) * ldc + j0 + 2 * v,
                                   acc[r][v]);
             }
             for (; j0 < n; ++j0) {
                 for (std::size_t r = 0; r < mr; ++r) {
-                    double s = first ? 0.0 : c[(i0 + r) * n + j0];
+                    double s = first ? 0.0 : c[(i0 + r) * ldc + j0];
                     for (std::size_t kk = 0; kk < kb; ++kk)
                         s = std::fma(pack[kk * kMr + r],
-                                     b[(k0 + kk) * n + j0], s);
-                    c[(i0 + r) * n + j0] = s;
+                                     b[(k0 + kk) * ldb + j0], s);
+                    c[(i0 + r) * ldc + j0] = s;
                 }
             }
         }

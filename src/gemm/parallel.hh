@@ -116,6 +116,63 @@ runTasks(ParallelRunner *runner, std::size_t n,
 }
 
 /**
+ * How many column blocks to split each member of a family of `tasks`
+ * independent [m, k] x [k, cols] products into, so the task grid
+ * (tasks * shards) keeps every runner lane busy. Sixteen F2 taps on a
+ * many-core host under-fill the pool at tap granularity alone — the
+ * ROADMAP case this fixes — while a task count already >= 2x the
+ * lanes stays unsplit (finer shards would only pay fixed overhead).
+ * Each block is at least `minCols` wide so tiny P dimensions are not
+ * shredded below the micro-kernel's efficient width. Splitting is
+ * safe for any blocked-core GEMM: every output element accumulates
+ * its own ascending-k sum, so column blocks are bit-identical to the
+ * whole product.
+ */
+inline std::size_t
+colShards(ParallelRunner *runner, std::size_t tasks, std::size_t cols,
+          std::size_t minCols = 128)
+{
+    if (!runner || cols <= minCols)
+        return 1;
+    const std::size_t lanes = runner->lanes();
+    if (tasks >= 2 * lanes)
+        return 1;
+    const std::size_t want = (2 * lanes + tasks - 1) / tasks;
+    const std::size_t most = (cols + minCols - 1) / minCols;
+    return std::max<std::size_t>(1, std::min(want, most));
+}
+
+/**
+ * Run fn(tap, j0, jn, lane) over the task grid of `taps` independent
+ * [m, k] x [k, cols] products, each split into column blocks per
+ * colShards() with the block width rounded up to `granularity` (the
+ * kernel's column tile). This is the one place the tap x P-block grid
+ * is derived and decoded — the NCHW and blocked Winograd tap GEMMs
+ * and the integer tap GEMM all shard through it.
+ */
+inline void
+runTapColBlocks(
+    ParallelRunner *runner, std::size_t taps, std::size_t cols,
+    std::size_t granularity,
+    const std::function<void(std::size_t tap, std::size_t j0,
+                             std::size_t jn, std::size_t lane)> &fn)
+{
+    if (cols == 0)
+        return;
+    const std::size_t shards = colShards(runner, taps, cols);
+    const std::size_t blk = ((cols + shards - 1) / shards +
+                             granularity - 1) /
+                            granularity * granularity;
+    const std::size_t perTap = (cols + blk - 1) / blk;
+    runTasks(runner, taps * perTap,
+             [&](std::size_t task, std::size_t lane) {
+                 const std::size_t k = task / perTap;
+                 const std::size_t j0 = (task % perTap) * blk;
+                 fn(k, j0, std::min(blk, cols - j0), lane);
+             });
+}
+
+/**
  * Shard `rows` into contiguous row blocks of at least `minBlock` and
  * run fn(r0, nrows, lane) for each — across `runner` when provided
  * (about two blocks per lane, so a straggling lane can steal work),

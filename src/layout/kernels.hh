@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Internal SIMD kernel machinery for the NCHWc8 blocked-layout
+ * Winograd passes. Not part of the public API.
+ *
+ * Mirrors gemm/kernels.hh: the scalar reference implementations are
+ * defined `static` so every TU including this header compiles its own
+ * internal-linkage copy under that TU's instruction-set flags, and
+ * the AVX2 TU (compiled -mavx2 -mfma, runtime-gated) and NEON TU
+ * export resolver functions that return null when unsupported.
+ *
+ * Two kernels make up the blocked hot path:
+ *
+ *  - tapGemm: the c-blocked per-tap product. U holds a tap as
+ *    [Cinb, P, 8] (8 input channels contiguous per tile), the weights
+ *    as [Coutb][Cinb*8][8] (8 output channels contiguous per input
+ *    channel), and M is produced as [Coutb, P, 8] — so the inner loop
+ *    broadcasts one U element and multiply-accumulates an 8-wide
+ *    contiguous weight vector into an 8-wide accumulator: the c-block
+ *    is the SIMD lane dimension. Accumulation runs one fused
+ *    multiply-add per element in strictly ascending input-channel
+ *    order, the same order as the blocked gemm core, so on FMA
+ *    hardware the blocked product is bit-identical to the NCHW
+ *    per-tap GEMM.
+ *
+ *  - kron: the B^T (x) B^T / A^T (x) A^T row passes over the flat
+ *    blocked buffers. Rows are contiguous in either layout; the
+ *    explicit kernel vectorizes the AXPY chain with FMA (the first
+ *    term a multiply, later terms fused multiply-adds, scalar tail
+ *    via std::fma so lane position never changes rounding).
+ */
+
+#ifndef TWQ_LAYOUT_KERNELS_HH
+#define TWQ_LAYOUT_KERNELS_HH
+
+#include <algorithm>
+#include <cstddef>
+
+#include "layout/layout.hh"
+#include "winograd/tiled.hh"
+
+namespace twq
+{
+namespace layout
+{
+
+/** Tiles processed per accumulator block of the tap-GEMM kernels. */
+inline constexpr std::size_t kTapPr = 4;
+
+/**
+ * Blocked per-tap product over tile columns [p0, p0 + pn) of a tap:
+ * m[co, p, l] = sum_ic w[co, ic, l] * u[ic / 8, p, ic % 8], with u
+ * [cinb, P, 8], w [coutb][cinb*8][8] and m [coutb, P, 8].
+ */
+using TapGemmDFn = void (*)(const double *w, const double *u,
+                            double *m, std::size_t coutb,
+                            std::size_t cinb, std::size_t P,
+                            std::size_t p0, std::size_t pn);
+
+/** applyKron over rows of length `len` (identical contract). */
+using KronDFn = void (*)(const WinoKronPlan<double> &plan,
+                         const double *x, std::size_t len, double *y);
+
+/** One ISA's kernel set; null entries mean "not available here". */
+struct LayoutKernels
+{
+    TapGemmDFn tapGemm = nullptr;
+    KronDFn kron = nullptr;
+    const char *name = "scalar";
+};
+
+/// AVX2+FMA kernels (kernels_avx2.cc); nulls when not compiled in or
+/// the CPU lacks support.
+LayoutKernels avx2LayoutKernels();
+
+/// NEON kernels (kernels_neon.cc); nulls off aarch64.
+LayoutKernels neonLayoutKernels();
+
+/// The resolved process-wide kernel set (wino_blocked.cc).
+const LayoutKernels &kernels();
+
+/** Scalar reference tap-GEMM; the autovectorization-friendly shape. */
+template <typename Dummy = void>
+static void
+scalarTapGemmD(const double *w, const double *u, double *m,
+               std::size_t coutb, std::size_t cinb, std::size_t P,
+               std::size_t p0, std::size_t pn)
+{
+    constexpr std::size_t B = kLayoutBlock;
+    const std::size_t cinp = cinb * B;
+    for (std::size_t co = 0; co < coutb; ++co) {
+        const double *wt = w + co * cinp * B;
+        for (std::size_t p = p0; p < p0 + pn; p += kTapPr) {
+            const std::size_t pr = std::min(kTapPr, p0 + pn - p);
+            double acc[kTapPr][B] = {};
+            for (std::size_t cbi = 0; cbi < cinb; ++cbi) {
+                const double *ub = u + (cbi * P + p) * B;
+                const double *wb = wt + cbi * B * B;
+                for (std::size_t li = 0; li < B; ++li) {
+                    const double *w8 = wb + li * B;
+                    for (std::size_t pp = 0; pp < pr; ++pp) {
+                        const double uv = ub[pp * B + li];
+                        for (std::size_t l = 0; l < B; ++l)
+                            acc[pp][l] += uv * w8[l];
+                    }
+                }
+            }
+            for (std::size_t pp = 0; pp < pr; ++pp) {
+                double *dst = m + (co * P + p + pp) * B;
+                for (std::size_t l = 0; l < B; ++l)
+                    dst[l] = acc[pp][l];
+            }
+        }
+    }
+}
+
+/** Scalar reference kron row pass (same schedule as applyKron). */
+template <typename Dummy = void>
+static void
+scalarKronD(const WinoKronPlan<double> &plan, const double *x,
+            std::size_t len, double *y)
+{
+    applyKron(plan, x, len, y);
+}
+
+} // namespace layout
+} // namespace twq
+
+#endif // TWQ_LAYOUT_KERNELS_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * AVX2+FMA kernels for the NCHWc8 blocked Winograd passes. This TU is
+ * compiled with -mavx2 -mfma (see CMakeLists.txt) on x86-64 and
+ * selected at runtime only when the CPU reports both features.
+ *
+ * The 8-wide c-block is exactly two ymm registers, so the tap-GEMM
+ * holds a kTapPr x 8 accumulator tile in eight ymm registers, reads
+ * each 8-channel weight vector with two contiguous loads, and
+ * broadcasts U elements — every access on the blocked layout is unit
+ * stride. All accumulation (including the kron scalar tail via
+ * std::fma) is fused, in the same ascending-channel order as the
+ * blocked gemm core, so results are bit-identical to the NCHW path on
+ * FMA hardware and never depend on where an element falls in the
+ * vector schedule.
+ */
+
+#include "layout/kernels.hh"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <cmath>
+#include <immintrin.h>
+
+namespace twq
+{
+namespace layout
+{
+
+namespace
+{
+
+void
+avx2TapGemmD(const double *w, const double *u, double *m,
+             std::size_t coutb, std::size_t cinb, std::size_t P,
+             std::size_t p0, std::size_t pn)
+{
+    constexpr std::size_t B = kLayoutBlock;
+    static_assert(B == 8, "tap kernel assumes two 4-wide vectors");
+    const std::size_t cinp = cinb * B;
+    for (std::size_t co = 0; co < coutb; ++co) {
+        const double *wt = w + co * cinp * B;
+        for (std::size_t p = p0; p < p0 + pn; p += kTapPr) {
+            const std::size_t pr = std::min(kTapPr, p0 + pn - p);
+            __m256d acc[kTapPr][2];
+            for (std::size_t pp = 0; pp < pr; ++pp) {
+                acc[pp][0] = _mm256_setzero_pd();
+                acc[pp][1] = _mm256_setzero_pd();
+            }
+            for (std::size_t cbi = 0; cbi < cinb; ++cbi) {
+                const double *ub = u + (cbi * P + p) * B;
+                const double *wb = wt + cbi * B * B;
+                for (std::size_t li = 0; li < B; ++li) {
+                    const __m256d w0 = _mm256_loadu_pd(wb + li * B);
+                    const __m256d w1 =
+                        _mm256_loadu_pd(wb + li * B + 4);
+                    for (std::size_t pp = 0; pp < pr; ++pp) {
+                        const __m256d uv =
+                            _mm256_set1_pd(ub[pp * B + li]);
+                        acc[pp][0] =
+                            _mm256_fmadd_pd(uv, w0, acc[pp][0]);
+                        acc[pp][1] =
+                            _mm256_fmadd_pd(uv, w1, acc[pp][1]);
+                    }
+                }
+            }
+            for (std::size_t pp = 0; pp < pr; ++pp) {
+                double *dst = m + (co * P + p + pp) * B;
+                _mm256_storeu_pd(dst, acc[pp][0]);
+                _mm256_storeu_pd(dst + 4, acc[pp][1]);
+            }
+        }
+    }
+}
+
+void
+avx2KronD(const WinoKronPlan<double> &plan, const double *x,
+          std::size_t len, double *y)
+{
+    for (std::size_t r = 0; r < plan.rowsOut; ++r) {
+        double *yr = y + r * len;
+        const std::uint32_t begin = plan.rowStart[r];
+        const std::uint32_t end = plan.rowStart[r + 1];
+        if (begin == end) {
+            std::fill(yr, yr + len, 0.0);
+            continue;
+        }
+        {
+            const auto &t0 = plan.terms[begin];
+            const double *xr = x + t0.in * len;
+            const __m256d cv = _mm256_set1_pd(t0.coeff);
+            std::size_t l = 0;
+            for (; l + 4 <= len; l += 4)
+                _mm256_storeu_pd(
+                    yr + l,
+                    _mm256_mul_pd(cv, _mm256_loadu_pd(xr + l)));
+            for (; l < len; ++l)
+                yr[l] = t0.coeff * xr[l];
+        }
+        for (std::uint32_t ti = begin + 1; ti < end; ++ti) {
+            const auto &term = plan.terms[ti];
+            const double *xr = x + term.in * len;
+            const __m256d cv = _mm256_set1_pd(term.coeff);
+            std::size_t l = 0;
+            for (; l + 4 <= len; l += 4)
+                _mm256_storeu_pd(
+                    yr + l,
+                    _mm256_fmadd_pd(cv, _mm256_loadu_pd(xr + l),
+                                    _mm256_loadu_pd(yr + l)));
+            for (; l < len; ++l)
+                yr[l] = std::fma(term.coeff, xr[l], yr[l]);
+        }
+    }
+}
+
+} // namespace
+
+LayoutKernels
+avx2LayoutKernels()
+{
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+        return {&avx2TapGemmD, &avx2KronD, "avx2"};
+    return {};
+}
+
+} // namespace layout
+} // namespace twq
+
+#else // !(__AVX2__ && __FMA__)
+
+namespace twq
+{
+namespace layout
+{
+
+LayoutKernels
+avx2LayoutKernels()
+{
+    return {};
+}
+
+} // namespace layout
+} // namespace twq
+
+#endif

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * NEON kernels for the NCHWc8 blocked Winograd passes on aarch64,
+ * where Advanced SIMD is baseline (no special compile flags). Same
+ * schedules as the AVX2 TU with the 8-wide c-block held in four
+ * float64x2 registers per accumulator row; scalar tails use std::fma
+ * to match vfmaq's fused rounding.
+ */
+
+#include "layout/kernels.hh"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+#include <cmath>
+
+namespace twq
+{
+namespace layout
+{
+
+namespace
+{
+
+void
+neonTapGemmD(const double *w, const double *u, double *m,
+             std::size_t coutb, std::size_t cinb, std::size_t P,
+             std::size_t p0, std::size_t pn)
+{
+    constexpr std::size_t B = kLayoutBlock;
+    constexpr std::size_t kVecs = B / 2;
+    const std::size_t cinp = cinb * B;
+    for (std::size_t co = 0; co < coutb; ++co) {
+        const double *wt = w + co * cinp * B;
+        for (std::size_t p = p0; p < p0 + pn; p += kTapPr) {
+            const std::size_t pr = std::min(kTapPr, p0 + pn - p);
+            float64x2_t acc[kTapPr][kVecs];
+            for (std::size_t pp = 0; pp < pr; ++pp)
+                for (std::size_t v = 0; v < kVecs; ++v)
+                    acc[pp][v] = vdupq_n_f64(0.0);
+            for (std::size_t cbi = 0; cbi < cinb; ++cbi) {
+                const double *ub = u + (cbi * P + p) * B;
+                const double *wb = wt + cbi * B * B;
+                for (std::size_t li = 0; li < B; ++li) {
+                    float64x2_t wv[kVecs];
+                    for (std::size_t v = 0; v < kVecs; ++v)
+                        wv[v] = vld1q_f64(wb + li * B + 2 * v);
+                    for (std::size_t pp = 0; pp < pr; ++pp) {
+                        const float64x2_t uv =
+                            vdupq_n_f64(ub[pp * B + li]);
+                        for (std::size_t v = 0; v < kVecs; ++v)
+                            acc[pp][v] =
+                                vfmaq_f64(acc[pp][v], uv, wv[v]);
+                    }
+                }
+            }
+            for (std::size_t pp = 0; pp < pr; ++pp) {
+                double *dst = m + (co * P + p + pp) * B;
+                for (std::size_t v = 0; v < kVecs; ++v)
+                    vst1q_f64(dst + 2 * v, acc[pp][v]);
+            }
+        }
+    }
+}
+
+void
+neonKronD(const WinoKronPlan<double> &plan, const double *x,
+          std::size_t len, double *y)
+{
+    for (std::size_t r = 0; r < plan.rowsOut; ++r) {
+        double *yr = y + r * len;
+        const std::uint32_t begin = plan.rowStart[r];
+        const std::uint32_t end = plan.rowStart[r + 1];
+        if (begin == end) {
+            std::fill(yr, yr + len, 0.0);
+            continue;
+        }
+        {
+            const auto &t0 = plan.terms[begin];
+            const double *xr = x + t0.in * len;
+            const float64x2_t cv = vdupq_n_f64(t0.coeff);
+            std::size_t l = 0;
+            for (; l + 2 <= len; l += 2)
+                vst1q_f64(yr + l,
+                          vmulq_f64(cv, vld1q_f64(xr + l)));
+            for (; l < len; ++l)
+                yr[l] = t0.coeff * xr[l];
+        }
+        for (std::uint32_t ti = begin + 1; ti < end; ++ti) {
+            const auto &term = plan.terms[ti];
+            const double *xr = x + term.in * len;
+            const float64x2_t cv = vdupq_n_f64(term.coeff);
+            std::size_t l = 0;
+            for (; l + 2 <= len; l += 2)
+                vst1q_f64(yr + l,
+                          vfmaq_f64(vld1q_f64(yr + l), cv,
+                                    vld1q_f64(xr + l)));
+            for (; l < len; ++l)
+                yr[l] = std::fma(term.coeff, xr[l], yr[l]);
+        }
+    }
+}
+
+} // namespace
+
+LayoutKernels
+neonLayoutKernels()
+{
+    return {&neonTapGemmD, &neonKronD, "neon"};
+}
+
+} // namespace layout
+} // namespace twq
+
+#else // !__aarch64__
+
+namespace twq
+{
+namespace layout
+{
+
+LayoutKernels
+neonLayoutKernels()
+{
+    return {};
+}
+
+} // namespace layout
+} // namespace twq
+
+#endif

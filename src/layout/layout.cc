@@ -1,0 +1,99 @@
+#include "layout/layout.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace twq
+{
+
+const char *
+actLayoutName(ActLayout l)
+{
+    switch (l) {
+      case ActLayout::NCHW:
+        return "nchw";
+      case ActLayout::NCHWc8:
+        return "nchwc8";
+    }
+    return "?";
+}
+
+Shape
+blockedShape(const Shape &nchw)
+{
+    twq_assert(nchw.size() == 4, "blockedShape expects an NCHW shape");
+    return {nchw[0], layoutBlocks(nchw[1]), nchw[2], nchw[3],
+            kLayoutBlock};
+}
+
+template <typename T>
+void
+nchwToBlocked(const Tensor<T> &src, Tensor<T> &dst)
+{
+    twq_assert(src.rank() == 4, "nchwToBlocked expects an NCHW source");
+    twq_assert(dst.shape() == blockedShape(src.shape()),
+               "destination not pre-shaped NCHWc8 for the source");
+    const std::size_t n = src.dim(0);
+    const std::size_t c = src.dim(1);
+    const std::size_t hw = src.dim(2) * src.dim(3);
+    const std::size_t cb = layoutBlocks(c);
+    for (std::size_t in = 0; in < n; ++in) {
+        for (std::size_t b = 0; b < cb; ++b) {
+            const std::size_t c0 = b * kLayoutBlock;
+            const std::size_t lanes = std::min(kLayoutBlock, c - c0);
+            const T *s = src.data() + (in * c + c0) * hw;
+            T *d = dst.data() + (in * cb + b) * hw * kLayoutBlock;
+            // An 8 x hw transpose per block: one plane pass per lane
+            // keeps the reads streaming; the 8-stride writes are the
+            // one-time conversion cost the blocked hot path amortizes
+            // away.
+            for (std::size_t l = 0; l < lanes; ++l) {
+                const T *sp = s + l * hw;
+                T *dp = d + l;
+                for (std::size_t i = 0; i < hw; ++i)
+                    dp[i * kLayoutBlock] = sp[i];
+            }
+            for (std::size_t l = lanes; l < kLayoutBlock; ++l) {
+                T *dp = d + l;
+                for (std::size_t i = 0; i < hw; ++i)
+                    dp[i * kLayoutBlock] = T{};
+            }
+        }
+    }
+}
+
+template <typename T>
+void
+blockedToNchw(const Tensor<T> &src, Tensor<T> &dst)
+{
+    twq_assert(dst.rank() == 4,
+               "blockedToNchw expects an NCHW destination");
+    twq_assert(src.shape() == blockedShape(dst.shape()),
+               "source not shaped NCHWc8 for the destination");
+    const std::size_t n = dst.dim(0);
+    const std::size_t c = dst.dim(1);
+    const std::size_t hw = dst.dim(2) * dst.dim(3);
+    const std::size_t cb = layoutBlocks(c);
+    for (std::size_t in = 0; in < n; ++in) {
+        for (std::size_t b = 0; b < cb; ++b) {
+            const std::size_t c0 = b * kLayoutBlock;
+            const std::size_t lanes = std::min(kLayoutBlock, c - c0);
+            const T *s = src.data() + (in * cb + b) * hw * kLayoutBlock;
+            T *d = dst.data() + (in * c + c0) * hw;
+            for (std::size_t l = 0; l < lanes; ++l) {
+                const T *sp = s + l;
+                T *dp = d + l * hw;
+                for (std::size_t i = 0; i < hw; ++i)
+                    dp[i] = sp[i * kLayoutBlock];
+            }
+        }
+    }
+}
+
+template void nchwToBlocked(const Tensor<float> &, Tensor<float> &);
+template void nchwToBlocked(const Tensor<double> &, Tensor<double> &);
+template void blockedToNchw(const Tensor<float> &, Tensor<float> &);
+template void blockedToNchw(const Tensor<double> &, Tensor<double> &);
+
+} // namespace twq

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Blocked activation layouts for the serving runtime.
+ *
+ * The library's canonical activation layout is NCHW, which makes the
+ * Winograd tile gather read the input plane at stride m (2 or 4) per
+ * element — the last non-contiguous access on the serving hot path
+ * now that the per-tap GEMMs run the blocked micro-kernel core. The
+ * NCHWc8 layout re-blocks the channel dimension into groups of eight:
+ *
+ *     NCHW    [N, C, H, W]
+ *     NCHWc8  [N, ceil(C/8), H, W, 8]
+ *
+ * so the eight channels of a block sit contiguously at every spatial
+ * position. Tile gathers, untiles and the per-tap GEMM then move and
+ * compute 8-wide contiguous vectors with the c-block as the SIMD lane
+ * dimension (see layout/wino_blocked.hh). Tail blocks (C % 8 != 0)
+ * are zero-filled: padded input lanes multiply zero weight columns
+ * and padded output lanes are produced by zero weight rows, so the
+ * padding is never observable in logical values.
+ *
+ * Layout is a session-level property: Session plans each layer's
+ * preferred input/output layout at prepare time, converts once at
+ * network ingress/egress, and keeps inter-layer activations blocked
+ * in arena slots across consecutive blocked layers.
+ */
+
+#ifndef TWQ_LAYOUT_LAYOUT_HH
+#define TWQ_LAYOUT_LAYOUT_HH
+
+#include "tensor/tensor.hh"
+
+namespace twq
+{
+
+/** Activation memory layout of a (logical NCHW) tensor. */
+enum class ActLayout
+{
+    NCHW,   ///< canonical dense [N, C, H, W]
+    NCHWc8, ///< channel-blocked [N, ceil(C/8), H, W, 8]
+};
+
+/** Name ("nchw" / "nchwc8"). */
+const char *actLayoutName(ActLayout l);
+
+/** Channels per NCHWc8 block. */
+inline constexpr std::size_t kLayoutBlock = 8;
+
+/** Channel blocks covering `c` logical channels. */
+inline std::size_t
+layoutBlocks(std::size_t c)
+{
+    return (c + kLayoutBlock - 1) / kLayoutBlock;
+}
+
+/** Physical NCHWc8 shape for a logical NCHW shape. */
+Shape blockedShape(const Shape &nchw);
+
+/**
+ * A tensor's layout together with its logical NCHW geometry — the
+ * vocabulary the session's layout planner and the converters agree
+ * on. The physical shape is derived, never stored.
+ */
+struct LayoutDesc
+{
+    ActLayout layout = ActLayout::NCHW;
+    Shape logical; ///< always NCHW
+
+    Shape
+    physical() const
+    {
+        return layout == ActLayout::NCHWc8 ? blockedShape(logical)
+                                           : logical;
+    }
+
+    static LayoutDesc
+    nchw(Shape s)
+    {
+        return {ActLayout::NCHW, std::move(s)};
+    }
+
+    static LayoutDesc
+    blocked(Shape s)
+    {
+        return {ActLayout::NCHWc8, std::move(s)};
+    }
+};
+
+/**
+ * One layer's layout contract inside a session: the layout its
+ * backend consumes and the layout it produces. The planner inserts a
+ * conversion only where consecutive layers disagree, so a chain of
+ * blocked layers pays for conversion exactly twice — at network
+ * ingress and egress.
+ */
+struct LayoutPlan
+{
+    ActLayout in = ActLayout::NCHW;
+    ActLayout out = ActLayout::NCHW;
+};
+
+/**
+ * Re-block an NCHW tensor into a pre-shaped NCHWc8 destination
+ * (blockedShape(src.shape())). Tail lanes of a partial final block
+ * are zero-filled.
+ */
+template <typename T>
+void nchwToBlocked(const Tensor<T> &src, Tensor<T> &dst);
+
+/**
+ * Flatten an NCHWc8 tensor back into a pre-shaped NCHW destination;
+ * `dst.dim(1)` supplies the logical channel count, and tail lanes of
+ * the source are ignored.
+ */
+template <typename T>
+void blockedToNchw(const Tensor<T> &src, Tensor<T> &dst);
+
+extern template void nchwToBlocked(const Tensor<float> &,
+                                   Tensor<float> &);
+extern template void nchwToBlocked(const Tensor<double> &,
+                                   Tensor<double> &);
+extern template void blockedToNchw(const Tensor<float> &,
+                                   Tensor<float> &);
+extern template void blockedToNchw(const Tensor<double> &,
+                                   Tensor<double> &);
+
+} // namespace twq
+
+#endif // TWQ_LAYOUT_LAYOUT_HH

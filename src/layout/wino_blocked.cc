@@ -1,0 +1,321 @@
+#include "layout/wino_blocked.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "layout/kernels.hh"
+
+namespace twq
+{
+
+namespace
+{
+
+constexpr std::size_t kB = kLayoutBlock;
+
+const layout::LayoutKernels &
+table()
+{
+    return layout::kernels();
+}
+
+/** WinoDims for a blocked [N, Cb, H, W, 8] input shape. */
+WinoDims
+blockedDims(const Shape &s, WinoVariant v, std::size_t pad)
+{
+    twq_assert(s.size() == 5 && s[4] == kB,
+               "expected an NCHWc8 shape [N, Cb, H, W, 8]");
+    // winoDims only derives tile geometry from N/H/W; feed it the
+    // padded channel count so d.cin counts physical lanes.
+    return winoDims({s[0], s[1] * kB, s[2], s[3]}, v, pad);
+}
+
+} // namespace
+
+namespace layout
+{
+
+const LayoutKernels &
+kernels()
+{
+    static const LayoutKernels t = [] {
+        LayoutKernels k = avx2LayoutKernels();
+        if (k.tapGemm)
+            return k;
+        k = neonLayoutKernels();
+        if (k.tapGemm)
+            return k;
+        return LayoutKernels{&scalarTapGemmD<>, &scalarKronD<>,
+                             "scalar"};
+    }();
+    return t;
+}
+
+} // namespace layout
+
+const char *
+layoutKernelName()
+{
+    return table().name;
+}
+
+BlockedTapWeights
+blockedTapWeights(const WinogradTapWeights<double> &w)
+{
+    const WinoSpec spec = winoSpec(w.variant);
+    const std::size_t tt = spec.t * spec.t;
+    BlockedTapWeights out;
+    out.variant = w.variant;
+    out.cout = w.cout;
+    out.cin = w.cin;
+    out.coutb = layoutBlocks(w.cout);
+    out.cinb = layoutBlocks(w.cin);
+    const std::size_t cinp = out.cinb * kB;
+    out.taps.assign(tt * out.coutb * cinp * kB, 0.0);
+    for (std::size_t k = 0; k < tt; ++k) {
+        const double *src = w.tap(k);
+        double *dst = out.taps.data() + k * out.coutb * cinp * kB;
+        for (std::size_t oc = 0; oc < w.cout; ++oc) {
+            const std::size_t co = oc / kB;
+            const std::size_t lo = oc % kB;
+            for (std::size_t ic = 0; ic < w.cin; ++ic)
+                dst[(co * cinp + ic) * kB + lo] =
+                    src[oc * w.cin + ic];
+        }
+    }
+    return out;
+}
+
+void
+winogradGatherTilesBlocked(const TensorD &input, WinoVariant v,
+                           std::size_t pad, TensorD &V)
+{
+    const WinoDims d = blockedDims(input.shape(), v, pad);
+    const std::size_t cb = input.dim(1);
+    const std::size_t h = input.dim(2);
+    const std::size_t w = input.dim(3);
+    const std::size_t tt = d.t * d.t;
+    const Shape want{tt, cb, d.tiles, kB};
+    if (V.shape() != want)
+        V = TensorD(want);
+
+    for (std::size_t k = 0; k < tt; ++k) {
+        const std::ptrdiff_t dy =
+            static_cast<std::ptrdiff_t>(k / d.t) -
+            static_cast<std::ptrdiff_t>(pad);
+        const std::ptrdiff_t dx =
+            static_cast<std::ptrdiff_t>(k % d.t) -
+            static_cast<std::ptrdiff_t>(pad);
+        for (std::size_t n = 0; n < d.n; ++n) {
+            for (std::size_t b = 0; b < cb; ++b) {
+                const double *plane =
+                    input.data() + (n * cb + b) * h * w * kB;
+                double *dstc =
+                    V.data() + ((k * cb + b) * d.tiles +
+                                n * d.tilesY * d.tilesX) *
+                                   kB;
+                for (std::size_t ty = 0; ty < d.tilesY; ++ty) {
+                    double *dst = dstc + ty * d.tilesX * kB;
+                    const std::ptrdiff_t iy =
+                        static_cast<std::ptrdiff_t>(ty * d.m) + dy;
+                    if (iy < 0 ||
+                        iy >= static_cast<std::ptrdiff_t>(h)) {
+                        std::fill(dst, dst + d.tilesX * kB, 0.0);
+                        continue;
+                    }
+                    const double *srow =
+                        plane + static_cast<std::size_t>(iy) * w * kB;
+                    for (std::size_t tx = 0; tx < d.tilesX; ++tx) {
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(tx * d.m) +
+                            dx;
+                        double *dv = dst + tx * kB;
+                        if (ix < 0 ||
+                            ix >= static_cast<std::ptrdiff_t>(w)) {
+                            std::fill(dv, dv + kB, 0.0);
+                        } else {
+                            const double *sv =
+                                srow +
+                                static_cast<std::size_t>(ix) * kB;
+                            std::copy(sv, sv + kB, dv);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+winogradScatterAddTilesBlocked(const TensorD &V, WinoVariant v,
+                               std::size_t pad, TensorD &grad)
+{
+    const WinoDims d = blockedDims(grad.shape(), v, pad);
+    const std::size_t cb = grad.dim(1);
+    const std::size_t h = grad.dim(2);
+    const std::size_t w = grad.dim(3);
+    const std::size_t tt = d.t * d.t;
+    twq_assert(V.rank() == 4 && V.dim(0) == tt && V.dim(1) == cb &&
+                   V.dim(2) == d.tiles && V.dim(3) == kB,
+               "tile buffer does not match the gradient geometry");
+    for (std::size_t k = 0; k < tt; ++k) {
+        const std::ptrdiff_t dy =
+            static_cast<std::ptrdiff_t>(k / d.t) -
+            static_cast<std::ptrdiff_t>(pad);
+        const std::ptrdiff_t dx =
+            static_cast<std::ptrdiff_t>(k % d.t) -
+            static_cast<std::ptrdiff_t>(pad);
+        for (std::size_t n = 0; n < d.n; ++n) {
+            for (std::size_t b = 0; b < cb; ++b) {
+                double *plane =
+                    grad.data() + (n * cb + b) * h * w * kB;
+                const double *srcc =
+                    V.data() + ((k * cb + b) * d.tiles +
+                                n * d.tilesY * d.tilesX) *
+                                   kB;
+                for (std::size_t ty = 0; ty < d.tilesY; ++ty) {
+                    const std::ptrdiff_t iy =
+                        static_cast<std::ptrdiff_t>(ty * d.m) + dy;
+                    if (iy < 0 ||
+                        iy >= static_cast<std::ptrdiff_t>(h))
+                        continue;
+                    double *drow =
+                        plane + static_cast<std::size_t>(iy) * w * kB;
+                    const double *src = srcc + ty * d.tilesX * kB;
+                    for (std::size_t tx = 0; tx < d.tilesX; ++tx) {
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(tx * d.m) +
+                            dx;
+                        if (ix < 0 ||
+                            ix >= static_cast<std::ptrdiff_t>(w))
+                            continue;
+                        double *dv =
+                            drow +
+                            static_cast<std::size_t>(ix) * kB;
+                        const double *sv = src + tx * kB;
+                        for (std::size_t l = 0; l < kB; ++l)
+                            dv[l] += sv[l];
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+winogradTapGemmBlocked(const BlockedTapWeights &w, const TensorD &U,
+                       TensorD &M, gemm::ParallelRunner *runner)
+{
+    const WinoSpec spec = winoSpec(w.variant);
+    const std::size_t tt = spec.t * spec.t;
+    twq_assert(U.rank() == 4 && U.dim(0) == tt &&
+                   U.dim(1) == w.cinb && U.dim(3) == kB,
+               "scatter buffer does not match blocked tap weights");
+    const std::size_t tiles = U.dim(2);
+    const Shape want{tt, w.coutb, tiles, kB};
+    if (M.shape() != want)
+        M = TensorD(want);
+    gemm::runTapColBlocks(
+        runner, tt, tiles, layout::kTapPr,
+        [&](std::size_t k, std::size_t j0, std::size_t jn,
+            std::size_t) {
+            table().tapGemm(w.tap(k),
+                            U.data() + k * w.cinb * tiles * kB,
+                            M.data() + k * w.coutb * tiles * kB,
+                            w.coutb, w.cinb, tiles, j0, jn);
+        });
+}
+
+void
+winogradUntileBlocked(const TensorD &Y, WinoVariant v, TensorD &out)
+{
+    const WinoSpec spec = winoSpec(v);
+    const std::size_t m = spec.m;
+    const std::size_t mm = m * m;
+    twq_assert(out.rank() == 5 && out.dim(4) == kB,
+               "winogradUntileBlocked expects an NCHWc8 output");
+    const std::size_t n = out.dim(0);
+    const std::size_t cb = out.dim(1);
+    const std::size_t ho = out.dim(2);
+    const std::size_t wo = out.dim(3);
+    const std::size_t tilesY = (ho + m - 1) / m;
+    const std::size_t tilesX = (wo + m - 1) / m;
+    const std::size_t tiles = n * tilesY * tilesX;
+    twq_assert(Y.rank() == 4 && Y.dim(0) == mm && Y.dim(1) == cb &&
+                   Y.dim(2) == tiles && Y.dim(3) == kB,
+               "tile buffer does not match the output geometry");
+
+    for (std::size_t k = 0; k < mm; ++k) {
+        const std::size_t j1 = k / m;
+        const std::size_t j2 = k % m;
+        for (std::size_t in = 0; in < n; ++in) {
+            for (std::size_t b = 0; b < cb; ++b) {
+                double *plane =
+                    out.data() + (in * cb + b) * ho * wo * kB;
+                const double *srcc =
+                    Y.data() + ((k * cb + b) * tiles +
+                                in * tilesY * tilesX) *
+                                   kB;
+                for (std::size_t ty = 0; ty < tilesY; ++ty) {
+                    const std::size_t oy = ty * m + j1;
+                    if (oy >= ho)
+                        continue;
+                    double *drow = plane + oy * wo * kB;
+                    const double *src = srcc + ty * tilesX * kB;
+                    for (std::size_t tx = 0; tx < tilesX; ++tx) {
+                        const std::size_t ox = tx * m + j2;
+                        if (ox < wo)
+                            std::copy(src + tx * kB,
+                                      src + tx * kB + kB,
+                                      drow + ox * kB);
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+conv2dWinogradBlockedInto(const TensorD &input,
+                          const BlockedTapWeights &w, std::size_t pad,
+                          TensorD &V, TensorD &U, TensorD &M,
+                          TensorD &Y, TensorD &out,
+                          gemm::ParallelRunner *runner)
+{
+    const WinoDims d = blockedDims(input.shape(), w.variant, pad);
+    twq_assert(input.dim(1) == w.cinb,
+               "input channel blocks do not match prepared weights");
+    twq_assert(out.rank() == 5 && out.dim(0) == d.n &&
+                   out.dim(1) == w.coutb && out.dim(2) == d.ho &&
+                   out.dim(3) == d.wo && out.dim(4) == kB,
+               "output tensor not pre-shaped for the blocked launch");
+    const std::size_t tt = d.t * d.t;
+    const std::size_t mm = d.m * d.m;
+
+    winogradGatherTilesBlocked(input, w.variant, pad, V);
+    const Shape uWant{tt, w.cinb, d.tiles, kB};
+    if (U.shape() != uWant)
+        U = TensorD(uWant);
+    table().kron(winoInputKron<double>(w.variant), V.data(),
+                 w.cinb * d.tiles * kB, U.data());
+    winogradTapGemmBlocked(w, U, M, runner);
+    const Shape yWant{mm, w.coutb, d.tiles, kB};
+    if (Y.shape() != yWant)
+        Y = TensorD(yWant);
+    table().kron(winoOutputKron<double>(w.variant), M.data(),
+                 w.coutb * d.tiles * kB, Y.data());
+    winogradUntileBlocked(Y, w.variant, out);
+}
+
+TensorD
+conv2dWinogradBlocked(const TensorD &input, const BlockedTapWeights &w,
+                      std::size_t pad)
+{
+    const WinoDims d = blockedDims(input.shape(), w.variant, pad);
+    TensorD V, U, M, Y;
+    TensorD out({d.n, w.coutb, d.ho, d.wo, kB});
+    conv2dWinogradBlockedInto(input, w, pad, V, U, M, Y, out);
+    return out;
+}
+
+} // namespace twq

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * NCHWc8 blocked-layout Winograd execution: the same scatter — per-tap
+ * GEMM — gather pipeline as winograd/tiled.hh, re-laid so every hot
+ * access is unit stride.
+ *
+ * Buffers carry the 8-channel block as the innermost dimension:
+ *
+ *   input   [N, Cinb,  H, W, 8]       (layout/layout.hh NCHWc8)
+ *   V, U    [t*t, Cinb,  P, 8]        raw / B-transformed tiles
+ *   M, Y    [t*t|m*m, Coutb, P, 8]    GEMM output / A-transformed
+ *   output  [N, Coutb, Ho, Wo, 8]
+ *
+ * with P = N * tilesY * tilesX. The tile gather and untile then move
+ * whole 8-channel vectors between the activation planes and the tile
+ * buffers — no per-element `x[((n*C+c)*H+y)*W+x]` addressing — and
+ * the per-tap GEMM broadcasts U elements against 8-wide contiguous
+ * weight vectors (layout/kernels.hh), with the c-block as the SIMD
+ * lane dimension throughout. Kron row passes are identical row AXPYs
+ * to the NCHW path, just over blocked rows, dispatched to FMA
+ * kernels.
+ *
+ * Numerics: the per-element accumulation order (ascending input
+ * channel, one fused multiply-add each) matches the blocked gemm
+ * core, so on FMA hardware the blocked pipeline is bit-identical to
+ * the NCHW tiled path per stage up to the kron passes (whose explicit
+ * FMA may differ from the autovectorized NCHW transform in the last
+ * ulp — tolerance-equal where FMA contracts). Within the blocked
+ * path every element's sum is independent of P, so batched execution
+ * is bit-identical to sequential.
+ */
+
+#ifndef TWQ_LAYOUT_WINO_BLOCKED_HH
+#define TWQ_LAYOUT_WINO_BLOCKED_HH
+
+#include "gemm/parallel.hh"
+#include "layout/layout.hh"
+#include "winograd/tiled.hh"
+
+namespace twq
+{
+
+/**
+ * Tap-major weights re-blocked for the NCHWc8 per-tap kernel: tap k
+ * is [Coutb][Cinb*8][8] with the last axis the 8 output channels of
+ * a block. Rows past Cout and columns past Cin are zero, so padded
+ * lanes never contribute to (or receive) logical values.
+ */
+struct BlockedTapWeights
+{
+    WinoVariant variant = WinoVariant::F2;
+    std::size_t cout = 0;  ///< logical output channels
+    std::size_t cin = 0;   ///< logical input channels
+    std::size_t coutb = 0; ///< output channel blocks
+    std::size_t cinb = 0;  ///< input channel blocks
+    /// [t*t][coutb][cinb*8][8]
+    std::vector<double> taps;
+
+    const double *
+    tap(std::size_t k) const
+    {
+        return taps.data() +
+               k * coutb * cinb * kLayoutBlock * kLayoutBlock;
+    }
+};
+
+/** Re-block tap-major weights (winograd/tiled.hh) for the kernel. */
+BlockedTapWeights blockedTapWeights(const WinogradTapWeights<double> &w);
+
+/** Name of the blocked-layout kernel set in use ("avx2", ...). */
+const char *layoutKernelName();
+
+/**
+ * Blocked counterpart of winogradGatherTiles: copy every (padded)
+ * input tile of the NCHWc8 batch into V ([t*t, Cinb, P, 8]) as whole
+ * 8-channel vectors. Every element of V is written.
+ */
+void winogradGatherTilesBlocked(const TensorD &input, WinoVariant v,
+                                std::size_t pad, TensorD &V);
+
+/**
+ * Blocked counterpart of winogradScatterAddTiles: scatter-ADD tile
+ * rows of V back into the (padded) NCHWc8 gradient geometry, 8-wide
+ * vectors at a time. `grad` must be pre-shaped [N, Cinb, H, W, 8].
+ */
+void winogradScatterAddTilesBlocked(const TensorD &V, WinoVariant v,
+                                    std::size_t pad, TensorD &grad);
+
+/**
+ * Blocked per-tap GEMM: M[k] = W[k] * U[k] on the c-blocked operands
+ * (see layout/kernels.hh). Taps — further split into P column blocks
+ * when taps alone would under-fill the pool — shard across `runner`;
+ * every shard computes the same per-element ascending-channel sums,
+ * so parallel execution is bit-identical to serial.
+ */
+void winogradTapGemmBlocked(const BlockedTapWeights &w,
+                            const TensorD &U, TensorD &M,
+                            gemm::ParallelRunner *runner = nullptr);
+
+/**
+ * Blocked counterpart of winogradUntile: write the A-transformed tile
+ * rows Y ([m*m, Coutb, P, 8]) into the NCHWc8 output (edge tiles
+ * clipped), 8-wide vectors at a time. `out` must be pre-shaped
+ * [N, Coutb, Ho, Wo, 8].
+ */
+void winogradUntileBlocked(const TensorD &Y, WinoVariant v,
+                           TensorD &out);
+
+/**
+ * Full blocked-layout Winograd convolution with caller-provided
+ * buffers (e.g. ScratchArena slots), mirroring
+ * conv2dWinogradTiledInto: gather, input kron, per-tap GEMM, output
+ * kron, untile — all on NCHWc8 operands. `out` must be pre-shaped
+ * [N, Coutb, Ho, Wo, 8]; the buffers are reshaped as needed.
+ */
+void conv2dWinogradBlockedInto(const TensorD &input,
+                               const BlockedTapWeights &w,
+                               std::size_t pad, TensorD &V, TensorD &U,
+                               TensorD &M, TensorD &Y, TensorD &out,
+                               gemm::ParallelRunner *runner = nullptr);
+
+/** Convenience wrapper allocating its own buffers. */
+TensorD conv2dWinogradBlocked(const TensorD &input,
+                              const BlockedTapWeights &w,
+                              std::size_t pad = 1);
+
+} // namespace twq
+
+#endif // TWQ_LAYOUT_WINO_BLOCKED_HH

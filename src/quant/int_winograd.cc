@@ -168,19 +168,24 @@ IntWinogradConv::scatterGemm(const TensorD &input, bool useShifts,
     }
 
     // Per-tap GEMM: M[k] = Wq[k] ([Cout, Cin]) * U[k] ([Cin, P]),
-    // each on the blocked integer core; taps shard across `runner`
-    // when one is provided (exact integer sums — order-free).
+    // each on the blocked integer core; taps (further split into P
+    // column blocks when taps alone under-fill the pool) shard across
+    // `runner` when one is provided (exact integer sums — order-free).
     const Shape mshape{tt, cout_, d.tiles};
     if (M.shape() != mshape)
         M = TensorI64(mshape);
     if (!runner)
         packs = nullptr; // lanes are only exclusive under a runner
-    gemm::runTasks(runner, tt, [&](std::size_t k, std::size_t lane) {
-        gemm::gemm(wqTaps_.data() + k * cout_ * cin_,
-                   U.data() + k * cin_ * d.tiles,
-                   M.data() + k * cout_ * d.tiles, cout_, cin_,
-                   d.tiles, gemm::lanePack<std::int64_t>(packs, lane));
-    });
+    gemm::runTapColBlocks(
+        runner, tt, d.tiles, gemm::kNr,
+        [&](std::size_t k, std::size_t j0, std::size_t jn,
+            std::size_t lane) {
+            gemm::gemmCols(wqTaps_.data() + k * cout_ * cin_,
+                           U.data() + k * cin_ * d.tiles + j0,
+                           M.data() + k * cout_ * d.tiles + j0, cout_,
+                           cin_, jn, d.tiles, d.tiles,
+                           gemm::lanePack<std::int64_t>(packs, lane));
+        });
 }
 
 TensorD

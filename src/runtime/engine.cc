@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "gemm/gemm.hh"
+#include "layout/wino_blocked.hh"
 #include "quant/quantizer.hh"
 #include "winograd/tiled.hh"
 
@@ -267,6 +268,116 @@ class WinogradInt8Backend : public ConvBackend
     }
 };
 
+// ------------------------------------------- blocked-layout Winograd
+
+struct WinogradBlockedPrepared : PreparedLayer
+{
+    /// c-blocked tap weights feeding the NCHWc8 per-tap kernel.
+    BlockedTapWeights weights;
+    std::size_t pad = 1;
+    ScratchArena::Slot tiles = 0;   ///< V raw-tile slot
+    ScratchArena::Slot scatter = 0; ///< U buffer slot
+    ScratchArena::Slot gemm = 0;    ///< M buffer slot
+    ScratchArena::Slot back = 0;    ///< Y back-transform slot
+};
+
+/**
+ * FP32 Winograd on the NCHWc8 blocked activation layout
+ * (layout/wino_blocked.hh): run() consumes and produces blocked
+ * [N, C/8, H, W, 8] tensors, so a session whose chain stays on this
+ * backend keeps its inter-layer activations blocked and pays layout
+ * conversion only at network ingress and egress.
+ */
+class WinogradBlockedBackend : public ConvBackend
+{
+  public:
+    ConvEngine
+    kind() const override
+    {
+        return ConvEngine::WinogradBlocked;
+    }
+
+    bool
+    supports(const ConvLayerDesc &desc) const override
+    {
+        return desc.winogradEligible();
+    }
+
+    ActLayout
+    inputLayout() const override
+    {
+        return ActLayout::NCHWc8;
+    }
+
+    ActLayout
+    outputLayout() const override
+    {
+        return ActLayout::NCHWc8;
+    }
+
+    std::shared_ptr<const PreparedLayer>
+    prepare(const ConvLayerDesc &desc, const TensorD &weights,
+            const LayerBuild &build) const override
+    {
+        twq_assert(supports(desc),
+                   "winograd-blocked backend on ineligible layer ",
+                   desc.name);
+        auto prep = std::make_shared<WinogradBlockedPrepared>();
+        prep->weights = blockedTapWeights(
+            winogradPrepareTapWeights(weights, build.variant));
+        prep->pad = build.params.pad;
+        prep->tiles = layerSlot("winoc8.V", desc.name);
+        prep->scatter = layerSlot("winoc8.U", desc.name);
+        prep->gemm = layerSlot("winoc8.M", desc.name);
+        prep->back = layerSlot("winoc8.Y", desc.name);
+        return prep;
+    }
+
+    Shape
+    outputShape(const PreparedLayer &prep,
+                const Shape &input) const override
+    {
+        const auto &p =
+            static_cast<const WinogradBlockedPrepared &>(prep);
+        twq_assert(input.size() == 5 && input[4] == kLayoutBlock,
+                   "winograd-blocked backend expects NCHWc8 input");
+        const ConvParams cp{3, 1, p.pad};
+        return {input[0], p.weights.coutb, cp.outSize(input[2]),
+                cp.outSize(input[3]), kLayoutBlock};
+    }
+
+    void
+    run(const PreparedLayer &prep, const TensorD &input,
+        ScratchArena &scratch, TensorD &out,
+        const RunContext &ctx) const override
+    {
+        const auto &p =
+            static_cast<const WinogradBlockedPrepared &>(prep);
+        const WinoDims d = winoDims(
+            {input.dim(0), input.dim(1) * kLayoutBlock, input.dim(2),
+             input.dim(3)},
+            p.weights.variant, p.pad);
+        const std::size_t tt = d.t * d.t;
+        TensorD &V = scratch.tensor(
+            p.tiles, {tt, p.weights.cinb, d.tiles, kLayoutBlock});
+        TensorD &U = scratch.tensor(
+            p.scatter, {tt, p.weights.cinb, d.tiles, kLayoutBlock});
+        TensorD &M = scratch.tensor(
+            p.gemm, {tt, p.weights.coutb, d.tiles, kLayoutBlock});
+        TensorD &Y = scratch.tensor(
+            p.back,
+            {d.m * d.m, p.weights.coutb, d.tiles, kLayoutBlock});
+        // Physical MACs: the padded lanes compute too.
+        const double macs =
+            static_cast<double>(tt) *
+            static_cast<double>(p.weights.coutb * kLayoutBlock) *
+            static_cast<double>(p.weights.cinb * kLayoutBlock) *
+            static_cast<double>(d.tiles);
+        conv2dWinogradBlockedInto(input, p.weights, p.pad, V, U, M, Y,
+                                  out, ctx.runnerFor(macs));
+    }
+};
+
 // ------------------------------------------------- int8 im2col GEMM
 
 struct Im2colInt8Prepared : PreparedLayer
@@ -466,6 +577,7 @@ EngineRegistry::EngineRegistry()
     registerBackend(std::make_shared<WinogradFp32Backend>());
     registerBackend(std::make_shared<WinogradInt8Backend>());
     registerBackend(std::make_shared<Im2colInt8Backend>());
+    registerBackend(std::make_shared<WinogradBlockedBackend>());
 }
 
 EngineRegistry &

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "gemm/parallel.hh"
+#include "layout/layout.hh"
 #include "models/zoo.hh"
 #include "quant/int_winograd.hh"
 #include "runtime/arena.hh"
@@ -104,6 +105,27 @@ class ConvBackend
     /** Can this backend execute the layer at all? */
     virtual bool supports(const ConvLayerDesc &desc) const = 0;
 
+    /**
+     * Activation layout run() consumes / produces. The session's
+     * layout planner reads these at prepare time, inserts a
+     * conversion only where consecutive layers disagree, and keeps
+     * matching inter-layer activations in their native layout — a
+     * chain of NCHWc8 layers converts once at ingress and once at
+     * egress. For NCHWc8 the tensors handed to run() carry the
+     * physical [N, C/8, H, W, 8] shape.
+     */
+    virtual ActLayout
+    inputLayout() const
+    {
+        return ActLayout::NCHW;
+    }
+
+    virtual ActLayout
+    outputLayout() const
+    {
+        return ActLayout::NCHW;
+    }
+
     /** One-time weight-side preparation; called off the hot path. */
     virtual std::shared_ptr<const PreparedLayer>
     prepare(const ConvLayerDesc &desc, const TensorD &weights,
@@ -154,7 +176,7 @@ double timeBackendRun(const ConvBackend &backend,
 class EngineRegistry
 {
   public:
-    /** The registry, with the three built-in backends registered. */
+    /** The registry, with the built-in backends registered. */
     static EngineRegistry &instance();
 
     /** Register (or replace) the backend for its engine kind. */

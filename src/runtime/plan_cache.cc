@@ -1,0 +1,128 @@
+#include "runtime/plan_cache.hh"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace twq
+{
+
+namespace
+{
+
+constexpr const char *kHeader = "twq-plan-cache v1";
+
+bool
+variantFromName(const std::string &name, WinoVariant *out)
+{
+    for (WinoVariant v : {WinoVariant::F2, WinoVariant::F4}) {
+        if (name == winoName(v)) {
+            *out = v;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+PlanCache::layerKey(const ConvLayerDesc &desc, std::size_t probeBatch)
+{
+    std::ostringstream key;
+    key << 'c' << desc.cin << 'o' << desc.cout << 'k' << desc.kernel
+        << 's' << desc.stride << 'h' << desc.height << 'w'
+        << desc.width << 'b' << probeBatch;
+    return key.str();
+}
+
+bool
+PlanCache::lookup(const std::string &key, Decision *out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+void
+PlanCache::store(const std::string &key, const Decision &d)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[key] = d;
+}
+
+std::size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+std::string
+PlanCache::serialize() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream out;
+    out << kHeader << '\n';
+    for (const auto &[key, d] : entries_)
+        out << key << ' ' << convEngineName(d.engine) << ' '
+            << winoName(d.variant) << '\n';
+    return out.str();
+}
+
+bool
+PlanCache::deserialize(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != kHeader)
+        return false;
+    std::map<std::string, Decision> parsed;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream fields(line);
+        std::string key, engine, variant;
+        Decision d;
+        if (!(fields >> key >> engine >> variant) ||
+            !convEngineFromName(engine, &d.engine) ||
+            !variantFromName(variant, &d.variant))
+            return false;
+        parsed[key] = d;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_ = std::move(parsed);
+    return true;
+}
+
+bool
+PlanCache::loadFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    return deserialize(text);
+}
+
+bool
+PlanCache::saveFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const std::string text = serialize();
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace twq

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Serializable cache of autoSelect's measured per-layer plans.
+ *
+ * SessionConfig::autoSelect races each eligible FP layer's candidate
+ * engines (im2col, winograd-fp32 F2/F4, blocked-layout winograd
+ * F2/F4) on a timing probe at session build. Those measurements cost
+ * real wall-clock per layer per process; this cache persists the
+ * winning (engine, variant) — the engine choice carries the layout
+ * decision, since ConvEngine::WinogradBlocked is the NCHWc8 plan —
+ * keyed by the layer's shape and the probe batch, so repeat sessions
+ * (a restarted server, a fleet of identical replicas) skip the probe
+ * entirely and land on the plan a previous build measured.
+ *
+ * The cache is a plain line-oriented text format, stable across
+ * versions that know the same engine names:
+ *
+ *     twq-plan-cache v1
+ *     c64o64k3s1h16w16b8 winograd-blocked F4
+ *     ...
+ *
+ * Thread-safe: sessions built concurrently may share one instance.
+ */
+
+#ifndef TWQ_RUNTIME_PLAN_CACHE_HH
+#define TWQ_RUNTIME_PLAN_CACHE_HH
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "models/zoo.hh"
+#include "winograd/matrices.hh"
+#include "xform/engines.hh"
+
+namespace twq
+{
+
+class PlanCache
+{
+  public:
+    /** One cached autoSelect outcome. */
+    struct Decision
+    {
+        ConvEngine engine = ConvEngine::Im2col;
+        WinoVariant variant = WinoVariant::F2;
+
+        bool
+        operator==(const Decision &o) const
+        {
+            return engine == o.engine && variant == o.variant;
+        }
+    };
+
+    /**
+     * Cache key of a layer shape under a probe batch size — every
+     * field that changes the measured ranking participates.
+     */
+    static std::string layerKey(const ConvLayerDesc &desc,
+                                std::size_t probeBatch);
+
+    /** Look up a cached decision; false when absent. */
+    bool lookup(const std::string &key, Decision *out) const;
+
+    /** Record (or overwrite) a decision. */
+    void store(const std::string &key, const Decision &d);
+
+    std::size_t size() const;
+
+    /** The full cache in the line format above. */
+    std::string serialize() const;
+
+    /**
+     * Replace the contents from serialize() output; false (cache
+     * left empty) on a malformed header or line.
+     */
+    bool deserialize(const std::string &text);
+
+    /** File convenience wrappers; false on I/O or parse failure. */
+    bool loadFile(const std::string &path);
+    bool saveFile(const std::string &path) const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, Decision> entries_;
+};
+
+} // namespace twq
+
+#endif // TWQ_RUNTIME_PLAN_CACHE_HH

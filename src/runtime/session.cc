@@ -92,6 +92,8 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
         layer.backend = std::move(backend);
         layer.activation = ScratchArena::resolve(
             "session.act:" + net.name + ":" + d.name);
+        layer.convert = ScratchArena::resolve(
+            "session.cvt:" + net.name + ":" + d.name);
         layers_.push_back(std::move(layer));
 
         weights.push_back(heInitWeights(d, cfg.weightSeed + i));
@@ -135,73 +137,142 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
         twq_assert(layer.prepared, "backend returned no prepared state");
 
         // ConvEngine-auto policy: race this layer's assigned engine
-        // against im2col AND against winograd-fp32 under the other
-        // variant, keeping the fastest measured candidate — the
-        // policy picks engine and Winograd variant together.
+        // against im2col AND against both Winograd variants of the
+        // NCHW and NCHWc8-blocked winograd backends, keeping the
+        // fastest measured candidate — the policy picks engine,
+        // Winograd variant and activation layout together. Blocked
+        // candidates are timed on a blocked probe — the steady-state
+        // input layout propagation hands them inside a blocked chain.
+        // Boundary conversions (ingress/egress, or a blocked layer
+        // between NCHW neighbors) are NOT charged to the layer, since
+        // their amortization depends on the neighbors' layouts; a
+        // blocked win smaller than a conversion cost can therefore
+        // lose net at an isolated layout seam (ROADMAP follow-on:
+        // chain-aware layout planning).
         // Ineligible layers never reach here with a non-im2col
         // engine, so they always stay on im2col. Only FP engines are
         // raced — demoting a quantized layer to an FP engine would
-        // silently drop the quantization the config asked for.
+        // silently drop the quantization the config asked for. A
+        // plan-cache hit applies a previously measured decision
+        // without re-running the probe.
         if (cfg.autoSelect && !pinned[i] &&
-            layer.engine == ConvEngine::WinogradFp32) {
-            TensorD probe({std::max<std::size_t>(cfg.autoSelectBatch, 1),
-                           layer.desc.cin, layer.desc.height,
-                           layer.desc.width});
-            Rng probeRng(cfg.calibrationSeed ^ (0x9e3779b9ull + i));
-            probeRng.fillNormal(probe.storage(), 0.0, 1.0);
-            ScratchArena probeArena;
+            (layer.engine == ConvEngine::WinogradFp32 ||
+             layer.engine == ConvEngine::WinogradBlocked)) {
+            bool applied = false;
+            std::string planKey;
+            if (cfg.planCache) {
+                planKey = PlanCache::layerKey(layer.desc,
+                                              cfg.autoSelectBatch);
+                PlanCache::Decision hit;
+                // Apply only decisions this race could itself have
+                // produced — a foreign or corrupted cache entry (e.g.
+                // a quantized engine, whose prepare() needs
+                // calibration the FP path never built) is ignored and
+                // the layer re-probed.
+                const auto raceable = [](ConvEngine e) {
+                    return e == ConvEngine::Im2col ||
+                           e == ConvEngine::WinogradFp32 ||
+                           e == ConvEngine::WinogradBlocked;
+                };
+                if (cfg.planCache->lookup(planKey, &hit) &&
+                    raceable(hit.engine)) {
+                    std::shared_ptr<const ConvBackend> b =
+                        registry.get(hit.engine);
+                    if (b->supports(layer.desc)) {
+                        if (hit.engine != layer.engine ||
+                            hit.variant != cfg.variant) {
+                            LayerBuild cbuild = build;
+                            cbuild.variant = hit.variant;
+                            layer.prepared = b->prepare(
+                                layer.desc, weights[i], cbuild);
+                        }
+                        layer.engine = hit.engine;
+                        layer.variant = hit.variant;
+                        layer.backend = std::move(b);
+                        applied = true;
+                    }
+                }
+            }
+            if (!applied) {
+                TensorD probe(
+                    {std::max<std::size_t>(cfg.autoSelectBatch, 1),
+                     layer.desc.cin, layer.desc.height,
+                     layer.desc.width});
+                Rng probeRng(cfg.calibrationSeed ^ (0x9e3779b9ull + i));
+                probeRng.fillNormal(probe.storage(), 0.0, 1.0);
+                TensorD probeBlocked;
+                ScratchArena probeArena;
 
-            struct Candidate
-            {
-                ConvEngine engine;
-                WinoVariant variant;
-                std::shared_ptr<const ConvBackend> backend;
-                std::shared_ptr<const PreparedLayer> prepared;
-            };
-            std::vector<Candidate> cands;
-            cands.push_back({layer.engine, cfg.variant, layer.backend,
-                             layer.prepared});
-            {
+                struct Candidate
+                {
+                    ConvEngine engine;
+                    WinoVariant variant;
+                    std::shared_ptr<const ConvBackend> backend;
+                    std::shared_ptr<const PreparedLayer> prepared;
+                };
+                std::vector<Candidate> cands;
+                cands.push_back({layer.engine, cfg.variant,
+                                 layer.backend, layer.prepared});
                 const WinoVariant other =
                     cfg.variant == WinoVariant::F2 ? WinoVariant::F4
                                                    : WinoVariant::F2;
-                LayerBuild vbuild = build;
-                vbuild.variant = other;
-                Candidate c;
-                c.engine = ConvEngine::WinogradFp32;
-                c.variant = other;
-                c.backend = layer.backend;
-                c.prepared =
-                    c.backend->prepare(layer.desc, weights[i], vbuild);
-                cands.push_back(std::move(c));
-            }
-            {
-                Candidate c;
-                c.engine = ConvEngine::Im2col;
-                c.variant = cfg.variant;
-                c.backend = registry.get(ConvEngine::Im2col);
-                c.prepared =
-                    c.backend->prepare(layer.desc, weights[i], build);
-                cands.push_back(std::move(c));
-            }
+                const auto addCandidate = [&](ConvEngine e,
+                                              WinoVariant v) {
+                    if (e == cands[0].engine && v == cands[0].variant)
+                        return; // already racing as the incumbent
+                    Candidate c;
+                    c.engine = e;
+                    c.variant = v;
+                    c.backend = registry.get(e);
+                    LayerBuild vbuild = build;
+                    vbuild.variant = v;
+                    c.prepared = c.backend->prepare(layer.desc,
+                                                    weights[i], vbuild);
+                    cands.push_back(std::move(c));
+                };
+                addCandidate(ConvEngine::WinogradFp32, cfg.variant);
+                addCandidate(ConvEngine::WinogradFp32, other);
+                addCandidate(ConvEngine::WinogradBlocked, cfg.variant);
+                addCandidate(ConvEngine::WinogradBlocked, other);
+                addCandidate(ConvEngine::Im2col, cfg.variant);
 
-            std::size_t best = 0;
-            double bestT = std::numeric_limits<double>::infinity();
-            for (std::size_t ci = 0; ci < cands.size(); ++ci) {
-                const double t =
-                    timeBackendRun(*cands[ci].backend,
-                                   *cands[ci].prepared, probe,
-                                   probeArena);
-                if (t < bestT) {
-                    bestT = t;
-                    best = ci;
+                std::size_t best = 0;
+                double bestT = std::numeric_limits<double>::infinity();
+                for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+                    const TensorD *in = &probe;
+                    if (cands[ci].backend->inputLayout() ==
+                        ActLayout::NCHWc8) {
+                        if (probeBlocked.numel() == 0) {
+                            probeBlocked =
+                                TensorD(blockedShape(probe.shape()));
+                            nchwToBlocked(probe, probeBlocked);
+                        }
+                        in = &probeBlocked;
+                    }
+                    const double t =
+                        timeBackendRun(*cands[ci].backend,
+                                       *cands[ci].prepared, *in,
+                                       probeArena);
+                    if (t < bestT) {
+                        bestT = t;
+                        best = ci;
+                    }
                 }
+                layer.engine = cands[best].engine;
+                layer.variant = cands[best].variant;
+                layer.backend = std::move(cands[best].backend);
+                layer.prepared = std::move(cands[best].prepared);
+                if (cfg.planCache)
+                    cfg.planCache->store(
+                        planKey, {layer.engine, layer.variant});
             }
-            layer.engine = cands[best].engine;
-            layer.variant = cands[best].variant;
-            layer.backend = std::move(cands[best].backend);
-            layer.prepared = std::move(cands[best].prepared);
         }
+
+        // Layout plan: read the final backend's contract once; the
+        // serving loop converts only where consecutive layers
+        // disagree.
+        layer.layout = {layer.backend->inputLayout(),
+                        layer.backend->outputLayout()};
 
         if (i + 1 < calEnd)
             cal = conv2dIm2col(cal, weights[i], layer.params);
@@ -229,6 +300,13 @@ Session::layerVariant(std::size_t i) const
     return layers_[i].variant;
 }
 
+const LayoutPlan &
+Session::layerLayout(std::size_t i) const
+{
+    twq_assert(i < layers_.size(), "layer index out of range");
+    return layers_[i].layout;
+}
+
 void
 Session::runInto(const TensorD &batch, ScratchArena &scratch,
                  const RunContext &ctx, TensorD &out) const
@@ -241,23 +319,57 @@ Session::runInto(const TensorD &batch, ScratchArena &scratch,
     // Intermediate activations live in per-layer arena slots (written
     // by one layer, read by the next); the final layer writes into
     // the caller's buffer, so a steady stream of batches through
-    // runInto reallocates nothing at all.
+    // runInto reallocates nothing at all. Activations travel in each
+    // backend's native layout: a conversion happens only where a
+    // layer's input layout disagrees with its producer (the network's
+    // NCHW ingress/egress included), so a chain of blocked layers
+    // stays blocked end to end.
     const TensorD *cur = &batch;
+    ActLayout curLayout = ActLayout::NCHW;
     const std::size_t last = layers_.size() - 1;
     for (std::size_t i = 0; i < layers_.size(); ++i) {
         const Layer &layer = layers_[i];
+        if (layer.layout.in != curLayout) {
+            if (layer.layout.in == ActLayout::NCHWc8) {
+                TensorD &xb = scratch.tensor(
+                    layer.convert, blockedShape(cur->shape()));
+                nchwToBlocked(*cur, xb);
+                cur = &xb;
+            } else {
+                const Shape logical{cur->dim(0), layer.desc.cin,
+                                    cur->dim(2), cur->dim(3)};
+                TensorD &xn =
+                    scratch.tensor(layer.convert, logical);
+                blockedToNchw(*cur, xn);
+                cur = &xn;
+            }
+            curLayout = layer.layout.in;
+        }
         const Shape oshape =
             layer.backend->outputShape(*layer.prepared, cur->shape());
         if (i == last) {
-            twq_assert(out.shape() == oshape,
-                       "output tensor not pre-shaped for the batch");
-            layer.backend->run(*layer.prepared, *cur, scratch, out,
-                               ctx);
+            if (layer.layout.out == ActLayout::NCHW) {
+                twq_assert(out.shape() == oshape,
+                           "output tensor not pre-shaped for the batch");
+                layer.backend->run(*layer.prepared, *cur, scratch, out,
+                                   ctx);
+            } else {
+                // Blocked final layer: produce into its arena slot,
+                // then flatten once into the caller's NCHW buffer.
+                TensorD &act = scratch.tensor(layer.activation, oshape);
+                layer.backend->run(*layer.prepared, *cur, scratch, act,
+                                   ctx);
+                twq_assert(out.rank() == 4 &&
+                               blockedShape(out.shape()) == oshape,
+                           "output tensor not pre-shaped for the batch");
+                blockedToNchw(act, out);
+            }
         } else {
             TensorD &act = scratch.tensor(layer.activation, oshape);
             layer.backend->run(*layer.prepared, *cur, scratch, act,
                                ctx);
             cur = &act;
+            curLayout = layer.layout.out;
         }
     }
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "runtime/engine.hh"
+#include "runtime/plan_cache.hh"
 
 namespace twq
 {
@@ -43,19 +44,30 @@ struct SessionConfig
     /**
      * Pick the execution plan per layer from a measured
      * microbenchmark instead of trusting defaultEngine blindly: at
-     * session build each eligible FP layer is prepared for im2col and
-     * for winograd-fp32 under BOTH variants (F2 and F4), timed on a
-     * sample batch, and the fastest candidate wins — the policy picks
-     * the engine and the Winograd variant together. Ineligible layers
-     * still always land on im2col. Explicit layerEngines overrides
-     * are honored unmeasured, and quantized layers are never demoted
-     * — swapping them for an FP engine would silently drop the
-     * configured quantization.
+     * session build each eligible FP layer is prepared for im2col,
+     * for winograd-fp32 under BOTH variants (F2 and F4), and for the
+     * NCHWc8 blocked-layout winograd under both variants, timed on a
+     * sample batch (blocked candidates on a blocked probe), and the
+     * fastest candidate wins — the policy picks the engine, the
+     * Winograd variant and the activation layout together. Ineligible
+     * layers still always land on im2col. Explicit layerEngines
+     * overrides are honored unmeasured, and quantized layers are
+     * never demoted — swapping them for an FP engine would silently
+     * drop the configured quantization.
      */
     bool autoSelect = false;
 
     /** Batch size of the autoSelect timing probe. */
     std::size_t autoSelectBatch = 8;
+
+    /**
+     * Optional cache of measured autoSelect plans, shared across
+     * sessions and serializable (runtime/plan_cache.hh). A hit keyed
+     * by the layer's shape (and probe batch) applies the cached
+     * engine/variant/layout without re-running the probe; a miss
+     * measures as usual and records the winner.
+     */
+    PlanCache *planCache = nullptr;
 
     /**
      * Route winograd-ineligible layers to the int8 im2col baseline
@@ -102,6 +114,15 @@ class Session
     WinoVariant layerVariant(std::size_t i) const;
 
     /**
+     * The activation layouts a layer's backend consumes and produces
+     * — the session-level layout plan. run()/runInto() convert
+     * between consecutive layers only where these disagree, so a
+     * chain of NCHWc8 layers keeps its activations blocked in arena
+     * slots and converts exactly once at ingress and once at egress.
+     */
+    const LayoutPlan &layerLayout(std::size_t i) const;
+
+    /**
      * Forward a (possibly batched) NCHW tensor through every layer.
      * Thread-safe: only reads shared prepared state; per-call scratch
      * lives in `scratch`. `ctx` optionally shards each large layer's
@@ -132,12 +153,19 @@ class Session
         ConvParams params;
         ConvEngine engine = ConvEngine::Im2col;
         WinoVariant variant = WinoVariant::F2;
+        /// Layout contract of this layer's backend (planned once at
+        /// session build from the backend's declared layouts).
+        LayoutPlan layout;
         std::shared_ptr<const ConvBackend> backend;
         std::shared_ptr<const PreparedLayer> prepared;
         /// Arena slot of this layer's output activation; intermediate
         /// activations live in the worker's arena so the serving loop
         /// performs no steady-state allocations.
         ScratchArena::Slot activation = 0;
+        /// Arena slot holding this layer's input re-laid into the
+        /// backend's layout, used only when the producing layer's
+        /// output layout disagrees.
+        ScratchArena::Slot convert = 0;
     };
 
     NetworkDesc net_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "gemm/gemm.hh"
+#include "layout/layout.hh"
 
 namespace twq
 {
@@ -190,6 +191,64 @@ im2colInto(const Tensor<T> &input, std::size_t n, const ConvParams &p,
 }
 
 template <typename T>
+void
+im2colBlockedInto(const Tensor<T> &input, std::size_t c, std::size_t n,
+                  const ConvParams &p, Tensor<T> &cols)
+{
+    twq_assert(input.rank() == 5 && input.dim(4) == kLayoutBlock,
+               "im2colBlockedInto expects an NCHWc8 input");
+    twq_assert(input.dim(1) == layoutBlocks(c),
+               "channel blocks do not match the logical channel count");
+    const std::size_t cb = input.dim(1);
+    const std::size_t h = input.dim(2);
+    const std::size_t w = input.dim(3);
+    const std::size_t ho = p.outSize(h);
+    const std::size_t wo = p.outSize(w);
+    const std::size_t k = p.kernel;
+
+    const Shape want{c * k * k, ho * wo};
+    if (cols.shape() != want)
+        cols = Tensor<T>(want);
+    T *dst = cols.data();
+    const T *base = input.data() + n * cb * h * w * kLayoutBlock;
+    for (std::size_t ic = 0; ic < c; ++ic) {
+        // The block's plane, offset to lane ic % 8: spatial position
+        // (y, x) lives at plane[(y * w + x) * 8].
+        const T *plane = base +
+                         (ic / kLayoutBlock) * h * w * kLayoutBlock +
+                         ic % kLayoutBlock;
+        for (std::size_t ky = 0; ky < k; ++ky) {
+            for (std::size_t kx = 0; kx < k; ++kx) {
+                T *row = dst + ((ic * k + ky) * k + kx) * ho * wo;
+                for (std::size_t oy = 0; oy < ho; ++oy) {
+                    const std::ptrdiff_t iy =
+                        static_cast<std::ptrdiff_t>(oy * p.stride + ky) -
+                        static_cast<std::ptrdiff_t>(p.pad);
+                    const bool rowIn =
+                        iy >= 0 && iy < static_cast<std::ptrdiff_t>(h);
+                    const T *src =
+                        rowIn ? plane + static_cast<std::size_t>(iy) *
+                                            w * kLayoutBlock
+                              : nullptr;
+                    for (std::size_t ox = 0; ox < wo; ++ox) {
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(ox * p.stride +
+                                                        kx) -
+                            static_cast<std::ptrdiff_t>(p.pad);
+                        row[oy * wo + ox] =
+                            (rowIn && ix >= 0 &&
+                             ix < static_cast<std::ptrdiff_t>(w))
+                                ? src[static_cast<std::size_t>(ix) *
+                                      kLayoutBlock]
+                                : T{};
+                    }
+                }
+            }
+        }
+    }
+}
+
+template <typename T>
 Tensor<T>
 packConvWeights(const Tensor<T> &weights)
 {
@@ -268,6 +327,12 @@ template void im2colInto(const Tensor<float> &, std::size_t,
                          const ConvParams &, Tensor<float> &);
 template void im2colInto(const Tensor<double> &, std::size_t,
                          const ConvParams &, Tensor<double> &);
+template void im2colBlockedInto(const Tensor<float> &, std::size_t,
+                                std::size_t, const ConvParams &,
+                                Tensor<float> &);
+template void im2colBlockedInto(const Tensor<double> &, std::size_t,
+                                std::size_t, const ConvParams &,
+                                Tensor<double> &);
 template void im2colInto(const Tensor<std::int8_t> &, std::size_t,
                          const ConvParams &, Tensor<std::int8_t> &);
 template Tensor<float> packConvWeights(const Tensor<float> &);

@@ -75,6 +75,20 @@ template <typename T>
 void im2colInto(const Tensor<T> &input, std::size_t n,
                 const ConvParams &p, Tensor<T> &cols);
 
+/**
+ * im2colInto for an NCHWc8-blocked input (layout/layout.hh): lower
+ * batch element `n` of `input` ([N, ceil(C/8), H, W, 8]) into the
+ * same [C*K*K, Ho*Wo] column matrix im2colInto produces from the NCHW
+ * equivalent, bit for bit — `c` is the logical channel count (tail
+ * lanes of a partial block are skipped). Lets an im2col consumer run
+ * directly on a blocked inter-layer activation instead of paying a
+ * full-tensor layout conversion first.
+ */
+template <typename T>
+void im2colBlockedInto(const Tensor<T> &input, std::size_t c,
+                       std::size_t n, const ConvParams &p,
+                       Tensor<T> &cols);
+
 /** Flatten OIKK weights to the [Cout, Cin*K*K] GEMM operand. */
 template <typename T>
 Tensor<T> packConvWeights(const Tensor<T> &weights);
@@ -123,6 +137,14 @@ extern template void im2colInto(const Tensor<double> &, std::size_t,
 extern template void im2colInto(const Tensor<std::int8_t> &, std::size_t,
                                 const ConvParams &,
                                 Tensor<std::int8_t> &);
+extern template void im2colBlockedInto(const Tensor<float> &,
+                                       std::size_t, std::size_t,
+                                       const ConvParams &,
+                                       Tensor<float> &);
+extern template void im2colBlockedInto(const Tensor<double> &,
+                                       std::size_t, std::size_t,
+                                       const ConvParams &,
+                                       Tensor<double> &);
 extern template Tensor<float> packConvWeights(const Tensor<float> &);
 extern template Tensor<double> packConvWeights(const Tensor<double> &);
 extern template void conv2dIm2colPackedInto(const Tensor<float> &,

@@ -351,11 +351,21 @@ winogradTapGemm(const WinogradTapWeights<T> &w, const Tensor<T> &U,
         M = Tensor<T>(want);
     if (!runner)
         packs = nullptr; // lanes are only exclusive under a runner
-    gemm::runTasks(runner, tt, [&](std::size_t k, std::size_t lane) {
-        gemm::gemm(w.tap(k), U.data() + k * w.cin * tiles,
-                   M.data() + k * w.cout * tiles, w.cout, w.cin, tiles,
-                   gemm::lanePack<T>(packs, lane));
-    });
+    // Shard tap x column-block: taps alone (16 for F2) under-fill
+    // many-core pools, so each tap's product additionally splits into
+    // P column blocks. Column blocks are bit-identical to the whole
+    // product (see gemm::gemmCols), so any shard plan gives the same
+    // result.
+    gemm::runTapColBlocks(
+        runner, tt, tiles, gemm::kNr,
+        [&](std::size_t k, std::size_t j0, std::size_t jn,
+            std::size_t lane) {
+            gemm::gemmCols(w.tap(k),
+                           U.data() + k * w.cin * tiles + j0,
+                           M.data() + k * w.cout * tiles + j0, w.cout,
+                           w.cin, jn, tiles, tiles,
+                           gemm::lanePack<T>(packs, lane));
+        });
 }
 
 template <typename T>

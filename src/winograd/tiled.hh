@@ -176,9 +176,11 @@ void winogradScatter(const Tensor<T> &input, WinoVariant v,
  * [Cout, Cin] tap slice, each product running the blocked gemm core.
  * M is reshaped to [t*t, Cout, P]. The t*t taps are independent: when
  * `runner` is non-null they are sharded across it (pack buffers drawn
- * from `packs` when provided), and since every tap's product is the
- * same computation either way, parallel execution is bit-identical to
- * serial.
+ * from `packs` when provided), and when taps alone would under-fill
+ * the pool each tap's product is further split into P column blocks
+ * (gemm::colShards). Every shard computes the same per-element
+ * ascending-k sums it would serially, so parallel execution is
+ * bit-identical to serial under any shard plan.
  */
 template <typename T>
 void winogradTapGemm(const WinogradTapWeights<T> &w, const Tensor<T> &U,

@@ -32,6 +32,8 @@ convEngineName(ConvEngine e)
         return "winograd-int8";
       case ConvEngine::Im2colInt8:
         return "im2col-int8";
+      case ConvEngine::WinogradBlocked:
+        return "winograd-blocked";
     }
     return "?";
 }

@@ -52,9 +52,16 @@ enum class ConvEngine
     Im2colInt8,   ///< int8 im2col on the widening GEMM micro-kernel;
                   ///< the quantized path's fallback for layers the
                   ///< Winograd engines cannot execute
+    WinogradBlocked, ///< FP32 Winograd on the NCHWc8 blocked
+                     ///< activation layout (src/layout/): unit-stride
+                     ///< tile gathers and c-block SIMD lanes; the
+                     ///< session keeps its activations blocked
 };
 
-/** Name ("im2col" / "winograd-fp32" / "winograd-int8" / "im2col-int8"). */
+/**
+ * Name ("im2col" / "winograd-fp32" / "winograd-int8" / "im2col-int8" /
+ * "winograd-blocked").
+ */
 const char *convEngineName(ConvEngine e);
 
 /** Parse a ConvEngine from its convEngineName; false if unknown. */
@@ -66,6 +73,7 @@ inline constexpr ConvEngine kAllConvEngines[] = {
     ConvEngine::WinogradFp32,
     ConvEngine::WinogradInt8,
     ConvEngine::Im2colInt8,
+    ConvEngine::WinogradBlocked,
 };
 
 /** Static engine configuration. */

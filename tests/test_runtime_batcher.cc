@@ -230,11 +230,13 @@ TEST(Session, AutoSelectKeepsIneligibleLayersOnIm2col)
     EXPECT_EQ(session.layerEngine(3), ConvEngine::Im2col);
     EXPECT_EQ(session.layerEngine(4), ConvEngine::Im2col);
     // Eligible layers end up on whichever engine measured faster —
-    // one of the two candidates, never anything else.
+    // one of the raced FP candidates, never anything else (in
+    // particular never a quantized engine).
     for (std::size_t i = 0; i < 3; ++i) {
         const ConvEngine e = session.layerEngine(i);
         EXPECT_TRUE(e == ConvEngine::WinogradFp32 ||
-                    e == ConvEngine::Im2col)
+                    e == ConvEngine::Im2col ||
+                    e == ConvEngine::WinogradBlocked)
             << "layer " << i << " landed on " << convEngineName(e);
     }
 }

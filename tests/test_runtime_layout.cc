@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Runtime-level tests for session layout propagation (the NCHWc8
+ * blocked winograd engine end to end), the autoSelect layout race,
+ * the serializable plan cache, and the P-sharded per-tap GEMMs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "gemm/gemm.hh"
+#include "layout/wino_blocked.hh"
+#include "models/zoo.hh"
+#include "runtime/server.hh"
+#include "tensor/batch.hh"
+#include "winograd/tiled.hh"
+
+namespace twq
+{
+namespace
+{
+
+TensorD
+randomInput(const Shape &shape, std::uint64_t seed)
+{
+    TensorD t(shape);
+    Rng rng(seed);
+    rng.fillNormal(t.storage(), 0.0, 1.0);
+    return t;
+}
+
+TEST(LayoutPropagation, BlockedSessionMatchesIm2colReference)
+{
+    // width 4 exercises tail blocks (C % 8 != 0) on every layer.
+    const NetworkDesc net = microServeNet(8, 4);
+    SessionConfig blockedCfg;
+    blockedCfg.defaultEngine = ConvEngine::WinogradBlocked;
+    SessionConfig refCfg;
+    refCfg.defaultEngine = ConvEngine::Im2col;
+    const Session session(net, blockedCfg);
+    const Session reference(net, refCfg);
+
+    const TensorD input = randomInput(session.inputShape(), 42);
+    const TensorD y = session.run(input);
+    const TensorD ref = reference.run(input);
+    ASSERT_EQ(y.shape(), ref.shape());
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        EXPECT_NEAR(y[i], ref[i], 1e-6);
+}
+
+TEST(LayoutPropagation, PlansBlockedChainWithNchwFallbacks)
+{
+    SessionConfig cfg;
+    cfg.defaultEngine = ConvEngine::WinogradBlocked;
+    const Session session(microServeNet(8, 4), cfg);
+    ASSERT_EQ(session.layerCount(), 5u);
+    // stem + the two body layers are eligible: blocked in and out, so
+    // the three-layer chain keeps its activations blocked.
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(session.layerEngine(i), ConvEngine::WinogradBlocked);
+        EXPECT_EQ(session.layerLayout(i).in, ActLayout::NCHWc8);
+        EXPECT_EQ(session.layerLayout(i).out, ActLayout::NCHWc8);
+    }
+    // down (strided) and head (1x1) fall back to NCHW im2col.
+    for (std::size_t i = 3; i < 5; ++i) {
+        EXPECT_EQ(session.layerEngine(i), ConvEngine::Im2col);
+        EXPECT_EQ(session.layerLayout(i).in, ActLayout::NCHW);
+        EXPECT_EQ(session.layerLayout(i).out, ActLayout::NCHW);
+    }
+}
+
+TEST(LayoutPropagation, BatchedIsBitIdenticalToSequential)
+{
+    SessionConfig cfg;
+    cfg.defaultEngine = ConvEngine::WinogradBlocked;
+    const Session session(microServeNet(8, 4), cfg);
+
+    constexpr std::size_t kBatch = 4;
+    std::vector<TensorD> inputs;
+    std::vector<const TensorD *> items;
+    for (std::size_t i = 0; i < kBatch; ++i)
+        inputs.push_back(randomInput(session.inputShape(), 800 + i));
+    for (const TensorD &t : inputs)
+        items.push_back(&t);
+
+    const TensorD batched = session.run(stackBatch(items));
+    for (std::size_t i = 0; i < kBatch; ++i) {
+        const TensorD alone = session.run(inputs[i]);
+        const TensorD slice = sliceBatch(batched, i);
+        EXPECT_TRUE(slice == alone)
+            << "blocked batched element " << i
+            << " differs from sequential execution";
+    }
+}
+
+TEST(LayoutPropagation, ServerResponsesAreBitIdentical)
+{
+    SessionConfig cfg;
+    cfg.defaultEngine = ConvEngine::WinogradBlocked;
+    auto session =
+        std::make_shared<Session>(microServeNet(8, 4), cfg);
+
+    constexpr std::size_t kRequests = 10;
+    std::vector<TensorD> inputs;
+    std::vector<TensorD> refs;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        inputs.push_back(randomInput(session->inputShape(), 900 + i));
+        refs.push_back(session->run(inputs[i]));
+    }
+
+    RuntimeConfig rcfg;
+    rcfg.threads = 2;
+    rcfg.batch.maxBatch = 4;
+    rcfg.batch.maxWait = std::chrono::microseconds(500);
+    InferenceServer server(session, rcfg);
+    std::vector<std::future<TensorD>> futures;
+    for (const TensorD &in : inputs)
+        futures.push_back(server.submit(in));
+    for (std::size_t i = 0; i < kRequests; ++i) {
+        const TensorD out = futures[i].get();
+        EXPECT_TRUE(out == refs[i])
+            << "blocked response " << i
+            << " differs from sequential execution";
+    }
+    server.shutdown();
+}
+
+TEST(LayoutPropagation, AutoSelectOutputStaysCorrect)
+{
+    const NetworkDesc net = microServeNet(8, 4);
+    SessionConfig cfg;
+    cfg.autoSelect = true;
+    cfg.autoSelectBatch = 2;
+    const Session session(net, cfg);
+    SessionConfig refCfg;
+    refCfg.defaultEngine = ConvEngine::Im2col;
+    const Session reference(net, refCfg);
+
+    const TensorD input = randomInput(session.inputShape(), 43);
+    const TensorD y = session.run(input);
+    const TensorD ref = reference.run(input);
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        EXPECT_NEAR(y[i], ref[i], 1e-6);
+    // Whatever won the race, every eligible layer landed on an FP
+    // engine and the ineligible tail stayed on im2col.
+    for (std::size_t i = 0; i < 3; ++i) {
+        const ConvEngine e = session.layerEngine(i);
+        EXPECT_TRUE(e == ConvEngine::Im2col ||
+                    e == ConvEngine::WinogradFp32 ||
+                    e == ConvEngine::WinogradBlocked);
+    }
+    EXPECT_EQ(session.layerEngine(3), ConvEngine::Im2col);
+    EXPECT_EQ(session.layerEngine(4), ConvEngine::Im2col);
+}
+
+TEST(PlanCacheTest, AutoSelectPopulatesTheCache)
+{
+    PlanCache cache;
+    SessionConfig cfg;
+    cfg.autoSelect = true;
+    cfg.autoSelectBatch = 2;
+    cfg.planCache = &cache;
+    const NetworkDesc net = microServeNet(8, 4);
+    const Session session(net, cfg);
+
+    // stem and body share the cache across identical shapes; at least
+    // the two distinct eligible shapes must be recorded.
+    EXPECT_GE(cache.size(), 2u);
+    for (const ConvLayerDesc &d : net.expandedLayers()) {
+        if (!d.winogradEligible())
+            continue;
+        PlanCache::Decision dec;
+        EXPECT_TRUE(cache.lookup(
+            PlanCache::layerKey(d, cfg.autoSelectBatch), &dec))
+            << "no cached plan for " << d.name;
+    }
+}
+
+TEST(PlanCacheTest, CachedDecisionsAreHonoredWithoutMeasuring)
+{
+    const NetworkDesc net = microServeNet(8, 4);
+    // Seed every eligible layer with a decision the measured race
+    // would be very unlikely to produce uniformly (plain im2col under
+    // F4): the session must adopt it verbatim, proving the lookup
+    // short-circuits the probe.
+    PlanCache cache;
+    SessionConfig cfg;
+    cfg.autoSelect = true;
+    cfg.autoSelectBatch = 2;
+    cfg.planCache = &cache;
+    for (const ConvLayerDesc &d : net.expandedLayers())
+        if (d.winogradEligible())
+            cache.store(PlanCache::layerKey(d, cfg.autoSelectBatch),
+                        {ConvEngine::Im2col, WinoVariant::F4});
+
+    const Session session(net, cfg);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(session.layerEngine(i), ConvEngine::Im2col);
+        EXPECT_EQ(session.layerVariant(i), WinoVariant::F4);
+    }
+
+    // A cached blocked decision carries the layout plan with it.
+    PlanCache cache2;
+    for (const ConvLayerDesc &d : net.expandedLayers())
+        if (d.winogradEligible())
+            cache2.store(
+                PlanCache::layerKey(d, cfg.autoSelectBatch),
+                {ConvEngine::WinogradBlocked, WinoVariant::F2});
+    cfg.planCache = &cache2;
+    const Session blocked(net, cfg);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(blocked.layerEngine(i),
+                  ConvEngine::WinogradBlocked);
+        EXPECT_EQ(blocked.layerLayout(i).in, ActLayout::NCHWc8);
+    }
+}
+
+TEST(PlanCacheTest, ForeignEngineEntriesAreIgnoredAndReprobed)
+{
+    // A corrupted / cross-version cache may name an engine the FP
+    // race never produces (here: the quantized winograd engine, whose
+    // prepare() needs calibration the FP path never built). The
+    // session must ignore the entry and fall back to measuring
+    // instead of dying in prepare().
+    const NetworkDesc net = microServeNet(8, 4);
+    PlanCache cache;
+    SessionConfig cfg;
+    cfg.autoSelect = true;
+    cfg.autoSelectBatch = 2;
+    cfg.planCache = &cache;
+    for (const ConvLayerDesc &d : net.expandedLayers())
+        if (d.winogradEligible())
+            cache.store(PlanCache::layerKey(d, cfg.autoSelectBatch),
+                        {ConvEngine::WinogradInt8, WinoVariant::F2});
+
+    const Session session(net, cfg);
+    for (std::size_t i = 0; i < 3; ++i) {
+        const ConvEngine e = session.layerEngine(i);
+        EXPECT_TRUE(e == ConvEngine::Im2col ||
+                    e == ConvEngine::WinogradFp32 ||
+                    e == ConvEngine::WinogradBlocked)
+            << "foreign cache entry leaked into layer " << i;
+    }
+    // The re-probe overwrote the foreign entries with real decisions.
+    PlanCache::Decision dec;
+    ASSERT_TRUE(cache.lookup(
+        PlanCache::layerKey(net.expandedLayers()[0],
+                            cfg.autoSelectBatch),
+        &dec));
+    EXPECT_NE(dec.engine, ConvEngine::WinogradInt8);
+}
+
+TEST(PlanCacheTest, SerializeRoundTripsAndPersistsToDisk)
+{
+    PlanCache cache;
+    cache.store("c64o64k3s1h16w16b8",
+                {ConvEngine::WinogradBlocked, WinoVariant::F4});
+    cache.store("c4o4k3s1h8w8b2",
+                {ConvEngine::WinogradFp32, WinoVariant::F2});
+    cache.store("c3o4k3s1h8w8b2", {ConvEngine::Im2col, WinoVariant::F2});
+
+    const std::string text = cache.serialize();
+    PlanCache parsed;
+    ASSERT_TRUE(parsed.deserialize(text));
+    EXPECT_EQ(parsed.size(), 3u);
+    EXPECT_EQ(parsed.serialize(), text);
+    PlanCache::Decision dec;
+    ASSERT_TRUE(parsed.lookup("c64o64k3s1h16w16b8", &dec));
+    EXPECT_EQ(dec.engine, ConvEngine::WinogradBlocked);
+    EXPECT_EQ(dec.variant, WinoVariant::F4);
+
+    EXPECT_FALSE(parsed.deserialize("not a plan cache"));
+
+    const std::string path =
+        ::testing::TempDir() + "/twq_plan_cache_test.txt";
+    ASSERT_TRUE(cache.saveFile(path));
+    PlanCache loaded;
+    ASSERT_TRUE(loaded.loadFile(path));
+    EXPECT_EQ(loaded.serialize(), text);
+    std::remove(path.c_str());
+    EXPECT_FALSE(loaded.loadFile(path + ".missing"));
+}
+
+TEST(PShardedTapGemm, GemmColsIsBitIdenticalToWholeGemm)
+{
+    const std::size_t m = 13, k = 37, n = 300;
+    const TensorD a = randomInput({m, k}, 1000);
+    const TensorD b = randomInput({k, n}, 1001);
+    TensorD whole({m, n});
+    gemm::gemm(a.data(), b.data(), whole.data(), m, k, n);
+
+    TensorD split({m, n});
+    // Uneven thirds, including a non-multiple-of-kNr boundary.
+    const std::size_t cuts[] = {0, 100, 171, n};
+    for (std::size_t s = 0; s + 1 < 4; ++s) {
+        const std::size_t j0 = cuts[s];
+        gemm::gemmCols(a.data(), b.data() + j0, split.data() + j0, m,
+                       k, cuts[s + 1] - j0, n, n);
+    }
+    EXPECT_TRUE(split == whole);
+}
+
+TEST(PShardedTapGemm, ParallelMatchesSerialBitExact)
+{
+    // 16 taps against 17 lanes: colShards > 1, so this exercises the
+    // tap x P-block grid, not just tap sharding.
+    ThreadPool pool(16);
+    PoolRunner runner(pool, pool.size());
+
+    const std::size_t cin = 24, cout = 24;
+    const TensorD x = randomInput({4, cin, 16, 16}, 1100);
+    const TensorD w = randomInput({cout, cin, 3, 3}, 1101);
+    const WinogradTapWeights<double> taps =
+        winogradPrepareTapWeights(w, WinoVariant::F2);
+
+    TensorD V, U;
+    winogradScatter(x, WinoVariant::F2, 1, V, U);
+
+    TensorD mSerial, mParallel;
+    winogradTapGemm(taps, U, mSerial);
+    winogradTapGemm(taps, U, mParallel, &runner);
+    EXPECT_TRUE(mParallel == mSerial)
+        << "P-sharded NCHW tap GEMM differs from serial";
+
+    // Same claim for the blocked-layout tap GEMM.
+    const BlockedTapWeights bw = blockedTapWeights(taps);
+    TensorD xb(blockedShape(x.shape()));
+    nchwToBlocked(x, xb);
+    TensorD Vb;
+    winogradGatherTilesBlocked(xb, WinoVariant::F2, 1, Vb);
+    TensorD mbSerial, mbParallel;
+    winogradTapGemmBlocked(bw, Vb, mbSerial);
+    winogradTapGemmBlocked(bw, Vb, mbParallel, &runner);
+    EXPECT_TRUE(mbParallel == mbSerial)
+        << "P-sharded blocked tap GEMM differs from serial";
+
+    pool.shutdown();
+}
+
+} // namespace
+} // namespace twq
