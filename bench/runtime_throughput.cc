@@ -211,7 +211,7 @@ runOpenLoop(const std::shared_ptr<const Session> &session,
 }
 
 /**
- * CI smoke check. Five structural gates:
+ * CI smoke check. Eight structural gates:
  *
  *  1. the blocked GEMM core must beat the naive i-k-j loop it
  *     replaced on a representative per-tap shape,
@@ -221,8 +221,17 @@ runOpenLoop(const std::shared_ptr<const Session> &session,
  *     bypasses (the unit-stride claim of the layout subsystem),
  *  4. end-to-end blocked-layout winograd must not lose to NCHW
  *     winograd on the wide layer (steady-state, activations already
- *     blocked — the regime layout propagation creates), and
- *  5. autoSelect must actually pick the blocked engine on that layer.
+ *     blocked — the regime layout propagation creates),
+ *  5. autoSelect must actually pick the blocked engine on that layer,
+ *  6. the dispatched int8 -> int32 widening micro-kernel must not
+ *     lose to the generic blocked widening kernel it replaced on a
+ *     representative per-tap GEMM shape (equal on hosts where the
+ *     dispatch resolves to the generic scalar kernel),
+ *  7. end-to-end blocked int8 winograd must not lose to NCHW
+ *     int-winograd on the wide layer (the quantized counterpart of
+ *     gate 4), and
+ *  8. autoSelect must pick the blocked int8 engine on the wide
+ *     quantized layer (racing NCHW int-winograd and im2col-int8).
  *
  * The timed gates carry a 10% slack so a scheduling blip on a shared
  * CI runner cannot flip a structural claim into a flake; an actual
@@ -379,6 +388,57 @@ runSmoke()
                     convEngineName(sel.layerEngine(0)),
                     winoName(sel.layerVariant(0)),
                     sok ? "" : "  << FAIL: blocked path not selected");
+
+        // Gate 7: the quantized counterpart of gate 4 — blocked int8
+        // winograd against NCHW int-winograd, both on their native
+        // steady-state input layout, both with the same calibration.
+        {
+            TensorD calT({2, d.cin, d.height, d.width});
+            Rng calRng(seed++);
+            calRng.fillNormal(calT.storage(), 0.0, 1.0);
+            std::vector<TensorD> cal{calT};
+            LayerBuild qbuild = build;
+            qbuild.calibration = &cal;
+            const auto intWino =
+                registry.get(ConvEngine::WinogradInt8);
+            const auto intBlocked =
+                registry.get(ConvEngine::WinogradBlockedInt8);
+            const auto prepInt =
+                intWino->prepare(d, weights, qbuild);
+            const auto prepIntB =
+                intBlocked->prepare(d, weights, qbuild);
+            const double tInt =
+                timeBackendRun(*intWino, *prepInt, probe, arena, 7);
+            const double tIntB = timeBackendRun(
+                *intBlocked, *prepIntB, probeBlocked, arena, 7);
+            const bool qok = tIntB < 1.10 * tInt;
+            failures += !qok;
+            std::printf("%-12s %12.1f %12.1f %7.2fx%s\n",
+                        "wide-64-i8c8", tInt * 1e6, tIntB * 1e6,
+                        tInt / tIntB,
+                        qok ? ""
+                            : "  << FAIL: blocked int8 slower than "
+                              "NCHW int8");
+        }
+
+        // Gate 8: the measured quantized policy must land on the
+        // blocked int8 engine (the race includes NCHW int-winograd
+        // F2/F4 and im2col-int8).
+        {
+            SessionConfig qcfg;
+            qcfg.defaultEngine = ConvEngine::WinogradInt8;
+            qcfg.autoSelect = true;
+            const Session qsel(wideNet, qcfg);
+            const bool qsok = qsel.layerEngine(0) ==
+                              ConvEngine::WinogradBlockedInt8;
+            failures += !qsok;
+            std::printf("autoSelect[wide-64-int8] -> %s (%s)%s\n",
+                        convEngineName(qsel.layerEngine(0)),
+                        winoName(qsel.layerVariant(0)),
+                        qsok ? ""
+                             : "  << FAIL: blocked int8 path not "
+                               "selected");
+        }
     }
 
     // Blocked-GEMM gate: on a representative [Cout, Cin] x [Cin, P]
@@ -420,6 +480,35 @@ runSmoke()
                     M, K, P, gemm::kernelName(), tNaive * 1e6,
                     tBlocked * 1e6, tNaive / tBlocked,
                     ok ? "" : "  << FAIL: blocked GEMM slower");
+
+        // Gate 6: the dispatched int8 widening micro-kernel against
+        // the generic blocked widening kernel on the same per-tap
+        // shape. On hosts without a SIMD int8 kernel the dispatch IS
+        // the generic kernel and the ratio sits at 1.0 — inside the
+        // gate's slack by construction.
+        std::vector<std::int8_t> a8(M * K), b8(K * P);
+        for (auto &v : a8)
+            v = static_cast<std::int8_t>(rng.uniformInt(-128, 127));
+        for (auto &v : b8)
+            v = static_cast<std::int8_t>(rng.uniformInt(-128, 127));
+        std::vector<std::int32_t> c32(M * P);
+        const double tGeneric = bestOf([&] {
+            gemm::gemmS8S32Generic(a8.data(), b8.data(), c32.data(),
+                                   M, K, P, P, P);
+        });
+        const double tWiden = bestOf([&] {
+            gemm::gemmS8S32(a8.data(), b8.data(), c32.data(), M, K,
+                            P);
+        });
+        const bool i8ok = tWiden < 1.10 * tGeneric;
+        failures += !i8ok;
+        std::printf("gemm-s8[%zux%zux%zu] kernel=%s: generic %.1f "
+                    "us, widening %.1f us, %.2fx%s\n",
+                    M, K, P, gemm::int8KernelName(), tGeneric * 1e6,
+                    tWiden * 1e6, tGeneric / tWiden,
+                    i8ok ? ""
+                         : "  << FAIL: widening kernel slower than "
+                           "generic");
     }
 
     // Whole-net bulk context (includes the im2col-only layers).
@@ -437,7 +526,9 @@ runSmoke()
     std::printf(failures == 0
                     ? "\nSMOKE PASS: blocked GEMM beats naive, "
                       "winograd-fp32 beats im2col on the wide layer, "
-                      "and the NCHWc8 layout holds its gather / "
+                      "the NCHWc8 layout holds its gather / "
+                      "end-to-end / autoSelect claims, and the int8 "
+                      "path holds its widening-kernel / blocked "
                       "end-to-end / autoSelect claims\n"
                     : "\nSMOKE FAIL: %d gate(s) failed\n",
                 failures);
@@ -702,6 +793,79 @@ main(int argc, char **argv)
         wide.height = 16;
         wide.width = 16;
         runLayerLatency(wide, "wide64", 8, hw, results);
+
+        // Quantized wide-64 single-batch latency: NCHW int-winograd
+        // vs the NCHWc8 blocked int8 engine, each on its native
+        // steady-state input layout — the rows the int8 layout claim
+        // is tracked by (wide64-int8-nchw / wide64-int8-blocked).
+        {
+            const EngineRegistry &registry = EngineRegistry::instance();
+            LayerBuild build;
+            build.params = ConvParams{3, 1, 1};
+            build.variant = WinoVariant::F2;
+            TensorD weights({wide.cout, wide.cin, 3, 3});
+            Rng wrng(0x18b);
+            wrng.fillNormal(weights.storage(), 0.0, 0.1);
+            TensorD calT({2, wide.cin, wide.height, wide.width});
+            Rng crng(0xca1);
+            crng.fillNormal(calT.storage(), 0.0, 1.0);
+            std::vector<TensorD> cal{calT};
+            build.calibration = &cal;
+            TensorD probe({8, wide.cin, wide.height, wide.width});
+            Rng prng(0x1e8);
+            prng.fillNormal(probe.storage(), 0.0, 1.0);
+            TensorD probeBlocked(blockedShape(probe.shape()));
+            nchwToBlocked(probe, probeBlocked);
+            ScratchArena arena;
+
+            const auto latencyRow = [&](ConvEngine engine,
+                                        const char *label,
+                                        const TensorD &in) {
+                const auto backend = registry.get(engine);
+                const auto prep =
+                    backend->prepare(wide, weights, build);
+                TensorD out(
+                    backend->outputShape(*prep, in.shape()));
+                backend->run(*prep, in, arena, out); // warmup
+                std::vector<double> ms;
+                constexpr int kIters = 60;
+                ms.reserve(kIters);
+                const auto wall0 = Clock::now();
+                for (int i = 0; i < kIters; ++i) {
+                    const auto t0 = Clock::now();
+                    backend->run(*prep, in, arena, out);
+                    ms.push_back(
+                        std::chrono::duration<double, std::milli>(
+                            Clock::now() - t0)
+                            .count());
+                }
+                Result r;
+                r.engine = convEngineName(engine);
+                r.label = label;
+                r.threads = 1;
+                r.maxBatch = 8;
+                r.clients = 1;
+                r.requests = kIters;
+                r.wallSec = std::chrono::duration<double>(
+                                Clock::now() - wall0)
+                                .count();
+                r.reqPerSec = kIters / r.wallSec;
+                r.p50Ms = percentile(ms, 0.50);
+                r.p99Ms = percentile(ms, 0.99);
+                r.avgBatch = 8.0;
+                results.push_back(r);
+                return r.p50Ms;
+            };
+            const double pInt = latencyRow(ConvEngine::WinogradInt8,
+                                           "wide64-int8-nchw",
+                                           probe);
+            const double pIntB =
+                latencyRow(ConvEngine::WinogradBlockedInt8,
+                           "wide64-int8-blocked", probeBlocked);
+            std::printf("layer wide-64 int8 p50: nchw %.3f ms, "
+                        "nchwc8 %.3f ms (%.2fx)\n",
+                        pInt, pIntB, pInt / pIntB);
+        }
 
         // What the measured per-layer policy picks for the wide layer
         // (engine + variant + layout race, SessionConfig::autoSelect)

@@ -55,9 +55,11 @@ main(int argc, char **argv)
         if (arg == "--engine") {
             if (!convEngineFromName(need("--engine"), &engine)) {
                 std::fprintf(stderr,
-                             "unknown engine '%s' (want im2col, "
-                             "winograd-fp32, or winograd-int8)\n",
+                             "unknown engine '%s' (want one of:",
                              val);
+                for (ConvEngine e : kAllConvEngines)
+                    std::fprintf(stderr, " %s", convEngineName(e));
+                std::fprintf(stderr, ")\n");
                 return 1;
             }
         } else if (arg == "--threads") {

@@ -48,12 +48,56 @@ table()
     return t;
 }
 
+/// The generic blocked widening kernel in GemmS8Fn shape (the scalar
+/// fallback of the int8 dispatch, and the exported oracle).
+void
+genericGemmS8(const std::int8_t *a, const std::int8_t *b,
+              std::int32_t *c, std::size_t m, std::size_t k,
+              std::size_t n, std::size_t ldb, std::size_t ldc,
+              std::int8_t *pack)
+{
+    blockedGemmImpl<std::int8_t, std::int32_t>(
+        a, b, c, m, k, n, ldb, ldc, /*transA=*/false, pack);
+}
+
+/// The int8 -> int32 widening kernel, resolved once per process.
+struct Int8KernelTable
+{
+    GemmS8Fn gemmS8;
+    const char *name;
+};
+
+Int8KernelTable
+resolveInt8()
+{
+    if (GemmS8Fn fn = vnniGemmS8())
+        return {fn, "avx512-vnni"};
+    if (GemmS8Fn fn = avx2GemmS8())
+        return {fn, "avx2"};
+    if (GemmS8Fn fn = neonGemmS8())
+        return {fn, "neon"};
+    return {&genericGemmS8, "scalar"};
+}
+
+const Int8KernelTable &
+int8Table()
+{
+    static const Int8KernelTable t = resolveInt8();
+    return t;
+}
+
 } // namespace
 
 const char *
 kernelName()
 {
     return table().name;
+}
+
+const char *
+int8KernelName()
+{
+    return int8Table().name;
 }
 
 template <typename T>
@@ -120,13 +164,37 @@ gemmS8S32(const std::int8_t *a, const std::int8_t *b, std::int32_t *c,
           std::size_t m, std::size_t k, std::size_t n,
           std::int8_t *pack)
 {
-    // |a*b| <= 127^2, so int32 accumulation is exact (no wrap, hence
-    // no observable saturation) for k <= 2^17.
-    twq_assert(k <= (std::size_t{1} << 17),
+    gemmS8S32Cols(a, b, c, m, k, n, n, n, pack);
+}
+
+void
+gemmS8S32Cols(const std::int8_t *a, const std::int8_t *b,
+              std::int32_t *c, std::size_t m, std::size_t k,
+              std::size_t n, std::size_t ldb, std::size_t ldc,
+              std::int8_t *pack)
+{
+    // k <= 2^16 keeps every kernel's intermediate accumulation inside
+    // int32: the exact sums are bounded by 128^2 * k, and the VNNI
+    // kernel's offset partial sums by 255 * 128 * kKc on top of an
+    // exact partial — both clear of 2^31.
+    twq_assert(k <= (std::size_t{1} << 16),
                "gemmS8S32: K too large for exact int32 accumulation");
-    blockedGemmImpl<std::int8_t, std::int32_t>(
-        a, b, c, m, k, n, n, n, /*transA=*/false,
-        pack ? pack : tlsPack<std::int8_t>());
+    twq_assert(ldb >= n && ldc >= n,
+               "gemmS8S32Cols: leading dims narrower than the block");
+    int8Table().gemmS8(a, b, c, m, k, n, ldb, ldc,
+                       pack ? pack : tlsPack<std::int8_t>());
+}
+
+void
+gemmS8S32Generic(const std::int8_t *a, const std::int8_t *b,
+                 std::int32_t *c, std::size_t m, std::size_t k,
+                 std::size_t n, std::size_t ldb, std::size_t ldc,
+                 std::int8_t *pack)
+{
+    twq_assert(k <= (std::size_t{1} << 16),
+               "gemmS8S32: K too large for exact int32 accumulation");
+    genericGemmS8(a, b, c, m, k, n, ldb, ldc,
+                  pack ? pack : tlsPack<std::int8_t>());
 }
 
 template void gemm(const float *, const float *, float *, std::size_t,

@@ -80,6 +80,12 @@ packSize()
 const char *kernelName();
 
 /**
+ * Name of the int8 -> int32 widening kernel in use ("avx512-vnni",
+ * "avx2", "neon", "scalar").
+ */
+const char *int8KernelName();
+
+/**
  * C = A B, flat row-major: A [m, k], B [k, n], C [m, n]. C is
  * overwritten. `pack` is an optional packSize() pack buffer.
  */
@@ -123,15 +129,47 @@ void gemmNT(const T *a, const T *b, T *c, std::size_t m, std::size_t k,
 
 /**
  * int8 -> int32 widening-accumulate GEMM: A [m, k] and B [k, n] are
- * signed 8-bit, C [m, n] is int32 and overwritten. Products widen to
- * int32 before accumulating; with |a|,|b| <= 127 the accumulator
- * cannot wrap for k <= 2^17 (asserted), so no intermediate saturation
- * is ever observable and the result is exact. Backs the im2col-int8
- * baseline engine.
+ * signed 8-bit, C [m, n] is int32 and overwritten. Products widen
+ * before accumulating in int32; k <= 2^16 is asserted so no
+ * intermediate sum can wrap under any of the kernels below, hence no
+ * saturation is ever observable and the result is exact.
+ *
+ * Dispatched at runtime like the double-precision core: an AVX-512
+ * VNNI micro-kernel (`vpdpbusd` on u8 x s8 operands, the signed
+ * activations offset into unsigned range with a per-row compensation
+ * term), an AVX2 pairwise-widening micro-kernel (operands sign-extend
+ * to int16 and `vpmaddwd` pair-sums straight into the int32
+ * accumulator tile — the `vpmaddubsw` form of that idiom would
+ * saturate its int16 pair sums for full-range operands, which would
+ * break exactness), a NEON `smull`/`sadalp` counterpart, and the
+ * scalar blocked fallback. All kernels accumulate the same integer
+ * sums, so the choice never changes results. Backs the im2col-int8
+ * baseline engine and the bench smoke gate.
  */
 void gemmS8S32(const std::int8_t *a, const std::int8_t *b,
                std::int32_t *c, std::size_t m, std::size_t k,
                std::size_t n, std::int8_t *pack = nullptr);
+
+/**
+ * Column-block variant of gemmS8S32() with explicit B/C leading
+ * dimensions (ldb/ldc >= n), the seam gemm::colShards P-sharding
+ * splits on: computing any set of column blocks is exactly the whole
+ * product (integer sums are order-free).
+ */
+void gemmS8S32Cols(const std::int8_t *a, const std::int8_t *b,
+                   std::int32_t *c, std::size_t m, std::size_t k,
+                   std::size_t n, std::size_t ldb, std::size_t ldc,
+                   std::int8_t *pack = nullptr);
+
+/**
+ * The generic baseline-ISA blocked widening kernel (what gemmS8S32
+ * ran before the dispatched micro-kernels existed). Kept callable as
+ * the oracle for tests and the baseline of the bench smoke gate.
+ */
+void gemmS8S32Generic(const std::int8_t *a, const std::int8_t *b,
+                      std::int32_t *c, std::size_t m, std::size_t k,
+                      std::size_t n, std::size_t ldb, std::size_t ldc,
+                      std::int8_t *pack = nullptr);
 
 /**
  * The naive i-k-j triple loop (the former gemmFlat), kept inline as

@@ -119,6 +119,40 @@ blockedGemmImpl(const TIn *a, const TIn *b, TAcc *c, std::size_t m,
     }
 }
 
+/**
+ * Scalar N-edge of the int8 widening kernels: the same ascending-k
+ * int32 sums as the vector tiles, for columns [j0, n) of one packed
+ * row block. One definition shared by every GemmS8Fn implementation,
+ * so the edge contract cannot drift between ISAs.
+ */
+static inline void
+gemmS8EdgeCols(const std::int8_t *pack, const std::int8_t *b,
+               std::int32_t *c, std::size_t i0, std::size_t mr,
+               std::size_t j0, std::size_t n, std::size_t k0,
+               std::size_t kb, std::size_t ldb, std::size_t ldc,
+               bool first)
+{
+    for (; j0 < n; ++j0) {
+        for (std::size_t r = 0; r < mr; ++r) {
+            std::int32_t s = first ? 0 : c[(i0 + r) * ldc + j0];
+            for (std::size_t kk = 0; kk < kb; ++kk)
+                s += static_cast<std::int32_t>(pack[kk * kMr + r]) *
+                     static_cast<std::int32_t>(
+                         b[(k0 + kk) * ldb + j0]);
+            c[(i0 + r) * ldc + j0] = s;
+        }
+    }
+}
+
+/** The k == 0 degenerate case of a GemmS8Fn kernel: C := 0. */
+static inline void
+gemmS8ZeroC(std::int32_t *c, std::size_t m, std::size_t n,
+            std::size_t ldc)
+{
+    for (std::size_t i = 0; i < m; ++i)
+        std::fill(c + i * ldc, c + i * ldc + n, 0);
+}
+
 /// Double-precision whole-GEMM entry resolved into the kernel table.
 using GemmDFn = void (*)(const double *a, const double *b, double *c,
                          std::size_t m, std::size_t k, std::size_t n,
@@ -131,6 +165,28 @@ GemmDFn avx2GemmD();
 
 /// NEON kernel (kernels_neon.cc); null off aarch64.
 GemmDFn neonGemmD();
+
+/// int8 -> int32 widening entry resolved into the kernel table. The
+/// widening call sites never transpose A, so no transA parameter.
+using GemmS8Fn = void (*)(const std::int8_t *a, const std::int8_t *b,
+                          std::int32_t *c, std::size_t m,
+                          std::size_t k, std::size_t n,
+                          std::size_t ldb, std::size_t ldc,
+                          std::int8_t *pack);
+
+/// AVX2 pairwise-widening kernel (kernels_int8_avx2.cc): operands
+/// sign-extend to int16 and vpmaddwd pair-sums into the int32 tile.
+/// Null when not compiled in or the CPU lacks AVX2.
+GemmS8Fn avx2GemmS8();
+
+/// AVX-512 VNNI kernel (kernels_int8_vnni.cc): vpdpbusd on u8 x s8
+/// with the packed A operand offset by +128 and a per-row
+/// compensation term. Null without AVX512VL+VNNI.
+GemmS8Fn vnniGemmS8();
+
+/// NEON smull/sadalp widening kernel (kernels_neon.cc); null off
+/// aarch64.
+GemmS8Fn neonGemmS8();
 
 } // namespace gemm
 } // namespace twq

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * AVX2 int8 -> int32 pairwise-widening micro-kernel. This TU is
+ * compiled with -mavx2 (see CMakeLists.txt) on x86-64 and selected at
+ * runtime only when the CPU reports AVX2.
+ *
+ * The schedule mirrors blockedGemmImpl — Mr x Nc accumulator tile,
+ * packed A panel, ascending-k accumulation carried through C between
+ * K panels — widened to 16 columns of int32 (two ymm per A row). K is
+ * consumed in pairs: two B rows sign-extend to int16 and interleave
+ * per column, the packed A pair broadcasts as one 32-bit lane, and
+ * `vpmaddwd` pair-sums u16xs16 products straight into the int32
+ * accumulators.
+ *
+ * This is the exact form of the classic `vpmaddubsw` widening idiom:
+ * `vpmaddubsw` on u8 x s8 operands computes the same k-pair sums one
+ * step earlier (no explicit widening) but saturates them to int16,
+ * which full-range 8-bit operands can reach (255 * 128 * 2 > 2^15) —
+ * a silent wrong answer the library's bit-exactness contract cannot
+ * absorb. Widening to int16 first makes every pair sum exact:
+ * |products| <= 2^14, their sum fits int32 trivially, and the int32
+ * accumulation is plain wrap-free addition for k <= 2^16 (asserted at
+ * the entry point). The unpack interleave leaves columns in lane
+ * order {0-3, 8-11 | 4-7, 12-15}; one vperm2i128 pair per row at
+ * load/store restores memory order, so C always holds plain row-major
+ * int32.
+ */
+
+#include "gemm/kernels.hh"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace twq
+{
+namespace gemm
+{
+
+namespace
+{
+
+/// Sign-extend two packed A bytes into one broadcastable i16 pair.
+inline int
+packPair(std::int8_t a0, std::int8_t a1)
+{
+    return static_cast<int>(
+        (static_cast<std::uint32_t>(
+             static_cast<std::uint16_t>(static_cast<std::int16_t>(a0))) |
+         (static_cast<std::uint32_t>(static_cast<std::uint16_t>(
+              static_cast<std::int16_t>(a1)))
+          << 16)));
+}
+
+void
+avx2GemmS8Impl(const std::int8_t *a, const std::int8_t *b,
+               std::int32_t *c, std::size_t m, std::size_t k,
+               std::size_t n, std::size_t ldb, std::size_t ldc,
+               std::int8_t *pack)
+{
+    if (k == 0) {
+        gemmS8ZeroC(c, m, n, ldc);
+        return;
+    }
+    constexpr std::size_t kNc = 16; // int32 columns per vector tile
+    const __m256i zero = _mm256_setzero_si256();
+    for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
+        const std::size_t kb = std::min(kKc, k - k0);
+        const bool first = k0 == 0;
+        for (std::size_t i0 = 0; i0 < m; i0 += kMr) {
+            const std::size_t mr = std::min(kMr, m - i0);
+            packA(a, m, k, /*transA=*/false, i0, mr, k0, kb, pack);
+
+            // Broadcast pairs assembled once per panel — they depend
+            // only on the packed panel, not the column tile (an odd
+            // K tail pairs with zero).
+            const std::size_t pairs = (kb + 1) / 2;
+            int apair[kKc / 2][kMr];
+            for (std::size_t pi = 0; pi < pairs; ++pi) {
+                const std::int8_t *ap = pack + 2 * pi * kMr;
+                for (std::size_t r = 0; r < kMr; ++r)
+                    apair[pi][r] = packPair(
+                        ap[r],
+                        2 * pi + 1 < kb ? ap[kMr + r] : 0);
+            }
+
+            std::size_t j0 = 0;
+            for (; j0 + kNc <= n; j0 += kNc) {
+                // acc[r][0] holds columns {0-3, 8-11}, acc[r][1]
+                // columns {4-7, 12-15} (the unpack interleave order);
+                // the vperm2i128 pair below converts to/from memory
+                // order.
+                __m256i acc[kMr][2];
+                for (std::size_t r = 0; r < kMr; ++r) {
+                    if (!first && r < mr) {
+                        const std::int32_t *cr =
+                            c + (i0 + r) * ldc + j0;
+                        const __m256i lo = _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i *>(cr));
+                        const __m256i hi = _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i *>(cr + 8));
+                        acc[r][0] =
+                            _mm256_permute2x128_si256(lo, hi, 0x20);
+                        acc[r][1] =
+                            _mm256_permute2x128_si256(lo, hi, 0x31);
+                    } else {
+                        acc[r][0] = zero;
+                        acc[r][1] = zero;
+                    }
+                }
+                for (std::size_t pi = 0; pi < pairs; ++pi) {
+                    const std::size_t kk = 2 * pi;
+                    const std::int8_t *b0 = b + (k0 + kk) * ldb + j0;
+                    const __m256i b0w =
+                        _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                            reinterpret_cast<const __m128i *>(b0)));
+                    // An odd K tail pairs with a zero row, matching
+                    // the zero-padded broadcast pair.
+                    const __m256i b1w =
+                        kk + 1 < kb
+                            ? _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                                  reinterpret_cast<const __m128i *>(
+                                      b0 + ldb)))
+                            : zero;
+                    const __m256i lo =
+                        _mm256_unpacklo_epi16(b0w, b1w);
+                    const __m256i hi =
+                        _mm256_unpackhi_epi16(b0w, b1w);
+                    for (std::size_t r = 0; r < kMr; ++r) {
+                        const __m256i av =
+                            _mm256_set1_epi32(apair[pi][r]);
+                        acc[r][0] = _mm256_add_epi32(
+                            acc[r][0], _mm256_madd_epi16(av, lo));
+                        acc[r][1] = _mm256_add_epi32(
+                            acc[r][1], _mm256_madd_epi16(av, hi));
+                    }
+                }
+                for (std::size_t r = 0; r < mr; ++r) {
+                    std::int32_t *cr = c + (i0 + r) * ldc + j0;
+                    _mm256_storeu_si256(
+                        reinterpret_cast<__m256i *>(cr),
+                        _mm256_permute2x128_si256(acc[r][0],
+                                                  acc[r][1], 0x20));
+                    _mm256_storeu_si256(
+                        reinterpret_cast<__m256i *>(cr + 8),
+                        _mm256_permute2x128_si256(acc[r][0],
+                                                  acc[r][1], 0x31));
+                }
+            }
+            gemmS8EdgeCols(pack, b, c, i0, mr, j0, n, k0, kb, ldb,
+                           ldc, first);
+        }
+    }
+}
+
+} // namespace
+
+GemmS8Fn
+avx2GemmS8()
+{
+    if (__builtin_cpu_supports("avx2"))
+        return &avx2GemmS8Impl;
+    return nullptr;
+}
+
+} // namespace gemm
+} // namespace twq
+
+#else // !__AVX2__
+
+namespace twq
+{
+namespace gemm
+{
+
+GemmS8Fn
+avx2GemmS8()
+{
+    return nullptr;
+}
+
+} // namespace gemm
+} // namespace twq
+
+#endif

@@ -82,12 +82,127 @@ neonGemmDImpl(const double *a, const double *b, double *c,
     }
 }
 
+/**
+ * int8 -> int32 widening kernel via the smull/sadalp idiom: two B
+ * rows zip per column into k-pairs, `vmull_s8` (smull) widens the
+ * u8-free signed products to int16 — each fits int16 exactly, |p| <=
+ * 2^14 — and `vpadalq_s16` (sadalp) pair-sums adjacent products into
+ * the int32 accumulators. Integer sums are order-free, so the result
+ * is bit-identical to the generic blocked kernel.
+ */
+void
+neonGemmS8Impl(const std::int8_t *a, const std::int8_t *b,
+               std::int32_t *c, std::size_t m, std::size_t k,
+               std::size_t n, std::size_t ldb, std::size_t ldc,
+               std::int8_t *pack)
+{
+    if (k == 0) {
+        gemmS8ZeroC(c, m, n, ldc);
+        return;
+    }
+    constexpr std::size_t kNc = 16; // int32 columns per vector tile
+    for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
+        const std::size_t kb = std::min(kKc, k - k0);
+        const bool first = k0 == 0;
+        for (std::size_t i0 = 0; i0 < m; i0 += kMr) {
+            const std::size_t mr = std::min(kMr, m - i0);
+            packA(a, m, k, /*transA=*/false, i0, mr, k0, kb, pack);
+
+            std::size_t j0 = 0;
+            for (; j0 + kNc <= n; j0 += kNc) {
+                int32x4_t acc[kMr][4];
+                for (std::size_t r = 0; r < kMr; ++r)
+                    for (std::size_t v = 0; v < 4; ++v)
+                        acc[r][v] =
+                            (!first && r < mr)
+                                ? vld1q_s32(c + (i0 + r) * ldc + j0 +
+                                            4 * v)
+                                : vdupq_n_s32(0);
+                std::size_t kk = 0;
+                for (; kk + 2 <= kb; kk += 2) {
+                    const int8x16_t b0 =
+                        vld1q_s8(b + (k0 + kk) * ldb + j0);
+                    const int8x16_t b1 =
+                        vld1q_s8(b + (k0 + kk + 1) * ldb + j0);
+                    // Per-column k-pairs: columns 0-7 and 8-15.
+                    const int8x16_t zlo = vzip1q_s8(b0, b1);
+                    const int8x16_t zhi = vzip2q_s8(b0, b1);
+                    const std::int8_t *ap = pack + kk * kMr;
+                    for (std::size_t r = 0; r < kMr; ++r) {
+                        const std::uint16_t pair =
+                            static_cast<std::uint16_t>(
+                                static_cast<std::uint8_t>(ap[r])) |
+                            static_cast<std::uint16_t>(
+                                static_cast<std::uint16_t>(
+                                    static_cast<std::uint8_t>(
+                                        ap[kMr + r]))
+                                << 8);
+                        const int8x16_t av = vreinterpretq_s8_u16(
+                            vdupq_n_u16(pair));
+                        const int16x8_t p0 = vmull_s8(
+                            vget_low_s8(zlo), vget_low_s8(av));
+                        const int16x8_t p1 = vmull_s8(
+                            vget_high_s8(zlo), vget_high_s8(av));
+                        const int16x8_t p2 = vmull_s8(
+                            vget_low_s8(zhi), vget_low_s8(av));
+                        const int16x8_t p3 = vmull_s8(
+                            vget_high_s8(zhi), vget_high_s8(av));
+                        acc[r][0] = vpadalq_s16(acc[r][0], p0);
+                        acc[r][1] = vpadalq_s16(acc[r][1], p1);
+                        acc[r][2] = vpadalq_s16(acc[r][2], p2);
+                        acc[r][3] = vpadalq_s16(acc[r][3], p3);
+                    }
+                }
+                if (kk < kb) { // odd K tail: pair with a zero row
+                    const int8x16_t b0 =
+                        vld1q_s8(b + (k0 + kk) * ldb + j0);
+                    const int8x16_t zero = vdupq_n_s8(0);
+                    const int8x16_t zlo = vzip1q_s8(b0, zero);
+                    const int8x16_t zhi = vzip2q_s8(b0, zero);
+                    const std::int8_t *ap = pack + kk * kMr;
+                    for (std::size_t r = 0; r < kMr; ++r) {
+                        const std::uint16_t pair =
+                            static_cast<std::uint16_t>(
+                                static_cast<std::uint8_t>(ap[r]));
+                        const int8x16_t av = vreinterpretq_s8_u16(
+                            vdupq_n_u16(pair));
+                        const int16x8_t p0 = vmull_s8(
+                            vget_low_s8(zlo), vget_low_s8(av));
+                        const int16x8_t p1 = vmull_s8(
+                            vget_high_s8(zlo), vget_high_s8(av));
+                        const int16x8_t p2 = vmull_s8(
+                            vget_low_s8(zhi), vget_low_s8(av));
+                        const int16x8_t p3 = vmull_s8(
+                            vget_high_s8(zhi), vget_high_s8(av));
+                        acc[r][0] = vpadalq_s16(acc[r][0], p0);
+                        acc[r][1] = vpadalq_s16(acc[r][1], p1);
+                        acc[r][2] = vpadalq_s16(acc[r][2], p2);
+                        acc[r][3] = vpadalq_s16(acc[r][3], p3);
+                    }
+                }
+                for (std::size_t r = 0; r < mr; ++r)
+                    for (std::size_t v = 0; v < 4; ++v)
+                        vst1q_s32(c + (i0 + r) * ldc + j0 + 4 * v,
+                                  acc[r][v]);
+            }
+            gemmS8EdgeCols(pack, b, c, i0, mr, j0, n, k0, kb, ldb,
+                           ldc, first);
+        }
+    }
+}
+
 } // namespace
 
 GemmDFn
 neonGemmD()
 {
     return &neonGemmDImpl;
+}
+
+GemmS8Fn
+neonGemmS8()
+{
+    return &neonGemmS8Impl;
 }
 
 } // namespace gemm
@@ -102,6 +217,12 @@ namespace gemm
 
 GemmDFn
 neonGemmD()
+{
+    return nullptr;
+}
+
+GemmS8Fn
+neonGemmS8()
 {
     return nullptr;
 }

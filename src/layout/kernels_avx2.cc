@@ -20,6 +20,7 @@
 #if defined(__AVX2__) && defined(__FMA__)
 
 #include <cmath>
+#include <cstring>
 #include <immintrin.h>
 
 namespace twq
@@ -113,13 +114,280 @@ avx2KronD(const WinoKronPlan<double> &plan, const double *x,
     }
 }
 
+/**
+ * Widening int16 tap-GEMM: the 8-lane c-block is one ymm of int32
+ * accumulators; each `vpmaddwd` consumes one broadcast pair of
+ * adjacent blocked U values against a pair-interleaved 16-element
+ * weight vector, accumulating two input channels for all 8 lanes.
+ * Integer sums are order-free, so this is bit-identical to the
+ * scalar reference.
+ */
+void
+avx2TapGemmI16(const std::int16_t *w, const std::int16_t *u,
+               std::int32_t *m, std::size_t coutb, std::size_t cinb,
+               std::size_t P, std::size_t p0, std::size_t pn)
+{
+    constexpr std::size_t B = kLayoutBlock;
+    static_assert(B == 8, "tap kernel assumes one 8-lane i32 vector");
+    const std::size_t pairs = cinb * B / 2;
+    for (std::size_t co = 0; co < coutb; ++co) {
+        const std::int16_t *wt = w + co * pairs * 2 * B;
+        for (std::size_t p = p0; p < p0 + pn; p += kTapPr) {
+            const std::size_t pr = std::min(kTapPr, p0 + pn - p);
+            __m256i acc[kTapPr];
+            for (std::size_t pp = 0; pp < pr; ++pp)
+                acc[pp] = _mm256_setzero_si256();
+            for (std::size_t cp = 0; cp < pairs; ++cp) {
+                const std::int16_t *ub =
+                    u + ((cp / 4) * P + p) * B + (cp % 4) * 2;
+                const __m256i wv = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(wt +
+                                                      cp * 2 * B));
+                for (std::size_t pp = 0; pp < pr; ++pp) {
+                    std::int32_t pair;
+                    std::memcpy(&pair, ub + pp * B, sizeof pair);
+                    acc[pp] = _mm256_add_epi32(
+                        acc[pp],
+                        _mm256_madd_epi16(_mm256_set1_epi32(pair),
+                                          wv));
+                }
+            }
+            for (std::size_t pp = 0; pp < pr; ++pp)
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i *>(
+                        m + (co * P + p + pp) * B),
+                    acc[pp]);
+        }
+    }
+}
+
+/**
+ * Integer kron row passes: vpmulld/vpaddd AXPY chains (exact), with
+ * +-1 coefficients — the majority for F2, common for F4 — taking a
+ * multiply-free add/sub path (vpmulld costs two uops on most cores).
+ */
+void
+avx2KronI32(const WinoKronPlan<std::int32_t> &plan,
+            const std::int32_t *x, std::size_t len, std::int32_t *y)
+{
+    const __m256i zero = _mm256_setzero_si256();
+    for (std::size_t r = 0; r < plan.rowsOut; ++r) {
+        std::int32_t *yr = y + r * len;
+        const std::uint32_t begin = plan.rowStart[r];
+        const std::uint32_t end = plan.rowStart[r + 1];
+        if (begin == end) {
+            std::fill(yr, yr + len, 0);
+            continue;
+        }
+        {
+            const auto &t0 = plan.terms[begin];
+            const std::int32_t *xr = x + t0.in * len;
+            const __m256i cv = _mm256_set1_epi32(t0.coeff);
+            std::size_t l = 0;
+            for (; l + 8 <= len; l += 8) {
+                const __m256i xv = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(xr + l));
+                __m256i v;
+                if (t0.coeff == 1)
+                    v = xv;
+                else if (t0.coeff == -1)
+                    v = _mm256_sub_epi32(zero, xv);
+                else
+                    v = _mm256_mullo_epi32(cv, xv);
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i *>(yr + l), v);
+            }
+            for (; l < len; ++l)
+                yr[l] = t0.coeff * xr[l];
+        }
+        for (std::uint32_t ti = begin + 1; ti < end; ++ti) {
+            const auto &term = plan.terms[ti];
+            const std::int32_t *xr = x + term.in * len;
+            const __m256i cv = _mm256_set1_epi32(term.coeff);
+            std::size_t l = 0;
+            for (; l + 8 <= len; l += 8) {
+                const __m256i xv = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(xr + l));
+                const __m256i yv = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(yr + l));
+                __m256i v;
+                if (term.coeff == 1)
+                    v = _mm256_add_epi32(yv, xv);
+                else if (term.coeff == -1)
+                    v = _mm256_sub_epi32(yv, xv);
+                else
+                    v = _mm256_add_epi32(
+                        yv, _mm256_mullo_epi32(cv, xv));
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i *>(yr + l), v);
+            }
+            for (; l < len; ++l)
+                yr[l] += term.coeff * xr[l];
+        }
+    }
+}
+
+/**
+ * Requantization narrowing: branch-free round-half-away-from-zero
+ * (sign-fold, add bias, logical shift, sign-restore — identical
+ * values to shiftRightRound), clamp to the `bits` range, pack pairs
+ * of int32 vectors to int16 (the clamp keeps every value inside
+ * int16, so vpackssdw saturation never engages).
+ */
+void
+avx2RescaleI16(const std::int32_t *src, std::int16_t *dst,
+               std::size_t len, int shift, int bits)
+{
+    const __m256i lov =
+        _mm256_set1_epi32(-(std::int32_t{1} << (bits - 1)));
+    const __m256i hiv =
+        _mm256_set1_epi32((std::int32_t{1} << (bits - 1)) - 1);
+    const __m256i bias = _mm256_set1_epi32(
+        shift > 0 ? std::int32_t{1} << (shift - 1) : 0);
+    const auto round1 = [&](__m256i v) {
+        const __m256i sign = _mm256_srai_epi32(v, 31);
+        const __m256i absv = _mm256_sub_epi32(
+            _mm256_xor_si256(v, sign), sign);
+        const __m256i sh = _mm256_srli_epi32(
+            _mm256_add_epi32(absv, bias), shift);
+        const __m256i r =
+            _mm256_sub_epi32(_mm256_xor_si256(sh, sign), sign);
+        return _mm256_max_epi32(_mm256_min_epi32(r, hiv), lov);
+    };
+    std::size_t i = 0;
+    for (; i + 16 <= len; i += 16) {
+        const __m256i a = round1(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i)));
+        const __m256i b = round1(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i + 8)));
+        // packs interleaves 128-bit lanes; vpermq restores order.
+        const __m256i p = _mm256_permute4x64_epi64(
+            _mm256_packs_epi32(a, b), 0xD8);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i), p);
+    }
+    for (; i < len; ++i)
+        dst[i] = static_cast<std::int16_t>(
+            clampSigned(shiftRightRound(src[i], shift), bits));
+}
+
+/**
+ * Biased-u8 requantization narrowing: the rescaleI16 rounding/clamp
+ * core, then +128 and a pack to bytes (clamped values + 128 lie in
+ * [0, 255], so vpackus saturation never engages). The 128-bit-lane
+ * interleave of the two pack steps is undone by one vpermd.
+ */
+void
+avx2RescaleU8(const std::int32_t *src, std::uint8_t *dst,
+              std::size_t len, int shift, int bits)
+{
+    const __m256i lov =
+        _mm256_set1_epi32(-(std::int32_t{1} << (bits - 1)));
+    const __m256i hiv =
+        _mm256_set1_epi32((std::int32_t{1} << (bits - 1)) - 1);
+    const __m256i bias = _mm256_set1_epi32(
+        shift > 0 ? std::int32_t{1} << (shift - 1) : 0);
+    const __m256i off = _mm256_set1_epi32(128);
+    const __m256i perm =
+        _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+    const auto round1 = [&](__m256i v) {
+        const __m256i sign = _mm256_srai_epi32(v, 31);
+        const __m256i absv = _mm256_sub_epi32(
+            _mm256_xor_si256(v, sign), sign);
+        const __m256i sh = _mm256_srli_epi32(
+            _mm256_add_epi32(absv, bias), shift);
+        const __m256i r =
+            _mm256_sub_epi32(_mm256_xor_si256(sh, sign), sign);
+        return _mm256_add_epi32(
+            _mm256_max_epi32(_mm256_min_epi32(r, hiv), lov), off);
+    };
+    std::size_t i = 0;
+    for (; i + 32 <= len; i += 32) {
+        const __m256i a = round1(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i)));
+        const __m256i b = round1(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i + 8)));
+        const __m256i c = round1(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i + 16)));
+        const __m256i d = round1(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i + 24)));
+        const __m256i p = _mm256_permutevar8x32_epi32(
+            _mm256_packus_epi16(_mm256_packs_epi32(a, b),
+                                _mm256_packs_epi32(c, d)),
+            perm);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i), p);
+    }
+    for (; i < len; ++i)
+        dst[i] = static_cast<std::uint8_t>(
+            clampSigned(shiftRightRound(src[i], shift), bits) + 128);
+}
+
+/**
+ * Pow2 input quantization: exact-reciprocal multiply, vroundpd
+ * (nearest-even == std::nearbyint under the default FP env), clamp,
+ * convert — bit-identical to the scalar quantize() path.
+ */
+void
+avx2QuantizeI32(const double *src, double inv, double lo, double hi,
+                std::int32_t *dst, std::size_t len)
+{
+    const __m256d iv = _mm256_set1_pd(inv);
+    const __m256d lov = _mm256_set1_pd(lo);
+    const __m256d hiv = _mm256_set1_pd(hi);
+    std::size_t i = 0;
+    for (; i + 4 <= len; i += 4) {
+        const __m256d q = _mm256_max_pd(
+            _mm256_min_pd(
+                _mm256_round_pd(
+                    _mm256_mul_pd(_mm256_loadu_pd(src + i), iv),
+                    _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC),
+                hiv),
+            lov);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i),
+                         _mm256_cvtpd_epi32(q));
+    }
+    for (; i < len; ++i)
+        dst[i] = static_cast<std::int32_t>(
+            std::clamp(std::nearbyint(src[i] * inv), lo, hi));
+}
+
+/** FP dequant scale pass: cvtepi32->pd and one mul per 4 lanes. */
+void
+avx2ScaleI32F64(const std::int32_t *src, const double *scale8,
+                double *dst, std::size_t tiles)
+{
+    const __m256d s0 = _mm256_loadu_pd(scale8);
+    const __m256d s1 = _mm256_loadu_pd(scale8 + 4);
+    for (std::size_t p = 0; p < tiles; ++p) {
+        const __m128i a = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + p * 8));
+        const __m128i b = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(src + p * 8 + 4));
+        _mm256_storeu_pd(dst + p * 8,
+                         _mm256_mul_pd(_mm256_cvtepi32_pd(a), s0));
+        _mm256_storeu_pd(dst + p * 8 + 4,
+                         _mm256_mul_pd(_mm256_cvtepi32_pd(b), s1));
+    }
+}
+
 } // namespace
 
 LayoutKernels
 avx2LayoutKernels()
 {
-    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
-        return {&avx2TapGemmD, &avx2KronD, "avx2"};
+    if (__builtin_cpu_supports("avx2") &&
+        __builtin_cpu_supports("fma")) {
+        LayoutKernels k;
+        k.tapGemm = &avx2TapGemmD;
+        k.kron = &avx2KronD;
+        k.tapGemmI16 = &avx2TapGemmI16;
+        k.kronI32 = &avx2KronI32;
+        k.rescaleI16 = &avx2RescaleI16;
+        k.rescaleU8 = &avx2RescaleU8;
+        k.scaleI32F64 = &avx2ScaleI32F64;
+        k.quantizeI32 = &avx2QuantizeI32;
+        k.name = "avx2";
+        return k;
+    }
     return {};
 }
 

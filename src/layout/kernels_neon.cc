@@ -101,12 +101,77 @@ neonKronD(const WinoKronPlan<double> &plan, const double *x,
     }
 }
 
+/**
+ * Widening int16 tap-GEMM: vld2q_s16 de-interleaves a pair-
+ * interleaved weight vector into the even/odd channel halves, and
+ * two vmlal_s16 per half accumulate int16 x int16 products into the
+ * int32 lane accumulators. Integer sums are order-free, so this is
+ * bit-identical to the scalar reference.
+ */
+void
+neonTapGemmI16(const std::int16_t *w, const std::int16_t *u,
+               std::int32_t *m, std::size_t coutb, std::size_t cinb,
+               std::size_t P, std::size_t p0, std::size_t pn)
+{
+    constexpr std::size_t B = kLayoutBlock;
+    const std::size_t pairs = cinb * B / 2;
+    for (std::size_t co = 0; co < coutb; ++co) {
+        const std::int16_t *wt = w + co * pairs * 2 * B;
+        for (std::size_t p = p0; p < p0 + pn; p += kTapPr) {
+            const std::size_t pr = std::min(kTapPr, p0 + pn - p);
+            int32x4_t acc[kTapPr][2];
+            for (std::size_t pp = 0; pp < pr; ++pp) {
+                acc[pp][0] = vdupq_n_s32(0);
+                acc[pp][1] = vdupq_n_s32(0);
+            }
+            for (std::size_t cp = 0; cp < pairs; ++cp) {
+                const std::int16_t *ub =
+                    u + ((cp / 4) * P + p) * B + (cp % 4) * 2;
+                const int16x8x2_t wv = vld2q_s16(wt + cp * 2 * B);
+                for (std::size_t pp = 0; pp < pr; ++pp) {
+                    const int16x4_t u0 = vdup_n_s16(ub[pp * B]);
+                    const int16x4_t u1 = vdup_n_s16(ub[pp * B + 1]);
+                    acc[pp][0] = vmlal_s16(
+                        acc[pp][0], vget_low_s16(wv.val[0]), u0);
+                    acc[pp][0] = vmlal_s16(
+                        acc[pp][0], vget_low_s16(wv.val[1]), u1);
+                    acc[pp][1] = vmlal_s16(
+                        acc[pp][1], vget_high_s16(wv.val[0]), u0);
+                    acc[pp][1] = vmlal_s16(
+                        acc[pp][1], vget_high_s16(wv.val[1]), u1);
+                }
+            }
+            for (std::size_t pp = 0; pp < pr; ++pp) {
+                std::int32_t *dst = m + (co * P + p + pp) * B;
+                vst1q_s32(dst, acc[pp][0]);
+                vst1q_s32(dst + 4, acc[pp][1]);
+            }
+        }
+    }
+}
+
 } // namespace
 
 LayoutKernels
 neonLayoutKernels()
 {
-    return {&neonTapGemmD, &neonKronD, "neon"};
+    // The integer kron, requantization and dequant-scale passes keep
+    // the scalar forms on NEON: they autovectorize well, and NEON's
+    // native rounding shifts (vrshr) round halfway cases toward
+    // +inf, not away from zero, so a hand-written version would have
+    // to spend the saved instructions on sign fixups anyway. The
+    // u8 x s8 tap GEMM stays null — it exists for vpdpbusd hosts.
+    LayoutKernels k;
+    k.tapGemm = &neonTapGemmD;
+    k.kron = &neonKronD;
+    k.tapGemmI16 = &neonTapGemmI16;
+    k.kronI32 = &scalarKronI32<>;
+    k.rescaleI16 = &scalarRescaleI16<>;
+    k.rescaleU8 = &scalarRescaleU8<>;
+    k.scaleI32F64 = &scalarScaleI32F64<>;
+    k.quantizeI32 = &scalarQuantizeI32<>;
+    k.name = "neon";
+    return k;
 }
 
 } // namespace layout

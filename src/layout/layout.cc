@@ -93,7 +93,11 @@ blockedToNchw(const Tensor<T> &src, Tensor<T> &dst)
 
 template void nchwToBlocked(const Tensor<float> &, Tensor<float> &);
 template void nchwToBlocked(const Tensor<double> &, Tensor<double> &);
+template void nchwToBlocked(const Tensor<std::int8_t> &,
+                            Tensor<std::int8_t> &);
 template void blockedToNchw(const Tensor<float> &, Tensor<float> &);
 template void blockedToNchw(const Tensor<double> &, Tensor<double> &);
+template void blockedToNchw(const Tensor<std::int8_t> &,
+                            Tensor<std::int8_t> &);
 
 } // namespace twq

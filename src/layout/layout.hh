@@ -119,10 +119,14 @@ extern template void nchwToBlocked(const Tensor<float> &,
                                    Tensor<float> &);
 extern template void nchwToBlocked(const Tensor<double> &,
                                    Tensor<double> &);
+extern template void nchwToBlocked(const Tensor<std::int8_t> &,
+                                   Tensor<std::int8_t> &);
 extern template void blockedToNchw(const Tensor<float> &,
                                    Tensor<float> &);
 extern template void blockedToNchw(const Tensor<double> &,
                                    Tensor<double> &);
+extern template void blockedToNchw(const Tensor<std::int8_t> &,
+                                   Tensor<std::int8_t> &);
 
 } // namespace twq
 

@@ -19,9 +19,10 @@ table()
     return layout::kernels();
 }
 
-/** WinoDims for a blocked [N, Cb, H, W, 8] input shape. */
+} // namespace
+
 WinoDims
-blockedDims(const Shape &s, WinoVariant v, std::size_t pad)
+winoDimsBlocked(const Shape &s, WinoVariant v, std::size_t pad)
 {
     twq_assert(s.size() == 5 && s[4] == kB,
                "expected an NCHWc8 shape [N, Cb, H, W, 8]");
@@ -29,8 +30,6 @@ blockedDims(const Shape &s, WinoVariant v, std::size_t pad)
     // padded channel count so d.cin counts physical lanes.
     return winoDims({s[0], s[1] * kB, s[2], s[3]}, v, pad);
 }
-
-} // namespace
 
 namespace layout
 {
@@ -40,13 +39,32 @@ kernels()
 {
     static const LayoutKernels t = [] {
         LayoutKernels k = avx2LayoutKernels();
-        if (k.tapGemm)
-            return k;
-        k = neonLayoutKernels();
-        if (k.tapGemm)
-            return k;
-        return LayoutKernels{&scalarTapGemmD<>, &scalarKronD<>,
-                             "scalar"};
+        if (!k.tapGemm) {
+            k = neonLayoutKernels();
+            if (!k.tapGemm) {
+                k = LayoutKernels{};
+                k.tapGemm = &scalarTapGemmD<>;
+                k.kron = &scalarKronD<>;
+                k.tapGemmI16 = &scalarTapGemmI16<>;
+                k.kronI32 = &scalarKronI32<>;
+                k.rescaleI16 = &scalarRescaleI16<>;
+                k.rescaleU8 = &scalarRescaleU8<>;
+                k.scaleI32F64 = &scalarScaleI32F64<>;
+                k.quantizeI32 = &scalarQuantizeI32<>;
+                k.name = "scalar";
+            }
+        }
+        // AVX-512 VNNI tap kernels merge over the base table; the
+        // name reflects them because it participates in
+        // PlanCache::signature() — plans measured with the VNNI
+        // kernels are not valid without them.
+        const LayoutKernels v = vnniLayoutKernels();
+        if (v.tapGemmU8) {
+            k.tapGemmU8 = v.tapGemmU8;
+            k.tapGemmI16 = v.tapGemmI16;
+            k.name = v.name;
+        }
+        return k;
     }();
     return t;
 }
@@ -86,18 +104,19 @@ blockedTapWeights(const WinogradTapWeights<double> &w)
     return out;
 }
 
+template <typename T>
 void
-winogradGatherTilesBlocked(const TensorD &input, WinoVariant v,
-                           std::size_t pad, TensorD &V)
+winogradGatherTilesBlocked(const Tensor<T> &input, WinoVariant v,
+                           std::size_t pad, Tensor<T> &V)
 {
-    const WinoDims d = blockedDims(input.shape(), v, pad);
+    const WinoDims d = winoDimsBlocked(input.shape(), v, pad);
     const std::size_t cb = input.dim(1);
     const std::size_t h = input.dim(2);
     const std::size_t w = input.dim(3);
     const std::size_t tt = d.t * d.t;
     const Shape want{tt, cb, d.tiles, kB};
     if (V.shape() != want)
-        V = TensorD(want);
+        V = Tensor<T>(want);
 
     for (std::size_t k = 0; k < tt; ++k) {
         const std::ptrdiff_t dy =
@@ -108,33 +127,33 @@ winogradGatherTilesBlocked(const TensorD &input, WinoVariant v,
             static_cast<std::ptrdiff_t>(pad);
         for (std::size_t n = 0; n < d.n; ++n) {
             for (std::size_t b = 0; b < cb; ++b) {
-                const double *plane =
+                const T *plane =
                     input.data() + (n * cb + b) * h * w * kB;
-                double *dstc =
+                T *dstc =
                     V.data() + ((k * cb + b) * d.tiles +
                                 n * d.tilesY * d.tilesX) *
                                    kB;
                 for (std::size_t ty = 0; ty < d.tilesY; ++ty) {
-                    double *dst = dstc + ty * d.tilesX * kB;
+                    T *dst = dstc + ty * d.tilesX * kB;
                     const std::ptrdiff_t iy =
                         static_cast<std::ptrdiff_t>(ty * d.m) + dy;
                     if (iy < 0 ||
                         iy >= static_cast<std::ptrdiff_t>(h)) {
-                        std::fill(dst, dst + d.tilesX * kB, 0.0);
+                        std::fill(dst, dst + d.tilesX * kB, T{});
                         continue;
                     }
-                    const double *srow =
+                    const T *srow =
                         plane + static_cast<std::size_t>(iy) * w * kB;
                     for (std::size_t tx = 0; tx < d.tilesX; ++tx) {
                         const std::ptrdiff_t ix =
                             static_cast<std::ptrdiff_t>(tx * d.m) +
                             dx;
-                        double *dv = dst + tx * kB;
+                        T *dv = dst + tx * kB;
                         if (ix < 0 ||
                             ix >= static_cast<std::ptrdiff_t>(w)) {
-                            std::fill(dv, dv + kB, 0.0);
+                            std::fill(dv, dv + kB, T{});
                         } else {
-                            const double *sv =
+                            const T *sv =
                                 srow +
                                 static_cast<std::size_t>(ix) * kB;
                             std::copy(sv, sv + kB, dv);
@@ -150,7 +169,7 @@ void
 winogradScatterAddTilesBlocked(const TensorD &V, WinoVariant v,
                                std::size_t pad, TensorD &grad)
 {
-    const WinoDims d = blockedDims(grad.shape(), v, pad);
+    const WinoDims d = winoDimsBlocked(grad.shape(), v, pad);
     const std::size_t cb = grad.dim(1);
     const std::size_t h = grad.dim(2);
     const std::size_t w = grad.dim(3);
@@ -226,8 +245,9 @@ winogradTapGemmBlocked(const BlockedTapWeights &w, const TensorD &U,
         });
 }
 
+template <typename T>
 void
-winogradUntileBlocked(const TensorD &Y, WinoVariant v, TensorD &out)
+winogradUntileBlocked(const Tensor<T> &Y, WinoVariant v, Tensor<T> &out)
 {
     const WinoSpec spec = winoSpec(v);
     const std::size_t m = spec.m;
@@ -250,9 +270,9 @@ winogradUntileBlocked(const TensorD &Y, WinoVariant v, TensorD &out)
         const std::size_t j2 = k % m;
         for (std::size_t in = 0; in < n; ++in) {
             for (std::size_t b = 0; b < cb; ++b) {
-                double *plane =
+                T *plane =
                     out.data() + (in * cb + b) * ho * wo * kB;
-                const double *srcc =
+                const T *srcc =
                     Y.data() + ((k * cb + b) * tiles +
                                 in * tilesY * tilesX) *
                                    kB;
@@ -260,8 +280,8 @@ winogradUntileBlocked(const TensorD &Y, WinoVariant v, TensorD &out)
                     const std::size_t oy = ty * m + j1;
                     if (oy >= ho)
                         continue;
-                    double *drow = plane + oy * wo * kB;
-                    const double *src = srcc + ty * tilesX * kB;
+                    T *drow = plane + oy * wo * kB;
+                    const T *src = srcc + ty * tilesX * kB;
                     for (std::size_t tx = 0; tx < tilesX; ++tx) {
                         const std::size_t ox = tx * m + j2;
                         if (ox < wo)
@@ -282,7 +302,7 @@ conv2dWinogradBlockedInto(const TensorD &input,
                           TensorD &Y, TensorD &out,
                           gemm::ParallelRunner *runner)
 {
-    const WinoDims d = blockedDims(input.shape(), w.variant, pad);
+    const WinoDims d = winoDimsBlocked(input.shape(), w.variant, pad);
     twq_assert(input.dim(1) == w.cinb,
                "input channel blocks do not match prepared weights");
     twq_assert(out.rank() == 5 && out.dim(0) == d.n &&
@@ -311,11 +331,23 @@ TensorD
 conv2dWinogradBlocked(const TensorD &input, const BlockedTapWeights &w,
                       std::size_t pad)
 {
-    const WinoDims d = blockedDims(input.shape(), w.variant, pad);
+    const WinoDims d = winoDimsBlocked(input.shape(), w.variant, pad);
     TensorD V, U, M, Y;
     TensorD out({d.n, w.coutb, d.ho, d.wo, kB});
     conv2dWinogradBlockedInto(input, w, pad, V, U, M, Y, out);
     return out;
 }
+
+template void winogradGatherTilesBlocked(const Tensor<double> &,
+                                         WinoVariant, std::size_t,
+                                         Tensor<double> &);
+template void
+winogradGatherTilesBlocked(const Tensor<std::int32_t> &, WinoVariant,
+                           std::size_t, Tensor<std::int32_t> &);
+template void winogradUntileBlocked(const Tensor<double> &, WinoVariant,
+                                    Tensor<double> &);
+template void winogradUntileBlocked(const Tensor<std::int64_t> &,
+                                    WinoVariant,
+                                    Tensor<std::int64_t> &);
 
 } // namespace twq

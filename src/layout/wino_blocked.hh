@@ -70,13 +70,21 @@ BlockedTapWeights blockedTapWeights(const WinogradTapWeights<double> &w);
 /** Name of the blocked-layout kernel set in use ("avx2", ...). */
 const char *layoutKernelName();
 
+/** WinoDims for a blocked [N, Cb, H, W, 8] input shape; d.cin counts
+ * physical lanes (Cb * 8). */
+WinoDims winoDimsBlocked(const Shape &s, WinoVariant v,
+                         std::size_t pad);
+
 /**
  * Blocked counterpart of winogradGatherTiles: copy every (padded)
  * input tile of the NCHWc8 batch into V ([t*t, Cinb, P, 8]) as whole
- * 8-channel vectors. Every element of V is written.
+ * 8-channel vectors. Every element of V is written. The integer
+ * instantiations feed the quantized blocked pipeline
+ * (quant/int_wino_blocked.hh).
  */
-void winogradGatherTilesBlocked(const TensorD &input, WinoVariant v,
-                                std::size_t pad, TensorD &V);
+template <typename T>
+void winogradGatherTilesBlocked(const Tensor<T> &input, WinoVariant v,
+                                std::size_t pad, Tensor<T> &V);
 
 /**
  * Blocked counterpart of winogradScatterAddTiles: scatter-ADD tile
@@ -103,8 +111,9 @@ void winogradTapGemmBlocked(const BlockedTapWeights &w,
  * clipped), 8-wide vectors at a time. `out` must be pre-shaped
  * [N, Coutb, Ho, Wo, 8].
  */
-void winogradUntileBlocked(const TensorD &Y, WinoVariant v,
-                           TensorD &out);
+template <typename T>
+void winogradUntileBlocked(const Tensor<T> &Y, WinoVariant v,
+                           Tensor<T> &out);
 
 /**
  * Full blocked-layout Winograd convolution with caller-provided
@@ -123,6 +132,20 @@ void conv2dWinogradBlockedInto(const TensorD &input,
 TensorD conv2dWinogradBlocked(const TensorD &input,
                               const BlockedTapWeights &w,
                               std::size_t pad = 1);
+
+extern template void winogradGatherTilesBlocked(const Tensor<double> &,
+                                                WinoVariant,
+                                                std::size_t,
+                                                Tensor<double> &);
+extern template void
+winogradGatherTilesBlocked(const Tensor<std::int32_t> &, WinoVariant,
+                           std::size_t, Tensor<std::int32_t> &);
+extern template void winogradUntileBlocked(const Tensor<double> &,
+                                           WinoVariant,
+                                           Tensor<double> &);
+extern template void
+winogradUntileBlocked(const Tensor<std::int64_t> &, WinoVariant,
+                      Tensor<std::int64_t> &);
 
 } // namespace twq
 

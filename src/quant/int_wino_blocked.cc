@@ -1,0 +1,433 @@
+#include "quant/int_wino_blocked.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "layout/kernels.hh"
+#include "quant/quantizer.hh"
+
+namespace twq
+{
+
+namespace
+{
+
+constexpr std::size_t kB = kLayoutBlock;
+
+} // namespace
+
+BlockedIntWinograd::BlockedIntWinograd(const IntWinogradConv &conv)
+    : conv_(&conv), cout_(conv.cout()), cin_(conv.cin()),
+      coutb_(layoutBlocks(conv.cout())),
+      cinb_(layoutBlocks(conv.cin()))
+{
+    const IntWinogradConfig &cfg = conv.config();
+    const WinoSpec spec = winoSpec(cfg.variant);
+    const std::size_t tt = spec.t * spec.t;
+    const std::size_t cinp = cinb_ * kB;
+
+    // Wrap-free int32 accumulation in the widening tap GEMM:
+    // |w|, |u| <= 2^(winogradBits - 1), summed over cinp lanes.
+    const std::int64_t mag = std::int64_t{1}
+                             << (cfg.winogradBits - 1);
+    twq_assert(static_cast<std::int64_t>(cinp) * mag * mag <
+                   (std::int64_t{1} << 31),
+               "blocked int winograd: channel count too large for "
+               "exact int32 accumulation at this bit width");
+    // The int32 kron of the B-transform is bounded by the plan's
+    // coefficient mass (< 2^7 for F2/F4) times the spatial range.
+    twq_assert(cfg.spatialBits <= 16,
+               "blocked int winograd: spatial bit width too large "
+               "for the int32 transform buffers");
+
+    // Re-lay the quantized tap-major weights [t*t][Cout][Cin]
+    // pair-interleaved for the widening kernel:
+    // [t*t][coutb][cinp/2][8][2], zero-padded rows/columns.
+    const std::vector<std::int64_t> &taps = conv.tapWeights();
+    wq16_.assign(tt * coutb_ * cinp * kB, 0);
+    for (std::size_t k = 0; k < tt; ++k) {
+        for (std::size_t oc = 0; oc < cout_; ++oc) {
+            for (std::size_t ic = 0; ic < cin_; ++ic) {
+                const std::int64_t v =
+                    taps[(k * cout_ + oc) * cin_ + ic];
+                wq16_[(((k * coutb_ + oc / kB) * (cinp / 2) +
+                        ic / 2) *
+                           kB +
+                       oc % kB) *
+                          2 +
+                      ic % 2] = static_cast<std::int16_t>(v);
+            }
+        }
+    }
+
+    // 8-bit operands on a vpdpbusd host additionally pack the
+    // quad-interleaved u8-kernel weights [t*t][coutb][cinp/4][8][4]
+    // and the per-(tap, lane) bias compensation 128 * sum_ic w.
+    use8_ = cfg.winogradBits <= 8 &&
+            layout::kernels().tapGemmU8 != nullptr;
+    if (use8_) {
+        wq8_.assign(tt * coutb_ * cinp * kB, 0);
+        comp_.assign(tt * coutb_ * kB, 0);
+        for (std::size_t k = 0; k < tt; ++k) {
+            for (std::size_t oc = 0; oc < cout_; ++oc) {
+                std::int32_t sum = 0;
+                for (std::size_t ic = 0; ic < cin_; ++ic) {
+                    const std::int64_t v =
+                        taps[(k * cout_ + oc) * cin_ + ic];
+                    wq8_[(((k * coutb_ + oc / kB) * (cinp / 4) +
+                           ic / 4) *
+                              kB +
+                          oc % kB) *
+                             4 +
+                         ic % 4] = static_cast<std::int8_t>(v);
+                    sum += static_cast<std::int32_t>(v);
+                }
+                comp_[k * coutb_ * kB + oc] = 128 * sum;
+            }
+        }
+    }
+
+    // Per-(tap, lane) FP dequant scales with sx folded in; padded
+    // lanes scale by zero, which pins them to exact 0.0 in the
+    // output without a separate clearing pass.
+    {
+        const MatrixD &sb = conv.inputTapScale();
+        const ScaleSet &ws = conv.weightScales();
+        const double sx = conv.inputScale();
+        sbgSx_.assign(tt * coutb_ * kB, 0.0);
+        for (std::size_t k = 0; k < tt; ++k)
+            for (std::size_t oc = 0; oc < cout_; ++oc)
+                sbgSx_[k * coutb_ * kB + oc] =
+                    sb(k / spec.t, k % spec.t) *
+                    ws.at(oc, k / spec.t, k % spec.t) * sx;
+    }
+
+    // Per-channel common scale + relative shifts for the fully
+    // integer path (defined for power-of-two scales only).
+    if (cfg.pow2Scales) {
+        const MatrixD &sb = conv.inputTapScale();
+        const ScaleSet &ws = conv.weightScales();
+        comLog2_.resize(cout_);
+        relShift_.assign(cout_, std::vector<int>(tt, 0));
+        for (std::size_t oc = 0; oc < cout_; ++oc) {
+            int lo = std::numeric_limits<int>::max();
+            std::vector<int> logs(tt);
+            for (std::size_t i = 0; i < spec.t; ++i) {
+                for (std::size_t j = 0; j < spec.t; ++j) {
+                    const double sbg =
+                        sb(i, j) * ws.at(oc, i, j);
+                    logs[i * spec.t + j] = log2Exact(sbg);
+                    lo = std::min(lo, logs[i * spec.t + j]);
+                }
+            }
+            comLog2_[oc] = lo;
+            for (std::size_t k = 0; k < tt; ++k)
+                relShift_[oc][k] = logs[k] - lo;
+        }
+    }
+}
+
+void
+BlockedIntWinograd::scatterGemm(const TensorD &input, bool useShifts,
+                                TensorI32 &xq, TensorI32 &V,
+                                TensorI32 &U32, TensorI16 &U16,
+                                TensorI8 &U8, TensorI32 &M,
+                                gemm::ParallelRunner *runner) const
+{
+    const IntWinogradConfig &cfg = conv_->config();
+    const WinoDims d =
+        winoDimsBlocked(input.shape(), cfg.variant, cfg.pad);
+    twq_assert(input.dim(1) == cinb_,
+               "input channel blocks do not match prepared weights");
+    const std::size_t t = d.t;
+    const std::size_t tt = t * t;
+    const double sx = conv_->inputScale();
+
+    // Spatial-domain quantization of the blocked input in place of
+    // layout (padded lanes hold 0.0 and quantize to 0). Power-of-two
+    // scales take the vectorized exact-reciprocal kernel, which is
+    // bit-identical to quantize(); free scales keep the scalar
+    // divide.
+    if (xq.shape() != input.shape())
+        xq = TensorI32(input.shape());
+    if (cfg.pow2Scales) {
+        layout::kernels().quantizeI32(
+            input.data(), 1.0 / sx,
+            static_cast<double>(quantMin(cfg.spatialBits)),
+            static_cast<double>(quantMax(cfg.spatialBits)),
+            xq.data(), input.numel());
+    } else {
+        for (std::size_t i = 0; i < input.numel(); ++i)
+            xq[i] = static_cast<std::int32_t>(
+                quantize(input[i], sx, cfg.spatialBits));
+    }
+
+    // Blocked tile gather, then the exact integer B-transform as
+    // Kronecker row passes over the blocked rows, then the tap-wise
+    // requantization narrowing into the int16 GEMM operand.
+    winogradGatherTilesBlocked(xq, cfg.variant, cfg.pad, V);
+    const Shape ushape{tt, cinb_, d.tiles, kB};
+    if (U32.shape() != ushape)
+        U32 = TensorI32(ushape);
+    const std::size_t rowLen = cinb_ * d.tiles * kB;
+    layout::kernels().kronI32(winoInputKron<std::int32_t>(cfg.variant),
+                              V.data(), rowLen, U32.data());
+    const MatrixD &sb = conv_->inputTapScale();
+    if (use8_) {
+        // Requantize straight into the biased-u8 operand of the
+        // vpdpbusd tap kernel (value + 128 per element).
+        if (U8.shape() != ushape)
+            U8 = TensorI8(ushape);
+        std::uint8_t *u8 =
+            reinterpret_cast<std::uint8_t *>(U8.data());
+        for (std::size_t k = 0; k < tt; ++k) {
+            const std::int32_t *src = U32.data() + k * rowLen;
+            std::uint8_t *row = u8 + k * rowLen;
+            const double s = sb(k / t, k % t);
+            if (useShifts) {
+                layout::kernels().rescaleU8(src, row, rowLen,
+                                            log2Exact(s),
+                                            cfg.winogradBits);
+            } else {
+                // Round half away from zero, matching the
+                // shift-based path exactly for power-of-two scales.
+                for (std::size_t l = 0; l < rowLen; ++l) {
+                    const double r =
+                        std::round(static_cast<double>(src[l]) / s);
+                    row[l] = static_cast<std::uint8_t>(
+                        clampSigned(static_cast<std::int64_t>(r),
+                                    cfg.winogradBits) +
+                        128);
+                }
+            }
+        }
+    } else {
+        if (U16.shape() != ushape)
+            U16 = TensorI16(ushape);
+        for (std::size_t k = 0; k < tt; ++k) {
+            const std::int32_t *src = U32.data() + k * rowLen;
+            std::int16_t *row = U16.data() + k * rowLen;
+            const double s = sb(k / t, k % t);
+            if (useShifts) {
+                // Shift-based hardware rescale (vectorized).
+                layout::kernels().rescaleI16(src, row, rowLen,
+                                             log2Exact(s),
+                                             cfg.winogradBits);
+            } else {
+                // Round half away from zero, matching the
+                // shift-based path exactly for power-of-two scales.
+                for (std::size_t l = 0; l < rowLen; ++l) {
+                    const double r =
+                        std::round(static_cast<double>(src[l]) / s);
+                    row[l] = static_cast<std::int16_t>(
+                        clampSigned(static_cast<std::int64_t>(r),
+                                    cfg.winogradBits));
+                }
+            }
+        }
+    }
+
+    // Widening per-tap GEMM with the c-block as the SIMD lane
+    // dimension; taps (split into P column blocks when taps alone
+    // under-fill the pool) shard across `runner` — exact integer
+    // sums, so sharded execution is bit-identical to serial.
+    const Shape mshape{tt, coutb_, d.tiles, kB};
+    if (M.shape() != mshape)
+        M = TensorI32(mshape);
+    const std::size_t cinp = cinb_ * kB;
+    if (use8_) {
+        const layout::TapGemmU8Fn tapGemm =
+            layout::kernels().tapGemmU8;
+        const std::uint8_t *u8 =
+            reinterpret_cast<const std::uint8_t *>(U8.data());
+        gemm::runTapColBlocks(
+            runner, tt, d.tiles, layout::kTapPr,
+            [&](std::size_t k, std::size_t j0, std::size_t jn,
+                std::size_t) {
+                tapGemm(wq8_.data() + k * coutb_ * cinp * kB,
+                        u8 + k * cinb_ * d.tiles * kB,
+                        comp_.data() + k * coutb_ * kB,
+                        M.data() + k * coutb_ * d.tiles * kB,
+                        coutb_, cinb_, d.tiles, j0, jn);
+            });
+    } else {
+        const layout::TapGemmI16Fn tapGemm =
+            layout::kernels().tapGemmI16;
+        gemm::runTapColBlocks(
+            runner, tt, d.tiles, layout::kTapPr,
+            [&](std::size_t k, std::size_t j0, std::size_t jn,
+                std::size_t) {
+                tapGemm(wq16_.data() + k * coutb_ * cinp * kB,
+                        U16.data() + k * cinb_ * d.tiles * kB,
+                        M.data() + k * coutb_ * d.tiles * kB, coutb_,
+                        cinb_, d.tiles, j0, jn);
+            });
+    }
+}
+
+void
+BlockedIntWinograd::forwardInto(const TensorD &input, TensorI32 &xq,
+                                TensorI32 &V, TensorI32 &U32,
+                                TensorI16 &U16, TensorI8 &U8,
+                                TensorI32 &M, TensorD &Md, TensorD &Y,
+                                TensorD &out,
+                                gemm::ParallelRunner *runner) const
+{
+    const IntWinogradConfig &cfg = conv_->config();
+    const WinoDims d =
+        winoDimsBlocked(input.shape(), cfg.variant, cfg.pad);
+    twq_assert(out.rank() == 5 && out.dim(0) == d.n &&
+                   out.dim(1) == coutb_ && out.dim(2) == d.ho &&
+                   out.dim(3) == d.wo && out.dim(4) == kB,
+               "output tensor not pre-shaped for the blocked launch");
+    const std::size_t tt = d.t * d.t;
+
+    // The S_B requantization by shifts and by round(x/s) agree
+    // exactly for power-of-two scales; shifts are integer-only and
+    // markedly cheaper, so the FP path takes them whenever the
+    // config allows.
+    scatterGemm(input, /*useShifts=*/cfg.pow2Scales, xq, V, U32, U16,
+                U8, M, runner);
+
+    // Dequant gather, vectorized blocked form: the tap-wise S_BG
+    // rescale (sx folded in) as one per-lane scale vector over each
+    // (tap, coutb) slice of M, then the FP A-transform as FMA
+    // Kronecker row passes, then the blocked untile. Padded lanes
+    // scale by zero, so the untile writes them as exact zeros.
+    const Shape mdshape{tt, coutb_, d.tiles, kB};
+    if (Md.shape() != mdshape)
+        Md = TensorD(mdshape);
+    for (std::size_t k = 0; k < tt; ++k)
+        for (std::size_t co = 0; co < coutb_; ++co)
+            layout::kernels().scaleI32F64(
+                M.data() + (k * coutb_ + co) * d.tiles * kB,
+                sbgSx_.data() + (k * coutb_ + co) * kB,
+                Md.data() + (k * coutb_ + co) * d.tiles * kB,
+                d.tiles);
+    const Shape yshape{d.m * d.m, coutb_, d.tiles, kB};
+    if (Y.shape() != yshape)
+        Y = TensorD(yshape);
+    layout::kernels().kron(winoOutputKron<double>(cfg.variant),
+                           Md.data(), coutb_ * d.tiles * kB,
+                           Y.data());
+    winogradUntileBlocked(Y, cfg.variant, out);
+}
+
+TensorD
+BlockedIntWinograd::forward(const TensorD &input) const
+{
+    const IntWinogradConfig &cfg = conv_->config();
+    const WinoDims d =
+        winoDimsBlocked(input.shape(), cfg.variant, cfg.pad);
+    TensorI32 xq, V, U32, M;
+    TensorI16 U16;
+    TensorI8 U8;
+    TensorD Md, Y;
+    TensorD out({d.n, coutb_, d.ho, d.wo, kB});
+    forwardInto(input, xq, V, U32, U16, U8, M, Md, Y, out);
+    return out;
+}
+
+TensorI8
+BlockedIntWinograd::forwardInt8(const TensorD &input,
+                                double *out_scale,
+                                bool fuse_relu) const
+{
+    const IntWinogradConfig &cfg = conv_->config();
+    twq_assert(cfg.pow2Scales,
+               "forwardInt8 requires power-of-two scales");
+    const WinoDims d =
+        winoDimsBlocked(input.shape(), cfg.variant, cfg.pad);
+    const std::size_t tt = d.t * d.t;
+    const std::size_t hw = d.ho * d.wo;
+    const double sx = conv_->inputScale();
+
+    // Pass 1: blocked integer pipeline into a blocked int64 spatial
+    // output. This is the oracle-parity path, not the serving hot
+    // path, so the buffers are local.
+    TensorI32 xq, V, U32, M;
+    TensorI16 U16;
+    TensorI8 U8;
+    scatterGemm(input, /*useShifts=*/true, xq, V, U32, U16, U8, M,
+                nullptr);
+
+    // S_BG rescale as pure left-shifts relative to the channel's
+    // common scale, widening each (tap, oc) GEMM segment to int64.
+    TensorI64 M64({tt, coutb_, d.tiles, kB});
+    for (std::size_t k = 0; k < tt; ++k) {
+        for (std::size_t co = 0; co < coutb_; ++co) {
+            const std::int32_t *src =
+                M.data() + (k * coutb_ + co) * d.tiles * kB;
+            std::int64_t *dst =
+                M64.data() + (k * coutb_ + co) * d.tiles * kB;
+            for (std::size_t l = 0; l < kB; ++l) {
+                const std::size_t oc = co * kB + l;
+                const int sh =
+                    oc < cout_ ? relShift_[oc][k] : 0;
+                for (std::size_t p = 0; p < d.tiles; ++p)
+                    dst[p * kB + l] =
+                        static_cast<std::int64_t>(src[p * kB + l])
+                        << sh;
+            }
+        }
+    }
+
+    // Integer A-transform as Kronecker row passes (exact), untiled
+    // into the blocked spatial int64 output.
+    TensorI64 Y64({d.m * d.m, coutb_, d.tiles, kB});
+    applyKron(winoOutputKron<std::int64_t>(cfg.variant), M64.data(),
+              coutb_ * d.tiles * kB, Y64.data());
+    TensorI64 raw({d.n, coutb_, d.ho, d.wo, kB});
+    winogradUntileBlocked(Y64, cfg.variant, raw);
+
+    // Pass 2: pick a power-of-two output scale covering the observed
+    // range over the logical lanes and requantize with shifts —
+    // identical comparisons to the NCHW reference, so the scale and
+    // every output value match bit for bit.
+    double abs_max = 0.0;
+    for (std::size_t in = 0; in < d.n; ++in)
+        for (std::size_t oc = 0; oc < cout_; ++oc) {
+            const std::int64_t *src =
+                raw.data() +
+                (in * coutb_ + oc / kB) * hw * kB + oc % kB;
+            for (std::size_t i = 0; i < hw; ++i) {
+                const double real =
+                    static_cast<double>(src[i * kB]) *
+                    std::exp2(comLog2_[oc]) * sx;
+                abs_max = std::max(abs_max, std::abs(real));
+            }
+        }
+    const double sy =
+        pow2Ceil(scaleForMax(std::max(abs_max, 1e-30), 8));
+    if (out_scale)
+        *out_scale = sy;
+    const int sy_log2 = log2Exact(sy);
+    const int sx_log2 = log2Exact(sx);
+
+    TensorI8 out({d.n, coutb_, d.ho, d.wo, kB}); // padded lanes stay 0
+    for (std::size_t in = 0; in < d.n; ++in) {
+        for (std::size_t oc = 0; oc < cout_; ++oc) {
+            // q = raw >> (log2 sy - log2 s_com - log2 s_x).
+            const int shift = sy_log2 - comLog2_[oc] - sx_log2;
+            const std::int64_t *src =
+                raw.data() +
+                (in * coutb_ + oc / kB) * hw * kB + oc % kB;
+            std::int8_t *dst =
+                out.data() +
+                (in * coutb_ + oc / kB) * hw * kB + oc % kB;
+            for (std::size_t i = 0; i < hw; ++i) {
+                std::int64_t v = src[i * kB];
+                if (fuse_relu && v < 0)
+                    v = 0;
+                dst[i * kB] = static_cast<std::int8_t>(
+                    clampSigned(shiftRightRound(v, shift), 8));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace twq

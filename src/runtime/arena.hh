@@ -76,6 +76,13 @@ class ScratchArena
         return shaped(i32slots_, slot, shape);
     }
 
+    /** Same contract for int16 tensors (blocked int8 tap operands). */
+    TensorI16 &
+    tensorI16(Slot slot, const Shape &shape)
+    {
+        return shaped(i16slots_, slot, shape);
+    }
+
     /** Slots holding live storage in this arena (any type). */
     std::size_t
     slotCount() const
@@ -88,6 +95,8 @@ class ScratchArena
         for (const TensorI8 &t : i8slots_)
             live += t.numel() > 0;
         for (const TensorI32 &t : i32slots_)
+            live += t.numel() > 0;
+        for (const TensorI16 &t : i16slots_)
             live += t.numel() > 0;
         return live;
     }
@@ -117,6 +126,7 @@ class ScratchArena
     std::deque<TensorI64> islots_;
     std::deque<TensorI8> i8slots_;
     std::deque<TensorI32> i32slots_;
+    std::deque<TensorI16> i16slots_;
 };
 
 } // namespace twq

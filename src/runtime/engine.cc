@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "gemm/gemm.hh"
 #include "layout/wino_blocked.hh"
+#include "quant/int_wino_blocked.hh"
 #include "quant/quantizer.hh"
 #include "winograd/tiled.hh"
 
@@ -378,6 +379,143 @@ class WinogradBlockedBackend : public ConvBackend
     }
 };
 
+// -------------------------------------- blocked-layout int8 Winograd
+
+struct WinogradBlockedInt8Prepared : PreparedLayer
+{
+    /// Owns the quantized weights and scales (the NCHW prepared
+    /// state the blocked execution derives from).
+    std::unique_ptr<IntWinogradConv> conv;
+    /// Blocked pair-interleaved weights + blocked execution; borrows
+    /// `conv`, so declaration order matters.
+    std::unique_ptr<BlockedIntWinograd> blocked;
+    ScratchArena::Slot quantized = 0; ///< int32 blocked-input slot
+    ScratchArena::Slot tiles = 0;     ///< int32 raw-tile slot
+    ScratchArena::Slot scatter = 0;   ///< int32 B-transformed slot
+    ScratchArena::Slot narrowed = 0;  ///< int16 GEMM-operand slot
+    ScratchArena::Slot narrowed8 = 0; ///< biased-u8 GEMM-operand slot
+    ScratchArena::Slot gemm = 0;      ///< int32 M buffer slot
+    ScratchArena::Slot dequant = 0;   ///< f64 rescaled-M slot
+    ScratchArena::Slot back = 0;      ///< f64 Y back-transform slot
+};
+
+/**
+ * int8 tap-wise quantized Winograd on the NCHWc8 blocked activation
+ * layout (quant/int_wino_blocked.hh): blocked tiles quantize in
+ * place, the per-tap widening GEMM runs the int16 c-block kernel,
+ * and the tap-wise S_BG rescale is applied per GEMM slice exactly
+ * like the NCHW engine — outputs are bit-identical to it (and to
+ * forwardInt8Reference on the fully integer path).
+ */
+class WinogradBlockedInt8Backend : public ConvBackend
+{
+  public:
+    ConvEngine
+    kind() const override
+    {
+        return ConvEngine::WinogradBlockedInt8;
+    }
+
+    bool
+    supports(const ConvLayerDesc &desc) const override
+    {
+        return desc.winogradEligible();
+    }
+
+    ActLayout
+    inputLayout() const override
+    {
+        return ActLayout::NCHWc8;
+    }
+
+    ActLayout
+    outputLayout() const override
+    {
+        return ActLayout::NCHWc8;
+    }
+
+    std::shared_ptr<const PreparedLayer>
+    prepare(const ConvLayerDesc &desc, const TensorD &weights,
+            const LayerBuild &build) const override
+    {
+        twq_assert(supports(desc),
+                   "winograd-blocked-int8 backend on ineligible "
+                   "layer ",
+                   desc.name);
+        twq_assert(build.calibration && !build.calibration->empty(),
+                   "winograd-blocked-int8 backend needs calibration "
+                   "samples");
+        IntWinogradConfig cfg = build.quant;
+        cfg.variant = build.variant;
+        cfg.pad = build.params.pad;
+        auto prep = std::make_shared<WinogradBlockedInt8Prepared>();
+        prep->conv = std::make_unique<IntWinogradConv>(
+            weights, *build.calibration, cfg);
+        prep->blocked =
+            std::make_unique<BlockedIntWinograd>(*prep->conv);
+        prep->quantized = layerSlot("winoc8i.xq", desc.name);
+        prep->tiles = layerSlot("winoc8i.V", desc.name);
+        prep->scatter = layerSlot("winoc8i.U32", desc.name);
+        prep->narrowed = layerSlot("winoc8i.U16", desc.name);
+        prep->narrowed8 = layerSlot("winoc8i.U8", desc.name);
+        prep->gemm = layerSlot("winoc8i.M", desc.name);
+        prep->dequant = layerSlot("winoc8i.Md", desc.name);
+        prep->back = layerSlot("winoc8i.Y", desc.name);
+        return prep;
+    }
+
+    Shape
+    outputShape(const PreparedLayer &prep,
+                const Shape &input) const override
+    {
+        const auto &p =
+            static_cast<const WinogradBlockedInt8Prepared &>(prep);
+        twq_assert(input.size() == 5 && input[4] == kLayoutBlock,
+                   "winograd-blocked-int8 backend expects NCHWc8 "
+                   "input");
+        const ConvParams cp{3, 1, p.conv->config().pad};
+        return {input[0], p.blocked->coutb(), cp.outSize(input[2]),
+                cp.outSize(input[3]), kLayoutBlock};
+    }
+
+    void
+    run(const PreparedLayer &prep, const TensorD &input,
+        ScratchArena &scratch, TensorD &out,
+        const RunContext &ctx) const override
+    {
+        const auto &p =
+            static_cast<const WinogradBlockedInt8Prepared &>(prep);
+        const WinoDims d =
+            winoDimsBlocked(input.shape(), p.conv->config().variant,
+                            p.conv->config().pad);
+        const std::size_t tt = d.t * d.t;
+        TensorI32 &xq = scratch.tensorI32(p.quantized, input.shape());
+        const Shape ushape{tt, p.blocked->cinb(), d.tiles,
+                           kLayoutBlock};
+        TensorI32 &V = scratch.tensorI32(p.tiles, ushape);
+        TensorI32 &U32 = scratch.tensorI32(p.scatter, ushape);
+        TensorI16 &U16 = scratch.tensorI16(p.narrowed, ushape);
+        TensorI8 &U8 = scratch.tensorI8(p.narrowed8, ushape);
+        TensorI32 &M = scratch.tensorI32(
+            p.gemm,
+            {tt, p.blocked->coutb(), d.tiles, kLayoutBlock});
+        TensorD &Md = scratch.tensor(
+            p.dequant,
+            {tt, p.blocked->coutb(), d.tiles, kLayoutBlock});
+        TensorD &Y = scratch.tensor(
+            p.back,
+            {d.m * d.m, p.blocked->coutb(), d.tiles, kLayoutBlock});
+        // Physical MACs: the padded lanes compute too.
+        const double macs =
+            static_cast<double>(tt) *
+            static_cast<double>(p.blocked->coutb() * kLayoutBlock) *
+            static_cast<double>(p.blocked->cinb() * kLayoutBlock) *
+            static_cast<double>(d.tiles);
+        p.blocked->forwardInto(input, xq, V, U32, U16, U8, M, Md, Y,
+                               out, ctx.runnerFor(macs));
+    }
+};
+
 // ------------------------------------------------- int8 im2col GEMM
 
 struct Im2colInt8Prepared : PreparedLayer
@@ -578,6 +716,7 @@ EngineRegistry::EngineRegistry()
     registerBackend(std::make_shared<WinogradInt8Backend>());
     registerBackend(std::make_shared<Im2colInt8Backend>());
     registerBackend(std::make_shared<WinogradBlockedBackend>());
+    registerBackend(std::make_shared<WinogradBlockedInt8Backend>());
 }
 
 EngineRegistry &

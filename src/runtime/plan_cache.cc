@@ -4,13 +4,17 @@
 #include <sstream>
 #include <vector>
 
+#include "gemm/gemm.hh"
+#include "layout/wino_blocked.hh"
+
 namespace twq
 {
 
 namespace
 {
 
-constexpr const char *kHeader = "twq-plan-cache v1";
+constexpr const char *kMagic = "twq-plan-cache";
+constexpr const char *kVersion = "v2";
 
 bool
 variantFromName(const std::string &name, WinoVariant *out)
@@ -27,13 +31,28 @@ variantFromName(const std::string &name, WinoVariant *out)
 } // namespace
 
 std::string
-PlanCache::layerKey(const ConvLayerDesc &desc, std::size_t probeBatch)
+PlanCache::layerKey(const ConvLayerDesc &desc, std::size_t probeBatch,
+                    bool quantized)
 {
     std::ostringstream key;
     key << 'c' << desc.cin << 'o' << desc.cout << 'k' << desc.kernel
         << 's' << desc.stride << 'h' << desc.height << 'w'
         << desc.width << 'b' << probeBatch;
+    if (quantized)
+        key << "q8";
     return key.str();
+}
+
+std::string
+PlanCache::signature()
+{
+    std::string sig = "sig=";
+    sig += gemm::kernelName();
+    sig += '/';
+    sig += gemm::int8KernelName();
+    sig += '/';
+    sig += layoutKernelName();
+    return sig;
 }
 
 bool
@@ -52,6 +71,7 @@ PlanCache::store(const std::string &key, const Decision &d)
 {
     std::lock_guard<std::mutex> lock(mu_);
     entries_[key] = d;
+    ++revision_;
 }
 
 std::size_t
@@ -61,12 +81,19 @@ PlanCache::size() const
     return entries_.size();
 }
 
+std::uint64_t
+PlanCache::revision() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return revision_;
+}
+
 std::string
 PlanCache::serialize() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     std::ostringstream out;
-    out << kHeader << '\n';
+    out << kMagic << ' ' << kVersion << ' ' << signature() << '\n';
     for (const auto &[key, d] : entries_)
         out << key << ' ' << convEngineName(d.engine) << ' '
             << winoName(d.variant) << '\n';
@@ -76,10 +103,25 @@ PlanCache::serialize() const
 bool
 PlanCache::deserialize(const std::string &text)
 {
+    // Parse fully before touching the cache: stale or malformed
+    // input (an older format version, plans measured under a
+    // different kernel table / CPU, a corrupted line) must not
+    // disturb valid plans already measured in this process — the
+    // cache may be shared across sessions, and a bad FILE is no
+    // reason to throw away good MEMORY. Rejected input simply means
+    // the affected layers re-probe.
     std::istringstream in(text);
     std::string line;
-    if (!std::getline(in, line) || line != kHeader)
+    if (!std::getline(in, line))
         return false;
+    {
+        std::istringstream header(line);
+        std::string magic, version, sig;
+        if (!(header >> magic >> version >> sig) ||
+            magic != kMagic || version != kVersion ||
+            sig != signature())
+            return false;
+    }
     std::map<std::string, Decision> parsed;
     while (std::getline(in, line)) {
         if (line.empty())
@@ -93,8 +135,12 @@ PlanCache::deserialize(const std::string &text)
             return false;
         parsed[key] = d;
     }
+    // Merge (file entries win per key) so a shared in-memory cache
+    // keeps measurements the file does not know about.
     std::lock_guard<std::mutex> lock(mu_);
-    entries_ = std::move(parsed);
+    for (auto &[key, d] : parsed)
+        entries_[key] = d;
+    ++revision_;
     return true;
 }
 

@@ -12,12 +12,19 @@
  * (a restarted server, a fleet of identical replicas) skip the probe
  * entirely and land on the plan a previous build measured.
  *
- * The cache is a plain line-oriented text format, stable across
- * versions that know the same engine names:
+ * The cache is a plain line-oriented text format whose header carries
+ * the kernel-table signature of the process that measured the plans:
  *
- *     twq-plan-cache v1
+ *     twq-plan-cache v2 sig=avx2/avx512-vnni/avx2
  *     c64o64k3s1h16w16b8 winograd-blocked F4
  *     ...
+ *
+ * A measured ranking is only meaningful on the kernel set that
+ * produced it — a plan probed on an AVX-512 VNNI host misfires on a
+ * scalar-kernel host — so deserialize() rejects any input whose
+ * signature differs from signature() (leaving the in-memory cache
+ * untouched), forcing a re-probe instead of applying a stale plan.
+ * Older v1 files are rejected the same way.
  *
  * Thread-safe: sessions built concurrently may share one instance.
  */
@@ -25,6 +32,7 @@
 #ifndef TWQ_RUNTIME_PLAN_CACHE_HH
 #define TWQ_RUNTIME_PLAN_CACHE_HH
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
@@ -54,10 +62,22 @@ class PlanCache
 
     /**
      * Cache key of a layer shape under a probe batch size — every
-     * field that changes the measured ranking participates.
+     * field that changes the measured ranking participates,
+     * including which candidate family raced: an FP layer and a
+     * quantized layer of identical geometry measure different
+     * candidate sets, and one decision must never clobber the other.
      */
     static std::string layerKey(const ConvLayerDesc &desc,
-                                std::size_t probeBatch);
+                                std::size_t probeBatch,
+                                bool quantized = false);
+
+    /**
+     * Signature of the kernel tables resolved for this process (the
+     * dispatched fp64, int8 and blocked-layout kernels) — the
+     * environment a measured plan is valid in. Serialized into the
+     * header; a mismatch on load discards the cache.
+     */
+    static std::string signature();
 
     /** Look up a cached decision; false when absent. */
     bool lookup(const std::string &key, Decision *out) const;
@@ -67,12 +87,23 @@ class PlanCache
 
     std::size_t size() const;
 
+    /**
+     * Monotonic change counter (bumped by store() and deserialize());
+     * lets a caller that loaded a cache detect whether a build added
+     * plans worth persisting.
+     */
+    std::uint64_t revision() const;
+
     /** The full cache in the line format above. */
     std::string serialize() const;
 
     /**
-     * Replace the contents from serialize() output; false (cache
-     * left empty) on a malformed header or line.
+     * Merge serialize() output into the cache (parsed entries win
+     * per key, existing entries for other keys survive — a shared
+     * in-process cache never loses valid measurements to a load).
+     * False with the cache UNCHANGED on a malformed line or a stale
+     * header (wrong version or kernel-table signature): the affected
+     * layers simply re-probe.
      */
     bool deserialize(const std::string &text);
 
@@ -83,6 +114,7 @@ class PlanCache
   private:
     mutable std::mutex mu_;
     std::map<std::string, Decision> entries_;
+    std::uint64_t revision_ = 0;
 };
 
 } // namespace twq

@@ -67,6 +67,7 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
         // sessions stay quantized end to end.
         const bool quantizedDefault =
             cfg.defaultEngine == ConvEngine::WinogradInt8 ||
+            cfg.defaultEngine == ConvEngine::WinogradBlockedInt8 ||
             cfg.defaultEngine == ConvEngine::Im2colInt8;
         const ConvEngine fallback =
             quantizedDefault && cfg.int8Fallback
@@ -112,6 +113,7 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
     std::size_t calEnd = 0;
     for (std::size_t i = 0; i < layers_.size(); ++i)
         if (layers_[i].engine == ConvEngine::WinogradInt8 ||
+            layers_[i].engine == ConvEngine::WinogradBlockedInt8 ||
             layers_[i].engine == ConvEngine::Im2colInt8)
             calEnd = i + 1;
     TensorD cal;
@@ -121,6 +123,19 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                        inputShape_[1], inputShape_[2], inputShape_[3]});
         calRng.fillNormal(cal.storage(), 0.0, 1.0);
     }
+
+    // Plan cache resolution: a configured path loads before the build
+    // (a missing, malformed, or stale-signature file simply re-probes)
+    // and saves after it whenever the build added or refreshed plans.
+    PlanCache *cache = cfg.planCache;
+    if (!cfg_.planCachePath.empty()) {
+        if (!cache) {
+            ownedCache_ = std::make_unique<PlanCache>();
+            cache = ownedCache_.get();
+        }
+        cache->loadFile(cfg_.planCachePath);
+    }
+    const std::uint64_t cacheRev0 = cache ? cache->revision() : 0;
     for (std::size_t i = 0; i < layers_.size(); ++i) {
         Layer &layer = layers_[i];
         LayerBuild build;
@@ -137,44 +152,54 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
         twq_assert(layer.prepared, "backend returned no prepared state");
 
         // ConvEngine-auto policy: race this layer's assigned engine
-        // against im2col AND against both Winograd variants of the
-        // NCHW and NCHWc8-blocked winograd backends, keeping the
-        // fastest measured candidate — the policy picks engine,
-        // Winograd variant and activation layout together. Blocked
-        // candidates are timed on a blocked probe — the steady-state
-        // input layout propagation hands them inside a blocked chain.
-        // Boundary conversions (ingress/egress, or a blocked layer
-        // between NCHW neighbors) are NOT charged to the layer, since
-        // their amortization depends on the neighbors' layouts; a
-        // blocked win smaller than a conversion cost can therefore
-        // lose net at an isolated layout seam (ROADMAP follow-on:
-        // chain-aware layout planning).
-        // Ineligible layers never reach here with a non-im2col
-        // engine, so they always stay on im2col. Only FP engines are
-        // raced — demoting a quantized layer to an FP engine would
-        // silently drop the quantization the config asked for. A
+        // against the rest of its candidate set, keeping the fastest
+        // measured candidate — the policy picks engine, Winograd
+        // variant and activation layout together. FP Winograd layers
+        // race im2col and both Winograd variants of the NCHW and
+        // NCHWc8-blocked FP backends; quantized Winograd layers race
+        // the quantized counterparts (NCHW int-winograd F2/F4,
+        // blocked int-winograd F2/F4, im2col-int8) — never an FP
+        // engine, which would silently drop the quantization the
+        // config asked for. Blocked candidates are timed on a blocked
+        // probe — the steady-state input layout propagation hands
+        // them inside a blocked chain. Boundary conversions
+        // (ingress/egress, or a blocked layer between NCHW neighbors)
+        // are NOT charged to the layer, since their amortization
+        // depends on the neighbors' layouts; a blocked win smaller
+        // than a conversion cost can therefore lose net at an
+        // isolated layout seam (ROADMAP follow-on: chain-aware layout
+        // planning). Ineligible layers never reach here with a
+        // raceable engine, so they always stay on their fallback. A
         // plan-cache hit applies a previously measured decision
         // without re-running the probe.
-        if (cfg.autoSelect && !pinned[i] &&
-            (layer.engine == ConvEngine::WinogradFp32 ||
-             layer.engine == ConvEngine::WinogradBlocked)) {
-            bool applied = false;
-            std::string planKey;
-            if (cfg.planCache) {
-                planKey = PlanCache::layerKey(layer.desc,
-                                              cfg.autoSelectBatch);
-                PlanCache::Decision hit;
-                // Apply only decisions this race could itself have
-                // produced — a foreign or corrupted cache entry (e.g.
-                // a quantized engine, whose prepare() needs
-                // calibration the FP path never built) is ignored and
-                // the layer re-probed.
-                const auto raceable = [](ConvEngine e) {
+        const bool fpRace =
+            layer.engine == ConvEngine::WinogradFp32 ||
+            layer.engine == ConvEngine::WinogradBlocked;
+        const bool quantRace =
+            layer.engine == ConvEngine::WinogradInt8 ||
+            layer.engine == ConvEngine::WinogradBlockedInt8;
+        if (cfg.autoSelect && !pinned[i] && (fpRace || quantRace)) {
+            // The candidate set this race draws from — and the only
+            // cached decisions it will apply: a foreign or corrupted
+            // cache entry (e.g. a quantized engine for an FP layer,
+            // whose prepare() needs calibration the FP path never
+            // built) is ignored and the layer re-probed.
+            const auto raceable = [&](ConvEngine e) {
+                if (fpRace)
                     return e == ConvEngine::Im2col ||
                            e == ConvEngine::WinogradFp32 ||
                            e == ConvEngine::WinogradBlocked;
-                };
-                if (cfg.planCache->lookup(planKey, &hit) &&
+                return e == ConvEngine::Im2colInt8 ||
+                       e == ConvEngine::WinogradInt8 ||
+                       e == ConvEngine::WinogradBlockedInt8;
+            };
+            bool applied = false;
+            std::string planKey;
+            if (cache) {
+                planKey = PlanCache::layerKey(
+                    layer.desc, cfg.autoSelectBatch, quantRace);
+                PlanCache::Decision hit;
+                if (cache->lookup(planKey, &hit) &&
                     raceable(hit.engine)) {
                     std::shared_ptr<const ConvBackend> b =
                         registry.get(hit.engine);
@@ -230,41 +255,65 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                                                     weights[i], vbuild);
                     cands.push_back(std::move(c));
                 };
-                addCandidate(ConvEngine::WinogradFp32, cfg.variant);
-                addCandidate(ConvEngine::WinogradFp32, other);
-                addCandidate(ConvEngine::WinogradBlocked, cfg.variant);
-                addCandidate(ConvEngine::WinogradBlocked, other);
-                addCandidate(ConvEngine::Im2col, cfg.variant);
-
-                std::size_t best = 0;
-                double bestT = std::numeric_limits<double>::infinity();
-                for (std::size_t ci = 0; ci < cands.size(); ++ci) {
-                    const TensorD *in = &probe;
-                    if (cands[ci].backend->inputLayout() ==
-                        ActLayout::NCHWc8) {
-                        if (probeBlocked.numel() == 0) {
-                            probeBlocked =
-                                TensorD(blockedShape(probe.shape()));
-                            nchwToBlocked(probe, probeBlocked);
-                        }
-                        in = &probeBlocked;
-                    }
-                    const double t =
-                        timeBackendRun(*cands[ci].backend,
-                                       *cands[ci].prepared, *in,
-                                       probeArena);
-                    if (t < bestT) {
-                        bestT = t;
-                        best = ci;
-                    }
+                if (fpRace) {
+                    addCandidate(ConvEngine::WinogradFp32,
+                                 cfg.variant);
+                    addCandidate(ConvEngine::WinogradFp32, other);
+                    addCandidate(ConvEngine::WinogradBlocked,
+                                 cfg.variant);
+                    addCandidate(ConvEngine::WinogradBlocked, other);
+                    addCandidate(ConvEngine::Im2col, cfg.variant);
+                } else {
+                    addCandidate(ConvEngine::WinogradInt8,
+                                 cfg.variant);
+                    addCandidate(ConvEngine::WinogradInt8, other);
+                    addCandidate(ConvEngine::WinogradBlockedInt8,
+                                 cfg.variant);
+                    addCandidate(ConvEngine::WinogradBlockedInt8,
+                                 other);
+                    addCandidate(ConvEngine::Im2colInt8,
+                                 cfg.variant);
                 }
+
+                const auto probeFor =
+                    [&](const Candidate &c) -> const TensorD * {
+                    if (c.backend->inputLayout() != ActLayout::NCHWc8)
+                        return &probe;
+                    if (probeBlocked.numel() == 0) {
+                        probeBlocked =
+                            TensorD(blockedShape(probe.shape()));
+                        nchwToBlocked(probe, probeBlocked);
+                    }
+                    return &probeBlocked;
+                };
+                // Interleaved best-of rounds: timing the candidates
+                // back-to-back would hand the last one warmed caches
+                // and a ramped-up clock; round-robin rounds spread
+                // those drifts symmetrically, and each candidate
+                // keeps its best round (timeBackendRun additionally
+                // precedes every timed run with an untimed warmup).
+                std::vector<double> bestT(
+                    cands.size(),
+                    std::numeric_limits<double>::infinity());
+                for (int round = 0; round < 3; ++round)
+                    for (std::size_t ci = 0; ci < cands.size(); ++ci)
+                        bestT[ci] = std::min(
+                            bestT[ci],
+                            timeBackendRun(*cands[ci].backend,
+                                           *cands[ci].prepared,
+                                           *probeFor(cands[ci]),
+                                           probeArena, 1));
+                std::size_t best = 0;
+                for (std::size_t ci = 1; ci < cands.size(); ++ci)
+                    if (bestT[ci] < bestT[best])
+                        best = ci;
                 layer.engine = cands[best].engine;
                 layer.variant = cands[best].variant;
                 layer.backend = std::move(cands[best].backend);
                 layer.prepared = std::move(cands[best].prepared);
-                if (cfg.planCache)
-                    cfg.planCache->store(
-                        planKey, {layer.engine, layer.variant});
+                if (cache)
+                    cache->store(planKey,
+                                 {layer.engine, layer.variant});
             }
         }
 
@@ -277,6 +326,12 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
         if (i + 1 < calEnd)
             cal = conv2dIm2col(cal, weights[i], layer.params);
     }
+
+    // Persist newly measured plans so the next build (a restarted
+    // server, an identical replica) skips the probes entirely.
+    if (cache && !cfg_.planCachePath.empty() &&
+        cache->revision() != cacheRev0)
+        cache->saveFile(cfg_.planCachePath);
 }
 
 const ConvLayerDesc &

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,11 +50,13 @@ struct SessionConfig
      * NCHWc8 blocked-layout winograd under both variants, timed on a
      * sample batch (blocked candidates on a blocked probe), and the
      * fastest candidate wins — the policy picks the engine, the
-     * Winograd variant and the activation layout together. Ineligible
-     * layers still always land on im2col. Explicit layerEngines
-     * overrides are honored unmeasured, and quantized layers are
-     * never demoted — swapping them for an FP engine would silently
-     * drop the configured quantization.
+     * Winograd variant and the activation layout together. Quantized
+     * Winograd layers race their own quantized candidate set the same
+     * way (NCHW int-winograd F2/F4, blocked int-winograd F2/F4,
+     * im2col-int8) — never an FP engine, which would silently drop
+     * the configured quantization. Ineligible layers still always
+     * land on their im2col fallback, and explicit layerEngines
+     * overrides are honored unmeasured.
      */
     bool autoSelect = false;
 
@@ -68,6 +71,20 @@ struct SessionConfig
      * measures as usual and records the winner.
      */
     PlanCache *planCache = nullptr;
+
+    /**
+     * Auto-persisted plan cache: when non-empty, the session loads
+     * this file into its plan cache before the build (ignoring a
+     * missing, malformed, or stale-signature file — those re-probe)
+     * and saves it back after the build if any plan was added or
+     * refreshed. With a null `planCache` the session owns a private
+     * cache behind the path; with both set, the shared cache is
+     * loaded from and saved to the path. The file format is versioned
+     * against the kernel-table/CPU signature (PlanCache::signature),
+     * so a cache written by a different machine or build re-probes
+     * instead of misfiring.
+     */
+    std::string planCachePath;
 
     /**
      * Route winograd-ineligible layers to the int8 im2col baseline
@@ -173,6 +190,9 @@ class Session
     Shape inputShape_;
     Shape outputShape_;
     std::vector<Layer> layers_;
+    /// Private plan cache backing SessionConfig::planCachePath when
+    /// the config supplies a path but no shared cache instance.
+    std::unique_ptr<PlanCache> ownedCache_;
 };
 
 } // namespace twq

@@ -142,6 +142,7 @@ class Tensor
 using TensorF = Tensor<float>;
 using TensorD = Tensor<double>;
 using TensorI8 = Tensor<std::int8_t>;
+using TensorI16 = Tensor<std::int16_t>;
 using TensorI32 = Tensor<std::int32_t>;
 using TensorI64 = Tensor<std::int64_t>;
 

@@ -468,6 +468,7 @@ template struct WinogradTapWeights<float>;
 template struct WinogradTapWeights<double>;
 template struct WinoKronPlan<float>;
 template struct WinoKronPlan<double>;
+template struct WinoKronPlan<std::int32_t>;
 template struct WinoKronPlan<std::int64_t>;
 template WinogradTapWeights<float>
 winogradPrepareTapWeights(const Tensor<float> &, WinoVariant);
@@ -479,10 +480,13 @@ template WinogradTapWeights<double>
 tapMajorWeights(const WinogradWeights<double> &);
 template WinoKronPlan<float> makeKronPlan(const Matrix<Rational> &);
 template WinoKronPlan<double> makeKronPlan(const Matrix<Rational> &);
+template WinoKronPlan<std::int32_t>
+makeKronPlan(const Matrix<Rational> &);
 template WinoKronPlan<std::int64_t>
 makeKronPlan(const Matrix<Rational> &);
 template const WinoKronPlan<float> &winoInputKron(WinoVariant);
 template const WinoKronPlan<double> &winoInputKron(WinoVariant);
+template const WinoKronPlan<std::int32_t> &winoInputKron(WinoVariant);
 template const WinoKronPlan<std::int64_t> &winoInputKron(WinoVariant);
 template const WinoKronPlan<float> &winoOutputKron(WinoVariant);
 template const WinoKronPlan<double> &winoOutputKron(WinoVariant);
@@ -493,6 +497,9 @@ template void applyKron(const WinoKronPlan<float> &, const float *,
                         std::size_t, float *);
 template void applyKron(const WinoKronPlan<double> &, const double *,
                         std::size_t, double *);
+template void applyKron(const WinoKronPlan<std::int32_t> &,
+                        const std::int32_t *, std::size_t,
+                        std::int32_t *);
 template void applyKron(const WinoKronPlan<std::int64_t> &,
                         const std::int64_t *, std::size_t,
                         std::int64_t *);

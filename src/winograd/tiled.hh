@@ -313,6 +313,7 @@ extern template struct WinogradTapWeights<float>;
 extern template struct WinogradTapWeights<double>;
 extern template struct WinoKronPlan<float>;
 extern template struct WinoKronPlan<double>;
+extern template struct WinoKronPlan<std::int32_t>;
 extern template struct WinoKronPlan<std::int64_t>;
 extern template WinogradTapWeights<float>
 winogradPrepareTapWeights(const Tensor<float> &, WinoVariant);
@@ -325,10 +326,14 @@ tapMajorWeights(const WinogradWeights<double> &);
 extern template WinoKronPlan<float> makeKronPlan(const Matrix<Rational> &);
 extern template WinoKronPlan<double>
 makeKronPlan(const Matrix<Rational> &);
+extern template WinoKronPlan<std::int32_t>
+makeKronPlan(const Matrix<Rational> &);
 extern template WinoKronPlan<std::int64_t>
 makeKronPlan(const Matrix<Rational> &);
 extern template const WinoKronPlan<float> &winoInputKron(WinoVariant);
 extern template const WinoKronPlan<double> &winoInputKron(WinoVariant);
+extern template const WinoKronPlan<std::int32_t> &
+winoInputKron(WinoVariant);
 extern template const WinoKronPlan<std::int64_t> &
 winoInputKron(WinoVariant);
 extern template const WinoKronPlan<float> &winoOutputKron(WinoVariant);
@@ -341,6 +346,9 @@ extern template void applyKron(const WinoKronPlan<float> &,
                                const float *, std::size_t, float *);
 extern template void applyKron(const WinoKronPlan<double> &,
                                const double *, std::size_t, double *);
+extern template void applyKron(const WinoKronPlan<std::int32_t> &,
+                               const std::int32_t *, std::size_t,
+                               std::int32_t *);
 extern template void applyKron(const WinoKronPlan<std::int64_t> &,
                                const std::int64_t *, std::size_t,
                                std::int64_t *);

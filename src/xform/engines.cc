@@ -34,6 +34,8 @@ convEngineName(ConvEngine e)
         return "im2col-int8";
       case ConvEngine::WinogradBlocked:
         return "winograd-blocked";
+      case ConvEngine::WinogradBlockedInt8:
+        return "winograd-blocked-int8";
     }
     return "?";
 }

@@ -56,11 +56,16 @@ enum class ConvEngine
                      ///< activation layout (src/layout/): unit-stride
                      ///< tile gathers and c-block SIMD lanes; the
                      ///< session keeps its activations blocked
+    WinogradBlockedInt8, ///< int8 tap-wise quantized Winograd on the
+                         ///< NCHWc8 layout: blocked tiles quantize in
+                         ///< place and the per-tap widening GEMM runs
+                         ///< the int16 c-block kernel
+                         ///< (quant/int_wino_blocked.hh)
 };
 
 /**
  * Name ("im2col" / "winograd-fp32" / "winograd-int8" / "im2col-int8" /
- * "winograd-blocked").
+ * "winograd-blocked" / "winograd-blocked-int8").
  */
 const char *convEngineName(ConvEngine e);
 
@@ -74,6 +79,7 @@ inline constexpr ConvEngine kAllConvEngines[] = {
     ConvEngine::WinogradInt8,
     ConvEngine::Im2colInt8,
     ConvEngine::WinogradBlocked,
+    ConvEngine::WinogradBlockedInt8,
 };
 
 /** Static engine configuration. */
