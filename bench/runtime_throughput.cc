@@ -22,7 +22,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -31,6 +33,8 @@
 #include "gemm/gemm.hh"
 #include "layout/wino_blocked.hh"
 #include "models/zoo.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "runtime/server.hh"
 #include "winograd/tiled.hh"
 
@@ -54,6 +58,13 @@ struct Result
     double p50Ms;
     double p99Ms;
     double avgBatch;
+    /// Server-side request-latency quantiles from the obs histogram
+    /// (enqueue to fulfillment); -1 when the row has no server (layer
+    /// microbenchmarks) or obs is compiled out. Tracked against the
+    /// client-observed p50/p99 above: the two must agree to within
+    /// one log2 bucket.
+    double histP50Ms = -1.0;
+    double histP99Ms = -1.0;
 };
 
 /**
@@ -92,6 +103,9 @@ runConfig(const std::shared_ptr<const Session> &session,
     auto serverPtr =
         makeWarmServer(session, threads, maxBatch, &statsBefore);
     InferenceServer &server = *serverPtr;
+    // Drop the warmup requests from the server-side histograms so the
+    // snapshot below covers exactly the measured requests.
+    server.metrics().reset();
 
     // One distinct input per client, generated up front.
     std::vector<TensorD> inputs;
@@ -125,6 +139,7 @@ runConfig(const std::shared_ptr<const Session> &session,
         std::chrono::duration<double>(Clock::now() - wallStart).count();
     server.drain();
     const ServerStats stats = server.stats();
+    const obs::MetricsSnapshot snap = server.metricsSnapshot();
     server.shutdown();
     const double avgBatch =
         static_cast<double>(stats.completed - statsBefore.completed) /
@@ -146,6 +161,12 @@ runConfig(const std::shared_ptr<const Session> &session,
     r.p50Ms = percentile(latencies, 0.50);
     r.p99Ms = percentile(latencies, 0.99);
     r.avgBatch = avgBatch;
+    if (const auto it =
+            snap.histograms.find("server.request_latency_ns");
+        it != snap.histograms.end() && it->second.count > 0) {
+        r.histP50Ms = it->second.p50Ms();
+        r.histP99Ms = it->second.p99Ms();
+    }
     return r;
 }
 
@@ -165,6 +186,7 @@ runOpenLoop(const std::shared_ptr<const Session> &session,
     auto serverPtr =
         makeWarmServer(session, threads, maxBatch, &statsBefore);
     InferenceServer &server = *serverPtr;
+    server.metrics().reset();
 
     TensorD input(session->inputShape());
     Rng rng(7);
@@ -190,6 +212,7 @@ runOpenLoop(const std::shared_ptr<const Session> &session,
         std::chrono::duration<double>(Clock::now() - wallStart).count();
     server.drain();
     const ServerStats stats = server.stats();
+    const obs::MetricsSnapshot snap = server.metricsSnapshot();
     server.shutdown();
 
     Result r;
@@ -207,6 +230,12 @@ runOpenLoop(const std::shared_ptr<const Session> &session,
     r.avgBatch =
         static_cast<double>(stats.completed - statsBefore.completed) /
         static_cast<double>(stats.batches - statsBefore.batches);
+    if (const auto it =
+            snap.histograms.find("server.request_latency_ns");
+        it != snap.histograms.end() && it->second.count > 0) {
+        r.histP50Ms = it->second.p50Ms();
+        r.histP99Ms = it->second.p99Ms();
+    }
     return r;
 }
 
@@ -660,7 +689,9 @@ runLayerLatency(const ConvLayerDesc &d, const char *tag,
 }
 
 void
-writeJson(const std::vector<Result> &results, const char *path)
+writeJson(const std::vector<Result> &results,
+          const std::map<std::string, obs::StageTotal> &stages,
+          const char *path)
 {
     std::FILE *f = std::fopen(path, "w");
     if (!f) {
@@ -677,14 +708,81 @@ writeJson(const std::vector<Result> &results, const char *path)
             "\"threads\": %zu, \"max_batch\": %zu, \"clients\": %zu, "
             "\"requests\": %zu, \"wall_sec\": %.6f, "
             "\"req_per_sec\": %.2f, \"p50_ms\": %.4f, "
-            "\"p99_ms\": %.4f, \"avg_batch\": %.2f}%s\n",
+            "\"p99_ms\": %.4f, \"avg_batch\": %.2f, "
+            "\"hist_p50_ms\": %.4f, \"hist_p99_ms\": %.4f}%s\n",
             r.engine, r.label.c_str(), r.threads, r.maxBatch, r.clients,
             r.requests, r.wallSec, r.reqPerSec, r.p50Ms, r.p99Ms,
-            r.avgBatch, i + 1 < results.size() ? "," : "");
+            r.avgBatch, r.histP50Ms, r.histP99Ms,
+            i + 1 < results.size() ? "," : "");
     }
+    std::fprintf(f, "  ],\n");
+    // Per-stage rollup of the traced wide-64 autoSelect run: where a
+    // request's time actually goes (gather vs B-kron vs per-tap GEMM
+    // vs untile...), from the same spans a tracePath trace shows.
+    // Empty when built with TWQ_NO_OBS.
+    std::fprintf(f, "  \"stage_breakdown\": [\n");
+    std::size_t emitted = 0;
+    for (const auto &[name, t] : stages)
+        std::fprintf(f,
+                     "    {\"stage\": \"%s\", \"count\": %llu, "
+                     "\"total_ms\": %.4f}%s\n",
+                     name.c_str(),
+                     static_cast<unsigned long long>(t.count),
+                     static_cast<double>(t.totalNs) * 1e-6,
+                     ++emitted < stages.size() ? "," : "");
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", path);
+}
+
+/**
+ * Observability overhead gate: p50 of the steady-state wide-64
+ * blocked FP layer (serial, input already blocked — the hottest
+ * instrumented path), printed as one machine-readable line. CI builds
+ * this bench twice, default and -DTWQ_NO_OBS=ON, and asserts the
+ * instrumented-but-disabled build stays within 5% of the stub build —
+ * the budget for the one predicted branch each disabled span costs.
+ */
+int
+runObsGate()
+{
+    ConvLayerDesc d;
+    d.name = "wide-64";
+    d.cin = 64;
+    d.cout = 64;
+    d.kernel = 3;
+    d.stride = 1;
+    d.height = 16;
+    d.width = 16;
+    const auto blocked =
+        EngineRegistry::instance().get(ConvEngine::WinogradBlocked);
+    LayerBuild build;
+    build.params = ConvParams{3, 1, 1};
+    build.variant = WinoVariant::F2;
+    TensorD weights({d.cout, d.cin, 3, 3});
+    Rng wrng(0x0b5);
+    wrng.fillNormal(weights.storage(), 0.0, 0.1);
+    const auto prep = blocked->prepare(d, weights, build);
+    TensorD probe({8, d.cin, d.height, d.width});
+    Rng prng(0x0b6);
+    prng.fillNormal(probe.storage(), 0.0, 1.0);
+    TensorD probeBlocked(blockedShape(probe.shape()));
+    nchwToBlocked(probe, probeBlocked);
+    ScratchArena arena;
+    TensorD out(blocked->outputShape(*prep, probeBlocked.shape()));
+    blocked->run(*prep, probeBlocked, arena, out); // warmup
+    constexpr int kIters = 200;
+    std::vector<double> ms;
+    ms.reserve(kIters);
+    for (int i = 0; i < kIters; ++i) {
+        const auto t0 = Clock::now();
+        blocked->run(*prep, probeBlocked, arena, out);
+        ms.push_back(std::chrono::duration<double, std::milli>(
+                         Clock::now() - t0)
+                         .count());
+    }
+    std::printf("OBS_GATE_P50_MS %.5f\n", percentile(ms, 0.50));
+    return 0;
 }
 
 } // namespace
@@ -698,7 +796,10 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             return runSmoke() == 0 ? 0 : 1;
-        std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+        if (std::strcmp(argv[i], "--obs-gate") == 0)
+            return runObsGate();
+        std::fprintf(stderr, "usage: %s [--smoke|--obs-gate]\n",
+                     argv[0]);
         return 2;
     }
 
@@ -706,6 +807,7 @@ main(int argc, char **argv)
         2, std::min<std::size_t>(std::thread::hardware_concurrency(), 8));
 
     std::vector<Result> results;
+    std::map<std::string, obs::StageTotal> stages;
     struct Workload
     {
         const char *name;
@@ -886,6 +988,11 @@ main(int argc, char **argv)
         std::vector<double> ms;
         session->run(probe, arena); // warmup
         constexpr int kIters = 60;
+        // Trace the measured iterations and roll the spans up into
+        // the JSON's per-stage breakdown (aggregate() stops tracing).
+        // The timing loop itself is traced, but a span costs tens of
+        // nanoseconds against a multi-hundred-microsecond layer.
+        obs::TraceCollector::global().enable();
         const auto wall0 = Clock::now();
         for (int i = 0; i < kIters; ++i) {
             const auto t0 = Clock::now();
@@ -894,6 +1001,7 @@ main(int argc, char **argv)
                              Clock::now() - t0)
                              .count());
         }
+        stages = obs::TraceCollector::global().aggregate();
         Result r;
         r.engine = convEngineName(session->layerEngine(0));
         r.label = "wide64-autosel";
@@ -914,6 +1022,6 @@ main(int argc, char **argv)
                     r.p50Ms);
     }
 
-    writeJson(results, "BENCH_runtime.json");
+    writeJson(results, stages, "BENCH_runtime.json");
     return 0;
 }

@@ -9,7 +9,12 @@
  *   serve_throughput [--engine im2col|winograd-fp32|winograd-int8|im2col-int8]
  *                    [--threads N] [--batch B] [--clients C]
  *                    [--requests R] [--res PX] [--width CH]
- *                    [--variant f2|f4]
+ *                    [--variant f2|f4] [--trace out.json] [--metrics]
+ *
+ * --trace writes a Chrome trace-event JSON of the run (open in
+ * chrome://tracing or https://ui.perfetto.dev) with one lane per
+ * worker; --metrics dumps the server's Prometheus-style metrics text
+ * after the run.
  */
 
 #include <algorithm>
@@ -40,6 +45,8 @@ main(int argc, char **argv)
     std::size_t res = 16;
     std::size_t width = 8;
     WinoVariant variant = WinoVariant::F2;
+    std::string tracePath;
+    bool dumpMetrics = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -74,6 +81,10 @@ main(int argc, char **argv)
             res = std::strtoul(need("--res"), nullptr, 10);
         } else if (arg == "--width") {
             width = std::strtoul(need("--width"), nullptr, 10);
+        } else if (arg == "--trace") {
+            tracePath = need("--trace");
+        } else if (arg == "--metrics") {
+            dumpMetrics = true;
         } else if (arg == "--variant") {
             const std::string v = need("--variant");
             if (v == "f4") {
@@ -101,6 +112,10 @@ main(int argc, char **argv)
     SessionConfig scfg;
     scfg.defaultEngine = engine;
     scfg.variant = variant;
+    // The session arms the tracer and flushes the JSON when it is
+    // destroyed — after the server (declared below it) has shut down,
+    // so worker spans are complete.
+    scfg.tracePath = tracePath;
     auto session = std::make_shared<const Session>(
         microServeNet(res, width), scfg);
 
@@ -150,6 +165,7 @@ main(int argc, char **argv)
         std::chrono::duration<double>(Clock::now() - start).count();
     server.drain();
     const ServerStats stats = server.stats();
+    const obs::MetricsSnapshot snap = server.metricsSnapshot();
 
     std::vector<double> latencies;
     for (auto &v : perClient)
@@ -167,7 +183,31 @@ main(int argc, char **argv)
     std::printf("  latency:       p50 %.3f ms, p99 %.3f ms\n",
                 percentile(latencies, 0.50),
                 percentile(latencies, 0.99));
-    std::printf("  avg batch:     %.2f (max %zu)\n",
-                stats.avgBatchSize(), maxBatch);
+    // Batch size and the server-side view of the run come from the
+    // histogram snapshot: one coherent read, and quantiles — not just
+    // a mean — for the queue-wait breakdown. (stats.completed above
+    // is the coherent counter pair from the same server.)
+    const auto hist = [&](const char *name) {
+        const auto it = snap.histograms.find(name);
+        return it == snap.histograms.end() ? obs::HistogramSnapshot{}
+                                           : it->second;
+    };
+    const obs::HistogramSnapshot batchH = hist("server.batch_size");
+    const obs::HistogramSnapshot reqH =
+        hist("server.request_latency_ns");
+    const obs::HistogramSnapshot waitH = hist("server.queue_wait_ns");
+    std::printf("  avg batch:     %.2f (max %zu, %llu batches)\n",
+                batchH.mean(), maxBatch,
+                static_cast<unsigned long long>(batchH.count));
+    std::printf("  server view:   request p50 %.3f ms, p99 %.3f ms; "
+                "queue wait p50 %.3f ms, p99 %.3f ms\n",
+                reqH.p50Ms(), reqH.p99Ms(), waitH.p50Ms(),
+                waitH.p99Ms());
+    if (dumpMetrics)
+        std::printf("\n%s", snap.prometheusText().c_str());
+    if (!tracePath.empty())
+        std::printf("\ntrace will be written to %s (open in "
+                    "chrome://tracing or ui.perfetto.dev)\n",
+                    tracePath.c_str());
     return 0;
 }

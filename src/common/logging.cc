@@ -1,35 +1,196 @@
 #include "common/logging.hh"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <mutex>
+#include <utility>
 
 namespace twq
 {
 
+namespace
+{
+
+struct SinkState
+{
+    std::mutex mu;
+    std::function<void(LogLevel, const std::string &)> sink;
+    std::size_t rateLimit = 10; // warn/debug lines per site per second
+    // Per-call-site limiter window: count in the current one-second
+    // window plus how many lines suppression has swallowed since the
+    // last emitted line.
+    struct SiteState
+    {
+        std::chrono::steady_clock::time_point windowStart{};
+        std::size_t inWindow = 0;
+        std::size_t suppressed = 0;
+    };
+    std::map<std::pair<const char *, int>, SiteState> sites;
+};
+
+SinkState &
+sinkState()
+{
+    static SinkState s;
+    return s;
+}
+
+std::atomic<int> gLevel{static_cast<int>(LogLevel::Info)};
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Error:
+      default:
+        return "error";
+    }
+}
+
+void
+defaultSink(LogLevel level, const std::string &line)
+{
+    std::FILE *out =
+        level >= LogLevel::Warn ? stderr : stdout;
+    std::fprintf(out, "%s\n", line.c_str());
+    std::fflush(out);
+}
+
+/** Emit one line under the sink mutex; caller already holds mu. */
+void
+emitLocked(SinkState &s, LogLevel level, const std::string &line)
+{
+    if (s.sink)
+        s.sink(level, line);
+    else
+        defaultSink(level, line);
+}
+
+void
+emit(LogLevel level, const std::string &line)
+{
+    SinkState &s = sinkState();
+    std::lock_guard<std::mutex> lock(s.mu);
+    emitLocked(s, level, line);
+}
+
+/**
+ * Rate-limited emission for chatty severities. Returns after either
+ * writing the line (with a suppressed-count note when the site just
+ * left a throttled window) or silently bumping the site's suppressed
+ * count.
+ */
+void
+emitLimited(LogLevel level, const char *file, int line,
+            const std::string &msg)
+{
+    if (static_cast<int>(level) < gLevel.load(std::memory_order_relaxed))
+        return;
+
+    std::string text = std::string(levelTag(level)) + ": " + msg +
+                       " (" + file + ":" + std::to_string(line) + ")";
+
+    SinkState &s = sinkState();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.rateLimit == 0) {
+        emitLocked(s, level, text);
+        return;
+    }
+
+    auto &site = s.sites[{file, line}];
+    const auto now = std::chrono::steady_clock::now();
+    if (now - site.windowStart >= std::chrono::seconds(1)) {
+        site.windowStart = now;
+        site.inWindow = 0;
+    }
+    if (site.inWindow >= s.rateLimit) {
+        ++site.suppressed;
+        return;
+    }
+    ++site.inWindow;
+    if (site.suppressed > 0) {
+        text += " [" + std::to_string(site.suppressed) +
+                " similar suppressed]";
+        site.suppressed = 0;
+    }
+    emitLocked(s, level, text);
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(gLevel.load(std::memory_order_relaxed));
+}
+
+void
+setLogSink(std::function<void(LogLevel, const std::string &)> sink)
+{
+    SinkState &s = sinkState();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.sink = std::move(sink);
+}
+
+void
+setLogRateLimit(std::size_t perSecond)
+{
+    SinkState &s = sinkState();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.rateLimit = perSecond;
+    s.sites.clear();
+}
+
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    emit(LogLevel::Error, "fatal: " + msg + " (" + file + ":" +
+                              std::to_string(line) + ")");
     std::exit(1);
 }
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    emit(LogLevel::Error, "panic: " + msg + " (" + file + ":" +
+                              std::to_string(line) + ")");
     std::abort();
 }
 
 void
 warnImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s (%s:%d)\n", msg.c_str(), file, line);
+    emitLimited(LogLevel::Warn, file, line, msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    if (static_cast<int>(LogLevel::Info) <
+        gLevel.load(std::memory_order_relaxed))
+        return;
+    emit(LogLevel::Info, "info: " + msg);
+}
+
+void
+debugImpl(const char *file, int line, const std::string &msg)
+{
+    emitLimited(LogLevel::Debug, file, line, msg);
 }
 
 } // namespace twq

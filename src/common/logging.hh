@@ -7,16 +7,55 @@
  * panic()  -- the situation should never happen (library bug); aborts.
  * warn()   -- something works but not as well as it should.
  * inform() -- plain status output.
+ * debug()  -- chatty diagnostics, off unless setLogLevel(Debug).
+ *
+ * All messages funnel through one thread-safe sink: each message is
+ * emitted as a single write under a global mutex, so lines from
+ * concurrent worker threads never interleave mid-line. warn() and
+ * debug() are additionally rate-limited per call site (file:line) —
+ * a worker loop that trips the same warning thousands of times per
+ * second produces a handful of lines plus a suppressed count, instead
+ * of drowning stderr. fatal/panic/inform are never rate-limited.
+ *
+ * setLogSink() redirects the stream (tests capture output; a server
+ * could forward to syslog); setLogLevel() filters by severity.
  */
 
 #ifndef TWQ_COMMON_LOGGING_HH
 #define TWQ_COMMON_LOGGING_HH
 
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace twq
 {
+
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+};
+
+/** Minimum severity that reaches the sink (default Info). */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/**
+ * Replace the output sink. The sink is called with the fully
+ * formatted line (no trailing newline) under the logging mutex, so it
+ * needs no locking of its own. Pass nullptr to restore the default
+ * (stderr for Warn/Error, stdout for Info/Debug).
+ */
+void setLogSink(std::function<void(LogLevel, const std::string &)> sink);
+
+/**
+ * Cap on per-call-site warn/debug lines per second before
+ * suppression kicks in; 0 disables limiting (tests use this).
+ */
+void setLogRateLimit(std::size_t perSecond);
 
 /** Terminate with exit(1) after printing a user-error message. */
 [[noreturn]] void fatalImpl(const char *file, int line,
@@ -26,11 +65,14 @@ namespace twq
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);
 
-/** Print a warning to stderr. */
+/** Print a warning (rate-limited per call site). */
 void warnImpl(const char *file, int line, const std::string &msg);
 
-/** Print an informational message to stdout. */
+/** Print an informational message. */
 void informImpl(const std::string &msg);
+
+/** Print a debug diagnostic (rate-limited, off below Debug level). */
+void debugImpl(const char *file, int line, const std::string &msg);
 
 namespace detail
 {
@@ -60,6 +102,9 @@ concat(Args &&...args)
 
 #define twq_inform(...) \
     ::twq::informImpl(::twq::detail::concat(__VA_ARGS__))
+
+#define twq_debug(...) \
+    ::twq::debugImpl(__FILE__, __LINE__, ::twq::detail::concat(__VA_ARGS__))
 
 /** Invariant check that survives NDEBUG builds; failure is a bug. */
 #define twq_assert(cond, ...)                                              \

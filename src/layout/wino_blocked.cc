@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "layout/kernels.hh"
+#include "obs/trace.hh"
 
 namespace twq
 {
@@ -312,19 +313,34 @@ conv2dWinogradBlockedInto(const TensorD &input,
     const std::size_t tt = d.t * d.t;
     const std::size_t mm = d.m * d.m;
 
-    winogradGatherTilesBlocked(input, w.variant, pad, V);
-    const Shape uWant{tt, w.cinb, d.tiles, kB};
-    if (U.shape() != uWant)
-        U = TensorD(uWant);
-    table().kron(winoInputKron<double>(w.variant), V.data(),
-                 w.cinb * d.tiles * kB, U.data());
-    winogradTapGemmBlocked(w, U, M, runner);
-    const Shape yWant{mm, w.coutb, d.tiles, kB};
-    if (Y.shape() != yWant)
-        Y = TensorD(yWant);
-    table().kron(winoOutputKron<double>(w.variant), M.data(),
-                 w.coutb * d.tiles * kB, Y.data());
-    winogradUntileBlocked(Y, w.variant, out);
+    {
+        TWQ_SPAN("winoc8.gather");
+        winogradGatherTilesBlocked(input, w.variant, pad, V);
+    }
+    {
+        TWQ_SPAN("winoc8.bkron");
+        const Shape uWant{tt, w.cinb, d.tiles, kB};
+        if (U.shape() != uWant)
+            U = TensorD(uWant);
+        table().kron(winoInputKron<double>(w.variant), V.data(),
+                     w.cinb * d.tiles * kB, U.data());
+    }
+    {
+        TWQ_SPAN("winoc8.tapgemm");
+        winogradTapGemmBlocked(w, U, M, runner);
+    }
+    {
+        TWQ_SPAN("winoc8.akron");
+        const Shape yWant{mm, w.coutb, d.tiles, kB};
+        if (Y.shape() != yWant)
+            Y = TensorD(yWant);
+        table().kron(winoOutputKron<double>(w.variant), M.data(),
+                     w.coutb * d.tiles * kB, Y.data());
+    }
+    {
+        TWQ_SPAN("winoc8.untile");
+        winogradUntileBlocked(Y, w.variant, out);
+    }
 }
 
 TensorD

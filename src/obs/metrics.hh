@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Lock-free runtime metrics: counters, gauges and mergeable
+ * log2-bucket latency histograms behind a name-keyed registry.
+ *
+ * The hot path is wait-free: every metric is a cache-line-padded
+ * atomic (or a fixed array of atomics for histogram bins) that
+ * callers resolve ONCE — at prepare/construction time, through the
+ * mutex-protected Registry lookup — and then update with relaxed
+ * atomic ops. Snapshots read the same atomics, so a reader never
+ * blocks a writer; a snapshot taken during concurrent recording is a
+ * valid (if slightly torn across metrics) point-in-time view, and
+ * histogram snapshots from different threads or processes merge by
+ * bin-wise addition, which is associative and order-independent.
+ *
+ * Histograms use fixed log2-scale buckets over uint64 values
+ * (nanoseconds for latencies, plain counts for sizes): bucket 0 holds
+ * [0, 2), bucket b >= 1 holds [2^b, 2^(b+1)). Quantiles interpolate
+ * linearly within the resolved bucket, so a reported p50/p99/p99.9 is
+ * always within one bucket width (a factor of 2) of the exact
+ * sorted-sample value — tests/test_obs.cc holds that bound against an
+ * exact oracle.
+ *
+ * `TWQ_NO_OBS` compiles the whole subsystem down to no-op stubs with
+ * the same API, so instrumented call sites need no #ifdefs.
+ */
+
+#ifndef TWQ_OBS_METRICS_HH
+#define TWQ_OBS_METRICS_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#ifndef TWQ_NO_OBS
+#include <atomic>
+#include <bit>
+#include <deque>
+#include <mutex>
+#include <string_view>
+#endif
+
+namespace twq::obs
+{
+
+/** Compile-time flag: false when built with -DTWQ_NO_OBS. */
+#ifndef TWQ_NO_OBS
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/** Number of log2 buckets; covers the full uint64 range. */
+inline constexpr std::size_t kHistBins = 64;
+
+/**
+ * An immutable copy of a histogram's bins. Mergeable: bin-wise
+ * addition, so per-thread or per-server histograms combine into
+ * fleet-level distributions without ordering constraints.
+ */
+struct HistogramSnapshot
+{
+    std::array<std::uint64_t, kHistBins> bins{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0; ///< sum of recorded values (ns for latencies)
+
+    /** Bucket of a value: 0 for [0,2), b for [2^b, 2^(b+1)). */
+    static std::size_t binIndex(std::uint64_t v);
+
+    /** Inclusive lower edge of a bucket. */
+    static std::uint64_t binLower(std::size_t b);
+
+    /** Exclusive upper edge of a bucket (saturates for the last). */
+    static std::uint64_t binUpper(std::size_t b);
+
+    /** Bin-wise accumulate `o` into this snapshot. */
+    void merge(const HistogramSnapshot &o);
+
+    /**
+     * Nearest-rank quantile (q in [0, 1]), linearly interpolated
+     * within the resolved bucket — the same rank convention as
+     * twq::percentile, so the two agree to within one bucket width.
+     */
+    double quantile(double q) const;
+
+    double mean() const;
+
+    /** Latency helpers: recorded values are nanoseconds. */
+    double quantileMs(double q) const { return quantile(q) * 1e-6; }
+    double p50Ms() const { return quantileMs(0.50); }
+    double p99Ms() const { return quantileMs(0.99); }
+    double p999Ms() const { return quantileMs(0.999); }
+};
+
+/** Point-in-time copy of a registry's metrics. */
+struct MetricsSnapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    /** Accumulate another snapshot (counters add, gauges overwrite). */
+    void merge(const MetricsSnapshot &o);
+
+    /**
+     * Prometheus-style text exposition: counters as
+     * `twq_<name> <value>`, histograms as summaries with
+     * quantile/sum/count series. Names are sanitized ('.', '-', and
+     * ':' become '_').
+     */
+    std::string prometheusText() const;
+};
+
+#ifndef TWQ_NO_OBS
+
+/** Monotonic counter; inc() is a relaxed fetch_add. */
+class alignas(64) Counter
+{
+  public:
+    void
+    inc(std::uint64_t n = 1)
+    {
+        v_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/** Last-write-wins signed gauge. */
+class alignas(64) Gauge
+{
+  public:
+    void
+    set(std::int64_t v)
+    {
+        v_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(std::int64_t d)
+    {
+        v_.fetch_add(d, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> v_{0};
+};
+
+/**
+ * Fixed log2-bucket histogram with atomic bins. record() is two
+ * relaxed fetch_adds plus a bit scan — safe and wait-free from any
+ * number of threads; concurrent recording is exactly additive, so a
+ * multi-threaded fill produces the same bins as a sequential one.
+ */
+class Histogram
+{
+  public:
+    void
+    record(std::uint64_t v)
+    {
+        bins_[HistogramSnapshot::binIndex(v)].fetch_add(
+            1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+    }
+
+    /** Record a duration in seconds as integer nanoseconds. */
+    void
+    recordSec(double sec)
+    {
+        record(sec <= 0.0 ? 0
+                          : static_cast<std::uint64_t>(sec * 1e9));
+    }
+
+    HistogramSnapshot snapshot() const;
+    void reset();
+
+  private:
+    std::atomic<std::uint64_t> bins_[kHistBins] = {};
+    alignas(64) std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+/**
+ * Name-keyed metric registry. Lookup registers on first use and
+ * returns a reference that stays valid for the registry's lifetime
+ * (metrics live in deques) — resolve once, update lock-free forever.
+ * Registry::global() serves process-wide metrics (plan cache,
+ * calibration, pool utilization); an InferenceServer owns a private
+ * instance so concurrent servers do not mix request histograms.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    static Registry &global();
+
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    Histogram &histogram(std::string_view name);
+
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every registered metric (testing/bench isolation). */
+    void reset();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, Counter *, std::less<>> counterIdx_;
+    std::map<std::string, Gauge *, std::less<>> gaugeIdx_;
+    std::map<std::string, Histogram *, std::less<>> histIdx_;
+    std::deque<Counter> counters_;
+    std::deque<Gauge> gauges_;
+    std::deque<Histogram> hists_;
+};
+
+#else // TWQ_NO_OBS ------------------------------------------ stubs
+
+class Counter
+{
+  public:
+    void inc(std::uint64_t = 1) {}
+    std::uint64_t value() const { return 0; }
+    void reset() {}
+};
+
+class Gauge
+{
+  public:
+    void set(std::int64_t) {}
+    void add(std::int64_t) {}
+    std::int64_t value() const { return 0; }
+    void reset() {}
+};
+
+class Histogram
+{
+  public:
+    void record(std::uint64_t) {}
+    void recordSec(double) {}
+    HistogramSnapshot snapshot() const { return {}; }
+    void reset() {}
+};
+
+class Registry
+{
+  public:
+    Registry() = default;
+
+    static Registry &
+    global()
+    {
+        static Registry r;
+        return r;
+    }
+
+    Counter &
+    counter(const char *)
+    {
+        static Counter c;
+        return c;
+    }
+
+    Gauge &
+    gauge(const char *)
+    {
+        static Gauge g;
+        return g;
+    }
+
+    Histogram &
+    histogram(const char *)
+    {
+        static Histogram h;
+        return h;
+    }
+
+    MetricsSnapshot snapshot() const { return {}; }
+    void reset() {}
+};
+
+#endif // TWQ_NO_OBS
+
+} // namespace twq::obs
+
+#endif // TWQ_OBS_METRICS_HH

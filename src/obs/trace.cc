@@ -1,0 +1,376 @@
+#include "obs/trace.hh"
+
+#ifndef TWQ_NO_OBS
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace twq::obs
+{
+
+namespace detail
+{
+
+/**
+ * One span record. Every field is atomic so a flush racing a writer
+ * reads defined values: the writer stores fields relaxed, then
+ * publishes by a release store of the ring's head; the reader
+ * acquires the head and only touches slots below it. A slot being
+ * overwritten after wrap can tear *logically* (mixed old/new fields
+ * read as one event) but never as a C++ data race; wrapped rings are
+ * reported through droppedEvents() so a torn tail is visible.
+ */
+struct TraceEvent
+{
+    std::atomic<const char *> name{nullptr};
+    std::atomic<std::uint64_t> t0{0};
+    // dur == ~0 marks an instant event (traceInstant).
+    std::atomic<std::uint64_t> dur{0};
+    std::atomic<std::int64_t> arg{-1};
+};
+
+struct TraceBuffer
+{
+    std::vector<TraceEvent> ring;
+    // Monotonic event count; slot = head % ring.size(). Published
+    // with release so readers acquire fully-written slots.
+    std::atomic<std::uint64_t> head{0};
+    std::string lane;
+    std::uint64_t tid = 0;
+    std::atomic<bool> retired{false};
+};
+
+namespace
+{
+
+struct TraceState
+{
+    std::mutex mu;
+    // shared_ptr keeps buffers alive for flush even after their
+    // thread exits (thread_local owner drops its reference).
+    std::vector<std::shared_ptr<TraceBuffer>> buffers;
+    std::size_t capacity = std::size_t{1} << 15;
+    std::uint64_t epochNs = 0;
+    std::uint64_t nextTid = 1;
+};
+
+TraceState &
+state()
+{
+    static TraceState s;
+    return s;
+}
+
+thread_local std::string pendingLane;
+
+struct BufferOwner
+{
+    std::shared_ptr<TraceBuffer> buf;
+
+    ~BufferOwner()
+    {
+        if (buf)
+            buf->retired.store(true, std::memory_order_release);
+    }
+};
+
+thread_local BufferOwner owner;
+
+} // namespace
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+TraceBuffer &
+threadBuffer()
+{
+    if (!owner.buf) {
+        auto buf = std::make_shared<TraceBuffer>();
+        TraceState &s = state();
+        std::lock_guard<std::mutex> lock(s.mu);
+        buf->ring = std::vector<TraceEvent>(s.capacity);
+        buf->tid = s.nextTid++;
+        buf->lane = pendingLane.empty()
+                        ? "thread " + std::to_string(buf->tid)
+                        : pendingLane;
+        s.buffers.push_back(buf);
+        owner.buf = std::move(buf);
+    }
+    return *owner.buf;
+}
+
+void
+record(const char *name, std::uint64_t t0, std::uint64_t dur,
+       std::int64_t arg)
+{
+    TraceBuffer &buf = threadBuffer();
+    const std::uint64_t h = buf.head.load(std::memory_order_relaxed);
+    TraceEvent &ev = buf.ring[h % buf.ring.size()];
+    ev.name.store(name, std::memory_order_relaxed);
+    ev.t0.store(t0, std::memory_order_relaxed);
+    ev.dur.store(dur, std::memory_order_relaxed);
+    ev.arg.store(arg, std::memory_order_relaxed);
+    buf.head.store(h + 1, std::memory_order_release);
+}
+
+} // namespace detail
+
+void
+setThreadLane(const char *name)
+{
+    detail::pendingLane = name;
+    if (detail::owner.buf) {
+        std::lock_guard<std::mutex> lock(detail::state().mu);
+        detail::owner.buf->lane = name;
+    }
+}
+
+void
+setThreadLane(const char *name, std::size_t index)
+{
+    const std::string lane =
+        std::string(name) + " " + std::to_string(index);
+    detail::pendingLane = lane;
+    if (detail::owner.buf) {
+        std::lock_guard<std::mutex> lock(detail::state().mu);
+        detail::owner.buf->lane = lane;
+    }
+}
+
+TraceCollector &
+TraceCollector::global()
+{
+    static TraceCollector c;
+    return c;
+}
+
+void
+TraceCollector::enable(std::size_t eventsPerThread)
+{
+    detail::TraceState &s = detail::state();
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.capacity = std::max<std::size_t>(eventsPerThread, 64);
+        if (s.epochNs == 0)
+            s.epochNs = detail::nowNs();
+    }
+    detail::traceOn.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceCollector::disable()
+{
+    detail::traceOn.store(false, std::memory_order_relaxed);
+}
+
+namespace
+{
+
+struct FlushedEvent
+{
+    const char *name;
+    std::uint64_t t0;
+    std::uint64_t dur;
+    std::int64_t arg;
+    std::uint64_t tid;
+};
+
+/**
+ * Read every ring. Caller must have cleared traceOn first; in-flight
+ * spans that started before disable() may still land one final slot,
+ * which the acquire-load of head either includes fully or not at all.
+ */
+void
+collect(std::vector<FlushedEvent> &out,
+        std::vector<std::pair<std::uint64_t, std::string>> &lanes,
+        std::uint64_t &dropped)
+{
+    detail::TraceState &s = detail::state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto &buf : s.buffers) {
+        const std::uint64_t head =
+            buf->head.load(std::memory_order_acquire);
+        const std::uint64_t cap = buf->ring.size();
+        if (head > cap)
+            dropped += head - cap;
+        const std::uint64_t begin = head > cap ? head - cap : 0;
+        for (std::uint64_t i = begin; i < head; ++i) {
+            const detail::TraceEvent &ev = buf->ring[i % cap];
+            const char *name =
+                ev.name.load(std::memory_order_relaxed);
+            if (!name)
+                continue;
+            out.push_back(
+                {name, ev.t0.load(std::memory_order_relaxed),
+                 ev.dur.load(std::memory_order_relaxed),
+                 ev.arg.load(std::memory_order_relaxed), buf->tid});
+        }
+        lanes.emplace_back(buf->tid, buf->lane);
+    }
+}
+
+void
+appendJsonEscaped(std::string &out, const char *s)
+{
+    for (; *s; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+}
+
+} // namespace
+
+std::string
+TraceCollector::json()
+{
+    disable();
+    std::vector<FlushedEvent> events;
+    std::vector<std::pair<std::uint64_t, std::string>> lanes;
+    std::uint64_t dropped = 0;
+    collect(events, lanes, dropped);
+
+    const std::uint64_t epoch = detail::state().epochNs;
+    std::string out;
+    out.reserve(events.size() * 96 + 256);
+    out += "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto &[tid, lane] : lanes) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,"
+               "\"tid\":";
+        out += std::to_string(tid);
+        out += ",\"args\":{\"name\":\"";
+        appendJsonEscaped(out, lane.c_str());
+        out += "\"}}";
+    }
+    char num[64];
+    for (const FlushedEvent &ev : events) {
+        if (!first)
+            out += ',';
+        first = false;
+        const bool instant = ev.dur == ~std::uint64_t{0};
+        const double tsUs =
+            static_cast<double>(ev.t0 - std::min(ev.t0, epoch)) *
+            1e-3;
+        out += instant ? "{\"ph\":\"i\",\"s\":\"t\",\"name\":\""
+                       : "{\"ph\":\"X\",\"name\":\"";
+        appendJsonEscaped(out, ev.name);
+        out += "\",\"pid\":1,\"tid\":";
+        out += std::to_string(ev.tid);
+        std::snprintf(num, sizeof(num), ",\"ts\":%.3f", tsUs);
+        out += num;
+        if (!instant) {
+            std::snprintf(num, sizeof(num), ",\"dur\":%.3f",
+                          static_cast<double>(ev.dur) * 1e-3);
+            out += num;
+        }
+        if (ev.arg >= 0) {
+            out += ",\"args\":{\"arg\":";
+            out += std::to_string(ev.arg);
+            out += '}';
+        }
+        out += '}';
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}";
+    return out;
+}
+
+bool
+TraceCollector::writeJson(const std::string &path)
+{
+    const std::string doc = json();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        twq_warn("trace: cannot open '", path, "' for writing; ",
+                 doc.size(), " bytes of trace dropped");
+        return false;
+    }
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (!ok)
+        twq_warn("trace: short write to '", path, "'");
+    return ok;
+}
+
+std::map<std::string, StageTotal>
+TraceCollector::aggregate()
+{
+    disable();
+    std::vector<FlushedEvent> events;
+    std::vector<std::pair<std::uint64_t, std::string>> lanes;
+    std::uint64_t dropped = 0;
+    collect(events, lanes, dropped);
+
+    std::map<std::string, StageTotal> totals;
+    for (const FlushedEvent &ev : events) {
+        if (ev.dur == ~std::uint64_t{0})
+            continue;
+        StageTotal &t = totals[ev.name];
+        ++t.count;
+        t.totalNs += ev.dur;
+    }
+    return totals;
+}
+
+void
+TraceCollector::reset()
+{
+    disable();
+    detail::TraceState &s = detail::state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (auto &buf : s.buffers)
+        buf->head.store(0, std::memory_order_release);
+    // Drop retired threads' buffers entirely; live threads keep
+    // theirs (their thread_local still points at them).
+    s.buffers.erase(
+        std::remove_if(s.buffers.begin(), s.buffers.end(),
+                       [](const auto &b) {
+                           return b->retired.load(
+                               std::memory_order_acquire);
+                       }),
+        s.buffers.end());
+    s.epochNs = 0;
+}
+
+std::uint64_t
+TraceCollector::droppedEvents() const
+{
+    detail::TraceState &s = detail::state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    std::uint64_t dropped = 0;
+    for (const auto &buf : s.buffers) {
+        const std::uint64_t head =
+            buf->head.load(std::memory_order_acquire);
+        if (head > buf->ring.size())
+            dropped += head - buf->ring.size();
+    }
+    return dropped;
+}
+
+} // namespace twq::obs
+
+#endif // TWQ_NO_OBS

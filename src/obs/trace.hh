@@ -1,0 +1,222 @@
+/**
+ * @file
+ * RAII span tracer over per-thread ring buffers, flushed to Chrome
+ * `chrome://tracing` / Perfetto-loadable JSON.
+ *
+ * Recording path (Span ctor/dtor): one relaxed load of a global
+ * enable flag, two steady_clock samples, and a handful of relaxed
+ * atomic stores into a thread-local ring slot — no locks, no
+ * allocation, no syscalls. Span names must be string literals (or
+ * strings that outlive the collector flush, e.g. session-interned
+ * layer names): the ring stores the pointer, not a copy.
+ *
+ * Each thread owns a single-writer ring of fixed capacity; when it
+ * wraps, the oldest events are overwritten and counted as dropped.
+ * Every event field is an atomic written with relaxed order and
+ * published by a release store of the ring head, so a concurrent
+ * flush (which first clears the enable flag, then acquires each
+ * head) reads fully-written events without data races — the design
+ * is TSan-clean by construction, not by suppression.
+ *
+ * Worker lanes: a thread names its lane once via setThreadLane()
+ * ("worker 0", "dispatcher", ...); the JSON writer emits matching
+ * thread_name metadata so Perfetto groups spans per worker.
+ *
+ * Tracing is off by default and the whole subsystem compiles to
+ * no-ops under TWQ_NO_OBS; the TWQ_SPAN macro then expands to
+ * ((void)0) so instrumented hot loops carry zero code.
+ */
+
+#ifndef TWQ_OBS_TRACE_HH
+#define TWQ_OBS_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#ifndef TWQ_NO_OBS
+#include <atomic>
+#include <chrono>
+#endif
+
+namespace twq::obs
+{
+
+/** Per-stage rollup of flushed spans (name -> totals). */
+struct StageTotal
+{
+    std::uint64_t count = 0;
+    std::uint64_t totalNs = 0;
+};
+
+#ifndef TWQ_NO_OBS
+
+namespace detail
+{
+
+/** Process-wide tracing flag; relaxed reads on the hot path. */
+inline std::atomic<bool> traceOn{false};
+
+struct TraceBuffer;
+TraceBuffer &threadBuffer();
+
+std::uint64_t nowNs();
+
+void record(const char *name, std::uint64_t t0, std::uint64_t dur,
+            std::int64_t arg);
+
+} // namespace detail
+
+inline bool
+traceEnabled()
+{
+    return detail::traceOn.load(std::memory_order_relaxed);
+}
+
+/**
+ * Name the calling thread's lane in the emitted trace. Safe to call
+ * before tracing is enabled; the latest name wins. `name` must be a
+ * literal; the indexed overload formats "name index" once (allocating,
+ * so call it at thread start, not per task).
+ */
+void setThreadLane(const char *name);
+void setThreadLane(const char *name, std::size_t index);
+
+/**
+ * RAII complete-event span. Construction samples the clock only when
+ * tracing is enabled; destruction writes one ring slot.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name, std::int64_t arg = -1)
+    {
+        if (traceEnabled()) {
+            name_ = name;
+            arg_ = arg;
+            t0_ = detail::nowNs();
+        }
+    }
+
+    ~Span()
+    {
+        if (name_)
+            detail::record(name_, t0_, detail::nowNs() - t0_, arg_);
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *name_ = nullptr;
+    std::uint64_t t0_ = 0;
+    std::int64_t arg_ = -1;
+};
+
+/** Zero-duration instant event (autoSelect picks, cache hits...). */
+inline void
+traceInstant(const char *name, std::int64_t arg = -1)
+{
+    if (traceEnabled())
+        detail::record(name, detail::nowNs(), ~std::uint64_t{0}, arg);
+}
+
+/**
+ * Collects every thread's ring into one Chrome-trace JSON document.
+ * enable() arms recording; writeJson()/json() stop it first so rings
+ * are quiescent while read.
+ */
+class TraceCollector
+{
+  public:
+    static TraceCollector &global();
+
+    /** Arm tracing; per-thread ring capacity in events. */
+    void enable(std::size_t eventsPerThread = std::size_t{1} << 15);
+
+    void disable();
+
+    bool enabled() const { return traceEnabled(); }
+
+    /**
+     * Stop tracing, flush all rings, and write Chrome-trace JSON to
+     * `path`. False (and a rate-limited twq_warn) on I/O failure.
+     */
+    bool writeJson(const std::string &path);
+
+    /** The JSON document as a string (also stops tracing). */
+    std::string json();
+
+    /** Per-stage rollup of buffered spans (also stops tracing). */
+    std::map<std::string, StageTotal> aggregate();
+
+    /** Drop all buffered events and per-thread drop counts. */
+    void reset();
+
+    /** Events overwritten by ring wrap-around since enable(). */
+    std::uint64_t droppedEvents() const;
+
+  private:
+    TraceCollector() = default;
+};
+
+#else // TWQ_NO_OBS ------------------------------------------ stubs
+
+inline bool
+traceEnabled()
+{
+    return false;
+}
+
+inline void setThreadLane(const char *) {}
+inline void setThreadLane(const char *, std::size_t) {}
+
+class Span
+{
+  public:
+    explicit Span(const char *, std::int64_t = -1) {}
+};
+
+inline void traceInstant(const char *, std::int64_t = -1) {}
+
+class TraceCollector
+{
+  public:
+    static TraceCollector &
+    global()
+    {
+        static TraceCollector c;
+        return c;
+    }
+
+    void enable(std::size_t = 0) {}
+    void disable() {}
+    bool enabled() const { return false; }
+    bool writeJson(const std::string &) { return false; }
+    std::string json() { return "{\"traceEvents\":[]}"; }
+    std::map<std::string, StageTotal> aggregate() { return {}; }
+    void reset() {}
+    std::uint64_t droppedEvents() const { return 0; }
+};
+
+#endif // TWQ_NO_OBS
+
+} // namespace twq::obs
+
+/**
+ * Scoped span with a unique local name; expands to nothing under
+ * TWQ_NO_OBS so call sites never need their own guards.
+ */
+#ifndef TWQ_NO_OBS
+#define TWQ_SPAN_CAT2(a, b) a##b
+#define TWQ_SPAN_CAT(a, b) TWQ_SPAN_CAT2(a, b)
+#define TWQ_SPAN(name) \
+    ::twq::obs::Span TWQ_SPAN_CAT(twqSpan_, __LINE__)(name)
+#define TWQ_SPAN_ARG(name, arg) \
+    ::twq::obs::Span TWQ_SPAN_CAT(twqSpan_, __LINE__)(name, arg)
+#else
+#define TWQ_SPAN(name) ((void)0)
+#define TWQ_SPAN_ARG(name, arg) ((void)0)
+#endif
+
+#endif // TWQ_OBS_TRACE_HH

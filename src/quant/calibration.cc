@@ -1,0 +1,66 @@
+#include "quant/calibration.hh"
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+namespace twq
+{
+
+void
+countCalibrationPass()
+{
+    static obs::Counter &passes =
+        obs::Registry::global().counter("quant.calibration_passes");
+    passes.inc();
+}
+
+const MaxCalibrator &
+CalibrationCache::spatial()
+{
+    if (!spatialDone_) {
+        for (const TensorD &x : *calibration_)
+            spatialCal_.observeAll(x.storage());
+        spatialDone_ = true;
+        countCalibrationPass();
+    }
+    return spatialCal_;
+}
+
+const std::vector<TensorD> &
+CalibrationCache::fakeQuantized(double scale, int bits)
+{
+    auto it = fakeQ_.find({scale, bits});
+    if (it != fakeQ_.end())
+        return it->second;
+
+    std::vector<TensorD> fq;
+    fq.reserve(calibration_->size());
+    for (const TensorD &x : *calibration_) {
+        TensorD xq(x.shape());
+        for (std::size_t i = 0; i < x.numel(); ++i)
+            xq[i] =
+                static_cast<double>(quantize(x[i], scale, bits));
+        fq.push_back(std::move(xq));
+    }
+    countCalibrationPass();
+    return fakeQ_.emplace(std::make_pair(scale, bits), std::move(fq))
+        .first->second;
+}
+
+const MatrixD &
+CalibrationCache::tapMaxima(WinoVariant variant, std::size_t pad,
+                            double scale, int bits)
+{
+    const auto key = std::make_tuple(static_cast<int>(variant), pad,
+                                     scale, bits);
+    auto it = tapMax_.find(key);
+    if (it != tapMax_.end())
+        return it->second;
+
+    MatrixD m =
+        inputTapMaxima(fakeQuantized(scale, bits), variant, pad);
+    countCalibrationPass();
+    return tapMax_.emplace(key, std::move(m)).first->second;
+}
+
+} // namespace twq

@@ -7,6 +7,7 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "layout/kernels.hh"
+#include "obs/trace.hh"
 #include "quant/quantizer.hh"
 
 namespace twq
@@ -151,32 +152,43 @@ BlockedIntWinograd::scatterGemm(const TensorD &input, bool useShifts,
     // scales take the vectorized exact-reciprocal kernel, which is
     // bit-identical to quantize(); free scales keep the scalar
     // divide.
-    if (xq.shape() != input.shape())
-        xq = TensorI32(input.shape());
-    if (cfg.pow2Scales) {
-        layout::kernels().quantizeI32(
-            input.data(), 1.0 / sx,
-            static_cast<double>(quantMin(cfg.spatialBits)),
-            static_cast<double>(quantMax(cfg.spatialBits)),
-            xq.data(), input.numel());
-    } else {
-        for (std::size_t i = 0; i < input.numel(); ++i)
-            xq[i] = static_cast<std::int32_t>(
-                quantize(input[i], sx, cfg.spatialBits));
+    {
+        TWQ_SPAN("winoc8i.quantize");
+        if (xq.shape() != input.shape())
+            xq = TensorI32(input.shape());
+        if (cfg.pow2Scales) {
+            layout::kernels().quantizeI32(
+                input.data(), 1.0 / sx,
+                static_cast<double>(quantMin(cfg.spatialBits)),
+                static_cast<double>(quantMax(cfg.spatialBits)),
+                xq.data(), input.numel());
+        } else {
+            for (std::size_t i = 0; i < input.numel(); ++i)
+                xq[i] = static_cast<std::int32_t>(
+                    quantize(input[i], sx, cfg.spatialBits));
+        }
     }
 
     // Blocked tile gather, then the exact integer B-transform as
     // Kronecker row passes over the blocked rows, then the tap-wise
     // requantization narrowing into the int16 GEMM operand.
-    winogradGatherTilesBlocked(xq, cfg.variant, cfg.pad, V);
+    {
+        TWQ_SPAN("winoc8i.gather");
+        winogradGatherTilesBlocked(xq, cfg.variant, cfg.pad, V);
+    }
     const Shape ushape{tt, cinb_, d.tiles, kB};
     if (U32.shape() != ushape)
         U32 = TensorI32(ushape);
     const std::size_t rowLen = cinb_ * d.tiles * kB;
-    layout::kernels().kronI32(winoInputKron<std::int32_t>(cfg.variant),
-                              V.data(), rowLen, U32.data());
+    {
+        TWQ_SPAN("winoc8i.bkron");
+        layout::kernels().kronI32(
+            winoInputKron<std::int32_t>(cfg.variant), V.data(),
+            rowLen, U32.data());
+    }
     const MatrixD &sb = conv_->inputTapScale();
     if (use8_) {
+        TWQ_SPAN("winoc8i.requant");
         // Requantize straight into the biased-u8 operand of the
         // vpdpbusd tap kernel (value + 128 per element).
         if (U8.shape() != ushape)
@@ -205,6 +217,7 @@ BlockedIntWinograd::scatterGemm(const TensorD &input, bool useShifts,
             }
         }
     } else {
+        TWQ_SPAN("winoc8i.requant");
         if (U16.shape() != ushape)
             U16 = TensorI16(ushape);
         for (std::size_t k = 0; k < tt; ++k) {
@@ -238,6 +251,7 @@ BlockedIntWinograd::scatterGemm(const TensorD &input, bool useShifts,
     if (M.shape() != mshape)
         M = TensorI32(mshape);
     const std::size_t cinp = cinb_ * kB;
+    TWQ_SPAN("winoc8i.tapgemm"); // covers the GEMM to end of scope
     if (use8_) {
         const layout::TapGemmU8Fn tapGemm =
             layout::kernels().tapGemmU8;
@@ -300,20 +314,29 @@ BlockedIntWinograd::forwardInto(const TensorD &input, TensorI32 &xq,
     const Shape mdshape{tt, coutb_, d.tiles, kB};
     if (Md.shape() != mdshape)
         Md = TensorD(mdshape);
-    for (std::size_t k = 0; k < tt; ++k)
-        for (std::size_t co = 0; co < coutb_; ++co)
-            layout::kernels().scaleI32F64(
-                M.data() + (k * coutb_ + co) * d.tiles * kB,
-                sbgSx_.data() + (k * coutb_ + co) * kB,
-                Md.data() + (k * coutb_ + co) * d.tiles * kB,
-                d.tiles);
+    {
+        TWQ_SPAN("winoc8i.rescale");
+        for (std::size_t k = 0; k < tt; ++k)
+            for (std::size_t co = 0; co < coutb_; ++co)
+                layout::kernels().scaleI32F64(
+                    M.data() + (k * coutb_ + co) * d.tiles * kB,
+                    sbgSx_.data() + (k * coutb_ + co) * kB,
+                    Md.data() + (k * coutb_ + co) * d.tiles * kB,
+                    d.tiles);
+    }
     const Shape yshape{d.m * d.m, coutb_, d.tiles, kB};
     if (Y.shape() != yshape)
         Y = TensorD(yshape);
-    layout::kernels().kron(winoOutputKron<double>(cfg.variant),
-                           Md.data(), coutb_ * d.tiles * kB,
-                           Y.data());
-    winogradUntileBlocked(Y, cfg.variant, out);
+    {
+        TWQ_SPAN("winoc8i.akron");
+        layout::kernels().kron(winoOutputKron<double>(cfg.variant),
+                               Md.data(), coutb_ * d.tiles * kB,
+                               Y.data());
+    }
+    {
+        TWQ_SPAN("winoc8i.untile");
+        winogradUntileBlocked(Y, cfg.variant, out);
+    }
 }
 
 TensorD

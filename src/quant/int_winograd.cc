@@ -7,6 +7,8 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "gemm/gemm.hh"
+#include "obs/trace.hh"
+#include "quant/calibration.hh"
 #include "quant/quantizer.hh"
 #include "winograd/conv.hh"
 #include "winograd/tiled.hh"
@@ -35,7 +37,8 @@ quantizeTensor(const TensorD &x, double scale, int bits)
 
 IntWinogradConv::IntWinogradConv(const TensorD &weights,
                                  const std::vector<TensorD> &calibration,
-                                 const IntWinogradConfig &cfg)
+                                 const IntWinogradConfig &cfg,
+                                 CalibrationCache *calCache)
     : cfg_(cfg), cout_(weights.dim(0)), cin_(weights.dim(1))
 {
     twq_assert(weights.dim(2) == 3 && weights.dim(3) == 3,
@@ -44,9 +47,17 @@ IntWinogradConv::IntWinogradConv(const TensorD &weights,
     const WinoSpec spec = winoSpec(cfg.variant);
 
     // --- Activation scale s_x (spatial domain, layer-wise). ---
-    MaxCalibrator xcal;
-    for (const TensorD &x : calibration)
-        xcal.observeAll(x.storage());
+    // With a cache, candidates racing the same layer share one
+    // abs-max pass; the statistics (and therefore every derived
+    // scale) are identical either way.
+    MaxCalibrator localCal;
+    if (!calCache) {
+        for (const TensorD &x : calibration)
+            localCal.observeAll(x.storage());
+        countCalibrationPass();
+    }
+    const MaxCalibrator &xcal =
+        calCache ? calCache->spatial() : localCal;
     sx_ = xcal.scale(cfg.spatialBits);
     if (cfg.pow2Scales)
         sx_ = pow2Ceil(sx_);
@@ -54,17 +65,25 @@ IntWinogradConv::IntWinogradConv(const TensorD &weights,
     // --- Input tap scales S_B over the *integer* domain. ---
     // Calibrate on fake-quantized inputs so the maxima are measured
     // exactly where the hardware sees them: after B^T x̂ B.
-    std::vector<TensorD> calib_q;
-    calib_q.reserve(calibration.size());
-    for (const TensorD &x : calibration) {
-        TensorD xq(x.shape());
-        for (std::size_t i = 0; i < x.numel(); ++i)
-            xq[i] = static_cast<double>(
-                quantize(x[i], sx_, cfg.spatialBits));
-        calib_q.push_back(std::move(xq));
-    }
-    const MatrixD tap_max =
-        inputTapMaxima(calib_q, cfg.variant, cfg.pad);
+    const MatrixD tap_max = [&] {
+        if (calCache)
+            return calCache->tapMaxima(cfg.variant, cfg.pad, sx_,
+                                       cfg.spatialBits);
+        std::vector<TensorD> calib_q;
+        calib_q.reserve(calibration.size());
+        for (const TensorD &x : calibration) {
+            TensorD xq(x.shape());
+            for (std::size_t i = 0; i < x.numel(); ++i)
+                xq[i] = static_cast<double>(
+                    quantize(x[i], sx_, cfg.spatialBits));
+            calib_q.push_back(std::move(xq));
+        }
+        countCalibrationPass();
+        const MatrixD m =
+            inputTapMaxima(calib_q, cfg.variant, cfg.pad);
+        countCalibrationPass();
+        return m;
+    }();
 
     sb_ = MatrixD(spec.t, spec.t);
     double global_max = 0.0;
@@ -130,39 +149,51 @@ IntWinogradConv::scatterGemm(const TensorD &input, bool useShifts,
     const std::size_t tt = t * t;
 
     // Spatial-domain input quantization.
-    if (xq.shape() != input.shape())
-        xq = TensorI64(input.shape());
-    for (std::size_t i = 0; i < input.numel(); ++i)
-        xq[i] = quantize(input[i], sx_, cfg_.spatialBits);
+    {
+        TWQ_SPAN("wino8.quantize");
+        if (xq.shape() != input.shape())
+            xq = TensorI64(input.shape());
+        for (std::size_t i = 0; i < input.numel(); ++i)
+            xq[i] = quantize(input[i], sx_, cfg_.spatialBits);
+    }
 
     // Scatter: raw tiles, then the exact integer B-transform as
     // Kronecker row passes (order-independent, so bit-identical to
     // the per-tile reference), then the tap-wise requantization
     // applied per row of the flat [t*t, Cin, P] buffer.
-    winogradGatherTiles(xq, cfg_.variant, cfg_.pad, V);
+    {
+        TWQ_SPAN("wino8.gather");
+        winogradGatherTiles(xq, cfg_.variant, cfg_.pad, V);
+    }
     const Shape ushape{tt, d.cin, d.tiles};
     if (U.shape() != ushape)
         U = TensorI64(ushape);
     const std::size_t rowLen = d.cin * d.tiles;
-    applyKron(winoInputKron<std::int64_t>(cfg_.variant), V.data(),
-              rowLen, U.data());
-    for (std::size_t k = 0; k < tt; ++k) {
-        std::int64_t *row = U.data() + k * rowLen;
-        const double s = sb_(k / t, k % t);
-        if (useShifts) {
-            // Shift-based hardware rescale.
-            const int sh = log2Exact(s);
-            for (std::size_t l = 0; l < rowLen; ++l)
-                row[l] = clampSigned(shiftRightRound(row[l], sh),
-                                     cfg_.winogradBits);
-        } else {
-            // Round half away from zero, matching the shift-based
-            // path exactly when the scale is a power of two.
-            for (std::size_t l = 0; l < rowLen; ++l) {
-                const double r =
-                    std::round(static_cast<double>(row[l]) / s);
-                row[l] = clampSigned(static_cast<std::int64_t>(r),
-                                     cfg_.winogradBits);
+    {
+        TWQ_SPAN("wino8.bkron");
+        applyKron(winoInputKron<std::int64_t>(cfg_.variant), V.data(),
+                  rowLen, U.data());
+    }
+    {
+        TWQ_SPAN("wino8.requant");
+        for (std::size_t k = 0; k < tt; ++k) {
+            std::int64_t *row = U.data() + k * rowLen;
+            const double s = sb_(k / t, k % t);
+            if (useShifts) {
+                // Shift-based hardware rescale.
+                const int sh = log2Exact(s);
+                for (std::size_t l = 0; l < rowLen; ++l)
+                    row[l] = clampSigned(shiftRightRound(row[l], sh),
+                                         cfg_.winogradBits);
+            } else {
+                // Round half away from zero, matching the shift-based
+                // path exactly when the scale is a power of two.
+                for (std::size_t l = 0; l < rowLen; ++l) {
+                    const double r =
+                        std::round(static_cast<double>(row[l]) / s);
+                    row[l] = clampSigned(static_cast<std::int64_t>(r),
+                                         cfg_.winogradBits);
+                }
             }
         }
     }
@@ -176,6 +207,7 @@ IntWinogradConv::scatterGemm(const TensorD &input, bool useShifts,
         M = TensorI64(mshape);
     if (!runner)
         packs = nullptr; // lanes are only exclusive under a runner
+    TWQ_SPAN("wino8.tapgemm");
     gemm::runTapColBlocks(
         runner, tt, d.tiles, gemm::kNr,
         [&](std::size_t k, std::size_t j0, std::size_t jn,
@@ -220,6 +252,7 @@ IntWinogradConv::forwardInto(const TensorD &input, TensorI64 &xq,
     // Gather: the tap-wise S_BG rescale applied per GEMM slice, then
     // the FP back-transform (Vector Unit / FixPipe in hardware),
     // written straight into the NCHW output.
+    TWQ_SPAN("wino8.untile");
     std::int64_t acc[kMaxT * kMaxT];
     double y[kMaxT * kMaxT];
     double tmpd[kMaxT * kMaxT];

@@ -36,6 +36,8 @@
 namespace twq
 {
 
+class CalibrationCache;
+
 /** Configuration of the integer Winograd pipeline. */
 struct IntWinogradConfig
 {
@@ -61,10 +63,17 @@ class IntWinogradConv
      * @param calibration sample input tensors (NCHW) used to
      *                    calibrate the activation and tap scales.
      * @param cfg         pipeline configuration.
+     * @param calCache    optional shared calibration statistics
+     *                    (quant/calibration.hh): candidates racing
+     *                    the same layer reuse the abs-max,
+     *                    fake-quantization, and tap-maxima passes
+     *                    instead of recomputing them; results are
+     *                    bit-identical with or without the cache.
      */
     IntWinogradConv(const TensorD &weights,
                     const std::vector<TensorD> &calibration,
-                    const IntWinogradConfig &cfg);
+                    const IntWinogradConfig &cfg,
+                    CalibrationCache *calCache = nullptr);
 
     /**
      * Run quantized inference through the tiled scatter–GEMM–gather

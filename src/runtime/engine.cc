@@ -9,6 +9,8 @@
 #include "common/logging.hh"
 #include "gemm/gemm.hh"
 #include "layout/wino_blocked.hh"
+#include "obs/trace.hh"
+#include "quant/calibration.hh"
 #include "quant/int_wino_blocked.hh"
 #include "quant/quantizer.hh"
 #include "winograd/tiled.hh"
@@ -106,6 +108,7 @@ class Im2colBackend : public ConvBackend
         const double macs = static_cast<double>(p.wmat.dim(0)) *
                             static_cast<double>(ckk) *
                             static_cast<double>(spatial);
+        TWQ_SPAN("im2col.conv");
         conv2dIm2colPackedInto(input, p.wmat, p.params, cols, out,
                                ctx.runnerFor(macs), ctx.packs);
     }
@@ -226,7 +229,7 @@ class WinogradInt8Backend : public ConvBackend
         cfg.pad = build.params.pad;
         auto prep = std::make_shared<WinogradInt8Prepared>();
         prep->conv = std::make_unique<IntWinogradConv>(
-            weights, *build.calibration, cfg);
+            weights, *build.calibration, cfg, build.calCache);
         prep->quantized = layerSlot("wino8.xq", desc.name);
         prep->tiles = layerSlot("wino8.V", desc.name);
         prep->scatter = layerSlot("wino8.U", desc.name);
@@ -450,7 +453,7 @@ class WinogradBlockedInt8Backend : public ConvBackend
         cfg.pad = build.params.pad;
         auto prep = std::make_shared<WinogradBlockedInt8Prepared>();
         prep->conv = std::make_unique<IntWinogradConv>(
-            weights, *build.calibration, cfg);
+            weights, *build.calibration, cfg, build.calCache);
         prep->blocked =
             std::make_unique<BlockedIntWinograd>(*prep->conv);
         prep->quantized = layerSlot("winoc8i.xq", desc.name);
@@ -565,10 +568,17 @@ class Im2colInt8Backend : public ConvBackend
         prep->cols = layerSlot("im8.cols", desc.name);
         prep->acc = layerSlot("im8.acc", desc.name);
 
-        // Activation scale from the layer's calibration activations.
-        MaxCalibrator xcal;
-        for (const TensorD &x : *build.calibration)
-            xcal.observeAll(x.storage());
+        // Activation scale from the layer's calibration activations;
+        // shared with the layer's other quantized candidates when the
+        // session provides a calibration cache.
+        MaxCalibrator localCal;
+        if (!build.calCache) {
+            for (const TensorD &x : *build.calibration)
+                localCal.observeAll(x.storage());
+            countCalibrationPass();
+        }
+        const MaxCalibrator &xcal =
+            build.calCache ? build.calCache->spatial() : localCal;
         prep->sx = xcal.scale(prep->bits);
         if (build.quant.pow2Scales)
             prep->sx = pow2Ceil(prep->sx);
@@ -618,9 +628,12 @@ class Im2colInt8Backend : public ConvBackend
         const std::size_t spatial = ho * wo;
 
         TensorI8 &xq = scratch.tensorI8(p.quantized, input.shape());
-        for (std::size_t i = 0; i < input.numel(); ++i)
-            xq[i] = static_cast<std::int8_t>(
-                quantize(input[i], p.sx, p.bits));
+        {
+            TWQ_SPAN("im8.quantize");
+            for (std::size_t i = 0; i < input.numel(); ++i)
+                xq[i] = static_cast<std::int8_t>(
+                    quantize(input[i], p.sx, p.bits));
+        }
 
         TensorI8 &cols = scratch.tensorI8(p.cols, {ckk, spatial});
         TensorI32 &acc = scratch.tensorI32(p.acc, {cout, spatial});
@@ -631,19 +644,27 @@ class Im2colInt8Backend : public ConvBackend
         gemm::PackPool *packs = runner ? ctx.packs : nullptr;
 
         for (std::size_t in = 0; in < n; ++in) {
-            im2colInto(xq, in, p.params, cols);
+            {
+                TWQ_SPAN("im8.lower");
+                im2colInto(xq, in, p.params, cols);
+            }
             // Output-channel row blocks, as in the FP im2col path.
-            gemm::runRowBlocks(
-                runner, cout, gemm::kMr,
-                [&](std::size_t r0, std::size_t rows,
-                    std::size_t lane) {
-                    gemm::gemmS8S32(
-                        p.wq.data() + r0 * ckk, cols.data(),
-                        acc.data() + r0 * spatial, rows, ckk, spatial,
-                        gemm::lanePack<std::int8_t>(packs, lane));
-                });
+            {
+                TWQ_SPAN("im8.gemm");
+                gemm::runRowBlocks(
+                    runner, cout, gemm::kMr,
+                    [&](std::size_t r0, std::size_t rows,
+                        std::size_t lane) {
+                        gemm::gemmS8S32(
+                            p.wq.data() + r0 * ckk, cols.data(),
+                            acc.data() + r0 * spatial, rows, ckk,
+                            spatial,
+                            gemm::lanePack<std::int8_t>(packs, lane));
+                    });
+            }
 
             // Dequantize into the FP output plane: y = acc * sx * sw.
+            TWQ_SPAN("im8.dequant");
             double *dst = out.data() + in * cout * spatial;
             for (std::size_t oc = 0; oc < cout; ++oc) {
                 const double s = p.sx * p.sw[oc];

@@ -21,6 +21,7 @@
 #include "gemm/parallel.hh"
 #include "layout/layout.hh"
 #include "models/zoo.hh"
+#include "quant/calibration.hh"
 #include "quant/int_winograd.hh"
 #include "runtime/arena.hh"
 #include "tensor/im2col.hh"
@@ -92,6 +93,12 @@ struct LayerBuild
     /// Sample inputs of this layer (NCHW) for scale calibration; may
     /// be null for backends that do not calibrate.
     const std::vector<TensorD> *calibration = nullptr;
+    /// Shared calibration statistics over `calibration`
+    /// (quant/calibration.hh). The session hands every candidate of
+    /// one layer the same cache so autoSelect's quantized race pays
+    /// each calibration pass once instead of per candidate; null
+    /// falls back to per-backend recalibration (identical results).
+    CalibrationCache *calCache = nullptr;
 };
 
 /** One convolution implementation usable by the runtime. */

@@ -6,6 +6,7 @@
 
 #include "gemm/gemm.hh"
 #include "layout/wino_blocked.hh"
+#include "obs/metrics.hh"
 
 namespace twq
 {
@@ -119,8 +120,15 @@ PlanCache::deserialize(const std::string &text)
         std::string magic, version, sig;
         if (!(header >> magic >> version >> sig) ||
             magic != kMagic || version != kVersion ||
-            sig != signature())
+            sig != signature()) {
+            // Stale or foreign plan file: the affected layers
+            // re-probe. Counted so operators can spot a cache that
+            // never survives restarts (e.g. a kernel-table change).
+            obs::Registry::global()
+                .counter("plan_cache.stale_reject")
+                .inc();
             return false;
+        }
     }
     std::map<std::string, Decision> parsed;
     while (std::getline(in, line)) {

@@ -3,15 +3,35 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "tensor/batch.hh"
 
 namespace twq
 {
 
+namespace
+{
+
+std::uint64_t
+nsSince(std::chrono::steady_clock::time_point t0)
+{
+    const auto d = std::chrono::steady_clock::now() - t0;
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d)
+            .count();
+    return ns < 0 ? 0 : static_cast<std::uint64_t>(ns);
+}
+
+} // namespace
+
 InferenceServer::InferenceServer(std::shared_ptr<const Session> session,
                                  const RuntimeConfig &cfg)
-    : session_(std::move(session)), cfg_(cfg), batcher_(cfg.batch),
-      arenas_(cfg.threads), pool_(cfg.threads), packPool_(arenas_)
+    : session_(std::move(session)), cfg_(cfg),
+      reqLatency_(metrics_.histogram("server.request_latency_ns")),
+      queueWait_(metrics_.histogram("server.queue_wait_ns")),
+      batchSizeHist_(metrics_.histogram("server.batch_size")),
+      batcher_(cfg.batch), arenas_(cfg.threads), pool_(cfg.threads),
+      packPool_(arenas_)
 {
     twq_assert(session_ != nullptr, "server needs a session");
     // One runner/context per worker, built once: the executing worker
@@ -62,10 +82,15 @@ InferenceServer::dispatchLoop()
     // Flush a partial batch as soon as a worker is idle; only wait
     // out maxWait (hoping for a fuller batch) while all workers are
     // busy anyway.
+    obs::setThreadLane("dispatcher");
     const auto workerIdle = [this] {
         return inflightBatches_.load() < cfg_.threads;
     };
-    while (std::optional<Batch> batch = batcher_.next(workerIdle)) {
+    const auto nextBatch = [&]() -> std::optional<Batch> {
+        TWQ_SPAN("batcher.wait");
+        return batcher_.next(workerIdle);
+    };
+    while (std::optional<Batch> batch = nextBatch()) {
         inflightBatches_.fetch_add(1);
         // Move the batch into the job; any worker may execute it.
         auto shared = std::make_shared<Batch>(std::move(*batch));
@@ -78,6 +103,13 @@ InferenceServer::dispatchLoop()
 void
 InferenceServer::execute(Batch batch, std::size_t worker)
 {
+    TWQ_SPAN_ARG("server.batch",
+                 static_cast<std::int64_t>(batch.size()));
+    // Queue wait: enqueue in Batcher::add() to pickup by a worker.
+    for (const InferRequest &req : batch.requests)
+        queueWait_.record(nsSince(req.enqueued));
+    batchSizeHist_.record(batch.size());
+
     std::size_t fulfilled = 0;
     try {
         std::vector<const TensorD *> items;
@@ -93,7 +125,10 @@ InferenceServer::execute(Batch batch, std::size_t worker)
             ScratchArena::resolve("server.batch_output");
         ScratchArena &arena = arenas_[worker];
         TensorD &stacked = arena.tensor(kBatchInput, shape);
-        stackBatch(items, stacked);
+        {
+            TWQ_SPAN("server.stack");
+            stackBatch(items, stacked);
+        }
 
         // Shard large layers across the pool only while some workers
         // are idle; under full request-level load every worker has a
@@ -113,6 +148,7 @@ InferenceServer::execute(Batch batch, std::size_t worker)
         TensorD &out = arena.tensor(kBatchOutput, oshape);
         session_->runInto(stacked, arena, ctx, out);
 
+        TWQ_SPAN("server.respond");
         const Shape respShape = session_->outputShape();
         const std::size_t numel = shapeNumel(respShape);
         for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -121,8 +157,10 @@ InferenceServer::execute(Batch batch, std::size_t worker)
             buf.resize(numel);
             const double *src = out.data() + i * numel;
             std::copy(src, src + numel, buf.data());
+            const auto enqueued = batch.requests[i].enqueued;
             batch.requests[i].promise.set_value(
                 TensorD(respShape, std::move(buf)));
+            reqLatency_.record(nsSince(enqueued));
             ++fulfilled;
         }
     } catch (...) {
@@ -174,10 +212,31 @@ ServerStats
 InferenceServer::stats() const
 {
     ServerStats s;
+    {
+        // completed_/batches_ are published together under drainMu_,
+        // so reading them under the same lock yields a pair from one
+        // consistent point in time (no batch counted in one but not
+        // the other).
+        std::lock_guard<std::mutex> lock(drainMu_);
+        s.completed = completed_.load();
+        s.batches = batches_.load();
+    }
+    // Read submitted after completed: a submit racing this snapshot
+    // can only make submitted larger, never completed > submitted.
     s.submitted = nextId_.load();
-    s.completed = completed_.load();
-    s.batches = batches_.load();
     return s;
+}
+
+obs::MetricsSnapshot
+InferenceServer::metricsSnapshot() const
+{
+    return metrics_.snapshot();
+}
+
+std::string
+InferenceServer::metricsText() const
+{
+    return metrics_.snapshot().prometheusText();
 }
 
 } // namespace twq

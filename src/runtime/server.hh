@@ -19,6 +19,7 @@
 #include <memory>
 #include <thread>
 
+#include "obs/metrics.hh"
 #include "runtime/batcher.hh"
 #include "runtime/session.hh"
 #include "runtime/thread_pool.hh"
@@ -47,7 +48,15 @@ struct RuntimeConfig
     double minParallelMacs = 1 << 18;
 };
 
-/** Monotonic counters exported by the server. */
+/**
+ * Coherent snapshot of the server's request counters. stats() reads
+ * completed/batches under the drain mutex (their updates publish
+ * there) and submitted last, so `submitted >= completed` always holds
+ * within one snapshot. Distribution data — batch sizes, queue wait,
+ * request latency — lives in metricsSnapshot()'s histograms;
+ * avgBatchSize() here is the counter-derived mean kept for
+ * convenience and agrees with the `server.batch_size` histogram mean.
+ */
 struct ServerStats
 {
     std::uint64_t submitted = 0;
@@ -91,12 +100,29 @@ class InferenceServer
     const RuntimeConfig &config() const { return cfg_; }
     ServerStats stats() const;
 
+    /**
+     * This server's metric registry: request-latency / queue-wait /
+     * batch-size histograms (`server.*`, values in ns except
+     * batch_size). Private per server so concurrent servers do not
+     * mix request distributions; process-wide metrics (plan cache,
+     * calibration, pool utilization) live in obs::Registry::global().
+     */
+    obs::Registry &metrics() { return metrics_; }
+    obs::MetricsSnapshot metricsSnapshot() const;
+
+    /** Prometheus-style text exposition of metricsSnapshot(). */
+    std::string metricsText() const;
+
   private:
     void dispatchLoop();
     void execute(Batch batch, std::size_t worker);
 
     std::shared_ptr<const Session> session_;
     RuntimeConfig cfg_;
+    obs::Registry metrics_;
+    obs::Histogram &reqLatency_;
+    obs::Histogram &queueWait_;
+    obs::Histogram &batchSizeHist_;
     Batcher batcher_;
     std::vector<ScratchArena> arenas_; ///< one per pool worker
     ThreadPool pool_;
@@ -111,7 +137,7 @@ class InferenceServer
     std::atomic<std::size_t> inflightBatches_{0};
     std::atomic<bool> closed_{false};
 
-    std::mutex drainMu_;
+    mutable std::mutex drainMu_;
     std::condition_variable drainCv_;
 };
 

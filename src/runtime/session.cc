@@ -6,6 +6,8 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace twq
 {
@@ -38,6 +40,13 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
 {
     const std::vector<ConvLayerDesc> descs = net.expandedLayers();
     twq_assert(!descs.empty(), "session on an empty network");
+
+    // Arm the tracer before the build so autoSelect probe spans land
+    // in the trace; the destructor flushes to cfg_.tracePath.
+    if (!cfg_.tracePath.empty()) {
+        obs::TraceCollector::global().enable();
+        traceArmed_ = true;
+    }
 
     inputShape_ = {1, descs[0].cin, descs[0].height, descs[0].width};
 
@@ -95,6 +104,7 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
             "session.act:" + net.name + ":" + d.name);
         layer.convert = ScratchArena::resolve(
             "session.cvt:" + net.name + ":" + d.name);
+        layer.spanName = "layer:" + d.name;
         layers_.push_back(std::move(layer));
 
         weights.push_back(heInitWeights(d, cfg.weightSeed + i));
@@ -143,9 +153,17 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
         build.variant = cfg.variant;
         build.quant = cfg.quant;
         std::vector<TensorD> calSet;
+        // Shared calibration statistics for every prepare() of this
+        // layer: autoSelect races up to five quantized candidates,
+        // and without the cache each one would redo the abs-max,
+        // fake-quantization, and tap-maxima passes over the same
+        // calibration set (~13 passes per layer instead of 4).
+        // Results are bit-identical with or without it.
+        CalibrationCache layerCal(&calSet);
         if (i < calEnd) {
             calSet.push_back(cal);
             build.calibration = &calSet;
+            build.calCache = &layerCal;
         }
         layer.prepared =
             layer.backend->prepare(layer.desc, weights[i], build);
@@ -215,10 +233,19 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                         layer.variant = hit.variant;
                         layer.backend = std::move(b);
                         applied = true;
+                        obs::Registry::global()
+                            .counter("autoselect.cache_hit")
+                            .inc();
                     }
                 }
             }
             if (!applied) {
+                // Counts probed layers (cache misses, stale entries
+                // the raceable() guard rejected, and cacheless
+                // builds alike).
+                obs::Registry::global()
+                    .counter("autoselect.cache_miss")
+                    .inc();
                 TensorD probe(
                     {std::max<std::size_t>(cfg.autoSelectBatch, 1),
                      layer.desc.cin, layer.desc.height,
@@ -296,17 +323,24 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                     cands.size(),
                     std::numeric_limits<double>::infinity());
                 for (int round = 0; round < 3; ++round)
-                    for (std::size_t ci = 0; ci < cands.size(); ++ci)
+                    for (std::size_t ci = 0; ci < cands.size();
+                         ++ci) {
+                        TWQ_SPAN_ARG(
+                            "autoselect.probe",
+                            static_cast<std::int64_t>(ci));
                         bestT[ci] = std::min(
                             bestT[ci],
                             timeBackendRun(*cands[ci].backend,
                                            *cands[ci].prepared,
                                            *probeFor(cands[ci]),
                                            probeArena, 1));
+                    }
                 std::size_t best = 0;
                 for (std::size_t ci = 1; ci < cands.size(); ++ci)
                     if (bestT[ci] < bestT[best])
                         best = ci;
+                obs::traceInstant("autoselect.pick",
+                                  static_cast<std::int64_t>(best));
                 layer.engine = cands[best].engine;
                 layer.variant = cands[best].variant;
                 layer.backend = std::move(cands[best].backend);
@@ -332,6 +366,14 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
     if (cache && !cfg_.planCachePath.empty() &&
         cache->revision() != cacheRev0)
         cache->saveFile(cfg_.planCachePath);
+}
+
+Session::~Session()
+{
+    // writeJson disables tracing before draining the rings, so spans
+    // racing the flush from still-live workers are simply cut off.
+    if (traceArmed_)
+        obs::TraceCollector::global().writeJson(cfg_.tracePath);
 }
 
 const ConvLayerDesc &
@@ -384,7 +426,9 @@ Session::runInto(const TensorD &batch, ScratchArena &scratch,
     const std::size_t last = layers_.size() - 1;
     for (std::size_t i = 0; i < layers_.size(); ++i) {
         const Layer &layer = layers_[i];
+        TWQ_SPAN(layer.spanName.c_str());
         if (layer.layout.in != curLayout) {
+            TWQ_SPAN("session.convert");
             if (layer.layout.in == ActLayout::NCHWc8) {
                 TensorD &xb = scratch.tensor(
                     layer.convert, blockedShape(cur->shape()));
@@ -417,6 +461,7 @@ Session::runInto(const TensorD &batch, ScratchArena &scratch,
                 twq_assert(out.rank() == 4 &&
                                blockedShape(out.shape()) == oshape,
                            "output tensor not pre-shaped for the batch");
+                TWQ_SPAN("session.convert");
                 blockedToNchw(act, out);
             }
         } else {

@@ -97,6 +97,20 @@ struct SessionConfig
     /** Quantization settings for int8 layers. */
     IntWinogradConfig quant;
 
+    /**
+     * When non-empty, arm the runtime tracer (obs/trace.hh) for the
+     * life of this session and write a Chrome trace-event JSON —
+     * loadable in chrome://tracing or Perfetto — to this path when
+     * the session is destroyed. The trace carries one lane per
+     * worker/dispatcher thread with per-layer stage spans (quantize,
+     * tile gather, B-kron, per-tap GEMM, rescale, untile), batching
+     * waits, pool shards, and autoSelect probe spans from the build.
+     * Tracing is process-global; one traced session at a time. Empty
+     * (the default) leaves tracing off, which costs one predicted
+     * branch per span site.
+     */
+    std::string tracePath;
+
     /** Deterministic weight initialization. */
     std::uint64_t weightSeed = 0x5eed;
 
@@ -110,6 +124,12 @@ class Session
 {
   public:
     Session(const NetworkDesc &net, const SessionConfig &cfg);
+
+    /**
+     * Flushes the trace to SessionConfig::tracePath when that was
+     * set (and a no-op otherwise).
+     */
+    ~Session();
 
     const NetworkDesc &network() const { return net_; }
     const SessionConfig &config() const { return cfg_; }
@@ -183,6 +203,10 @@ class Session
         /// backend's layout, used only when the producing layer's
         /// output layout disagrees.
         ScratchArena::Slot convert = 0;
+        /// Interned trace-span name ("layer:<name>"); spans store the
+        /// pointer, so the string must outlive the trace flush — it
+        /// lives as long as the session, whose destructor flushes.
+        std::string spanName;
     };
 
     NetworkDesc net_;
@@ -193,6 +217,9 @@ class Session
     /// Private plan cache backing SessionConfig::planCachePath when
     /// the config supplies a path but no shared cache instance.
     std::unique_ptr<PlanCache> ownedCache_;
+    /// Whether this session enabled tracing (cfg_.tracePath set) and
+    /// owes a flush at destruction.
+    bool traceArmed_ = false;
 };
 
 } // namespace twq

@@ -2,12 +2,31 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace twq
 {
+
+namespace
+{
+
+#ifndef TWQ_NO_OBS
+std::uint64_t
+tickNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+#endif
+
+} // namespace
 
 ThreadPool::ThreadPool(std::size_t threads)
 {
@@ -15,8 +34,27 @@ ThreadPool::ThreadPool(std::size_t threads)
     workers_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i) {
         workers_.emplace_back([this, i] {
+            obs::setThreadLane("worker", i);
+#ifndef TWQ_NO_OBS
+            // Pool utilization: time blocked in pop() vs executing
+            // jobs, accumulated process-wide. Resolved once per
+            // worker, then updated with relaxed adds only.
+            obs::Counter &idleNs =
+                obs::Registry::global().counter("pool.idle_ns");
+            obs::Counter &busyNs =
+                obs::Registry::global().counter("pool.busy_ns");
+            std::uint64_t t = tickNs();
+            while (std::optional<Job> job = queue_.pop()) {
+                const std::uint64_t popped = tickNs();
+                idleNs.inc(popped - t);
+                (*job)(i);
+                t = tickNs();
+                busyNs.inc(t - popped);
+            }
+#else
             while (std::optional<Job> job = queue_.pop())
                 (*job)(i);
+#endif
         });
     }
 }
@@ -73,7 +111,11 @@ PoolRunner::run(std::size_t n,
                           std::size_t lane) {
         std::size_t i;
         while ((i = s->next.fetch_add(1)) < s->n) {
-            (*s->fn)(i, lane);
+            {
+                TWQ_SPAN_ARG("pool.shard",
+                             static_cast<std::int64_t>(i));
+                (*s->fn)(i, lane);
+            }
             if (s->done.fetch_add(1) + 1 == s->n) {
                 std::lock_guard<std::mutex> lock(s->mu);
                 s->cv.notify_all();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace twq
 {
@@ -447,9 +448,26 @@ conv2dWinogradTiledInto(const Tensor<T> &input,
                    out.dim(1) == w.cout && out.dim(2) == d.ho &&
                    out.dim(3) == d.wo,
                "output tensor not pre-shaped for the tiled launch");
-    winogradScatter(input, w.variant, pad, V, U);
-    winogradTapGemm(w, U, M, runner, packs);
-    winogradGather(M, w.variant, Y, out);
+    {
+        TWQ_SPAN("wino.gather");
+        winogradGatherTiles(input, w.variant, pad, V);
+    }
+    {
+        TWQ_SPAN("wino.bkron");
+        const Shape want{d.t * d.t, d.cin, d.tiles};
+        if (U.shape() != want)
+            U = Tensor<T>(want);
+        applyKron(winoInputKron<T>(w.variant), V.data(),
+                  d.cin * d.tiles, U.data());
+    }
+    {
+        TWQ_SPAN("wino.tapgemm");
+        winogradTapGemm(w, U, M, runner, packs);
+    }
+    {
+        TWQ_SPAN("wino.untile");
+        winogradGather(M, w.variant, Y, out);
+    }
 }
 
 template <typename T>
