@@ -1,0 +1,239 @@
+#include "net/client.hh"
+
+#include <cstring>
+#include <utility>
+
+#include "common/logging.hh"
+
+#if defined(__linux__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <cerrno>
+
+namespace twq::net
+{
+
+namespace
+{
+
+int
+dialBlocking(const std::string &host, std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        twq_fatal("socket(): ", std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        twq_fatal("bad address: ", host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        const int err = errno;
+        ::close(fd);
+        twq_fatal("connect(", host, ":", port,
+                  "): ", std::strerror(err));
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+void
+sendAll(int fd, const std::uint8_t *p, std::size_t n)
+{
+    while (n > 0) {
+        const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+        if (w > 0) {
+            p += w;
+            n -= static_cast<std::size_t>(w);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        twq_fatal("send(): ", std::strerror(errno));
+    }
+}
+
+} // namespace
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client &&o) noexcept
+    : fd_(std::exchange(o.fd_, -1)), nextId_(o.nextId_),
+      decoder_(std::move(o.decoder_))
+{}
+
+Client &
+Client::operator=(Client &&o) noexcept
+{
+    if (this != &o) {
+        close();
+        fd_ = std::exchange(o.fd_, -1);
+        nextId_ = o.nextId_;
+        decoder_ = std::move(o.decoder_);
+    }
+    return *this;
+}
+
+void
+Client::connect(const std::string &host, std::uint16_t port)
+{
+    twq_assert(fd_ < 0, "client already connected");
+    fd_ = dialBlocking(host, port);
+}
+
+std::uint64_t
+Client::send(const TensorD &input)
+{
+    twq_assert(fd_ >= 0, "send() on a disconnected client");
+    const std::uint64_t id = nextId_++;
+    std::vector<std::uint8_t> bytes;
+    encodeInfer(id, input, bytes);
+    sendAll(fd_, bytes.data(), bytes.size());
+    return id;
+}
+
+bool
+Client::recv(Frame *out)
+{
+    twq_assert(fd_ >= 0, "recv() on a disconnected client");
+    for (;;) {
+        switch (decoder_.next(out)) {
+        case FrameDecoder::Result::Frame:
+            return true;
+        case FrameDecoder::Result::Error:
+            twq_fatal("protocol error from server: ",
+                      decoder_.error());
+        case FrameDecoder::Result::NeedMore:
+            break;
+        }
+        char buf[64 * 1024];
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n > 0) {
+            decoder_.feed(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            twq_assert(decoder_.pendingBytes() == 0,
+                       "server closed mid-frame");
+            return false;
+        }
+        if (errno == EINTR)
+            continue;
+        twq_fatal("recv(): ", std::strerror(errno));
+    }
+}
+
+Frame
+Client::infer(const TensorD &input)
+{
+    const std::uint64_t id = send(input);
+    Frame f;
+    if (!recv(&f))
+        twq_fatal("connection closed before response");
+    twq_assert(f.id == id, "response id mismatch: sent ", id,
+               ", got ", f.id);
+    return f;
+}
+
+void
+Client::shutdownWrite()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_WR);
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::string
+httpGet(const std::string &host, std::uint16_t port,
+        const std::string &path)
+{
+    const int fd = dialBlocking(host, port);
+    const std::string req =
+        "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+    sendAll(fd, reinterpret_cast<const std::uint8_t *>(req.data()),
+            req.size());
+    std::string resp;
+    char buf[64 * 1024];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            resp.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        break;
+    }
+    ::close(fd);
+    return resp;
+}
+
+} // namespace twq::net
+
+#else // !__linux__ ------------------------------------------- stub
+
+namespace twq::net
+{
+
+Client::~Client() = default;
+Client::Client(Client &&) noexcept {}
+Client &
+Client::operator=(Client &&) noexcept
+{
+    return *this;
+}
+
+void
+Client::connect(const std::string &, std::uint16_t)
+{
+    twq_fatal("the network client requires Linux");
+}
+
+std::uint64_t
+Client::send(const TensorD &)
+{
+    return 0;
+}
+
+bool
+Client::recv(Frame *)
+{
+    return false;
+}
+
+Frame
+Client::infer(const TensorD &)
+{
+    return {};
+}
+
+void Client::shutdownWrite() {}
+void Client::close() {}
+
+std::string
+httpGet(const std::string &, std::uint16_t, const std::string &)
+{
+    return {};
+}
+
+} // namespace twq::net
+
+#endif // __linux__

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal blocking client for the binary inference protocol.
+ *
+ * One Client is one TCP connection with blocking sockets — simple by
+ * design, since load generators and tests want a thread-per-connection
+ * closed loop anyway. Requests can be pipelined: send() any number of
+ * Infer frames, then recv() the responses in order (the server
+ * preserves per-connection ordering for single-threaded clients only
+ * in the aggregate; match responses by id, not position).
+ *
+ * httpGet() is a free helper that opens its own throwaway connection,
+ * because the server closes HTTP connections after one response.
+ */
+
+#ifndef TWQ_NET_CLIENT_HH
+#define TWQ_NET_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.hh"
+#include "tensor/tensor.hh"
+
+namespace twq::net
+{
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    Client(Client &&o) noexcept;
+    Client &operator=(Client &&o) noexcept;
+
+    /** Connect to host:port; throws via twq_fatal on failure. */
+    void connect(const std::string &host, std::uint16_t port);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Write one Infer frame (blocking until fully sent). Returns the
+     * request id assigned (monotonic per client).
+     */
+    std::uint64_t send(const TensorD &input);
+
+    /**
+     * Block until the next Response frame arrives. Returns false on
+     * clean EOF with no partial frame; twq_fatal on protocol errors.
+     */
+    bool recv(Frame *out);
+
+    /** send() + recv() + id match: the one-call closed-loop step. */
+    Frame infer(const TensorD &input);
+
+    /** Half-close the send side (server flushes, then closes). */
+    void shutdownWrite();
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    std::uint64_t nextId_ = 1;
+    FrameDecoder decoder_;
+};
+
+/**
+ * One-shot HTTP GET (e.g. "/metrics") against the front door.
+ * Returns the full response (status line + headers + body).
+ */
+std::string httpGet(const std::string &host, std::uint16_t port,
+                    const std::string &path);
+
+} // namespace twq::net
+
+#endif // TWQ_NET_CLIENT_HH

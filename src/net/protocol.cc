@@ -1,0 +1,217 @@
+#include "net/protocol.hh"
+
+#include <cstring>
+
+namespace twq::net
+{
+
+namespace
+{
+
+void
+putU32(std::uint32_t v, std::vector<std::uint8_t> &out)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void
+putU64(std::uint64_t v, std::vector<std::uint8_t> &out)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** Tensor body bytes: ndim byte + dims + raw doubles. */
+std::size_t
+tensorBodyBytes(const TensorD &t)
+{
+    return 1 + 4 * t.rank() + sizeof(double) * t.numel();
+}
+
+void
+putTensor(const TensorD &t, std::vector<std::uint8_t> &out)
+{
+    out.push_back(static_cast<std::uint8_t>(t.rank()));
+    for (std::size_t d = 0; d < t.rank(); ++d)
+        putU32(static_cast<std::uint32_t>(t.dim(d)), out);
+    const std::size_t bytes = sizeof(double) * t.numel();
+    const std::size_t at = out.size();
+    out.resize(at + bytes);
+    std::memcpy(out.data() + at, t.data(), bytes);
+}
+
+} // namespace
+
+const char *
+statusName(Status s)
+{
+    switch (s) {
+    case Status::Ok:
+        return "ok";
+    case Status::Shed:
+        return "shed";
+    case Status::BadRequest:
+        return "bad-request";
+    case Status::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+void
+encodeInfer(std::uint64_t id, const TensorD &t,
+            std::vector<std::uint8_t> &out)
+{
+    const std::size_t payload = kFrameHeaderBytes + tensorBodyBytes(t);
+    putU32(static_cast<std::uint32_t>(payload), out);
+    putU32(kMagic, out);
+    out.push_back(static_cast<std::uint8_t>(MsgType::Infer));
+    putU64(id, out);
+    putTensor(t, out);
+}
+
+void
+encodeResponse(std::uint64_t id, Status status, const TensorD *t,
+               std::vector<std::uint8_t> &out)
+{
+    const bool tensor = status == Status::Ok;
+    twq_assert(!tensor || t != nullptr,
+               "Ok response needs a tensor payload");
+    const std::size_t payload =
+        kFrameHeaderBytes + 1 + (tensor ? tensorBodyBytes(*t) : 0);
+    putU32(static_cast<std::uint32_t>(payload), out);
+    putU32(kMagic, out);
+    out.push_back(static_cast<std::uint8_t>(MsgType::Response));
+    putU64(id, out);
+    out.push_back(static_cast<std::uint8_t>(status));
+    if (tensor)
+        putTensor(*t, out);
+}
+
+void
+FrameDecoder::feed(const void *p, std::size_t n)
+{
+    if (failed() || n == 0)
+        return;
+    // Reclaim the consumed prefix before growing, so a long-lived
+    // connection's buffer stays proportional to its unread bytes, not
+    // its lifetime traffic.
+    if (off_ > 0 && (off_ >= buf_.size() || off_ > (buf_.size() / 2))) {
+        buf_.erase(buf_.begin(),
+                   buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+        off_ = 0;
+    }
+    const auto *bytes = static_cast<const std::uint8_t *>(p);
+    buf_.insert(buf_.end(), bytes, bytes + n);
+}
+
+FrameDecoder::Result
+FrameDecoder::fail(std::string msg)
+{
+    error_ = std::move(msg);
+    buf_.clear();
+    off_ = 0;
+    return Result::Error;
+}
+
+FrameDecoder::Result
+FrameDecoder::next(Frame *out)
+{
+    if (failed())
+        return Result::Error;
+    const std::size_t have = buf_.size() - off_;
+    if (have < 4)
+        return Result::NeedMore;
+    const std::uint8_t *p = buf_.data() + off_;
+    const std::uint64_t payload = getU32(p);
+    if (payload < kFrameHeaderBytes)
+        return fail(payload == 0 ? "zero-length frame"
+                                 : "undersized frame");
+    if (4 + payload > maxFrameBytes_)
+        return fail("oversized frame (" + std::to_string(payload) +
+                    " bytes)");
+    if (have < 4 + payload)
+        return Result::NeedMore;
+
+    // Whole frame buffered: parse it. `p` walks the payload, `end`
+    // bounds every read so a lying inner field (ndim, dims) cannot
+    // escape the frame.
+    const std::uint8_t *end = p + 4 + payload;
+    p += 4;
+    if (getU32(p) != kMagic)
+        return fail("bad magic");
+    p += 4;
+    const std::uint8_t rawType = *p++;
+    if (rawType != static_cast<std::uint8_t>(MsgType::Infer) &&
+        rawType != static_cast<std::uint8_t>(MsgType::Response))
+        return fail("unknown message type " + std::to_string(rawType));
+    Frame f;
+    f.type = static_cast<MsgType>(rawType);
+    f.id = getU64(p);
+    p += 8;
+    if (f.type == MsgType::Response) {
+        if (p >= end)
+            return fail("response frame missing status");
+        const std::uint8_t rawStatus = *p++;
+        if (rawStatus > static_cast<std::uint8_t>(Status::Error))
+            return fail("unknown status " + std::to_string(rawStatus));
+        f.status = static_cast<Status>(rawStatus);
+    }
+    const bool wantTensor =
+        f.type == MsgType::Infer || f.status == Status::Ok;
+    if (wantTensor) {
+        if (p >= end)
+            return fail("frame missing tensor header");
+        const std::size_t ndim = *p++;
+        if (static_cast<std::size_t>(end - p) < 4 * ndim)
+            return fail("frame truncates tensor dims");
+        std::size_t numel = 1;
+        f.shape.reserve(ndim);
+        for (std::size_t d = 0; d < ndim; ++d) {
+            const std::uint32_t dim = getU32(p);
+            p += 4;
+            if (dim == 0)
+                return fail("zero tensor dimension");
+            // Bound numel so dims alone cannot claim a body larger
+            // than the frame (the byte check below would also catch
+            // it, but this keeps the multiplication overflow-safe).
+            if (numel > maxFrameBytes_ / dim)
+                return fail("tensor dims overflow frame");
+            numel *= dim;
+            f.shape.push_back(dim);
+        }
+        if (static_cast<std::size_t>(end - p) !=
+            sizeof(double) * numel)
+            return fail("tensor payload size mismatch");
+        f.data.resize(numel);
+        std::memcpy(f.data.data(), p, sizeof(double) * numel);
+    } else if (p != end) {
+        return fail("trailing bytes after non-Ok response");
+    }
+    off_ += 4 + payload;
+    *out = std::move(f);
+    return Result::Frame;
+}
+
+} // namespace twq::net

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Length-prefixed binary wire protocol for the network front door.
+ *
+ * Every message is one frame:
+ *
+ *     u32 payloadLen   bytes that FOLLOW this field (not including it)
+ *     u32 magic        'T''W''Q''1' (0x31515754 little-endian)
+ *     u8  type         MsgType
+ *     u64 id           request id, echoed verbatim in the response
+ *     ...body          type-dependent, see below
+ *
+ * Infer body:     u8 ndim | u32 dim[ndim] | f64 data[numel]
+ * Response body:  u8 status | u8 ndim | u32 dim[ndim] | f64 data
+ *                 (tensor part present only when status == Ok)
+ *
+ * All integers are little-endian; f64 payloads are raw host IEEE-754
+ * doubles (the protocol targets same-architecture loopback and
+ * datacenter links, not cross-endian interop). payloadLen must cover
+ * at least the magic/type/id header — a zero or undersized length is
+ * a framing error, as is a length above the decoder's configured
+ * ceiling, so a corrupt or hostile peer cannot make the server buffer
+ * unbounded input. Frames are independent: any number may be
+ * coalesced in one TCP segment or split across many, and the
+ * FrameDecoder state machine reassembles them byte-exactly.
+ */
+
+#ifndef TWQ_NET_PROTOCOL_HH
+#define TWQ_NET_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace twq::net
+{
+
+/** Frame magic: "TWQ1" in little-endian byte order. */
+inline constexpr std::uint32_t kMagic = 0x31515754u;
+
+/** Fixed header bytes after the length field: magic + type + id. */
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 8;
+
+/** Default per-frame size ceiling (length field + payload). */
+inline constexpr std::size_t kDefaultMaxFrameBytes =
+    std::size_t{64} << 20;
+
+enum class MsgType : std::uint8_t
+{
+    Infer = 1,
+    Response = 2,
+};
+
+/** Response status; anything but Ok carries no tensor. */
+enum class Status : std::uint8_t
+{
+    Ok = 0,
+    /** Admission control rejected the request (bounded queue full). */
+    Shed = 1,
+    /** Malformed or shape-mismatched request. */
+    BadRequest = 2,
+    /** The model raised while executing the request. */
+    Error = 3,
+};
+
+const char *statusName(Status s);
+
+/** One decoded frame, either direction. */
+struct Frame
+{
+    MsgType type = MsgType::Infer;
+    std::uint64_t id = 0;
+    Status status = Status::Ok; ///< meaningful for Response frames
+    Shape shape;                ///< tensor dims (empty if none)
+    std::vector<double> data;   ///< tensor payload (empty if none)
+};
+
+/** Append an Infer frame for `t` to `out`. */
+void encodeInfer(std::uint64_t id, const TensorD &t,
+                 std::vector<std::uint8_t> &out);
+
+/**
+ * Append a Response frame to `out`. `t` must be non-null when
+ * `status == Ok` and is ignored otherwise (non-Ok responses carry no
+ * tensor, which is what makes a shed response cheap to emit).
+ */
+void encodeResponse(std::uint64_t id, Status status, const TensorD *t,
+                    std::vector<std::uint8_t> &out);
+
+/**
+ * Incremental frame reassembly over an arbitrary chunking of the byte
+ * stream. feed() appends received bytes; next() yields complete
+ * frames one at a time. A protocol violation (bad magic, zero or
+ * oversized length, truncated body, unknown type) transitions the
+ * decoder into a terminal error state — the connection should be
+ * closed, since byte-stream framing cannot resynchronize after a
+ * corrupt length prefix.
+ */
+class FrameDecoder
+{
+  public:
+    explicit FrameDecoder(
+        std::size_t maxFrameBytes = kDefaultMaxFrameBytes)
+        : maxFrameBytes_(maxFrameBytes)
+    {}
+
+    enum class Result
+    {
+        NeedMore, ///< no complete frame buffered yet
+        Frame,    ///< one frame decoded into *out
+        Error,    ///< protocol violation; see error()
+    };
+
+    /** Append raw received bytes. No-op once in the error state. */
+    void feed(const void *p, std::size_t n);
+
+    /** Decode the next buffered frame, consuming its bytes. */
+    Result next(Frame *out);
+
+    bool failed() const { return !error_.empty(); }
+    const std::string &error() const { return error_; }
+
+    /** Bytes buffered but not yet consumed by next(). */
+    std::size_t pendingBytes() const { return buf_.size() - off_; }
+
+  private:
+    Result fail(std::string msg);
+
+    std::size_t maxFrameBytes_;
+    std::vector<std::uint8_t> buf_;
+    std::size_t off_ = 0; ///< consumed prefix of buf_
+    std::string error_;
+};
+
+} // namespace twq::net
+
+#endif // TWQ_NET_PROTOCOL_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Nonblocking epoll TCP front door for the inference runtime.
+ *
+ * Architecture: one acceptor + N I/O event loops (level-triggered
+ * epoll, all sockets nonblocking). The listen socket lives in loop 0;
+ * accepted connections are assigned round-robin across loops and
+ * never migrate, so each connection's read/parse/write path is
+ * single-threaded by construction — only its outbound buffer is
+ * shared (a worker thread appends the response, the owning loop
+ * flushes it), guarded by a per-connection mutex and an eventfd wake.
+ *
+ * A connection speaks the length-prefixed binary protocol
+ * (net/protocol.hh). Each decoded Infer frame is handed straight to
+ * InferenceServer::submitCallback — the zero-future path — and the
+ * response is encoded on the executing worker, so the network layer
+ * adds no threads that block per request. Admission control is the
+ * runtime's bounded-pending gate: a shed request is answered
+ * immediately with Status::Shed instead of queueing, which is what
+ * keeps the latency of admitted requests bounded under overload.
+ *
+ * The same port also answers plain-text HTTP GETs (sniffed from the
+ * first bytes of a connection): `GET /metrics` returns the
+ * Prometheus exposition of the inference server's registry merged
+ * with the process-global one — the pull-based scrape endpoint the
+ * observability subsystem was waiting on.
+ *
+ * shutdown() is a graceful drain: stop accepting, shed new requests,
+ * wait for every admitted request's response bytes to reach the
+ * socket (bounded by drainTimeoutMs), then close connections and
+ * join the loops.
+ */
+
+#ifndef TWQ_NET_SERVER_HH
+#define TWQ_NET_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hh"
+#include "runtime/server.hh"
+
+namespace twq::net
+{
+
+/** Front-door sizing knobs. */
+struct NetConfig
+{
+    /** TCP port to bind (0 = ephemeral; see NetServer::port()). */
+    std::uint16_t port = 0;
+
+    /** Bind address; default loopback-only. */
+    std::string bindAddr = "127.0.0.1";
+
+    /** Number of epoll event loops (connections sharded across). */
+    std::size_t ioThreads = 1;
+
+    /** Per-frame size ceiling handed to each FrameDecoder. */
+    std::size_t maxFrameBytes = kDefaultMaxFrameBytes;
+
+    /** listen(2) backlog. */
+    int backlog = 128;
+
+    /**
+     * Graceful-drain bound: shutdown() force-closes connections
+     * whose response bytes the peer has not read after this long.
+     */
+    int drainTimeoutMs = 5000;
+};
+
+class NetServer
+{
+  public:
+    /**
+     * `server` must outlive this NetServer. The NetServer does not
+     * own the inference runtime — it is one front door among
+     * possibly several (in-process submit() callers keep working).
+     */
+    NetServer(InferenceServer &server, const NetConfig &cfg);
+    ~NetServer();
+
+    NetServer(const NetServer &) = delete;
+    NetServer &operator=(const NetServer &) = delete;
+
+    /**
+     * Bind, listen, and start the I/O loops. Returns the bound port
+     * (resolves an ephemeral cfg.port = 0). Throws via twq_fatal on
+     * bind failure.
+     */
+    std::uint16_t start();
+
+    /** Bound port after start(). */
+    std::uint16_t port() const { return port_; }
+
+    /** Graceful drain (idempotent). */
+    void shutdown();
+
+    /** Requests decoded off sockets (admitted + shed). */
+    std::uint64_t requestsSeen() const;
+
+  private:
+    struct Conn;
+    struct IoLoop;
+
+    void loopMain(IoLoop &loop);
+    void acceptReady(IoLoop &loop);
+    void adoptConn(IoLoop &loop, const std::shared_ptr<Conn> &conn);
+    void handleReadable(IoLoop &loop, const std::shared_ptr<Conn> &conn);
+    void handleInfer(const std::shared_ptr<Conn> &conn, Frame frame);
+    void handleHttp(const std::shared_ptr<Conn> &conn);
+    /** Append bytes to conn's outbuf and try to flush (loop thread). */
+    void queueAndFlush(const std::shared_ptr<Conn> &conn,
+                       std::vector<std::uint8_t> bytes);
+    /** Flush pending outbuf; updates epoll write interest. */
+    void flushConn(IoLoop &loop, const std::shared_ptr<Conn> &conn);
+    void closeConn(IoLoop &loop, const std::shared_ptr<Conn> &conn);
+    void wake(IoLoop &loop);
+    std::string metricsBody() const;
+
+    InferenceServer &server_;
+    NetConfig cfg_;
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::vector<std::unique_ptr<IoLoop>> loops_;
+    std::atomic<std::size_t> nextLoop_{0};
+    std::atomic<std::uint64_t> inflight_{0}; ///< admitted, not yet queued out
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> started_{false};
+};
+
+} // namespace twq::net
+
+#endif // TWQ_NET_SERVER_HH

@@ -32,13 +32,13 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 #ifndef TWQ_NO_OBS
 #include <atomic>
 #include <bit>
 #include <deque>
 #include <mutex>
-#include <string_view>
 #endif
 
 namespace twq::obs
@@ -276,21 +276,21 @@ class Registry
     }
 
     Counter &
-    counter(const char *)
+    counter(std::string_view)
     {
         static Counter c;
         return c;
     }
 
     Gauge &
-    gauge(const char *)
+    gauge(std::string_view)
     {
         static Gauge g;
         return g;
     }
 
     Histogram &
-    histogram(const char *)
+    histogram(std::string_view)
     {
         static Histogram h;
         return h;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace twq::obs
 {
@@ -359,6 +360,10 @@ TraceCollector::reset()
 std::uint64_t
 TraceCollector::droppedEvents() const
 {
+    // Resolved before taking the trace lock so the registry mutex
+    // never nests inside it.
+    static Gauge &gauge =
+        Registry::global().gauge("trace.dropped_events");
     detail::TraceState &s = detail::state();
     std::lock_guard<std::mutex> lock(s.mu);
     std::uint64_t dropped = 0;
@@ -368,6 +373,9 @@ TraceCollector::droppedEvents() const
         if (head > buf->ring.size())
             dropped += head - buf->ring.size();
     }
+    // Surface ring truncation in the metrics registry: every reader
+    // (a /metrics scrape included) refreshes the gauge.
+    gauge.set(static_cast<std::int64_t>(dropped));
     return dropped;
 }
 

@@ -29,9 +29,20 @@ namespace twq
 /** One in-flight inference request. */
 struct InferRequest
 {
+    /**
+     * Completion callback: invoked exactly once on the executing
+     * worker with the response tensor (and a null error), or with an
+     * empty tensor and the captured exception. When set, the promise
+     * is not used — this is the zero-future path the network front
+     * door rides so a response can be re-encoded onto the socket
+     * without a blocked waiter thread per request.
+     */
+    using Respond = std::function<void(TensorD &&, std::exception_ptr)>;
+
     std::uint64_t id = 0;
     TensorD input; ///< [1, C, H, W]
     std::promise<TensorD> promise;
+    Respond respond; ///< callback path; promise path when empty
     std::chrono::steady_clock::time_point enqueued;
 };
 

@@ -30,7 +30,9 @@ InferenceServer::InferenceServer(std::shared_ptr<const Session> session,
       reqLatency_(metrics_.histogram("server.request_latency_ns")),
       queueWait_(metrics_.histogram("server.queue_wait_ns")),
       batchSizeHist_(metrics_.histogram("server.batch_size")),
-      batcher_(cfg.batch), arenas_(cfg.threads), pool_(cfg.threads),
+      shedCounter_(metrics_.counter("server.shed")),
+      batcher_(cfg.batch), arenas_(cfg.threads),
+      pool_(PoolOptions{cfg.threads, cfg.pinWorkers}),
       packPool_(arenas_)
 {
     twq_assert(session_ != nullptr, "server needs a session");
@@ -55,8 +57,8 @@ InferenceServer::~InferenceServer()
     shutdown();
 }
 
-std::future<TensorD>
-InferenceServer::submit(TensorD input)
+void
+InferenceServer::enqueue(TensorD input, InferRequest req)
 {
     twq_assert(!closed_.load(), "submit() on a shut-down server");
     if (input.rank() == 3) {
@@ -68,12 +70,65 @@ InferenceServer::submit(TensorD input)
     twq_assert(input.shape() == want,
                "request shape does not match the session's network");
 
-    InferRequest req;
     req.id = nextId_.fetch_add(1);
     req.input = std::move(input);
-    std::future<TensorD> fut = req.promise.get_future();
     batcher_.add(std::move(req));
+}
+
+bool
+InferenceServer::shedNow()
+{
+    if (cfg_.maxPending == 0)
+        return false;
+    // In-flight = admitted but not completed. A racing completion can
+    // only make the true count smaller, so this may shed one request
+    // early at the boundary — never admit past the bound.
+    const std::uint64_t inflight =
+        nextId_.load() - completed_.load();
+    if (inflight < cfg_.maxPending)
+        return false;
+    shed_.fetch_add(1);
+    shedCounter_.inc();
+    return true;
+}
+
+std::future<TensorD>
+InferenceServer::submit(TensorD input)
+{
+    InferRequest req;
+    std::future<TensorD> fut = req.promise.get_future();
+    if (shedNow()) {
+        req.promise.set_exception(
+            std::make_exception_ptr(ServerOverloaded{}));
+        return fut;
+    }
+    enqueue(std::move(input), std::move(req));
     return fut;
+}
+
+std::optional<std::future<TensorD>>
+InferenceServer::trySubmit(TensorD input)
+{
+    if (shedNow())
+        return std::nullopt;
+    InferRequest req;
+    std::future<TensorD> fut = req.promise.get_future();
+    enqueue(std::move(input), std::move(req));
+    return fut;
+}
+
+bool
+InferenceServer::submitCallback(TensorD input,
+                                InferRequest::Respond respond)
+{
+    twq_assert(respond != nullptr,
+               "submitCallback needs a completion callback");
+    if (shedNow())
+        return false;
+    InferRequest req;
+    req.respond = std::move(respond);
+    enqueue(std::move(input), std::move(req));
+    return true;
 }
 
 void
@@ -158,17 +213,24 @@ InferenceServer::execute(Batch batch, std::size_t worker)
             const double *src = out.data() + i * numel;
             std::copy(src, src + numel, buf.data());
             const auto enqueued = batch.requests[i].enqueued;
-            batch.requests[i].promise.set_value(
-                TensorD(respShape, std::move(buf)));
+            TensorD resp(respShape, std::move(buf));
+            if (batch.requests[i].respond)
+                batch.requests[i].respond(std::move(resp), nullptr);
+            else
+                batch.requests[i].promise.set_value(std::move(resp));
             reqLatency_.record(nsSince(enqueued));
             ++fulfilled;
         }
     } catch (...) {
-        // Fail only the requests whose promises are still pending; a
+        // Fail only the requests not yet responded to; a
         // set_exception on an already-satisfied promise would itself
         // throw and take down the worker.
         const std::exception_ptr err = std::current_exception();
         for (std::size_t i = fulfilled; i < batch.size(); ++i) {
+            if (batch.requests[i].respond) {
+                batch.requests[i].respond(TensorD{}, err);
+                continue;
+            }
             try {
                 batch.requests[i].promise.set_exception(err);
             } catch (const std::future_error &) {
@@ -224,6 +286,7 @@ InferenceServer::stats() const
     // Read submitted after completed: a submit racing this snapshot
     // can only make submitted larger, never completed > submitted.
     s.submitted = nextId_.load();
+    s.shed = shed_.load();
     return s;
 }
 

@@ -17,6 +17,8 @@
 #include <atomic>
 #include <future>
 #include <memory>
+#include <optional>
+#include <stdexcept>
 #include <thread>
 
 #include "obs/metrics.hh"
@@ -32,6 +34,26 @@ struct RuntimeConfig
 {
     std::size_t threads = 1;
     BatchPolicy batch;
+
+    /**
+     * Pin worker i to core i (mod hardware_concurrency) via
+     * pthread_setaffinity_np, so a dedicated serving host keeps each
+     * worker's scratch arena cache-hot on its own core. Off by
+     * default — pinning hurts on shared or oversubscribed hosts.
+     */
+    bool pinWorkers = false;
+
+    /**
+     * Admission control: maximum requests admitted but not yet
+     * completed (queued + batching + executing). 0 means unbounded.
+     * When the bound is hit, trySubmit()/submitCallback() fail fast
+     * instead of queueing — under overload the queue stops growing,
+     * so the latency of ADMITTED requests stays bounded at roughly
+     * maxPending x service time instead of climbing without limit
+     * (shed work costs the client a retry, not a timeout). submit()
+     * reports the shed as a broken future carrying ServerOverloaded.
+     */
+    std::size_t maxPending = 0;
 
     /**
      * Shard each large layer's independent GEMMs (per-tap products,
@@ -62,6 +84,7 @@ struct ServerStats
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
     std::uint64_t batches = 0;
+    std::uint64_t shed = 0; ///< rejected by admission control
 
     double
     avgBatchSize() const
@@ -71,6 +94,16 @@ struct ServerStats
                    : static_cast<double>(completed) /
                          static_cast<double>(batches);
     }
+};
+
+/** Carried by futures of requests shed by admission control. */
+class ServerOverloaded : public std::runtime_error
+{
+  public:
+    ServerOverloaded()
+        : std::runtime_error(
+              "server overloaded: request shed by admission control")
+    {}
 };
 
 class InferenceServer
@@ -86,9 +119,28 @@ class InferenceServer
     /**
      * Enqueue one request. Accepts [1, C, H, W] or [C, H, W] (a batch
      * dimension is added); shape must match the session's network.
-     * The future resolves with the [1, Cout, Ho, Wo] response.
+     * The future resolves with the [1, Cout, Ho, Wo] response. A
+     * request shed by admission control resolves the future with a
+     * ServerOverloaded exception.
      */
     std::future<TensorD> submit(TensorD input);
+
+    /**
+     * Admission-controlled submit: nullopt when cfg.maxPending
+     * in-flight requests are already admitted (the request was shed
+     * without queueing — respond fast-fail and let the client retry).
+     */
+    std::optional<std::future<TensorD>> trySubmit(TensorD input);
+
+    /**
+     * Callback-completion submit for the network front door: on
+     * success `respond` fires exactly once on the executing worker
+     * (tensor + null error, or empty tensor + exception). Returns
+     * false when admission control sheds the request, in which case
+     * `respond` is never invoked and the caller emits the fast-fail
+     * response itself.
+     */
+    bool submitCallback(TensorD input, InferRequest::Respond respond);
 
     /** Block until every submitted request has completed. */
     void drain();
@@ -117,12 +169,19 @@ class InferenceServer
     void dispatchLoop();
     void execute(Batch batch, std::size_t worker);
 
+    /** Normalize shape, assign an id, enqueue. Core of all submits. */
+    void enqueue(TensorD input, InferRequest req);
+
+    /** True (and counts the shed) when admission control rejects. */
+    bool shedNow();
+
     std::shared_ptr<const Session> session_;
     RuntimeConfig cfg_;
     obs::Registry metrics_;
     obs::Histogram &reqLatency_;
     obs::Histogram &queueWait_;
     obs::Histogram &batchSizeHist_;
+    obs::Counter &shedCounter_;
     Batcher batcher_;
     std::vector<ScratchArena> arenas_; ///< one per pool worker
     ThreadPool pool_;
@@ -134,6 +193,7 @@ class InferenceServer
     std::atomic<std::uint64_t> nextId_{0};
     std::atomic<std::uint64_t> completed_{0};
     std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> shed_{0};
     std::atomic<std::size_t> inflightBatches_{0};
     std::atomic<bool> closed_{false};
 

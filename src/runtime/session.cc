@@ -1,6 +1,7 @@
 #include "runtime/session.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -105,6 +106,8 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
         layer.convert = ScratchArena::resolve(
             "session.cvt:" + net.name + ":" + d.name);
         layer.spanName = "layer:" + d.name;
+        layer.latency = &obs::Registry::global().histogram(
+            "layer." + net.name + "." + d.name + ".latency_ns");
         layers_.push_back(std::move(layer));
 
         weights.push_back(heInitWeights(d, cfg.weightSeed + i));
@@ -427,6 +430,29 @@ Session::runInto(const TensorD &batch, ScratchArena &scratch,
     for (std::size_t i = 0; i < layers_.size(); ++i) {
         const Layer &layer = layers_[i];
         TWQ_SPAN(layer.spanName.c_str());
+        // Per-layer latency histogram; the clock reads vanish in
+        // TWQ_NO_OBS builds along with the stubbed record().
+        [[maybe_unused]] std::chrono::steady_clock::time_point lt0;
+        if constexpr (obs::kEnabled)
+            lt0 = std::chrono::steady_clock::now();
+        struct LayerTimer
+        {
+            const Layer &layer;
+            std::chrono::steady_clock::time_point t0;
+            ~LayerTimer()
+            {
+                if constexpr (obs::kEnabled) {
+                    const auto ns = std::chrono::duration_cast<
+                                        std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() -
+                                        t0)
+                                        .count();
+                    layer.latency->record(
+                        ns < 0 ? 0
+                               : static_cast<std::uint64_t>(ns));
+                }
+            }
+        } timer{layer, lt0};
         if (layer.layout.in != curLayout) {
             TWQ_SPAN("session.convert");
             if (layer.layout.in == ActLayout::NCHWc8) {

@@ -23,6 +23,11 @@
 #include "runtime/engine.hh"
 #include "runtime/plan_cache.hh"
 
+namespace twq::obs
+{
+class Histogram;
+}
+
 namespace twq
 {
 
@@ -207,6 +212,9 @@ class Session
         /// pointer, so the string must outlive the trace flush — it
         /// lives as long as the session, whose destructor flushes.
         std::string spanName;
+        /// Per-layer wall-time distribution in the global registry
+        /// ("layer.<net>.<name>.latency_ns"), resolved once at build.
+        obs::Histogram *latency = nullptr;
     };
 
     NetworkDesc net_;

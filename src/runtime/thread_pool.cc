@@ -1,13 +1,16 @@
 #include "runtime/thread_pool.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <memory>
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace twq
 {
@@ -26,35 +29,40 @@ tickNs()
 }
 #endif
 
+void
+pinThreadToCore(std::size_t core)
+{
+#if defined(__linux__)
+    const unsigned ncores =
+        std::max(1u, std::thread::hardware_concurrency());
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(core % ncores, &set);
+    // Best-effort: a restricted cpuset (containers) may reject the
+    // mask; the worker then just runs unpinned.
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+    (void)core;
+#endif
+}
+
 } // namespace
 
-ThreadPool::ThreadPool(std::size_t threads)
+ThreadPool::ThreadPool(const PoolOptions &opts)
 {
-    twq_assert(threads > 0, "thread pool needs at least one worker");
-    workers_.reserve(threads);
-    for (std::size_t i = 0; i < threads; ++i) {
-        workers_.emplace_back([this, i] {
+    twq_assert(opts.threads > 0,
+               "thread pool needs at least one worker");
+    lanes_.reserve(opts.threads);
+    for (std::size_t i = 0; i < opts.threads; ++i)
+        lanes_.push_back(std::make_unique<Lane>());
+    workers_.reserve(opts.threads);
+    for (std::size_t i = 0; i < opts.threads; ++i) {
+        const bool pin = opts.pinWorkers;
+        workers_.emplace_back([this, i, pin] {
             obs::setThreadLane("worker", i);
-#ifndef TWQ_NO_OBS
-            // Pool utilization: time blocked in pop() vs executing
-            // jobs, accumulated process-wide. Resolved once per
-            // worker, then updated with relaxed adds only.
-            obs::Counter &idleNs =
-                obs::Registry::global().counter("pool.idle_ns");
-            obs::Counter &busyNs =
-                obs::Registry::global().counter("pool.busy_ns");
-            std::uint64_t t = tickNs();
-            while (std::optional<Job> job = queue_.pop()) {
-                const std::uint64_t popped = tickNs();
-                idleNs.inc(popped - t);
-                (*job)(i);
-                t = tickNs();
-                busyNs.inc(t - popped);
-            }
-#else
-            while (std::optional<Job> job = queue_.pop())
-                (*job)(i);
-#endif
+            if (pin)
+                pinThreadToCore(i);
+            workerLoop(i);
         });
     }
 }
@@ -64,19 +72,110 @@ ThreadPool::~ThreadPool()
     shutdown();
 }
 
+std::optional<ThreadPool::Job>
+ThreadPool::tryPop(std::size_t lane)
+{
+    Lane &l = *lanes_[lane];
+    std::lock_guard<std::mutex> lock(l.mu);
+    if (l.q.empty())
+        return std::nullopt;
+    Job job = std::move(l.q.front());
+    l.q.pop_front();
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    return job;
+}
+
+void
+ThreadPool::workerLoop(std::size_t i)
+{
+#ifndef TWQ_NO_OBS
+    // Pool utilization: time blocked waiting for work vs executing
+    // jobs, accumulated process-wide. Resolved once per worker, then
+    // updated with relaxed adds only.
+    obs::Counter &idleNs =
+        obs::Registry::global().counter("pool.idle_ns");
+    obs::Counter &busyNs =
+        obs::Registry::global().counter("pool.busy_ns");
+    std::uint64_t t = tickNs();
+#endif
+    const std::size_t n = lanes_.size();
+    for (;;) {
+        // Own lane first (cache-warm, uncontended in steady state),
+        // then sweep siblings for stealable work.
+        std::optional<Job> job = tryPop(i);
+        for (std::size_t k = 1; !job && k < n; ++k)
+            if ((job = tryPop((i + k) % n)))
+                steals_.fetch_add(1, std::memory_order_relaxed);
+        if (!job) {
+            std::unique_lock<std::mutex> lock(sleepMu_);
+            sleepCv_.wait(lock, [&] {
+                return closed_.load(std::memory_order_acquire) ||
+                       pending_.load(std::memory_order_acquire) > 0;
+            });
+            if (pending_.load(std::memory_order_acquire) == 0 &&
+                closed_.load(std::memory_order_acquire))
+                return;
+            continue;
+        }
+#ifndef TWQ_NO_OBS
+        const std::uint64_t popped = tickNs();
+        idleNs.inc(popped - t);
+        (*job)(i);
+        t = tickNs();
+        busyNs.inc(t - popped);
+#else
+        (*job)(i);
+#endif
+    }
+}
+
 bool
 ThreadPool::submit(Job job)
 {
-    return queue_.push(std::move(job));
+    if (closed_.load(std::memory_order_acquire))
+        return false;
+    const std::size_t lane =
+        rr_.fetch_add(1, std::memory_order_relaxed) % lanes_.size();
+    {
+        Lane &l = *lanes_[lane];
+        std::lock_guard<std::mutex> lock(l.mu);
+        // Re-check under the lane lock: shutdown() closes, then
+        // drains each lane once — a push after that drain would
+        // strand the job. Racing submits either land before the
+        // drain (and run) or observe closed_ here.
+        if (closed_.load(std::memory_order_acquire))
+            return false;
+        l.q.push_back(std::move(job));
+        pending_.fetch_add(1, std::memory_order_release);
+    }
+    // Empty critical section orders this wakeup after any waiter's
+    // predicate check, so a worker that just saw pending_ == 0 cannot
+    // sleep through the notify.
+    {
+        std::lock_guard<std::mutex> lock(sleepMu_);
+    }
+    sleepCv_.notify_one();
+    return true;
 }
 
 void
 ThreadPool::shutdown()
 {
-    queue_.close();
+    closed_.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(sleepMu_);
+    }
+    sleepCv_.notify_all();
     for (std::thread &w : workers_)
         if (w.joinable())
             w.join();
+    workers_.clear();
+}
+
+std::uint64_t
+ThreadPool::steals() const
+{
+    return steals_.load(std::memory_order_relaxed);
 }
 
 void

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Wire-protocol framing tests: encode/decode round-trips, byte-level
+ * layout, and the FrameDecoder state machine under adversarial
+ * chunking — partial reads down to one byte, many frames coalesced in
+ * one buffer, randomized splits — plus rejection of every malformed
+ * frame class (zero/undersized/oversized length, bad magic, unknown
+ * type, truncated or oversized body, trailing bytes) and the terminal
+ * error state that follows.
+ */
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "net/protocol.hh"
+
+using namespace twq;
+using net::Frame;
+using net::FrameDecoder;
+using net::MsgType;
+using net::Status;
+
+namespace
+{
+
+TensorD
+makeTensor(const Shape &shape, std::uint64_t seed)
+{
+    TensorD t(shape);
+    Rng rng(seed);
+    rng.fillNormal(t.storage(), 0.0, 1.0);
+    return t;
+}
+
+std::vector<std::uint8_t>
+inferBytes(std::uint64_t id, const TensorD &t)
+{
+    std::vector<std::uint8_t> out;
+    net::encodeInfer(id, t, out);
+    return out;
+}
+
+void
+putU32(std::vector<std::uint8_t> &buf, std::size_t at,
+       std::uint32_t v)
+{
+    buf[at + 0] = static_cast<std::uint8_t>(v);
+    buf[at + 1] = static_cast<std::uint8_t>(v >> 8);
+    buf[at + 2] = static_cast<std::uint8_t>(v >> 16);
+    buf[at + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+} // namespace
+
+TEST(NetProtocol, InferRoundTrip)
+{
+    const TensorD t = makeTensor({1, 3, 5, 7}, 1);
+    const std::vector<std::uint8_t> bytes = inferBytes(42, t);
+
+    FrameDecoder dec;
+    dec.feed(bytes.data(), bytes.size());
+    Frame f;
+    ASSERT_EQ(dec.next(&f), FrameDecoder::Result::Frame);
+    EXPECT_EQ(f.type, MsgType::Infer);
+    EXPECT_EQ(f.id, 42u);
+    EXPECT_EQ(f.shape, t.shape());
+    EXPECT_EQ(f.data, t.storage()); // bit-identical doubles
+    EXPECT_EQ(dec.next(&f), FrameDecoder::Result::NeedMore);
+    EXPECT_EQ(dec.pendingBytes(), 0u);
+}
+
+TEST(NetProtocol, ResponseRoundTrip)
+{
+    const TensorD t = makeTensor({1, 2, 4, 4}, 2);
+    std::vector<std::uint8_t> bytes;
+    net::encodeResponse(7, Status::Ok, &t, bytes);
+
+    FrameDecoder dec;
+    dec.feed(bytes.data(), bytes.size());
+    Frame f;
+    ASSERT_EQ(dec.next(&f), FrameDecoder::Result::Frame);
+    EXPECT_EQ(f.type, MsgType::Response);
+    EXPECT_EQ(f.status, Status::Ok);
+    EXPECT_EQ(f.id, 7u);
+    EXPECT_EQ(f.shape, t.shape());
+    EXPECT_EQ(f.data, t.storage());
+}
+
+TEST(NetProtocol, NonOkResponseCarriesNoTensor)
+{
+    for (const Status s :
+         {Status::Shed, Status::BadRequest, Status::Error}) {
+        std::vector<std::uint8_t> bytes;
+        net::encodeResponse(9, s, nullptr, bytes);
+        FrameDecoder dec;
+        dec.feed(bytes.data(), bytes.size());
+        Frame f;
+        ASSERT_EQ(dec.next(&f), FrameDecoder::Result::Frame)
+            << net::statusName(s);
+        EXPECT_EQ(f.status, s);
+        EXPECT_TRUE(f.shape.empty());
+        EXPECT_TRUE(f.data.empty());
+    }
+}
+
+TEST(NetProtocol, ByteAtATime)
+{
+    const TensorD t = makeTensor({2, 3, 3}, 3);
+    const std::vector<std::uint8_t> bytes = inferBytes(1, t);
+
+    FrameDecoder dec;
+    Frame f;
+    for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+        dec.feed(&bytes[i], 1);
+        ASSERT_EQ(dec.next(&f), FrameDecoder::Result::NeedMore)
+            << "frame complete too early at byte " << i;
+    }
+    dec.feed(&bytes.back(), 1);
+    ASSERT_EQ(dec.next(&f), FrameDecoder::Result::Frame);
+    EXPECT_EQ(f.data, t.storage());
+}
+
+TEST(NetProtocol, CoalescedFrames)
+{
+    // Many frames in one contiguous buffer — the single-recv() case.
+    std::vector<std::uint8_t> wire;
+    std::vector<TensorD> tensors;
+    constexpr std::size_t kFrames = 17;
+    for (std::size_t i = 0; i < kFrames; ++i) {
+        tensors.push_back(makeTensor({1, 2, 3, 3}, 10 + i));
+        net::encodeInfer(i, tensors.back(), wire);
+    }
+
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    Frame f;
+    for (std::size_t i = 0; i < kFrames; ++i) {
+        ASSERT_EQ(dec.next(&f), FrameDecoder::Result::Frame)
+            << "frame " << i;
+        EXPECT_EQ(f.id, i);
+        EXPECT_EQ(f.data, tensors[i].storage());
+    }
+    EXPECT_EQ(dec.next(&f), FrameDecoder::Result::NeedMore);
+    EXPECT_EQ(dec.pendingBytes(), 0u);
+}
+
+TEST(NetProtocol, RandomizedChunkingFuzz)
+{
+    // The stream invariant: any chunking of the same bytes yields the
+    // same frame sequence. 50 rounds of random frame counts, shapes,
+    // and split points.
+    Rng rng(1234);
+    for (int round = 0; round < 50; ++round) {
+        std::vector<std::uint8_t> wire;
+        std::vector<std::vector<double>> payloads;
+        const std::size_t nFrames =
+            static_cast<std::size_t>(rng.uniformInt(1, 6));
+        for (std::size_t i = 0; i < nFrames; ++i) {
+            const auto dim = [&](int hi) {
+                return static_cast<std::size_t>(
+                    rng.uniformInt(1, hi));
+            };
+            const TensorD t = makeTensor(
+                {1, dim(4), dim(5), dim(5)}, round * 100 + i);
+            payloads.push_back(t.storage());
+            net::encodeInfer(i, t, wire);
+        }
+
+        FrameDecoder dec;
+        Frame f;
+        std::size_t fed = 0, decoded = 0;
+        while (fed < wire.size()) {
+            const std::size_t chunk = std::min(
+                wire.size() - fed,
+                static_cast<std::size_t>(rng.uniformInt(1, 64)));
+            dec.feed(wire.data() + fed, chunk);
+            fed += chunk;
+            for (;;) {
+                const FrameDecoder::Result r = dec.next(&f);
+                if (r != FrameDecoder::Result::Frame)
+                    break;
+                ASSERT_LT(decoded, payloads.size());
+                EXPECT_EQ(f.id, decoded);
+                EXPECT_EQ(f.data, payloads[decoded]);
+                ++decoded;
+            }
+            ASSERT_FALSE(dec.failed()) << dec.error();
+        }
+        EXPECT_EQ(decoded, nFrames) << "round " << round;
+        EXPECT_EQ(dec.pendingBytes(), 0u);
+    }
+}
+
+TEST(NetProtocol, ZeroLengthFrameRejected)
+{
+    // payloadLen == 0 cannot even cover the magic/type/id header.
+    const std::uint8_t zeros[4] = {0, 0, 0, 0};
+    FrameDecoder dec;
+    dec.feed(zeros, sizeof(zeros));
+    Frame f;
+    EXPECT_EQ(dec.next(&f), FrameDecoder::Result::Error);
+    EXPECT_TRUE(dec.failed());
+    EXPECT_FALSE(dec.error().empty());
+}
+
+TEST(NetProtocol, UndersizedLengthRejected)
+{
+    std::vector<std::uint8_t> wire =
+        inferBytes(1, makeTensor({1, 1, 2, 2}, 4));
+    putU32(wire, 0, static_cast<std::uint32_t>(
+                        net::kFrameHeaderBytes - 1));
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    Frame f;
+    EXPECT_EQ(dec.next(&f), FrameDecoder::Result::Error);
+}
+
+TEST(NetProtocol, OversizedFrameRejected)
+{
+    // A length prefix over the decoder's ceiling must fail
+    // immediately — BEFORE any payload arrives, so a hostile peer
+    // cannot make the server buffer unbounded input.
+    std::vector<std::uint8_t> wire =
+        inferBytes(1, makeTensor({1, 1, 2, 2}, 5));
+    FrameDecoder dec(1024); // 1 KiB ceiling
+    putU32(wire, 0, 1 << 20);
+    dec.feed(wire.data(), 8); // length + magic only
+    Frame f;
+    EXPECT_EQ(dec.next(&f), FrameDecoder::Result::Error);
+}
+
+TEST(NetProtocol, BadMagicRejected)
+{
+    std::vector<std::uint8_t> wire =
+        inferBytes(1, makeTensor({1, 1, 2, 2}, 6));
+    putU32(wire, 4, 0xdeadbeef);
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    Frame f;
+    EXPECT_EQ(dec.next(&f), FrameDecoder::Result::Error);
+}
+
+TEST(NetProtocol, UnknownTypeRejected)
+{
+    std::vector<std::uint8_t> wire =
+        inferBytes(1, makeTensor({1, 1, 2, 2}, 7));
+    wire[8] = 0x7f; // type byte
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    Frame f;
+    EXPECT_EQ(dec.next(&f), FrameDecoder::Result::Error);
+}
+
+TEST(NetProtocol, TruncatedBodyRejected)
+{
+    // Shrink the declared payload so the tensor data no longer fits:
+    // a well-formed length prefix whose body lies about its tensor.
+    const TensorD t = makeTensor({1, 1, 2, 2}, 8);
+    std::vector<std::uint8_t> wire = inferBytes(1, t);
+    putU32(wire, 0,
+           static_cast<std::uint32_t>(net::kFrameHeaderBytes + 1 +
+                                      4 * t.rank()));
+    wire.resize(4 + net::kFrameHeaderBytes + 1 + 4 * t.rank());
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    Frame f;
+    EXPECT_EQ(dec.next(&f), FrameDecoder::Result::Error);
+}
+
+TEST(NetProtocol, TrailingBytesRejected)
+{
+    // Grow the declared payload past the tensor: trailing garbage in
+    // a frame means a frame the encoder never produced.
+    const TensorD t = makeTensor({1, 1, 2, 2}, 9);
+    std::vector<std::uint8_t> wire = inferBytes(1, t);
+    const std::uint32_t declared =
+        static_cast<std::uint32_t>(wire.size() - 4);
+    putU32(wire, 0, declared + 3);
+    wire.insert(wire.end(), {0xaa, 0xbb, 0xcc});
+    FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+    Frame f;
+    EXPECT_EQ(dec.next(&f), FrameDecoder::Result::Error);
+}
+
+TEST(NetProtocol, ErrorStateIsTerminal)
+{
+    const std::uint8_t zeros[4] = {0, 0, 0, 0};
+    FrameDecoder dec;
+    dec.feed(zeros, sizeof(zeros));
+    Frame f;
+    ASSERT_EQ(dec.next(&f), FrameDecoder::Result::Error);
+
+    // A valid frame fed AFTER the error must not resurrect the
+    // decoder: framing cannot resynchronize on a byte stream.
+    const std::vector<std::uint8_t> good =
+        inferBytes(1, makeTensor({1, 1, 2, 2}, 10));
+    dec.feed(good.data(), good.size());
+    EXPECT_EQ(dec.next(&f), FrameDecoder::Result::Error);
+    EXPECT_TRUE(dec.failed());
+}
