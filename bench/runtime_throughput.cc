@@ -36,6 +36,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "gemm/gemm.hh"
+#include "layout/kernels_f16.hh"
 #include "layout/wino_blocked.hh"
 #include "models/zoo.hh"
 #include "net/client.hh"
@@ -483,7 +484,7 @@ requiredScaling(std::size_t hwCores)
 }
 
 /**
- * CI smoke check. Ten structural gates:
+ * CI smoke check. Twelve structural gates:
  *
  *  1. the blocked GEMM core must beat the naive i-k-j loop it
  *     replaced on a representative per-tap shape,
@@ -510,7 +511,16 @@ requiredScaling(std::size_t hwCores)
  *     no-collapse bound on a single core, and
  * 10. under offered overload (8 closed-loop clients, maxPending=2)
  *     admission control must keep the ADMITTED p99 within 5x of the
- *     unloaded p99 — shedding buys bounded latency, not silence.
+ *     unloaded p99 — shedding buys bounded latency, not silence,
+ * 11. the fused bias+ReLU epilogue must not lose to the plain blocked
+ *     conv followed by a separate bias/ReLU pass on the wide layer —
+ *     the deleted memory pass must actually buy time, and
+ * 12. the binary16-storage blocked engine must hold >= 0.9x the fp32
+ *     blocked session's end-to-end throughput on a three-deep wide-64
+ *     chain while its output stays within 40 half-ULPs of the fp32
+ *     output range (on soft-half hosts the throughput requirement
+ *     degrades to a no-collapse bound; the accuracy bound always
+ *     holds).
  *
  * The timed gates carry a 10% slack so a scheduling blip on a shared
  * CI runner cannot flip a structural claim into a flake; an actual
@@ -718,6 +728,133 @@ runSmoke()
                              : "  << FAIL: blocked int8 path not "
                                "selected");
         }
+
+        // Gate 11: the fused epilogue must actually delete the
+        // separate bias/ReLU memory pass — the blocked engine with
+        // bias+ReLU folded into its untile write against the plain
+        // blocked run followed by a second pass over the output
+        // surface (what an unfused session executes).
+        {
+            LayerBuild fbuild = build;
+            fbuild.epilogue.bias.assign(d.cout, 0.0);
+            Rng brng(seed++);
+            brng.fillNormal(fbuild.epilogue.bias, 0.0, 0.1);
+            fbuild.epilogue.relu = true;
+            const auto prepFused =
+                blocked->prepare(d, weights, fbuild);
+            const double tFused = timeBackendRun(
+                *blocked, *prepFused, probeBlocked, arena, 7);
+            TensorD outP(blocked->outputShape(*prepBlocked,
+                                              probeBlocked.shape()));
+            const auto bestOf = [&](auto &&fn) {
+                fn(); // warmup
+                double best = 1e30;
+                for (int i = 0; i < 7; ++i) {
+                    const auto t0 = Clock::now();
+                    fn();
+                    best = std::min(
+                        best,
+                        std::chrono::duration<double>(Clock::now() -
+                                                      t0)
+                            .count());
+                }
+                return best;
+            };
+            const std::vector<double> &bias = fbuild.epilogue.bias;
+            const double tSep = bestOf([&] {
+                blocked->run(*prepBlocked, probeBlocked, arena, outP);
+                double *p = outP.data();
+                const std::size_t hw =
+                    outP.shape()[2] * outP.shape()[3];
+                for (std::size_t n = 0; n < outP.shape()[0]; ++n)
+                    for (std::size_t b = 0; b < outP.shape()[1]; ++b)
+                        for (std::size_t i = 0; i < hw; ++i)
+                            for (std::size_t l = 0; l < kLayoutBlock;
+                                 ++l) {
+                                const double v =
+                                    *p + bias[b * kLayoutBlock + l];
+                                *p++ = v < 0.0 ? 0.0 : v;
+                            }
+            });
+            const bool fok = tFused < 1.10 * tSep;
+            failures += !fok;
+            std::printf("%-12s %12.1f %12.1f %7.2fx%s\n",
+                        "wide-64-fuse", tSep * 1e6, tFused * 1e6,
+                        tSep / tFused,
+                        fok ? ""
+                            : "  << FAIL: fused epilogue slower than "
+                              "separate pass");
+        }
+
+        // Gate 12: binary16 activation/weight storage, end to end on
+        // a three-deep wide-64 chain (interior layer handoffs stay
+        // half — the inter-layer bandwidth regime the engine
+        // targets). The fp16 session must hold >= 0.9x the fp32
+        // blocked session's throughput AND land within 40 half-ULPs
+        // (40 * 2^-11) of the fp32 output range. On hosts where the
+        // conversion kernels fall back to soft-half the throughput
+        // requirement degrades to a no-collapse bound — accuracy is
+        // host-independent and never relaxes.
+        {
+            NetworkDesc deep;
+            deep.name = "Wide64x3";
+            deep.inputRes = d.height;
+            for (int i = 0; i < 3; ++i) {
+                ConvLayerDesc l = d;
+                l.name = "wide." + std::to_string(i);
+                deep.layers.push_back(l);
+            }
+            SessionConfig f32cfg;
+            f32cfg.defaultEngine = ConvEngine::WinogradBlocked;
+            const Session s32(deep, f32cfg);
+            SessionConfig f16cfg;
+            f16cfg.defaultEngine = ConvEngine::WinogradBlockedF16;
+            const Session s16(deep, f16cfg);
+            TensorD in({8, d.cin, d.height, d.width});
+            Rng irng(seed++);
+            irng.fillNormal(in.storage(), 0.0, 1.0);
+            const TensorD y32 = s32.run(in);
+            const TensorD y16 = s16.run(in);
+            double maxAbs = 0.0, maxErr = 0.0;
+            for (std::size_t i = 0; i < y32.numel(); ++i) {
+                maxAbs = std::max(maxAbs, std::abs(y32[i]));
+                maxErr = std::max(maxErr, std::abs(y16[i] - y32[i]));
+            }
+            const bool aok = maxErr <= 40.0 * 0x1p-11 * maxAbs;
+            const auto bestOf = [&](const Session &s,
+                                    ScratchArena &a) {
+                s.run(in, a); // warmup
+                double best = 1e30;
+                for (int i = 0; i < 7; ++i) {
+                    const auto t0 = Clock::now();
+                    s.run(in, a);
+                    best = std::min(
+                        best,
+                        std::chrono::duration<double>(Clock::now() -
+                                                      t0)
+                            .count());
+                }
+                return best;
+            };
+            ScratchArena a32, a16;
+            const double t32 = bestOf(s32, a32);
+            const double t16 = bestOf(s16, a16);
+            const bool soft =
+                std::strcmp(layout::f16KernelName(), "soft") == 0;
+            const double need = soft ? 0.25 : 0.9;
+            const double ratio = t32 / t16;
+            const bool hok = aok && ratio >= need;
+            failures += !hok;
+            std::printf(
+                "f16[wide-64x3] kernel=%s: fp32 %.1f us, fp16 %.1f "
+                "us, %.2fx (need >= %.2fx), max err %.3g of range "
+                "%.3g%s\n",
+                layout::f16KernelName(), t32 * 1e6, t16 * 1e6, ratio,
+                need, maxErr, maxAbs,
+                hok ? ""
+                    : (aok ? "  << FAIL: fp16 throughput below bound"
+                           : "  << FAIL: fp16 accuracy gate"));
+        }
     }
 
     // Blocked-GEMM gate: on a representative [Cout, Cin] x [Cin, P]
@@ -871,9 +1008,12 @@ runSmoke()
                       "the NCHWc8 layout holds its gather / "
                       "end-to-end / autoSelect claims, the int8 "
                       "path holds its widening-kernel / blocked "
-                      "end-to-end / autoSelect claims, and the net "
-                      "front door scales with workers and bounds the "
-                      "admitted tail under overload\n"
+                      "end-to-end / autoSelect claims, the fused "
+                      "epilogue beats the separate pass, binary16 "
+                      "storage holds throughput inside the accuracy "
+                      "gate, and the net front door scales with "
+                      "workers and bounds the admitted tail under "
+                      "overload\n"
                     : "\nSMOKE FAIL: %d gate(s) failed\n",
                 failures);
     return failures;
@@ -1337,6 +1477,125 @@ main(int argc, char **argv)
             std::printf("layer wide-64 int8 p50: nchw %.3f ms, "
                         "nchwc8 %.3f ms (%.2fx)\n",
                         pInt, pIntB, pInt / pIntB);
+        }
+
+        // Fused-epilogue and binary16-storage wide-64 rows: the fused
+        // row folds bias+ReLU into the blocked untile write; the
+        // unfused row runs the same conv then the separate bias/ReLU
+        // pass the fusion deletes; the fp16 row is the steady-state
+        // half-storage hot path (half activations in and out — the
+        // inter-layer regime, conversion seams excluded just like the
+        // blocked rows exclude layout conversion). Tracked in the
+        // JSON as wide64-fused / wide64-unfused / wide64-fp16.
+        {
+            const EngineRegistry &registry = EngineRegistry::instance();
+            LayerBuild build;
+            build.params = ConvParams{3, 1, 1};
+            build.variant = WinoVariant::F2;
+            TensorD weights({wide.cout, wide.cin, 3, 3});
+            Rng wrng(0xf16);
+            wrng.fillNormal(weights.storage(), 0.0, 0.1);
+            LayerBuild fbuild = build;
+            fbuild.epilogue.bias.assign(wide.cout, 0.0);
+            Rng brng(0xb1a);
+            brng.fillNormal(fbuild.epilogue.bias, 0.0, 0.1);
+            fbuild.epilogue.relu = true;
+
+            TensorD probe({8, wide.cin, wide.height, wide.width});
+            Rng prng(0xfe1);
+            prng.fillNormal(probe.storage(), 0.0, 1.0);
+            TensorD probeBlocked(blockedShape(probe.shape()));
+            nchwToBlocked(probe, probeBlocked);
+            TensorF16 probeHalf(probeBlocked.shape());
+            tensorDToF16(probeBlocked, probeHalf);
+            ScratchArena arena;
+
+            const auto blocked =
+                registry.get(ConvEngine::WinogradBlocked);
+            const auto f16 =
+                registry.get(ConvEngine::WinogradBlockedF16);
+            const auto prepPlain =
+                blocked->prepare(wide, weights, build);
+            const auto prepFused =
+                blocked->prepare(wide, weights, fbuild);
+            const auto prepHalf = f16->prepare(wide, weights, build);
+
+            const auto measureRow = [&](ConvEngine engine,
+                                        const char *label,
+                                        auto &&fn) {
+                fn(); // warmup
+                std::vector<double> ms;
+                constexpr int kIters = 60;
+                ms.reserve(kIters);
+                const auto wall0 = Clock::now();
+                for (int i = 0; i < kIters; ++i) {
+                    const auto t0 = Clock::now();
+                    fn();
+                    ms.push_back(
+                        std::chrono::duration<double, std::milli>(
+                            Clock::now() - t0)
+                            .count());
+                }
+                Result r;
+                r.engine = convEngineName(engine);
+                r.label = label;
+                r.threads = 1;
+                r.maxBatch = 8;
+                r.clients = 1;
+                r.requests = kIters;
+                r.wallSec = std::chrono::duration<double>(
+                                Clock::now() - wall0)
+                                .count();
+                r.reqPerSec = kIters / r.wallSec;
+                r.p50Ms = percentile(ms, 0.50);
+                r.p99Ms = percentile(ms, 0.99);
+                r.p999Ms = percentile(ms, 0.999);
+                r.avgBatch = 8.0;
+                results.push_back(r);
+                return r.p50Ms;
+            };
+
+            TensorD outF(blocked->outputShape(*prepFused,
+                                              probeBlocked.shape()));
+            const double pFused = measureRow(
+                ConvEngine::WinogradBlocked, "wide64-fused", [&] {
+                    blocked->run(*prepFused, probeBlocked, arena,
+                                 outF);
+                });
+            TensorD outP(blocked->outputShape(*prepPlain,
+                                              probeBlocked.shape()));
+            const std::vector<double> &bias = fbuild.epilogue.bias;
+            const double pSep = measureRow(
+                ConvEngine::WinogradBlocked, "wide64-unfused", [&] {
+                    blocked->run(*prepPlain, probeBlocked, arena,
+                                 outP);
+                    double *p = outP.data();
+                    const std::size_t hw =
+                        outP.shape()[2] * outP.shape()[3];
+                    for (std::size_t n = 0; n < outP.shape()[0]; ++n)
+                        for (std::size_t b = 0; b < outP.shape()[1];
+                             ++b)
+                            for (std::size_t i = 0; i < hw; ++i)
+                                for (std::size_t l = 0;
+                                     l < kLayoutBlock; ++l) {
+                                    const double v =
+                                        *p +
+                                        bias[b * kLayoutBlock + l];
+                                    *p++ = v < 0.0 ? 0.0 : v;
+                                }
+                });
+            TensorF16 outH(
+                f16->outputShape(*prepHalf, probeHalf.shape()));
+            const double pHalf = measureRow(
+                ConvEngine::WinogradBlockedF16, "wide64-fp16", [&] {
+                    f16->runF16(*prepHalf, probeHalf, arena, outH,
+                                RunContext{});
+                });
+            std::printf("layer wide-64 epilogue p50: fused %.3f ms, "
+                        "unfused+pass %.3f ms (%.2fx); fp16 storage "
+                        "%.3f ms (%.2fx vs fused fp32, kernel=%s)\n",
+                        pFused, pSep, pSep / pFused, pHalf,
+                        pFused / pHalf, layout::f16KernelName());
         }
 
         // What the measured per-layer policy picks for the wide layer

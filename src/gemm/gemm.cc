@@ -1,5 +1,6 @@
 #include "gemm/gemm.hh"
 
+#include <cstdlib>
 #include <type_traits>
 #include <vector>
 
@@ -86,6 +87,29 @@ int8Table()
     return t;
 }
 
+/**
+ * The kernel behind gemmS8S32Pair: VNNI's vpdpbusd is unconditionally
+ * exact AND faster than vpmaddubsw, so it keeps priority; plain AVX2
+ * hosts get the range-gated vpmaddubsw kernel; everything else falls
+ * back to the ungated table (which is exact everywhere).
+ */
+Int8KernelTable
+resolveInt8Pair()
+{
+    if (GemmS8Fn fn = vnniGemmS8())
+        return {fn, "avx512-vnni"};
+    if (GemmS8Fn fn = avx2GemmS8Pair())
+        return {fn, "avx2-maddubs"};
+    return int8Table();
+}
+
+const Int8KernelTable &
+int8PairTable()
+{
+    static const Int8KernelTable t = resolveInt8Pair();
+    return t;
+}
+
 } // namespace
 
 const char *
@@ -98,6 +122,41 @@ const char *
 int8KernelName()
 {
     return int8Table().name;
+}
+
+const char *
+int8PairKernelName()
+{
+    return int8PairTable().name;
+}
+
+bool
+gemmS8PairSafe(const std::int8_t *a, std::size_t m, std::size_t k)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        const std::int8_t *row = a + i * k;
+        for (std::size_t kk = 0; kk + 1 < k; kk += 2) {
+            const int s =
+                std::abs(static_cast<int>(row[kk])) +
+                std::abs(static_cast<int>(row[kk + 1]));
+            if (s > 128)
+                return false;
+        }
+        // An odd K tail pairs with an implicit zero inside the
+        // kernel, so |a| <= 128 holds for any int8 value.
+    }
+    return true;
+}
+
+void
+gemmS8S32Pair(const std::int8_t *a, const std::int8_t *b,
+              std::int32_t *c, std::size_t m, std::size_t k,
+              std::size_t n, std::int8_t *pack)
+{
+    twq_assert(k <= (std::size_t{1} << 16),
+               "gemmS8S32: K too large for exact int32 accumulation");
+    int8PairTable().gemmS8(a, b, c, m, k, n, n, n,
+                           pack ? pack : tlsPack<std::int8_t>());
 }
 
 template <typename T>

@@ -162,6 +162,41 @@ void gemmS8S32Cols(const std::int8_t *a, const std::int8_t *b,
                    std::int8_t *pack = nullptr);
 
 /**
+ * True when A's weights provably cannot saturate a `vpmaddubsw`
+ * int16 pair sum against full-range u8 activations: every adjacent
+ * k-pair of every row satisfies |a[2i]| + |a[2i+1]| <= 128 (the u8 x
+ * s8 pair sum is then bounded by 255 * 128 = 32640 < 2^15). 7-bit
+ * weights (|a| <= 63) always qualify; full-range int8 may or may not.
+ * Scanned once at weight-prepare time — the gate is a property of
+ * the static weights alone, valid for any activation operand and any
+ * row sub-block.
+ */
+bool gemmS8PairSafe(const std::int8_t *a, std::size_t m,
+                    std::size_t k);
+
+/**
+ * Range-gated fast path of gemmS8S32 for weights that pass
+ * gemmS8PairSafe (PRECONDITION — not re-checked per call): on AVX2
+ * hosts the product runs a `vpmaddubsw` micro-kernel (activations
+ * biased into u8 by xor 0x80, quad-interleaved per column, one
+ * maddubs+maddwd pair consuming four k values, per-row compensation
+ * 128 * sum_k a subtracted at panel stores), which keeps the B
+ * operand in bytes through the inner loop. On AVX-512 VNNI hosts and
+ * everywhere else it falls back to gemmS8S32's kernel, which is
+ * already optimal or exact there. All paths compute the identical
+ * integer sums, so results are bit-identical to gemmS8S32.
+ */
+void gemmS8S32Pair(const std::int8_t *a, const std::int8_t *b,
+                   std::int32_t *c, std::size_t m, std::size_t k,
+                   std::size_t n, std::int8_t *pack = nullptr);
+
+/**
+ * Name of the kernel gemmS8S32Pair dispatches to ("avx2-maddubs"
+ * when the gated kernel is live, otherwise int8KernelName()).
+ */
+const char *int8PairKernelName();
+
+/**
  * The generic baseline-ISA blocked widening kernel (what gemmS8S32
  * ran before the dispatched micro-kernels existed). Kept callable as
  * the oracle for tests and the baseline of the bench smoke gate.

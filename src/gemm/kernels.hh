@@ -179,6 +179,11 @@ using GemmS8Fn = void (*)(const std::int8_t *a, const std::int8_t *b,
 /// Null when not compiled in or the CPU lacks AVX2.
 GemmS8Fn avx2GemmS8();
 
+/// AVX2 range-gated vpmaddubsw kernel (kernels_int8_avx2.cc): only
+/// correct for A operands passing gemmS8PairSafe (the caller's
+/// contract). Null when not compiled in or the CPU lacks AVX2.
+GemmS8Fn avx2GemmS8Pair();
+
 /// AVX-512 VNNI kernel (kernels_int8_vnni.cc): vpdpbusd on u8 x s8
 /// with the packed A operand offset by +128 and a per-row
 /// compensation term. Null without AVX512VL+VNNI.

@@ -153,6 +153,151 @@ avx2GemmS8Impl(const std::int8_t *a, const std::int8_t *b,
     }
 }
 
+/**
+ * Range-gated `vpmaddubsw` variant: only called for A operands that
+ * pass gemmS8PairSafe, so the u8 x s8 int16 pair sums provably never
+ * saturate (|pair| <= 255 * 128 < 2^15) and every sum is exact.
+ *
+ * B rows bias into unsigned range (xor 0x80 == +128) and QUAD-
+ * interleave per column — each 32-bit lane holds bytes
+ * (b_k0[j], b_k1[j], b_k2[j], b_k3[j]) — so one `vpmaddubsw` +
+ * `vpmaddwd`(ones) pair consumes FOUR k values per column against a
+ * broadcast A quad, and the B operand stays in bytes through the
+ * inner loop (half the widened-B traffic of avx2GemmS8Impl). The
+ * +128 bias contributes 128 * sum_k a per output, removed by a
+ * per-row panel compensation at the accumulator stores; k tails pad
+ * both operands with unbiased zeros, which contribute nothing to
+ * either the products or the compensation. Accumulators sit in
+ * natural column order (no cross-lane fixup permutes). Integer sums
+ * are order-free, so the result is bit-identical to avx2GemmS8Impl
+ * and the scalar reference.
+ */
+void
+avx2GemmS8PairImpl(const std::int8_t *a, const std::int8_t *b,
+                   std::int32_t *c, std::size_t m, std::size_t k,
+                   std::size_t n, std::size_t ldb, std::size_t ldc,
+                   std::int8_t *pack)
+{
+    if (k == 0) {
+        gemmS8ZeroC(c, m, n, ldc);
+        return;
+    }
+    constexpr std::size_t kNc = 16; // int32 columns per vector tile
+    const __m256i ones16 = _mm256_set1_epi16(1);
+    const __m128i bias = _mm_set1_epi8(static_cast<char>(0x80));
+    const __m128i zero128 = _mm_setzero_si128();
+    const __m256i zero = _mm256_setzero_si256();
+    for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
+        const std::size_t kb = std::min(kKc, k - k0);
+        const bool first = k0 == 0;
+        for (std::size_t i0 = 0; i0 < m; i0 += kMr) {
+            const std::size_t mr = std::min(kMr, m - i0);
+            packA(a, m, k, /*transA=*/false, i0, mr, k0, kb, pack);
+
+            // Broadcast quads and the per-row panel compensation
+            // 128 * sum_k a (the bias term of this panel's rows),
+            // both from the packed panel alone.
+            const std::size_t quads = (kb + 3) / 4;
+            int aquad[kKc / 4][kMr];
+            std::int32_t comp[kMr] = {0, 0, 0, 0};
+            for (std::size_t qi = 0; qi < quads; ++qi) {
+                for (std::size_t r = 0; r < kMr; ++r) {
+                    std::uint32_t q = 0;
+                    for (std::size_t j = 0; j < 4; ++j) {
+                        const std::size_t kk = 4 * qi + j;
+                        if (kk >= kb)
+                            continue;
+                        const std::int8_t av = pack[kk * kMr + r];
+                        q |= static_cast<std::uint32_t>(
+                                 static_cast<std::uint8_t>(av))
+                             << (8 * j);
+                        comp[r] +=
+                            128 * static_cast<std::int32_t>(av);
+                    }
+                    aquad[qi][r] = static_cast<int>(q);
+                }
+            }
+
+            std::size_t j0 = 0;
+            for (; j0 + kNc <= n; j0 += kNc) {
+                // Natural column order: acc[r][0] = cols 0-7,
+                // acc[r][1] = cols 8-15.
+                __m256i acc[kMr][2];
+                for (std::size_t r = 0; r < kMr; ++r) {
+                    if (!first && r < mr) {
+                        const std::int32_t *cr =
+                            c + (i0 + r) * ldc + j0;
+                        acc[r][0] = _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i *>(cr));
+                        acc[r][1] = _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i *>(cr + 8));
+                    } else {
+                        acc[r][0] = zero;
+                        acc[r][1] = zero;
+                    }
+                }
+                for (std::size_t qi = 0; qi < quads; ++qi) {
+                    const std::size_t kk = 4 * qi;
+                    __m128i br[4];
+                    for (std::size_t j = 0; j < 4; ++j)
+                        br[j] =
+                            kk + j < kb
+                                ? _mm_xor_si128(
+                                      _mm_loadu_si128(
+                                          reinterpret_cast<
+                                              const __m128i *>(
+                                              b + (k0 + kk + j) * ldb +
+                                              j0)),
+                                      bias)
+                                : zero128;
+                    const __m128i p01l =
+                        _mm_unpacklo_epi8(br[0], br[1]);
+                    const __m128i p01h =
+                        _mm_unpackhi_epi8(br[0], br[1]);
+                    const __m128i p23l =
+                        _mm_unpacklo_epi8(br[2], br[3]);
+                    const __m128i p23h =
+                        _mm_unpackhi_epi8(br[2], br[3]);
+                    // Quad bytes per column: cols 0-3, 4-7, 8-11,
+                    // 12-15.
+                    const __m256i Q0 = _mm256_set_m128i(
+                        _mm_unpackhi_epi16(p01l, p23l),
+                        _mm_unpacklo_epi16(p01l, p23l));
+                    const __m256i Q1 = _mm256_set_m128i(
+                        _mm_unpackhi_epi16(p01h, p23h),
+                        _mm_unpacklo_epi16(p01h, p23h));
+                    for (std::size_t r = 0; r < kMr; ++r) {
+                        const __m256i av =
+                            _mm256_set1_epi32(aquad[qi][r]);
+                        acc[r][0] = _mm256_add_epi32(
+                            acc[r][0],
+                            _mm256_madd_epi16(
+                                _mm256_maddubs_epi16(Q0, av),
+                                ones16));
+                        acc[r][1] = _mm256_add_epi32(
+                            acc[r][1],
+                            _mm256_madd_epi16(
+                                _mm256_maddubs_epi16(Q1, av),
+                                ones16));
+                    }
+                }
+                for (std::size_t r = 0; r < mr; ++r) {
+                    const __m256i cv = _mm256_set1_epi32(comp[r]);
+                    std::int32_t *cr = c + (i0 + r) * ldc + j0;
+                    _mm256_storeu_si256(
+                        reinterpret_cast<__m256i *>(cr),
+                        _mm256_sub_epi32(acc[r][0], cv));
+                    _mm256_storeu_si256(
+                        reinterpret_cast<__m256i *>(cr + 8),
+                        _mm256_sub_epi32(acc[r][1], cv));
+                }
+            }
+            gemmS8EdgeCols(pack, b, c, i0, mr, j0, n, k0, kb, ldb,
+                           ldc, first);
+        }
+    }
+}
+
 } // namespace
 
 GemmS8Fn
@@ -160,6 +305,14 @@ avx2GemmS8()
 {
     if (__builtin_cpu_supports("avx2"))
         return &avx2GemmS8Impl;
+    return nullptr;
+}
+
+GemmS8Fn
+avx2GemmS8Pair()
+{
+    if (__builtin_cpu_supports("avx2"))
+        return &avx2GemmS8PairImpl;
     return nullptr;
 }
 
@@ -175,6 +328,12 @@ namespace gemm
 
 GemmS8Fn
 avx2GemmS8()
+{
+    return nullptr;
+}
+
+GemmS8Fn
+avx2GemmS8Pair()
 {
     return nullptr;
 }

@@ -143,6 +143,44 @@ using QuantizeI32Fn = void (*)(const double *src, double inv,
                                std::int32_t *dst, std::size_t len);
 
 /**
+ * QuantizeI32Fn narrowing counterpart for the int8 im2col engine's
+ * activation quantization: dst[i] = int8(clamp(nearbyint(src[i] *
+ * inv), lo, hi)), in the style of the rescale* narrowing kernels.
+ * Bit-identical to quantize() from quant/quantizer.hh when `inv` is
+ * the exact reciprocal of the scale (power-of-two scales); arbitrary
+ * scales must keep the scalar divide.
+ */
+using QuantizeI8Fn = void (*)(const double *src, double inv, double lo,
+                              double hi, std::int8_t *dst,
+                              std::size_t len);
+
+/**
+ * The fused bias/ReLU epilogue over one untile output row: `count`
+ * groups of 8 lanes, group i read from src + i*8 (tile columns are
+ * contiguous in Y) and written to dst + i*dstStride (the untiled
+ * surface strides by m*8 between tile points of one row),
+ *
+ *     dst[i*dstStride + l] = relu(src[i*8 + l] + bias8[l]).
+ *
+ * bias8 may be null (ReLU only) and relu false (bias only) — a null
+ * bias must NOT degenerate to adding 0.0, which would flip -0.0
+ * outputs to +0.0. The ReLU select is exactly `s < 0 ? 0 : s`: -0.0
+ * and NaN pass through unchanged, so the fused write is bit-identical
+ * to the separate-pass epilogue (vmaxpd with the zero operand first
+ * has precisely these semantics).
+ */
+using EpilogueRowDFn = void (*)(const double *src, double *dst,
+                                std::size_t dstStride,
+                                std::size_t count, const double *bias8,
+                                bool relu);
+
+/** float counterpart of EpilogueRowDFn (the f16 engine's untile). */
+using EpilogueRowFFn = void (*)(const float *src, float *dst,
+                                std::size_t dstStride,
+                                std::size_t count, const float *bias8,
+                                bool relu);
+
+/**
  * The FP dequant scale pass of the quantized blocked pipeline: one
  * (tap, coutb) slice of the GEMM output M scaled per lane,
  * dst[p*8 + l] = double(src[p*8 + l]) * scale8[l] over `tiles`
@@ -166,6 +204,9 @@ struct LayoutKernels
     RescaleU8Fn rescaleU8 = nullptr;
     ScaleI32F64Fn scaleI32F64 = nullptr;
     QuantizeI32Fn quantizeI32 = nullptr;
+    QuantizeI8Fn quantizeI8 = nullptr;
+    EpilogueRowDFn epilogueRowD = nullptr;
+    EpilogueRowFFn epilogueRowF = nullptr;
     const char *name = "scalar";
 };
 
@@ -258,6 +299,70 @@ scalarQuantizeI32(const double *src, double inv, double lo, double hi,
     for (std::size_t i = 0; i < len; ++i)
         dst[i] = static_cast<std::int32_t>(
             std::clamp(std::nearbyint(src[i] * inv), lo, hi));
+}
+
+/** Scalar reference of the pow2 int8 activation quantization. */
+template <typename Dummy = void>
+static void
+scalarQuantizeI8(const double *src, double inv, double lo, double hi,
+                 std::int8_t *dst, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i)
+        dst[i] = static_cast<std::int8_t>(
+            std::clamp(std::nearbyint(src[i] * inv), lo, hi));
+}
+
+/**
+ * Scalar reference of the fused epilogue row pass. The per-mode tight
+ * loops matter even here: one data-dependent ReLU branch per lane
+ * mispredicts ~half the time over a whole activation surface.
+ */
+template <typename T>
+inline void
+epilogueRowRef(const T *src, T *dst, std::size_t dstStride,
+               std::size_t count, const T *bias8, bool relu)
+{
+    constexpr std::size_t B = kLayoutBlock;
+    if (bias8 && relu) {
+        for (std::size_t i = 0; i < count; ++i)
+            for (std::size_t l = 0; l < B; ++l) {
+                const T s = src[i * B + l] + bias8[l];
+                dst[i * dstStride + l] = s < T{} ? T{} : s;
+            }
+    } else if (bias8) {
+        for (std::size_t i = 0; i < count; ++i)
+            for (std::size_t l = 0; l < B; ++l)
+                dst[i * dstStride + l] = src[i * B + l] + bias8[l];
+    } else if (relu) {
+        for (std::size_t i = 0; i < count; ++i)
+            for (std::size_t l = 0; l < B; ++l) {
+                const T s = src[i * B + l];
+                dst[i * dstStride + l] = s < T{} ? T{} : s;
+            }
+    } else {
+        for (std::size_t i = 0; i < count; ++i)
+            std::copy(src + i * B, src + (i + 1) * B,
+                      dst + i * dstStride);
+    }
+}
+
+/** Scalar reference of the double epilogue row pass. */
+template <typename Dummy = void>
+static void
+scalarEpilogueRowD(const double *src, double *dst,
+                   std::size_t dstStride, std::size_t count,
+                   const double *bias8, bool relu)
+{
+    epilogueRowRef(src, dst, dstStride, count, bias8, relu);
+}
+
+/** Scalar reference of the float epilogue row pass. */
+template <typename Dummy = void>
+static void
+scalarEpilogueRowF(const float *src, float *dst, std::size_t dstStride,
+                   std::size_t count, const float *bias8, bool relu)
+{
+    epilogueRowRef(src, dst, dstStride, count, bias8, relu);
 }
 
 /** Scalar reference of the FP dequant scale pass. */

@@ -350,6 +350,50 @@ avx2QuantizeI32(const double *src, double inv, double lo, double hi,
             std::clamp(std::nearbyint(src[i] * inv), lo, hi));
 }
 
+/**
+ * Pow2 int8 activation quantization: the QuantizeI32 round/clamp per
+ * 4 doubles, then four 8-wide int32 groups pack to 32 int8 via the
+ * signed saturating packs (values are pre-clamped, so saturation
+ * never alters them) with the same cross-lane fixup permute as the
+ * rescale narrowing kernels. Bit-identical to the scalar reference.
+ */
+void
+avx2QuantizeI8(const double *src, double inv, double lo, double hi,
+               std::int8_t *dst, std::size_t len)
+{
+    const __m256d iv = _mm256_set1_pd(inv);
+    const __m256d lov = _mm256_set1_pd(lo);
+    const __m256d hiv = _mm256_set1_pd(hi);
+    const __m256i perm = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+    const auto q4 = [&](const double *s) {
+        return _mm256_cvtpd_epi32(_mm256_max_pd(
+            _mm256_min_pd(
+                _mm256_round_pd(
+                    _mm256_mul_pd(_mm256_loadu_pd(s), iv),
+                    _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC),
+                hiv),
+            lov));
+    };
+    const auto q8 = [&](const double *s) {
+        return _mm256_set_m128i(q4(s + 4), q4(s));
+    };
+    std::size_t i = 0;
+    for (; i + 32 <= len; i += 32) {
+        const __m256i a = q8(src + i);
+        const __m256i b = q8(src + i + 8);
+        const __m256i c = q8(src + i + 16);
+        const __m256i d = q8(src + i + 24);
+        const __m256i p = _mm256_permutevar8x32_epi32(
+            _mm256_packs_epi16(_mm256_packs_epi32(a, b),
+                               _mm256_packs_epi32(c, d)),
+            perm);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i), p);
+    }
+    for (; i < len; ++i)
+        dst[i] = static_cast<std::int8_t>(
+            std::clamp(std::nearbyint(src[i] * inv), lo, hi));
+}
+
 /** FP dequant scale pass: cvtepi32->pd and one mul per 4 lanes. */
 void
 avx2ScaleI32F64(const std::int32_t *src, const double *scale8,
@@ -369,6 +413,94 @@ avx2ScaleI32F64(const std::int32_t *src, const double *scale8,
     }
 }
 
+/**
+ * Fused epilogue row pass: two ymm per 8-lane group. vmaxpd with the
+ * zero vector as the FIRST operand returns the second on equal or
+ * NaN, which is exactly `s < 0 ? 0 : s` — -0.0 and NaN pass through,
+ * keeping the fused write bit-identical to the scalar separate pass.
+ */
+void
+avx2EpilogueRowD(const double *src, double *dst, std::size_t dstStride,
+                 std::size_t count, const double *bias8, bool relu)
+{
+    const __m256d z = _mm256_setzero_pd();
+    if (bias8) {
+        const __m256d b0 = _mm256_loadu_pd(bias8);
+        const __m256d b1 = _mm256_loadu_pd(bias8 + 4);
+        if (relu) {
+            for (std::size_t i = 0; i < count; ++i) {
+                const __m256d v0 = _mm256_max_pd(
+                    z, _mm256_add_pd(_mm256_loadu_pd(src + i * 8),
+                                     b0));
+                const __m256d v1 = _mm256_max_pd(
+                    z, _mm256_add_pd(_mm256_loadu_pd(src + i * 8 + 4),
+                                     b1));
+                _mm256_storeu_pd(dst + i * dstStride, v0);
+                _mm256_storeu_pd(dst + i * dstStride + 4, v1);
+            }
+        } else {
+            for (std::size_t i = 0; i < count; ++i) {
+                _mm256_storeu_pd(
+                    dst + i * dstStride,
+                    _mm256_add_pd(_mm256_loadu_pd(src + i * 8), b0));
+                _mm256_storeu_pd(
+                    dst + i * dstStride + 4,
+                    _mm256_add_pd(_mm256_loadu_pd(src + i * 8 + 4),
+                                  b1));
+            }
+        }
+    } else if (relu) {
+        for (std::size_t i = 0; i < count; ++i) {
+            _mm256_storeu_pd(
+                dst + i * dstStride,
+                _mm256_max_pd(z, _mm256_loadu_pd(src + i * 8)));
+            _mm256_storeu_pd(
+                dst + i * dstStride + 4,
+                _mm256_max_pd(z, _mm256_loadu_pd(src + i * 8 + 4)));
+        }
+    } else {
+        for (std::size_t i = 0; i < count; ++i) {
+            _mm256_storeu_pd(dst + i * dstStride,
+                             _mm256_loadu_pd(src + i * 8));
+            _mm256_storeu_pd(dst + i * dstStride + 4,
+                             _mm256_loadu_pd(src + i * 8 + 4));
+        }
+    }
+}
+
+/** float counterpart: one ymm covers the whole 8-lane group. */
+void
+avx2EpilogueRowF(const float *src, float *dst, std::size_t dstStride,
+                 std::size_t count, const float *bias8, bool relu)
+{
+    const __m256 z = _mm256_setzero_ps();
+    if (bias8) {
+        const __m256 b = _mm256_loadu_ps(bias8);
+        if (relu) {
+            for (std::size_t i = 0; i < count; ++i)
+                _mm256_storeu_ps(
+                    dst + i * dstStride,
+                    _mm256_max_ps(
+                        z, _mm256_add_ps(_mm256_loadu_ps(src + i * 8),
+                                         b)));
+        } else {
+            for (std::size_t i = 0; i < count; ++i)
+                _mm256_storeu_ps(
+                    dst + i * dstStride,
+                    _mm256_add_ps(_mm256_loadu_ps(src + i * 8), b));
+        }
+    } else if (relu) {
+        for (std::size_t i = 0; i < count; ++i)
+            _mm256_storeu_ps(
+                dst + i * dstStride,
+                _mm256_max_ps(z, _mm256_loadu_ps(src + i * 8)));
+    } else {
+        for (std::size_t i = 0; i < count; ++i)
+            _mm256_storeu_ps(dst + i * dstStride,
+                             _mm256_loadu_ps(src + i * 8));
+    }
+}
+
 } // namespace
 
 LayoutKernels
@@ -385,6 +517,9 @@ avx2LayoutKernels()
         k.rescaleU8 = &avx2RescaleU8;
         k.scaleI32F64 = &avx2ScaleI32F64;
         k.quantizeI32 = &avx2QuantizeI32;
+        k.quantizeI8 = &avx2QuantizeI8;
+        k.epilogueRowD = &avx2EpilogueRowD;
+        k.epilogueRowF = &avx2EpilogueRowF;
         k.name = "avx2";
         return k;
     }

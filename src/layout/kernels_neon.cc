@@ -170,6 +170,7 @@ neonLayoutKernels()
     k.rescaleU8 = &scalarRescaleU8<>;
     k.scaleI32F64 = &scalarScaleI32F64<>;
     k.quantizeI32 = &scalarQuantizeI32<>;
+    k.quantizeI8 = &scalarQuantizeI8<>;
     k.name = "neon";
     return k;
 }

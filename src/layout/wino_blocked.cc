@@ -52,6 +52,7 @@ kernels()
                 k.rescaleU8 = &scalarRescaleU8<>;
                 k.scaleI32F64 = &scalarScaleI32F64<>;
                 k.quantizeI32 = &scalarQuantizeI32<>;
+                k.quantizeI8 = &scalarQuantizeI8<>;
                 k.name = "scalar";
             }
         }
@@ -65,6 +66,12 @@ kernels()
             k.tapGemmI16 = v.tapGemmI16;
             k.name = v.name;
         }
+        // ISA tables predating the epilogue row kernel (NEON) fall
+        // back to the scalar reference per field.
+        if (!k.epilogueRowD)
+            k.epilogueRowD = &scalarEpilogueRowD<>;
+        if (!k.epilogueRowF)
+            k.epilogueRowF = &scalarEpilogueRowF<>;
         return k;
     }();
     return t;
@@ -246,9 +253,40 @@ winogradTapGemmBlocked(const BlockedTapWeights &w, const TensorD &U,
         });
 }
 
+namespace
+{
+
+/// Type-dispatch onto the resolved epilogue row kernel.
+inline void
+epilogueRow(const double *src, double *dst, std::size_t stride,
+            std::size_t count, const double *b8, bool relu)
+{
+    table().epilogueRowD(src, dst, stride, count, b8, relu);
+}
+
+inline void
+epilogueRow(const float *src, float *dst, std::size_t stride,
+            std::size_t count, const float *b8, bool relu)
+{
+    table().epilogueRowF(src, dst, stride, count, b8, relu);
+}
+
+/// Integer untiles (the int8 accumulator path) have no SIMD row
+/// kernel; the exact overloads above win for double/float.
+template <typename T>
+inline void
+epilogueRow(const T *src, T *dst, std::size_t stride,
+            std::size_t count, const T *b8, bool relu)
+{
+    twq::layout::epilogueRowRef(src, dst, stride, count, b8, relu);
+}
+
+} // namespace
+
 template <typename T>
 void
-winogradUntileBlocked(const Tensor<T> &Y, WinoVariant v, Tensor<T> &out)
+winogradUntileBlocked(const Tensor<T> &Y, WinoVariant v, Tensor<T> &out,
+                      const T *bias8, bool relu)
 {
     const WinoSpec spec = winoSpec(v);
     const std::size_t m = spec.m;
@@ -269,6 +307,19 @@ winogradUntileBlocked(const Tensor<T> &Y, WinoVariant v, Tensor<T> &out)
     for (std::size_t k = 0; k < mm; ++k) {
         const std::size_t j1 = k / m;
         const std::size_t j2 = k % m;
+        // For a fixed k the valid tile columns form a prefix: the
+        // output column ox = tx*m + j2 grows monotonically with tx,
+        // so each (in, b, ty) row collapses to one row-kernel call
+        // over `cnt` contiguous source groups, strided into the
+        // output plane. The kernel is dispatched (AVX2 where the
+        // host has it) because this nest is too deep for the
+        // autovectorizer: inline lane loops stay scalar and the
+        // branchy ReLU costs more than the memory pass the fusion
+        // deletes.
+        const std::size_t cnt =
+            j2 < wo ? (wo - j2 + m - 1) / m : 0;
+        if (cnt == 0)
+            continue;
         for (std::size_t in = 0; in < n; ++in) {
             for (std::size_t b = 0; b < cb; ++b) {
                 T *plane =
@@ -277,19 +328,14 @@ winogradUntileBlocked(const Tensor<T> &Y, WinoVariant v, Tensor<T> &out)
                     Y.data() + ((k * cb + b) * tiles +
                                 in * tilesY * tilesX) *
                                    kB;
+                const T *bv = bias8 ? bias8 + b * kB : nullptr;
                 for (std::size_t ty = 0; ty < tilesY; ++ty) {
                     const std::size_t oy = ty * m + j1;
                     if (oy >= ho)
                         continue;
-                    T *drow = plane + oy * wo * kB;
+                    T *drow = plane + oy * wo * kB + j2 * kB;
                     const T *src = srcc + ty * tilesX * kB;
-                    for (std::size_t tx = 0; tx < tilesX; ++tx) {
-                        const std::size_t ox = tx * m + j2;
-                        if (ox < wo)
-                            std::copy(src + tx * kB,
-                                      src + tx * kB + kB,
-                                      drow + ox * kB);
-                    }
+                    epilogueRow(src, drow, m * kB, cnt, bv, relu);
                 }
             }
         }
@@ -301,7 +347,8 @@ conv2dWinogradBlockedInto(const TensorD &input,
                           const BlockedTapWeights &w, std::size_t pad,
                           TensorD &V, TensorD &U, TensorD &M,
                           TensorD &Y, TensorD &out,
-                          gemm::ParallelRunner *runner)
+                          gemm::ParallelRunner *runner,
+                          const double *bias8, bool relu)
 {
     const WinoDims d = winoDimsBlocked(input.shape(), w.variant, pad);
     twq_assert(input.dim(1) == w.cinb,
@@ -339,7 +386,7 @@ conv2dWinogradBlockedInto(const TensorD &input,
     }
     {
         TWQ_SPAN("winoc8.untile");
-        winogradUntileBlocked(Y, w.variant, out);
+        winogradUntileBlocked(Y, w.variant, out, bias8, relu);
     }
 }
 
@@ -354,16 +401,165 @@ conv2dWinogradBlocked(const TensorD &input, const BlockedTapWeights &w,
     return out;
 }
 
+BlockedTapWeightsF16
+blockedTapWeightsF16(const WinogradTapWeights<double> &w)
+{
+    const WinoSpec spec = winoSpec(w.variant);
+    const std::size_t tt = spec.t * spec.t;
+    BlockedTapWeightsF16 out;
+    out.variant = w.variant;
+    out.cout = w.cout;
+    out.cin = w.cin;
+    out.coutb = layoutBlocks(w.cout);
+    out.cinb = layoutBlocks(w.cin);
+    const std::size_t cinp = out.cinb * kB;
+    const std::size_t total = tt * out.coutb * cinp * kB;
+    // Re-block in fp32, then narrow the whole buffer in one pass so
+    // the stored half is a single round-to-nearest-even of the fp32
+    // coefficient (the zero padding narrows to +0).
+    std::vector<float> tmp(total, 0.0f);
+    for (std::size_t k = 0; k < tt; ++k) {
+        const double *src = w.tap(k);
+        float *dst = tmp.data() + k * out.coutb * cinp * kB;
+        for (std::size_t oc = 0; oc < w.cout; ++oc) {
+            const std::size_t co = oc / kB;
+            const std::size_t lo = oc % kB;
+            for (std::size_t ic = 0; ic < w.cin; ++ic)
+                dst[(co * cinp + ic) * kB + lo] =
+                    static_cast<float>(src[oc * w.cin + ic]);
+        }
+    }
+    out.taps.resize(total);
+    layout::f16Kernels().narrow(tmp.data(), out.taps.data(), total);
+    return out;
+}
+
+namespace
+{
+
+void
+winogradTapGemmBlockedF16(const BlockedTapWeightsF16 &w,
+                          const TensorF &U, TensorF &M,
+                          gemm::ParallelRunner *runner)
+{
+    const WinoSpec spec = winoSpec(w.variant);
+    const std::size_t tt = spec.t * spec.t;
+    twq_assert(U.rank() == 4 && U.dim(0) == tt &&
+                   U.dim(1) == w.cinb && U.dim(3) == kB,
+               "scatter buffer does not match blocked f16 weights");
+    const std::size_t tiles = U.dim(2);
+    const Shape want{tt, w.coutb, tiles, kB};
+    if (M.shape() != want)
+        M = TensorF(want);
+    const layout::F16Kernels &hk = layout::f16Kernels();
+    gemm::runTapColBlocks(
+        runner, tt, tiles, layout::kTapPr,
+        [&](std::size_t k, std::size_t j0, std::size_t jn,
+            std::size_t) {
+            hk.tapGemm(w.tap(k), U.data() + k * w.cinb * tiles * kB,
+                       M.data() + k * w.coutb * tiles * kB, w.coutb,
+                       w.cinb, tiles, j0, jn);
+        });
+}
+
+} // namespace
+
+void
+conv2dWinogradBlockedF16Into(const TensorF16 &input,
+                             const BlockedTapWeightsF16 &w,
+                             std::size_t pad, TensorF16 &V16,
+                             TensorF &V, TensorF &U, TensorF &M,
+                             TensorF &Y, TensorF &outF, TensorF16 &out,
+                             gemm::ParallelRunner *runner,
+                             const float *bias8, bool relu)
+{
+    const WinoDims d = winoDimsBlocked(input.shape(), w.variant, pad);
+    twq_assert(input.dim(1) == w.cinb,
+               "input channel blocks do not match prepared weights");
+    twq_assert(out.rank() == 5 && out.dim(0) == d.n &&
+                   out.dim(1) == w.coutb && out.dim(2) == d.ho &&
+                   out.dim(3) == d.wo && out.dim(4) == kB,
+               "output tensor not pre-shaped for the blocked launch");
+    const std::size_t tt = d.t * d.t;
+    const std::size_t mm = d.m * d.m;
+    const layout::F16Kernels &hk = layout::f16Kernels();
+
+    {
+        // Tile gather moves raw half bit patterns; the single bulk
+        // widen afterwards is the only storage->compute conversion on
+        // the activation side.
+        TWQ_SPAN("winoc8h.gather");
+        winogradGatherTilesBlocked(input, w.variant, pad, V16);
+        const Shape want{tt, w.cinb, d.tiles, kB};
+        if (V.shape() != want)
+            V = TensorF(want);
+        hk.widen(V16.data(), V.data(), V16.numel());
+    }
+    {
+        TWQ_SPAN("winoc8h.bkron");
+        const Shape uWant{tt, w.cinb, d.tiles, kB};
+        if (U.shape() != uWant)
+            U = TensorF(uWant);
+        hk.kron(winoInputKron<float>(w.variant), V.data(),
+                w.cinb * d.tiles * kB, U.data());
+    }
+    {
+        TWQ_SPAN("winoc8h.tapgemm");
+        winogradTapGemmBlockedF16(w, U, M, runner);
+    }
+    {
+        TWQ_SPAN("winoc8h.akron");
+        const Shape yWant{mm, w.coutb, d.tiles, kB};
+        if (Y.shape() != yWant)
+            Y = TensorF(yWant);
+        hk.kron(winoOutputKron<float>(w.variant), M.data(),
+                w.coutb * d.tiles * kB, Y.data());
+    }
+    {
+        // Untile (with the fused fp32 epilogue) into the fp32 staging
+        // plane, then narrow the whole activation in one pass: the
+        // stored half is a single RNE rounding of the epilogue result.
+        TWQ_SPAN("winoc8h.untile");
+        const Shape oWant{d.n, w.coutb, d.ho, d.wo, kB};
+        if (outF.shape() != oWant)
+            outF = TensorF(oWant);
+        winogradUntileBlocked(Y, w.variant, outF, bias8, relu);
+        hk.narrow(outF.data(), out.data(), outF.numel());
+    }
+}
+
+TensorF16
+conv2dWinogradBlockedF16(const TensorF16 &input,
+                         const BlockedTapWeightsF16 &w, std::size_t pad,
+                         const float *bias8, bool relu)
+{
+    const WinoDims d = winoDimsBlocked(input.shape(), w.variant, pad);
+    TensorF16 V16;
+    TensorF V, U, M, Y, outF;
+    TensorF16 out({d.n, w.coutb, d.ho, d.wo, kB});
+    conv2dWinogradBlockedF16Into(input, w, pad, V16, V, U, M, Y, outF,
+                                 out, nullptr, bias8, relu);
+    return out;
+}
+
 template void winogradGatherTilesBlocked(const Tensor<double> &,
                                          WinoVariant, std::size_t,
                                          Tensor<double> &);
 template void
 winogradGatherTilesBlocked(const Tensor<std::int32_t> &, WinoVariant,
                            std::size_t, Tensor<std::int32_t> &);
+template void
+winogradGatherTilesBlocked(const Tensor<std::uint16_t> &, WinoVariant,
+                           std::size_t, Tensor<std::uint16_t> &);
 template void winogradUntileBlocked(const Tensor<double> &, WinoVariant,
-                                    Tensor<double> &);
+                                    Tensor<double> &, const double *,
+                                    bool);
+template void winogradUntileBlocked(const Tensor<float> &, WinoVariant,
+                                    Tensor<float> &, const float *,
+                                    bool);
 template void winogradUntileBlocked(const Tensor<std::int64_t> &,
                                     WinoVariant,
-                                    Tensor<std::int64_t> &);
+                                    Tensor<std::int64_t> &,
+                                    const std::int64_t *, bool);
 
 } // namespace twq

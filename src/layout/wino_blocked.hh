@@ -34,6 +34,7 @@
 #define TWQ_LAYOUT_WINO_BLOCKED_HH
 
 #include "gemm/parallel.hh"
+#include "layout/kernels_f16.hh"
 #include "layout/layout.hh"
 #include "winograd/tiled.hh"
 
@@ -66,6 +67,34 @@ struct BlockedTapWeights
 
 /** Re-block tap-major weights (winograd/tiled.hh) for the kernel. */
 BlockedTapWeights blockedTapWeights(const WinogradTapWeights<double> &w);
+
+/**
+ * Half-precision storage variant of BlockedTapWeights: the same
+ * [t*t][coutb][cinb*8][8] blocking with every coefficient narrowed to
+ * IEEE binary16 (round-to-nearest-even). The tap-GEMM widens one
+ * 8-half vector per fused multiply-add, halving weight-side bandwidth.
+ */
+struct BlockedTapWeightsF16
+{
+    WinoVariant variant = WinoVariant::F2;
+    std::size_t cout = 0;  ///< logical output channels
+    std::size_t cin = 0;   ///< logical input channels
+    std::size_t coutb = 0; ///< output channel blocks
+    std::size_t cinb = 0;  ///< input channel blocks
+    /// [t*t][coutb][cinb*8][8] IEEE halves
+    std::vector<std::uint16_t> taps;
+
+    const std::uint16_t *
+    tap(std::size_t k) const
+    {
+        return taps.data() +
+               k * coutb * cinb * kLayoutBlock * kLayoutBlock;
+    }
+};
+
+/** Re-block tap-major weights and narrow them to binary16 storage. */
+BlockedTapWeightsF16
+blockedTapWeightsF16(const WinogradTapWeights<double> &w);
 
 /** Name of the blocked-layout kernel set in use ("avx2", ...). */
 const char *layoutKernelName();
@@ -110,10 +139,17 @@ void winogradTapGemmBlocked(const BlockedTapWeights &w,
  * rows Y ([m*m, Coutb, P, 8]) into the NCHWc8 output (edge tiles
  * clipped), 8-wide vectors at a time. `out` must be pre-shaped
  * [N, Coutb, Ho, Wo, 8].
+ *
+ * Optional fused epilogue: a non-null `bias8` ([Coutb*8], tail lanes
+ * zero) is added per output lane and `relu` clamps negatives to zero
+ * as each vector is written — the untile touches every output exactly
+ * once, so the epilogue costs no extra memory pass and is
+ * bit-identical to a separate bias/ReLU sweep.
  */
 template <typename T>
 void winogradUntileBlocked(const Tensor<T> &Y, WinoVariant v,
-                           Tensor<T> &out);
+                           Tensor<T> &out, const T *bias8 = nullptr,
+                           bool relu = false);
 
 /**
  * Full blocked-layout Winograd convolution with caller-provided
@@ -121,17 +157,48 @@ void winogradUntileBlocked(const Tensor<T> &Y, WinoVariant v,
  * conv2dWinogradTiledInto: gather, input kron, per-tap GEMM, output
  * kron, untile — all on NCHWc8 operands. `out` must be pre-shaped
  * [N, Coutb, Ho, Wo, 8]; the buffers are reshaped as needed.
+ * `bias8` / `relu` are the untile's fused epilogue (see
+ * winogradUntileBlocked).
  */
 void conv2dWinogradBlockedInto(const TensorD &input,
                                const BlockedTapWeights &w,
                                std::size_t pad, TensorD &V, TensorD &U,
                                TensorD &M, TensorD &Y, TensorD &out,
-                               gemm::ParallelRunner *runner = nullptr);
+                               gemm::ParallelRunner *runner = nullptr,
+                               const double *bias8 = nullptr,
+                               bool relu = false);
 
 /** Convenience wrapper allocating its own buffers. */
 TensorD conv2dWinogradBlocked(const TensorD &input,
                               const BlockedTapWeights &w,
                               std::size_t pad = 1);
+
+/**
+ * Half-storage blocked Winograd convolution: NCHWc8 binary16
+ * activations in and out, binary16 weights, all arithmetic in fp32.
+ *
+ *   input [N, Cinb, H, W, 8] halves  -> gather -> V16 (halves)
+ *   V16 -widen-> V (fp32) -B kron-> U -tap GEMM-> M -A kron-> Y
+ *   Y -untile+epilogue-> outF (fp32 NCHWc8) -narrow-> out (halves)
+ *
+ * The fused bias/ReLU epilogue is applied in fp32 before the final
+ * narrowing, so the stored half is a single rounding of the exact
+ * fp32 epilogue result. `out` must be pre-shaped
+ * [N, Coutb, Ho, Wo, 8]; buffers are reshaped as needed.
+ */
+void conv2dWinogradBlockedF16Into(
+    const TensorF16 &input, const BlockedTapWeightsF16 &w,
+    std::size_t pad, TensorF16 &V16, TensorF &V, TensorF &U,
+    TensorF &M, TensorF &Y, TensorF &outF, TensorF16 &out,
+    gemm::ParallelRunner *runner = nullptr,
+    const float *bias8 = nullptr, bool relu = false);
+
+/** Convenience wrapper allocating its own buffers. */
+TensorF16 conv2dWinogradBlockedF16(const TensorF16 &input,
+                                   const BlockedTapWeightsF16 &w,
+                                   std::size_t pad = 1,
+                                   const float *bias8 = nullptr,
+                                   bool relu = false);
 
 extern template void winogradGatherTilesBlocked(const Tensor<double> &,
                                                 WinoVariant,
@@ -140,12 +207,21 @@ extern template void winogradGatherTilesBlocked(const Tensor<double> &,
 extern template void
 winogradGatherTilesBlocked(const Tensor<std::int32_t> &, WinoVariant,
                            std::size_t, Tensor<std::int32_t> &);
+extern template void
+winogradGatherTilesBlocked(const Tensor<std::uint16_t> &, WinoVariant,
+                           std::size_t, Tensor<std::uint16_t> &);
 extern template void winogradUntileBlocked(const Tensor<double> &,
                                            WinoVariant,
-                                           Tensor<double> &);
+                                           Tensor<double> &,
+                                           const double *, bool);
+extern template void winogradUntileBlocked(const Tensor<float> &,
+                                           WinoVariant,
+                                           Tensor<float> &,
+                                           const float *, bool);
 extern template void
 winogradUntileBlocked(const Tensor<std::int64_t> &, WinoVariant,
-                      Tensor<std::int64_t> &);
+                      Tensor<std::int64_t> &, const std::int64_t *,
+                      bool);
 
 } // namespace twq
 

@@ -6,6 +6,8 @@ namespace twq
 double
 ConvLayerDesc::macs() const
 {
+    if (op != LayerOp::Conv)
+        return 0.0; // element-wise post-ops contribute no MACs
     return static_cast<double>(repeat) * static_cast<double>(cout) *
            static_cast<double>(cin) * static_cast<double>(kernel) *
            static_cast<double>(kernel) *
@@ -327,6 +329,53 @@ microServeNet(std::size_t res, std::size_t width)
     // The strided layer outputs ceil(res/2) under "same" semantics.
     n.layers.push_back(
         conv("head", 2 * width, 2 * width, 1, 1, (res + 1) / 2));
+    return n;
+}
+
+namespace
+{
+
+ConvLayerDesc
+postOp(LayerOp op, std::string name, std::size_t c, std::size_t hw)
+{
+    ConvLayerDesc d;
+    d.op = op;
+    d.name = std::move(name);
+    d.cin = c;
+    d.cout = c;
+    d.kernel = 1;
+    d.stride = 1;
+    d.height = hw;
+    d.width = hw;
+    return d;
+}
+
+} // namespace
+
+NetworkDesc
+microServeNetFused(std::size_t res, std::size_t width)
+{
+    NetworkDesc n;
+    n.name = "MicroServeFused";
+    n.inputRes = res;
+    const std::size_t half = (res + 1) / 2;
+    auto post = [&](const std::string &stem, std::size_t c,
+                    std::size_t hw) {
+        n.layers.push_back(postOp(LayerOp::Bias, stem + ".bias", c, hw));
+        n.layers.push_back(postOp(LayerOp::Relu, stem + ".relu", c, hw));
+    };
+    n.layers.push_back(conv("stem", 3, width, 3, 1, res));
+    post("stem", width, res);
+    // `repeat` stays 1 here: each body conv needs its own post-op
+    // nodes, so the chain is written out explicitly.
+    n.layers.push_back(conv("body.0", width, width, 3, 1, res));
+    post("body.0", width, res);
+    n.layers.push_back(conv("body.1", width, width, 3, 1, res));
+    post("body.1", width, res);
+    n.layers.push_back(conv("down", width, 2 * width, 3, 2, res));
+    post("down", 2 * width, half);
+    n.layers.push_back(conv("head", 2 * width, 2 * width, 1, 1, half));
+    post("head", 2 * width, half);
     return n;
 }
 

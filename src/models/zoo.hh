@@ -20,10 +20,26 @@
 namespace twq
 {
 
-/** Shape of one convolution layer instance. */
+/**
+ * What a network node computes. Historically every node was a
+ * convolution; Bias and Relu nodes describe the element-wise
+ * post-operations that follow a conv in real networks. The session's
+ * fusion planner (xform/fuse.hh) collapses conv→bias→relu runs into
+ * one fused layer; unfused they execute as separate element-wise
+ * passes.
+ */
+enum class LayerOp
+{
+    Conv, ///< convolution (all geometry fields meaningful)
+    Bias, ///< per-channel bias add (cin == cout, geometry pass-through)
+    Relu, ///< element-wise max(x, 0) (cin == cout, pass-through)
+};
+
+/** Shape of one network layer instance (conv or post-op node). */
 struct ConvLayerDesc
 {
     std::string name;
+    LayerOp op = LayerOp::Conv;
     std::size_t cin = 0;
     std::size_t cout = 0;
     std::size_t kernel = 3;
@@ -32,18 +48,29 @@ struct ConvLayerDesc
     std::size_t width = 0;   ///< input width at this layer
     std::size_t repeat = 1;  ///< number of identical instances
 
-    /** Output spatial size ("same" padding semantics). */
-    std::size_t outHeight() const { return (height + stride - 1) / stride; }
-    std::size_t outWidth() const { return (width + stride - 1) / stride; }
+    /** Output spatial size ("same" padding semantics; post-op nodes
+     * pass geometry through unchanged). */
+    std::size_t
+    outHeight() const
+    {
+        return op == LayerOp::Conv ? (height + stride - 1) / stride
+                                   : height;
+    }
+    std::size_t
+    outWidth() const
+    {
+        return op == LayerOp::Conv ? (width + stride - 1) / stride
+                                   : width;
+    }
 
-    /** MACs of one instance for one image. */
+    /** MACs of one instance for one image (0 for post-op nodes). */
     double macs() const;
 
-    /** Eligible for the Winograd path (3x3, stride 1)? */
+    /** Eligible for the Winograd path (3x3, stride 1 conv)? */
     bool
     winogradEligible() const
     {
-        return kernel == 3 && stride == 1;
+        return op == LayerOp::Conv && kernel == 3 && stride == 1;
     }
 };
 
@@ -91,6 +118,16 @@ std::vector<NetworkDesc> tableSevenNetworks();
  * resolution of layer i+1.
  */
 NetworkDesc microServeNet(std::size_t res = 16, std::size_t width = 8);
+
+/**
+ * microServeNet with explicit Bias and Relu nodes after every conv —
+ * the dataflow shape real networks present to the session's epilogue
+ * fusion planner (xform/fuse.hh). With fusion on, the chain collapses
+ * back to microServeNet's conv count; with fusion off, the post-ops
+ * run as separate element-wise passes (the bit-identity baseline).
+ */
+NetworkDesc microServeNetFused(std::size_t res = 16,
+                               std::size_t width = 8);
 
 } // namespace twq
 

@@ -288,7 +288,8 @@ BlockedIntWinograd::forwardInto(const TensorD &input, TensorI32 &xq,
                                 TensorI16 &U16, TensorI8 &U8,
                                 TensorI32 &M, TensorD &Md, TensorD &Y,
                                 TensorD &out,
-                                gemm::ParallelRunner *runner) const
+                                gemm::ParallelRunner *runner,
+                                const double *bias8, bool relu) const
 {
     const IntWinogradConfig &cfg = conv_->config();
     const WinoDims d =
@@ -335,7 +336,7 @@ BlockedIntWinograd::forwardInto(const TensorD &input, TensorI32 &xq,
     }
     {
         TWQ_SPAN("winoc8i.untile");
-        winogradUntileBlocked(Y, cfg.variant, out);
+        winogradUntileBlocked(Y, cfg.variant, out, bias8, relu);
     }
 }
 

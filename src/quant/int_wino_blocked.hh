@@ -75,13 +75,17 @@ class BlockedIntWinograd
      * depend on batch size or sharding). Tolerance-equal to
      * IntWinogradConv::forward on the equivalent NCHW input (exact
      * integer stages; the FP back-transform differs in FMA
-     * contraction order, like the FP blocked pipeline).
+     * contraction order, like the FP blocked pipeline). A non-null
+     * `bias8` ([Coutb*8], tail lanes zero) and `relu` are the fused
+     * FP epilogue of the blocked untile (winogradUntileBlocked).
      */
     void forwardInto(const TensorD &input, TensorI32 &xq, TensorI32 &V,
                      TensorI32 &U32, TensorI16 &U16, TensorI8 &U8,
                      TensorI32 &M, TensorD &Md, TensorD &Y,
                      TensorD &out,
-                     gemm::ParallelRunner *runner = nullptr) const;
+                     gemm::ParallelRunner *runner = nullptr,
+                     const double *bias8 = nullptr,
+                     bool relu = false) const;
 
     /** Convenience wrapper allocating its own buffers. */
     TensorD forward(const TensorD &input) const;

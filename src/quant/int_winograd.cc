@@ -234,7 +234,8 @@ void
 IntWinogradConv::forwardInto(const TensorD &input, TensorI64 &xq,
                              TensorI64 &V, TensorI64 &U, TensorI64 &M,
                              TensorD &out, gemm::ParallelRunner *runner,
-                             gemm::PackPool *packs) const
+                             gemm::PackPool *packs, const double *bias,
+                             bool relu) const
 {
     twq_assert(input.rank() == 4 && input.dim(1) == cin_,
                "channel mismatch");
@@ -263,6 +264,7 @@ IntWinogradConv::forwardInto(const TensorD &input, TensorI64 &xq,
         for (std::size_t oc = 0; oc < cout_; ++oc) {
             double *plane =
                 out.data() + (in * cout_ + oc) * d.ho * d.wo;
+            const double bc = bias ? bias[oc] : 0.0;
             for (std::size_t ty = 0; ty < d.tilesY; ++ty) {
                 for (std::size_t tx = 0; tx < d.tilesX; ++tx) {
                     const std::size_t p =
@@ -283,8 +285,14 @@ IntWinogradConv::forwardInto(const TensorD &input, TensorI64 &xq,
                     for (std::size_t yy = 0; yy < ylim; ++yy) {
                         double *dst =
                             plane + (ty * d.m + yy) * d.wo + tx * d.m;
-                        for (std::size_t xx = 0; xx < xlim; ++xx)
-                            dst[xx] = res[yy * d.m + xx] * sx_;
+                        for (std::size_t xx = 0; xx < xlim; ++xx) {
+                            double v = res[yy * d.m + xx] * sx_;
+                            if (bias)
+                                v += bc;
+                            if (relu && v < 0.0)
+                                v = 0.0;
+                            dst[xx] = v;
+                        }
                     }
                 }
             }

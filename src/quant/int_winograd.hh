@@ -92,11 +92,16 @@ class IntWinogradConv
      * (pack buffers drawn from `packs` when provided); integer
      * accumulation is exact, so the sharded result stays
      * bit-identical to serial execution and to forwardReference().
+     * A non-null `bias` ([Cout]) and `relu` are a fused FP epilogue
+     * applied at the dequantized output write — bit-identical to a
+     * separate bias/ReLU sweep over the output.
      */
     void forwardInto(const TensorD &input, TensorI64 &xq, TensorI64 &V,
                      TensorI64 &U, TensorI64 &M, TensorD &out,
                      gemm::ParallelRunner *runner = nullptr,
-                     gemm::PackPool *packs = nullptr) const;
+                     gemm::PackPool *packs = nullptr,
+                     const double *bias = nullptr,
+                     bool relu = false) const;
 
     /**
      * Tile-at-a-time reference implementation (the original

@@ -83,6 +83,20 @@ class ScratchArena
         return shaped(i16slots_, slot, shape);
     }
 
+    /** Same contract for fp32 tensors (f16 engine compute planes). */
+    TensorF &
+    tensorF(Slot slot, const Shape &shape)
+    {
+        return shaped(fslots_, slot, shape);
+    }
+
+    /** Same contract for binary16 tensors (f16 storage activations). */
+    TensorF16 &
+    tensorF16(Slot slot, const Shape &shape)
+    {
+        return shaped(f16slots_, slot, shape);
+    }
+
     /** Slots holding live storage in this arena (any type). */
     std::size_t
     slotCount() const
@@ -97,6 +111,10 @@ class ScratchArena
         for (const TensorI32 &t : i32slots_)
             live += t.numel() > 0;
         for (const TensorI16 &t : i16slots_)
+            live += t.numel() > 0;
+        for (const TensorF &t : fslots_)
+            live += t.numel() > 0;
+        for (const TensorF16 &t : f16slots_)
             live += t.numel() > 0;
         return live;
     }
@@ -127,6 +145,8 @@ class ScratchArena
     std::deque<TensorI8> i8slots_;
     std::deque<TensorI32> i32slots_;
     std::deque<TensorI16> i16slots_;
+    std::deque<TensorF> fslots_;
+    std::deque<TensorF16> f16slots_;
 };
 
 } // namespace twq

@@ -8,6 +8,7 @@
 
 #include "common/logging.hh"
 #include "gemm/gemm.hh"
+#include "layout/kernels.hh"
 #include "layout/wino_blocked.hh"
 #include "obs/trace.hh"
 #include "quant/calibration.hh"
@@ -26,6 +27,35 @@ ScratchArena::Slot
 layerSlot(const char *what, const std::string &layer)
 {
     return ScratchArena::resolve(std::string(what) + ":" + layer);
+}
+
+/**
+ * Validate a fused epilogue against the layer and return its bias
+ * (empty = none). Central so every backend enforces the same
+ * contract: a bias must carry exactly one addend per output channel.
+ */
+std::vector<double>
+epilogueBias(const Epilogue &e, const ConvLayerDesc &desc)
+{
+    if (e.bias.empty())
+        return {};
+    twq_assert(e.bias.size() == desc.cout, "epilogue bias size ",
+               e.bias.size(), " != cout ", desc.cout, " on layer ",
+               desc.name);
+    return e.bias;
+}
+
+/** The same bias re-laid per NCHWc8 lane: [coutb*8], tail zero. */
+template <typename T>
+std::vector<T>
+blockedBias(const std::vector<double> &bias)
+{
+    if (bias.empty())
+        return {};
+    std::vector<T> b8(layoutBlocks(bias.size()) * kLayoutBlock, T{});
+    for (std::size_t i = 0; i < bias.size(); ++i)
+        b8[i] = static_cast<T>(bias[i]);
+    return b8;
 }
 
 // GEMM pack buffers are shape-independent (gemm::packSize() elements),
@@ -61,6 +91,8 @@ struct Im2colPrepared : PreparedLayer
     TensorD wmat; ///< [Cout, Cin*K*K] packed GEMM operand
     ConvParams params;
     ScratchArena::Slot cols = 0; ///< column-buffer slot
+    std::vector<double> bias;    ///< fused epilogue; empty = none
+    bool relu = false;
 };
 
 class Im2colBackend : public ConvBackend
@@ -82,6 +114,8 @@ class Im2colBackend : public ConvBackend
         prep->wmat = packConvWeights(weights);
         prep->params = build.params;
         prep->cols = layerSlot("im2col.cols", desc.name);
+        prep->bias = epilogueBias(build.epilogue, desc);
+        prep->relu = build.epilogue.relu;
         return prep;
     }
 
@@ -110,7 +144,9 @@ class Im2colBackend : public ConvBackend
                             static_cast<double>(spatial);
         TWQ_SPAN("im2col.conv");
         conv2dIm2colPackedInto(input, p.wmat, p.params, cols, out,
-                               ctx.runnerFor(macs), ctx.packs);
+                               ctx.runnerFor(macs), ctx.packs,
+                               p.bias.empty() ? nullptr : p.bias.data(),
+                               p.relu);
     }
 };
 
@@ -125,6 +161,8 @@ struct WinogradFp32Prepared : PreparedLayer
     ScratchArena::Slot scatter = 0; ///< U buffer slot
     ScratchArena::Slot gemm = 0;    ///< M buffer slot
     ScratchArena::Slot back = 0;    ///< Y back-transform slot
+    std::vector<double> bias;       ///< fused epilogue; empty = none
+    bool relu = false;
 };
 
 class WinogradFp32Backend : public ConvBackend
@@ -153,6 +191,8 @@ class WinogradFp32Backend : public ConvBackend
         prep->scatter = layerSlot("wino.U", desc.name);
         prep->gemm = layerSlot("wino.M", desc.name);
         prep->back = layerSlot("wino.Y", desc.name);
+        prep->bias = epilogueBias(build.epilogue, desc);
+        prep->relu = build.epilogue.relu;
         return prep;
     }
 
@@ -187,7 +227,9 @@ class WinogradFp32Backend : public ConvBackend
                             static_cast<double>(p.weights.cin) *
                             static_cast<double>(d.tiles);
         conv2dWinogradTiledInto(input, p.weights, p.pad, V, U, M, Y,
-                                out, ctx.runnerFor(macs), ctx.packs);
+                                out, ctx.runnerFor(macs), ctx.packs,
+                                p.bias.empty() ? nullptr : p.bias.data(),
+                                p.relu);
     }
 };
 
@@ -202,6 +244,8 @@ struct WinogradInt8Prepared : PreparedLayer
     ScratchArena::Slot tiles = 0;     ///< int64 raw-tile slot
     ScratchArena::Slot scatter = 0;   ///< int64 U buffer slot
     ScratchArena::Slot gemm = 0;      ///< int64 M buffer slot
+    std::vector<double> bias;         ///< fused epilogue; empty = none
+    bool relu = false;
 };
 
 class WinogradInt8Backend : public ConvBackend
@@ -234,6 +278,8 @@ class WinogradInt8Backend : public ConvBackend
         prep->tiles = layerSlot("wino8.V", desc.name);
         prep->scatter = layerSlot("wino8.U", desc.name);
         prep->gemm = layerSlot("wino8.M", desc.name);
+        prep->bias = epilogueBias(build.epilogue, desc);
+        prep->relu = build.epilogue.relu;
         return prep;
     }
 
@@ -268,7 +314,9 @@ class WinogradInt8Backend : public ConvBackend
                             static_cast<double>(p.conv->cin()) *
                             static_cast<double>(d.tiles);
         p.conv->forwardInto(input, xq, V, U, M, out,
-                            ctx.runnerFor(macs), ctx.packs);
+                            ctx.runnerFor(macs), ctx.packs,
+                            p.bias.empty() ? nullptr : p.bias.data(),
+                            p.relu);
     }
 };
 
@@ -283,6 +331,8 @@ struct WinogradBlockedPrepared : PreparedLayer
     ScratchArena::Slot scatter = 0; ///< U buffer slot
     ScratchArena::Slot gemm = 0;    ///< M buffer slot
     ScratchArena::Slot back = 0;    ///< Y back-transform slot
+    std::vector<double> bias8;      ///< per-lane bias [coutb*8]; empty = none
+    bool relu = false;
 };
 
 /**
@@ -334,6 +384,9 @@ class WinogradBlockedBackend : public ConvBackend
         prep->scatter = layerSlot("winoc8.U", desc.name);
         prep->gemm = layerSlot("winoc8.M", desc.name);
         prep->back = layerSlot("winoc8.Y", desc.name);
+        prep->bias8 = blockedBias<double>(
+            epilogueBias(build.epilogue, desc));
+        prep->relu = build.epilogue.relu;
         return prep;
     }
 
@@ -377,8 +430,10 @@ class WinogradBlockedBackend : public ConvBackend
             static_cast<double>(p.weights.coutb * kLayoutBlock) *
             static_cast<double>(p.weights.cinb * kLayoutBlock) *
             static_cast<double>(d.tiles);
-        conv2dWinogradBlockedInto(input, p.weights, p.pad, V, U, M, Y,
-                                  out, ctx.runnerFor(macs));
+        conv2dWinogradBlockedInto(
+            input, p.weights, p.pad, V, U, M, Y, out,
+            ctx.runnerFor(macs),
+            p.bias8.empty() ? nullptr : p.bias8.data(), p.relu);
     }
 };
 
@@ -400,6 +455,8 @@ struct WinogradBlockedInt8Prepared : PreparedLayer
     ScratchArena::Slot gemm = 0;      ///< int32 M buffer slot
     ScratchArena::Slot dequant = 0;   ///< f64 rescaled-M slot
     ScratchArena::Slot back = 0;      ///< f64 Y back-transform slot
+    std::vector<double> bias8; ///< per-lane bias [coutb*8]; empty = none
+    bool relu = false;
 };
 
 /**
@@ -464,6 +521,9 @@ class WinogradBlockedInt8Backend : public ConvBackend
         prep->gemm = layerSlot("winoc8i.M", desc.name);
         prep->dequant = layerSlot("winoc8i.Md", desc.name);
         prep->back = layerSlot("winoc8i.Y", desc.name);
+        prep->bias8 = blockedBias<double>(
+            epilogueBias(build.epilogue, desc));
+        prep->relu = build.epilogue.relu;
         return prep;
     }
 
@@ -514,8 +574,160 @@ class WinogradBlockedInt8Backend : public ConvBackend
             static_cast<double>(p.blocked->coutb() * kLayoutBlock) *
             static_cast<double>(p.blocked->cinb() * kLayoutBlock) *
             static_cast<double>(d.tiles);
-        p.blocked->forwardInto(input, xq, V, U32, U16, U8, M, Md, Y,
-                               out, ctx.runnerFor(macs));
+        p.blocked->forwardInto(
+            input, xq, V, U32, U16, U8, M, Md, Y, out,
+            ctx.runnerFor(macs),
+            p.bias8.empty() ? nullptr : p.bias8.data(), p.relu);
+    }
+};
+
+// --------------------------------------- binary16 blocked Winograd
+
+struct WinogradBlockedF16Prepared : PreparedLayer
+{
+    /// c-blocked tap weights narrowed to binary16 storage.
+    BlockedTapWeightsF16 weights;
+    std::size_t pad = 1;
+    ScratchArena::Slot tiles16 = 0; ///< V16 half raw-tile slot
+    ScratchArena::Slot tiles = 0;   ///< V fp32 widened-tile slot
+    ScratchArena::Slot scatter = 0; ///< U fp32 buffer slot
+    ScratchArena::Slot gemm = 0;    ///< M fp32 buffer slot
+    ScratchArena::Slot back = 0;    ///< Y fp32 back-transform slot
+    ScratchArena::Slot outf = 0;    ///< fp32 pre-narrow output slot
+    ScratchArena::Slot inHalf = 0;  ///< half input slot (run() seam)
+    ScratchArena::Slot outHalf = 0; ///< half output slot (run() seam)
+    std::vector<float> bias8; ///< per-lane bias [coutb*8]; empty = none
+    bool relu = false;
+};
+
+/**
+ * Half-storage blocked Winograd (layout/wino_blocked.hh): weights and
+ * inter-layer activations live as IEEE binary16 in NCHWc8, halving
+ * both bandwidths; all arithmetic runs in fp32. The hot path is
+ * runF16(); run() exists for the session's probe and conversion seams
+ * and pays an explicit double<->half conversion on either side.
+ */
+class WinogradBlockedF16Backend : public ConvBackend
+{
+  public:
+    ConvEngine
+    kind() const override
+    {
+        return ConvEngine::WinogradBlockedF16;
+    }
+
+    bool
+    supports(const ConvLayerDesc &desc) const override
+    {
+        return desc.winogradEligible();
+    }
+
+    ActLayout
+    inputLayout() const override
+    {
+        return ActLayout::NCHWc8;
+    }
+
+    ActLayout
+    outputLayout() const override
+    {
+        return ActLayout::NCHWc8;
+    }
+
+    bool
+    f16Storage() const override
+    {
+        return true;
+    }
+
+    std::shared_ptr<const PreparedLayer>
+    prepare(const ConvLayerDesc &desc, const TensorD &weights,
+            const LayerBuild &build) const override
+    {
+        twq_assert(supports(desc),
+                   "winograd-blocked-f16 backend on ineligible layer ",
+                   desc.name);
+        auto prep = std::make_shared<WinogradBlockedF16Prepared>();
+        prep->weights = blockedTapWeightsF16(
+            winogradPrepareTapWeights(weights, build.variant));
+        prep->pad = build.params.pad;
+        prep->tiles16 = layerSlot("winoc8h.V16", desc.name);
+        prep->tiles = layerSlot("winoc8h.V", desc.name);
+        prep->scatter = layerSlot("winoc8h.U", desc.name);
+        prep->gemm = layerSlot("winoc8h.M", desc.name);
+        prep->back = layerSlot("winoc8h.Y", desc.name);
+        prep->outf = layerSlot("winoc8h.outF", desc.name);
+        prep->inHalf = layerSlot("winoc8h.xh", desc.name);
+        prep->outHalf = layerSlot("winoc8h.yh", desc.name);
+        prep->bias8 = blockedBias<float>(
+            epilogueBias(build.epilogue, desc));
+        prep->relu = build.epilogue.relu;
+        return prep;
+    }
+
+    Shape
+    outputShape(const PreparedLayer &prep,
+                const Shape &input) const override
+    {
+        const auto &p =
+            static_cast<const WinogradBlockedF16Prepared &>(prep);
+        twq_assert(input.size() == 5 && input[4] == kLayoutBlock,
+                   "winograd-blocked-f16 backend expects NCHWc8 "
+                   "input");
+        const ConvParams cp{3, 1, p.pad};
+        return {input[0], p.weights.coutb, cp.outSize(input[2]),
+                cp.outSize(input[3]), kLayoutBlock};
+    }
+
+    void
+    runF16(const PreparedLayer &prep, const TensorF16 &input,
+           ScratchArena &scratch, TensorF16 &out,
+           const RunContext &ctx) const override
+    {
+        const auto &p =
+            static_cast<const WinogradBlockedF16Prepared &>(prep);
+        const WinoDims d = winoDimsBlocked(
+            input.shape(), p.weights.variant, p.pad);
+        const std::size_t tt = d.t * d.t;
+        const Shape vshape{tt, p.weights.cinb, d.tiles, kLayoutBlock};
+        TensorF16 &V16 = scratch.tensorF16(p.tiles16, vshape);
+        TensorF &V = scratch.tensorF(p.tiles, vshape);
+        TensorF &U = scratch.tensorF(p.scatter, vshape);
+        TensorF &M = scratch.tensorF(
+            p.gemm, {tt, p.weights.coutb, d.tiles, kLayoutBlock});
+        TensorF &Y = scratch.tensorF(
+            p.back,
+            {d.m * d.m, p.weights.coutb, d.tiles, kLayoutBlock});
+        TensorF &outF = scratch.tensorF(p.outf, out.shape());
+        // Physical MACs: the padded lanes compute too.
+        const double macs =
+            static_cast<double>(tt) *
+            static_cast<double>(p.weights.coutb * kLayoutBlock) *
+            static_cast<double>(p.weights.cinb * kLayoutBlock) *
+            static_cast<double>(d.tiles);
+        conv2dWinogradBlockedF16Into(
+            input, p.weights, p.pad, V16, V, U, M, Y, outF, out,
+            ctx.runnerFor(macs),
+            p.bias8.empty() ? nullptr : p.bias8.data(), p.relu);
+    }
+
+    void
+    run(const PreparedLayer &prep, const TensorD &input,
+        ScratchArena &scratch, TensorD &out,
+        const RunContext &ctx) const override
+    {
+        // Conversion seam: narrow the double input to storage halves,
+        // drive the binary16 hot path, widen the result back. The
+        // stored-half activations are exactly what a chained f16 run
+        // would see, so probe accuracy measures the real engine.
+        const auto &p =
+            static_cast<const WinogradBlockedF16Prepared &>(prep);
+        TensorF16 &xh = scratch.tensorF16(p.inHalf, input.shape());
+        tensorDToF16(input, xh);
+        TensorF16 &yh = scratch.tensorF16(
+            p.outHalf, outputShape(prep, input.shape()));
+        runF16(prep, xh, scratch, yh, ctx);
+        tensorF16ToD(yh, out);
     }
 };
 
@@ -526,11 +738,17 @@ struct Im2colInt8Prepared : PreparedLayer
     TensorI8 wq;             ///< [Cout, Cin*K*K] int8 GEMM operand
     std::vector<double> sw;  ///< per-output-channel weight scales
     double sx = 1.0;         ///< activation scale (calibrated)
+    bool pow2Sx = false; ///< sx is a power of two (exact reciprocal)
+    bool pairSafe = false; ///< weights pass gemm::gemmS8PairSafe
     int bits = 8;
     ConvParams params;
     ScratchArena::Slot quantized = 0; ///< int8 input slot
     ScratchArena::Slot cols = 0;      ///< int8 column-buffer slot
     ScratchArena::Slot acc = 0;       ///< int32 accumulator slot
+    ScratchArena::Slot requant = 0;   ///< u8 requantized-output slot
+    std::vector<double> bias;         ///< fused epilogue; empty = none
+    bool relu = false;
+    double requantScale = 0.0; ///< >0: also emit u8 at the same write
 };
 
 /**
@@ -567,6 +785,10 @@ class Im2colInt8Backend : public ConvBackend
         prep->quantized = layerSlot("im8.xq", desc.name);
         prep->cols = layerSlot("im8.cols", desc.name);
         prep->acc = layerSlot("im8.acc", desc.name);
+        prep->requant = layerSlot("im8.requant", desc.name);
+        prep->bias = epilogueBias(build.epilogue, desc);
+        prep->relu = build.epilogue.relu;
+        prep->requantScale = build.epilogue.requantScale;
 
         // Activation scale from the layer's calibration activations;
         // shared with the layer's other quantized candidates when the
@@ -582,6 +804,11 @@ class Im2colInt8Backend : public ConvBackend
         prep->sx = xcal.scale(prep->bits);
         if (build.quant.pow2Scales)
             prep->sx = pow2Ceil(prep->sx);
+        // A power-of-two scale has an exact reciprocal, so the
+        // vectorized multiply-by-reciprocal quantization is
+        // bit-identical to the scalar divide.
+        int e = 0;
+        prep->pow2Sx = std::frexp(prep->sx, &e) == 0.5;
 
         // Per-output-channel weight quantization on the packed
         // [Cout, Cin*K*K] layout.
@@ -602,6 +829,11 @@ class Im2colInt8Backend : public ConvBackend
                 prep->wq[oc * ckk + i] = static_cast<std::int8_t>(
                     quantize(wmat[oc * ckk + i], s, prep->bits));
         }
+        // One scan of the static weights decides whether the
+        // vpmaddubsw GEMM fast path is provably saturation-free for
+        // this layer (valid for any activations and row sub-block).
+        prep->pairSafe =
+            gemm::gemmS8PairSafe(prep->wq.data(), cout, ckk);
         return prep;
     }
 
@@ -630,9 +862,19 @@ class Im2colInt8Backend : public ConvBackend
         TensorI8 &xq = scratch.tensorI8(p.quantized, input.shape());
         {
             TWQ_SPAN("im8.quantize");
-            for (std::size_t i = 0; i < input.numel(); ++i)
-                xq[i] = static_cast<std::int8_t>(
-                    quantize(input[i], p.sx, p.bits));
+            if (p.pow2Sx) {
+                // Vectorized narrowing quantization (exact for pow2
+                // scales — see layout::QuantizeI8Fn).
+                layout::kernels().quantizeI8(
+                    input.data(), 1.0 / p.sx,
+                    static_cast<double>(quantMin(p.bits)),
+                    static_cast<double>(quantMax(p.bits)), xq.data(),
+                    input.numel());
+            } else {
+                for (std::size_t i = 0; i < input.numel(); ++i)
+                    xq[i] = static_cast<std::int8_t>(
+                        quantize(input[i], p.sx, p.bits));
+            }
         }
 
         TensorI8 &cols = scratch.tensorI8(p.cols, {ckk, spatial});
@@ -655,29 +897,71 @@ class Im2colInt8Backend : public ConvBackend
                     runner, cout, gemm::kMr,
                     [&](std::size_t r0, std::size_t rows,
                         std::size_t lane) {
-                        gemm::gemmS8S32(
-                            p.wq.data() + r0 * ckk, cols.data(),
-                            acc.data() + r0 * spatial, rows, ckk,
-                            spatial,
-                            gemm::lanePack<std::int8_t>(packs, lane));
+                        const std::int8_t *w0 =
+                            p.wq.data() + r0 * ckk;
+                        std::int32_t *c0 =
+                            acc.data() + r0 * spatial;
+                        std::int8_t *pk =
+                            gemm::lanePack<std::int8_t>(packs, lane);
+                        if (p.pairSafe)
+                            gemm::gemmS8S32Pair(w0, cols.data(), c0,
+                                                rows, ckk, spatial,
+                                                pk);
+                        else
+                            gemm::gemmS8S32(w0, cols.data(), c0,
+                                            rows, ckk, spatial, pk);
                     });
             }
 
-            // Dequantize into the FP output plane: y = acc * sx * sw.
+            // Dequantize into the FP output plane — y = acc * sx * sw
+            // — with the fused epilogue folded into the same write:
+            // bias add, ReLU, and (requantScale > 0) the requantized
+            // u8 image, all without a second pass over the plane.
             TWQ_SPAN("im8.dequant");
             double *dst = out.data() + in * cout * spatial;
+            std::uint8_t *u8dst = nullptr;
+            if (p.requantScale > 0.0) {
+                TensorI8 &rq = scratch.tensorI8(
+                    p.requant, {n, cout, ho, wo});
+                u8dst = reinterpret_cast<std::uint8_t *>(rq.data()) +
+                        in * cout * spatial;
+            }
             for (std::size_t oc = 0; oc < cout; ++oc) {
                 const double s = p.sx * p.sw[oc];
+                const double bc = p.bias.empty() ? 0.0 : p.bias[oc];
+                const bool hasBias = !p.bias.empty();
                 const std::int32_t *src = acc.data() + oc * spatial;
                 double *row = dst + oc * spatial;
-                for (std::size_t i = 0; i < spatial; ++i)
-                    row[i] = static_cast<double>(src[i]) * s;
+                std::uint8_t *u8row =
+                    u8dst ? u8dst + oc * spatial : nullptr;
+                for (std::size_t i = 0; i < spatial; ++i) {
+                    double v = static_cast<double>(src[i]) * s;
+                    if (hasBias)
+                        v += bc;
+                    if (p.relu && v < 0.0)
+                        v = 0.0;
+                    row[i] = v;
+                    if (u8row) {
+                        double q = std::nearbyint(v / p.requantScale);
+                        q = std::min(255.0, std::max(0.0, q));
+                        u8row[i] = static_cast<std::uint8_t>(q);
+                    }
+                }
             }
         }
     }
 };
 
 } // namespace
+
+void
+ConvBackend::runF16(const PreparedLayer &, const TensorF16 &,
+                    ScratchArena &, TensorF16 &,
+                    const RunContext &) const
+{
+    twq_panic("backend ", convEngineName(kind()),
+              " has no binary16 hot path (f16Storage() is false)");
+}
 
 double *
 ArenaPackPool::packD(std::size_t lane)
@@ -730,6 +1014,26 @@ timeBackendRun(const ConvBackend &backend, const PreparedLayer &prep,
     return best;
 }
 
+double
+timeBackendRunF16(const ConvBackend &backend,
+                  const PreparedLayer &prep, const TensorF16 &input,
+                  ScratchArena &scratch, int iters)
+{
+    using Clock = std::chrono::steady_clock;
+    TensorF16 out(backend.outputShape(prep, input.shape()));
+    backend.runF16(prep, input, scratch, out,
+                   RunContext{}); // warmup (fills arena)
+    double best = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < iters; ++i) {
+        const auto t0 = Clock::now();
+        backend.runF16(prep, input, scratch, out, RunContext{});
+        const double sec =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        best = std::min(best, sec);
+    }
+    return best;
+}
+
 EngineRegistry::EngineRegistry()
 {
     registerBackend(std::make_shared<Im2colBackend>());
@@ -738,6 +1042,7 @@ EngineRegistry::EngineRegistry()
     registerBackend(std::make_shared<Im2colInt8Backend>());
     registerBackend(std::make_shared<WinogradBlockedBackend>());
     registerBackend(std::make_shared<WinogradBlockedInt8Backend>());
+    registerBackend(std::make_shared<WinogradBlockedF16Backend>());
 }
 
 EngineRegistry &

@@ -26,6 +26,7 @@
 #include "runtime/arena.hh"
 #include "tensor/im2col.hh"
 #include "xform/engines.hh"
+#include "xform/fuse.hh"
 
 namespace twq
 {
@@ -99,6 +100,11 @@ struct LayerBuild
     /// each calibration pass once instead of per candidate; null
     /// falls back to per-backend recalibration (identical results).
     CalibrationCache *calCache = nullptr;
+    /// Fused post-conv epilogue (xform/fuse.hh). Backends fold an
+    /// active epilogue into their final output write; an inactive one
+    /// is free. Captured into the prepared state so the hot path pays
+    /// no per-run descriptor handling.
+    Epilogue epilogue;
 };
 
 /** One convolution implementation usable by the runtime. */
@@ -162,6 +168,30 @@ class ConvBackend
     {
         run(prep, input, scratch, out, RunContext{});
     }
+
+    /**
+     * True when this backend's native activation storage is binary16:
+     * the session then moves this layer's inter-layer activations as
+     * TensorF16 through runF16() instead of TensorD through run(),
+     * halving activation bandwidth. run() must still work (the
+     * session's probe and conversion seams use it), at the cost of
+     * double<->half conversion inside the backend.
+     */
+    virtual bool
+    f16Storage() const
+    {
+        return false;
+    }
+
+    /**
+     * Half-storage hot path, only meaningful when f16Storage() is
+     * true. Same contract as run() with binary16 activations (layout
+     * per inputLayout()/outputLayout()). The default panics so
+     * non-f16 backends cannot be driven here by mistake.
+     */
+    virtual void runF16(const PreparedLayer &prep,
+                        const TensorF16 &input, ScratchArena &scratch,
+                        TensorF16 &out, const RunContext &ctx) const;
 };
 
 /**
@@ -172,6 +202,12 @@ class ConvBackend
 double timeBackendRun(const ConvBackend &backend,
                       const PreparedLayer &prep, const TensorD &input,
                       ScratchArena &scratch, int iters = 3);
+
+/** timeBackendRun for the binary16 hot path (f16Storage backends). */
+double timeBackendRunF16(const ConvBackend &backend,
+                         const PreparedLayer &prep,
+                         const TensorF16 &input, ScratchArena &scratch,
+                         int iters = 3);
 
 /**
  * Process-wide table of conv backends, keyed by ConvEngine.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "gemm/gemm.hh"
+#include "layout/kernels_f16.hh"
 #include "layout/wino_blocked.hh"
 #include "obs/metrics.hh"
 
@@ -52,7 +53,11 @@ PlanCache::signature()
     sig += '/';
     sig += gemm::int8KernelName();
     sig += '/';
+    sig += gemm::int8PairKernelName();
+    sig += '/';
     sig += layoutKernelName();
+    sig += '/';
+    sig += layout::f16KernelName();
     return sig;
 }
 

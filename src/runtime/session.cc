@@ -7,8 +7,10 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "layout/kernels_f16.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "xform/fuse.hh"
 
 namespace twq
 {
@@ -34,6 +36,83 @@ heInitWeights(const ConvLayerDesc &desc, std::uint64_t seed)
     return w;
 }
 
+/**
+ * Deterministic per-channel bias for an absorbed Bias node, seeded by
+ * the node's position in the source chain so fused and unfused
+ * sessions draw identical values.
+ */
+std::vector<double>
+biasInit(std::size_t cout, std::uint64_t seed)
+{
+    std::vector<double> b(cout);
+    Rng rng(seed);
+    rng.fillNormal(b, 0.0, 0.1);
+    return b;
+}
+
+/**
+ * Separate-pass epilogue over an NCHW activation — the unfused
+ * baseline. Bias is added only when present (adding a literal 0.0
+ * would flip -0.0 outputs to +0.0 and break bit-identity with the
+ * fused path).
+ */
+void
+applyEpilogueNchw(TensorD &t, const Epilogue &e)
+{
+    if (e.bias.empty() && !e.relu)
+        return;
+    const std::size_t n = t.dim(0);
+    const std::size_t c = t.dim(1);
+    const std::size_t hw = t.dim(2) * t.dim(3);
+    const bool hasBias = !e.bias.empty();
+    double *p = t.data();
+    for (std::size_t in = 0; in < n; ++in)
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            double *row = p + (in * c + ch) * hw;
+            const double bc = hasBias ? e.bias[ch] : 0.0;
+            for (std::size_t i = 0; i < hw; ++i) {
+                double v = row[i];
+                if (hasBias)
+                    v += bc;
+                if (e.relu && v < 0.0)
+                    v = 0.0;
+                row[i] = v;
+            }
+        }
+}
+
+/**
+ * Separate-pass epilogue over an NCHWc8 activation. Tail lanes of a
+ * partial channel block stay zero — biasing them would pollute the
+ * layout invariant every blocked consumer relies on.
+ */
+void
+applyEpilogueBlocked(TensorD &t, std::size_t cout, const Epilogue &e)
+{
+    if (e.bias.empty() && !e.relu)
+        return;
+    const std::size_t n = t.dim(0);
+    const std::size_t cb = t.dim(1);
+    const std::size_t hw = t.dim(2) * t.dim(3);
+    const bool hasBias = !e.bias.empty();
+    double *p = t.data();
+    for (std::size_t in = 0; in < n; ++in)
+        for (std::size_t b = 0; b < cb; ++b) {
+            double *plane = p + (in * cb + b) * hw * kLayoutBlock;
+            const std::size_t lanes =
+                std::min(kLayoutBlock, cout - b * kLayoutBlock);
+            for (std::size_t i = 0; i < hw; ++i)
+                for (std::size_t l = 0; l < lanes; ++l) {
+                    double v = plane[i * kLayoutBlock + l];
+                    if (hasBias)
+                        v += e.bias[b * kLayoutBlock + l];
+                    if (e.relu && v < 0.0)
+                        v = 0.0;
+                    plane[i * kLayoutBlock + l] = v;
+                }
+        }
+}
+
 } // namespace
 
 Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
@@ -41,6 +120,12 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
 {
     const std::vector<ConvLayerDesc> descs = net.expandedLayers();
     twq_assert(!descs.empty(), "session on an empty network");
+    // Dataflow pass: collapse conv→bias[→relu] runs of the chain into
+    // fused groups. The plan is computed unconditionally (it also
+    // validates post-op geometry); fuseEpilogues only decides whether
+    // the epilogue executes inside the conv engine's output write or
+    // as separate session-level passes.
+    const std::vector<FusedLayer> fusedPlan = planEpilogueFusion(descs);
 
     // Arm the tracer before the build so autoSelect probe spans land
     // in the trace; the destructor flushes to cfg_.tracePath.
@@ -57,11 +142,12 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
     std::size_t h = descs[0].height;
     std::size_t w = descs[0].width;
     std::vector<TensorD> weights;
-    std::vector<bool> pinned(descs.size(), false); ///< explicit override
-    weights.reserve(descs.size());
-    layers_.reserve(descs.size());
-    for (std::size_t i = 0; i < descs.size(); ++i) {
-        const ConvLayerDesc &d = descs[i];
+    std::vector<bool> pinned(fusedPlan.size(), false); ///< explicit override
+    weights.reserve(fusedPlan.size());
+    layers_.reserve(fusedPlan.size());
+    for (std::size_t i = 0; i < fusedPlan.size(); ++i) {
+        const FusedLayer &fuse = fusedPlan[i];
+        const ConvLayerDesc &d = descs[fuse.conv];
         if (d.cin != c || d.height != h || d.width != w)
             twq_fatal("network '", net.name, "' does not chain at layer ",
                       d.name, ": expects [", d.cin, ", ", d.height, ", ",
@@ -101,16 +187,30 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
         layer.engine = engine;
         layer.variant = cfg.variant;
         layer.backend = std::move(backend);
+        // The epilogue's bias is seeded by the Bias node's position in
+        // the SOURCE chain (like conv weights by theirs), so it is
+        // identical however the plan groups the nodes.
+        if (fuse.bias)
+            layer.epilogue.bias = biasInit(
+                d.cout, cfg.weightSeed ^ (0xb1a5ull << 32) ^
+                            static_cast<std::uint64_t>(fuse.conv + 1));
+        layer.epilogue.relu = fuse.relu;
         layer.activation = ScratchArena::resolve(
             "session.act:" + net.name + ":" + d.name);
         layer.convert = ScratchArena::resolve(
             "session.cvt:" + net.name + ":" + d.name);
+        layer.activationH = ScratchArena::resolve(
+            "session.acth:" + net.name + ":" + d.name);
+        layer.convertH = ScratchArena::resolve(
+            "session.cvth:" + net.name + ":" + d.name);
+        layer.widen = ScratchArena::resolve(
+            "session.wid:" + net.name + ":" + d.name);
         layer.spanName = "layer:" + d.name;
         layer.latency = &obs::Registry::global().histogram(
             "layer." + net.name + "." + d.name + ".latency_ns");
         layers_.push_back(std::move(layer));
 
-        weights.push_back(heInitWeights(d, cfg.weightSeed + i));
+        weights.push_back(heInitWeights(d, cfg.weightSeed + fuse.conv));
 
         c = d.cout;
         h = d.outHeight();
@@ -155,6 +255,15 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
         build.params = layer.params;
         build.variant = cfg.variant;
         build.quant = cfg.quant;
+        // Fused sessions fold the planned epilogue into the engine's
+        // output write; unfused ones keep prepare() epilogue-free and
+        // pay the separate passes in runInto.
+        if (cfg.fuseEpilogues)
+            build.epilogue = layer.epilogue;
+        if (cfg.fuseEpilogues && layer.epilogue.active())
+            obs::Registry::global()
+                .counter("session.fused_epilogues")
+                .inc();
         std::vector<TensorD> calSet;
         // Shared calibration statistics for every prepare() of this
         // layer: autoSelect races up to five quantized candidates,
@@ -209,7 +318,9 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                 if (fpRace)
                     return e == ConvEngine::Im2col ||
                            e == ConvEngine::WinogradFp32 ||
-                           e == ConvEngine::WinogradBlocked;
+                           e == ConvEngine::WinogradBlocked ||
+                           (cfg.raceF16 &&
+                            e == ConvEngine::WinogradBlockedF16);
                 return e == ConvEngine::Im2colInt8 ||
                        e == ConvEngine::WinogradInt8 ||
                        e == ConvEngine::WinogradBlockedInt8;
@@ -219,6 +330,15 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
             if (cache) {
                 planKey = PlanCache::layerKey(
                     layer.desc, cfg.autoSelectBatch, quantRace);
+                // Keyed apart from plain races: a fused epilogue adds
+                // work to the timed output write, and the f16 race has
+                // a wider candidate set — reusing one key across these
+                // policies would thrash the cache entry on every
+                // alternating build.
+                if (cfg.fuseEpilogues && layer.epilogue.active())
+                    planKey += ":fe";
+                if (fpRace && cfg.raceF16)
+                    planKey += ":h";
                 PlanCache::Decision hit;
                 if (cache->lookup(planKey, &hit) &&
                     raceable(hit.engine)) {
@@ -293,6 +413,12 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                                  cfg.variant);
                     addCandidate(ConvEngine::WinogradBlocked, other);
                     addCandidate(ConvEngine::Im2col, cfg.variant);
+                    if (cfg.raceF16) {
+                        addCandidate(ConvEngine::WinogradBlockedF16,
+                                     cfg.variant);
+                        addCandidate(ConvEngine::WinogradBlockedF16,
+                                     other);
+                    }
                 } else {
                     addCandidate(ConvEngine::WinogradInt8,
                                  cfg.variant);
@@ -316,6 +442,26 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                     }
                     return &probeBlocked;
                 };
+                // f16 candidates are timed on their native binary16
+                // hot path with a pre-narrowed probe — symmetric with
+                // blocked candidates getting a blocked probe: steady-
+                // state layout/storage propagation hands them halves
+                // inside an f16 chain, and boundary conversions are
+                // a seam cost not charged to the layer.
+                TensorF16 probeHalf;
+                const auto timeCand = [&](const Candidate &c,
+                                          ScratchArena &arena) {
+                    if (!c.backend->f16Storage())
+                        return timeBackendRun(*c.backend, *c.prepared,
+                                              *probeFor(c), arena, 1);
+                    if (probeHalf.numel() == 0) {
+                        const TensorD *pb = probeFor(c);
+                        probeHalf = TensorF16(pb->shape());
+                        tensorDToF16(*pb, probeHalf);
+                    }
+                    return timeBackendRunF16(*c.backend, *c.prepared,
+                                             probeHalf, arena, 1);
+                };
                 // Interleaved best-of rounds: timing the candidates
                 // back-to-back would hand the last one warmed caches
                 // and a ramped-up clock; round-robin rounds spread
@@ -333,10 +479,7 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                             static_cast<std::int64_t>(ci));
                         bestT[ci] = std::min(
                             bestT[ci],
-                            timeBackendRun(*cands[ci].backend,
-                                           *cands[ci].prepared,
-                                           *probeFor(cands[ci]),
-                                           probeArena, 1));
+                            timeCand(cands[ci], probeArena));
                     }
                 std::size_t best = 0;
                 for (std::size_t ci = 1; ci < cands.size(); ++ci)
@@ -360,8 +503,13 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
         layer.layout = {layer.backend->inputLayout(),
                         layer.backend->outputLayout()};
 
-        if (i + 1 < calEnd)
+        if (i + 1 < calEnd) {
             cal = conv2dIm2col(cal, weights[i], layer.params);
+            // Downstream int8 layers must calibrate on the
+            // activations they actually receive — bias and ReLU
+            // included, whether fused or separate at run time.
+            applyEpilogueNchw(cal, layer.epilogue);
+        }
     }
 
     // Persist newly measured plans so the next build (a restarted
@@ -407,6 +555,13 @@ Session::layerLayout(std::size_t i) const
     return layers_[i].layout;
 }
 
+const Epilogue &
+Session::layerEpilogue(std::size_t i) const
+{
+    twq_assert(i < layers_.size(), "layer index out of range");
+    return layers_[i].epilogue;
+}
+
 void
 Session::runInto(const TensorD &batch, ScratchArena &scratch,
                  const RunContext &ctx, TensorD &out) const
@@ -425,6 +580,12 @@ Session::runInto(const TensorD &batch, ScratchArena &scratch,
     // NCHW ingress/egress included), so a chain of blocked layers
     // stays blocked end to end.
     const TensorD *cur = &batch;
+    // Inside an f16-storage chain the live activation is `curH`
+    // (binary16, NCHWc8) and `cur` is stale; everywhere else curH is
+    // null. Consecutive f16 layers hand halves straight through —
+    // that is the halved inter-layer activation bandwidth — and
+    // conversions happen only at storage seams.
+    const TensorF16 *curH = nullptr;
     ActLayout curLayout = ActLayout::NCHW;
     const std::size_t last = layers_.size() - 1;
     for (std::size_t i = 0; i < layers_.size(); ++i) {
@@ -453,7 +614,17 @@ Session::runInto(const TensorD &batch, ScratchArena &scratch,
                 }
             }
         } timer{layer, lt0};
-        if (layer.layout.in != curLayout) {
+        // A half activation feeding a non-f16 consumer widens back to
+        // double first (the layout stays NCHWc8; any layout
+        // conversion then proceeds as usual below).
+        if (curH && !layer.backend->f16Storage()) {
+            TWQ_SPAN("session.convert");
+            TensorD &xw = scratch.tensor(layer.widen, curH->shape());
+            tensorF16ToD(*curH, xw);
+            cur = &xw;
+            curH = nullptr;
+        }
+        if (!curH && layer.layout.in != curLayout) {
             TWQ_SPAN("session.convert");
             if (layer.layout.in == ActLayout::NCHWc8) {
                 TensorD &xb = scratch.tensor(
@@ -470,6 +641,57 @@ Session::runInto(const TensorD &batch, ScratchArena &scratch,
             }
             curLayout = layer.layout.in;
         }
+        // Separate-pass epilogue (bias, then relu) when the session
+        // was told not to fuse — the bit-identity baseline. The fused
+        // path performs the same arithmetic inside the engine's
+        // output write, saving these extra memory passes.
+        const bool postPass =
+            !cfg_.fuseEpilogues && layer.epilogue.active();
+        if (layer.backend->f16Storage()) {
+            const TensorF16 *inH = curH;
+            if (!inH) {
+                // Storage seam: narrow the (already blocked) double
+                // activation to binary16 once at chain ingress.
+                TWQ_SPAN("session.convert");
+                TensorF16 &xh =
+                    scratch.tensorF16(layer.convertH, cur->shape());
+                tensorDToF16(*cur, xh);
+                inH = &xh;
+            }
+            const Shape oshape = layer.backend->outputShape(
+                *layer.prepared, inH->shape());
+            TensorF16 &actH =
+                scratch.tensorF16(layer.activationH, oshape);
+            layer.backend->runF16(*layer.prepared, *inH, scratch, actH,
+                                  ctx);
+            if (postPass) {
+                // Unfused baseline on a half activation: widen, apply
+                // the element-wise passes in double, narrow back. The
+                // extra round trip stays inside the engine's accuracy
+                // gate (bit-identity is an FP32-engine contract; f16
+                // is accuracy-gated).
+                TWQ_SPAN("session.epilogue");
+                TensorD &tmp = scratch.tensor(layer.widen, oshape);
+                tensorF16ToD(actH, tmp);
+                applyEpilogueBlocked(tmp, layer.desc.cout,
+                                     layer.epilogue);
+                tensorDToF16(tmp, actH);
+            }
+            if (i == last) {
+                TWQ_SPAN("session.convert");
+                TensorD &actD =
+                    scratch.tensor(layer.activation, oshape);
+                tensorF16ToD(actH, actD);
+                twq_assert(out.rank() == 4 &&
+                               blockedShape(out.shape()) == oshape,
+                           "output tensor not pre-shaped for the batch");
+                blockedToNchw(actD, out);
+            } else {
+                curH = &actH;
+                curLayout = layer.layout.out;
+            }
+            continue;
+        }
         const Shape oshape =
             layer.backend->outputShape(*layer.prepared, cur->shape());
         if (i == last) {
@@ -478,12 +700,21 @@ Session::runInto(const TensorD &batch, ScratchArena &scratch,
                            "output tensor not pre-shaped for the batch");
                 layer.backend->run(*layer.prepared, *cur, scratch, out,
                                    ctx);
+                if (postPass) {
+                    TWQ_SPAN("session.epilogue");
+                    applyEpilogueNchw(out, layer.epilogue);
+                }
             } else {
                 // Blocked final layer: produce into its arena slot,
                 // then flatten once into the caller's NCHW buffer.
                 TensorD &act = scratch.tensor(layer.activation, oshape);
                 layer.backend->run(*layer.prepared, *cur, scratch, act,
                                    ctx);
+                if (postPass) {
+                    TWQ_SPAN("session.epilogue");
+                    applyEpilogueBlocked(act, layer.desc.cout,
+                                         layer.epilogue);
+                }
                 twq_assert(out.rank() == 4 &&
                                blockedShape(out.shape()) == oshape,
                            "output tensor not pre-shaped for the batch");
@@ -494,6 +725,14 @@ Session::runInto(const TensorD &batch, ScratchArena &scratch,
             TensorD &act = scratch.tensor(layer.activation, oshape);
             layer.backend->run(*layer.prepared, *cur, scratch, act,
                                ctx);
+            if (postPass) {
+                TWQ_SPAN("session.epilogue");
+                if (layer.layout.out == ActLayout::NCHW)
+                    applyEpilogueNchw(act, layer.epilogue);
+                else
+                    applyEpilogueBlocked(act, layer.desc.cout,
+                                         layer.epilogue);
+            }
             cur = &act;
             curLayout = layer.layout.out;
         }

@@ -48,6 +48,29 @@ struct SessionConfig
     std::map<std::string, ConvEngine> layerEngines;
 
     /**
+     * Collapse conv→bias[→ReLU] runs of the network's layer chain
+     * (xform/fuse.hh) into each conv engine's final output write, so
+     * post-op activations are touched exactly once. Off, the post-ops
+     * run as separate full passes over the activation after the conv
+     * — the baseline the fused path must match bit for bit on every
+     * FP engine (the epilogue arithmetic is identical element-wise,
+     * only the number of memory passes differs).
+     */
+    bool fuseEpilogues = true;
+
+    /**
+     * Let autoSelect additionally race the binary16-storage blocked
+     * engine (WinogradBlockedF16) for FP Winograd layers. Opt-in
+     * because fp16 storage rounds activations and weights to half
+     * precision — accuracy-gated rather than bit-identical — so the
+     * policy must not silently trade accuracy for speed. The f16
+     * candidate is timed on its native half-precision hot path
+     * (runF16 on a pre-narrowed blocked probe), symmetric with
+     * blocked candidates timed on a blocked probe.
+     */
+    bool raceF16 = false;
+
+    /**
      * Pick the execution plan per layer from a measured
      * microbenchmark instead of trusting defaultEngine blindly: at
      * session build each eligible FP layer is prepared for im2col,
@@ -145,9 +168,24 @@ class Session
     /** Response shape for a single request, [1, C, H, W]. */
     const Shape &outputShape() const { return outputShape_; }
 
+    /**
+     * Executed layer count — conv layers after epilogue-fusion
+     * planning; bias/ReLU post-op nodes of the network never count,
+     * whether folded into their conv (fuseEpilogues) or applied as
+     * separate session-level passes.
+     */
     std::size_t layerCount() const { return layers_.size(); }
     const ConvLayerDesc &layerDesc(std::size_t i) const;
     ConvEngine layerEngine(std::size_t i) const;
+
+    /**
+     * The post-conv epilogue planned for a layer (bias drawn
+     * deterministically from weightSeed for an absorbed Bias node,
+     * relu from an absorbed Relu node; inactive for a bare conv).
+     * Applied fused or as separate passes per
+     * SessionConfig::fuseEpilogues — same values either way.
+     */
+    const Epilogue &layerEpilogue(std::size_t i) const;
 
     /**
      * Winograd variant a layer executes with (meaningful for the
@@ -208,6 +246,17 @@ class Session
         /// backend's layout, used only when the producing layer's
         /// output layout disagrees.
         ScratchArena::Slot convert = 0;
+        /// Post-conv epilogue planned for this layer. Fused sessions
+        /// hand it to the backend (LayerBuild::epilogue); unfused
+        /// sessions apply it as separate passes after run().
+        Epilogue epilogue;
+        /// binary16 twins of activation/convert, used only when the
+        /// backend stores activations as half (f16Storage()).
+        ScratchArena::Slot activationH = 0;
+        ScratchArena::Slot convertH = 0;
+        /// Arena slot for widening a half activation back to double
+        /// when the consumer is not an f16 backend (or at egress).
+        ScratchArena::Slot widen = 0;
         /// Interned trace-span name ("layer:<name>"); spans store the
         /// pointer, so the string must outlive the trace flush — it
         /// lives as long as the session, whose destructor flushes.

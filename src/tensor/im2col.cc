@@ -268,7 +268,7 @@ void
 conv2dIm2colPackedInto(const Tensor<T> &input, const Tensor<T> &wmat,
                        const ConvParams &p, Tensor<T> &cols,
                        Tensor<T> &out, gemm::ParallelRunner *runner,
-                       gemm::PackPool *packs)
+                       gemm::PackPool *packs, const T *bias, bool relu)
 {
     twq_assert(input.rank() == 4 && wmat.rank() == 2,
                "conv2dIm2colPackedInto expects NCHW input and packed "
@@ -300,6 +300,23 @@ conv2dIm2colPackedInto(const Tensor<T> &input, const Tensor<T> &wmat,
                 gemm::gemm(wmat.data() + r0 * ckk, cols.data(),
                            dst + r0 * ho * wo, rows, ckk, ho * wo,
                            gemm::lanePack<T>(packs, lane));
+                if (!bias && !relu)
+                    return;
+                // Fused epilogue on the rows this shard just wrote —
+                // still cache-hot, and element-wise so shard splits
+                // cannot change the result.
+                for (std::size_t r = r0; r < r0 + rows; ++r) {
+                    T *row = dst + r * ho * wo;
+                    const T bc = bias ? bias[r] : T{};
+                    for (std::size_t i = 0; i < ho * wo; ++i) {
+                        T val = row[i];
+                        if (bias)
+                            val += bc;
+                        if (relu && val < T{})
+                            val = T{};
+                        row[i] = val;
+                    }
+                }
             });
     }
 }
@@ -342,12 +359,14 @@ template void conv2dIm2colPackedInto(const Tensor<float> &,
                                      const ConvParams &, Tensor<float> &,
                                      Tensor<float> &,
                                      gemm::ParallelRunner *,
-                                     gemm::PackPool *);
+                                     gemm::PackPool *, const float *,
+                                     bool);
 template void conv2dIm2colPackedInto(const Tensor<double> &,
                                      const Tensor<double> &,
                                      const ConvParams &,
                                      Tensor<double> &, Tensor<double> &,
                                      gemm::ParallelRunner *,
-                                     gemm::PackPool *);
+                                     gemm::PackPool *, const double *,
+                                     bool);
 
 } // namespace twq

@@ -102,14 +102,18 @@ Tensor<T> packConvWeights(const Tensor<T> &weights);
  * per-image GEMM is sharded over output-channel row blocks (pack
  * buffers from `packs`); every output row is the same computation
  * under any block split, so sharded execution is bit-identical to
- * serial.
+ * serial. A non-null `bias` ([Cout]) and `relu` are a fused epilogue
+ * applied to each output row block right after its GEMM — the rows
+ * are still cache-hot, so no separate full-tensor pass is paid; the
+ * arithmetic is element-wise and bit-identical to a separate sweep.
  */
 template <typename T>
 void conv2dIm2colPackedInto(const Tensor<T> &input,
                             const Tensor<T> &wmat, const ConvParams &p,
                             Tensor<T> &cols, Tensor<T> &out,
                             gemm::ParallelRunner *runner = nullptr,
-                            gemm::PackPool *packs = nullptr);
+                            gemm::PackPool *packs = nullptr,
+                            const T *bias = nullptr, bool relu = false);
 
 extern template Matrix<float> im2col(const Tensor<float> &, std::size_t,
                                      const ConvParams &);
@@ -153,14 +157,16 @@ extern template void conv2dIm2colPackedInto(const Tensor<float> &,
                                             Tensor<float> &,
                                             Tensor<float> &,
                                             gemm::ParallelRunner *,
-                                            gemm::PackPool *);
+                                            gemm::PackPool *,
+                                            const float *, bool);
 extern template void conv2dIm2colPackedInto(const Tensor<double> &,
                                             const Tensor<double> &,
                                             const ConvParams &,
                                             Tensor<double> &,
                                             Tensor<double> &,
                                             gemm::ParallelRunner *,
-                                            gemm::PackPool *);
+                                            gemm::PackPool *,
+                                            const double *, bool);
 
 } // namespace twq
 

@@ -141,6 +141,8 @@ class Tensor
 
 using TensorF = Tensor<float>;
 using TensorD = Tensor<double>;
+/// IEEE binary16 storage (raw bit pattern; see layout/kernels_f16.hh)
+using TensorF16 = Tensor<std::uint16_t>;
 using TensorI8 = Tensor<std::int8_t>;
 using TensorI16 = Tensor<std::int16_t>;
 using TensorI32 = Tensor<std::int32_t>;

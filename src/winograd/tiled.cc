@@ -371,7 +371,8 @@ winogradTapGemm(const WinogradTapWeights<T> &w, const Tensor<T> &U,
 
 template <typename T>
 void
-winogradUntile(const Tensor<T> &Y, WinoVariant v, Tensor<T> &out)
+winogradUntile(const Tensor<T> &Y, WinoVariant v, Tensor<T> &out,
+               const T *bias, bool relu)
 {
     const WinoSpec spec = winoSpec(v);
     const std::size_t m = spec.m;
@@ -396,6 +397,7 @@ winogradUntile(const Tensor<T> &Y, WinoVariant v, Tensor<T> &out)
                 T *plane = out.data() + (in * cout + oc) * ho * wo;
                 const T *srcc = Y.data() + (k * cout + oc) * tiles +
                                 in * tilesY * tilesX;
+                const T bc = bias ? bias[oc] : T{};
                 for (std::size_t ty = 0; ty < tilesY; ++ty) {
                     const std::size_t oy = ty * m + j1;
                     if (oy >= ho)
@@ -404,8 +406,14 @@ winogradUntile(const Tensor<T> &Y, WinoVariant v, Tensor<T> &out)
                     const T *src = srcc + ty * tilesX;
                     for (std::size_t tx = 0; tx < tilesX; ++tx) {
                         const std::size_t ox = tx * m + j2;
-                        if (ox < wo)
-                            dst[ox] = src[tx];
+                        if (ox < wo) {
+                            T val = src[tx];
+                            if (bias)
+                                val += bc;
+                            if (relu && val < T{})
+                                val = T{};
+                            dst[ox] = val;
+                        }
                     }
                 }
             }
@@ -416,7 +424,7 @@ winogradUntile(const Tensor<T> &Y, WinoVariant v, Tensor<T> &out)
 template <typename T>
 void
 winogradGather(const Tensor<T> &M, WinoVariant v, Tensor<T> &Y,
-               Tensor<T> &out)
+               Tensor<T> &out, const T *bias, bool relu)
 {
     const WinoSpec spec = winoSpec(v);
     const std::size_t mm = spec.m * spec.m;
@@ -427,7 +435,7 @@ winogradGather(const Tensor<T> &M, WinoVariant v, Tensor<T> &Y,
     if (Y.shape() != want)
         Y = Tensor<T>(want);
     applyKron(winoOutputKron<T>(v), M.data(), cout * tiles, Y.data());
-    winogradUntile(Y, v, out);
+    winogradUntile(Y, v, out, bias, relu);
 }
 
 template <typename T>
@@ -437,7 +445,7 @@ conv2dWinogradTiledInto(const Tensor<T> &input,
                         Tensor<T> &V, Tensor<T> &U, Tensor<T> &M,
                         Tensor<T> &Y, Tensor<T> &out,
                         gemm::ParallelRunner *runner,
-                        gemm::PackPool *packs)
+                        gemm::PackPool *packs, const T *bias, bool relu)
 {
     twq_assert(input.rank() == 4,
                "conv2dWinogradTiled expects an NCHW input");
@@ -466,7 +474,7 @@ conv2dWinogradTiledInto(const Tensor<T> &input,
     }
     {
         TWQ_SPAN("wino.untile");
-        winogradGather(M, w.variant, Y, out);
+        winogradGather(M, w.variant, Y, out, bias, relu);
     }
 }
 
@@ -544,29 +552,33 @@ template void winogradTapGemm(const WinogradTapWeights<double> &,
                               const Tensor<double> &, Tensor<double> &,
                               gemm::ParallelRunner *, gemm::PackPool *);
 template void winogradUntile(const Tensor<float> &, WinoVariant,
-                             Tensor<float> &);
+                             Tensor<float> &, const float *, bool);
 template void winogradUntile(const Tensor<double> &, WinoVariant,
-                             Tensor<double> &);
+                             Tensor<double> &, const double *, bool);
 template void winogradUntile(const Tensor<std::int64_t> &, WinoVariant,
-                             Tensor<std::int64_t> &);
+                             Tensor<std::int64_t> &,
+                             const std::int64_t *, bool);
 template void winogradGather(const Tensor<float> &, WinoVariant,
-                             Tensor<float> &, Tensor<float> &);
+                             Tensor<float> &, Tensor<float> &,
+                             const float *, bool);
 template void winogradGather(const Tensor<double> &, WinoVariant,
-                             Tensor<double> &, Tensor<double> &);
+                             Tensor<double> &, Tensor<double> &,
+                             const double *, bool);
 template void conv2dWinogradTiledInto(const Tensor<float> &,
                                       const WinogradTapWeights<float> &,
                                       std::size_t, Tensor<float> &,
                                       Tensor<float> &, Tensor<float> &,
                                       Tensor<float> &, Tensor<float> &,
                                       gemm::ParallelRunner *,
-                                      gemm::PackPool *);
+                                      gemm::PackPool *, const float *,
+                                      bool);
 template void
 conv2dWinogradTiledInto(const Tensor<double> &,
                         const WinogradTapWeights<double> &, std::size_t,
                         Tensor<double> &, Tensor<double> &,
                         Tensor<double> &, Tensor<double> &,
                         Tensor<double> &, gemm::ParallelRunner *,
-                        gemm::PackPool *);
+                        gemm::PackPool *, const double *, bool);
 template Tensor<float>
 conv2dWinogradTiled(const Tensor<float> &,
                     const WinogradTapWeights<float> &, std::size_t);

@@ -192,24 +192,34 @@ void winogradTapGemm(const WinogradTapWeights<T> &w, const Tensor<T> &U,
  * Stage 2 of the gather: write the A-transformed tile rows Y
  * ([m*m, Cout, P]) into the NCHW output (edge tiles clipped). `out`
  * must already have shape [n, Cout, ho, wo].
+ *
+ * Optional fused epilogue: a non-null `bias` ([Cout]) is added per
+ * output channel and `relu` clamps negatives to zero, both applied to
+ * each element as it is written — the untile already touches every
+ * output exactly once, so the epilogue costs no extra memory pass and
+ * is bit-identical to a separate bias/ReLU sweep over the output.
  */
 template <typename T>
-void winogradUntile(const Tensor<T> &Y, WinoVariant v, Tensor<T> &out);
+void winogradUntile(const Tensor<T> &Y, WinoVariant v, Tensor<T> &out,
+                    const T *bias = nullptr, bool relu = false);
 
 /**
  * Gather stage: A-transform M as Kronecker row passes into Y
- * ([m*m, Cout, P]), then untile into the NCHW output.
+ * ([m*m, Cout, P]), then untile into the NCHW output (with the
+ * untile's optional fused bias/ReLU epilogue).
  */
 template <typename T>
 void winogradGather(const Tensor<T> &M, WinoVariant v, Tensor<T> &Y,
-                    Tensor<T> &out);
+                    Tensor<T> &out, const T *bias = nullptr,
+                    bool relu = false);
 
 /**
  * Full tiled Winograd convolution with caller-provided buffers (e.g.
  * ScratchArena slots): V raw tiles, U transformed tiles, M GEMM
  * output, Y back-transformed tiles. `out` must be pre-shaped to
  * [n, Cout, ho, wo]; the buffers are reshaped as needed. A non-null
- * `runner` shards the per-tap GEMMs (see winogradTapGemm).
+ * `runner` shards the per-tap GEMMs (see winogradTapGemm). `bias` /
+ * `relu` are the untile's fused epilogue (see winogradUntile).
  */
 template <typename T>
 void conv2dWinogradTiledInto(const Tensor<T> &input,
@@ -217,7 +227,8 @@ void conv2dWinogradTiledInto(const Tensor<T> &input,
                              std::size_t pad, Tensor<T> &V, Tensor<T> &U,
                              Tensor<T> &M, Tensor<T> &Y, Tensor<T> &out,
                              gemm::ParallelRunner *runner = nullptr,
-                             gemm::PackPool *packs = nullptr);
+                             gemm::PackPool *packs = nullptr,
+                             const T *bias = nullptr, bool relu = false);
 
 /** Convenience wrapper allocating its own buffers. */
 template <typename T>
@@ -381,29 +392,34 @@ extern template void winogradTapGemm(const WinogradTapWeights<double> &,
                                      gemm::ParallelRunner *,
                                      gemm::PackPool *);
 extern template void winogradUntile(const Tensor<float> &, WinoVariant,
-                                    Tensor<float> &);
+                                    Tensor<float> &, const float *,
+                                    bool);
 extern template void winogradUntile(const Tensor<double> &, WinoVariant,
-                                    Tensor<double> &);
+                                    Tensor<double> &, const double *,
+                                    bool);
 extern template void winogradUntile(const Tensor<std::int64_t> &,
-                                    WinoVariant, Tensor<std::int64_t> &);
+                                    WinoVariant, Tensor<std::int64_t> &,
+                                    const std::int64_t *, bool);
 extern template void winogradGather(const Tensor<float> &, WinoVariant,
-                                    Tensor<float> &, Tensor<float> &);
+                                    Tensor<float> &, Tensor<float> &,
+                                    const float *, bool);
 extern template void winogradGather(const Tensor<double> &, WinoVariant,
-                                    Tensor<double> &, Tensor<double> &);
+                                    Tensor<double> &, Tensor<double> &,
+                                    const double *, bool);
 extern template void
 conv2dWinogradTiledInto(const Tensor<float> &,
                         const WinogradTapWeights<float> &, std::size_t,
                         Tensor<float> &, Tensor<float> &,
                         Tensor<float> &, Tensor<float> &,
                         Tensor<float> &, gemm::ParallelRunner *,
-                        gemm::PackPool *);
+                        gemm::PackPool *, const float *, bool);
 extern template void
 conv2dWinogradTiledInto(const Tensor<double> &,
                         const WinogradTapWeights<double> &, std::size_t,
                         Tensor<double> &, Tensor<double> &,
                         Tensor<double> &, Tensor<double> &,
                         Tensor<double> &, gemm::ParallelRunner *,
-                        gemm::PackPool *);
+                        gemm::PackPool *, const double *, bool);
 extern template Tensor<float>
 conv2dWinogradTiled(const Tensor<float> &,
                     const WinogradTapWeights<float> &, std::size_t);

@@ -36,6 +36,8 @@ convEngineName(ConvEngine e)
         return "winograd-blocked";
       case ConvEngine::WinogradBlockedInt8:
         return "winograd-blocked-int8";
+      case ConvEngine::WinogradBlockedF16:
+        return "winograd-blocked-f16";
     }
     return "?";
 }

@@ -61,11 +61,18 @@ enum class ConvEngine
                          ///< place and the per-tap widening GEMM runs
                          ///< the int16 c-block kernel
                          ///< (quant/int_wino_blocked.hh)
+    WinogradBlockedF16, ///< FP Winograd on the NCHWc8 layout with
+                        ///< binary16 storage for weights and
+                        ///< inter-layer activations, fp32 compute
+                        ///< (layout/kernels_f16.hh): halves the
+                        ///< bandwidth of the bandwidth-bound
+                        ///< gather/untile stages
 };
 
 /**
  * Name ("im2col" / "winograd-fp32" / "winograd-int8" / "im2col-int8" /
- * "winograd-blocked" / "winograd-blocked-int8").
+ * "winograd-blocked" / "winograd-blocked-int8" /
+ * "winograd-blocked-f16").
  */
 const char *convEngineName(ConvEngine e);
 
@@ -80,6 +87,7 @@ inline constexpr ConvEngine kAllConvEngines[] = {
     ConvEngine::Im2colInt8,
     ConvEngine::WinogradBlocked,
     ConvEngine::WinogradBlockedInt8,
+    ConvEngine::WinogradBlockedF16,
 };
 
 /** Static engine configuration. */

@@ -1,0 +1,44 @@
+#include "xform/fuse.hh"
+
+#include "common/logging.hh"
+
+namespace twq
+{
+
+std::vector<FusedLayer>
+planEpilogueFusion(const std::vector<ConvLayerDesc> &layers)
+{
+    std::vector<FusedLayer> plan;
+    plan.reserve(layers.size());
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        const ConvLayerDesc &d = layers[i];
+        twq_assert(d.op == LayerOp::Conv,
+                   "post-op node ", d.name,
+                   " has no preceding conv to fuse into");
+        FusedLayer f;
+        f.conv = i;
+        const std::size_t c = d.cout;
+        const std::size_t oh = d.outHeight();
+        const std::size_t ow = d.outWidth();
+        auto absorbs = [&](LayerOp op) {
+            if (i + 1 >= layers.size() || layers[i + 1].op != op)
+                return false;
+            const ConvLayerDesc &p = layers[i + 1];
+            twq_assert(p.cin == c && p.cout == c && p.height == oh &&
+                           p.width == ow,
+                       "post-op node ", p.name,
+                       " does not pass its producer's geometry "
+                       "through");
+            ++i;
+            return true;
+        };
+        // Bias must precede ReLU (the epilogue applies them in that
+        // order); a bare ReLU also fuses.
+        f.bias = absorbs(LayerOp::Bias);
+        f.relu = absorbs(LayerOp::Relu);
+        plan.push_back(f);
+    }
+    return plan;
+}
+
+} // namespace twq

@@ -222,6 +222,106 @@ TEST(Gemm, KernelNameIsResolved)
     EXPECT_TRUE(name == "avx2" || name == "neon" || name == "scalar");
 }
 
+TEST(Gemm, PairSafeGateDetectsSaturatingRows)
+{
+    // 7-bit weights always pass: |a0| + |a1| <= 63 + 63 < 128.
+    std::vector<std::int8_t> sevenBit(4 * 8);
+    Rng rng(61);
+    for (auto &v : sevenBit)
+        v = static_cast<std::int8_t>(rng.uniformInt(-63, 63));
+    EXPECT_TRUE(gemm::gemmS8PairSafe(sevenBit.data(), 4, 8));
+
+    // The boundary |a0| + |a1| == 128 is still safe (255 * 128 =
+    // 32640 < 2^15)...
+    std::vector<std::int8_t> boundary = {100, -28, 64, 64};
+    EXPECT_TRUE(gemm::gemmS8PairSafe(boundary.data(), 1, 4));
+    // ...but 129 is not, even buried in an otherwise tame operand.
+    std::vector<std::int8_t> hot(3 * 6, 1);
+    hot[1 * 6 + 2] = 100;
+    hot[1 * 6 + 3] = -29;
+    EXPECT_FALSE(gemm::gemmS8PairSafe(hot.data(), 3, 6));
+    // Pair alignment matters: 100 and -29 in DIFFERENT pairs is fine.
+    std::vector<std::int8_t> split(3 * 6, 1);
+    split[1 * 6 + 1] = 100;
+    split[1 * 6 + 2] = -29;
+    EXPECT_TRUE(gemm::gemmS8PairSafe(split.data(), 3, 6));
+    // An odd K tail pairs with an implicit zero: any value is safe.
+    std::vector<std::int8_t> oddTail = {1, 2, -128};
+    EXPECT_TRUE(gemm::gemmS8PairSafe(oddTail.data(), 1, 3));
+}
+
+TEST(Gemm, PairGemmMatchesUngatedKernel)
+{
+    // Pair-safe A operands (drawn 7-bit, plus exact |a0|+|a1| == 128
+    // boundary pairs) against full-range B including the extremes
+    // that maximize the u8-biased pair sums: gemmS8S32Pair must be
+    // bit-identical to the ungated exact kernel. K values cross the
+    // kKc panel boundary and exercise the quad tail (k % 4 != 0);
+    // n = 16/17 exercise the full vector tile and its edge.
+    Rng rng(62);
+    for (std::size_t m : {1u, 4u, 7u}) {
+        for (std::size_t k : {1u, 3u, 8u, 514u, 1026u}) {
+            for (std::size_t n : {1u, 7u, 16u, 17u, 33u}) {
+                std::vector<std::int8_t> a(m * k), b(k * n);
+                // The gate pairs adjacent k within each ROW, so the
+                // boundary pairs must be drawn row-aligned.
+                for (std::size_t i = 0; i < m; ++i)
+                    for (std::size_t kk = 0; kk < k; kk += 2) {
+                        std::int8_t *p = a.data() + i * k + kk;
+                        const bool full = kk + 1 < k;
+                        // Half the pairs sit exactly on the 128
+                        // boundary.
+                        if (full && rng.uniformInt(0, 1)) {
+                            // |p0| + |p1| == 128 exactly; a magnitude
+                            // of 128 is only representable negative.
+                            const int lo = static_cast<int>(
+                                rng.uniformInt(0, 128));
+                            const int rest = 128 - lo;
+                            const int s0 =
+                                lo > 127 || rng.uniformInt(0, 1);
+                            const int s1 =
+                                rest > 127 || rng.uniformInt(0, 1);
+                            p[0] = static_cast<std::int8_t>(s0 ? -lo
+                                                               : lo);
+                            p[1] = static_cast<std::int8_t>(
+                                s1 ? -rest : rest);
+                        } else {
+                            p[0] = static_cast<std::int8_t>(
+                                rng.uniformInt(-63, 63));
+                            if (full)
+                                p[1] = static_cast<std::int8_t>(
+                                    rng.uniformInt(-63, 63));
+                        }
+                    }
+                for (auto &v : b)
+                    v = static_cast<std::int8_t>(
+                        rng.uniformInt(-128, 127));
+                // Saturate-stress: a full B row at each extreme.
+                if (k >= 2) {
+                    std::fill(b.begin(), b.begin() + n, -128);
+                    std::fill(b.begin() + n, b.begin() + 2 * n, 127);
+                }
+                ASSERT_TRUE(gemm::gemmS8PairSafe(a.data(), m, k));
+                std::vector<std::int32_t> c(m * n), ref(m * n);
+                gemm::gemmS8S32Pair(a.data(), b.data(), c.data(), m, k,
+                                    n);
+                gemm::gemmS8S32Generic(a.data(), b.data(), ref.data(),
+                                       m, k, n, n, n);
+                ASSERT_EQ(c, ref)
+                    << "m=" << m << " k=" << k << " n=" << n << " ("
+                    << gemm::int8PairKernelName() << ")";
+            }
+        }
+    }
+}
+
+TEST(Gemm, PairKernelNameIsResolved)
+{
+    const std::string name = gemm::int8PairKernelName();
+    EXPECT_TRUE(name == "avx512-vnni" || name == "avx2-maddubs" ||
+                name == "avx2" || name == "neon" || name == "scalar");
+}
+
 TEST(PoolRunner, RunsEveryTaskExactlyOnceWithValidLanes)
 {
     ThreadPool pool(3);

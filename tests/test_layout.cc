@@ -12,8 +12,10 @@
 #include <cmath>
 
 #include "common/rng.hh"
+#include "layout/kernels.hh"
 #include "layout/layout.hh"
 #include "layout/wino_blocked.hh"
+#include "quant/quantizer.hh"
 #include "tensor/im2col.hh"
 #include "winograd/tiled.hh"
 
@@ -265,6 +267,35 @@ INSTANTIATE_TEST_SUITE_P(Variants, BlockedWinograd,
                          [](const auto &info) {
                              return std::string(winoName(info.param));
                          });
+
+TEST(LayoutKernelsTest, QuantizeI8MatchesScalarQuantizer)
+{
+    // The vectorized activation-quantize of the int8 im2col engine:
+    // for a power-of-two scale (exact reciprocal) the kernel must be
+    // bit-identical to quantize() from quant/quantizer.hh, including
+    // ties (nearbyint, round-half-even) and the clamp edges.
+    const double scale = 0.25;
+    const double inv = 1.0 / scale;
+    constexpr std::size_t kN = 1037; // odd: exercises vector tails
+    std::vector<double> src(kN);
+    Rng rng(808);
+    rng.fillNormal(src, 0.0, 40.0); // many values past the clamp
+    // Exact ties and edges.
+    src[0] = 0.125;   // 0.5 after *inv: ties to even 0
+    src[1] = 0.375;   // 1.5 after *inv: ties to even 2
+    src[2] = -0.125;  // -0.5: ties to 0
+    src[3] = 1000.0;  // clamps to quantMax
+    src[4] = -1000.0; // clamps to quantMin
+    src[5] = -0.0;
+    std::vector<std::int8_t> fast(kN), ref(kN);
+    layout::kernels().quantizeI8(
+        src.data(), inv, static_cast<double>(quantMin(8)),
+        static_cast<double>(quantMax(8)), fast.data(), kN);
+    for (std::size_t i = 0; i < kN; ++i)
+        ref[i] = static_cast<std::int8_t>(quantize(src[i], scale, 8));
+    EXPECT_EQ(fast, ref) << "quantizeI8 (" << layout::kernels().name
+                         << ") diverges from the scalar quantizer";
+}
 
 TEST(Im2colBlocked, MatchesNchwIm2colBitExact)
 {
