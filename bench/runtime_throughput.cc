@@ -42,6 +42,7 @@
 #include "net/client.hh"
 #include "net/server.hh"
 #include "obs/metrics.hh"
+#include "obs/perf.hh"
 #include "obs/trace.hh"
 #include "runtime/server.hh"
 #include "winograd/tiled.hh"
@@ -78,7 +79,42 @@ struct Result
     /// one log2 bucket.
     double histP50Ms = -1.0;
     double histP99Ms = -1.0;
+    /// Hardware-counter profile of the measured region (summed over
+    /// the instrumented backend stages, all worker threads): retired
+    /// instructions per cycle and cache misses per reference. -1 when
+    /// perf_event_open is unavailable (container policy, TWQ_NO_PERF)
+    /// or obs is compiled out — absence is explicit, not zero.
+    double ipc = -1.0;
+    double missRate = -1.0;
 };
+
+/** Arm the per-stage hardware-counter rollup for one measured row. */
+void
+beginRowPerf()
+{
+    obs::PerfStageCollector::global().reset();
+    obs::PerfStageCollector::global().enable();
+}
+
+/**
+ * Stop the rollup and fold its counters into the row: one sample
+ * summed across stages and worker threads. Leaves r.ipc/r.missRate
+ * at -1 when nothing valid was measured.
+ */
+void
+endRowPerf(Result &r)
+{
+    auto &coll = obs::PerfStageCollector::global();
+    coll.disable();
+    obs::PerfCounters sum;
+    for (const auto &[name, t] : coll.totals())
+        sum += t.counters;
+    coll.reset();
+    if (sum.valid && sum.cycles > 0) {
+        r.ipc = sum.ipc();
+        r.missRate = sum.missRate();
+    }
+}
 
 /**
  * Start a server and run warmup requests through it (arenas, lazy
@@ -119,6 +155,7 @@ runConfig(const std::shared_ptr<const Session> &session,
     // Drop the warmup requests from the server-side histograms so the
     // snapshot below covers exactly the measured requests.
     server.metrics().reset();
+    beginRowPerf();
 
     // One distinct input per client, generated up front.
     std::vector<TensorD> inputs;
@@ -181,6 +218,7 @@ runConfig(const std::shared_ptr<const Session> &session,
         r.histP50Ms = it->second.p50Ms();
         r.histP99Ms = it->second.p99Ms();
     }
+    endRowPerf(r);
     return r;
 }
 
@@ -201,6 +239,7 @@ runOpenLoop(const std::shared_ptr<const Session> &session,
         makeWarmServer(session, threads, maxBatch, &statsBefore);
     InferenceServer &server = *serverPtr;
     server.metrics().reset();
+    beginRowPerf();
 
     TensorD input(session->inputShape());
     Rng rng(7);
@@ -251,6 +290,7 @@ runOpenLoop(const std::shared_ptr<const Session> &session,
         r.histP50Ms = it->second.p50Ms();
         r.histP99Ms = it->second.p99Ms();
     }
+    endRowPerf(r);
     return r;
 }
 
@@ -291,6 +331,7 @@ runNetClosed(const std::shared_ptr<const Session> &session,
             warm.infer(in);
     }
     server.metrics().reset();
+    beginRowPerf();
 
     const std::size_t perClient = requests / clients;
     std::vector<std::vector<double>> okLat(clients);
@@ -366,6 +407,7 @@ runNetClosed(const std::shared_ptr<const Session> &session,
         r.histP50Ms = it->second.p50Ms();
         r.histP99Ms = it->second.p99Ms();
     }
+    endRowPerf(r);
     return r;
 }
 
@@ -397,6 +439,7 @@ runNetOpen(const std::shared_ptr<const Session> &session,
     for (int i = 0; i < 8; ++i)
         client.infer(in); // warm the wire path
     server.metrics().reset();
+    beginRowPerf();
 
     // Send timestamps cross the sender->receiver boundary through
     // relaxed atomics; the socket round trip itself orders the write
@@ -462,6 +505,7 @@ runNetOpen(const std::shared_ptr<const Session> &session,
         r.histP50Ms = it->second.p50Ms();
         r.histP99Ms = it->second.p99Ms();
     }
+    endRowPerf(r);
     return r;
 }
 
@@ -1147,6 +1191,7 @@ runLayerLatency(const ConvLayerDesc &d, const char *tag,
 void
 writeJson(const std::vector<Result> &results,
           const std::map<std::string, obs::StageTotal> &stages,
+          const std::map<std::string, obs::PerfStageTotal> &stagePerf,
           const char *path)
 {
     std::FILE *f = std::fopen(path, "w");
@@ -1166,28 +1211,39 @@ writeJson(const std::vector<Result> &results,
             "\"req_per_sec\": %.2f, \"p50_ms\": %.4f, "
             "\"p99_ms\": %.4f, \"p999_ms\": %.4f, "
             "\"avg_batch\": %.2f, \"shed\": %llu, "
-            "\"hist_p50_ms\": %.4f, \"hist_p99_ms\": %.4f}%s\n",
+            "\"hist_p50_ms\": %.4f, \"hist_p99_ms\": %.4f, "
+            "\"ipc\": %.3f, \"cache_miss_rate\": %.4f}%s\n",
             r.engine, r.label.c_str(), r.threads, r.maxBatch, r.clients,
             r.requests, r.wallSec, r.reqPerSec, r.p50Ms, r.p99Ms,
             r.p999Ms, r.avgBatch,
             static_cast<unsigned long long>(r.shed), r.histP50Ms,
-            r.histP99Ms, i + 1 < results.size() ? "," : "");
+            r.histP99Ms, r.ipc, r.missRate,
+            i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
     // Per-stage rollup of the traced wide-64 autoSelect run: where a
     // request's time actually goes (gather vs B-kron vs per-tap GEMM
-    // vs untile...), from the same spans a tracePath trace shows.
-    // Empty when built with TWQ_NO_OBS.
+    // vs untile...), from the same spans a tracePath trace shows —
+    // with each stage's hardware-counter profile (IPC, cache miss
+    // rate) when perf_event_open was available. Empty when built
+    // with TWQ_NO_OBS.
     std::fprintf(f, "  \"stage_breakdown\": [\n");
     std::size_t emitted = 0;
-    for (const auto &[name, t] : stages)
+    for (const auto &[name, t] : stages) {
         std::fprintf(f,
                      "    {\"stage\": \"%s\", \"count\": %llu, "
-                     "\"total_ms\": %.4f}%s\n",
+                     "\"total_ms\": %.4f",
                      name.c_str(),
                      static_cast<unsigned long long>(t.count),
-                     static_cast<double>(t.totalNs) * 1e-6,
+                     static_cast<double>(t.totalNs) * 1e-6);
+        if (const auto it = stagePerf.find(name);
+            it != stagePerf.end() && it->second.counters.valid)
+            std::fprintf(f, ", \"ipc\": %.3f, \"cache_miss_rate\": %.4f",
+                         it->second.counters.ipc(),
+                         it->second.counters.missRate());
+        std::fprintf(f, "}%s\n",
                      ++emitted < stages.size() ? "," : "");
+    }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", path);
@@ -1266,6 +1322,7 @@ main(int argc, char **argv)
 
     std::vector<Result> results;
     std::map<std::string, obs::StageTotal> stages;
+    std::map<std::string, obs::PerfStageTotal> stagePerf;
     struct Workload
     {
         const char *name;
@@ -1622,6 +1679,7 @@ main(int argc, char **argv)
         // The timing loop itself is traced, but a span costs tens of
         // nanoseconds against a multi-hundred-microsecond layer.
         obs::TraceCollector::global().enable();
+        beginRowPerf();
         const auto wall0 = Clock::now();
         for (int i = 0; i < kIters; ++i) {
             const auto t0 = Clock::now();
@@ -1631,6 +1689,9 @@ main(int argc, char **argv)
                              .count());
         }
         stages = obs::TraceCollector::global().aggregate();
+        // Keep the per-stage counter rollup of this traced run for
+        // the JSON's stage_breakdown before endRowPerf resets it.
+        stagePerf = obs::PerfStageCollector::global().totals();
         Result r;
         r.engine = convEngineName(session->layerEngine(0));
         r.label = "wide64-autosel";
@@ -1645,6 +1706,7 @@ main(int argc, char **argv)
         r.p99Ms = percentile(ms, 0.99);
         r.p999Ms = percentile(ms, 0.999);
         r.avgBatch = 8.0;
+        endRowPerf(r);
         results.push_back(r);
         std::printf("autoSelect[wide-64] -> %s (%s), p50 %.3f ms "
                     "(batch 8, includes ingress/egress conversion)\n",
@@ -1652,6 +1714,6 @@ main(int argc, char **argv)
                     r.p50Ms);
     }
 
-    writeJson(results, stages, "BENCH_runtime.json");
+    writeJson(results, stages, stagePerf, "BENCH_runtime.json");
     return 0;
 }

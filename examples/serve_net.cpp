@@ -166,6 +166,20 @@ runSelftest()
     check(okCount.load() == kClients * kPerClient,
           "concurrent clients all served");
 
+    // Timed request: the server-side breakdown must partition a
+    // window inside the client's own round trip.
+    const auto rt0 = std::chrono::steady_clock::now();
+    const net::Frame timed = probe.inferTimed(input);
+    const std::uint64_t rttNs =
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - rt0)
+                .count());
+    check(timed.status == net::Status::Ok && timed.timed,
+          "timed wire response ok");
+    check(timed.queueNs + timed.batchNs + timed.computeNs <= rttNs,
+          "server breakdown bounded by client RTT");
+
     // Metrics scrape over the same port. The responder itself works
     // in every build; the body carries series only when the metrics
     // subsystem is compiled in (TWQ_NO_OBS strips them).
@@ -180,6 +194,24 @@ runSelftest()
                   std::string::npos,
               "scrape contains server latency histogram");
     }
+
+    // Introspection endpoints share the port with the protocol.
+    const std::string statusz =
+        net::httpGet("127.0.0.1", port, "/statusz");
+    check(statusz.find("200 OK") != std::string::npos &&
+              statusz.find("\"plan_signature\"") != std::string::npos &&
+              statusz.find("\"layers\"") != std::string::npos,
+          "GET /statusz reports build and per-layer plans");
+    const std::string healthz =
+        net::httpGet("127.0.0.1", port, "/healthz");
+    check(healthz.find("200 OK") != std::string::npos &&
+              healthz.find("ok") != std::string::npos,
+          "GET /healthz answers ok while serving");
+    const std::string tracez =
+        net::httpGet("127.0.0.1", port, "/tracez");
+    check(tracez.find("200 OK") != std::string::npos &&
+              tracez.find("\"records\"") != std::string::npos,
+          "GET /tracez returns the slow-request ring");
 
     front.shutdown();
     server.shutdown();

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "layout/kernels.hh"
+#include "obs/perf.hh"
 #include "obs/trace.hh"
 
 namespace twq
@@ -362,10 +363,12 @@ conv2dWinogradBlockedInto(const TensorD &input,
 
     {
         TWQ_SPAN("winoc8.gather");
+        TWQ_STAGE_PERF("winoc8.gather");
         winogradGatherTilesBlocked(input, w.variant, pad, V);
     }
     {
         TWQ_SPAN("winoc8.bkron");
+        TWQ_STAGE_PERF("winoc8.bkron");
         const Shape uWant{tt, w.cinb, d.tiles, kB};
         if (U.shape() != uWant)
             U = TensorD(uWant);
@@ -374,10 +377,12 @@ conv2dWinogradBlockedInto(const TensorD &input,
     }
     {
         TWQ_SPAN("winoc8.tapgemm");
+        TWQ_STAGE_PERF("winoc8.tapgemm");
         winogradTapGemmBlocked(w, U, M, runner);
     }
     {
         TWQ_SPAN("winoc8.akron");
+        TWQ_STAGE_PERF("winoc8.akron");
         const Shape yWant{mm, w.coutb, d.tiles, kB};
         if (Y.shape() != yWant)
             Y = TensorD(yWant);
@@ -386,6 +391,7 @@ conv2dWinogradBlockedInto(const TensorD &input,
     }
     {
         TWQ_SPAN("winoc8.untile");
+        TWQ_STAGE_PERF("winoc8.untile");
         winogradUntileBlocked(Y, w.variant, out, bias8, relu);
     }
 }
@@ -489,6 +495,7 @@ conv2dWinogradBlockedF16Into(const TensorF16 &input,
         // widen afterwards is the only storage->compute conversion on
         // the activation side.
         TWQ_SPAN("winoc8h.gather");
+        TWQ_STAGE_PERF("winoc8h.gather");
         winogradGatherTilesBlocked(input, w.variant, pad, V16);
         const Shape want{tt, w.cinb, d.tiles, kB};
         if (V.shape() != want)
@@ -497,6 +504,7 @@ conv2dWinogradBlockedF16Into(const TensorF16 &input,
     }
     {
         TWQ_SPAN("winoc8h.bkron");
+        TWQ_STAGE_PERF("winoc8h.bkron");
         const Shape uWant{tt, w.cinb, d.tiles, kB};
         if (U.shape() != uWant)
             U = TensorF(uWant);
@@ -505,10 +513,12 @@ conv2dWinogradBlockedF16Into(const TensorF16 &input,
     }
     {
         TWQ_SPAN("winoc8h.tapgemm");
+        TWQ_STAGE_PERF("winoc8h.tapgemm");
         winogradTapGemmBlockedF16(w, U, M, runner);
     }
     {
         TWQ_SPAN("winoc8h.akron");
+        TWQ_STAGE_PERF("winoc8h.akron");
         const Shape yWant{mm, w.coutb, d.tiles, kB};
         if (Y.shape() != yWant)
             Y = TensorF(yWant);
@@ -520,6 +530,7 @@ conv2dWinogradBlockedF16Into(const TensorF16 &input,
         // plane, then narrow the whole activation in one pass: the
         // stored half is a single RNE rounding of the epilogue result.
         TWQ_SPAN("winoc8h.untile");
+        TWQ_STAGE_PERF("winoc8h.untile");
         const Shape oWant{d.n, w.coutb, d.ho, d.wo, kB};
         if (outF.shape() != oWant)
             outF = TensorF(oWant);

@@ -92,12 +92,12 @@ Client::connect(const std::string &host, std::uint16_t port)
 }
 
 std::uint64_t
-Client::send(const TensorD &input)
+Client::send(const TensorD &input, bool timed)
 {
     twq_assert(fd_ >= 0, "send() on a disconnected client");
     const std::uint64_t id = nextId_++;
     std::vector<std::uint8_t> bytes;
-    encodeInfer(id, input, bytes);
+    encodeInfer(id, input, bytes, timed);
     sendAll(fd_, bytes.data(), bytes.size());
     return id;
 }
@@ -142,6 +142,20 @@ Client::infer(const TensorD &input)
         twq_fatal("connection closed before response");
     twq_assert(f.id == id, "response id mismatch: sent ", id,
                ", got ", f.id);
+    return f;
+}
+
+Frame
+Client::inferTimed(const TensorD &input)
+{
+    const std::uint64_t id = send(input, /*timed=*/true);
+    Frame f;
+    if (!recv(&f))
+        twq_fatal("connection closed before response");
+    twq_assert(f.id == id, "response id mismatch: sent ", id,
+               ", got ", f.id);
+    twq_assert(f.timed, "server answered InferTimed with an untimed "
+                        "response");
     return f;
 }
 
@@ -208,7 +222,7 @@ Client::connect(const std::string &, std::uint16_t)
 }
 
 std::uint64_t
-Client::send(const TensorD &)
+Client::send(const TensorD &, bool)
 {
     return 0;
 }
@@ -221,6 +235,12 @@ Client::recv(Frame *)
 
 Frame
 Client::infer(const TensorD &)
+{
+    return {};
+}
+
+Frame
+Client::inferTimed(const TensorD &)
 {
     return {};
 }

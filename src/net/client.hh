@@ -43,9 +43,11 @@ class Client
 
     /**
      * Write one Infer frame (blocking until fully sent). Returns the
-     * request id assigned (monotonic per client).
+     * request id assigned (monotonic per client). `timed` sends an
+     * InferTimed frame, asking for a ResponseTimed answer carrying
+     * the server-side queue/batch/compute breakdown.
      */
-    std::uint64_t send(const TensorD &input);
+    std::uint64_t send(const TensorD &input, bool timed = false);
 
     /**
      * Block until the next Response frame arrives. Returns false on
@@ -55,6 +57,14 @@ class Client
 
     /** send() + recv() + id match: the one-call closed-loop step. */
     Frame infer(const TensorD &input);
+
+    /**
+     * Timed closed-loop step: the returned frame carries the server's
+     * queue/batch/compute nanoseconds (frame.queueNs etc.), whose sum
+     * is ≤ the client-measured RTT — the difference is network plus
+     * frame encode/decode time.
+     */
+    Frame inferTimed(const TensorD &input);
 
     /** Half-close the send side (server flushes, then closes). */
     void shutdownWrite();

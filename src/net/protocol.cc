@@ -81,12 +81,13 @@ statusName(Status s)
 
 void
 encodeInfer(std::uint64_t id, const TensorD &t,
-            std::vector<std::uint8_t> &out)
+            std::vector<std::uint8_t> &out, bool timed)
 {
     const std::size_t payload = kFrameHeaderBytes + tensorBodyBytes(t);
     putU32(static_cast<std::uint32_t>(payload), out);
     putU32(kMagic, out);
-    out.push_back(static_cast<std::uint8_t>(MsgType::Infer));
+    out.push_back(static_cast<std::uint8_t>(
+        timed ? MsgType::InferTimed : MsgType::Infer));
     putU64(id, out);
     putTensor(t, out);
 }
@@ -105,6 +106,29 @@ encodeResponse(std::uint64_t id, Status status, const TensorD *t,
     out.push_back(static_cast<std::uint8_t>(MsgType::Response));
     putU64(id, out);
     out.push_back(static_cast<std::uint8_t>(status));
+    if (tensor)
+        putTensor(*t, out);
+}
+
+void
+encodeResponseTimed(std::uint64_t id, Status status, const TensorD *t,
+                    std::uint64_t queueNs, std::uint64_t batchNs,
+                    std::uint64_t computeNs,
+                    std::vector<std::uint8_t> &out)
+{
+    const bool tensor = status == Status::Ok;
+    twq_assert(!tensor || t != nullptr,
+               "Ok response needs a tensor payload");
+    const std::size_t payload = kFrameHeaderBytes + 1 + 24 +
+                                (tensor ? tensorBodyBytes(*t) : 0);
+    putU32(static_cast<std::uint32_t>(payload), out);
+    putU32(kMagic, out);
+    out.push_back(static_cast<std::uint8_t>(MsgType::ResponseTimed));
+    putU64(id, out);
+    out.push_back(static_cast<std::uint8_t>(status));
+    putU64(queueNs, out);
+    putU64(batchNs, out);
+    putU64(computeNs, out);
     if (tensor)
         putTensor(*t, out);
 }
@@ -163,23 +187,37 @@ FrameDecoder::next(Frame *out)
         return fail("bad magic");
     p += 4;
     const std::uint8_t rawType = *p++;
-    if (rawType != static_cast<std::uint8_t>(MsgType::Infer) &&
-        rawType != static_cast<std::uint8_t>(MsgType::Response))
+    if (rawType < static_cast<std::uint8_t>(MsgType::Infer) ||
+        rawType > static_cast<std::uint8_t>(MsgType::ResponseTimed))
         return fail("unknown message type " + std::to_string(rawType));
     Frame f;
     f.type = static_cast<MsgType>(rawType);
+    f.timed = f.type == MsgType::InferTimed ||
+              f.type == MsgType::ResponseTimed;
     f.id = getU64(p);
     p += 8;
-    if (f.type == MsgType::Response) {
+    const bool isResponse = f.type == MsgType::Response ||
+                            f.type == MsgType::ResponseTimed;
+    if (isResponse) {
         if (p >= end)
             return fail("response frame missing status");
         const std::uint8_t rawStatus = *p++;
         if (rawStatus > static_cast<std::uint8_t>(Status::Error))
             return fail("unknown status " + std::to_string(rawStatus));
         f.status = static_cast<Status>(rawStatus);
+        if (f.type == MsgType::ResponseTimed) {
+            // Fixed 24-byte breakdown, present for every status.
+            if (static_cast<std::size_t>(end - p) < 24)
+                return fail("timed response missing timing block");
+            f.queueNs = getU64(p);
+            p += 8;
+            f.batchNs = getU64(p);
+            p += 8;
+            f.computeNs = getU64(p);
+            p += 8;
+        }
     }
-    const bool wantTensor =
-        f.type == MsgType::Infer || f.status == Status::Ok;
+    const bool wantTensor = !isResponse || f.status == Status::Ok;
     if (wantTensor) {
         if (p >= end)
             return fail("frame missing tensor header");

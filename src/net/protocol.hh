@@ -13,6 +13,14 @@
  * Infer body:     u8 ndim | u32 dim[ndim] | f64 data[numel]
  * Response body:  u8 status | u8 ndim | u32 dim[ndim] | f64 data
  *                 (tensor part present only when status == Ok)
+ * InferTimed:     identical to Infer; the type byte alone asks the
+ *                 server to answer with a ResponseTimed frame
+ * ResponseTimed:  u8 status | u64 queueNs | u64 batchNs
+ *                 | u64 computeNs | [tensor as in Response]
+ *                 (the 24-byte timing block sits at a fixed offset
+ *                 before the variable tensor part and is present for
+ *                 every status, zeroed when the request failed before
+ *                 executing)
  *
  * All integers are little-endian; f64 payloads are raw host IEEE-754
  * doubles (the protocol targets same-architecture loopback and
@@ -51,6 +59,10 @@ enum class MsgType : std::uint8_t
 {
     Infer = 1,
     Response = 2,
+    /** Infer that requests a server-side timing breakdown back. */
+    InferTimed = 3,
+    /** Response carrying queue/batch/compute nanoseconds. */
+    ResponseTimed = 4,
 };
 
 /** Response status; anything but Ok carries no tensor. */
@@ -75,11 +87,21 @@ struct Frame
     Status status = Status::Ok; ///< meaningful for Response frames
     Shape shape;                ///< tensor dims (empty if none)
     std::vector<double> data;   ///< tensor payload (empty if none)
+
+    /** True for InferTimed / ResponseTimed frames. */
+    bool timed = false;
+    /** Server-side breakdown (ResponseTimed only), nanoseconds. */
+    std::uint64_t queueNs = 0;
+    std::uint64_t batchNs = 0;
+    std::uint64_t computeNs = 0;
 };
 
-/** Append an Infer frame for `t` to `out`. */
+/**
+ * Append an Infer frame for `t` to `out`; `timed` upgrades it to
+ * InferTimed, asking the server for a ResponseTimed answer.
+ */
 void encodeInfer(std::uint64_t id, const TensorD &t,
-                 std::vector<std::uint8_t> &out);
+                 std::vector<std::uint8_t> &out, bool timed = false);
 
 /**
  * Append a Response frame to `out`. `t` must be non-null when
@@ -88,6 +110,17 @@ void encodeInfer(std::uint64_t id, const TensorD &t,
  */
 void encodeResponse(std::uint64_t id, Status status, const TensorD *t,
                     std::vector<std::uint8_t> &out);
+
+/**
+ * Append a ResponseTimed frame: like encodeResponse, plus the fixed
+ * 24-byte queue/batch/compute breakdown after the status byte (pass
+ * zeros for requests that failed before executing).
+ */
+void encodeResponseTimed(std::uint64_t id, Status status,
+                         const TensorD *t, std::uint64_t queueNs,
+                         std::uint64_t batchNs,
+                         std::uint64_t computeNs,
+                         std::vector<std::uint8_t> &out);
 
 /**
  * Incremental frame reassembly over an arbitrary chunking of the byte

@@ -2,9 +2,13 @@
 
 #include <chrono>
 #include <cstring>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "layout/layout.hh"
+#include "obs/perf.hh"
 #include "obs/trace.hh"
+#include "runtime/plan_cache.hh"
 
 #if defined(__linux__)
 #include <arpa/inet.h>
@@ -157,6 +161,7 @@ NetServer::start()
         loops_.push_back(std::move(loop));
     }
     stopping_.store(false);
+    startedAtNs_ = nowNs();
     started_.store(true);
     for (auto &loop : loops_) {
         IoLoop *lp = loop.get();
@@ -449,7 +454,19 @@ NetServer::handleInfer(const std::shared_ptr<Conn> &conn, Frame frame)
     requests_.fetch_add(1);
     obs::Registry::global().counter("net.requests").inc();
     const std::uint64_t id = frame.id;
-    if (frame.type != MsgType::Infer) {
+    const bool timed = frame.type == MsgType::InferTimed;
+    // Pre-execution failures answer in the request's dialect: a timed
+    // request always gets a ResponseTimed back (zeroed breakdown),
+    // so a client can branch on the type it asked for.
+    const auto encodeFail = [timed](std::uint64_t rid, Status s,
+                                    std::vector<std::uint8_t> &resp) {
+        if (timed)
+            encodeResponseTimed(rid, s, nullptr, 0, 0, 0, resp);
+        else
+            encodeResponse(rid, s, nullptr, resp);
+    };
+    if (frame.type != MsgType::Infer &&
+        frame.type != MsgType::InferTimed) {
         std::vector<std::uint8_t> resp;
         encodeResponse(id, Status::BadRequest, nullptr, resp);
         queueAndFlush(conn, std::move(resp));
@@ -466,36 +483,51 @@ NetServer::handleInfer(const std::shared_ptr<Conn> &conn, Frame frame)
         shape.insert(shape.begin(), 1);
     if (shape != want) {
         std::vector<std::uint8_t> resp;
-        encodeResponse(id, Status::BadRequest, nullptr, resp);
+        encodeFail(id, Status::BadRequest, resp);
         queueAndFlush(conn, std::move(resp));
         return;
     }
 
     if (stopping_.load()) {
         std::vector<std::uint8_t> resp;
-        encodeResponse(id, Status::Shed, nullptr, resp);
+        encodeFail(id, Status::Shed, resp);
         queueAndFlush(conn, std::move(resp));
         return;
     }
 
+    // The request's trace flow starts here, at wire ingress: the
+    // net.ingress span plus every span recorded downstream (batcher,
+    // worker, backend stages, response encode) carries this id.
+    const std::uint64_t traceId = obs::mintTraceId();
+    obs::TraceContext traceCtx(traceId);
+    TWQ_SPAN("net.ingress");
+
     conn->inflight.fetch_add(1);
     inflight_.fetch_add(1);
     IoLoop *loop = conn->loop;
-    const bool admitted = server_.submitCallback(
-        TensorD(shape, std::move(frame.data)),
-        [this, conn, loop, id](TensorD &&out, std::exception_ptr err) {
+    const bool admitted = server_.submitTimed(
+        TensorD(shape, std::move(frame.data)), traceId,
+        [this, conn, loop, id, timed](TensorD &&out,
+                                      std::exception_ptr err,
+                                      const RequestTiming &t) {
             // Worker thread: encode the response into the
             // connection's outbound buffer, then hand the flush to
             // the owning I/O loop. The inflight decrements come
             // AFTER the bytes are buffered so the drain logic can
             // never observe "no inflight work" while a response has
-            // yet to be made flushable.
+            // yet to be made flushable. The executing worker set this
+            // request's TraceContext, so the encode span joins its
+            // flow.
+            TWQ_SPAN("net.respond");
             if (!conn->closed.load()) {
                 std::vector<std::uint8_t> resp;
-                if (err)
-                    encodeResponse(id, Status::Error, nullptr, resp);
+                const Status s = err ? Status::Error : Status::Ok;
+                const TensorD *body = err ? nullptr : &out;
+                if (timed)
+                    encodeResponseTimed(id, s, body, t.queueNs,
+                                        t.batchNs, t.computeNs, resp);
                 else
-                    encodeResponse(id, Status::Ok, &out, resp);
+                    encodeResponse(id, s, body, resp);
                 std::lock_guard<std::mutex> lock(conn->outMu);
                 conn->outBuf.insert(conn->outBuf.end(), resp.begin(),
                                     resp.end());
@@ -513,13 +545,13 @@ NetServer::handleInfer(const std::shared_ptr<Conn> &conn, Frame frame)
         inflight_.fetch_sub(1);
         obs::Registry::global().counter("net.shed").inc();
         std::vector<std::uint8_t> resp;
-        encodeResponse(id, Status::Shed, nullptr, resp);
+        encodeFail(id, Status::Shed, resp);
         queueAndFlush(conn, std::move(resp));
     }
 }
 
 std::string
-NetServer::metricsBody() const
+NetServer::metricsBody(bool includeCompat) const
 {
     // Refresh the trace-drop gauge at scrape time so operators see
     // ring-buffer truncation without a flush having happened.
@@ -529,15 +561,141 @@ NetServer::metricsBody() const
             obs::TraceCollector::global().droppedEvents()));
     obs::MetricsSnapshot snap = server_.metricsSnapshot();
     snap.merge(obs::Registry::global().snapshot());
-    return snap.prometheusText();
+    return snap.prometheusText(includeCompat);
+}
+
+namespace
+{
+
+/** Minimal JSON string escaping (names are identifiers in practice). */
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+const char *
+jsonBool(bool b)
+{
+    return b ? "true" : "false";
+}
+
+} // namespace
+
+std::string
+NetServer::statuszBody() const
+{
+    const Session &session = server_.session();
+    const SessionConfig &sc = session.config();
+    const RuntimeConfig &rc = server_.config();
+    const ServerStats stats = server_.stats();
+    std::ostringstream out;
+    out << "{\n";
+    out << " \"build\": {\"compiler\": " << jsonStr(__VERSION__)
+        << ", \"obs_enabled\": " << jsonBool(obs::kEnabled)
+        << ", \"perf_counters\": " << jsonBool(obs::perfAvailable())
+        << ", \"plan_signature\": " << jsonStr(PlanCache::signature())
+        << "},\n";
+    out << " \"uptime_ns\": " << (nowNs() - startedAtNs_) << ",\n";
+    out << " \"net\": {\"port\": " << port_
+        << ", \"io_threads\": " << cfg_.ioThreads
+        << ", \"requests\": " << requests_.load()
+        << ", \"draining\": " << jsonBool(stopping_.load()) << "},\n";
+    out << " \"runtime\": {\"threads\": " << rc.threads
+        << ", \"max_batch\": " << rc.batch.maxBatch
+        << ", \"max_wait_us\": " << rc.batch.maxWait.count()
+        << ", \"pin_workers\": " << jsonBool(rc.pinWorkers)
+        << ", \"max_pending\": " << rc.maxPending
+        << ", \"intra_batch_parallel\": "
+        << jsonBool(rc.intraBatchParallel)
+        << ", \"slow_trace_threshold_ns\": " << rc.slowTraceThresholdNs
+        << ", \"slow_trace_slots\": " << rc.slowTraceSlots << "},\n";
+    out << " \"session\": {\"network\": "
+        << jsonStr(session.network().name)
+        << ", \"layer_count\": " << session.layerCount()
+        << ", \"auto_select\": " << jsonBool(sc.autoSelect)
+        << ", \"fuse_epilogues\": " << jsonBool(sc.fuseEpilogues)
+        << ", \"race_f16\": " << jsonBool(sc.raceF16) << "},\n";
+    out << " \"stats\": {\"submitted\": " << stats.submitted
+        << ", \"completed\": " << stats.completed
+        << ", \"batches\": " << stats.batches
+        << ", \"shed\": " << stats.shed << "},\n";
+    out << " \"layers\": [\n";
+    for (std::size_t i = 0; i < session.layerCount(); ++i) {
+        const LayerPlanInfo plan = session.layerPlan(i);
+        const LayoutPlan &layout = session.layerLayout(i);
+        out << "  {\"name\": " << jsonStr(plan.name)
+            << ", \"engine\": "
+            << jsonStr(convEngineName(plan.engine))
+            << ", \"variant\": " << jsonStr(winoName(plan.variant))
+            << ", \"layout_in\": "
+            << jsonStr(actLayoutName(layout.in))
+            << ", \"layout_out\": "
+            << jsonStr(actLayoutName(layout.out))
+            << ", \"plan_source\": " << jsonStr(plan.source)
+            << ", \"probe_ns\": " << plan.probeNs;
+        if (plan.counters.valid) {
+            out << ", \"perf\": {\"cycles\": " << plan.counters.cycles
+                << ", \"instructions\": "
+                << plan.counters.instructions
+                << ", \"ipc\": " << plan.counters.ipc()
+                << ", \"cache_refs\": " << plan.counters.cacheRefs
+                << ", \"cache_misses\": " << plan.counters.cacheMisses
+                << ", \"miss_rate\": " << plan.counters.missRate()
+                << "}";
+        } else {
+            out << ", \"perf\": null";
+        }
+        out << "}" << (i + 1 < session.layerCount() ? "," : "")
+            << "\n";
+    }
+    out << " ]\n}\n";
+    return out.str();
+}
+
+std::string
+NetServer::tracezBody() const
+{
+    const RuntimeConfig &rc = server_.config();
+    const std::vector<SlowRequestRecord> recs =
+        server_.slowRequests();
+    std::ostringstream out;
+    out << "{\n \"threshold_ns\": " << rc.slowTraceThresholdNs
+        << ",\n \"slots\": " << rc.slowTraceSlots
+        << ",\n \"records\": [\n";
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        const SlowRequestRecord &r = recs[i];
+        out << "  {\"id\": " << r.id << ", \"trace_id\": " << r.traceId
+            << ", \"queue_ns\": " << r.timing.queueNs
+            << ", \"batch_ns\": " << r.timing.batchNs
+            << ", \"compute_ns\": " << r.timing.computeNs
+            << ", \"total_ns\": " << r.totalNs
+            << ", \"batch_size\": " << r.batchSize
+            << ", \"when_ns\": " << r.whenNs << "}"
+            << (i + 1 < recs.size() ? "," : "") << "\n";
+    }
+    out << " ]\n}\n";
+    return out.str();
 }
 
 void
 NetServer::handleHttp(const std::shared_ptr<Conn> &conn)
 {
     obs::Registry::global().counter("net.http_requests").inc();
-    // Request line: "GET <path> HTTP/1.x". Anything but /metrics
-    // (or /) is a 404; this is a scrape endpoint, not a web server.
+    // Request line: "GET <path>[?query] HTTP/1.x". This is an
+    // introspection surface, not a web server: four fixed paths,
+    // anything else 404s.
     std::string path;
     const std::size_t sp1 = conn->httpBuf.find(' ');
     if (sp1 != std::string::npos) {
@@ -545,17 +703,44 @@ NetServer::handleHttp(const std::shared_ptr<Conn> &conn)
         if (sp2 != std::string::npos)
             path = conn->httpBuf.substr(sp1 + 1, sp2 - sp1 - 1);
     }
+    std::string query;
+    if (const std::size_t qm = path.find('?');
+        qm != std::string::npos) {
+        query = path.substr(qm + 1);
+        path.resize(qm);
+    }
     std::string body, status;
+    std::string ctype = "text/plain; version=0.0.4; charset=utf-8";
     if (path == "/metrics" || path == "/") {
         status = "200 OK";
-        body = metricsBody();
+        body = metricsBody(query.find("compat=1") !=
+                           std::string::npos);
+    } else if (path == "/statusz") {
+        status = "200 OK";
+        ctype = "application/json";
+        body = statuszBody();
+    } else if (path == "/tracez") {
+        status = "200 OK";
+        ctype = "application/json";
+        body = tracezBody();
+    } else if (path == "/healthz") {
+        // The load-balancer eviction signal: draining hosts answer
+        // 503 so they fall out of rotation while in-flight requests
+        // finish.
+        if (stopping_.load()) {
+            status = "503 Service Unavailable";
+            body = "draining\n";
+        } else {
+            status = "200 OK";
+            body = "ok\n";
+        }
     } else {
         status = "404 Not Found";
-        body = "try /metrics\n";
+        body = "try /metrics, /statusz, /healthz or /tracez\n";
     }
     std::string resp = "HTTP/1.0 " + status +
-                       "\r\nContent-Type: text/plain; version=0.0.4; "
-                       "charset=utf-8\r\nContent-Length: " +
+                       "\r\nContent-Type: " + ctype +
+                       "\r\nContent-Length: " +
                        std::to_string(body.size()) +
                        "\r\nConnection: close\r\n\r\n" + body;
     conn->wantClose = true;
@@ -683,7 +868,19 @@ void NetServer::closeConn(IoLoop &, const std::shared_ptr<Conn> &) {}
 void NetServer::wake(IoLoop &) {}
 
 std::string
-NetServer::metricsBody() const
+NetServer::metricsBody(bool) const
+{
+    return {};
+}
+
+std::string
+NetServer::statuszBody() const
+{
+    return {};
+}
+
+std::string
+NetServer::tracezBody() const
 {
     return {};
 }

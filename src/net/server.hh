@@ -20,10 +20,18 @@
  * keeps the latency of admitted requests bounded under overload.
  *
  * The same port also answers plain-text HTTP GETs (sniffed from the
- * first bytes of a connection): `GET /metrics` returns the
- * Prometheus exposition of the inference server's registry merged
- * with the process-global one — the pull-based scrape endpoint the
- * observability subsystem was waiting on.
+ * first bytes of a connection), a small introspection surface:
+ *
+ *   GET /metrics   Prometheus exposition of the inference server's
+ *                  registry merged with the process-global one
+ *                  (?compat=1 adds deprecated flat layer names)
+ *   GET /statusz   JSON: build info, uptime, runtime/session config,
+ *                  per-layer plan decisions with probe timings and
+ *                  hardware-counter provenance
+ *   GET /healthz   200 "ok" while serving, 503 "draining" once
+ *                  shutdown began — the load-balancer eviction signal
+ *   GET /tracez    JSON ring of slow-request span timelines (see
+ *                  RuntimeConfig::slowTraceThresholdNs)
  *
  * shutdown() is a graceful drain: stop accepting, shed new requests,
  * wait for every admitted request's response bytes to reach the
@@ -120,7 +128,9 @@ class NetServer
     void flushConn(IoLoop &loop, const std::shared_ptr<Conn> &conn);
     void closeConn(IoLoop &loop, const std::shared_ptr<Conn> &conn);
     void wake(IoLoop &loop);
-    std::string metricsBody() const;
+    std::string metricsBody(bool includeCompat) const;
+    std::string statuszBody() const;
+    std::string tracezBody() const;
 
     InferenceServer &server_;
     NetConfig cfg_;
@@ -132,6 +142,7 @@ class NetServer
     std::atomic<std::uint64_t> requests_{0};
     std::atomic<bool> stopping_{false};
     std::atomic<bool> started_{false};
+    std::int64_t startedAtNs_ = 0; ///< steady-clock ns at start()
 };
 
 } // namespace twq::net

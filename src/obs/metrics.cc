@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <set>
 #include <sstream>
 
 namespace twq::obs
@@ -97,6 +98,87 @@ sanitizeMetricName(const std::string &name)
     return out;
 }
 
+/** Prometheus label-value escaping: backslash, quote, newline. */
+std::string
+escapeLabelValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/**
+ * Split `layer.<net>.<layer>.latency_ns` into its net / layer label
+ * values. The net segment never contains a dot (network names are
+ * identifiers), so everything between the first dot after "layer."
+ * and the ".latency_ns" suffix belongs to the layer name.
+ */
+bool
+parseLayerHistName(const std::string &name, std::string &net,
+                   std::string &layer)
+{
+    constexpr std::string_view prefix = "layer.";
+    constexpr std::string_view suffix = ".latency_ns";
+    if (name.size() <= prefix.size() + suffix.size())
+        return false;
+    if (name.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    if (name.compare(name.size() - suffix.size(), suffix.size(),
+                     suffix) != 0)
+        return false;
+    const std::string mid = name.substr(
+        prefix.size(), name.size() - prefix.size() - suffix.size());
+    const std::size_t dot = mid.find('.');
+    if (dot == std::string::npos || dot == 0 || dot + 1 == mid.size())
+        return false;
+    net = mid.substr(0, dot);
+    layer = mid.substr(dot + 1);
+    return true;
+}
+
+const char *
+helpFor(const std::string &family)
+{
+    static const std::map<std::string, const char *> table = {
+        {"twq_layer_latency_ns",
+         "Per-layer forward latency in nanoseconds, labelled by "
+         "network and layer"},
+        {"twq_server_request_latency_ns",
+         "End-to-end request latency (enqueue to respond) in "
+         "nanoseconds"},
+        {"twq_server_queue_wait_ns",
+         "Time a request waited in the batcher queue in nanoseconds"},
+        {"twq_server_batch_size", "Requests per executed batch"},
+        {"twq_server_shed",
+         "Requests rejected because the pending queue was full"},
+        {"twq_net_requests", "Inference frames accepted off the wire"},
+        {"twq_net_shed",
+         "Inference frames shed at the network front door"},
+        {"twq_trace_dropped_events",
+         "Trace events overwritten by ring wrap-around since enable"},
+        {"twq_plan_cache_hit", "Plan cache lookups that hit"},
+        {"twq_plan_cache_miss", "Plan cache lookups that missed"},
+        {"twq_plan_cache_stale_reject",
+         "Plan cache files rejected for a stale signature"},
+        {"twq_autoselect_cache_hit",
+         "autoSelect decisions served from the plan cache"},
+        {"twq_autoselect_cache_miss",
+         "autoSelect decisions that required a live probe"},
+    };
+    auto it = table.find(family);
+    return it != table.end() ? it->second : "twq runtime metric";
+}
+
 } // namespace
 
 void
@@ -111,28 +193,59 @@ MetricsSnapshot::merge(const MetricsSnapshot &o)
 }
 
 std::string
-MetricsSnapshot::prometheusText() const
+MetricsSnapshot::prometheusText(bool includeCompat) const
 {
     std::ostringstream out;
+    std::set<std::string> announced;
+    // HELP/TYPE belong to the family and must appear exactly once,
+    // even when many labelled series (per-layer histograms) share it.
+    const auto announce = [&](const std::string &family,
+                              const char *type) {
+        if (!announced.insert(family).second)
+            return;
+        out << "# HELP " << family << " " << helpFor(family) << "\n";
+        out << "# TYPE " << family << " " << type << "\n";
+    };
+    const auto summary = [&](const std::string &family,
+                             const std::string &labels,
+                             const HistogramSnapshot &h) {
+        announce(family, "summary");
+        for (double q : {0.5, 0.99, 0.999}) {
+            out << family << "{" << labels
+                << (labels.empty() ? "" : ",") << "quantile=\"" << q
+                << "\"} " << h.quantile(q) << "\n";
+        }
+        const std::string sel =
+            labels.empty() ? "" : "{" + labels + "}";
+        out << family << "_sum" << sel << " " << h.sum << "\n";
+        out << family << "_count" << sel << " " << h.count << "\n";
+    };
+
     for (const auto &[name, v] : counters) {
         const std::string p = sanitizeMetricName(name);
-        out << "# TYPE " << p << " counter\n";
+        announce(p, "counter");
         out << p << " " << v << "\n";
     }
     for (const auto &[name, v] : gauges) {
         const std::string p = sanitizeMetricName(name);
-        out << "# TYPE " << p << " gauge\n";
+        announce(p, "gauge");
         out << p << " " << v << "\n";
     }
     for (const auto &[name, h] : histograms) {
-        const std::string p = sanitizeMetricName(name);
-        out << "# TYPE " << p << " summary\n";
-        for (double q : {0.5, 0.99, 0.999}) {
-            out << p << "{quantile=\"" << q << "\"} "
-                << h.quantile(q) << "\n";
+        std::string net, layer;
+        if (parseLayerHistName(name, net, layer)) {
+            summary("twq_layer_latency_ns",
+                    "net=\"" + escapeLabelValue(net) + "\",layer=\"" +
+                        escapeLabelValue(layer) + "\"",
+                    h);
+            // Deprecated flattened names, kept one release behind a
+            // compat flag so dashboards can migrate to the labelled
+            // family.
+            if (includeCompat)
+                summary(sanitizeMetricName(name), "", h);
+        } else {
+            summary(sanitizeMetricName(name), "", h);
         }
-        out << p << "_sum " << h.sum << "\n";
-        out << p << "_count " << h.count << "\n";
     }
     return out.str();
 }

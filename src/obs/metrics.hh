@@ -104,12 +104,18 @@ struct MetricsSnapshot
     void merge(const MetricsSnapshot &o);
 
     /**
-     * Prometheus-style text exposition: counters as
-     * `twq_<name> <value>`, histograms as summaries with
-     * quantile/sum/count series. Names are sanitized ('.', '-', and
-     * ':' become '_').
+     * Prometheus text exposition (format 0.0.4): every family gets
+     * `# HELP` and `# TYPE` lines, counters and gauges render as
+     * `twq_<name> <value>` with sanitized names ('.', '-', and ':'
+     * become '_'), histograms as summaries with quantile/sum/count
+     * series. Per-layer latency histograms named
+     * `layer.<net>.<layer>.latency_ns` are converted to the single
+     * labelled family `twq_layer_latency_ns{net="...",layer="..."}`
+     * so one dashboard query covers every network; pass
+     * `includeCompat = true` to also emit the old flattened names for
+     * those series (deprecated, kept for one release).
      */
-    std::string prometheusText() const;
+    std::string prometheusText(bool includeCompat = false) const;
 };
 
 #ifndef TWQ_NO_OBS

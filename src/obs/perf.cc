@@ -1,0 +1,273 @@
+#include "obs/perf.hh"
+
+#ifndef TWQ_NO_OBS
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#include <cerrno>
+#endif
+
+namespace twq::obs
+{
+
+namespace
+{
+
+#if defined(__linux__)
+
+/**
+ * One thread's counter group: the cycles leader plus three siblings,
+ * opened lazily on first use and held for the thread's lifetime so a
+ * PerfScope costs ioctls, not opens. PERF_FORMAT_GROUP +
+ * PERF_FORMAT_ID makes one read(2) of the leader return every
+ * sibling from the same atomic sample.
+ */
+struct PerfGroup
+{
+    int leader = -1;
+    int fds[4] = {-1, -1, -1, -1};
+    bool tried = false;
+
+    ~PerfGroup()
+    {
+        for (int fd : fds)
+            if (fd >= 0)
+                ::close(fd);
+    }
+
+    static int
+    openOne(std::uint32_t type, std::uint64_t config, int group)
+    {
+        perf_event_attr attr{};
+        attr.size = sizeof(attr);
+        attr.type = type;
+        attr.config = config;
+        attr.disabled = group < 0 ? 1 : 0; // leader starts disabled
+        attr.exclude_kernel = 1;
+        attr.exclude_hv = 1;
+        attr.read_format = PERF_FORMAT_GROUP;
+        return static_cast<int>(::syscall(SYS_perf_event_open, &attr,
+                                          0 /* this thread */,
+                                          -1 /* any cpu */, group, 0));
+    }
+
+    bool
+    open()
+    {
+        if (tried)
+            return leader >= 0;
+        tried = true;
+        fds[0] = openOne(PERF_TYPE_HARDWARE,
+                         PERF_COUNT_HW_CPU_CYCLES, -1);
+        if (fds[0] < 0)
+            return false;
+        fds[1] = openOne(PERF_TYPE_HARDWARE,
+                         PERF_COUNT_HW_INSTRUCTIONS, fds[0]);
+        fds[2] = openOne(PERF_TYPE_HARDWARE,
+                         PERF_COUNT_HW_CACHE_REFERENCES, fds[0]);
+        fds[3] = openOne(PERF_TYPE_HARDWARE,
+                         PERF_COUNT_HW_CACHE_MISSES, fds[0]);
+        if (fds[1] < 0 || fds[2] < 0 || fds[3] < 0) {
+            // All four or nothing: a partial group would skew IPC
+            // and miss rates against each other.
+            for (int &fd : fds) {
+                if (fd >= 0)
+                    ::close(fd);
+                fd = -1;
+            }
+            return false;
+        }
+        leader = fds[0];
+        return true;
+    }
+
+    bool
+    start()
+    {
+        if (!open())
+            return false;
+        if (::ioctl(leader, PERF_EVENT_IOC_RESET,
+                    PERF_IOC_FLAG_GROUP) < 0)
+            return false;
+        return ::ioctl(leader, PERF_EVENT_IOC_ENABLE,
+                       PERF_IOC_FLAG_GROUP) >= 0;
+    }
+
+    PerfCounters
+    stop()
+    {
+        PerfCounters c;
+        if (leader < 0)
+            return c;
+        ::ioctl(leader, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+        // PERF_FORMAT_GROUP layout: u64 nr, then one u64 per member
+        // in open order.
+        struct
+        {
+            std::uint64_t nr;
+            std::uint64_t values[4];
+        } sample{};
+        const ssize_t n =
+            ::read(leader, &sample, sizeof(sample));
+        if (n != sizeof(sample) || sample.nr != 4)
+            return c;
+        c.cycles = sample.values[0];
+        c.instructions = sample.values[1];
+        c.cacheRefs = sample.values[2];
+        c.cacheMisses = sample.values[3];
+        c.valid = true;
+        return c;
+    }
+};
+
+thread_local PerfGroup tlsGroup;
+
+/** Depth guard: only the outermost PerfScope on a thread counts. */
+thread_local int tlsScopeDepth = 0;
+
+bool
+probeAvailability()
+{
+    if (const char *env = std::getenv("TWQ_NO_PERF");
+        env && env[0] != '\0' && std::strcmp(env, "0") != 0)
+        return false;
+    PerfGroup probe;
+    return probe.open();
+}
+
+#else // !__linux__
+
+bool
+probeAvailability()
+{
+    return false;
+}
+
+#endif // __linux__
+
+} // namespace
+
+bool
+perfAvailable()
+{
+    static const bool avail = probeAvailability();
+    return avail;
+}
+
+#if defined(__linux__)
+
+PerfScope::PerfScope()
+{
+    if (!perfAvailable())
+        return;
+    counted_ = true;
+    if (tlsScopeDepth++ == 0)
+        active_ = tlsGroup.start();
+}
+
+PerfScope::~PerfScope()
+{
+    stop();
+}
+
+PerfCounters
+PerfScope::stop()
+{
+    // Each scope releases its depth slot exactly once, whether it
+    // was the counting outermost scope or an inert nested one, and
+    // whether stop() is called explicitly, by the destructor, or
+    // both.
+    if (!counted_)
+        return {};
+    counted_ = false;
+    --tlsScopeDepth;
+    if (!active_)
+        return {};
+    active_ = false;
+    return tlsGroup.stop();
+}
+
+#else // !__linux__
+
+PerfScope::PerfScope() = default;
+
+PerfScope::~PerfScope() = default;
+
+PerfCounters
+PerfScope::stop()
+{
+    return {};
+}
+
+#endif // __linux__
+
+PerfStageCollector &
+PerfStageCollector::global()
+{
+    static PerfStageCollector c;
+    return c;
+}
+
+void
+PerfStageCollector::enable()
+{
+    on_.store(true, std::memory_order_relaxed);
+}
+
+void
+PerfStageCollector::disable()
+{
+    on_.store(false, std::memory_order_relaxed);
+}
+
+std::map<std::string, PerfStageTotal>
+PerfStageCollector::totals() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return totals_;
+}
+
+void
+PerfStageCollector::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    totals_.clear();
+}
+
+void
+PerfStageCollector::add(const char *stage, const PerfCounters &c)
+{
+    if (!c.valid)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    PerfStageTotal &t = totals_[stage];
+    ++t.count;
+    t.counters += c;
+}
+
+void
+StageCounters::begin(const char *stage)
+{
+    stage_ = stage;
+    scope_ = ::new (static_cast<void *>(storage_)) PerfScope();
+}
+
+void
+StageCounters::end()
+{
+    const PerfCounters c = scope_->stop();
+    scope_->~PerfScope();
+    scope_ = nullptr;
+    PerfStageCollector::global().add(stage_, c);
+}
+
+} // namespace twq::obs
+
+#endif // TWQ_NO_OBS

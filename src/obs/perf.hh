@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Hardware performance counters over perf_event_open(2).
+ *
+ * PerfScope is an RAII window over one grouped counter set — cycles,
+ * instructions, cache references, cache misses — opened once per
+ * thread and reset/enabled per scope, so a scope costs two ioctls
+ * and one read(2), not a syscall-heavy open/close pair. The group is
+ * read atomically (PERF_FORMAT_GROUP), so IPC and miss rates are
+ * computed from one consistent sample.
+ *
+ * Availability is probed once per process and degrades gracefully:
+ * no Linux, no perf_event_open permission (perf_event_paranoid,
+ * seccomp, containers), or TWQ_NO_PERF=1 in the environment all make
+ * perfAvailable() false and every scope a cheap no-op whose counters
+ * read back invalid — callers branch on PerfCounters::valid, never
+ * on the platform. TWQ_NO_PERF is also the CI lever that proves the
+ * fallback path on hosts where the syscall would work.
+ *
+ * StageCounters + TWQ_STAGE_PERF wire the same group into the
+ * per-stage backend spans: when the process-global PerfStageCollector
+ * is enabled (bench, autoSelect provenance, tests — never the
+ * serving default), each instrumented stage accumulates its counters
+ * into a name-keyed rollup alongside the span tracer's wall times.
+ * Disabled, an instrumented stage costs one relaxed atomic load.
+ *
+ * Under TWQ_NO_OBS the whole header compiles to stubs with the same
+ * API, exactly like metrics.hh/trace.hh.
+ */
+
+#ifndef TWQ_OBS_PERF_HH
+#define TWQ_OBS_PERF_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#ifndef TWQ_NO_OBS
+#include <atomic>
+#include <mutex>
+#endif
+
+namespace twq::obs
+{
+
+/** One grouped counter sample (deltas over a PerfScope window). */
+struct PerfCounters
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cacheRefs = 0;
+    std::uint64_t cacheMisses = 0;
+    /** False when counters were unavailable for the window. */
+    bool valid = false;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) /
+                                 static_cast<double>(cycles);
+    }
+
+    /** Cache misses per reference, in [0, 1] (0 when unmeasured). */
+    double
+    missRate() const
+    {
+        return cacheRefs == 0 ? 0.0
+                              : static_cast<double>(cacheMisses) /
+                                    static_cast<double>(cacheRefs);
+    }
+
+    PerfCounters &
+    operator+=(const PerfCounters &o)
+    {
+        cycles += o.cycles;
+        instructions += o.instructions;
+        cacheRefs += o.cacheRefs;
+        cacheMisses += o.cacheMisses;
+        valid = valid || o.valid;
+        return *this;
+    }
+};
+
+/** Per-stage counter rollup (count = completed scope windows). */
+struct PerfStageTotal
+{
+    std::uint64_t count = 0;
+    PerfCounters counters;
+};
+
+#ifndef TWQ_NO_OBS
+
+/**
+ * True when this process can open the grouped counter set. Probed
+ * once (first call); TWQ_NO_PERF=1 in the environment forces false
+ * before the probe runs.
+ */
+bool perfAvailable();
+
+/**
+ * Counting window over the calling thread's counter group. Not
+ * reentrant per thread: a nested scope on the same thread is inert
+ * (its counters read back invalid) instead of clobbering the outer
+ * window's reset.
+ */
+class PerfScope
+{
+  public:
+    PerfScope();
+    ~PerfScope();
+
+    PerfScope(const PerfScope &) = delete;
+    PerfScope &operator=(const PerfScope &) = delete;
+
+    /** Counting right now (available, outermost, started cleanly). */
+    bool active() const { return active_; }
+
+    /**
+     * Stop counting and read the window's deltas. Idempotent: the
+     * second call (or the destructor after it) is a no-op returning
+     * an invalid sample.
+     */
+    PerfCounters stop();
+
+  private:
+    bool active_ = false;
+    /** This scope holds a depth slot that stop() must release. */
+    bool counted_ = false;
+};
+
+/**
+ * Process-global per-stage rollup fed by StageCounters scopes.
+ * Disabled by default; bench runs, autoSelect provenance probes and
+ * tests enable it around their measured region.
+ */
+class PerfStageCollector
+{
+  public:
+    static PerfStageCollector &global();
+
+    void enable();
+    void disable();
+
+    bool
+    enabled() const
+    {
+        return on_.load(std::memory_order_relaxed);
+    }
+
+    /** Copy of the rollup (stage name -> totals). */
+    std::map<std::string, PerfStageTotal> totals() const;
+
+    void reset();
+
+    /** Accumulate one completed window (called by StageCounters). */
+    void add(const char *stage, const PerfCounters &c);
+
+  private:
+    PerfStageCollector() = default;
+
+    std::atomic<bool> on_{false};
+    mutable std::mutex mu_;
+    std::map<std::string, PerfStageTotal> totals_;
+};
+
+/**
+ * Scoped per-stage counter window: counts only while the collector
+ * is enabled AND counters are available; otherwise one relaxed load.
+ * `stage` must be a string literal (stored by pointer until dtor).
+ */
+class StageCounters
+{
+  public:
+    explicit StageCounters(const char *stage)
+    {
+        if (PerfStageCollector::global().enabled() && perfAvailable())
+            begin(stage);
+    }
+
+    ~StageCounters()
+    {
+        if (scope_)
+            end();
+    }
+
+    StageCounters(const StageCounters &) = delete;
+    StageCounters &operator=(const StageCounters &) = delete;
+
+  private:
+    void begin(const char *stage);
+    void end();
+
+    const char *stage_ = nullptr;
+    PerfScope *scope_ = nullptr;
+    alignas(PerfScope) unsigned char storage_[sizeof(PerfScope)];
+};
+
+#else // TWQ_NO_OBS ------------------------------------------ stubs
+
+inline bool
+perfAvailable()
+{
+    return false;
+}
+
+class PerfScope
+{
+  public:
+    PerfScope() = default;
+    bool active() const { return false; }
+    PerfCounters stop() { return {}; }
+};
+
+class PerfStageCollector
+{
+  public:
+    static PerfStageCollector &
+    global()
+    {
+        static PerfStageCollector c;
+        return c;
+    }
+
+    void enable() {}
+    void disable() {}
+    bool enabled() const { return false; }
+    std::map<std::string, PerfStageTotal> totals() const { return {}; }
+    void reset() {}
+    void add(const char *, const PerfCounters &) {}
+};
+
+class StageCounters
+{
+  public:
+    explicit StageCounters(const char *) {}
+};
+
+#endif // TWQ_NO_OBS
+
+} // namespace twq::obs
+
+/** Per-stage counter window; expands to nothing under TWQ_NO_OBS. */
+#ifndef TWQ_NO_OBS
+#define TWQ_STAGE_PERF_CAT2(a, b) a##b
+#define TWQ_STAGE_PERF_CAT(a, b) TWQ_STAGE_PERF_CAT2(a, b)
+#define TWQ_STAGE_PERF(name)                                   \
+    ::twq::obs::StageCounters TWQ_STAGE_PERF_CAT(twqStage_,    \
+                                                 __LINE__)(name)
+#else
+#define TWQ_STAGE_PERF(name) ((void)0)
+#endif
+
+#endif // TWQ_OBS_PERF_HH

@@ -34,6 +34,9 @@ struct TraceEvent
     // dur == ~0 marks an instant event (traceInstant).
     std::atomic<std::uint64_t> dur{0};
     std::atomic<std::int64_t> arg{-1};
+    // Request trace id sampled from the writer's TraceContext
+    // (0 = not request-scoped).
+    std::atomic<std::uint64_t> flow{0};
 };
 
 struct TraceBuffer
@@ -123,10 +126,18 @@ record(const char *name, std::uint64_t t0, std::uint64_t dur,
     ev.t0.store(t0, std::memory_order_relaxed);
     ev.dur.store(dur, std::memory_order_relaxed);
     ev.arg.store(arg, std::memory_order_relaxed);
+    ev.flow.store(tlsTraceId, std::memory_order_relaxed);
     buf.head.store(h + 1, std::memory_order_release);
 }
 
 } // namespace detail
+
+std::uint64_t
+mintTraceId()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 void
 setThreadLane(const char *name)
@@ -186,6 +197,7 @@ struct FlushedEvent
     std::uint64_t dur;
     std::int64_t arg;
     std::uint64_t tid;
+    std::uint64_t flow;
 };
 
 /**
@@ -216,7 +228,8 @@ collect(std::vector<FlushedEvent> &out,
             out.push_back(
                 {name, ev.t0.load(std::memory_order_relaxed),
                  ev.dur.load(std::memory_order_relaxed),
-                 ev.arg.load(std::memory_order_relaxed), buf->tid});
+                 ev.arg.load(std::memory_order_relaxed), buf->tid,
+                 ev.flow.load(std::memory_order_relaxed)});
         }
         lanes.emplace_back(buf->tid, buf->lane);
     }
@@ -288,12 +301,62 @@ TraceCollector::json()
                           static_cast<double>(ev.dur) * 1e-3);
             out += num;
         }
-        if (ev.arg >= 0) {
-            out += ",\"args\":{\"arg\":";
-            out += std::to_string(ev.arg);
+        if (ev.arg >= 0 || ev.flow != 0) {
+            out += ",\"args\":{";
+            bool firstArg = true;
+            if (ev.arg >= 0) {
+                out += "\"arg\":";
+                out += std::to_string(ev.arg);
+                firstArg = false;
+            }
+            if (ev.flow != 0) {
+                if (!firstArg)
+                    out += ',';
+                out += "\"trace_id\":";
+                out += std::to_string(ev.flow);
+            }
             out += '}';
         }
         out += '}';
+    }
+    // Request flows: each trace id's chronological span sequence
+    // becomes a Chrome flow (ph s -> t... -> f with a shared id), so
+    // Perfetto draws one arrowed path per request across thread
+    // lanes. A flow event binds to the slice that encloses its ts on
+    // the same tid, so each is pinned just inside its span's start.
+    std::map<std::uint64_t, std::vector<const FlushedEvent *>> flows;
+    for (const FlushedEvent &ev : events)
+        if (ev.flow != 0 && ev.dur != ~std::uint64_t{0})
+            flows[ev.flow].push_back(&ev);
+    for (auto &[id, evs] : flows) {
+        std::sort(evs.begin(), evs.end(),
+                  [](const FlushedEvent *a, const FlushedEvent *b) {
+                      return a->t0 < b->t0;
+                  });
+        for (std::size_t i = 0; i < evs.size(); ++i) {
+            const FlushedEvent &ev = *evs[i];
+            if (!first)
+                out += ',';
+            first = false;
+            const bool last = i + 1 == evs.size();
+            const char *ph = i == 0 ? "s" : (last ? "f" : "t");
+            const double tsUs =
+                static_cast<double>(ev.t0 - std::min(ev.t0, epoch)) *
+                    1e-3 +
+                std::min(static_cast<double>(ev.dur) * 1e-3, 0.5) *
+                    0.5;
+            out += "{\"ph\":\"";
+            out += ph;
+            out += "\",\"cat\":\"request\",\"name\":\"req\",\"id\":";
+            out += std::to_string(id);
+            out += ",\"pid\":1,\"tid\":";
+            out += std::to_string(ev.tid);
+            std::snprintf(num, sizeof(num), ",\"ts\":%.3f", tsUs);
+            out += num;
+            if (last)
+                out += ",\"bp\":\"e\"";
+            out += '}';
+        }
     }
     out += "],\"displayTimeUnit\":\"ms\"}";
     return out;
@@ -376,6 +439,19 @@ TraceCollector::droppedEvents() const
     // Surface ring truncation in the metrics registry: every reader
     // (a /metrics scrape included) refreshes the gauge.
     gauge.set(static_cast<std::int64_t>(dropped));
+    // And in the log: growing drops mean the rings are undersized for
+    // the workload (SessionConfig::traceRingSlots). twq_warn is
+    // rate-limited per call site, so a hot scrape loop cannot spam.
+    static std::atomic<std::uint64_t> lastWarned{0};
+    std::uint64_t prev = lastWarned.load(std::memory_order_relaxed);
+    if (dropped > prev &&
+        lastWarned.compare_exchange_strong(prev, dropped,
+                                           std::memory_order_relaxed))
+        twq_warn("trace: ", dropped,
+                 " events overwritten by ring wrap-around; raise the "
+                 "per-thread ring capacity "
+                 "(SessionConfig::traceRingSlots or "
+                 "TraceCollector::enable)");
     return dropped;
 }
 

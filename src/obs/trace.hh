@@ -22,6 +22,15 @@
  * ("worker 0", "dispatcher", ...); the JSON writer emits matching
  * thread_name metadata so Perfetto groups spans per worker.
  *
+ * Request attribution: a trace id minted at ingress (mintTraceId)
+ * rides a thread-local context (TraceContext RAII) that every ring
+ * write samples, so spans recorded anywhere below the context — the
+ * batcher, a pool worker, a backend stage — carry the request's id
+ * without changing a single TWQ_SPAN call site. The JSON writer
+ * turns each id's chronological span sequence into Chrome flow
+ * events (ph s/t/f), so Perfetto renders one arrowed flow per
+ * request across thread lanes.
+ *
  * Tracing is off by default and the whole subsystem compiles to
  * no-ops under TWQ_NO_OBS; the TWQ_SPAN macro then expands to
  * ((void)0) so instrumented hot loops carry zero code.
@@ -57,6 +66,13 @@ namespace detail
 /** Process-wide tracing flag; relaxed reads on the hot path. */
 inline std::atomic<bool> traceOn{false};
 
+/**
+ * The calling thread's current request trace id (0 = none), sampled
+ * by every ring write. Plain thread_local, not atomic: only the
+ * owning thread reads or writes it.
+ */
+inline thread_local std::uint64_t tlsTraceId = 0;
+
 struct TraceBuffer;
 TraceBuffer &threadBuffer();
 
@@ -81,6 +97,41 @@ traceEnabled()
  */
 void setThreadLane(const char *name);
 void setThreadLane(const char *name, std::size_t index);
+
+/** Mint a process-unique, non-zero request trace id. */
+std::uint64_t mintTraceId();
+
+/** The calling thread's current trace id (0 when outside a context). */
+inline std::uint64_t
+currentTraceId()
+{
+    return detail::tlsTraceId;
+}
+
+/**
+ * RAII request-trace context: spans recorded on this thread inside
+ * the scope carry `id` and join that request's Perfetto flow. Nests
+ * (the previous id is restored on exit) and costs two thread-local
+ * stores, so it is safe on the request hot path even with tracing
+ * disabled. Id 0 deliberately clears the context (batch boundaries).
+ */
+class TraceContext
+{
+  public:
+    explicit TraceContext(std::uint64_t id)
+        : prev_(detail::tlsTraceId)
+    {
+        detail::tlsTraceId = id;
+    }
+
+    ~TraceContext() { detail::tlsTraceId = prev_; }
+
+    TraceContext(const TraceContext &) = delete;
+    TraceContext &operator=(const TraceContext &) = delete;
+
+  private:
+    std::uint64_t prev_;
+};
 
 /**
  * RAII complete-event span. Construction samples the clock only when
@@ -170,6 +221,25 @@ traceEnabled()
 
 inline void setThreadLane(const char *) {}
 inline void setThreadLane(const char *, std::size_t) {}
+
+/** No tracing, no flows: ids collapse to 0 (callers pass them through). */
+inline std::uint64_t
+mintTraceId()
+{
+    return 0;
+}
+
+inline std::uint64_t
+currentTraceId()
+{
+    return 0;
+}
+
+class TraceContext
+{
+  public:
+    explicit TraceContext(std::uint64_t) {}
+};
 
 class Span
 {

@@ -7,6 +7,7 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "layout/kernels.hh"
+#include "obs/perf.hh"
 #include "obs/trace.hh"
 #include "quant/quantizer.hh"
 
@@ -154,6 +155,7 @@ BlockedIntWinograd::scatterGemm(const TensorD &input, bool useShifts,
     // divide.
     {
         TWQ_SPAN("winoc8i.quantize");
+        TWQ_STAGE_PERF("winoc8i.quantize");
         if (xq.shape() != input.shape())
             xq = TensorI32(input.shape());
         if (cfg.pow2Scales) {
@@ -174,6 +176,7 @@ BlockedIntWinograd::scatterGemm(const TensorD &input, bool useShifts,
     // requantization narrowing into the int16 GEMM operand.
     {
         TWQ_SPAN("winoc8i.gather");
+        TWQ_STAGE_PERF("winoc8i.gather");
         winogradGatherTilesBlocked(xq, cfg.variant, cfg.pad, V);
     }
     const Shape ushape{tt, cinb_, d.tiles, kB};
@@ -182,6 +185,7 @@ BlockedIntWinograd::scatterGemm(const TensorD &input, bool useShifts,
     const std::size_t rowLen = cinb_ * d.tiles * kB;
     {
         TWQ_SPAN("winoc8i.bkron");
+        TWQ_STAGE_PERF("winoc8i.bkron");
         layout::kernels().kronI32(
             winoInputKron<std::int32_t>(cfg.variant), V.data(),
             rowLen, U32.data());
@@ -189,6 +193,7 @@ BlockedIntWinograd::scatterGemm(const TensorD &input, bool useShifts,
     const MatrixD &sb = conv_->inputTapScale();
     if (use8_) {
         TWQ_SPAN("winoc8i.requant");
+        TWQ_STAGE_PERF("winoc8i.requant");
         // Requantize straight into the biased-u8 operand of the
         // vpdpbusd tap kernel (value + 128 per element).
         if (U8.shape() != ushape)
@@ -218,6 +223,7 @@ BlockedIntWinograd::scatterGemm(const TensorD &input, bool useShifts,
         }
     } else {
         TWQ_SPAN("winoc8i.requant");
+        TWQ_STAGE_PERF("winoc8i.requant");
         if (U16.shape() != ushape)
             U16 = TensorI16(ushape);
         for (std::size_t k = 0; k < tt; ++k) {
@@ -252,6 +258,7 @@ BlockedIntWinograd::scatterGemm(const TensorD &input, bool useShifts,
         M = TensorI32(mshape);
     const std::size_t cinp = cinb_ * kB;
     TWQ_SPAN("winoc8i.tapgemm"); // covers the GEMM to end of scope
+    TWQ_STAGE_PERF("winoc8i.tapgemm");
     if (use8_) {
         const layout::TapGemmU8Fn tapGemm =
             layout::kernels().tapGemmU8;
@@ -317,6 +324,7 @@ BlockedIntWinograd::forwardInto(const TensorD &input, TensorI32 &xq,
         Md = TensorD(mdshape);
     {
         TWQ_SPAN("winoc8i.rescale");
+        TWQ_STAGE_PERF("winoc8i.rescale");
         for (std::size_t k = 0; k < tt; ++k)
             for (std::size_t co = 0; co < coutb_; ++co)
                 layout::kernels().scaleI32F64(
@@ -330,12 +338,14 @@ BlockedIntWinograd::forwardInto(const TensorD &input, TensorI32 &xq,
         Y = TensorD(yshape);
     {
         TWQ_SPAN("winoc8i.akron");
+        TWQ_STAGE_PERF("winoc8i.akron");
         layout::kernels().kron(winoOutputKron<double>(cfg.variant),
                                Md.data(), coutb_ * d.tiles * kB,
                                Y.data());
     }
     {
         TWQ_SPAN("winoc8i.untile");
+        TWQ_STAGE_PERF("winoc8i.untile");
         winogradUntileBlocked(Y, cfg.variant, out, bias8, relu);
     }
 }

@@ -7,6 +7,7 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "gemm/gemm.hh"
+#include "obs/perf.hh"
 #include "obs/trace.hh"
 #include "quant/calibration.hh"
 #include "quant/quantizer.hh"
@@ -151,6 +152,7 @@ IntWinogradConv::scatterGemm(const TensorD &input, bool useShifts,
     // Spatial-domain input quantization.
     {
         TWQ_SPAN("wino8.quantize");
+        TWQ_STAGE_PERF("wino8.quantize");
         if (xq.shape() != input.shape())
             xq = TensorI64(input.shape());
         for (std::size_t i = 0; i < input.numel(); ++i)
@@ -163,6 +165,7 @@ IntWinogradConv::scatterGemm(const TensorD &input, bool useShifts,
     // applied per row of the flat [t*t, Cin, P] buffer.
     {
         TWQ_SPAN("wino8.gather");
+        TWQ_STAGE_PERF("wino8.gather");
         winogradGatherTiles(xq, cfg_.variant, cfg_.pad, V);
     }
     const Shape ushape{tt, d.cin, d.tiles};
@@ -171,11 +174,13 @@ IntWinogradConv::scatterGemm(const TensorD &input, bool useShifts,
     const std::size_t rowLen = d.cin * d.tiles;
     {
         TWQ_SPAN("wino8.bkron");
+        TWQ_STAGE_PERF("wino8.bkron");
         applyKron(winoInputKron<std::int64_t>(cfg_.variant), V.data(),
                   rowLen, U.data());
     }
     {
         TWQ_SPAN("wino8.requant");
+        TWQ_STAGE_PERF("wino8.requant");
         for (std::size_t k = 0; k < tt; ++k) {
             std::int64_t *row = U.data() + k * rowLen;
             const double s = sb_(k / t, k % t);
@@ -208,6 +213,7 @@ IntWinogradConv::scatterGemm(const TensorD &input, bool useShifts,
     if (!runner)
         packs = nullptr; // lanes are only exclusive under a runner
     TWQ_SPAN("wino8.tapgemm");
+    TWQ_STAGE_PERF("wino8.tapgemm");
     gemm::runTapColBlocks(
         runner, tt, d.tiles, gemm::kNr,
         [&](std::size_t k, std::size_t j0, std::size_t jn,
@@ -254,6 +260,7 @@ IntWinogradConv::forwardInto(const TensorD &input, TensorI64 &xq,
     // the FP back-transform (Vector Unit / FixPipe in hardware),
     // written straight into the NCHW output.
     TWQ_SPAN("wino8.untile");
+    TWQ_STAGE_PERF("wino8.untile");
     std::int64_t acc[kMaxT * kMaxT];
     double y[kMaxT * kMaxT];
     double tmpd[kMaxT * kMaxT];

@@ -26,6 +26,20 @@
 namespace twq
 {
 
+/**
+ * Server-side wall-time breakdown of one request, in nanoseconds.
+ * The three phases partition the enqueue-to-respond interval exactly:
+ * queueNs + batchNs + computeNs == time from Batcher::add to the
+ * moment the completion callback runs, so a client can subtract the
+ * total from its measured RTT to get pure network + encode time.
+ */
+struct RequestTiming
+{
+    std::uint64_t queueNs = 0;   ///< waiting in the batcher queue
+    std::uint64_t batchNs = 0;   ///< batch overhead (stack/respond/peers)
+    std::uint64_t computeNs = 0; ///< the batched forward pass itself
+};
+
 /** One in-flight inference request. */
 struct InferRequest
 {
@@ -39,10 +53,16 @@ struct InferRequest
      */
     using Respond = std::function<void(TensorD &&, std::exception_ptr)>;
 
+    /** Callback variant that also receives the timing breakdown. */
+    using RespondTimed = std::function<void(
+        TensorD &&, std::exception_ptr, const RequestTiming &)>;
+
     std::uint64_t id = 0;
+    /** Request trace id minted at ingress; 0 when tracing is off. */
+    std::uint64_t traceId = 0;
     TensorD input; ///< [1, C, H, W]
     std::promise<TensorD> promise;
-    Respond respond; ///< callback path; promise path when empty
+    RespondTimed respond; ///< callback path; promise path when empty
     std::chrono::steady_clock::time_point enqueued;
 };
 

@@ -10,6 +10,7 @@
 #include "gemm/gemm.hh"
 #include "layout/kernels.hh"
 #include "layout/wino_blocked.hh"
+#include "obs/perf.hh"
 #include "obs/trace.hh"
 #include "quant/calibration.hh"
 #include "quant/int_wino_blocked.hh"
@@ -143,6 +144,7 @@ class Im2colBackend : public ConvBackend
                             static_cast<double>(ckk) *
                             static_cast<double>(spatial);
         TWQ_SPAN("im2col.conv");
+        TWQ_STAGE_PERF("im2col.conv");
         conv2dIm2colPackedInto(input, p.wmat, p.params, cols, out,
                                ctx.runnerFor(macs), ctx.packs,
                                p.bias.empty() ? nullptr : p.bias.data(),
@@ -862,6 +864,7 @@ class Im2colInt8Backend : public ConvBackend
         TensorI8 &xq = scratch.tensorI8(p.quantized, input.shape());
         {
             TWQ_SPAN("im8.quantize");
+            TWQ_STAGE_PERF("im8.quantize");
             if (p.pow2Sx) {
                 // Vectorized narrowing quantization (exact for pow2
                 // scales — see layout::QuantizeI8Fn).
@@ -888,11 +891,13 @@ class Im2colInt8Backend : public ConvBackend
         for (std::size_t in = 0; in < n; ++in) {
             {
                 TWQ_SPAN("im8.lower");
+                TWQ_STAGE_PERF("im8.lower");
                 im2colInto(xq, in, p.params, cols);
             }
             // Output-channel row blocks, as in the FP im2col path.
             {
                 TWQ_SPAN("im8.gemm");
+                TWQ_STAGE_PERF("im8.gemm");
                 gemm::runRowBlocks(
                     runner, cout, gemm::kMr,
                     [&](std::size_t r0, std::size_t rows,
@@ -918,6 +923,7 @@ class Im2colInt8Backend : public ConvBackend
             // bias add, ReLU, and (requantScale > 0) the requantized
             // u8 image, all without a second pass over the plane.
             TWQ_SPAN("im8.dequant");
+            TWQ_STAGE_PERF("im8.dequant");
             double *dst = out.data() + in * cout * spatial;
             std::uint8_t *u8dst = nullptr;
             if (p.requantScale > 0.0) {

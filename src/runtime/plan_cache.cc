@@ -16,7 +16,7 @@ namespace
 {
 
 constexpr const char *kMagic = "twq-plan-cache";
-constexpr const char *kVersion = "v2";
+constexpr const char *kVersion = "v3";
 
 bool
 variantFromName(const std::string &name, WinoVariant *out)
@@ -102,7 +102,9 @@ PlanCache::serialize() const
     out << kMagic << ' ' << kVersion << ' ' << signature() << '\n';
     for (const auto &[key, d] : entries_)
         out << key << ' ' << convEngineName(d.engine) << ' '
-            << winoName(d.variant) << '\n';
+            << winoName(d.variant) << ' ' << d.probeNs << ' '
+            << d.cycles << ' ' << d.instructions << ' '
+            << d.cacheRefs << ' ' << d.cacheMisses << '\n';
     return out.str();
 }
 
@@ -142,7 +144,9 @@ PlanCache::deserialize(const std::string &text)
         std::istringstream fields(line);
         std::string key, engine, variant;
         Decision d;
-        if (!(fields >> key >> engine >> variant) ||
+        if (!(fields >> key >> engine >> variant >> d.probeNs >>
+              d.cycles >> d.instructions >> d.cacheRefs >>
+              d.cacheMisses) ||
             !convEngineFromName(engine, &d.engine) ||
             !variantFromName(variant, &d.variant))
             return false;

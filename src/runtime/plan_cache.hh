@@ -15,16 +15,24 @@
  * The cache is a plain line-oriented text format whose header carries
  * the kernel-table signature of the process that measured the plans:
  *
- *     twq-plan-cache v2 sig=avx2/avx512-vnni/avx2
- *     c64o64k3s1h16w16b8 winograd-blocked F4
+ *     twq-plan-cache v3 sig=avx2/avx512-vnni/avx2
+ *     c64o64k3s1h16w16b8 winograd-blocked F4 182340 812345 1623490 40210 1204
  *     ...
+ *
+ * The five numeric fields after the variant are measurement
+ * provenance: the winning candidate's best probe time in nanoseconds,
+ * then the hardware counters sampled over that probe — cycles,
+ * instructions, cache references, cache misses (all zero when
+ * perf_event_open was unavailable). Provenance lets an operator audit
+ * WHY a cached plan won (`/statusz` surfaces it per layer) without
+ * re-probing.
  *
  * A measured ranking is only meaningful on the kernel set that
  * produced it — a plan probed on an AVX-512 VNNI host misfires on a
  * scalar-kernel host — so deserialize() rejects any input whose
  * signature differs from signature() (leaving the in-memory cache
  * untouched), forcing a re-probe instead of applying a stale plan.
- * Older v1 files are rejected the same way.
+ * Older v1/v2 files are rejected the same way.
  *
  * Thread-safe: sessions built concurrently may share one instance.
  */
@@ -47,12 +55,25 @@ namespace twq
 class PlanCache
 {
   public:
-    /** One cached autoSelect outcome. */
+    /** One cached autoSelect outcome, plus measurement provenance. */
     struct Decision
     {
         ConvEngine engine = ConvEngine::Im2col;
         WinoVariant variant = WinoVariant::F2;
 
+        /** Winning candidate's best probe run, ns (0 = unknown). */
+        std::uint64_t probeNs = 0;
+        /** Counters over that probe; all zero when unmeasured. */
+        std::uint64_t cycles = 0;
+        std::uint64_t instructions = 0;
+        std::uint64_t cacheRefs = 0;
+        std::uint64_t cacheMisses = 0;
+
+        /**
+         * Equality is the PLAN, not the provenance: two decisions
+         * that pick the same (engine, variant) are the same plan
+         * even if measured at different speeds.
+         */
         bool
         operator==(const Decision &o) const
         {

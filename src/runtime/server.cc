@@ -13,13 +13,19 @@ namespace
 {
 
 std::uint64_t
-nsSince(std::chrono::steady_clock::time_point t0)
+nsBetween(std::chrono::steady_clock::time_point t0,
+          std::chrono::steady_clock::time_point t1)
 {
-    const auto d = std::chrono::steady_clock::now() - t0;
     const auto ns =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(d)
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
             .count();
     return ns < 0 ? 0 : static_cast<std::uint64_t>(ns);
+}
+
+std::uint64_t
+nsSince(std::chrono::steady_clock::time_point t0)
+{
+    return nsBetween(t0, std::chrono::steady_clock::now());
 }
 
 } // namespace
@@ -71,7 +77,13 @@ InferenceServer::enqueue(TensorD input, InferRequest req)
                "request shape does not match the session's network");
 
     req.id = nextId_.fetch_add(1);
+    if (req.traceId == 0)
+        req.traceId = obs::mintTraceId();
     req.input = std::move(input);
+    // The ingress span is the flow's first slice: recorded under the
+    // request's context so Perfetto anchors the arrow at submit time.
+    obs::TraceContext traceCtx(req.traceId);
+    TWQ_SPAN("server.ingress");
     batcher_.add(std::move(req));
 }
 
@@ -126,6 +138,25 @@ InferenceServer::submitCallback(TensorD input,
     if (shedNow())
         return false;
     InferRequest req;
+    req.respond = [cb = std::move(respond)](
+                      TensorD &&out, std::exception_ptr err,
+                      const RequestTiming &) {
+        cb(std::move(out), err);
+    };
+    enqueue(std::move(input), std::move(req));
+    return true;
+}
+
+bool
+InferenceServer::submitTimed(TensorD input, std::uint64_t traceId,
+                             InferRequest::RespondTimed respond)
+{
+    twq_assert(respond != nullptr,
+               "submitTimed needs a completion callback");
+    if (shedNow())
+        return false;
+    InferRequest req;
+    req.traceId = traceId;
     req.respond = std::move(respond);
     enqueue(std::move(input), std::move(req));
     return true;
@@ -158,13 +189,23 @@ InferenceServer::dispatchLoop()
 void
 InferenceServer::execute(Batch batch, std::size_t worker)
 {
+    // The batch boundary: everything before this instant is queue
+    // wait, everything after is batch overhead or compute. The three
+    // phases partition enqueue-to-respond exactly (see RequestTiming).
+    const auto tBatchStart = std::chrono::steady_clock::now();
+    // A batch coalesces many flows; the shared spans (stack, compute,
+    // the backend stages inside runInto) join the first request's
+    // flow so at least one request renders end-to-end in Perfetto.
+    obs::TraceContext batchCtx(
+        batch.requests.empty() ? 0 : batch.requests[0].traceId);
     TWQ_SPAN_ARG("server.batch",
                  static_cast<std::int64_t>(batch.size()));
     // Queue wait: enqueue in Batcher::add() to pickup by a worker.
     for (const InferRequest &req : batch.requests)
-        queueWait_.record(nsSince(req.enqueued));
+        queueWait_.record(nsBetween(req.enqueued, tBatchStart));
     batchSizeHist_.record(batch.size());
 
+    std::uint64_t computeNs = 0;
     std::size_t fulfilled = 0;
     try {
         std::vector<const TensorD *> items;
@@ -201,7 +242,11 @@ InferenceServer::execute(Batch batch, std::size_t worker)
         Shape oshape = session_->outputShape();
         oshape[0] = batch.size();
         TensorD &out = arena.tensor(kBatchOutput, oshape);
-        session_->runInto(stacked, arena, ctx, out);
+        {
+            const auto tCompute = std::chrono::steady_clock::now();
+            session_->runInto(stacked, arena, ctx, out);
+            computeNs = nsSince(tCompute);
+        }
 
         TWQ_SPAN("server.respond");
         const Shape respShape = session_->outputShape();
@@ -214,8 +259,24 @@ InferenceServer::execute(Batch batch, std::size_t worker)
             std::copy(src, src + numel, buf.data());
             const auto enqueued = batch.requests[i].enqueued;
             TensorD resp(respShape, std::move(buf));
+            // The respond callback (e.g. response encoding on the net
+            // path) records under this request's own flow, not the
+            // batch leader's.
+            obs::TraceContext reqCtx(batch.requests[i].traceId);
+            RequestTiming t;
+            t.queueNs = nsBetween(enqueued, tBatchStart);
+            t.computeNs = computeNs;
+            const std::uint64_t sinceBatch = nsSince(tBatchStart);
+            t.batchNs =
+                sinceBatch > computeNs ? sinceBatch - computeNs : 0;
+            // Publish the tracez record BEFORE the response: once a
+            // client observes its reply, a /tracez scrape must
+            // already see the request's timeline.
+            noteSlow(batch.requests[i], t,
+                     t.queueNs + t.batchNs + t.computeNs,
+                     batch.size());
             if (batch.requests[i].respond)
-                batch.requests[i].respond(std::move(resp), nullptr);
+                batch.requests[i].respond(std::move(resp), nullptr, t);
             else
                 batch.requests[i].promise.set_value(std::move(resp));
             reqLatency_.record(nsSince(enqueued));
@@ -228,7 +289,8 @@ InferenceServer::execute(Batch batch, std::size_t worker)
         const std::exception_ptr err = std::current_exception();
         for (std::size_t i = fulfilled; i < batch.size(); ++i) {
             if (batch.requests[i].respond) {
-                batch.requests[i].respond(TensorD{}, err);
+                batch.requests[i].respond(TensorD{}, err,
+                                          RequestTiming{});
                 continue;
             }
             try {
@@ -300,6 +362,49 @@ std::string
 InferenceServer::metricsText() const
 {
     return metrics_.snapshot().prometheusText();
+}
+
+void
+InferenceServer::noteSlow(const InferRequest &req,
+                          const RequestTiming &t,
+                          std::uint64_t totalNs,
+                          std::size_t batchSize)
+{
+    if (totalNs < cfg_.slowTraceThresholdNs ||
+        cfg_.slowTraceSlots == 0)
+        return;
+    SlowRequestRecord rec;
+    rec.id = req.id;
+    rec.traceId = req.traceId;
+    rec.timing = t;
+    rec.totalNs = totalNs;
+    rec.batchSize = batchSize;
+    rec.whenNs = nsSince(std::chrono::steady_clock::time_point{});
+    std::lock_guard<std::mutex> lock(slowMu_);
+    if (slowRing_.size() < cfg_.slowTraceSlots) {
+        slowRing_.push_back(rec);
+        slowNext_ = slowRing_.size() % cfg_.slowTraceSlots;
+    } else {
+        slowRing_[slowNext_] = rec;
+        slowNext_ = (slowNext_ + 1) % cfg_.slowTraceSlots;
+    }
+    ++slowSeen_;
+}
+
+std::vector<SlowRequestRecord>
+InferenceServer::slowRequests() const
+{
+    std::lock_guard<std::mutex> lock(slowMu_);
+    std::vector<SlowRequestRecord> out;
+    out.reserve(slowRing_.size());
+    // Unwrap the ring: slowNext_ points at the oldest entry once the
+    // ring has wrapped, at the next free slot before that.
+    const std::size_t n = slowRing_.size();
+    const std::size_t start =
+        n < cfg_.slowTraceSlots ? 0 : slowNext_;
+    for (std::size_t k = 0; k < n; ++k)
+        out.push_back(slowRing_[(start + k) % n]);
+    return out;
 }
 
 } // namespace twq

@@ -68,6 +68,32 @@ struct RuntimeConfig
 
     /** Minimum GEMM multiply-accumulates before a layer is sharded. */
     double minParallelMacs = 1 << 18;
+
+    /**
+     * Slow-request sampling for the /tracez introspection endpoint:
+     * a completed request whose enqueue-to-respond time reaches the
+     * threshold is recorded (trace id + phase breakdown) in a bounded
+     * ring of `slowTraceSlots` entries, newest overwriting oldest. 0
+     * records every request — useful in tests, ruinous in production.
+     */
+    std::uint64_t slowTraceThresholdNs = 5'000'000;
+    std::size_t slowTraceSlots = 64;
+};
+
+/**
+ * One sampled slow request: the phase breakdown plus enough context
+ * to correlate with a Perfetto flow (traceId) and with neighbours in
+ * the same batch. Times are nanoseconds; whenNs is steady-clock at
+ * completion, for relative ordering only.
+ */
+struct SlowRequestRecord
+{
+    std::uint64_t id = 0;
+    std::uint64_t traceId = 0;
+    RequestTiming timing;
+    std::uint64_t totalNs = 0;
+    std::size_t batchSize = 0;
+    std::uint64_t whenNs = 0;
 };
 
 /**
@@ -142,6 +168,16 @@ class InferenceServer
      */
     bool submitCallback(TensorD input, InferRequest::Respond respond);
 
+    /**
+     * Timed callback submit: like submitCallback, but `respond` also
+     * receives the server-side RequestTiming breakdown, and the
+     * request joins trace flow `traceId` (pass obs::mintTraceId() at
+     * ingress, or 0 to mint here). The network front door uses this
+     * for TWQ1 timed-response frames.
+     */
+    bool submitTimed(TensorD input, std::uint64_t traceId,
+                     InferRequest::RespondTimed respond);
+
     /** Block until every submitted request has completed. */
     void drain();
 
@@ -165,6 +201,12 @@ class InferenceServer
     /** Prometheus-style text exposition of metricsSnapshot(). */
     std::string metricsText() const;
 
+    /**
+     * Copy of the slow-request ring (see
+     * RuntimeConfig::slowTraceThresholdNs), ordered oldest first.
+     */
+    std::vector<SlowRequestRecord> slowRequests() const;
+
   private:
     void dispatchLoop();
     void execute(Batch batch, std::size_t worker);
@@ -174,6 +216,10 @@ class InferenceServer
 
     /** True (and counts the shed) when admission control rejects. */
     bool shedNow();
+
+    /** Record a completed request into the slow ring if it qualifies. */
+    void noteSlow(const InferRequest &req, const RequestTiming &t,
+                  std::uint64_t totalNs, std::size_t batchSize);
 
     std::shared_ptr<const Session> session_;
     RuntimeConfig cfg_;
@@ -199,6 +245,13 @@ class InferenceServer
 
     mutable std::mutex drainMu_;
     std::condition_variable drainCv_;
+
+    // Slow-request ring: rare, short critical sections (only requests
+    // over the threshold take the lock), so a mutex is fine here.
+    mutable std::mutex slowMu_;
+    std::vector<SlowRequestRecord> slowRing_;
+    std::size_t slowNext_ = 0;
+    std::uint64_t slowSeen_ = 0;
 };
 
 } // namespace twq

@@ -130,7 +130,7 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
     // Arm the tracer before the build so autoSelect probe spans land
     // in the trace; the destructor flushes to cfg_.tracePath.
     if (!cfg_.tracePath.empty()) {
-        obs::TraceCollector::global().enable();
+        obs::TraceCollector::global().enable(cfg_.traceRingSlots);
         traceArmed_ = true;
     }
 
@@ -175,6 +175,7 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
             it != cfg.layerEngines.end()) {
             engine = it->second;
             pinned[i] = true;
+            layer.planSource = "configured";
         }
         std::shared_ptr<const ConvBackend> backend = registry.get(engine);
         if (!backend->supports(d)) {
@@ -355,6 +356,19 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                         layer.engine = hit.engine;
                         layer.variant = hit.variant;
                         layer.backend = std::move(b);
+                        // Provenance travels with the cached plan so
+                        // /statusz can show why it won even though
+                        // this process never probed.
+                        layer.planSource = "cache";
+                        layer.planProbeNs = hit.probeNs;
+                        layer.planCounters.cycles = hit.cycles;
+                        layer.planCounters.instructions =
+                            hit.instructions;
+                        layer.planCounters.cacheRefs = hit.cacheRefs;
+                        layer.planCounters.cacheMisses =
+                            hit.cacheMisses;
+                        layer.planCounters.valid =
+                            hit.cycles != 0 || hit.instructions != 0;
                         applied = true;
                         obs::Registry::global()
                             .counter("autoselect.cache_hit")
@@ -471,15 +485,26 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                 std::vector<double> bestT(
                     cands.size(),
                     std::numeric_limits<double>::infinity());
+                // Hardware counters ride each probe run (a cheap
+                // reset/enable ioctl pair when available, a no-op
+                // otherwise); each candidate keeps the counters of
+                // its best-time round, so the persisted provenance
+                // describes the run that actually won.
+                std::vector<obs::PerfCounters> bestC(cands.size());
                 for (int round = 0; round < 3; ++round)
                     for (std::size_t ci = 0; ci < cands.size();
                          ++ci) {
                         TWQ_SPAN_ARG(
                             "autoselect.probe",
                             static_cast<std::int64_t>(ci));
-                        bestT[ci] = std::min(
-                            bestT[ci],
-                            timeCand(cands[ci], probeArena));
+                        obs::PerfScope perf;
+                        const double t =
+                            timeCand(cands[ci], probeArena);
+                        const obs::PerfCounters pc = perf.stop();
+                        if (t < bestT[ci]) {
+                            bestT[ci] = t;
+                            bestC[ci] = pc;
+                        }
                     }
                 std::size_t best = 0;
                 for (std::size_t ci = 1; ci < cands.size(); ++ci)
@@ -491,9 +516,29 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                 layer.variant = cands[best].variant;
                 layer.backend = std::move(cands[best].backend);
                 layer.prepared = std::move(cands[best].prepared);
-                if (cache)
-                    cache->store(planKey,
-                                 {layer.engine, layer.variant});
+                layer.planSource = "probed";
+                layer.planProbeNs =
+                    bestT[best] <
+                            std::numeric_limits<double>::infinity()
+                        ? static_cast<std::uint64_t>(bestT[best] *
+                                                     1e9)
+                        : 0;
+                layer.planCounters = bestC[best];
+                if (cache) {
+                    PlanCache::Decision d;
+                    d.engine = layer.engine;
+                    d.variant = layer.variant;
+                    d.probeNs = layer.planProbeNs;
+                    if (layer.planCounters.valid) {
+                        d.cycles = layer.planCounters.cycles;
+                        d.instructions =
+                            layer.planCounters.instructions;
+                        d.cacheRefs = layer.planCounters.cacheRefs;
+                        d.cacheMisses =
+                            layer.planCounters.cacheMisses;
+                    }
+                    cache->store(planKey, d);
+                }
             }
         }
 
@@ -553,6 +598,21 @@ Session::layerLayout(std::size_t i) const
 {
     twq_assert(i < layers_.size(), "layer index out of range");
     return layers_[i].layout;
+}
+
+LayerPlanInfo
+Session::layerPlan(std::size_t i) const
+{
+    twq_assert(i < layers_.size(), "layer index out of range");
+    const Layer &layer = layers_[i];
+    LayerPlanInfo info;
+    info.name = layer.desc.name;
+    info.engine = layer.engine;
+    info.variant = layer.variant;
+    info.source = layer.planSource;
+    info.probeNs = layer.planProbeNs;
+    info.counters = layer.planCounters;
+    return info;
 }
 
 const Epilogue &

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/perf.hh"
 #include "runtime/engine.hh"
 #include "runtime/plan_cache.hh"
 
@@ -139,12 +140,39 @@ struct SessionConfig
      */
     std::string tracePath;
 
+    /**
+     * Per-thread trace ring capacity (events) handed to
+     * TraceCollector::enable when tracePath arms tracing. When the
+     * `trace.dropped_events` gauge grows, raise this (each event is a
+     * few dozen bytes; the default holds ~32k spans per thread).
+     */
+    std::size_t traceRingSlots = std::size_t{1} << 15;
+
     /** Deterministic weight initialization. */
     std::uint64_t weightSeed = 0x5eed;
 
     /** Inputs drawn to calibrate int8 activation scales. */
     std::size_t calibrationSamples = 2;
     std::uint64_t calibrationSeed = 77;
+};
+
+/**
+ * How one layer's (engine, variant) plan was decided, for the
+ * /statusz introspection endpoint and operators auditing autoSelect.
+ * `probeNs` is the winning candidate's best probe run (0 when the
+ * plan was not probed in this process); `counters` carries the
+ * hardware counters sampled over that probe when perf_event_open was
+ * available (counters.valid false otherwise).
+ */
+struct LayerPlanInfo
+{
+    std::string name;
+    ConvEngine engine = ConvEngine::Im2col;
+    WinoVariant variant = WinoVariant::F2;
+    /** "default" | "configured" | "cache" | "probed". */
+    const char *source = "default";
+    std::uint64_t probeNs = 0;
+    obs::PerfCounters counters;
 };
 
 /** An immutable, concurrently-executable model instance. */
@@ -201,6 +229,9 @@ class Session
      * slots and converts exactly once at ingress and once at egress.
      */
     const LayoutPlan &layerLayout(std::size_t i) const;
+
+    /** Plan provenance of layer i (see LayerPlanInfo). */
+    LayerPlanInfo layerPlan(std::size_t i) const;
 
     /**
      * Forward a (possibly batched) NCHW tensor through every layer.
@@ -264,6 +295,10 @@ class Session
         /// Per-layer wall-time distribution in the global registry
         /// ("layer.<net>.<name>.latency_ns"), resolved once at build.
         obs::Histogram *latency = nullptr;
+        /// Plan provenance, surfaced through layerPlan().
+        const char *planSource = "default";
+        std::uint64_t planProbeNs = 0;
+        obs::PerfCounters planCounters;
     };
 
     NetworkDesc net_;

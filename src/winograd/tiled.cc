@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/perf.hh"
 #include "obs/trace.hh"
 
 namespace twq
@@ -458,10 +459,12 @@ conv2dWinogradTiledInto(const Tensor<T> &input,
                "output tensor not pre-shaped for the tiled launch");
     {
         TWQ_SPAN("wino.gather");
+        TWQ_STAGE_PERF("wino.gather");
         winogradGatherTiles(input, w.variant, pad, V);
     }
     {
         TWQ_SPAN("wino.bkron");
+        TWQ_STAGE_PERF("wino.bkron");
         const Shape want{d.t * d.t, d.cin, d.tiles};
         if (U.shape() != want)
             U = Tensor<T>(want);
@@ -470,10 +473,12 @@ conv2dWinogradTiledInto(const Tensor<T> &input,
     }
     {
         TWQ_SPAN("wino.tapgemm");
+        TWQ_STAGE_PERF("wino.tapgemm");
         winogradTapGemm(w, U, M, runner, packs);
     }
     {
         TWQ_SPAN("wino.untile");
+        TWQ_STAGE_PERF("wino.untile");
         winogradGather(M, w.variant, Y, out, bias, relu);
     }
 }

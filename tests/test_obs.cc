@@ -243,6 +243,61 @@ TEST(ObsHistogram, MultiThreadMergeDeterminism)
               static_cast<std::uint64_t>(kThreads) * kPerThread);
 }
 
+/**
+ * Sharded recording (one histogram per thread, merged afterwards —
+ * the server's per-worker pattern) must preserve the quantile
+ * guarantee: merged quantiles stay within one bucket width of the
+ * exact nearest-rank oracle over ALL threads' samples.
+ */
+TEST(ObsHistogram, ConcurrentShardMergeQuantilesWithinOneBucket)
+{
+    if (!obs::kEnabled)
+        GTEST_SKIP() << "obs compiled out";
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 4000;
+    obs::Histogram shards[kThreads];
+
+    // Latency-shaped per-thread streams: tight body, long tail, with
+    // thread-dependent skew so shards genuinely differ.
+    const auto valueOf = [](int t, int i) -> std::uint64_t {
+        const std::uint64_t base = 40000 + t * 11000 + i * 13;
+        return (i % 97 == 0) ? base * 50 : base;
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                shards[t].record(valueOf(t, i));
+        });
+    for (auto &th : threads)
+        th.join();
+
+    obs::HistogramSnapshot merged = shards[0].snapshot();
+    for (int t = 1; t < kThreads; ++t)
+        merged.merge(shards[t].snapshot());
+    std::vector<std::uint64_t> sorted;
+    for (int t = 0; t < kThreads; ++t)
+        for (int i = 0; i < kPerThread; ++i)
+            sorted.push_back(valueOf(t, i));
+    std::sort(sorted.begin(), sorted.end());
+    ASSERT_EQ(merged.count, sorted.size());
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        std::size_t rank = static_cast<std::size_t>(
+            std::ceil(q * static_cast<double>(sorted.size())));
+        rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+        const std::uint64_t exact = sorted[rank - 1];
+        const std::size_t bin =
+            obs::HistogramSnapshot::binIndex(exact);
+        const double got = merged.quantile(q);
+        EXPECT_GE(got, static_cast<double>(
+                           obs::HistogramSnapshot::binLower(bin)))
+            << "q=" << q;
+        EXPECT_LE(got, static_cast<double>(
+                           obs::HistogramSnapshot::binUpper(bin)))
+            << "q=" << q;
+    }
+}
+
 // --------------------------------------------------------- registry
 
 TEST(ObsRegistry, StableReferencesAndSnapshot)
@@ -269,6 +324,61 @@ TEST(ObsRegistry, StableReferencesAndSnapshot)
     EXPECT_NE(text.find("twq_reg_test_hist_count 1"),
               std::string::npos);
     EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+}
+
+/**
+ * Registry name lookup is on the first-touch path of every metric
+ * site, so lookups (including ones that CREATE metrics) must be safe
+ * against concurrent recording and snapshotting. This is the test
+ * CI's TSan leg aims at: any lock misuse in Registry::counter /
+ * histogram / snapshot shows up as a reported race here.
+ */
+TEST(ObsRegistry, LookupDuringConcurrentRecordingIsRaceFree)
+{
+    if (!obs::kEnabled)
+        GTEST_SKIP() << "obs compiled out";
+    obs::Registry reg;
+    std::atomic<bool> stop{false};
+    constexpr int kWriters = 4;
+
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w)
+        writers.emplace_back([&, w] {
+            const std::string mine =
+                "race.writer_" + std::to_string(w);
+            for (int i = 0; i < 20000; ++i) {
+                // Re-resolve by name every iteration (first-touch
+                // path), mixing a private metric with shared ones.
+                reg.counter(mine).inc();
+                reg.counter("race.shared").inc();
+                reg.histogram("race.lat").record(
+                    static_cast<std::uint64_t>(i) * 7 + 1);
+                if (i % 1000 == 0)
+                    reg.gauge("race.depth").set(i);
+            }
+        });
+    std::thread reader([&] {
+        std::uint64_t last = 0;
+        while (!stop.load()) {
+            const obs::MetricsSnapshot snap = reg.snapshot();
+            if (const auto it = snap.counters.find("race.shared");
+                it != snap.counters.end()) {
+                // Monotone across snapshots: no torn/lost reads.
+                EXPECT_GE(it->second, last);
+                last = it->second;
+            }
+        }
+    });
+    for (auto &th : writers)
+        th.join();
+    stop.store(true);
+    reader.join();
+
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counters.at("race.shared"),
+              static_cast<std::uint64_t>(kWriters) * 20000);
+    EXPECT_EQ(snap.histograms.at("race.lat").count,
+              static_cast<std::uint64_t>(kWriters) * 20000);
 }
 
 // ---------------------------------------------------- disabled path
@@ -567,6 +677,77 @@ TEST(ObsTrace, JsonSchemaNestingAndLanes)
         }
     }
     EXPECT_EQ(inners, static_cast<std::size_t>(kWorkers) * 5);
+    tc.reset();
+}
+
+/**
+ * Request attribution: spans recorded under a TraceContext — on any
+ * thread — carry the minted id into the JSON and become one Chrome
+ * flow; spans outside a context (or under the explicit id-0 clear)
+ * stay untagged. This is the unit-level half of the end-to-end wire
+ * test in test_net_introspect.cc.
+ */
+TEST(ObsTrace, TraceContextAttributesSpansAcrossThreads)
+{
+    if (!obs::kEnabled)
+        GTEST_SKIP() << "obs compiled out";
+    obs::TraceCollector &tc = obs::TraceCollector::global();
+    tc.reset();
+    tc.enable();
+
+    const std::uint64_t id = obs::mintTraceId();
+    ASSERT_NE(id, 0u);
+    EXPECT_NE(obs::mintTraceId(), id); // process-unique
+    {
+        obs::TraceContext ctx(id);
+        EXPECT_EQ(obs::currentTraceId(), id);
+        TWQ_SPAN("ctx.ingress");
+        {
+            // Id 0 deliberately clears (batch boundaries); restored
+            // on exit.
+            obs::TraceContext clear(0);
+            EXPECT_EQ(obs::currentTraceId(), 0u);
+            TWQ_SPAN("ctx.outside");
+        }
+        EXPECT_EQ(obs::currentTraceId(), id);
+    }
+    EXPECT_EQ(obs::currentTraceId(), 0u);
+    std::thread worker([&] {
+        obs::TraceContext ctx(id); // the id crossed a thread boundary
+        TWQ_SPAN("ctx.worker");
+    });
+    worker.join();
+
+    const std::string doc = tc.json();
+    const std::string tag = "\"trace_id\":" + std::to_string(id);
+    const auto eventHasTag = [&](const char *name) {
+        const std::size_t at =
+            doc.find("\"name\":\"" + std::string(name) + "\"");
+        EXPECT_NE(at, std::string::npos) << name;
+        if (at == std::string::npos)
+            return false;
+        // Bound the search to this event object: stop at the start
+        // of the next one so a neighbor's args can't leak in.
+        const std::size_t next = doc.find("{\"ph\"", at);
+        const std::string obj = doc.substr(
+            at, next == std::string::npos ? doc.size() - at
+                                          : next - at);
+        return obj.find(tag) != std::string::npos;
+    };
+    EXPECT_TRUE(eventHasTag("ctx.ingress"));
+    EXPECT_TRUE(eventHasTag("ctx.worker"));
+    EXPECT_FALSE(eventHasTag("ctx.outside"));
+
+    // Both tagged spans joined one flow: a start and an end event
+    // bound to the id, across the two tids.
+    EXPECT_NE(doc.find("{\"ph\":\"s\",\"cat\":\"request\","
+                       "\"name\":\"req\",\"id\":" +
+                       std::to_string(id)),
+              std::string::npos);
+    EXPECT_NE(doc.find("{\"ph\":\"f\",\"cat\":\"request\","
+                       "\"name\":\"req\",\"id\":" +
+                       std::to_string(id)),
+              std::string::npos);
     tc.reset();
 }
 

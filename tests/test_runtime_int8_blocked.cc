@@ -309,6 +309,50 @@ TEST(PlanCacheVersioning, SignatureMismatchIsRejectedWithoutDamage)
     EXPECT_TRUE(stale.lookup("keepme", &dec));
 }
 
+TEST(PlanCacheVersioning, ProvenanceRoundTripsAndStaleV2Rejected)
+{
+    // v3 lines carry the winning probe's measurement provenance; it
+    // must survive a serialize/deserialize round trip untouched.
+    PlanCache::Decision d;
+    d.engine = ConvEngine::WinogradBlocked;
+    d.variant = WinoVariant::F4;
+    d.probeNs = 182340;
+    d.cycles = 812345;
+    d.instructions = 1623490;
+    d.cacheRefs = 40210;
+    d.cacheMisses = 1204;
+    PlanCache cache;
+    cache.store("c64o64k3s1h16w16b8", d);
+    PlanCache loaded;
+    ASSERT_TRUE(loaded.deserialize(cache.serialize()));
+    PlanCache::Decision got;
+    ASSERT_TRUE(loaded.lookup("c64o64k3s1h16w16b8", &got));
+    EXPECT_EQ(got.probeNs, 182340u);
+    EXPECT_EQ(got.cycles, 812345u);
+    EXPECT_EQ(got.instructions, 1623490u);
+    EXPECT_EQ(got.cacheRefs, 40210u);
+    EXPECT_EQ(got.cacheMisses, 1204u);
+    // Equality is the PLAN: identical (engine, variant) compares
+    // equal even with different provenance.
+    PlanCache::Decision samePlan;
+    samePlan.engine = d.engine;
+    samePlan.variant = d.variant;
+    EXPECT_TRUE(got == samePlan);
+
+    // A v2 file (pre-provenance format) is stale, whole-file: the
+    // header version check rejects it before any line parses.
+    const std::string v2 = "twq-plan-cache v2 " +
+                           PlanCache::signature() +
+                           "\nc64o64k3s1h16w16b8 winograd-blocked F4\n";
+    EXPECT_FALSE(loaded.deserialize(v2));
+    // So is a v3 line missing provenance fields (truncated write).
+    const std::string shortLine =
+        "twq-plan-cache v3 " + PlanCache::signature() +
+        "\nc64o64k3s1h16w16b8 winograd-blocked F4 100 2\n";
+    EXPECT_FALSE(loaded.deserialize(shortLine));
+    EXPECT_EQ(loaded.size(), 1u); // rejected input changed nothing
+}
+
 TEST(PlanCacheVersioning, QuantizedAndFpKeysDoNotCollide)
 {
     ConvLayerDesc d;
