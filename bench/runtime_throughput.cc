@@ -713,6 +713,10 @@ runSmoke()
         wideNet.layers.push_back(d);
         SessionConfig scfg;
         scfg.autoSelect = true;
+        // This gate asserts the LOCAL race winner; on an isolated
+        // single-layer net the chain DP rightly charges the blocked
+        // pick an ingress+egress seam, which is gate 13's subject.
+        scfg.chainDp = false;
         const Session sel(wideNet, scfg);
         const bool sok =
             sel.layerEngine(0) == ConvEngine::WinogradBlocked;
@@ -761,6 +765,7 @@ runSmoke()
             SessionConfig qcfg;
             qcfg.defaultEngine = ConvEngine::WinogradInt8;
             qcfg.autoSelect = true;
+            qcfg.chainDp = false; // local winner, as in gate 5
             const Session qsel(wideNet, qcfg);
             const bool qsok = qsel.layerEngine(0) ==
                               ConvEngine::WinogradBlockedInt8;
@@ -898,6 +903,65 @@ runSmoke()
                 hok ? ""
                     : (aok ? "  << FAIL: fp16 throughput below bound"
                            : "  << FAIL: fp16 accuracy gate"));
+        }
+
+        // Gate 13: chain-aware layout planning must never lose to
+        // the per-layer argmin it replaces — on a three-deep wide-64
+        // chain the DP sees the same measured candidate tables plus
+        // the seam conversion costs, so its plan is the argmin plan
+        // or a strictly cheaper one. 10% slack absorbs probe noise
+        // (both builds race live and may measure different rounds).
+        {
+            NetworkDesc deep;
+            deep.name = "Wide64x3";
+            deep.inputRes = d.height;
+            for (int i = 0; i < 3; ++i) {
+                ConvLayerDesc l = d;
+                l.name = "wide." + std::to_string(i);
+                deep.layers.push_back(l);
+            }
+            SessionConfig acfg;
+            acfg.autoSelect = true;
+            acfg.chainDp = false;
+            const Session argmin(deep, acfg);
+            SessionConfig dcfg;
+            dcfg.autoSelect = true;
+            dcfg.chainDp = true;
+            const Session dp(deep, dcfg);
+            TensorD in({8, d.cin, d.height, d.width});
+            Rng irng(seed++);
+            irng.fillNormal(in.storage(), 0.0, 1.0);
+            const auto bestOf = [&](const Session &s,
+                                    ScratchArena &a) {
+                s.run(in, a); // warmup
+                double best = 1e30;
+                for (int i = 0; i < 7; ++i) {
+                    const auto t0 = Clock::now();
+                    s.run(in, a);
+                    best = std::min(
+                        best,
+                        std::chrono::duration<double>(Clock::now() -
+                                                      t0)
+                            .count());
+                }
+                return best;
+            };
+            ScratchArena aa, ad;
+            const double tArgmin = bestOf(argmin, aa);
+            const double tDp = bestOf(dp, ad);
+            const bool cok = tDp < 1.10 * tArgmin;
+            failures += !cok;
+            std::printf("%-12s %12.1f %12.1f %7.2fx  (%s/%s -> "
+                        "%s/%s)%s\n",
+                        "wide-64-dp", tArgmin * 1e6, tDp * 1e6,
+                        tArgmin / tDp,
+                        convEngineName(argmin.layerEngine(0)),
+                        winoName(argmin.layerVariant(0)),
+                        convEngineName(dp.layerEngine(0)),
+                        winoName(dp.layerVariant(0)),
+                        cok ? ""
+                            : "  << FAIL: chain DP lost to per-layer "
+                              "argmin");
         }
     }
 
@@ -1712,6 +1776,67 @@ main(int argc, char **argv)
                     "(batch 8, includes ingress/egress conversion)\n",
                     r.engine, winoName(session->layerVariant(0)),
                     r.p50Ms);
+
+        // Chain-aware layout planning vs the per-layer argmin on a
+        // three-deep wide-64 chain: same candidate tables, but the
+        // DP charges NCHW↔NCHWc8 seams (and ingress/egress) on the
+        // edges, so its plan must serve at least as fast — the
+        // wide64-chain-dp row is gated against wide64-argmin by the
+        // CI bench-regression check.
+        {
+            NetworkDesc deep;
+            deep.name = "Wide64x3";
+            deep.inputRes = wide.height;
+            for (int i = 0; i < 3; ++i) {
+                ConvLayerDesc l = wide;
+                l.name = "wide." + std::to_string(i);
+                deep.layers.push_back(l);
+            }
+            const auto chainRow = [&](const char *label,
+                                      bool chainDp) {
+                SessionConfig ccfg;
+                ccfg.autoSelect = true;
+                ccfg.chainDp = chainDp;
+                const Session chain(deep, ccfg);
+                ScratchArena carena;
+                chain.run(probe, carena); // warmup
+                std::vector<double> cms;
+                beginRowPerf();
+                const auto w0 = Clock::now();
+                constexpr int kChainIters = 40;
+                for (int i = 0; i < kChainIters; ++i) {
+                    const auto t0 = Clock::now();
+                    chain.run(probe, carena);
+                    cms.push_back(
+                        std::chrono::duration<double, std::milli>(
+                            Clock::now() - t0)
+                            .count());
+                }
+                Result cr;
+                cr.engine = convEngineName(chain.layerEngine(0));
+                cr.label = label;
+                cr.threads = 1;
+                cr.maxBatch = 8;
+                cr.clients = 1;
+                cr.requests = kChainIters;
+                cr.wallSec = std::chrono::duration<double>(
+                                 Clock::now() - w0)
+                                 .count();
+                cr.reqPerSec = kChainIters / cr.wallSec;
+                cr.p50Ms = percentile(cms, 0.50);
+                cr.p99Ms = percentile(cms, 0.99);
+                cr.p999Ms = percentile(cms, 0.999);
+                cr.avgBatch = 8.0;
+                endRowPerf(cr);
+                results.push_back(cr);
+                std::printf("%s[wide-64x3] -> %s (%s), p50 %.3f ms\n",
+                            label, cr.engine,
+                            winoName(chain.layerVariant(0)),
+                            cr.p50Ms);
+            };
+            chainRow("wide64-argmin", false);
+            chainRow("wide64-chain-dp", true);
+        }
     }
 
     writeJson(results, stages, stagePerf, "BENCH_runtime.json");

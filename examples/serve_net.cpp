@@ -41,11 +41,24 @@ using namespace twq;
 namespace
 {
 
+/**
+ * Tuned-plan serving: when --plan-cache names a file produced by
+ * tools/tune, the session builds with autoSelect against it — a
+ * complete cache means zero cold probes at startup (the tuned-plan CI
+ * job asserts this through /statusz), a stale or missing one degrades
+ * to measuring once and persisting for the next start.
+ */
+std::string gPlanCache;
+
 std::shared_ptr<const Session>
 makeSession()
 {
     SessionConfig scfg;
     scfg.defaultEngine = ConvEngine::WinogradFp32;
+    if (!gPlanCache.empty()) {
+        scfg.autoSelect = true;
+        scfg.planCachePath = gPlanCache;
+    }
     return std::make_shared<const Session>(microServeNet(12, 8),
                                            scfg);
 }
@@ -202,6 +215,18 @@ runSelftest()
               statusz.find("\"plan_signature\"") != std::string::npos &&
               statusz.find("\"layers\"") != std::string::npos,
           "GET /statusz reports build and per-layer plans");
+    if (!gPlanCache.empty()) {
+        // Serving from a tuned plan cache: every raced layer must
+        // report its plan came from the cache — a "probed" source
+        // means a cold probe ran in the serving path, exactly what
+        // the tuned-plan CI job exists to prevent.
+        check(statusz.find("\"plan_source\": \"probed\"") ==
+                  std::string::npos,
+              "no layer plan was probed at startup");
+        check(statusz.find("\"plan_source\": \"cache\"") !=
+                  std::string::npos,
+              "layer plans served from the tuned cache");
+    }
     const std::string healthz =
         net::httpGet("127.0.0.1", port, "/healthz");
     check(healthz.find("200 OK") != std::string::npos &&
@@ -254,6 +279,8 @@ main(int argc, char **argv)
             io = std::strtoul(need("--io"), nullptr, 10);
         } else if (arg == "--requests") {
             requests = std::strtoul(need("--requests"), nullptr, 10);
+        } else if (arg == "--plan-cache") {
+            gPlanCache = need("--plan-cache");
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
             return 1;
@@ -274,6 +301,7 @@ main(int argc, char **argv)
     }
     std::fprintf(stderr,
                  "usage: serve_net --serve|--client|--selftest "
-                 "[--port P] [--threads N] [--io N] [--requests R]\n");
+                 "[--port P] [--threads N] [--io N] [--requests R] "
+                 "[--plan-cache FILE]\n");
     return 1;
 }

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a BENCH_runtime.json run to the
+committed baseline and fail on a >15% regression in any gated row.
+
+    check_bench_regression.py BASELINE CURRENT [--budget 0.15]
+
+Only structurally meaningful rows are gated — single-layer wide-64
+p50s (the Winograd/layout hot path, including the chain-DP vs argmin
+pair) and the single-threaded serving loop's throughput — because
+fully loaded multi-thread rows on shared CI runners are too noisy to
+gate without flakes. Every gated row is printed, and when
+GITHUB_STEP_SUMMARY is set the same table lands in the job summary.
+
+The budget is deliberately loose (15%): this catches structural
+regressions (a kernel losing its vector path, a plan flipping to a
+slower engine), not single-digit drift. CI runners vary; the baseline
+should be refreshed deliberately via scripts/update_bench_baseline
+when a change legitimately moves the numbers.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# (config, metric, direction): direction +1 = higher is better.
+GATES = [
+    ("wide64-blocked", "p50_ms", -1),
+    ("wide64-argmin", "p50_ms", -1),
+    ("wide64-chain-dp", "p50_ms", -1),
+    ("wide64-int8-blocked", "p50_ms", -1),
+    ("net-loop-t1", "req_per_sec", +1),
+]
+
+
+def rows_by_config(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc.get("results", []):
+        # Last write wins; gated configs appear once per file.
+        out[row["config"]] = row
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--budget", type=float, default=0.15,
+                    help="allowed fractional regression (default 0.15)")
+    args = ap.parse_args()
+
+    base = rows_by_config(args.baseline)
+    cur = rows_by_config(args.current)
+
+    lines = ["| row | metric | baseline | current | change | verdict |",
+             "|---|---|---|---|---|---|"]
+    failures = []
+    for config, metric, direction in GATES:
+        if config not in base:
+            # A new row has no baseline yet: report, don't fail. The
+            # next baseline refresh picks it up.
+            lines.append(f"| {config} | {metric} | — | "
+                         f"{cur.get(config, {}).get(metric, '—')} | — | "
+                         f"no baseline |")
+            continue
+        if config not in cur:
+            failures.append(f"{config}: missing from current run")
+            lines.append(f"| {config} | {metric} | "
+                         f"{base[config][metric]} | MISSING | — | FAIL |")
+            continue
+        b = float(base[config][metric])
+        c = float(cur[config][metric])
+        # Fractional regression, positive = worse.
+        reg = (b - c) / b if direction > 0 else (c - b) / b
+        verdict = "ok" if reg <= args.budget else "FAIL"
+        if verdict == "FAIL":
+            failures.append(
+                f"{config} {metric}: {b:.4g} -> {c:.4g} "
+                f"({reg * 100:+.1f}%, budget {args.budget * 100:.0f}%)")
+        lines.append(f"| {config} | {metric} | {b:.4g} | {c:.4g} | "
+                     f"{reg * 100:+.1f}% | {verdict} |")
+
+    table = "\n".join(lines)
+    print(table)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write("## Bench regression gate\n\n" + table + "\n")
+
+    if failures:
+        print("\nREGRESSION:", file=sys.stderr)
+        for f in failures:
+            print("  " + f, file=sys.stderr)
+        return 1
+    print("\nbench regression gate: all rows within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Refresh the committed bench baseline from a local run. Use this
+# deliberately, in the same change that legitimately moves the
+# numbers, so the regression gate (scripts/check_bench_regression.py)
+# keeps meaning something.
+#
+#   ./scripts/update_bench_baseline.sh [BUILD_DIR]
+set -e
+build=${1:-build}
+repo=$(cd "$(dirname "$0")/.." && pwd)
+"$repo/$build/bench_runtime_throughput"
+cp "$repo/$build/BENCH_runtime.json" "$repo/bench/baseline_runtime.json"
+echo "baseline refreshed: bench/baseline_runtime.json"

@@ -30,13 +30,14 @@
  * Every integer stage computes the same order-free sums as the NCHW
  * pipeline, so forwardInt8 is bit-identical to forwardInt8Reference
  * (modulo the NCHWc8 layout of the returned tensors). The FP dequant
- * of forwardInto runs the vectorized blocked form — per-lane S_BG
- * scaling, FMA Kronecker row passes, blocked untile — instead of the
- * reference's per-tile scalar transforms, so like the FP blocked
- * pipeline it is tolerance-equal (not bit-equal) to the NCHW engine
- * where FMA contraction differs; its integer stages up to M are
- * still exact, and its result is deterministic and independent of
- * batch size and sharding. Overflow is excluded by construction:
+ * of forwardInto runs the vectorized blocked form — per-lane fused
+ * S_BG * s_x scaling, Kronecker row passes through the dispatched
+ * kron kernel, blocked untile. The NCHW engine's gather is specified
+ * in the same row-pass order over the same fused scales and the same
+ * dispatched kernel, so the blocked FP dequant is bit-identical to
+ * the NCHW engine (modulo layout), not merely tolerance-equal; its
+ * result is deterministic and independent of batch size and
+ * sharding. Overflow is excluded by construction:
  * operands are bounded by 2^(winogradBits-1) <= 2^9, so int32
  * accumulation over cinb*8 channels is wrap-free for any channel
  * count the constructor accepts (asserted).

@@ -9,6 +9,7 @@
 #include "gemm/gemm.hh"
 #include "obs/perf.hh"
 #include "obs/trace.hh"
+#include "layout/kernels.hh"
 #include "quant/calibration.hh"
 #include "quant/quantizer.hh"
 #include "winograd/conv.hh"
@@ -21,8 +22,8 @@ namespace twq
 namespace
 {
 
-/// Largest transformed tile across variants (F4: t = 6).
-constexpr std::size_t kMaxT = 6;
+/// Largest transformed tile across variants (F6: t = 8).
+constexpr std::size_t kMaxT = 8;
 
 /** Quantize an FP tensor to n-bit integers with a single scale. */
 TensorI64
@@ -44,6 +45,9 @@ IntWinogradConv::IntWinogradConv(const TensorD &weights,
 {
     twq_assert(weights.dim(2) == 3 && weights.dim(3) == 3,
                "IntWinogradConv requires 3x3 kernels");
+    twq_assert(winoIntegerTransforms(cfg.variant),
+               "integer Winograd requires integer B^T/A^T "
+               "(F2/F4 only; F6 is FP-only)");
     twq_assert(!calibration.empty(), "calibration data required");
     const WinoSpec spec = winoSpec(cfg.variant);
 
@@ -134,9 +138,15 @@ IntWinogradConv::IntWinogradConv(const TensorD &weights,
         }
     }
 
-    // --- Flat transform-matrix cache for the tiled hot path. ---
-    const MatrixD atd = winoATd(cfg.variant);
-    atD_.assign(atd.storage().begin(), atd.storage().end());
+    // --- Fused FP dequant scales for the row-pass gather. ---
+    // Same expression (and association order) as the blocked engine's
+    // sbgSx_ table, so both dequants multiply by identical doubles.
+    dqScale_.resize(spec.t * spec.t * cout_);
+    for (std::size_t k = 0; k < spec.t * spec.t; ++k)
+        for (std::size_t oc = 0; oc < cout_; ++oc)
+            dqScale_[k * cout_ + oc] =
+                sb_(k / spec.t, k % spec.t) *
+                wscales_.at(oc, k / spec.t, k % spec.t) * sx_;
 }
 
 void
@@ -231,15 +241,17 @@ IntWinogradConv::forward(const TensorD &input) const
 {
     const WinoDims d = winoDims(input.shape(), cfg_.variant, cfg_.pad);
     TensorI64 xq, V, U, M;
+    TensorD Md, Y;
     TensorD out({d.n, cout_, d.ho, d.wo});
-    forwardInto(input, xq, V, U, M, out);
+    forwardInto(input, xq, V, U, M, Md, Y, out);
     return out;
 }
 
 void
 IntWinogradConv::forwardInto(const TensorD &input, TensorI64 &xq,
                              TensorI64 &V, TensorI64 &U, TensorI64 &M,
-                             TensorD &out, gemm::ParallelRunner *runner,
+                             TensorD &Md, TensorD &Y, TensorD &out,
+                             gemm::ParallelRunner *runner,
                              gemm::PackPool *packs, const double *bias,
                              bool relu) const
 {
@@ -250,23 +262,48 @@ IntWinogradConv::forwardInto(const TensorD &input, TensorI64 &xq,
                    out.dim(1) == cout_ && out.dim(2) == d.ho &&
                    out.dim(3) == d.wo,
                "output tensor not pre-shaped for the tiled launch");
-    const std::size_t t = d.t;
-    const std::size_t tt = t * t;
+    const std::size_t tt = d.t * d.t;
 
     scatterGemm(input, /*useShifts=*/false, xq, V, U, M, runner,
                 packs);
 
-    // Gather: the tap-wise S_BG rescale applied per GEMM slice, then
-    // the FP back-transform (Vector Unit / FixPipe in hardware),
-    // written straight into the NCHW output.
+    // Gather, specified in row-pass order — the same specification
+    // the blocked engine vectorizes, so the two dequants are
+    // bit-identical: the fused S_BG * s_x scale applied per
+    // (tap, oc) GEMM slice, the FP A-transform as Kronecker row
+    // passes through the dispatched kron kernel (FMA contraction and
+    // term order included), then the clipped untile with the fused
+    // epilogue.
+    const Shape mdshape{tt, cout_, d.tiles};
+    if (Md.shape() != mdshape)
+        Md = TensorD(mdshape);
+    {
+        TWQ_SPAN("wino8.rescale");
+        TWQ_STAGE_PERF("wino8.rescale");
+        for (std::size_t k = 0; k < tt; ++k) {
+            for (std::size_t oc = 0; oc < cout_; ++oc) {
+                const std::int64_t *src =
+                    M.data() + (k * cout_ + oc) * d.tiles;
+                double *dst = Md.data() + (k * cout_ + oc) * d.tiles;
+                const double s = dqScale_[k * cout_ + oc];
+                for (std::size_t p = 0; p < d.tiles; ++p)
+                    dst[p] = static_cast<double>(src[p]) * s;
+            }
+        }
+    }
+    const Shape yshape{d.m * d.m, cout_, d.tiles};
+    if (Y.shape() != yshape)
+        Y = TensorD(yshape);
+    {
+        TWQ_SPAN("wino8.akron");
+        TWQ_STAGE_PERF("wino8.akron");
+        layout::kernels().kron(winoOutputKron<double>(cfg_.variant),
+                               Md.data(), cout_ * d.tiles, Y.data());
+    }
+
     TWQ_SPAN("wino8.untile");
     TWQ_STAGE_PERF("wino8.untile");
-    std::int64_t acc[kMaxT * kMaxT];
-    double y[kMaxT * kMaxT];
-    double tmpd[kMaxT * kMaxT];
-    double res[kMaxT * kMaxT];
-    const std::int64_t *mm = M.data();
-    const std::size_t planeStride = cout_ * d.tiles;
+    const double *yy0 = Y.data();
     for (std::size_t in = 0; in < d.n; ++in) {
         for (std::size_t oc = 0; oc < cout_; ++oc) {
             double *plane =
@@ -276,15 +313,6 @@ IntWinogradConv::forwardInto(const TensorD &input, TensorI64 &xq,
                 for (std::size_t tx = 0; tx < d.tilesX; ++tx) {
                     const std::size_t p =
                         (in * d.tilesY + ty) * d.tilesX + tx;
-                    const std::int64_t *src = mm + oc * d.tiles + p;
-                    for (std::size_t k = 0; k < tt; ++k)
-                        acc[k] = src[k * planeStride];
-                    for (std::size_t k = 0; k < tt; ++k)
-                        y[k] = static_cast<double>(acc[k]) *
-                               sb_(k / t, k % t) *
-                               wscales_.at(oc, k / t, k % t);
-                    outputTransformFlat(atD_.data(), y, d.m, t, tmpd,
-                                        res);
                     const std::size_t ylim =
                         std::min(d.m, d.ho - ty * d.m);
                     const std::size_t xlim =
@@ -293,7 +321,10 @@ IntWinogradConv::forwardInto(const TensorD &input, TensorI64 &xq,
                         double *dst =
                             plane + (ty * d.m + yy) * d.wo + tx * d.m;
                         for (std::size_t xx = 0; xx < xlim; ++xx) {
-                            double v = res[yy * d.m + xx] * sx_;
+                            double v =
+                                yy0[((yy * d.m + xx) * cout_ + oc) *
+                                        d.tiles +
+                                    p];
                             if (bias)
                                 v += bc;
                             if (relu && v < 0.0)
@@ -359,23 +390,29 @@ IntWinogradConv::forwardReference(const TensorD &input) const
                             for (std::size_t j = 0; j < spec.t; ++j)
                                 acc(i, j) += wt(i, j) * it(i, j);
                     }
-                    // S_BG rescale, then FP back-transform (done by
-                    // the Vector Unit / FixPipe in hardware).
-                    MatrixD y(spec.t, spec.t);
-                    for (std::size_t i = 0; i < spec.t; ++i)
-                        for (std::size_t j = 0; j < spec.t; ++j)
-                            y(i, j) = static_cast<double>(acc(i, j)) *
-                                      sb_(i, j) *
-                                      wscales_.at(oc, i, j);
-                    const MatrixD res =
-                        outputTransform(y, cfg_.variant);
+                    // FP dequant gather in row-pass order: the fused
+                    // S_BG * s_x scale, then the A-transform as
+                    // Kronecker row passes through the same
+                    // dispatched kernel the tiled and blocked paths
+                    // use (len = 1 takes its scalar std::fma tail,
+                    // which rounds identically to the FMA vector
+                    // body), keeping all three bit-identical.
+                    double y[kMaxT * kMaxT];
+                    double res[kMaxT * kMaxT];
+                    for (std::size_t k = 0; k < spec.t * spec.t; ++k)
+                        y[k] = static_cast<double>(
+                                   acc(k / spec.t, k % spec.t)) *
+                               dqScale_[k * cout_ + oc];
+                    layout::kernels().kron(
+                        winoOutputKron<double>(cfg_.variant), y, 1,
+                        res);
                     for (std::size_t yy = 0; yy < spec.m; ++yy) {
                         for (std::size_t xx = 0; xx < spec.m; ++xx) {
                             const std::size_t oy = ty * spec.m + yy;
                             const std::size_t ox = tx * spec.m + xx;
                             if (oy < ho && ox < wo)
                                 out.at(in, oc, oy, ox) =
-                                    res(yy, xx) * sx_;
+                                    res[yy * spec.m + xx];
                         }
                     }
                 }

@@ -85,7 +85,8 @@ class IntWinogradConv
     /**
      * Tiled forward writing into caller-provided buffers: `xq` holds
      * the quantized input, `V` the raw tiles, `U`/`M` the
-     * scatter/GEMM planes (reshaped as needed), `out` the pre-shaped
+     * scatter/GEMM planes, `Md`/`Y` the FP dequant and back-transform
+     * planes (reshaped as needed), `out` the pre-shaped
      * [N, Cout, Ho, Wo] result. With reused buffers (e.g.
      * ScratchArena slots) the steady state performs no allocations.
      * A non-null `runner` shards the t*t independent per-tap GEMMs
@@ -97,7 +98,8 @@ class IntWinogradConv
      * separate bias/ReLU sweep over the output.
      */
     void forwardInto(const TensorD &input, TensorI64 &xq, TensorI64 &V,
-                     TensorI64 &U, TensorI64 &M, TensorD &out,
+                     TensorI64 &U, TensorI64 &M, TensorD &Md,
+                     TensorD &Y, TensorD &out,
                      gemm::ParallelRunner *runner = nullptr,
                      gemm::PackPool *packs = nullptr,
                      const double *bias = nullptr,
@@ -182,9 +184,13 @@ class IntWinogradConv
     /// The same weights re-laid tap-major [t*t][cout][cin] for the
     /// per-tap GEMM.
     std::vector<std::int64_t> wqTaps_;
-    /// Cached flat A^T in double for the FP dequant gather, which
-    /// runs in the reference operation order to stay bit-identical.
-    std::vector<double> atD_;
+    /// Fused FP dequant scales S_B ⊙ S_G ⊙ s_x per (tap, oc),
+    /// [t*t * cout], computed in the same association order as the
+    /// blocked engine's sbgSx_ table so both dequants see identical
+    /// doubles. The gather is specified in row-pass (Kronecker) order
+    /// over this fused scale — the vectorized blocked path is
+    /// bit-identical to it, not merely tolerance-equal.
+    std::vector<double> dqScale_;
 };
 
 /** Relative L2 error ||a - b|| / ||b||; b is the reference. */

@@ -246,6 +246,8 @@ struct WinogradInt8Prepared : PreparedLayer
     ScratchArena::Slot tiles = 0;     ///< int64 raw-tile slot
     ScratchArena::Slot scatter = 0;   ///< int64 U buffer slot
     ScratchArena::Slot gemm = 0;      ///< int64 M buffer slot
+    ScratchArena::Slot dequant = 0;   ///< double dequant plane slot
+    ScratchArena::Slot back = 0;      ///< double back-transform slot
     std::vector<double> bias;         ///< fused epilogue; empty = none
     bool relu = false;
 };
@@ -280,6 +282,8 @@ class WinogradInt8Backend : public ConvBackend
         prep->tiles = layerSlot("wino8.V", desc.name);
         prep->scatter = layerSlot("wino8.U", desc.name);
         prep->gemm = layerSlot("wino8.M", desc.name);
+        prep->dequant = layerSlot("wino8.Md", desc.name);
+        prep->back = layerSlot("wino8.Y", desc.name);
         prep->bias = epilogueBias(build.epilogue, desc);
         prep->relu = build.epilogue.relu;
         return prep;
@@ -311,11 +315,15 @@ class WinogradInt8Backend : public ConvBackend
             p.scatter, {d.t * d.t, p.conv->cin(), d.tiles});
         TensorI64 &M = scratch.tensorI64(
             p.gemm, {d.t * d.t, p.conv->cout(), d.tiles});
+        TensorD &Md = scratch.tensor(
+            p.dequant, {d.t * d.t, p.conv->cout(), d.tiles});
+        TensorD &Y = scratch.tensor(
+            p.back, {d.m * d.m, p.conv->cout(), d.tiles});
         const double macs = static_cast<double>(d.t * d.t) *
                             static_cast<double>(p.conv->cout()) *
                             static_cast<double>(p.conv->cin()) *
                             static_cast<double>(d.tiles);
-        p.conv->forwardInto(input, xq, V, U, M, out,
+        p.conv->forwardInto(input, xq, V, U, M, Md, Y, out,
                             ctx.runnerFor(macs), ctx.packs,
                             p.bias.empty() ? nullptr : p.bias.data(),
                             p.relu);

@@ -16,12 +16,16 @@ namespace
 {
 
 constexpr const char *kMagic = "twq-plan-cache";
-constexpr const char *kVersion = "v3";
+constexpr const char *kVersion = "v4";
+
+/// Upper bound on a sane candidate-table length: engines × variants
+/// is single digits today; anything larger is a corrupt line.
+constexpr std::size_t kMaxTable = 64;
 
 bool
 variantFromName(const std::string &name, WinoVariant *out)
 {
-    for (WinoVariant v : {WinoVariant::F2, WinoVariant::F4}) {
+    for (WinoVariant v : kAllWinoVariants) {
         if (name == winoName(v)) {
             *out = v;
             return true;
@@ -100,11 +104,19 @@ PlanCache::serialize() const
     std::lock_guard<std::mutex> lock(mu_);
     std::ostringstream out;
     out << kMagic << ' ' << kVersion << ' ' << signature() << '\n';
-    for (const auto &[key, d] : entries_)
+    for (const auto &[key, d] : entries_) {
         out << key << ' ' << convEngineName(d.engine) << ' '
             << winoName(d.variant) << ' ' << d.probeNs << ' '
             << d.cycles << ' ' << d.instructions << ' '
-            << d.cacheRefs << ' ' << d.cacheMisses << '\n';
+            << d.cacheRefs << ' ' << d.cacheMisses << ' '
+            << d.inToBlockedNs << ' ' << d.inToNchwNs << ' '
+            << d.outToBlockedNs << ' ' << d.outToNchwNs << ' '
+            << d.table.size();
+        for (const Cand &c : d.table)
+            out << ' ' << convEngineName(c.engine) << ' '
+                << winoName(c.variant) << ' ' << c.ns;
+        out << '\n';
+    }
     return out.str();
 }
 
@@ -144,13 +156,25 @@ PlanCache::deserialize(const std::string &text)
         std::istringstream fields(line);
         std::string key, engine, variant;
         Decision d;
+        std::size_t nCand = 0;
         if (!(fields >> key >> engine >> variant >> d.probeNs >>
               d.cycles >> d.instructions >> d.cacheRefs >>
-              d.cacheMisses) ||
+              d.cacheMisses >> d.inToBlockedNs >> d.inToNchwNs >>
+              d.outToBlockedNs >> d.outToNchwNs >> nCand) ||
+            nCand > kMaxTable ||
             !convEngineFromName(engine, &d.engine) ||
             !variantFromName(variant, &d.variant))
             return false;
-        parsed[key] = d;
+        d.table.reserve(nCand);
+        for (std::size_t i = 0; i < nCand; ++i) {
+            Cand c;
+            if (!(fields >> engine >> variant >> c.ns) ||
+                !convEngineFromName(engine, &c.engine) ||
+                !variantFromName(variant, &c.variant))
+                return false;
+            d.table.push_back(c);
+        }
+        parsed[key] = std::move(d);
     }
     // Merge (file entries win per key) so a shared in-memory cache
     // keeps measurements the file does not know about.

@@ -10,6 +10,7 @@
 #include "layout/kernels_f16.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "winograd/bitwidth.hh"
 #include "xform/fuse.hh"
 
 namespace twq
@@ -48,6 +49,52 @@ biasInit(std::size_t cout, std::uint64_t seed)
     Rng rng(seed);
     rng.fillNormal(b, 0.0, 0.1);
     return b;
+}
+
+/**
+ * Shape-seeded starting variant for a raced layer (à la TVM's
+ * tile-size inference): prefer the largest transform whose output
+ * tile divides the layer's output exactly — a partial edge tile
+ * wastes the wider transform's arithmetic saving — and whose channel
+ * width amortizes the bigger Kronecker row passes; quantized layers
+ * additionally require the variant to pass the bitwidth model's int8
+ * eligibility gate (which excludes F6 outright: its transforms are
+ * not integer).
+ */
+WinoVariant
+seededVariant(const ConvLayerDesc &d, bool quantized, int winogradBits)
+{
+    const auto fits = [&](WinoVariant v, std::size_t m,
+                          std::size_t minC) {
+        if (d.outHeight() % m != 0 || d.outWidth() % m != 0 ||
+            d.cin < minC)
+            return false;
+        return !quantized || winoInt8Eligible(v, winogradBits, d.cin);
+    };
+    if (fits(WinoVariant::F6, 6, 64))
+        return WinoVariant::F6;
+    if (fits(WinoVariant::F4, 4, 16))
+        return WinoVariant::F4;
+    return WinoVariant::F2;
+}
+
+/**
+ * Shape-seeded starting engine: wide-channel layers start on the
+ * NCHWc8 blocked flavor of their family (the c-block only pays off
+ * once there are whole blocks to vectorize over); narrow layers keep
+ * the configured default. Like the variant seed, this only picks the
+ * incumbent — the race still measures everything.
+ */
+ConvEngine
+seededEngine(const ConvLayerDesc &d, ConvEngine engine)
+{
+    if (d.cin < 16)
+        return engine;
+    if (engine == ConvEngine::WinogradFp32)
+        return ConvEngine::WinogradBlocked;
+    if (engine == ConvEngine::WinogradInt8)
+        return ConvEngine::WinogradBlockedInt8;
+    return engine;
 }
 
 /**
@@ -250,11 +297,63 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
         cache->loadFile(cfg_.planCachePath);
     }
     const std::uint64_t cacheRev0 = cache ? cache->revision() : 0;
+
+    // Selection state retained across the layer loop for the
+    // chain-aware layout DP: each raced layer's measured candidate
+    // table, the NCHW↔NCHWc8 conversion costs at its boundary
+    // shapes, and the calibration set needed to re-prepare a layer
+    // when the joint plan overrides its per-layer argmin.
+    struct PlanState
+    {
+        bool raced = false;
+        std::vector<PlanCache::Cand> cands;
+        std::uint64_t inToBlockedNs = 0;
+        std::uint64_t inToNchwNs = 0;
+        std::uint64_t outToBlockedNs = 0;
+        std::uint64_t outToNchwNs = 0;
+        std::vector<TensorD> calSet;
+        /// The race's shared calibration statistics, kept alive so a
+        /// DP re-prepare hits the same cached passes instead of
+        /// recomputing them (points into calSet above — stable, the
+        /// plans vector is never resized).
+        std::unique_ptr<CalibrationCache> calCache;
+    };
+    std::vector<PlanState> plans(layers_.size());
+
     for (std::size_t i = 0; i < layers_.size(); ++i) {
         Layer &layer = layers_[i];
+
+        // ConvEngine-auto policy membership is decided up front so
+        // the shape seed can steer which candidate is prepared first
+        // (and wins ties): raced layers start on the variant/engine
+        // the layer's geometry suggests instead of blindly on the
+        // configured default. The race still measures the full set,
+        // so the seed is free when right and measured away when
+        // wrong. Non-raced layers are untouched — without autoSelect
+        // every layer reports the configured variant.
+        const bool fpRace =
+            layer.engine == ConvEngine::WinogradFp32 ||
+            layer.engine == ConvEngine::WinogradBlocked;
+        const bool quantRace =
+            layer.engine == ConvEngine::WinogradInt8 ||
+            layer.engine == ConvEngine::WinogradBlockedInt8;
+        const bool raced =
+            cfg.autoSelect && !pinned[i] && (fpRace || quantRace);
+        if (raced && cfg.shapeSeed) {
+            layer.variant = seededVariant(layer.desc, quantRace,
+                                          cfg.quant.winogradBits);
+            const ConvEngine se =
+                seededEngine(layer.desc, layer.engine);
+            if (se != layer.engine &&
+                registry.get(se)->supports(layer.desc)) {
+                layer.engine = se;
+                layer.backend = registry.get(se);
+            }
+        }
+
         LayerBuild build;
         build.params = layer.params;
-        build.variant = cfg.variant;
+        build.variant = layer.variant;
         build.quant = cfg.quant;
         // Fused sessions fold the planned epilogue into the engine's
         // output write; unfused ones keep prepare() epilogue-free and
@@ -265,14 +364,18 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
             obs::Registry::global()
                 .counter("session.fused_epilogues")
                 .inc();
-        std::vector<TensorD> calSet;
+        // The calibration set lives in the plan state (not a loop
+        // local) so the chain DP can re-prepare a quantized layer
+        // after the loop has propagated `cal` past it.
+        std::vector<TensorD> &calSet = plans[i].calSet;
         // Shared calibration statistics for every prepare() of this
         // layer: autoSelect races up to five quantized candidates,
         // and without the cache each one would redo the abs-max,
         // fake-quantization, and tap-maxima passes over the same
         // calibration set (~13 passes per layer instead of 4).
         // Results are bit-identical with or without it.
-        CalibrationCache layerCal(&calSet);
+        plans[i].calCache = std::make_unique<CalibrationCache>(&calSet);
+        CalibrationCache &layerCal = *plans[i].calCache;
         if (i < calEnd) {
             calSet.push_back(cal);
             build.calibration = &calSet;
@@ -286,30 +389,24 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
         // against the rest of its candidate set, keeping the fastest
         // measured candidate — the policy picks engine, Winograd
         // variant and activation layout together. FP Winograd layers
-        // race im2col and both Winograd variants of the NCHW and
-        // NCHWc8-blocked FP backends; quantized Winograd layers race
-        // the quantized counterparts (NCHW int-winograd F2/F4,
-        // blocked int-winograd F2/F4, im2col-int8) — never an FP
-        // engine, which would silently drop the quantization the
-        // config asked for. Blocked candidates are timed on a blocked
-        // probe — the steady-state input layout propagation hands
-        // them inside a blocked chain. Boundary conversions
-        // (ingress/egress, or a blocked layer between NCHW neighbors)
-        // are NOT charged to the layer, since their amortization
-        // depends on the neighbors' layouts; a blocked win smaller
-        // than a conversion cost can therefore lose net at an
-        // isolated layout seam (ROADMAP follow-on: chain-aware layout
-        // planning). Ineligible layers never reach here with a
-        // raceable engine, so they always stay on their fallback. A
-        // plan-cache hit applies a previously measured decision
-        // without re-running the probe.
-        const bool fpRace =
-            layer.engine == ConvEngine::WinogradFp32 ||
-            layer.engine == ConvEngine::WinogradBlocked;
-        const bool quantRace =
-            layer.engine == ConvEngine::WinogradInt8 ||
-            layer.engine == ConvEngine::WinogradBlockedInt8;
-        if (cfg.autoSelect && !pinned[i] && (fpRace || quantRace)) {
+        // race im2col and every Winograd variant (F2/F4/F6) of the
+        // NCHW and NCHWc8-blocked FP backends; quantized Winograd
+        // layers race the quantized counterparts (NCHW int-winograd,
+        // blocked int-winograd — variants clamped by the bitwidth
+        // model's int8 eligibility gate, which excludes F6 — and
+        // im2col-int8), never an FP engine, which would silently
+        // drop the quantization the config asked for. Blocked
+        // candidates are timed on a blocked probe — the steady-state
+        // input layout propagation hands them inside a blocked
+        // chain. Boundary conversions are not charged to the layer
+        // here; the probe also measures the NCHW↔NCHWc8 conversion
+        // costs at the layer's boundary shapes so the chain DP below
+        // can charge them on the seams where they actually occur.
+        // Ineligible layers never reach here with a raceable engine,
+        // so they always stay on their fallback. A plan-cache hit
+        // applies a previously measured decision (winner, candidate
+        // table, and conversion costs) without re-running the probe.
+        if (raced) {
             // The candidate set this race draws from — and the only
             // cached decisions it will apply: a foreign or corrupted
             // cache entry (e.g. a quantized engine for an FP layer,
@@ -347,7 +444,7 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                         registry.get(hit.engine);
                     if (b->supports(layer.desc)) {
                         if (hit.engine != layer.engine ||
-                            hit.variant != cfg.variant) {
+                            hit.variant != layer.variant) {
                             LayerBuild cbuild = build;
                             cbuild.variant = hit.variant;
                             layer.prepared = b->prepare(
@@ -373,6 +470,21 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                         obs::Registry::global()
                             .counter("autoselect.cache_hit")
                             .inc();
+                        // A cached candidate table (and conversion
+                        // costs) re-enters the chain DP with zero
+                        // re-measurement; a winner-only entry (empty
+                        // or fully filtered table) is adopted
+                        // verbatim and stays fixed in the DP.
+                        plans[i].inToBlockedNs = hit.inToBlockedNs;
+                        plans[i].inToNchwNs = hit.inToNchwNs;
+                        plans[i].outToBlockedNs = hit.outToBlockedNs;
+                        plans[i].outToNchwNs = hit.outToNchwNs;
+                        for (const PlanCache::Cand &cc : hit.table)
+                            if (raceable(cc.engine) &&
+                                registry.get(cc.engine)
+                                    ->supports(layer.desc))
+                                plans[i].cands.push_back(cc);
+                        plans[i].raced = plans[i].cands.size() > 1;
                     }
                 }
             }
@@ -383,6 +495,11 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                 obs::Registry::global()
                     .counter("autoselect.cache_miss")
                     .inc();
+                // The contract a tuned plan cache is judged by: one
+                // tick per layer whose candidate race actually ran
+                // in this process. A cold build against a fully
+                // tuned cache reads zero here.
+                obs::Registry::global().counter("plan.probes").inc();
                 TensorD probe(
                     {std::max<std::size_t>(cfg.autoSelectBatch, 1),
                      layer.desc.cin, layer.desc.height,
@@ -400,11 +517,8 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                     std::shared_ptr<const PreparedLayer> prepared;
                 };
                 std::vector<Candidate> cands;
-                cands.push_back({layer.engine, cfg.variant,
+                cands.push_back({layer.engine, layer.variant,
                                  layer.backend, layer.prepared});
-                const WinoVariant other =
-                    cfg.variant == WinoVariant::F2 ? WinoVariant::F4
-                                                   : WinoVariant::F2;
                 const auto addCandidate = [&](ConvEngine e,
                                               WinoVariant v) {
                     if (e == cands[0].engine && v == cands[0].variant)
@@ -420,27 +534,27 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                     cands.push_back(std::move(c));
                 };
                 if (fpRace) {
-                    addCandidate(ConvEngine::WinogradFp32,
-                                 cfg.variant);
-                    addCandidate(ConvEngine::WinogradFp32, other);
-                    addCandidate(ConvEngine::WinogradBlocked,
-                                 cfg.variant);
-                    addCandidate(ConvEngine::WinogradBlocked, other);
-                    addCandidate(ConvEngine::Im2col, cfg.variant);
-                    if (cfg.raceF16) {
-                        addCandidate(ConvEngine::WinogradBlockedF16,
-                                     cfg.variant);
-                        addCandidate(ConvEngine::WinogradBlockedF16,
-                                     other);
+                    for (WinoVariant v : kAllWinoVariants) {
+                        addCandidate(ConvEngine::WinogradFp32, v);
+                        addCandidate(ConvEngine::WinogradBlocked, v);
+                        if (cfg.raceF16)
+                            addCandidate(
+                                ConvEngine::WinogradBlockedF16, v);
                     }
+                    addCandidate(ConvEngine::Im2col, cfg.variant);
                 } else {
-                    addCandidate(ConvEngine::WinogradInt8,
-                                 cfg.variant);
-                    addCandidate(ConvEngine::WinogradInt8, other);
-                    addCandidate(ConvEngine::WinogradBlockedInt8,
-                                 cfg.variant);
-                    addCandidate(ConvEngine::WinogradBlockedInt8,
-                                 other);
+                    // Variants outside the bitwidth model's int8
+                    // envelope (F6 always — its transforms are not
+                    // integer) never enter the quantized race.
+                    for (WinoVariant v : kAllWinoVariants) {
+                        if (!winoInt8Eligible(v,
+                                              cfg.quant.winogradBits,
+                                              layer.desc.cin))
+                            continue;
+                        addCandidate(ConvEngine::WinogradInt8, v);
+                        addCandidate(ConvEngine::WinogradBlockedInt8,
+                                     v);
+                    }
                     addCandidate(ConvEngine::Im2colInt8,
                                  cfg.variant);
                 }
@@ -524,6 +638,61 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                                                      1e9)
                         : 0;
                 layer.planCounters = bestC[best];
+
+                // Record the full table for the chain DP (and the
+                // cache): every candidate with its best round, in
+                // race order.
+                plans[i].raced = cands.size() > 1;
+                for (std::size_t ci = 0; ci < cands.size(); ++ci)
+                    plans[i].cands.push_back(
+                        {cands[ci].engine, cands[ci].variant,
+                         bestT[ci] <
+                                 std::numeric_limits<
+                                     double>::infinity()
+                             ? static_cast<std::uint64_t>(
+                                   bestT[ci] * 1e9)
+                             : 0});
+
+                // Seam conversion costs on the same probe data
+                // (best of 3): NCHW↔NCHWc8 at the input shape and at
+                // the output shape. The chain DP charges these
+                // wherever adjacent picks disagree on layout; the
+                // boundary between two layers is one shape, so a
+                // neighbor missing its own measurement borrows this
+                // one.
+                const auto timeConvNs = [](auto &&fn) {
+                    using clock = std::chrono::steady_clock;
+                    std::uint64_t best = ~std::uint64_t{0};
+                    for (int r = 0; r < 3; ++r) {
+                        const auto t0 = clock::now();
+                        fn();
+                        const auto t1 = clock::now();
+                        best = std::min(
+                            best,
+                            static_cast<std::uint64_t>(
+                                std::chrono::duration_cast<
+                                    std::chrono::nanoseconds>(t1 - t0)
+                                    .count()));
+                    }
+                    return best;
+                };
+                TensorD cvtBlocked(blockedShape(probe.shape()));
+                TensorD cvtNchw(probe.shape());
+                plans[i].inToBlockedNs = timeConvNs(
+                    [&] { nchwToBlocked(probe, cvtBlocked); });
+                plans[i].inToNchwNs = timeConvNs(
+                    [&] { blockedToNchw(cvtBlocked, cvtNchw); });
+                TensorD outNchw(
+                    {std::max<std::size_t>(cfg.autoSelectBatch, 1),
+                     layer.desc.cout, layer.desc.outHeight(),
+                     layer.desc.outWidth()});
+                probeRng.fillNormal(outNchw.storage(), 0.0, 1.0);
+                TensorD outBlocked(blockedShape(outNchw.shape()));
+                plans[i].outToBlockedNs = timeConvNs(
+                    [&] { nchwToBlocked(outNchw, outBlocked); });
+                plans[i].outToNchwNs = timeConvNs(
+                    [&] { blockedToNchw(outBlocked, outNchw); });
+
                 if (cache) {
                     PlanCache::Decision d;
                     d.engine = layer.engine;
@@ -537,6 +706,11 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
                         d.cacheMisses =
                             layer.planCounters.cacheMisses;
                     }
+                    d.inToBlockedNs = plans[i].inToBlockedNs;
+                    d.inToNchwNs = plans[i].inToNchwNs;
+                    d.outToBlockedNs = plans[i].outToBlockedNs;
+                    d.outToNchwNs = plans[i].outToNchwNs;
+                    d.table = plans[i].cands;
                     cache->store(planKey, d);
                 }
             }
@@ -554,6 +728,157 @@ Session::Session(const NetworkDesc &net, const SessionConfig &cfg)
             // activations they actually receive — bias and ReLU
             // included, whether fused or separate at run time.
             applyEpilogueNchw(cal, layer.epilogue);
+        }
+    }
+
+    // Chain-aware layout planning: the per-layer argmin applied above
+    // is blind to seams — a blocked candidate that wins its layer by
+    // less than the NCHW↔NCHWc8 conversions it forces on its
+    // neighbors loses net. Re-decide the raced layers jointly with a
+    // Viterbi pass over the measured candidate tables: node cost is
+    // the candidate's probe time, edge cost the measured conversion
+    // at the boundary shape wherever consecutive picks disagree on
+    // layout, plus chain ingress/egress (the session's outer contract
+    // is NCHW on both ends). Fixed layers (pinned, non-raced,
+    // winner-only cache entries) participate as single-candidate
+    // nodes so their layout still shapes the seams around them.
+    // Everything here is arithmetic over numbers already measured —
+    // a fully cached build decides the whole chain without a single
+    // timed run. (The f16 engine's widen/narrow storage seam is not
+    // modeled; it rides the blocked layout.)
+    if (cfg.autoSelect && cfg.chainDp && !layers_.empty()) {
+        struct Node
+        {
+            ConvEngine engine;
+            WinoVariant variant;
+            double ns;
+            ActLayout in;
+            ActLayout out;
+        };
+        const std::size_t L = layers_.size();
+        std::vector<std::vector<Node>> nodes(L);
+        for (std::size_t i = 0; i < L; ++i) {
+            if (plans[i].raced) {
+                for (const PlanCache::Cand &c : plans[i].cands) {
+                    const ConvBackend &b = *registry.get(c.engine);
+                    nodes[i].push_back(
+                        {c.engine, c.variant,
+                         static_cast<double>(c.ns), b.inputLayout(),
+                         b.outputLayout()});
+                }
+            } else {
+                nodes[i].push_back({layers_[i].engine,
+                                    layers_[i].variant, 0.0,
+                                    layers_[i].backend->inputLayout(),
+                                    layers_[i].backend->outputLayout()});
+            }
+        }
+        // The boundary between layers i-1 and i is one shape (i-1's
+        // output is i's input), so prefer the upstream layer's
+        // output-shape measurement and borrow the downstream layer's
+        // input-shape one when the upstream never measured.
+        const auto seam = [&](std::size_t i, ActLayout prod,
+                              ActLayout cons) -> double {
+            if (prod == cons)
+                return 0.0;
+            const PlanState &up = plans[i - 1];
+            const PlanState &dn = plans[i];
+            const bool useUp =
+                up.outToBlockedNs != 0 || up.outToNchwNs != 0;
+            const std::uint64_t c =
+                cons == ActLayout::NCHWc8
+                    ? (useUp ? up.outToBlockedNs : dn.inToBlockedNs)
+                    : (useUp ? up.outToNchwNs : dn.inToNchwNs);
+            return static_cast<double>(c);
+        };
+        std::vector<std::vector<double>> cost(L);
+        std::vector<std::vector<std::size_t>> from(L);
+        for (std::size_t b = 0; b < nodes[0].size(); ++b) {
+            const Node &n = nodes[0][b];
+            cost[0].push_back(
+                n.ns + (n.in == ActLayout::NCHWc8
+                            ? static_cast<double>(
+                                  plans[0].inToBlockedNs)
+                            : 0.0));
+            from[0].push_back(0);
+        }
+        for (std::size_t i = 1; i < L; ++i) {
+            for (std::size_t b = 0; b < nodes[i].size(); ++b) {
+                const Node &n = nodes[i][b];
+                double bestCost =
+                    std::numeric_limits<double>::infinity();
+                std::size_t bestFrom = 0;
+                for (std::size_t a = 0; a < nodes[i - 1].size();
+                     ++a) {
+                    const double t = cost[i - 1][a] +
+                                     seam(i, nodes[i - 1][a].out,
+                                          n.in);
+                    if (t < bestCost) {
+                        bestCost = t;
+                        bestFrom = a;
+                    }
+                }
+                cost[i].push_back(bestCost + n.ns);
+                from[i].push_back(bestFrom);
+            }
+        }
+        std::size_t pickLast = 0;
+        double bestTotal = std::numeric_limits<double>::infinity();
+        for (std::size_t b = 0; b < nodes[L - 1].size(); ++b) {
+            const double t =
+                cost[L - 1][b] +
+                (nodes[L - 1][b].out == ActLayout::NCHWc8
+                     ? static_cast<double>(plans[L - 1].outToNchwNs)
+                     : 0.0);
+            if (t < bestTotal) {
+                bestTotal = t;
+                pickLast = b;
+            }
+        }
+        std::vector<std::size_t> pick(L, 0);
+        pick[L - 1] = pickLast;
+        for (std::size_t i = L - 1; i > 0; --i)
+            pick[i - 1] = from[i][pick[i]];
+        for (std::size_t i = 0; i < L; ++i) {
+            if (!plans[i].raced)
+                continue;
+            const Node &n = nodes[i][pick[i]];
+            Layer &layer = layers_[i];
+            if (n.engine == layer.engine &&
+                n.variant == layer.variant)
+                continue;
+            // The joint plan overrode this layer's local argmin:
+            // re-prepare the chosen candidate from the retained
+            // build materials. planSource stays what decided the
+            // table ("probed"/"cache") — no new measurement ran.
+            obs::Registry::global()
+                .counter("autoselect.chain_dp_override")
+                .inc();
+            std::shared_ptr<const ConvBackend> b =
+                registry.get(n.engine);
+            LayerBuild rb;
+            rb.params = layer.params;
+            rb.variant = n.variant;
+            rb.quant = cfg.quant;
+            if (cfg.fuseEpilogues)
+                rb.epilogue = layer.epilogue;
+            if (!plans[i].calSet.empty()) {
+                rb.calibration = &plans[i].calSet;
+                rb.calCache = plans[i].calCache.get();
+            }
+            layer.prepared =
+                b->prepare(layer.desc, weights[i], rb);
+            twq_assert(layer.prepared,
+                       "backend returned no prepared state");
+            layer.engine = n.engine;
+            layer.variant = n.variant;
+            layer.backend = std::move(b);
+            layer.layout = {layer.backend->inputLayout(),
+                            layer.backend->outputLayout()};
+            layer.planProbeNs = plans[i].cands[pick[i]].ns;
+            // The provenance counters described the local winner's
+            // probe, not this pick's; drop rather than misattribute.
+            layer.planCounters = obs::PerfCounters{};
         }
     }
 

@@ -75,22 +75,50 @@ struct SessionConfig
      * Pick the execution plan per layer from a measured
      * microbenchmark instead of trusting defaultEngine blindly: at
      * session build each eligible FP layer is prepared for im2col,
-     * for winograd-fp32 under BOTH variants (F2 and F4), and for the
-     * NCHWc8 blocked-layout winograd under both variants, timed on a
-     * sample batch (blocked candidates on a blocked probe), and the
-     * fastest candidate wins — the policy picks the engine, the
-     * Winograd variant and the activation layout together. Quantized
-     * Winograd layers race their own quantized candidate set the same
-     * way (NCHW int-winograd F2/F4, blocked int-winograd F2/F4,
-     * im2col-int8) — never an FP engine, which would silently drop
-     * the configured quantization. Ineligible layers still always
-     * land on their im2col fallback, and explicit layerEngines
-     * overrides are honored unmeasured.
+     * for winograd-fp32 under every transform variant (F2/F4/F6),
+     * and for the NCHWc8 blocked-layout winograd under every
+     * variant, timed on a sample batch (blocked candidates on a
+     * blocked probe), and the fastest candidate wins — the policy
+     * picks the engine, the Winograd variant and the activation
+     * layout together. Quantized Winograd layers race their own
+     * quantized candidate set the same way (NCHW int-winograd,
+     * blocked int-winograd, im2col-int8 — variants clamped by the
+     * bitwidth model's int8 eligibility gate, which excludes F6) —
+     * never an FP engine, which would silently drop the configured
+     * quantization. Ineligible layers still always land on their
+     * im2col fallback, and explicit layerEngines overrides are
+     * honored unmeasured.
      */
     bool autoSelect = false;
 
     /** Batch size of the autoSelect timing probe. */
     std::size_t autoSelectBatch = 8;
+
+    /**
+     * Seed each raced layer's incumbent candidate from its shape
+     * before measuring (à la TVM's tile-size inference): prefer the
+     * largest variant whose output tile divides the layer's output
+     * exactly and whose channel width amortizes the wider transform,
+     * and start wide-channel layers on the blocked engine. The race
+     * still measures the full candidate set — the seed only decides
+     * which candidate is prepared first and wins ties — so a good
+     * seed costs nothing and a bad one is measured away.
+     */
+    bool shapeSeed = true;
+
+    /**
+     * Chain-aware layout planning: instead of applying each raced
+     * layer's per-layer argmin independently, run a joint dynamic
+     * program over adjacent layers' measured candidate tables whose
+     * edges charge the measured NCHW↔NCHWc8 conversion cost wherever
+     * consecutive picks disagree on layout (plus chain ingress and
+     * egress, which are NCHW on both ends). A blocked candidate that
+     * wins its layer by less than the seam it would create therefore
+     * loses the chain — the per-layer argmin's known blind spot. Off,
+     * the legacy independent argmin applies (kept for A/B
+     * benchmarking; the bench matrix reports both).
+     */
+    bool chainDp = true;
 
     /**
      * Optional cache of measured autoSelect plans, shared across

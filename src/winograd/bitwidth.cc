@@ -70,6 +70,20 @@ analyzeTransform(const Matrix<Rational> &left, const Matrix<Rational> &right,
     return g;
 }
 
+bool
+winoInt8Eligible(WinoVariant v, int winogradBits, std::size_t cin)
+{
+    if (!winoIntegerTransforms(v))
+        return false;
+    // Wrap-free int32 accumulation in the widening per-tap GEMM:
+    // channels are padded to the NCHWc8 block, operands hold
+    // winogradBits signed bits after the S_B requantization.
+    const std::size_t cinPadded = (cin + 7) / 8 * 8;
+    const std::int64_t mag = std::int64_t{1} << (winogradBits - 1);
+    return static_cast<std::int64_t>(cinPadded) * mag * mag <
+           (std::int64_t{1} << 31);
+}
+
 BitGrowth
 inputTransformGrowth(WinoVariant v, int input_bits)
 {

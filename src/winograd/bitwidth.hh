@@ -51,6 +51,27 @@ BitGrowth weightTransformGrowth(WinoVariant v, int input_bits);
 BitGrowth outputTransformGrowth(WinoVariant v, int input_bits);
 
 /**
+ * Modeled eligibility of a variant for the integer Winograd engines.
+ *
+ * Two gates, both derived from the transform algebra rather than
+ * hardcoded per variant:
+ *
+ *  1. B^T and A^T must be integer matrices (winoIntegerTransforms) so
+ *     the bit-true integer lift exists at all. F6's points {±2, ±1/2}
+ *     fail this — its input/output transforms carry quarters.
+ *  2. The int32 per-tap accumulator must be wrap-free: operands are
+ *     requantized to `winogradBits` signed bits (magnitude 2^(b-1))
+ *     and reduced over the channel dimension padded to the c-block of
+ *     8, so cinPadded * 2^(b-1) * 2^(b-1) must stay below 2^31 —
+ *     the same budget the blocked engine asserts at prepare time.
+ *
+ * autoSelect consults this before racing quantized candidates so an
+ * ineligible (variant, bits, cin) combination is never probed.
+ */
+bool winoInt8Eligible(WinoVariant v, int winogradBits,
+                      std::size_t cin);
+
+/**
  * Worst-case amplification factor per tap, i.e.
  * sum_{u,v} |L[i,u] R[v,j]| as exact rationals (unscaled L, R). Used
  * by Fig. 1-style analyses of per-tap dynamic range.

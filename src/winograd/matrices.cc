@@ -87,6 +87,71 @@ makeATF4()
     };
 }
 
+// F(6x6, 3x3) from the interpolation points {0, 1, -1, 2, -2, 1/2,
+// -1/2} plus the point at infinity — the Lavin parameterization cuDNN
+// and wincnn popularized. Unlike F2/F4, B^T (quarters) and A^T
+// (halves down to 1/32) are not integer, which is why the quantized
+// engines reject F6 (see winoIntegerTransforms / bitwidth.hh).
+
+Matrix<Rational>
+makeBTF6()
+{
+    return Matrix<Rational>{
+        {rat(1), rat(0), rat(-21, 4), rat(0), rat(21, 4), rat(0),
+         rat(-1), rat(0)},
+        {rat(0), rat(1), rat(1), rat(-17, 4), rat(-17, 4), rat(1),
+         rat(1), rat(0)},
+        {rat(0), rat(-1), rat(1), rat(17, 4), rat(-17, 4), rat(-1),
+         rat(1), rat(0)},
+        {rat(0), rat(1, 2), rat(1, 4), rat(-5, 2), rat(-5, 4), rat(2),
+         rat(1), rat(0)},
+        {rat(0), rat(-1, 2), rat(1, 4), rat(5, 2), rat(-5, 4),
+         rat(-2), rat(1), rat(0)},
+        {rat(0), rat(2), rat(4), rat(-5, 2), rat(-5), rat(1, 2),
+         rat(1), rat(0)},
+        {rat(0), rat(-2), rat(4), rat(5, 2), rat(-5), rat(-1, 2),
+         rat(1), rat(0)},
+        {rat(0), rat(-1), rat(0), rat(21, 4), rat(0), rat(-21, 4),
+         rat(0), rat(1)},
+    };
+}
+
+Matrix<Rational>
+makeGF6()
+{
+    // Row at point p is scale * (1, p, p^2).
+    return Matrix<Rational>{
+        {rat(1), rat(0), rat(0)},
+        {rat(-2, 9), rat(-2, 9), rat(-2, 9)},
+        {rat(-2, 9), rat(2, 9), rat(-2, 9)},
+        {rat(1, 90), rat(1, 45), rat(2, 45)},
+        {rat(1, 90), rat(-1, 45), rat(2, 45)},
+        {rat(32, 45), rat(16, 45), rat(8, 45)},
+        {rat(32, 45), rat(-16, 45), rat(8, 45)},
+        {rat(0), rat(0), rat(1)},
+    };
+}
+
+Matrix<Rational>
+makeATF6()
+{
+    // Column at point p carries the powers p^0 .. p^5.
+    return Matrix<Rational>{
+        {rat(1), rat(1), rat(1), rat(1), rat(1), rat(1), rat(1),
+         rat(0)},
+        {rat(0), rat(1), rat(-1), rat(2), rat(-2), rat(1, 2),
+         rat(-1, 2), rat(0)},
+        {rat(0), rat(1), rat(1), rat(4), rat(4), rat(1, 4), rat(1, 4),
+         rat(0)},
+        {rat(0), rat(1), rat(-1), rat(8), rat(-8), rat(1, 8),
+         rat(-1, 8), rat(0)},
+        {rat(0), rat(1), rat(1), rat(16), rat(16), rat(1, 16),
+         rat(1, 16), rat(0)},
+        {rat(0), rat(1), rat(-1), rat(32), rat(-32), rat(1, 32),
+         rat(-1, 32), rat(1)},
+    };
+}
+
 } // namespace
 
 WinoSpec
@@ -97,6 +162,8 @@ winoSpec(WinoVariant v)
         return {2, 3, 4};
       case WinoVariant::F4:
         return {4, 3, 6};
+      case WinoVariant::F6:
+        return {6, 3, 8};
     }
     twq_panic("unknown WinoVariant");
 }
@@ -104,7 +171,23 @@ winoSpec(WinoVariant v)
 const char *
 winoName(WinoVariant v)
 {
-    return v == WinoVariant::F2 ? "F2" : "F4";
+    switch (v) {
+      case WinoVariant::F2:
+        return "F2";
+      case WinoVariant::F4:
+        return "F4";
+      case WinoVariant::F6:
+        return "F6";
+    }
+    twq_panic("unknown WinoVariant");
+}
+
+bool
+winoIntegerTransforms(WinoVariant v)
+{
+    const Matrix<Rational> &bt = winoBT(v);
+    const Matrix<Rational> &at = winoAT(v);
+    return denominatorLcm(bt) == 1 && denominatorLcm(at) == 1;
 }
 
 const Matrix<Rational> &
@@ -112,7 +195,16 @@ winoBT(WinoVariant v)
 {
     static const Matrix<Rational> f2 = makeBTF2();
     static const Matrix<Rational> f4 = makeBTF4();
-    return v == WinoVariant::F2 ? f2 : f4;
+    static const Matrix<Rational> f6 = makeBTF6();
+    switch (v) {
+      case WinoVariant::F2:
+        return f2;
+      case WinoVariant::F4:
+        return f4;
+      case WinoVariant::F6:
+        return f6;
+    }
+    twq_panic("unknown WinoVariant");
 }
 
 const Matrix<Rational> &
@@ -120,7 +212,16 @@ winoG(WinoVariant v)
 {
     static const Matrix<Rational> f2 = makeGF2();
     static const Matrix<Rational> f4 = makeGF4();
-    return v == WinoVariant::F2 ? f2 : f4;
+    static const Matrix<Rational> f6 = makeGF6();
+    switch (v) {
+      case WinoVariant::F2:
+        return f2;
+      case WinoVariant::F4:
+        return f4;
+      case WinoVariant::F6:
+        return f6;
+    }
+    twq_panic("unknown WinoVariant");
 }
 
 const Matrix<Rational> &
@@ -128,7 +229,16 @@ winoAT(WinoVariant v)
 {
     static const Matrix<Rational> f2 = makeATF2();
     static const Matrix<Rational> f4 = makeATF4();
-    return v == WinoVariant::F2 ? f2 : f4;
+    static const Matrix<Rational> f6 = makeATF6();
+    switch (v) {
+      case WinoVariant::F2:
+        return f2;
+      case WinoVariant::F4:
+        return f4;
+      case WinoVariant::F6:
+        return f6;
+    }
+    twq_panic("unknown WinoVariant");
 }
 
 namespace

@@ -1,11 +1,17 @@
 /**
  * @file
- * Winograd F(2x2,3x3) and F(4x4,3x3) transformation matrices.
+ * Winograd F(2x2,3x3), F(4x4,3x3) and F(6x6,3x3) transformation
+ * matrices.
  *
  * The matrices are stored exactly as rationals (Section II of the
  * paper). F2 derives from the polynomial roots {0, 1, -1}; F4 from
  * {0, 1, -1, 1/2, -1/2} in the scaled form popularized by Lavin &
- * Gray, matching the paper's listing verbatim.
+ * Gray, matching the paper's listing verbatim. F6 uses the canonical
+ * interpolation points {0, 1, -1, 2, -2, 1/2, -1/2} (the cuDNN /
+ * wincnn parameterization): B^T and A^T pick up non-integer entries
+ * (multiples of 1/4 and 1/2), so F6 is an FP-only variant — the
+ * integer-lifted transforms of the quantized engines are gated on
+ * `winoIntegerTransforms()`.
  */
 
 #ifndef TWQ_WINOGRAD_MATRICES_HH
@@ -22,12 +28,20 @@ enum class WinoVariant
 {
     F2, ///< F(2x2, 3x3): 4x4 tiles, 2.25x MAC reduction
     F4, ///< F(4x4, 3x3): 6x6 tiles, 4x MAC reduction
+    F6, ///< F(6x6, 3x3): 8x8 tiles, 5.0625x MAC reduction (FP only)
+};
+
+/** All variants, for candidate sweeps and tests. */
+inline constexpr WinoVariant kAllWinoVariants[] = {
+    WinoVariant::F2,
+    WinoVariant::F4,
+    WinoVariant::F6,
 };
 
 /** Static geometry of a Winograd variant. */
 struct WinoSpec
 {
-    std::size_t m; ///< output tile size (2 or 4)
+    std::size_t m; ///< output tile size (2, 4 or 6)
     std::size_t r; ///< kernel size (always 3 here)
     std::size_t t; ///< transformed tile size, m + r - 1
 
@@ -44,8 +58,17 @@ struct WinoSpec
 /** Geometry for a variant. */
 WinoSpec winoSpec(WinoVariant v);
 
-/** Human-readable name ("F2" / "F4"). */
+/** Human-readable name ("F2" / "F4" / "F6"). */
 const char *winoName(WinoVariant v);
+
+/**
+ * True when B^T and A^T are integer matrices, i.e. the variant admits
+ * the exact integer-lifted transforms the quantized engines build
+ * (`inputTransformInt` / `outputTransformInt`). Holds for F2/F4;
+ * false for F6, whose points {±2, ±1/2} put quarters in B^T and
+ * halves in A^T.
+ */
+bool winoIntegerTransforms(WinoVariant v);
 
 /** Input transform B^T, shape [t, t]. */
 const Matrix<Rational> &winoBT(WinoVariant v);

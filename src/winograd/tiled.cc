@@ -1,6 +1,7 @@
 #include "winograd/tiled.hh"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "common/logging.hh"
 #include "obs/perf.hh"
@@ -12,8 +13,8 @@ namespace twq
 namespace
 {
 
-/// Largest transformed tile across variants (F4: t = 6).
-constexpr std::size_t kMaxT = 6;
+/// Largest transformed tile across variants (F6: t = 8).
+constexpr std::size_t kMaxT = 8;
 
 template <typename T>
 std::vector<T>
@@ -130,6 +131,10 @@ makeKronPlan(const Matrix<Rational> &l)
                     const Rational c = l(i1, k1) * l(i2, k2);
                     if (c == Rational(0))
                         continue;
+                    if constexpr (std::is_integral_v<T>)
+                        twq_assert(c.den() == 1,
+                                   "integer kron plan needs an "
+                                   "integer transform matrix");
                     typename WinoKronPlan<T>::Term term;
                     term.in =
                         static_cast<std::uint16_t>(k1 * cols + k2);
@@ -148,44 +153,108 @@ template <typename T>
 const WinoKronPlan<T> &
 winoInputKron(WinoVariant v)
 {
-    static const WinoKronPlan<T> f2 =
-        makeKronPlan<T>(winoBT(WinoVariant::F2));
-    static const WinoKronPlan<T> f4 =
-        makeKronPlan<T>(winoBT(WinoVariant::F4));
-    return v == WinoVariant::F2 ? f2 : f4;
+    // Lazy per-variant statics: the F6 plan only exists for FP T
+    // (the integer builder asserts on its fractional coefficients),
+    // so it must not be built eagerly alongside F2/F4.
+    switch (v) {
+      case WinoVariant::F2: {
+        static const WinoKronPlan<T> f2 =
+            makeKronPlan<T>(winoBT(WinoVariant::F2));
+        return f2;
+      }
+      case WinoVariant::F4: {
+        static const WinoKronPlan<T> f4 =
+            makeKronPlan<T>(winoBT(WinoVariant::F4));
+        return f4;
+      }
+      case WinoVariant::F6: {
+        static const WinoKronPlan<T> f6 =
+            makeKronPlan<T>(winoBT(WinoVariant::F6));
+        return f6;
+      }
+    }
+    twq_panic("unknown WinoVariant");
 }
 
 template <typename T>
 const WinoKronPlan<T> &
 winoOutputKron(WinoVariant v)
 {
-    static const WinoKronPlan<T> f2 =
-        makeKronPlan<T>(winoAT(WinoVariant::F2));
-    static const WinoKronPlan<T> f4 =
-        makeKronPlan<T>(winoAT(WinoVariant::F4));
-    return v == WinoVariant::F2 ? f2 : f4;
+    // Lazy per-variant statics: the F6 plan only exists for FP T
+    // (the integer builder asserts on its fractional coefficients),
+    // so it must not be built eagerly alongside F2/F4.
+    switch (v) {
+      case WinoVariant::F2: {
+        static const WinoKronPlan<T> f2 =
+            makeKronPlan<T>(winoAT(WinoVariant::F2));
+        return f2;
+      }
+      case WinoVariant::F4: {
+        static const WinoKronPlan<T> f4 =
+            makeKronPlan<T>(winoAT(WinoVariant::F4));
+        return f4;
+      }
+      case WinoVariant::F6: {
+        static const WinoKronPlan<T> f6 =
+            makeKronPlan<T>(winoAT(WinoVariant::F6));
+        return f6;
+      }
+    }
+    twq_panic("unknown WinoVariant");
 }
 
 template <typename T>
 const WinoKronPlan<T> &
 winoInputKronT(WinoVariant v)
 {
-    static const WinoKronPlan<T> f2 =
-        makeKronPlan<T>(winoBT(WinoVariant::F2).transposed());
-    static const WinoKronPlan<T> f4 =
-        makeKronPlan<T>(winoBT(WinoVariant::F4).transposed());
-    return v == WinoVariant::F2 ? f2 : f4;
+    // Lazy per-variant statics: the F6 plan only exists for FP T
+    // (the integer builder asserts on its fractional coefficients),
+    // so it must not be built eagerly alongside F2/F4.
+    switch (v) {
+      case WinoVariant::F2: {
+        static const WinoKronPlan<T> f2 =
+            makeKronPlan<T>(winoBT(WinoVariant::F2).transposed());
+        return f2;
+      }
+      case WinoVariant::F4: {
+        static const WinoKronPlan<T> f4 =
+            makeKronPlan<T>(winoBT(WinoVariant::F4).transposed());
+        return f4;
+      }
+      case WinoVariant::F6: {
+        static const WinoKronPlan<T> f6 =
+            makeKronPlan<T>(winoBT(WinoVariant::F6).transposed());
+        return f6;
+      }
+    }
+    twq_panic("unknown WinoVariant");
 }
 
 template <typename T>
 const WinoKronPlan<T> &
 winoOutputKronT(WinoVariant v)
 {
-    static const WinoKronPlan<T> f2 =
-        makeKronPlan<T>(winoAT(WinoVariant::F2).transposed());
-    static const WinoKronPlan<T> f4 =
-        makeKronPlan<T>(winoAT(WinoVariant::F4).transposed());
-    return v == WinoVariant::F2 ? f2 : f4;
+    // Lazy per-variant statics: the F6 plan only exists for FP T
+    // (the integer builder asserts on its fractional coefficients),
+    // so it must not be built eagerly alongside F2/F4.
+    switch (v) {
+      case WinoVariant::F2: {
+        static const WinoKronPlan<T> f2 =
+            makeKronPlan<T>(winoAT(WinoVariant::F2).transposed());
+        return f2;
+      }
+      case WinoVariant::F4: {
+        static const WinoKronPlan<T> f4 =
+            makeKronPlan<T>(winoAT(WinoVariant::F4).transposed());
+        return f4;
+      }
+      case WinoVariant::F6: {
+        static const WinoKronPlan<T> f6 =
+            makeKronPlan<T>(winoAT(WinoVariant::F6).transposed());
+        return f6;
+      }
+    }
+    twq_panic("unknown WinoVariant");
 }
 
 template <typename T>

@@ -1,5 +1,7 @@
 #include "winograd/transforms.hh"
 
+#include "common/logging.hh"
+
 namespace twq
 {
 
@@ -54,6 +56,9 @@ outputTransformExact(const Matrix<Rational> &wtile, WinoVariant v)
 MatrixI64
 inputTransformInt(const MatrixI64 &tile, WinoVariant v)
 {
+    twq_assert(winoIntegerTransforms(v),
+               "integer input transform requires an integer B^T "
+               "(F2/F4 only; F6 is FP-only)");
     const MatrixI64 bt = scaledInteger(winoBT(v), 1);
     return matmul(matmul(bt, tile), bt.transposed());
 }
@@ -72,6 +77,9 @@ weightTransformInt(const MatrixI64 &kernel, WinoVariant v,
 MatrixI64
 outputTransformInt(const MatrixI64 &wtile, WinoVariant v)
 {
+    twq_assert(winoIntegerTransforms(v),
+               "integer output transform requires an integer A^T "
+               "(F2/F4 only; F6 is FP-only)");
     const MatrixI64 at = scaledInteger(winoAT(v), 1);
     return matmul(matmul(at, wtile), at.transposed());
 }

@@ -111,6 +111,7 @@ TEST_P(TiledIntWinograd, ForwardIntoReusedBuffersIsStable)
     const IntWinogradConv conv(w, cal, cfg);
 
     TensorI64 xq, V, U, M;
+    TensorD Md, Y;
     Shape big = c.input;
     big[0] *= 2;
     const TensorD x1 = randomTensor(big, 3002);
@@ -119,7 +120,7 @@ TEST_P(TiledIntWinograd, ForwardIntoReusedBuffersIsStable)
         const ConvParams p{3, 1, cfg.pad};
         TensorD out({x->dim(0), conv.cout(), p.outSize(x->dim(2)),
                      p.outSize(x->dim(3))});
-        conv.forwardInto(*x, xq, V, U, M, out);
+        conv.forwardInto(*x, xq, V, U, M, Md, Y, out);
         const TensorD ref = conv.forwardReference(*x);
         ASSERT_EQ(out.shape(), ref.shape());
         for (std::size_t i = 0; i < out.numel(); ++i)

@@ -263,7 +263,8 @@ TEST_P(BlockedWinograd, BatchedIsBitIdenticalToSequential)
 
 INSTANTIATE_TEST_SUITE_P(Variants, BlockedWinograd,
                          ::testing::Values(WinoVariant::F2,
-                                           WinoVariant::F4),
+                                           WinoVariant::F4,
+                                           WinoVariant::F6),
                          [](const auto &info) {
                              return std::string(winoName(info.param));
                          });

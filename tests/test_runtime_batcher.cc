@@ -315,7 +315,8 @@ TEST(Session, AutoSelectVariantOutputMatchesReference)
         if (session.layerEngine(i) != ConvEngine::WinogradFp32)
             continue;
         const WinoVariant v = session.layerVariant(i);
-        EXPECT_TRUE(v == WinoVariant::F2 || v == WinoVariant::F4);
+        EXPECT_TRUE(v == WinoVariant::F2 || v == WinoVariant::F4 ||
+                    v == WinoVariant::F6);
     }
 }
 

@@ -53,6 +53,35 @@ TEST(LayoutPropagation, BlockedSessionMatchesIm2colReference)
         EXPECT_NEAR(y[i], ref[i], 1e-6);
 }
 
+TEST(LayoutPropagation, F6SessionsMatchIm2colEndToEnd)
+{
+    // F(6,3) end to end through the session, in both NCHW and
+    // blocked layouts. Width 4 gives 4x4 outputs — NOT a multiple of
+    // the 6-wide output tile — so every layer runs masked partial
+    // tiles, the regime where a wrong fractional B^T/A^T or a bad
+    // tail path would surface.
+    const NetworkDesc net = microServeNet(8, 4);
+    SessionConfig refCfg;
+    refCfg.defaultEngine = ConvEngine::Im2col;
+    const Session reference(net, refCfg);
+    const TensorD input = randomInput(reference.inputShape(), 99);
+    const TensorD ref = reference.run(input);
+
+    for (const ConvEngine engine :
+         {ConvEngine::WinogradFp32, ConvEngine::WinogradBlocked}) {
+        SessionConfig cfg;
+        cfg.defaultEngine = engine;
+        cfg.variant = WinoVariant::F6;
+        const Session session(net, cfg);
+        const TensorD y = session.run(input);
+        ASSERT_EQ(y.shape(), ref.shape());
+        for (std::size_t i = 0; i < y.numel(); ++i)
+            ASSERT_NEAR(y[i], ref[i], 1e-6)
+                << "engine " << static_cast<int>(engine)
+                << " diverges at " << i;
+    }
+}
+
 TEST(LayoutPropagation, PlansBlockedChainWithNchwFallbacks)
 {
     SessionConfig cfg;
@@ -284,6 +313,201 @@ TEST(PlanCacheTest, SerializeRoundTripsAndPersistsToDisk)
     EXPECT_EQ(loaded.serialize(), text);
     std::remove(path.c_str());
     EXPECT_FALSE(loaded.loadFile(path + ".missing"));
+}
+
+TEST(PlanCacheTest, V4RoundTripsCandidateTableAndConversionCosts)
+{
+    // The v4 entry carries everything the chain DP consumes: the
+    // full candidate table (F6 included) and the four NCHW↔NCHWc8
+    // conversion costs. All of it must survive serialize/deserialize
+    // byte for byte.
+    PlanCache cache;
+    PlanCache::Decision d;
+    d.engine = ConvEngine::WinogradBlocked;
+    d.variant = WinoVariant::F6;
+    d.probeNs = 182340;
+    d.inToBlockedNs = 9120;
+    d.inToNchwNs = 8770;
+    d.outToBlockedNs = 9050;
+    d.outToNchwNs = 8990;
+    d.table = {{ConvEngine::Im2col, WinoVariant::F2, 401200},
+               {ConvEngine::WinogradFp32, WinoVariant::F4, 240100},
+               {ConvEngine::WinogradBlocked, WinoVariant::F6, 182340}};
+    cache.store("c64o64k3s1h16w16b8", d);
+
+    const std::string text = cache.serialize();
+    PlanCache parsed;
+    ASSERT_TRUE(parsed.deserialize(text));
+    EXPECT_EQ(parsed.serialize(), text);
+    PlanCache::Decision back;
+    ASSERT_TRUE(parsed.lookup("c64o64k3s1h16w16b8", &back));
+    EXPECT_EQ(back.variant, WinoVariant::F6);
+    EXPECT_EQ(back.inToBlockedNs, 9120u);
+    EXPECT_EQ(back.inToNchwNs, 8770u);
+    EXPECT_EQ(back.outToBlockedNs, 9050u);
+    EXPECT_EQ(back.outToNchwNs, 8990u);
+    ASSERT_EQ(back.table.size(), 3u);
+    EXPECT_EQ(back.table[1].engine, ConvEngine::WinogradFp32);
+    EXPECT_EQ(back.table[1].variant, WinoVariant::F4);
+    EXPECT_EQ(back.table[1].ns, 240100u);
+}
+
+TEST(PlanCacheTest, StaleV3FilesAreRejectedWithoutDamage)
+{
+    // A v3 file predates both the F6 candidate and the conversion
+    // costs — its rankings are incomplete for this candidate space,
+    // so the header check must refuse it outright and leave existing
+    // in-memory plans untouched (the affected layers re-probe).
+    PlanCache cache;
+    cache.store("keep", {ConvEngine::WinogradFp32, WinoVariant::F2});
+    const std::string v3 =
+        "twq-plan-cache v3 " + PlanCache::signature() +
+        "\nc64o64k3s1h16w16b8 winograd-blocked F4 182340 0 0 0 0\n";
+    EXPECT_FALSE(cache.deserialize(v3));
+    EXPECT_EQ(cache.size(), 1u);
+    PlanCache::Decision d;
+    EXPECT_FALSE(cache.lookup("c64o64k3s1h16w16b8", &d));
+    EXPECT_TRUE(cache.lookup("keep", &d));
+
+    // A truncated v4 line (table promises more candidates than it
+    // carries) is malformed, not merged.
+    const std::string truncated =
+        "twq-plan-cache v4 " + PlanCache::signature() +
+        "\nc64o64k3s1h16w16b8 winograd-blocked F4 1 0 0 0 0 9 8 9 8 "
+        "2 im2col F2 5\n";
+    EXPECT_FALSE(cache.deserialize(truncated));
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheTest, TunedCacheBuildsWithZeroProbes)
+{
+    // The offline-tuning contract (tools/tune --verify asserts the
+    // same thing from the CLI): a session built cold against a fully
+    // populated cache runs ZERO live candidate races — the
+    // plan.probes counter does not move and every raced layer
+    // reports plan source "cache".
+    const NetworkDesc net = microServeNet(8, 4);
+    SessionConfig cfg;
+    cfg.autoSelect = true;
+    cfg.autoSelectBatch = 2;
+    PlanCache cache;
+    cfg.planCache = &cache;
+    { const Session tuning(net, cfg); } // populates the cache
+    ASSERT_GT(cache.size(), 0u);
+
+    auto &probes = obs::Registry::global().counter("plan.probes");
+    const std::uint64_t before = probes.value();
+    const Session cold(net, cfg);
+    if constexpr (obs::kEnabled)
+        EXPECT_EQ(probes.value(), before)
+            << "tuned build ran a live probe";
+    for (std::size_t i = 0; i < cold.layerCount(); ++i)
+        EXPECT_STRNE(cold.layerPlan(i).source, "probed")
+            << "layer " << i << " was probed despite a tuned cache";
+    // The cache engaged (this net has raced layers).
+    bool anyCached = false;
+    for (std::size_t i = 0; i < cold.layerCount(); ++i)
+        anyCached |=
+            std::string(cold.layerPlan(i).source) == "cache";
+    EXPECT_TRUE(anyCached);
+}
+
+TEST(ChainDp, JointPlanMatchesReferenceAndBeatsNoPlan)
+{
+    // The chain DP re-decides raced layers jointly; whatever mix it
+    // lands on, the numerics must still match the im2col reference —
+    // a re-prepared override with a mismatched variant would break
+    // the output, not just the label.
+    const NetworkDesc net = microServeNet(8, 4);
+    SessionConfig cfg;
+    cfg.autoSelect = true;
+    cfg.autoSelectBatch = 2;
+    cfg.chainDp = true;
+    const Session dp(net, cfg);
+    cfg.chainDp = false;
+    const Session argmin(net, cfg);
+    SessionConfig refCfg;
+    refCfg.defaultEngine = ConvEngine::Im2col;
+    const Session reference(net, refCfg);
+
+    const TensorD input = randomInput(dp.inputShape(), 1234);
+    const TensorD y = dp.run(input);
+    const TensorD ref = reference.run(input);
+    ASSERT_EQ(y.shape(), ref.shape());
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        EXPECT_NEAR(y[i], ref[i], 1e-6);
+    // Both policies pick from the same candidate family.
+    for (std::size_t i = 0; i < dp.layerCount(); ++i) {
+        const ConvEngine e = dp.layerEngine(i);
+        EXPECT_TRUE(e == ConvEngine::Im2col ||
+                    e == ConvEngine::WinogradFp32 ||
+                    e == ConvEngine::WinogradBlocked);
+        (void)argmin;
+    }
+}
+
+TEST(ChainDp, SeamCostsSteerAwayFromIsolatedBlockedLayers)
+{
+    // Synthetic decision problem, no timing: layer candidates and
+    // conversion costs are injected through a v4 cache. The middle
+    // layer's blocked candidate wins its local race by less than the
+    // two seams it would force between its NCHW neighbors, so the
+    // per-layer argmin picks it and the chain DP must not.
+    NetworkDesc net;
+    net.name = "SeamNet";
+    net.inputRes = 8;
+    for (int i = 0; i < 3; ++i) {
+        ConvLayerDesc d;
+        d.name = "seam." + std::to_string(i);
+        d.cin = 8;
+        d.cout = 8;
+        d.kernel = 3;
+        d.stride = 1;
+        d.height = 8;
+        d.width = 8;
+        net.layers.push_back(d);
+    }
+    // Distinct keys per layer are impossible here (identical
+    // shapes), so all three layers share one cached entry: NCHW
+    // winograd at 100us, blocked at 90us, seams at 30us each. Any
+    // single blocked layer inside an NCHW chain costs two seams
+    // (+60us) for a 10us node win; an all-blocked chain would pay
+    // ingress+egress (+60us) against a 30us total node win. The DP
+    // must therefore keep the whole chain NCHW, while the per-layer
+    // argmin greedily goes blocked.
+    PlanCache cache;
+    PlanCache::Decision d;
+    d.engine = ConvEngine::WinogradBlocked;
+    d.variant = WinoVariant::F2;
+    d.probeNs = 90000;
+    d.inToBlockedNs = 30000;
+    d.inToNchwNs = 30000;
+    d.outToBlockedNs = 30000;
+    d.outToNchwNs = 30000;
+    d.table = {{ConvEngine::WinogradFp32, WinoVariant::F2, 100000},
+               {ConvEngine::WinogradBlocked, WinoVariant::F2, 90000}};
+    SessionConfig cfg;
+    cfg.autoSelect = true;
+    cfg.autoSelectBatch = 2;
+    cfg.planCache = &cache;
+    cache.store(PlanCache::layerKey(net.expandedLayers()[0],
+                                    cfg.autoSelectBatch),
+                d);
+
+    cfg.chainDp = false;
+    const Session greedy(net, cfg);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(greedy.layerEngine(i), ConvEngine::WinogradBlocked)
+            << "argmin should take the local blocked win";
+
+    cfg.chainDp = true;
+    const Session planned(net, cfg);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(planned.layerEngine(i), ConvEngine::WinogradFp32)
+            << "DP left an uncharged seam at layer " << i;
+        EXPECT_STREQ(planned.layerPlan(i).source, "cache")
+            << "DP re-decision must not re-measure";
+    }
 }
 
 TEST(PShardedTapGemm, GemmColsIsBitIdenticalToWholeGemm)

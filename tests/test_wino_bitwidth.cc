@@ -148,6 +148,48 @@ TEST(TapAmplification, F4WeightSpreadMatchesFig1)
     EXPECT_GE(hi / lo, Rational(16));
 }
 
+TEST(BitGrowth, F6GrowsStrictlyPastF4)
+{
+    // F(6,3)'s 8-tap transforms amplify harder than F(4,3)'s on
+    // every boundary — input, weight, and output — which is exactly
+    // why the integer pipeline refuses the variant: the Winograd-
+    // domain operands would not fit the paper's 8/10-bit envelope.
+    // B^T(F6) is fractional, so the analysis pre-scales it by its
+    // denominator LCM like fixed-point hardware would.
+    const BitGrowth in4 = inputTransformGrowth(WinoVariant::F4, 8);
+    const BitGrowth in6 = inputTransformGrowth(WinoVariant::F6, 8);
+    EXPECT_GT(in6.matrixScale, 1);
+    EXPECT_GT(in6.extraBits, in4.extraBits);
+    const BitGrowth w4 = weightTransformGrowth(WinoVariant::F4, 8);
+    const BitGrowth w6 = weightTransformGrowth(WinoVariant::F6, 8);
+    EXPECT_GT(w6.extraBits, w4.extraBits);
+    const BitGrowth o4 = outputTransformGrowth(WinoVariant::F4, 8);
+    const BitGrowth o6 = outputTransformGrowth(WinoVariant::F6, 8);
+    EXPECT_GT(o6.extraBits, o4.extraBits);
+}
+
+TEST(BitGrowth, Int8EligibilityGate)
+{
+    // The autoSelect race consults this gate before adding quantized
+    // candidates. F6 is never eligible — its transforms are not
+    // integer, independent of channel count or Winograd bits.
+    EXPECT_FALSE(winoIntegerTransforms(WinoVariant::F6));
+    EXPECT_FALSE(winoInt8Eligible(WinoVariant::F6, 8, 1));
+    EXPECT_FALSE(winoInt8Eligible(WinoVariant::F6, 10, 64));
+
+    // F2/F4 are gated by wrap-free int32 accumulation over the
+    // padded channel block: cinPadded * 2^(b-1) * 2^(b-1) < 2^31.
+    // At 8 Winograd bits the cliff sits at 131072 padded channels;
+    // at 10 bits it drops to 8192.
+    EXPECT_TRUE(winoInt8Eligible(WinoVariant::F2, 8, 64));
+    EXPECT_TRUE(winoInt8Eligible(WinoVariant::F4, 8, 131064));
+    EXPECT_FALSE(winoInt8Eligible(WinoVariant::F4, 8, 131072));
+    EXPECT_TRUE(winoInt8Eligible(WinoVariant::F4, 10, 8184));
+    EXPECT_FALSE(winoInt8Eligible(WinoVariant::F4, 10, 8192));
+    // Padding matters: 131065 logical channels pad to 131072.
+    EXPECT_FALSE(winoInt8Eligible(WinoVariant::F2, 8, 131065));
+}
+
 TEST(TapAmplification, F2IsUniformByComparison)
 {
     // F2's B^T has identical row abs-sums (2), so all taps amplify

@@ -137,11 +137,22 @@ TEST(WinoMatrices, Names)
 {
     EXPECT_STREQ(winoName(WinoVariant::F2), "F2");
     EXPECT_STREQ(winoName(WinoVariant::F4), "F4");
+    EXPECT_STREQ(winoName(WinoVariant::F6), "F6");
+}
+
+TEST(WinoMatrices, IntegerTransformsGate)
+{
+    // F2/F4 admit the exact integer lift; F6's points {±2, ±1/2} put
+    // fractions in B^T and A^T, so the integer engines must reject it.
+    EXPECT_TRUE(winoIntegerTransforms(WinoVariant::F2));
+    EXPECT_TRUE(winoIntegerTransforms(WinoVariant::F4));
+    EXPECT_FALSE(winoIntegerTransforms(WinoVariant::F6));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllVariants, WinoMatrices,
                          ::testing::Values(WinoVariant::F2,
-                                           WinoVariant::F4),
+                                           WinoVariant::F4,
+                                           WinoVariant::F6),
                          [](const auto &info) {
                              return winoName(info.param);
                          });

@@ -151,7 +151,8 @@ TEST_P(TiledWinograd, FloatInstantiationStaysClose)
 
 INSTANTIATE_TEST_SUITE_P(Variants, TiledWinograd,
                          ::testing::Values(WinoVariant::F2,
-                                           WinoVariant::F4),
+                                           WinoVariant::F4,
+                                           WinoVariant::F6),
                          [](const auto &info) {
                              return winoName(info.param);
                          });

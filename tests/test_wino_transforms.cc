@@ -67,6 +67,9 @@ TEST_P(WinoTransforms, DoubleMatchesExactRational)
 TEST_P(WinoTransforms, IntegerInputTransformIsExact)
 {
     const WinoVariant v = GetParam();
+    if (!winoIntegerTransforms(v))
+        GTEST_SKIP() << winoName(v)
+                     << " has no integer input/output transforms";
     const WinoSpec s = winoSpec(v);
     Rng rng(4);
     MatrixI64 tile(s.t, s.t);
@@ -92,7 +95,12 @@ TEST_P(WinoTransforms, IntegerWeightTransformScaleFactor)
     MatrixI64 kernel(3, 3);
     kernel(1, 1) = 1;
     weightTransformInt(kernel, v, &scale);
-    EXPECT_EQ(scale, v == WinoVariant::F2 ? 4 : 576);
+    // c^2 with c the LCM of G's denominators: F2 c=2, F4 c=24,
+    // F6 c=90.
+    const std::int64_t want = v == WinoVariant::F2   ? 4
+                              : v == WinoVariant::F4 ? 576
+                                                     : 8100;
+    EXPECT_EQ(scale, want);
 }
 
 TEST_P(WinoTransforms, IntegerWeightTransformMatchesScaledExact)
@@ -120,6 +128,9 @@ TEST_P(WinoTransforms, IntegerWeightTransformMatchesScaledExact)
 TEST_P(WinoTransforms, OutputTransformIntMatchesExact)
 {
     const WinoVariant v = GetParam();
+    if (!winoIntegerTransforms(v))
+        GTEST_SKIP() << winoName(v)
+                     << " has no integer input/output transforms";
     const WinoSpec s = winoSpec(v);
     Rng rng(6);
     MatrixI64 wtile(s.t, s.t);
@@ -165,7 +176,8 @@ TEST_P(WinoTransforms, ZeroTileMapsToZero)
 
 INSTANTIATE_TEST_SUITE_P(AllVariants, WinoTransforms,
                          ::testing::Values(WinoVariant::F2,
-                                           WinoVariant::F4),
+                                           WinoVariant::F4,
+                                           WinoVariant::F6),
                          [](const auto &info) {
                              return winoName(info.param);
                          });
